@@ -1,0 +1,104 @@
+//! Isotonic regression via the pool-adjacent-violators algorithm (PAVA).
+//!
+//! Mentioned in the paper's related work as the classic free-form monotone
+//! fit; included here both as a library utility and as the reference
+//! implementation our property tests compare monotone projections against.
+
+/// Weighted isotonic regression: returns the non-decreasing sequence `g`
+/// minimizing `Σ w_i (g_i - y_i)^2` (PAVA, O(n)).
+pub fn isotonic_regression(y: &[f64], w: &[f64]) -> Vec<f64> {
+    assert_eq!(y.len(), w.len(), "weights must match values");
+    let n = y.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // blocks of (mean, weight, count)
+    let mut means: Vec<f64> = Vec::with_capacity(n);
+    let mut weights: Vec<f64> = Vec::with_capacity(n);
+    let mut counts: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        means.push(y[i]);
+        weights.push(w[i].max(0.0));
+        counts.push(1);
+        // merge while the monotonicity is violated
+        while means.len() >= 2 {
+            let m = means.len();
+            if means[m - 2] <= means[m - 1] {
+                break;
+            }
+            let wtot = weights[m - 2] + weights[m - 1];
+            let merged = if wtot > 0.0 {
+                (means[m - 2] * weights[m - 2] + means[m - 1] * weights[m - 1]) / wtot
+            } else {
+                0.5 * (means[m - 2] + means[m - 1])
+            };
+            means[m - 2] = merged;
+            weights[m - 2] = wtot;
+            counts[m - 2] += counts[m - 1];
+            means.pop();
+            weights.pop();
+            counts.pop();
+        }
+    }
+    // expand blocks
+    let mut out = Vec::with_capacity(n);
+    for (mean, count) in means.iter().zip(&counts) {
+        out.extend(std::iter::repeat_n(*mean, *count));
+    }
+    out
+}
+
+/// Unweighted isotonic regression.
+pub fn isotonic(y: &[f64]) -> Vec<f64> {
+    isotonic_regression(y, &vec![1.0; y.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn already_monotone_is_unchanged() {
+        let y = vec![1.0, 2.0, 3.0, 3.0, 5.0];
+        assert_eq!(isotonic(&y), y);
+    }
+
+    #[test]
+    fn single_violation_is_pooled() {
+        let y = vec![1.0, 3.0, 2.0, 4.0];
+        let g = isotonic(&y);
+        assert_eq!(g, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn output_is_always_monotone() {
+        let y = vec![5.0, 1.0, 4.0, 2.0, 8.0, 3.0, 3.0];
+        let g = isotonic(&y);
+        assert!(g.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn mean_is_preserved() {
+        // PAVA preserves the (weighted) mean
+        let y = vec![4.0, 1.0, 3.0, 2.0];
+        let g = isotonic(&y);
+        let m0: f64 = y.iter().sum::<f64>() / y.len() as f64;
+        let m1: f64 = g.iter().sum::<f64>() / g.len() as f64;
+        assert!((m0 - m1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_pooling_respects_weights() {
+        let y = vec![3.0, 1.0];
+        let w = vec![3.0, 1.0];
+        let g = isotonic_regression(&y, &w);
+        // pooled value = (3*3 + 1*1)/4 = 2.5
+        assert!((g[0] - 2.5).abs() < 1e-12);
+        assert_eq!(g[0], g[1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(isotonic(&[]).is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Microbenchmarks of the substrates: tensor matmul, cover-tree
+//! construction and range counting, PWL head evaluation, and workload
+//! ground-truth labeling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selnet_core::PiecewiseLinear;
+use selnet_data::generators::{fasttext_like, GeneratorConfig};
+use selnet_index::CoverTree;
+use selnet_metric::DistanceKind;
+use selnet_tensor::{Graph, Matrix};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_matmul");
+    group.sample_size(20);
+    for size in [64usize, 128, 256] {
+        let a = Matrix::from_fn(size, size, |i, j| ((i * 31 + j * 17) % 97) as f32 * 0.01);
+        let b = Matrix::from_fn(size, size, |i, j| ((i * 13 + j * 29) % 89) as f32 * 0.01);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cover_tree(c: &mut Criterion) {
+    let ds = fasttext_like(&GeneratorConfig::new(5000, 16, 8, 1));
+    let mut group = c.benchmark_group("cover_tree");
+    group.sample_size(10);
+    group.bench_function("build_5k", |b| b.iter(|| black_box(CoverTree::build(&ds))));
+    let tree = CoverTree::build(&ds);
+    let q = ds.row(17).to_vec();
+    group.bench_function("range_count", |b| {
+        b.iter(|| black_box(tree.range_count(black_box(&q), black_box(2.0))))
+    });
+    group.bench_function("nearest", |b| b.iter(|| black_box(tree.nearest(black_box(&q)))));
+    group.finish();
+}
+
+fn bench_pwl(c: &mut Criterion) {
+    let tau: Vec<f32> = (0..52).map(|i| i as f32 / 51.0).collect();
+    let p: Vec<f32> = (0..52).map(|i| (i * i) as f32).collect();
+    let pwl = PiecewiseLinear::new(tau.clone(), p.clone());
+    let mut group = c.benchmark_group("pwl_head");
+    group.bench_function("eval_scalar", |b| b.iter(|| black_box(pwl.eval(black_box(0.73)))));
+    group.bench_function("eval_tape_batch256", |b| {
+        let ts: Vec<f32> = (0..256).map(|i| i as f32 / 256.0).collect();
+        b.iter(|| {
+            let mut g = Graph::new();
+            let tauv = g.leaf(Matrix::row_vector(&tau));
+            let pv = g.leaf(Matrix::row_vector(&p));
+            let tv = g.leaf(Matrix::col_vector(&ts));
+            black_box(g.pwl_interp(tauv, pv, tv))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let ds = fasttext_like(&GeneratorConfig::new(10_000, 24, 8, 2));
+    let q = ds.row(3).to_vec();
+    let mut group = c.benchmark_group("ground_truth");
+    group.sample_size(10);
+    group.bench_function("sorted_distances_10k_d24", |b| {
+        b.iter(|| {
+            black_box(selnet_workload::sorted_distances(
+                &ds,
+                black_box(&q),
+                DistanceKind::Euclidean,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_cover_tree, bench_pwl, bench_ground_truth);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Scratch diagnostic: prints per-epoch train loss and validation MAE for
+//! the SelNet variants (not part of the reproduction index).
+
+use selnet_bench::harness::{build_setting, selnet_config, Scale, Setting};
+use selnet_core::{fit_named, fit_partitioned, PartitionConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::from_args(&args);
+    scale.n = 10_000;
+    scale.dim = 16;
+    scale.queries = 200;
+    scale.w = 15;
+    scale.epochs = 25;
+    let (ds, w) = build_setting(Setting::FasttextCos, &scale);
+    eprintln!("labels up to {}", ds.len() / 100);
+
+    let cfg = selnet_config(&scale);
+    let (_, rep) = fit_named(&ds, &w, &cfg, "SelNet-ct");
+    println!("SelNet-ct:");
+    for (i, (l, m)) in rep.epoch_train_loss.iter().zip(&rep.epoch_val_mae).enumerate() {
+        println!("  epoch {i:>2}: train loss {l:.4}  val MAE {m:.2}");
+    }
+
+    let (_, rep) = fit_partitioned(&ds, &w, &cfg, &PartitionConfig::default());
+    println!("SelNet (partitioned):");
+    for (i, (l, m)) in rep.epoch_train_loss.iter().zip(&rep.epoch_val_mae).enumerate() {
+        println!("  epoch {i:>2}: train loss {l:.4}  val MAE {m:.2}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Reproduces Table 10: cover-tree (CT) vs random (RP) vs k-means (KM)
+//! partitioning at K = 3 on fasttext-l2.
+
+use selnet_bench::harness::{build_setting, partition_config, selnet_config, Scale, Setting};
+use selnet_core::fit_partitioned;
+use selnet_eval::evaluate;
+use selnet_index::PartitionMethod;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let (ds, w) = build_setting(Setting::FasttextL2, &scale);
+    let methods = [
+        ("CT", PartitionMethod::CoverTree { ratio: 0.05 }),
+        ("RP", PartitionMethod::Random),
+        ("KM", PartitionMethod::KMeans),
+    ];
+
+    let mut results: Vec<Option<(&str, f64, f64, f64)>> = vec![None; methods.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &(label, method) in &methods {
+            let ds = &ds;
+            let w = &w;
+            let scale = &scale;
+            handles.push(scope.spawn(move || {
+                let mut pcfg = partition_config(scale);
+                pcfg.method = method;
+                let (model, _) = fit_partitioned(ds, w, &selnet_config(scale), &pcfg);
+                let m = evaluate(&model, &w.test);
+                (label, m.mse, m.mae, m.mape)
+            }));
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("sweep thread panicked"));
+        }
+    });
+
+    println!("## Table 10: errors vs partitioning method (K=3) on fasttext-l2 (test)");
+    println!("{:<10} {:>14} {:>12} {:>10}", "Method", "MSE", "MAE", "MAPE");
+    let mut csv = String::from("method,mse,mae,mape\n");
+    for r in results.into_iter().flatten() {
+        let (label, mse, mae, mape) = r;
+        println!("{label:<10} {mse:>14.2} {mae:>12.2} {mape:>10.3}");
+        csv.push_str(&format!("{label},{mse},{mae},{mape}\n"));
+    }
+    selnet_bench::harness::write_results("partition_methods_fasttext-l2.csv", &csv);
+}

@@ -1,0 +1,528 @@
+//! The partitioned estimator of §5.3 — the full **SelNet**.
+//!
+//! The database is split into `K` disjoint parts (cover tree + greedy merge
+//! by default). All local models share the same enhanced input `[x; z_x]`
+//! (one shared autoencoder) but own their control-point networks. The
+//! global estimate is `f*(x,t) = Σ_i f_c(x,t)[i] · f^(i)(x,t)` where `f_c`
+//! is the cluster-intersection indicator. Training follows the paper's
+//! third option: pretrain the local models for `T` epochs on local labels,
+//! then train jointly with
+//! `J_joint = J_est(f*) + β Σ_i J_est(f^(i)) + λ J_AE`.
+
+use crate::autoencoder::Autoencoder;
+use crate::config::{PartitionConfig, SelNetConfig};
+use crate::model::ControlPointNets;
+use crate::train::TrainReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selnet_data::Dataset;
+use selnet_eval::SelectivityEstimator;
+use selnet_index::Partitioning;
+use selnet_tensor::{Adam, Graph, Matrix, Optimizer, ParamStore, Var};
+use selnet_workload::{label_partitions, LabeledQuery, Workload};
+
+/// A trained partitioned SelNet (the paper's headline model).
+#[derive(Clone)]
+pub struct PartitionedSelNet {
+    pub(crate) cfg: SelNetConfig,
+    pub(crate) pcfg: PartitionConfig,
+    pub(crate) dim: usize,
+    pub(crate) tmax: f32,
+    pub(crate) store: ParamStore,
+    pub(crate) ae: Autoencoder,
+    pub(crate) locals: Vec<ControlPointNets>,
+    pub(crate) partitioning: Partitioning,
+    pub(crate) name: String,
+    pub(crate) reference_val_mae: f64,
+}
+
+impl PartitionedSelNet {
+    /// Number of partitions.
+    pub fn k(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// The partitioning in use.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Maximum supported threshold.
+    pub fn tmax(&self) -> f32 {
+        self.tmax
+    }
+
+    /// Records forward passes of every local model for a batch.
+    /// Returns `(z, [yhat_i])`.
+    fn forward_locals(&self, g: &mut Graph, x: Var, t: Var) -> (Var, Vec<Var>) {
+        let z = self.ae.encode(g, &self.store, x);
+        let input = g.concat_cols(x, z);
+        let mut preds = Vec::with_capacity(self.locals.len());
+        for nets in &self.locals {
+            let (tau, p) = nets.control_points(
+                g,
+                &self.store,
+                input,
+                self.tmax,
+                self.cfg.query_dependent_tau,
+            );
+            preds.push(g.pwl_interp(tau, p, t));
+        }
+        (z, preds)
+    }
+
+    /// Predicts selectivities for one query at many thresholds, applying
+    /// the intersection indicator per threshold.
+    pub fn predict_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let mut g = Graph::new();
+        let xv = g.leaf(Matrix::row_vector(x));
+        let z = self.ae.encode(&mut g, &self.store, xv);
+        let input = g.concat_cols(xv, z);
+        let tv = g.leaf(Matrix::col_vector(ts));
+        // local predictions over all thresholds (tau/p broadcast from 1 row)
+        let mut local_preds: Vec<Vec<f64>> = Vec::with_capacity(self.locals.len());
+        for nets in &self.locals {
+            let (tau, p) = nets.control_points(
+                &mut g,
+                &self.store,
+                input,
+                self.tmax,
+                self.cfg.query_dependent_tau,
+            );
+            let y = g.pwl_interp(tau, p, tv);
+            local_preds.push(g.value(y).data().iter().map(|&v| v as f64).collect());
+        }
+        // indicator per threshold
+        ts.iter()
+            .enumerate()
+            .map(|(j, &t)| {
+                let ind = self.partitioning.indicator(x, t);
+                local_preds
+                    .iter()
+                    .zip(&ind)
+                    .map(|(pred, &on)| if on { pred[j] } else { 0.0 })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Per-part predictions for one `(x, t)` (diagnostics / tests).
+    pub fn local_estimates(&self, x: &[f32], t: f32) -> Vec<f64> {
+        let mut g = Graph::new();
+        let xv = g.leaf(Matrix::row_vector(x));
+        let tv = g.leaf(Matrix::full(1, 1, t));
+        let (_, preds) = self.forward_locals(&mut g, xv, tv);
+        preds.iter().map(|&p| g.value(p).get(0, 0) as f64).collect()
+    }
+}
+
+impl SelectivityEstimator for PartitionedSelNet {
+    fn estimate(&self, x: &[f32], t: f32) -> f64 {
+        self.predict_many(x, &[t])[0]
+    }
+
+    fn estimate_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
+        self.predict_many(x, ts)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn guarantees_consistency(&self) -> bool {
+        true
+    }
+}
+
+/// Flattened training pairs with per-part labels and indicators.
+pub(crate) struct JointPairs<'a> {
+    x: Vec<&'a [f32]>,
+    t: Vec<f32>,
+    ylog: Vec<f32>,
+    /// `ylog_local[part][pair]`
+    ylog_local: Vec<Vec<f32>>,
+    /// `indicator[part][pair]` as 0/1
+    indicator: Vec<Vec<f32>>,
+}
+
+fn build_joint_pairs<'a>(
+    train: &'a [LabeledQuery],
+    part_labels: &[Vec<Vec<f64>>],
+    partitioning: &Partitioning,
+    log_eps: f32,
+) -> JointPairs<'a> {
+    let k = partitioning.k();
+    let mut out = JointPairs {
+        x: Vec::new(),
+        t: Vec::new(),
+        ylog: Vec::new(),
+        ylog_local: vec![Vec::new(); k],
+        indicator: vec![Vec::new(); k],
+    };
+    for (qi, q) in train.iter().enumerate() {
+        for (j, &t) in q.thresholds.iter().enumerate() {
+            out.x.push(q.x.as_slice());
+            out.t.push(t);
+            out.ylog.push((q.selectivities[j] as f32 + log_eps).ln());
+            let ind = partitioning.indicator(&q.x, t);
+            for part in 0..k {
+                out.ylog_local[part]
+                    .push((part_labels[qi][part][j] as f32 + log_eps).ln());
+                out.indicator[part].push(if ind[part] { 1.0 } else { 0.0 });
+            }
+        }
+    }
+    out
+}
+
+fn gather(values: &[f32], order: &[usize]) -> Matrix {
+    Matrix::col_vector(&order.iter().map(|&i| values[i]).collect::<Vec<_>>())
+}
+
+/// Runs `epochs` of training. `joint = false` gives the pretraining phase
+/// (local losses + AE only); `joint = true` adds the global term.
+/// With `patience = Some(p)`, stops once validation MAE has not improved
+/// for `p` consecutive epochs (the §5.4 incremental-update rule).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_training_phase(
+    model: &mut PartitionedSelNet,
+    pairs: &JointPairs<'_>,
+    valid: &[LabeledQuery],
+    epochs: usize,
+    joint: bool,
+    patience: Option<usize>,
+    opt: &mut Adam,
+    rng: &mut StdRng,
+    report: &mut TrainReport,
+) {
+    let cfg = model.cfg.clone();
+    let beta = model.pcfg.beta;
+    let k = model.locals.len();
+    let n = pairs.t.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut best_mae = model.reference_val_mae;
+    let mut best_store = model.store.clone();
+    let mut since_improvement = 0usize;
+
+    for _ in 0..epochs {
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let b = chunk.len();
+            let mut xbuf = Vec::with_capacity(b * model.dim);
+            for &i in chunk {
+                xbuf.extend_from_slice(pairs.x[i]);
+            }
+            let x = Matrix::from_vec(b, model.dim, xbuf);
+            let t = gather(&pairs.t, chunk);
+            let ylog = gather(&pairs.ylog, chunk);
+
+            let mut g = Graph::new();
+            let xv = g.leaf(x);
+            let tv = g.leaf(t);
+            let yv = g.leaf(ylog);
+            let (z, local_preds) = model.forward_locals(&mut g, xv, tv);
+
+            // local losses: beta * sum_i J_est(f^(i))
+            let mut loss_acc: Option<Var> = None;
+            for part in 0..k {
+                let yl = g.leaf(gather(&pairs.ylog_local[part], chunk));
+                let pl = g.ln_eps(local_preds[part], cfg.log_eps);
+                let r = g.sub(pl, yl);
+                let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
+                let m = g.mean(h);
+                let weighted = if joint { g.scale(m, beta) } else { m };
+                loss_acc = Some(match loss_acc {
+                    Some(acc) => g.add(acc, weighted),
+                    None => weighted,
+                });
+            }
+            let mut loss = loss_acc.expect("k > 0");
+
+            if joint {
+                // global estimate: sum of indicator-masked local predictions
+                let mut global: Option<Var> = None;
+                for part in 0..k {
+                    let ind = g.leaf(gather(&pairs.indicator[part], chunk));
+                    let masked = g.mul(local_preds[part], ind);
+                    global = Some(match global {
+                        Some(acc) => g.add(acc, masked),
+                        None => masked,
+                    });
+                }
+                let global = global.expect("k > 0");
+                let gl = g.ln_eps(global, cfg.log_eps);
+                let r = g.sub(gl, yv);
+                let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
+                let global_loss = g.mean(h);
+                loss = g.add(global_loss, loss);
+            }
+
+            // lambda * J_AE
+            let recon = model.ae.decode(&mut g, &model.store, z);
+            let dx = g.sub(recon, xv);
+            let sq = g.square(dx);
+            let ae = g.mean(sq);
+            let ae_scaled = g.scale(ae, cfg.lambda_ae);
+            loss = g.add(loss, ae_scaled);
+
+            g.backward(loss);
+            epoch_loss += g.value(loss).get(0, 0) as f64;
+            batches += 1;
+            let grads = g.param_grads();
+            opt.step(&mut model.store, &grads);
+        }
+        report.epoch_train_loss.push(epoch_loss / batches.max(1) as f64);
+        let mae = partitioned_validation_mae(model, valid);
+        report.epoch_val_mae.push(mae);
+        if mae < best_mae {
+            best_mae = mae;
+            best_store = model.store.clone();
+            report.best_epoch = report.epoch_val_mae.len() - 1;
+            since_improvement = 0;
+        } else {
+            since_improvement += 1;
+            if let Some(p) = patience {
+                if since_improvement >= p {
+                    break;
+                }
+            }
+        }
+    }
+    if best_mae.is_finite() && best_mae < f64::MAX {
+        model.store = best_store;
+        model.reference_val_mae = best_mae;
+    }
+}
+
+pub(crate) fn partitioned_validation_mae(
+    model: &PartitionedSelNet,
+    split: &[LabeledQuery],
+) -> f64 {
+    let mut abs = 0.0f64;
+    let mut n = 0usize;
+    for q in split {
+        let preds = model.predict_many(&q.x, &q.thresholds);
+        for (p, &y) in preds.iter().zip(&q.selectivities) {
+            abs += (p - y).abs();
+            n += 1;
+        }
+    }
+    abs / n.max(1) as f64
+}
+
+/// Trains the full partitioned SelNet: partition, pretrain local models for
+/// `T` epochs, then joint training (§5.3).
+pub fn fit_partitioned(
+    ds: &Dataset,
+    workload: &Workload,
+    cfg: &SelNetConfig,
+    pcfg: &PartitionConfig,
+) -> (PartitionedSelNet, TrainReport) {
+    let dim = ds.dim();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let partitioning =
+        Partitioning::build(ds, workload.kind, pcfg.method, pcfg.k, cfg.seed);
+    let k = partitioning.k();
+
+    let mut store = ParamStore::new();
+    let ae = Autoencoder::new(&mut store, "ae", dim, &cfg.ae_hidden, cfg.latent_dim, &mut rng);
+    let locals: Vec<ControlPointNets> = (0..k)
+        .map(|i| ControlPointNets::new(&mut store, &format!("local{i}"), dim + cfg.latent_dim, cfg, &mut rng))
+        .collect();
+
+    // AE pretraining (database, then training queries), as in the single model
+    ae.pretrain(
+        &mut store,
+        ds,
+        cfg.ae_pretrain_epochs,
+        cfg.batch_size,
+        cfg.ae_pretrain_sample,
+        cfg.learning_rate,
+        cfg.seed ^ 0x5e1f,
+    );
+    if !workload.train.is_empty() {
+        let queries = Dataset::from_rows(
+            dim,
+            &workload.train.iter().map(|q| q.x.clone()).collect::<Vec<_>>(),
+        );
+        ae.pretrain(
+            &mut store,
+            &queries,
+            (cfg.ae_pretrain_epochs / 2).max(1),
+            cfg.batch_size,
+            cfg.ae_pretrain_sample,
+            cfg.learning_rate,
+            cfg.seed ^ 0xae,
+        );
+    }
+
+    let mut model = PartitionedSelNet {
+        cfg: cfg.clone(),
+        pcfg: pcfg.clone(),
+        dim,
+        tmax: workload.tmax,
+        store,
+        ae,
+        locals,
+        partitioning,
+        name: "SelNet".into(),
+        reference_val_mae: f64::MAX,
+    };
+
+    // per-partition ground truth (precomputed, as in the paper)
+    let part_labels =
+        label_partitions(ds, &model.partitioning, &workload.train, workload.kind, 0);
+    let pairs = build_joint_pairs(
+        &workload.train,
+        &part_labels.labels,
+        &model.partitioning,
+        cfg.log_eps,
+    );
+
+    let mut report = TrainReport::default();
+    let mut opt = Adam::new(cfg.learning_rate).with_clip(1.0);
+    // phase 1: local pretraining (T epochs)
+    run_training_phase(
+        &mut model,
+        &pairs,
+        &workload.valid,
+        pcfg.pretrain_epochs,
+        false,
+        None,
+        &mut opt,
+        &mut rng,
+        &mut report,
+    );
+    // phase 2: joint training
+    let joint_epochs = cfg.epochs.saturating_sub(pcfg.pretrain_epochs).max(1);
+    run_training_phase(
+        &mut model,
+        &pairs,
+        &workload.valid,
+        joint_epochs,
+        true,
+        None,
+        &mut opt,
+        &mut rng,
+        &mut report,
+    );
+    (model, report)
+}
+
+/// Re-trains an existing partitioned model on updated data until the
+/// validation MAE stops improving (used by the §5.4 update rule).
+pub(crate) fn continue_training(
+    model: &mut PartitionedSelNet,
+    ds: &Dataset,
+    train: &[LabeledQuery],
+    valid: &[LabeledQuery],
+    kind: selnet_metric::DistanceKind,
+    max_epochs: usize,
+    patience: usize,
+    rng: &mut StdRng,
+) -> TrainReport {
+    let part_labels = label_partitions(ds, &model.partitioning, train, kind, 0);
+    let pairs = build_joint_pairs(
+        train,
+        &part_labels.labels,
+        &model.partitioning,
+        model.cfg.log_eps,
+    );
+    let mut report = TrainReport::default();
+    let mut opt = Adam::new(model.cfg.learning_rate).with_clip(1.0);
+    // reset the reference so the retrained parameters are always adopted
+    model.reference_val_mae = f64::MAX;
+    run_training_phase(
+        model,
+        &pairs,
+        valid,
+        max_epochs,
+        true,
+        Some(patience),
+        &mut opt,
+        rng,
+        &mut report,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selnet_data::generators::{fasttext_like, GeneratorConfig};
+    use selnet_index::PartitionMethod;
+    use selnet_metric::DistanceKind;
+    use selnet_workload::{generate_workload, ThresholdScheme, WorkloadConfig};
+
+    fn fixture() -> (Dataset, Workload) {
+        let ds = fasttext_like(&GeneratorConfig::new(500, 6, 4, 17));
+        let cfg = WorkloadConfig {
+            num_queries: 50,
+            thresholds_per_query: 10,
+            kind: DistanceKind::Euclidean,
+            scheme: ThresholdScheme::GeometricSelectivity,
+            seed: 2,
+            threads: 4,
+        };
+        let w = generate_workload(&ds, &cfg);
+        (ds, w)
+    }
+
+    fn tiny_pcfg() -> PartitionConfig {
+        PartitionConfig {
+            k: 3,
+            method: PartitionMethod::CoverTree { ratio: 0.1 },
+            pretrain_epochs: 3,
+            beta: 0.1,
+        }
+    }
+
+    #[test]
+    fn partitioned_model_trains_and_stays_consistent() {
+        let (ds, w) = fixture();
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 10;
+        let (model, report) = fit_partitioned(&ds, &w, &cfg, &tiny_pcfg());
+        assert_eq!(model.k(), 3);
+        assert!(!report.epoch_val_mae.is_empty());
+        // consistency is structural
+        let score = selnet_eval::empirical_monotonicity(&model, &w.test, 10, 40, w.tmax);
+        assert_eq!(score, 100.0);
+    }
+
+    #[test]
+    fn global_estimate_is_sum_of_valid_locals() {
+        let (ds, w) = fixture();
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 4;
+        let (model, _) = fit_partitioned(&ds, &w, &cfg, &tiny_pcfg());
+        let q = &w.test[0];
+        let t = q.thresholds[q.thresholds.len() - 1];
+        let locals = model.local_estimates(&q.x, t);
+        let ind = model.partitioning().indicator(&q.x, t);
+        let expected: f64 = locals
+            .iter()
+            .zip(&ind)
+            .map(|(&l, &on)| if on { l } else { 0.0 })
+            .sum();
+        let got = model.estimate(&q.x, t);
+        assert!((got - expected).abs() < 1e-3 * expected.abs().max(1.0));
+    }
+
+    #[test]
+    fn training_improves_over_initialization() {
+        let (ds, w) = fixture();
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 12;
+        let (_, report) = fit_partitioned(&ds, &w, &cfg, &tiny_pcfg());
+        let first = report.epoch_val_mae[0];
+        let best = report.epoch_val_mae.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(best < first, "val MAE should improve: {first} -> {best}");
+    }
+}

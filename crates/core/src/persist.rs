@@ -1,0 +1,202 @@
+//! Checkpointing of trained single SelNet models: configuration +
+//! parameters in one self-contained binary stream.
+
+use crate::autoencoder::Autoencoder;
+use crate::config::{LossKind, SelNetConfig, TauNormalization};
+use crate::model::{ControlPointNets, SelNetModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selnet_tensor::ParamStore;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"SELNETM1";
+
+fn write_usize(w: &mut impl Write, v: usize) -> io::Result<()> {
+    w.write_all(&(v as u64).to_le_bytes())
+}
+
+fn read_usize(r: &mut impl Read) -> io::Result<usize> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b) as usize)
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn write_vec_usize(w: &mut impl Write, v: &[usize]) -> io::Result<()> {
+    write_usize(w, v.len())?;
+    for &x in v {
+        write_usize(w, x)?;
+    }
+    Ok(())
+}
+
+fn read_vec_usize(r: &mut impl Read) -> io::Result<Vec<usize>> {
+    let n = read_usize(r)?;
+    (0..n).map(|_| read_usize(r)).collect()
+}
+
+impl SelNetModel {
+    /// Serializes the model (config + parameters).
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        let c = &self.cfg;
+        write_usize(w, c.control_points)?;
+        write_usize(w, c.latent_dim)?;
+        write_usize(w, c.embed_dim)?;
+        write_vec_usize(w, &c.tau_hidden)?;
+        write_vec_usize(w, &c.p_hidden)?;
+        write_vec_usize(w, &c.ae_hidden)?;
+        write_f32(w, c.learning_rate)?;
+        write_usize(w, c.epochs)?;
+        write_usize(w, c.batch_size)?;
+        write_f32(w, c.lambda_ae)?;
+        write_f32(w, c.huber_delta)?;
+        write_f32(w, c.log_eps)?;
+        write_usize(w, usize::from(c.query_dependent_tau))?;
+        write_usize(w, match c.tau_normalization {
+            TauNormalization::Norml2 => 0,
+            TauNormalization::Softmax => 1,
+        })?;
+        write_usize(w, match c.loss {
+            LossKind::Huber => 0,
+            LossKind::L2 => 1,
+            LossKind::L1 => 2,
+        })?;
+        write_usize(w, c.ae_pretrain_epochs)?;
+        write_usize(w, c.ae_pretrain_sample)?;
+        w.write_all(&c.seed.to_le_bytes())?;
+
+        write_usize(w, self.dim)?;
+        write_f32(w, self.tmax)?;
+        w.write_all(&self.reference_val_mae.to_le_bytes())?;
+        let name = self.name.as_bytes();
+        write_usize(w, name.len())?;
+        w.write_all(name)?;
+        self.store.save(w)
+    }
+
+    /// Deserializes a model previously written by [`SelNetModel::save`].
+    pub fn load(r: &mut impl Read) -> io::Result<SelNetModel> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model magic"));
+        }
+        let control_points = read_usize(r)?;
+        let latent_dim = read_usize(r)?;
+        let embed_dim = read_usize(r)?;
+        let tau_hidden = read_vec_usize(r)?;
+        let p_hidden = read_vec_usize(r)?;
+        let ae_hidden = read_vec_usize(r)?;
+        let learning_rate = read_f32(r)?;
+        let epochs = read_usize(r)?;
+        let batch_size = read_usize(r)?;
+        let lambda_ae = read_f32(r)?;
+        let huber_delta = read_f32(r)?;
+        let log_eps = read_f32(r)?;
+        let query_dependent_tau = read_usize(r)? != 0;
+        let tau_normalization = match read_usize(r)? {
+            0 => TauNormalization::Norml2,
+            1 => TauNormalization::Softmax,
+            v => return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad tau norm {v}"))),
+        };
+        let loss = match read_usize(r)? {
+            0 => LossKind::Huber,
+            1 => LossKind::L2,
+            2 => LossKind::L1,
+            v => return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad loss {v}"))),
+        };
+        let ae_pretrain_epochs = read_usize(r)?;
+        let ae_pretrain_sample = read_usize(r)?;
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let seed = u64::from_le_bytes(b8);
+        let cfg = SelNetConfig {
+            control_points,
+            latent_dim,
+            embed_dim,
+            tau_hidden,
+            p_hidden,
+            ae_hidden,
+            learning_rate,
+            epochs,
+            batch_size,
+            lambda_ae,
+            huber_delta,
+            log_eps,
+            query_dependent_tau,
+            tau_normalization,
+            loss,
+            ae_pretrain_epochs,
+            ae_pretrain_sample,
+            seed,
+        };
+        let dim = read_usize(r)?;
+        let tmax = read_f32(r)?;
+        r.read_exact(&mut b8)?;
+        let reference_val_mae = f64::from_le_bytes(b8);
+        let name_len = read_usize(r)?;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf8 name"))?;
+        let loaded_store = ParamStore::load(r)?;
+
+        // rebuild the architecture with the same registration order, then
+        // copy the trained weights in
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let ae =
+            Autoencoder::new(&mut store, "ae", dim, &cfg.ae_hidden, cfg.latent_dim, &mut rng);
+        let nets = ControlPointNets::new(&mut store, "net", dim + cfg.latent_dim, &cfg, &mut rng);
+        store.copy_from(&loaded_store);
+        Ok(SelNetModel { cfg, dim, tmax, store, ae, nets, name, reference_val_mae })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::fit;
+    use selnet_data::generators::{fasttext_like, GeneratorConfig};
+    use selnet_eval::SelectivityEstimator;
+    use selnet_metric::DistanceKind;
+    use selnet_workload::{generate_workload, WorkloadConfig};
+
+    #[test]
+    fn save_load_preserves_predictions() {
+        let ds = fasttext_like(&GeneratorConfig::new(300, 5, 3, 31));
+        let mut wcfg = WorkloadConfig::new(20, DistanceKind::Euclidean, 1);
+        wcfg.thresholds_per_query = 8;
+        let w = generate_workload(&ds, &wcfg);
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 5;
+        let (model, _) = fit(&ds, &w, &cfg);
+
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = SelNetModel::load(&mut buf.as_slice()).unwrap();
+
+        let q = &w.test[0];
+        let a = model.predict_many(&q.x, &q.thresholds);
+        let b = loaded.predict_many(&q.x, &q.thresholds);
+        assert_eq!(a, b);
+        assert_eq!(model.name(), loaded.name());
+        assert_eq!(model.tmax(), loaded.tmax());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let buf = vec![1u8; 64];
+        assert!(SelNetModel::load(&mut buf.as_slice()).is_err());
+    }
+}

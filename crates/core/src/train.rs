@@ -1,0 +1,299 @@
+//! Training of the single (non-partitioned) SelNet model: the estimation
+//! loss of Eq. (2) (Huber on log-selectivities) combined with the
+//! autoencoder term of Eq. (4), minimized with Adam; the parameters with
+//! the smallest validation error are kept (Appendix B.2).
+
+use crate::autoencoder::Autoencoder;
+use crate::config::{LossKind, SelNetConfig};
+use crate::model::{ControlPointNets, SelNetModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selnet_data::Dataset;
+use selnet_tensor::{Adam, Graph, Matrix, Optimizer, ParamStore};
+use selnet_workload::{LabeledQuery, Workload};
+
+/// Per-epoch training diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_train_loss: Vec<f64>,
+    /// Validation MAE per epoch.
+    pub epoch_val_mae: Vec<f64>,
+    /// Index of the epoch whose parameters were kept.
+    pub best_epoch: usize,
+}
+
+/// Flattened `(x, t, log(y+eps))` training pairs.
+pub(crate) struct FlatPairs<'a> {
+    pub x: Vec<&'a [f32]>,
+    pub t: Vec<f32>,
+    pub ylog: Vec<f32>,
+}
+
+pub(crate) fn flatten_pairs<'a>(split: &'a [LabeledQuery], log_eps: f32) -> FlatPairs<'a> {
+    let mut x = Vec::new();
+    let mut t = Vec::new();
+    let mut ylog = Vec::new();
+    for q in split {
+        for (i, &ti) in q.thresholds.iter().enumerate() {
+            x.push(q.x.as_slice());
+            t.push(ti);
+            ylog.push((q.selectivities[i] as f32 + log_eps).ln());
+        }
+    }
+    FlatPairs { x, t, ylog }
+}
+
+pub(crate) fn batch_matrices(
+    pairs: &FlatPairs<'_>,
+    order: &[usize],
+    dim: usize,
+) -> (Matrix, Matrix, Matrix) {
+    let b = order.len();
+    let mut xbuf = Vec::with_capacity(b * dim);
+    let mut tbuf = Vec::with_capacity(b);
+    let mut ybuf = Vec::with_capacity(b);
+    for &i in order {
+        xbuf.extend_from_slice(pairs.x[i]);
+        tbuf.push(pairs.t[i]);
+        ybuf.push(pairs.ylog[i]);
+    }
+    (
+        Matrix::from_vec(b, dim, xbuf),
+        Matrix::col_vector(&tbuf),
+        Matrix::col_vector(&ybuf),
+    )
+}
+
+/// Records the configured loss (§5.1 design choice) on log residuals.
+pub(crate) fn apply_loss(
+    g: &mut Graph,
+    residual: selnet_tensor::Var,
+    loss: LossKind,
+    delta: f32,
+) -> selnet_tensor::Var {
+    match loss {
+        LossKind::Huber => g.huber(residual, delta),
+        LossKind::L2 => {
+            let sq = g.square(residual);
+            g.scale(sq, 0.5)
+        }
+        LossKind::L1 => g.abs(residual),
+    }
+}
+
+/// Mean absolute error of the current parameters on a labeled split.
+pub(crate) fn validation_mae(model: &SelNetModel, split: &[LabeledQuery]) -> f64 {
+    let mut abs = 0.0f64;
+    let mut n = 0usize;
+    for q in split {
+        let preds = model.predict_many(&q.x, &q.thresholds);
+        for (p, &y) in preds.iter().zip(&q.selectivities) {
+            abs += (p - y).abs();
+            n += 1;
+        }
+    }
+    abs / n.max(1) as f64
+}
+
+/// Trains a fresh SelNet model (no data partitioning — the `SelNet-ct`
+/// configuration, or `SelNet-ad-ct` when
+/// [`SelNetConfig::query_dependent_tau`] is off).
+pub fn fit(ds: &Dataset, workload: &Workload, cfg: &SelNetConfig) -> (SelNetModel, TrainReport) {
+    let name =
+        if cfg.query_dependent_tau { "SelNet-ct" } else { "SelNet-ad-ct" };
+    fit_named(ds, workload, cfg, name)
+}
+
+/// Like [`fit`] but with an explicit model name (used by the harness).
+pub fn fit_named(
+    ds: &Dataset,
+    workload: &Workload,
+    cfg: &SelNetConfig,
+    name: &str,
+) -> (SelNetModel, TrainReport) {
+    let dim = ds.dim();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = ParamStore::new();
+    let ae = Autoencoder::new(&mut store, "ae", dim, &cfg.ae_hidden, cfg.latent_dim, &mut rng);
+    let nets = ControlPointNets::new(&mut store, "net", dim + cfg.latent_dim, cfg, &mut rng);
+
+    // ---- AE pretraining: database objects, then training queries ----
+    ae.pretrain(
+        &mut store,
+        ds,
+        cfg.ae_pretrain_epochs,
+        cfg.batch_size,
+        cfg.ae_pretrain_sample,
+        cfg.learning_rate,
+        cfg.seed ^ 0x5e1f,
+    );
+    if !workload.train.is_empty() {
+        let queries =
+            Dataset::from_rows(dim, &workload.train.iter().map(|q| q.x.clone()).collect::<Vec<_>>());
+        ae.pretrain(
+            &mut store,
+            &queries,
+            (cfg.ae_pretrain_epochs / 2).max(1),
+            cfg.batch_size,
+            cfg.ae_pretrain_sample,
+            cfg.learning_rate,
+            cfg.seed ^ 0xae,
+        );
+    }
+
+    let mut model = SelNetModel {
+        cfg: cfg.clone(),
+        dim,
+        tmax: workload.tmax,
+        store,
+        ae,
+        nets,
+        name: name.to_string(),
+        reference_val_mae: f64::MAX,
+    };
+
+    let report = train_loop(&mut model, &workload.train, &workload.valid, cfg.epochs, &mut rng);
+    (model, report)
+}
+
+/// The core mini-batch loop, shared by initial training and the §5.4
+/// incremental update. Keeps the parameters with the smallest validation
+/// MAE and stores that MAE as the model's reference.
+pub(crate) fn train_loop(
+    model: &mut SelNetModel,
+    train: &[LabeledQuery],
+    valid: &[LabeledQuery],
+    epochs: usize,
+    rng: &mut StdRng,
+) -> TrainReport {
+    let cfg = model.cfg.clone();
+    let pairs = flatten_pairs(train, cfg.log_eps);
+    let n = pairs.t.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut opt = Adam::new(cfg.learning_rate).with_clip(1.0);
+    let mut report = TrainReport::default();
+    let mut best_mae = f64::MAX;
+    let mut best_store = model.store.clone();
+
+    for epoch in 0..epochs {
+        // shuffle
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let (x, t, ylog) = batch_matrices(&pairs, chunk, model.dim);
+            let mut g = Graph::new();
+            let xv = g.leaf(x);
+            let tv = g.leaf(t);
+            let yv = g.leaf(ylog);
+            let (tau, p, z) = model.forward_control_points(&mut g, &model.store, xv);
+            let yhat = g.pwl_interp(tau, p, tv);
+            let yhat_log = g.ln_eps(yhat, cfg.log_eps);
+            let r = g.sub(yhat_log, yv);
+            let per_pair = apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
+            let est_loss = g.mean(per_pair);
+            // autoencoder reconstruction on this batch (Eq. 4)
+            let recon = model.ae.decode(&mut g, &model.store, z);
+            let dx = g.sub(recon, xv);
+            let sq = g.square(dx);
+            let ae_loss = g.mean(sq);
+            let ae_scaled = g.scale(ae_loss, cfg.lambda_ae);
+            let loss = g.add(est_loss, ae_scaled);
+            g.backward(loss);
+            epoch_loss += g.value(loss).get(0, 0) as f64;
+            batches += 1;
+            let grads = g.param_grads();
+            opt.step(&mut model.store, &grads);
+        }
+        report.epoch_train_loss.push(epoch_loss / batches.max(1) as f64);
+        let mae = validation_mae(model, valid);
+        report.epoch_val_mae.push(mae);
+        if mae < best_mae {
+            best_mae = mae;
+            best_store = model.store.clone();
+            report.best_epoch = epoch;
+        }
+    }
+    if best_mae.is_finite() {
+        model.store = best_store;
+        model.reference_val_mae = best_mae;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selnet_data::generators::{fasttext_like, GeneratorConfig};
+    use selnet_eval::{evaluate, SelectivityEstimator};
+    use selnet_metric::DistanceKind;
+    use selnet_workload::{generate_workload, WorkloadConfig};
+
+    fn fixture() -> (Dataset, Workload) {
+        let ds = fasttext_like(&GeneratorConfig::new(2000, 6, 4, 7));
+        let cfg = WorkloadConfig {
+            num_queries: 60,
+            thresholds_per_query: 12,
+            kind: DistanceKind::Euclidean,
+            scheme: selnet_workload::ThresholdScheme::GeometricSelectivity,
+            seed: 1,
+            threads: 4,
+        };
+        let w = generate_workload(&ds, &cfg);
+        (ds, w)
+    }
+
+    #[test]
+    fn training_reduces_validation_mae() {
+        let (ds, w) = fixture();
+        let cfg = SelNetConfig::tiny();
+        let (model, report) = fit(&ds, &w, &cfg);
+        assert_eq!(report.epoch_val_mae.len(), cfg.epochs);
+        let first = report.epoch_val_mae[0];
+        let best = report.epoch_val_mae[report.best_epoch];
+        assert!(best < first, "val MAE should improve: {first} -> {best}");
+        assert!(model.reference_val_mae.is_finite());
+    }
+
+    #[test]
+    fn trained_model_beats_constant_predictor() {
+        let (ds, w) = fixture();
+        let (model, _) = fit(&ds, &w, &SelNetConfig::tiny());
+        let metrics = evaluate(&model, &w.test);
+
+        // constant predictor at the mean label
+        let mean_label: f64 = {
+            let flat = Workload::flatten(&w.train);
+            flat.iter().map(|f| f.2).sum::<f64>() / flat.len() as f64
+        };
+        struct Const(f64);
+        impl SelectivityEstimator for Const {
+            fn estimate(&self, _: &[f32], _: f32) -> f64 {
+                self.0
+            }
+            fn name(&self) -> &str {
+                "const"
+            }
+        }
+        let baseline = evaluate(&Const(mean_label), &w.test);
+        assert!(
+            metrics.mse < baseline.mse,
+            "SelNet MSE {} should beat constant {}",
+            metrics.mse,
+            baseline.mse
+        );
+    }
+
+    #[test]
+    fn trained_model_remains_consistent() {
+        let (ds, w) = fixture();
+        let (model, _) = fit(&ds, &w, &SelNetConfig::tiny());
+        let score =
+            selnet_eval::empirical_monotonicity(&model, &w.test, 10, 50, w.tmax);
+        assert_eq!(score, 100.0);
+    }
+}

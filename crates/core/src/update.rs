@@ -1,0 +1,221 @@
+//! Incremental learning under database updates (§5.4).
+//!
+//! After an update the caller refreshes the ground-truth labels (see
+//! `selnet_workload::UpdateSimulator`); the model then:
+//!
+//! 1. re-tests validation MAE — if the drift from the stored reference is
+//!    within `δ_U`, the update is ignored;
+//! 2. otherwise continues training *from the current parameters* (not from
+//!    scratch, preventing catastrophic forgetting) with the full training
+//!    data until the validation MAE stops improving for 3 consecutive
+//!    epochs.
+
+use crate::model::SelNetModel;
+use crate::partitioned::{continue_training, partitioned_validation_mae, PartitionedSelNet};
+use crate::train::{train_loop, validation_mae, TrainReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selnet_data::Dataset;
+use selnet_metric::DistanceKind;
+use selnet_workload::LabeledQuery;
+
+/// The §5.4 update policy.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdatePolicy {
+    /// `δ_U`: retrain only if validation MAE drifts by more than this.
+    pub mae_tolerance: f64,
+    /// Stop after this many epochs without validation improvement
+    /// (paper: 3).
+    pub patience: usize,
+    /// Hard cap on incremental epochs.
+    pub max_epochs: usize,
+}
+
+impl Default for UpdatePolicy {
+    fn default() -> Self {
+        UpdatePolicy { mae_tolerance: 1.0, patience: 3, max_epochs: 30 }
+    }
+}
+
+/// Outcome of an update check.
+#[derive(Debug, Clone)]
+pub enum UpdateDecision {
+    /// Drift within tolerance; model untouched.
+    Skipped {
+        /// Observed MAE drift.
+        mae_drift: f64,
+    },
+    /// Model was incrementally retrained.
+    Retrained {
+        /// Epochs actually run before early stop.
+        epochs_run: usize,
+        /// New reference validation MAE.
+        new_val_mae: f64,
+        /// Per-epoch diagnostics.
+        report: TrainReport,
+    },
+}
+
+impl UpdateDecision {
+    /// Whether the model parameters changed.
+    pub fn retrained(&self) -> bool {
+        matches!(self, UpdateDecision::Retrained { .. })
+    }
+}
+
+impl SelNetModel {
+    /// Applies the §5.4 rule after the labels in `train` / `valid` have
+    /// been refreshed for a database update.
+    pub fn check_and_update(
+        &mut self,
+        train: &[LabeledQuery],
+        valid: &[LabeledQuery],
+        policy: &UpdatePolicy,
+    ) -> UpdateDecision {
+        let fresh = validation_mae(self, valid);
+        let drift = (fresh - self.reference_val_mae).abs();
+        if drift <= policy.mae_tolerance {
+            return UpdateDecision::Skipped { mae_drift: drift };
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x0badf00d);
+        // continue from the current parameters with patience-based stopping
+        let mut report = TrainReport::default();
+        let mut best = f64::MAX;
+        let mut since = 0usize;
+        let mut epochs_run = 0usize;
+        self.reference_val_mae = f64::MAX;
+        for _ in 0..policy.max_epochs {
+            let r = train_loop(self, train, valid, 1, &mut rng);
+            let mae = r.epoch_val_mae[0];
+            report.epoch_train_loss.extend(r.epoch_train_loss);
+            report.epoch_val_mae.push(mae);
+            epochs_run += 1;
+            if mae < best {
+                best = mae;
+                report.best_epoch = epochs_run - 1;
+                since = 0;
+            } else {
+                since += 1;
+                if since >= policy.patience {
+                    break;
+                }
+            }
+        }
+        self.reference_val_mae = best;
+        UpdateDecision::Retrained { epochs_run, new_val_mae: best, report }
+    }
+
+    /// Stored reference validation MAE.
+    pub fn reference_val_mae(&self) -> f64 {
+        self.reference_val_mae
+    }
+}
+
+impl PartitionedSelNet {
+    /// Partitioned variant of the §5.4 rule. `ds` is the *updated*
+    /// database (needed to refresh per-partition labels).
+    pub fn check_and_update(
+        &mut self,
+        ds: &Dataset,
+        kind: DistanceKind,
+        train: &[LabeledQuery],
+        valid: &[LabeledQuery],
+        policy: &UpdatePolicy,
+    ) -> UpdateDecision {
+        let fresh = partitioned_validation_mae(self, valid);
+        let drift = (fresh - self.reference_val_mae).abs();
+        if drift <= policy.mae_tolerance {
+            return UpdateDecision::Skipped { mae_drift: drift };
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x0badf00d);
+        let report = continue_training(
+            self,
+            ds,
+            train,
+            valid,
+            kind,
+            policy.max_epochs,
+            policy.patience,
+            &mut rng,
+        );
+        let new_val_mae = self.reference_val_mae;
+        UpdateDecision::Retrained {
+            epochs_run: report.epoch_val_mae.len(),
+            new_val_mae,
+            report,
+        }
+    }
+
+    /// Stored reference validation MAE.
+    pub fn reference_val_mae(&self) -> f64 {
+        self.reference_val_mae
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelNetConfig;
+    use crate::train::fit;
+    use selnet_data::generators::{fasttext_like, GeneratorConfig};
+    use selnet_workload::{generate_workload, ThresholdScheme, UpdateSimulator, WorkloadConfig};
+
+    #[test]
+    fn small_drift_is_skipped() {
+        let ds = fasttext_like(&GeneratorConfig::new(400, 5, 3, 21));
+        let cfg = WorkloadConfig {
+            num_queries: 30,
+            thresholds_per_query: 8,
+            kind: DistanceKind::Euclidean,
+            scheme: ThresholdScheme::GeometricSelectivity,
+            seed: 3,
+            threads: 4,
+        };
+        let w = generate_workload(&ds, &cfg);
+        let mut scfg = SelNetConfig::tiny();
+        scfg.epochs = 8;
+        let (mut model, _) = fit(&ds, &w, &scfg);
+        // no data change: drift 0 => skipped under any positive tolerance
+        let policy = UpdatePolicy { mae_tolerance: 1e9, ..Default::default() };
+        let decision = model.check_and_update(&w.train, &w.valid, &policy);
+        assert!(!decision.retrained());
+    }
+
+    #[test]
+    fn large_drift_triggers_incremental_retraining() {
+        let mut ds = fasttext_like(&GeneratorConfig::new(400, 5, 3, 22));
+        let cfg = WorkloadConfig {
+            num_queries: 30,
+            thresholds_per_query: 8,
+            kind: DistanceKind::Euclidean,
+            scheme: ThresholdScheme::GeometricSelectivity,
+            seed: 4,
+            threads: 4,
+        };
+        let w = generate_workload(&ds, &cfg);
+        let mut scfg = SelNetConfig::tiny();
+        scfg.epochs = 8;
+        let (mut model, _) = fit(&ds, &w, &scfg);
+
+        // heavy update stream to force drift
+        let mut train = w.train.clone();
+        let mut valid = w.valid.clone();
+        let mut sim = UpdateSimulator::new(5);
+        sim.insert_prob = 1.0;
+        sim.batch = 40;
+        for _ in 0..8 {
+            let mut splits = vec![train.as_mut_slice(), valid.as_mut_slice()];
+            sim.step(&mut ds, &mut splits, DistanceKind::Euclidean);
+        }
+
+        let policy = UpdatePolicy { mae_tolerance: 0.01, patience: 2, max_epochs: 6 };
+        let mae_before = crate::train::validation_mae(&model, &valid);
+        let decision = model.check_and_update(&train, &valid, &policy);
+        assert!(decision.retrained());
+        let mae_after = crate::train::validation_mae(&model, &valid);
+        assert!(
+            mae_after <= mae_before,
+            "incremental training should not hurt: {mae_before} -> {mae_after}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Binary dataset serialization (little-endian, self-contained format).
+
+use crate::dataset::Dataset;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SELNETD1";
+
+/// Writes a dataset to `w`.
+pub fn write_dataset(ds: &Dataset, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let name = ds.name().as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&(ds.dim() as u64).to_le_bytes())?;
+    w.write_all(&(ds.len() as u64).to_le_bytes())?;
+    for &x in ds.flat() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset previously written by [`write_dataset`].
+pub fn read_dataset(r: &mut impl Read) -> io::Result<Dataset> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad dataset magic"));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let name_len = u32::from_le_bytes(b4) as usize;
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf8 dataset name"))?;
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let dim = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let n = u64::from_le_bytes(b8) as usize;
+    let mut bytes = vec![0u8; n * dim * 4];
+    r.read_exact(&mut bytes)?;
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Dataset::from_flat(dim, data).with_name(name))
+}
+
+/// Saves a dataset to a file (buffered).
+pub fn save(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_dataset(ds, &mut w)?;
+    w.flush()
+}
+
+/// Loads a dataset from a file (buffered).
+pub fn load(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_dataset(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{fasttext_like, GeneratorConfig};
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let ds = fasttext_like(&GeneratorConfig::new(50, 7, 3, 11));
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(&mut buf.as_slice()).unwrap();
+        assert_eq!(ds, back);
+        assert_eq!(back.name(), "fasttext-like");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 32];
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let ds = fasttext_like(&GeneratorConfig::new(20, 4, 2, 5));
+        let path = std::env::temp_dir().join("selnet_data_io_test.bin");
+        save(&ds, &path).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds, back);
+    }
+}

@@ -1,0 +1,19 @@
+//! # selnet-data
+//!
+//! Dataset storage and the synthetic generators that stand in for the
+//! paper's three embedding collections (fasttext, face, YouTube; §7.1).
+//! The generators are documented substitutions (see `DESIGN.md`): each one
+//! reproduces the structural property of the original collection that the
+//! evaluation exercises — non-normalized heavy-tailed clusters for
+//! fasttext, unit-sphere clusters for face, and very high-dimensional
+//! normalized vectors for YouTube.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod generators;
+pub mod io;
+pub mod stats;
+
+pub use dataset::Dataset;
+pub use generators::{face_like, fasttext_like, gaussian, uniform, youtube_like, GeneratorConfig};

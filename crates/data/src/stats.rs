@@ -1,0 +1,108 @@
+//! Summary statistics used for bandwidth selection, threshold ranges, and
+//! sanity reporting.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selnet_metric::DistanceKind;
+
+/// Per-dimension mean and standard deviation.
+#[derive(Clone, Debug)]
+pub struct ColumnStats {
+    /// Per-dimension means.
+    pub mean: Vec<f32>,
+    /// Per-dimension standard deviations.
+    pub std: Vec<f32>,
+}
+
+/// Computes per-dimension mean/std (population) of a dataset.
+pub fn column_stats(ds: &Dataset) -> ColumnStats {
+    let d = ds.dim();
+    let n = ds.len().max(1) as f64;
+    let mut mean = vec![0.0f64; d];
+    for row in ds.iter() {
+        for (m, &x) in mean.iter_mut().zip(row) {
+            *m += x as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut var = vec![0.0f64; d];
+    for row in ds.iter() {
+        for ((v, &m), &x) in var.iter_mut().zip(&mean).zip(row) {
+            let diff = x as f64 - m;
+            *v += diff * diff;
+        }
+    }
+    ColumnStats {
+        mean: mean.iter().map(|&m| m as f32).collect(),
+        std: var.iter().map(|&v| ((v / n).sqrt()) as f32).collect(),
+    }
+}
+
+/// Statistics of pairwise distances estimated from a random sample.
+#[derive(Clone, Debug)]
+pub struct DistanceStats {
+    /// Sample mean distance.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Smallest sampled distance.
+    pub min: f64,
+    /// Largest sampled distance.
+    pub max: f64,
+}
+
+/// Estimates the pairwise-distance distribution from `pairs` random pairs.
+/// Used to pick `tmax` and KDE bandwidths.
+pub fn distance_stats(
+    ds: &Dataset,
+    kind: DistanceKind,
+    pairs: usize,
+    seed: u64,
+) -> DistanceStats {
+    assert!(ds.len() >= 2, "need at least two vectors");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = 0.0f64;
+    let mut sumsq = 0.0f64;
+    let mut min = f64::MAX;
+    let mut max = 0.0f64;
+    for _ in 0..pairs {
+        let i = rng.gen_range(0..ds.len());
+        let mut j = rng.gen_range(0..ds.len());
+        while j == i {
+            j = rng.gen_range(0..ds.len());
+        }
+        let d = kind.eval(ds.row(i), ds.row(j)) as f64;
+        sum += d;
+        sumsq += d * d;
+        min = min.min(d);
+        max = max.max(d);
+    }
+    let mean = sum / pairs as f64;
+    let var = (sumsq / pairs as f64 - mean * mean).max(0.0);
+    DistanceStats { mean, std: var.sqrt(), min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{face_like, GeneratorConfig};
+
+    #[test]
+    fn column_stats_on_known_data() {
+        let ds = Dataset::from_rows(2, &[vec![0.0, 2.0], vec![2.0, 4.0]]);
+        let s = column_stats(&ds);
+        assert_eq!(s.mean, vec![1.0, 3.0]);
+        assert_eq!(s.std, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn cosine_distance_stats_bounded() {
+        let ds = face_like(&GeneratorConfig::new(200, 8, 4, 3));
+        let s = distance_stats(&ds, DistanceKind::Cosine, 500, 7);
+        assert!(s.min >= 0.0 && s.max <= 2.0 + 1e-6);
+        assert!(s.mean > 0.0 && s.std > 0.0);
+    }
+}

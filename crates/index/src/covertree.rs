@@ -1,0 +1,390 @@
+//! A simplified cover tree (Beygelzimer et al., with the simplified
+//! insertion of Izbicki & Shelton, ICML'15 — the structure the paper uses
+//! for data partitioning, §5.3).
+//!
+//! Every node holds one data point and a level `l`; children lie within
+//! `covdist = 2^l` of their parent, so the whole subtree of a node lies
+//! within `2 * covdist` of it. The tree supports exact range counting /
+//! reporting, nearest-neighbor search, and exporting the ball regions the
+//! partitioner consumes.
+
+use selnet_data::Dataset;
+use selnet_metric::DistanceKind;
+
+/// One tree node: a data point index plus children.
+#[derive(Debug, Clone)]
+struct CtNode {
+    /// Index of the point in the dataset.
+    point: usize,
+    /// Level: children are within `2^level` of this node.
+    level: i32,
+    /// Child node ids.
+    children: Vec<usize>,
+    /// Number of points in this subtree (including self).
+    subtree_size: usize,
+    /// Exact max distance from this node's point to any subtree point.
+    max_dist: f32,
+}
+
+/// A ball region exported for partitioning: a representative center and the
+/// exact radius covering all member points.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Index of the center point in the dataset.
+    pub center: usize,
+    /// Exact covering radius.
+    pub radius: f32,
+    /// Dataset indices of all member points.
+    pub members: Vec<usize>,
+}
+
+/// Cover tree over a [`Dataset`] under the *Euclidean* metric.
+///
+/// Cosine workloads first normalize vectors and convert thresholds with
+/// [`DistanceKind::to_euclidean_threshold`]; see `selnet-metric`.
+pub struct CoverTree<'a> {
+    ds: &'a Dataset,
+    nodes: Vec<CtNode>,
+    root: Option<usize>,
+}
+
+fn covdist(level: i32) -> f32 {
+    2.0f32.powi(level)
+}
+
+impl<'a> CoverTree<'a> {
+    /// Builds a cover tree by sequential insertion of all dataset points.
+    pub fn build(ds: &'a Dataset) -> Self {
+        let mut tree = CoverTree { ds, nodes: Vec::with_capacity(ds.len()), root: None };
+        for i in 0..ds.len() {
+            tree.insert(i);
+        }
+        tree.finalize();
+        tree
+    }
+
+    fn dist(&self, a: usize, b: usize) -> f32 {
+        DistanceKind::Euclidean.eval(self.ds.row(a), self.ds.row(b))
+    }
+
+    fn dist_to(&self, a: usize, q: &[f32]) -> f32 {
+        DistanceKind::Euclidean.eval(self.ds.row(a), q)
+    }
+
+    fn insert(&mut self, point: usize) {
+        let Some(root) = self.root else {
+            self.nodes.push(CtNode {
+                point,
+                level: 0,
+                children: Vec::new(),
+                subtree_size: 1,
+                max_dist: 0.0,
+            });
+            self.root = Some(0);
+            return;
+        };
+        let d_root = self.dist(self.nodes[root].point, point);
+        // raise the root level until the root ball covers the new point
+        while d_root > covdist(self.nodes[root].level) {
+            self.nodes[root].level += 1;
+        }
+        self.insert_rec(root, point);
+    }
+
+    fn insert_rec(&mut self, node: usize, point: usize) {
+        // descend into a child whose covering ball already contains the point
+        let child_ids: Vec<usize> = self.nodes[node].children.clone();
+        for c in child_ids {
+            let d = self.dist(self.nodes[c].point, point);
+            if d <= covdist(self.nodes[c].level) {
+                self.insert_rec(c, point);
+                return;
+            }
+        }
+        let level = self.nodes[node].level - 1;
+        self.nodes.push(CtNode {
+            point,
+            level,
+            children: Vec::new(),
+            subtree_size: 1,
+            max_dist: 0.0,
+        });
+        let new_id = self.nodes.len() - 1;
+        self.nodes[node].children.push(new_id);
+    }
+
+    /// Computes subtree sizes and exact max-distance bounds bottom-up.
+    fn finalize(&mut self) {
+        let Some(root) = self.root else { return };
+        // post-order traversal without recursion (the tree can be deep)
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            stack.extend_from_slice(&self.nodes[n].children);
+        }
+        for &n in order.iter().rev() {
+            let mut size = 1;
+            for &c in &self.nodes[n].children.clone() {
+                size += self.nodes[c].subtree_size;
+            }
+            self.nodes[n].subtree_size = size;
+            // exact max distance over all subtree points
+            let mut maxd = 0.0f32;
+            let p = self.nodes[n].point;
+            for q in self.subtree_points(n) {
+                maxd = maxd.max(self.dist(p, q));
+            }
+            self.nodes[n].max_dist = maxd;
+        }
+    }
+
+    fn subtree_points(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nodes[node].subtree_size.max(1));
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            out.push(self.nodes[n].point);
+            stack.extend_from_slice(&self.nodes[n].children);
+        }
+        out
+    }
+
+    /// Number of points indexed.
+    pub fn len(&self) -> usize {
+        self.root.map_or(0, |r| self.nodes[r].subtree_size)
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Exact count of points within distance `t` of `q` (the selectivity).
+    pub fn range_count(&self, q: &[f32], t: f32) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut count = 0usize;
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            let d = self.dist_to(node.point, q);
+            if d + node.max_dist <= t {
+                count += node.subtree_size; // whole subtree inside
+                continue;
+            }
+            if d - node.max_dist > t {
+                continue; // whole subtree outside
+            }
+            if d <= t {
+                count += 1;
+            }
+            stack.extend_from_slice(&node.children);
+        }
+        count
+    }
+
+    /// Exact indices of points within distance `t` of `q`.
+    pub fn range_query(&self, q: &[f32], t: f32) -> Vec<usize> {
+        let Some(root) = self.root else { return Vec::new() };
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            let d = self.dist_to(node.point, q);
+            if d + node.max_dist <= t {
+                out.extend(self.subtree_points(n));
+                continue;
+            }
+            if d - node.max_dist > t {
+                continue;
+            }
+            if d <= t {
+                out.push(node.point);
+            }
+            stack.extend_from_slice(&node.children);
+        }
+        out
+    }
+
+    /// Exact nearest neighbor of `q` (branch-and-bound). Returns
+    /// `(point index, distance)`, or `None` for an empty tree.
+    pub fn nearest(&self, q: &[f32]) -> Option<(usize, f32)> {
+        let root = self.root?;
+        let mut best = (self.nodes[root].point, self.dist_to(self.nodes[root].point, q));
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            let d = self.dist_to(node.point, q);
+            if d < best.1 {
+                best = (node.point, d);
+            }
+            if d - node.max_dist >= best.1 {
+                continue; // cannot contain anything closer
+            }
+            stack.extend_from_slice(&node.children);
+        }
+        Some(best)
+    }
+
+    /// Exports maximal ball regions whose subtree size is at most
+    /// `max_region_size` — this is the paper's partition-ratio cut: "cover
+    /// tree will not expand its nodes if the number of data inside is
+    /// smaller than r·|D|" (§5.3).
+    pub fn regions(&self, max_region_size: usize) -> Vec<Region> {
+        let Some(root) = self.root else { return Vec::new() };
+        let max_region_size = max_region_size.max(1);
+        let mut regions = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if node.subtree_size <= max_region_size || node.children.is_empty() {
+                regions.push(Region {
+                    center: node.point,
+                    radius: node.max_dist,
+                    members: self.subtree_points(n),
+                });
+            } else {
+                // the node's own point becomes a singleton region; children
+                // are explored further
+                regions.push(Region {
+                    center: node.point,
+                    radius: 0.0,
+                    members: vec![node.point],
+                });
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        regions
+    }
+
+    /// Maximum node depth (for structural tests/diagnostics).
+    pub fn depth(&self) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut max_depth = 0usize;
+        let mut stack = vec![(root, 1usize)];
+        while let Some((n, d)) = stack.pop() {
+            max_depth = max_depth.max(d);
+            for &c in &self.nodes[n].children {
+                stack.push((c, d + 1));
+            }
+        }
+        max_depth
+    }
+
+    /// Verifies the covering invariant: every child lies within
+    /// `covdist(child.level) * 2` of its parent and subtrees within
+    /// `max_dist`. Used by tests.
+    pub fn check_invariants(&self) -> bool {
+        let Some(root) = self.root else { return true };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            let p = node.point;
+            for q in self.subtree_points(n) {
+                if self.dist(p, q) > node.max_dist + 1e-4 {
+                    return false;
+                }
+            }
+            stack.extend_from_slice(&node.children);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selnet_data::generators::{fasttext_like, GeneratorConfig};
+
+    fn brute_count(ds: &Dataset, q: &[f32], t: f32) -> usize {
+        ds.iter().filter(|r| DistanceKind::Euclidean.eval(r, q) <= t).count()
+    }
+
+    #[test]
+    fn indexes_all_points() {
+        let ds = fasttext_like(&GeneratorConfig::new(300, 6, 4, 1));
+        let tree = CoverTree::build(&ds);
+        assert_eq!(tree.len(), 300);
+        assert!(tree.check_invariants());
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        let ds = fasttext_like(&GeneratorConfig::new(400, 5, 3, 2));
+        let tree = CoverTree::build(&ds);
+        for qi in [0usize, 57, 123, 399] {
+            let q = ds.row(qi).to_vec();
+            for t in [0.0f32, 0.5, 1.0, 2.0, 5.0, 50.0] {
+                assert_eq!(
+                    tree.range_count(&q, t),
+                    brute_count(&ds, &q, t),
+                    "qi={qi} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_returns_exact_indices() {
+        let ds = fasttext_like(&GeneratorConfig::new(200, 4, 3, 3));
+        let tree = CoverTree::build(&ds);
+        let q = ds.row(10).to_vec();
+        let t = 1.5;
+        let mut got = tree.range_query(&q, t);
+        got.sort_unstable();
+        let mut expected: Vec<usize> = (0..ds.len())
+            .filter(|&i| DistanceKind::Euclidean.eval(ds.row(i), &q) <= t)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let ds = fasttext_like(&GeneratorConfig::new(250, 6, 4, 4));
+        let tree = CoverTree::build(&ds);
+        for qi in [3usize, 77, 150] {
+            // query slightly offset from a data point
+            let mut q = ds.row(qi).to_vec();
+            q[0] += 0.01;
+            let (_, d) = tree.nearest(&q).unwrap();
+            let best = (0..ds.len())
+                .map(|i| DistanceKind::Euclidean.eval(ds.row(i), &q))
+                .fold(f32::MAX, f32::min);
+            assert!((d - best).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn regions_cover_every_point_exactly_once() {
+        let ds = fasttext_like(&GeneratorConfig::new(500, 5, 6, 5));
+        let tree = CoverTree::build(&ds);
+        let regions = tree.regions(50);
+        let mut seen = vec![false; ds.len()];
+        for r in &regions {
+            for &m in &r.members {
+                assert!(!seen[m], "point {m} in two regions");
+                seen[m] = true;
+            }
+            // radius must cover all members
+            for &m in &r.members {
+                let d = DistanceKind::Euclidean.eval(ds.row(r.center), ds.row(m));
+                assert!(d <= r.radius + 1e-4);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some point missing from regions");
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let ds = Dataset::new(3);
+        let tree = CoverTree::build(&ds);
+        assert!(tree.is_empty());
+        assert_eq!(tree.range_count(&[0.0, 0.0, 0.0], 10.0), 0);
+        assert!(tree.nearest(&[0.0, 0.0, 0.0]).is_none());
+
+        let ds1 = Dataset::from_rows(2, &[vec![1.0, 1.0]]);
+        let t1 = CoverTree::build(&ds1);
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1.range_count(&[1.0, 1.0], 0.0), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Lloyd's k-means with k-means++ seeding (the KM partitioner of §7.8).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selnet_data::Dataset;
+use selnet_metric::vectors::squared_euclidean;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, one row per cluster.
+    pub centroids: Vec<Vec<f32>>,
+    /// Per-point cluster assignment.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// Runs k-means with k-means++ initialization.
+///
+/// # Panics
+/// Panics if `k == 0` or the dataset is empty.
+pub fn kmeans(ds: &Dataset, k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!ds.is_empty(), "dataset must be non-empty");
+    let k = k.min(ds.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(ds.row(rng.gen_range(0..ds.len())).to_vec());
+    let mut d2 = vec![f32::MAX; ds.len()];
+    while centroids.len() < k {
+        let last = centroids.last().expect("non-empty");
+        let mut total = 0.0f64;
+        for (i, row) in ds.iter().enumerate() {
+            let d = squared_euclidean(row, last);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+            total += d2[i] as f64;
+        }
+        if total <= 0.0 {
+            // all remaining points coincide with a centroid; duplicate one
+            centroids.push(centroids[0].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = ds.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d as f64;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(ds.row(chosen).to_vec());
+    }
+
+    let mut assignments = vec![0usize; ds.len()];
+    let mut inertia = f64::MAX;
+    for _ in 0..max_iters {
+        // assignment step
+        let mut changed = false;
+        let mut new_inertia = 0.0f64;
+        for (i, row) in ds.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::MAX;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = squared_euclidean(row, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+            new_inertia += best_d as f64;
+        }
+        inertia = new_inertia;
+        if !changed {
+            break;
+        }
+        // update step
+        let dim = ds.dim();
+        let mut sums = vec![vec![0.0f64; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, row) in ds.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(row) {
+                *s += x as f64;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (x, s) in centroid.iter_mut().zip(&sums[c]) {
+                    *x = (*s / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+    KMeansResult { centroids, assignments, inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            let j = i as f32 * 0.01;
+            rows.push(vec![0.0 + j, 0.0 - j]);
+            rows.push(vec![10.0 - j, 10.0 + j]);
+        }
+        Dataset::from_rows(2, &rows)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let ds = two_blob_dataset();
+        let res = kmeans(&ds, 2, 50, 0);
+        // points alternate blob membership; check each blob is pure
+        let a = res.assignments[0];
+        for i in (0..ds.len()).step_by(2) {
+            assert_eq!(res.assignments[i], a);
+        }
+        for i in (1..ds.len()).step_by(2) {
+            assert_ne!(res.assignments[i], a);
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let ds = two_blob_dataset();
+        let i1 = kmeans(&ds, 1, 50, 1).inertia;
+        let i2 = kmeans(&ds, 2, 50, 1).inertia;
+        assert!(i2 < i1);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let ds = Dataset::from_rows(1, &[vec![0.0], vec![1.0]]);
+        let res = kmeans(&ds, 10, 10, 2);
+        assert_eq!(res.centroids.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = two_blob_dataset();
+        let a = kmeans(&ds, 3, 30, 7);
+        let b = kmeans(&ds, 3, 30, 7);
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

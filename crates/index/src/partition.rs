@@ -1,0 +1,325 @@
+//! Data partitioning for the partitioned estimator (§5.3, §7.8).
+//!
+//! Three methods, matching Table 10:
+//!
+//! * **CT** — cover-tree regions merged greedily into `K` size-balanced
+//!   clusters (the paper's default);
+//! * **RP** — random partitioning (for non-metric distances the paper
+//!   replaces the indicator with all-ones, which RP also uses);
+//! * **KM** — k-means clusters.
+//!
+//! A [`Partitioning`] also provides the intersection indicator
+//! `f_c(x, t) ∈ {0,1}^K`: cluster `i` is *valid* for query `(x, t)` iff the
+//! query ball intersects one of the cluster's ball regions. Cosine
+//! workloads run the geometry on normalized vectors with the threshold
+//! converted to Euclidean (`‖u−v‖ = sqrt(2 t_cos)`), exactly the unit-vector
+//! equivalence the paper invokes.
+
+use crate::covertree::CoverTree;
+use crate::kmeans::kmeans;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selnet_data::Dataset;
+use selnet_metric::{vectors, DistanceKind};
+
+/// Partitioning strategy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PartitionMethod {
+    /// Cover-tree regions + greedy size-balancing merge. `ratio` is the
+    /// paper's partition ratio `r`: regions stop expanding below `r·|D|`.
+    CoverTree {
+        /// Maximum region size as a fraction of `|D|`.
+        ratio: f64,
+    },
+    /// Uniform random assignment; the indicator is all-ones.
+    Random,
+    /// k-means clusters; each cluster is a single ball region.
+    KMeans,
+}
+
+/// A ball `(center, radius)` used by the intersection test.
+#[derive(Clone, Debug)]
+pub struct BallRegion {
+    /// Region center (already normalized for cosine workloads).
+    pub center: Vec<f32>,
+    /// Covering radius in Euclidean space.
+    pub radius: f32,
+}
+
+/// The result of partitioning a dataset into `K` disjoint parts.
+#[derive(Clone, Debug)]
+pub struct Partitioning {
+    k: usize,
+    kind: DistanceKind,
+    method: PartitionMethod,
+    assignments: Vec<usize>,
+    /// Ball regions per cluster; empty outer vec = indicator always true.
+    regions: Vec<Vec<BallRegion>>,
+}
+
+impl Partitioning {
+    /// Partitions `ds` into `k` parts with the given method.
+    ///
+    /// For [`DistanceKind::Cosine`], geometry runs on a normalized copy of
+    /// the data.
+    pub fn build(
+        ds: &Dataset,
+        kind: DistanceKind,
+        method: PartitionMethod,
+        k: usize,
+        seed: u64,
+    ) -> Partitioning {
+        assert!(k > 0, "k must be positive");
+        assert!(!ds.is_empty(), "dataset must be non-empty");
+        // geometry dataset: normalized copy for cosine
+        let geo;
+        let geo_ref: &Dataset = match kind {
+            DistanceKind::Euclidean => ds,
+            DistanceKind::Cosine => {
+                let mut copy = ds.clone();
+                copy.normalize_rows();
+                geo = copy;
+                &geo
+            }
+        };
+        match method {
+            PartitionMethod::CoverTree { ratio } => {
+                Self::build_cover_tree(geo_ref, kind, k, ratio)
+            }
+            PartitionMethod::Random => Self::build_random(ds.len(), kind, k, seed),
+            PartitionMethod::KMeans => Self::build_kmeans(geo_ref, kind, k, seed),
+        }
+    }
+
+    fn build_cover_tree(geo: &Dataset, kind: DistanceKind, k: usize, ratio: f64) -> Partitioning {
+        let tree = CoverTree::build(geo);
+        let max_region = ((geo.len() as f64 * ratio).ceil() as usize).max(1);
+        let mut regions = tree.regions(max_region);
+        // Greedy merge (§5.3): sort regions by decreasing size, then assign
+        // each to the currently-smallest cluster.
+        regions.sort_by_key(|r| std::cmp::Reverse(r.members.len()));
+        let k = k.min(regions.len().max(1));
+        let mut cluster_sizes = vec![0usize; k];
+        let mut cluster_regions: Vec<Vec<BallRegion>> = vec![Vec::new(); k];
+        let mut assignments = vec![0usize; geo.len()];
+        for region in regions {
+            let target = cluster_sizes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &s)| s)
+                .map(|(i, _)| i)
+                .expect("k > 0");
+            cluster_sizes[target] += region.members.len();
+            for &m in &region.members {
+                assignments[m] = target;
+            }
+            cluster_regions[target].push(BallRegion {
+                center: geo.row(region.center).to_vec(),
+                radius: region.radius,
+            });
+        }
+        Partitioning {
+            k,
+            kind,
+            method: PartitionMethod::CoverTree { ratio },
+            assignments,
+            regions: cluster_regions,
+        }
+    }
+
+    fn build_random(n: usize, kind: DistanceKind, k: usize, seed: u64) -> Partitioning {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let assignments = (0..n).map(|_| rng.gen_range(0..k)).collect();
+        Partitioning {
+            k,
+            kind,
+            method: PartitionMethod::Random,
+            assignments,
+            regions: Vec::new(), // all-ones indicator
+        }
+    }
+
+    fn build_kmeans(geo: &Dataset, kind: DistanceKind, k: usize, seed: u64) -> Partitioning {
+        let res = kmeans(geo, k, 50, seed);
+        let k = res.centroids.len();
+        let mut radius = vec![0.0f32; k];
+        for (i, row) in geo.iter().enumerate() {
+            let c = res.assignments[i];
+            let d = DistanceKind::Euclidean.eval(row, &res.centroids[c]);
+            radius[c] = radius[c].max(d);
+        }
+        let regions = res
+            .centroids
+            .iter()
+            .zip(&radius)
+            .map(|(c, &r)| vec![BallRegion { center: c.clone(), radius: r }])
+            .collect();
+        Partitioning {
+            k,
+            kind,
+            method: PartitionMethod::KMeans,
+            assignments: res.assignments,
+            regions,
+        }
+    }
+
+    /// Number of parts.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The method used to build this partitioning.
+    pub fn method(&self) -> PartitionMethod {
+        self.method
+    }
+
+    /// Per-point cluster assignment.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Dataset indices belonging to part `i`.
+    pub fn part_indices(&self, i: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &c)| (c == i).then_some(idx))
+            .collect()
+    }
+
+    /// Part sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// The intersection indicator `f_c(x, t)`: `true` for every cluster the
+    /// query ball could intersect. Always all-true for random partitioning.
+    pub fn indicator(&self, x: &[f32], t: f32) -> Vec<bool> {
+        if self.regions.is_empty() {
+            return vec![true; self.k];
+        }
+        // convert to Euclidean geometry
+        let (q, te): (Vec<f32>, f32) = match self.kind {
+            DistanceKind::Euclidean => (x.to_vec(), t),
+            DistanceKind::Cosine => {
+                let mut q = x.to_vec();
+                vectors::normalize(&mut q);
+                (q, self.kind.to_euclidean_threshold(t))
+            }
+        };
+        self.regions
+            .iter()
+            .map(|cluster| {
+                cluster.iter().any(|r| {
+                    DistanceKind::Euclidean.eval(&q, &r.center) <= te + r.radius + 1e-6
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selnet_data::generators::{face_like, fasttext_like, GeneratorConfig};
+
+    fn check_valid_partitioning(p: &Partitioning, n: usize) {
+        assert_eq!(p.assignments().len(), n);
+        assert!(p.assignments().iter().all(|&a| a < p.k()));
+        let total: usize = p.sizes().iter().sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn cover_tree_partitioning_is_balanced() {
+        let ds = fasttext_like(&GeneratorConfig::new(600, 6, 5, 1));
+        let p = Partitioning::build(&ds, DistanceKind::Euclidean,
+            PartitionMethod::CoverTree { ratio: 0.05 }, 3, 0);
+        check_valid_partitioning(&p, 600);
+        let sizes = p.sizes();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 2.0, "imbalanced: {sizes:?}");
+    }
+
+    #[test]
+    fn random_partitioning_indicator_is_all_ones() {
+        let ds = fasttext_like(&GeneratorConfig::new(100, 4, 2, 2));
+        let p = Partitioning::build(&ds, DistanceKind::Euclidean, PartitionMethod::Random, 4, 1);
+        check_valid_partitioning(&p, 100);
+        assert_eq!(p.indicator(ds.row(0), 0.01), vec![true; 4]);
+    }
+
+    #[test]
+    fn kmeans_partitioning_covers_all_points() {
+        let ds = fasttext_like(&GeneratorConfig::new(300, 5, 4, 3));
+        let p = Partitioning::build(&ds, DistanceKind::Euclidean, PartitionMethod::KMeans, 3, 2);
+        check_valid_partitioning(&p, 300);
+    }
+
+    /// The indicator must never prune a cluster that actually contains a
+    /// point within the query ball (soundness of f_c).
+    #[test]
+    fn indicator_is_sound_euclidean() {
+        let ds = fasttext_like(&GeneratorConfig::new(400, 5, 4, 4));
+        for method in [
+            PartitionMethod::CoverTree { ratio: 0.05 },
+            PartitionMethod::KMeans,
+        ] {
+            let p = Partitioning::build(&ds, DistanceKind::Euclidean, method, 3, 5);
+            for qi in [0usize, 111, 222] {
+                let q = ds.row(qi);
+                for t in [0.3f32, 1.0, 3.0] {
+                    let ind = p.indicator(q, t);
+                    for (i, row) in ds.iter().enumerate() {
+                        if DistanceKind::Euclidean.eval(q, row) <= t {
+                            let c = p.assignments()[i];
+                            assert!(
+                                ind[c],
+                                "cluster {c} pruned but contains in-range point {i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indicator_is_sound_cosine() {
+        let ds = face_like(&GeneratorConfig::new(300, 8, 5, 6));
+        let p = Partitioning::build(&ds, DistanceKind::Cosine,
+            PartitionMethod::CoverTree { ratio: 0.05 }, 3, 7);
+        for qi in [5usize, 150] {
+            let q = ds.row(qi);
+            for t in [0.05f32, 0.2, 0.6] {
+                let ind = p.indicator(q, t);
+                for (i, row) in ds.iter().enumerate() {
+                    if DistanceKind::Cosine.eval(q, row) <= t {
+                        assert!(ind[p.assignments()[i]]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indicator_prunes_far_clusters() {
+        // two tight far-apart blobs: a tiny query ball in one blob must not
+        // intersect the other blob's cluster
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            rows.push(vec![i as f32 * 1e-3, 0.0]);
+            rows.push(vec![100.0 + i as f32 * 1e-3, 0.0]);
+        }
+        let ds = Dataset::from_rows(2, &rows);
+        let p = Partitioning::build(&ds, DistanceKind::Euclidean,
+            PartitionMethod::KMeans, 2, 0);
+        let ind = p.indicator(&[0.0, 0.0], 0.5);
+        assert_eq!(ind.iter().filter(|&&b| b).count(), 1, "expected one valid cluster");
+    }
+}

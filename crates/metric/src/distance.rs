@@ -1,0 +1,161 @@
+//! Distance functions used by the estimators and workloads.
+
+use crate::vectors::{dot, norm, squared_euclidean};
+
+/// The distance families evaluated in the paper (§7.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DistanceKind {
+    /// Euclidean (`l2`) distance.
+    Euclidean,
+    /// Cosine distance `1 - cos(u, v)`.
+    Cosine,
+}
+
+impl DistanceKind {
+    /// Short label used in table output (`l2` / `cos`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DistanceKind::Euclidean => "l2",
+            DistanceKind::Cosine => "cos",
+        }
+    }
+
+    /// Whether the distance satisfies the triangle inequality directly
+    /// (`Euclidean`) or only after the unit-vector conversion (`Cosine`).
+    pub fn is_metric(self) -> bool {
+        matches!(self, DistanceKind::Euclidean)
+    }
+
+    /// Computes the distance between two vectors.
+    #[inline]
+    pub fn eval(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            DistanceKind::Euclidean => squared_euclidean(a, b).sqrt(),
+            DistanceKind::Cosine => cosine_distance(a, b),
+        }
+    }
+
+    /// For unit vectors, converts a threshold in this distance into the
+    /// equivalent Euclidean threshold: `‖u−v‖ = sqrt(2·t_cos)`.
+    ///
+    /// Euclidean thresholds pass through unchanged. This underlies the
+    /// paper's claim that the cover tree still works for cosine distance
+    /// over normalized vectors (§5.3).
+    pub fn to_euclidean_threshold(self, t: f32) -> f32 {
+        match self {
+            DistanceKind::Euclidean => t,
+            DistanceKind::Cosine => (2.0 * t.max(0.0)).sqrt(),
+        }
+    }
+
+    /// Inverse of [`DistanceKind::to_euclidean_threshold`].
+    pub fn from_euclidean_threshold(self, d: f32) -> f32 {
+        match self {
+            DistanceKind::Euclidean => d,
+            DistanceKind::Cosine => 0.5 * d * d,
+        }
+    }
+}
+
+/// Cosine distance `1 - cos(u, v)`, safe for zero vectors (distance 1).
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    // clamp for numeric safety: cos in [-1, 1]
+    let cos = (dot(a, b) / (na * nb)).clamp(-1.0, 1.0);
+    1.0 - cos
+}
+
+/// Object-safe distance interface for generic code.
+pub trait Distance: Send + Sync {
+    /// Distance between two vectors.
+    fn eval(&self, a: &[f32], b: &[f32]) -> f32;
+    /// The distance family.
+    fn kind(&self) -> DistanceKind;
+}
+
+/// Euclidean distance as a [`Distance`] object.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EuclideanDistance;
+
+impl Distance for EuclideanDistance {
+    fn eval(&self, a: &[f32], b: &[f32]) -> f32 {
+        squared_euclidean(a, b).sqrt()
+    }
+
+    fn kind(&self) -> DistanceKind {
+        DistanceKind::Euclidean
+    }
+}
+
+/// Cosine distance as a [`Distance`] object.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CosineDistance;
+
+impl Distance for CosineDistance {
+    fn eval(&self, a: &[f32], b: &[f32]) -> f32 {
+        cosine_distance(a, b)
+    }
+
+    fn kind(&self) -> DistanceKind {
+        DistanceKind::Cosine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors::normalize;
+
+    #[test]
+    fn euclidean_basic() {
+        assert!((DistanceKind::Euclidean.eval(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_identical_vectors_zero() {
+        let v = [0.3, -0.7, 0.2];
+        assert!(DistanceKind::Cosine.eval(&v, &v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        assert!((DistanceKind::Cosine.eval(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_opposite_is_two() {
+        assert!((DistanceKind::Cosine.eval(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_one() {
+        assert!((DistanceKind::Cosine.eval(&[0.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_conversion_roundtrip() {
+        for t in [0.0f32, 0.1, 0.5, 1.0, 1.7] {
+            let d = DistanceKind::Cosine.to_euclidean_threshold(t);
+            let back = DistanceKind::Cosine.from_euclidean_threshold(d);
+            assert!((back - t).abs() < 1e-6);
+        }
+        assert_eq!(DistanceKind::Euclidean.to_euclidean_threshold(0.7), 0.7);
+    }
+
+    #[test]
+    fn unit_vector_equivalence_cos_vs_l2() {
+        // For unit vectors: ||u-v||^2 = 2 * (1 - cos) exactly.
+        let mut u = vec![0.2, -0.5, 0.8, 0.1];
+        let mut v = vec![-0.3, 0.4, 0.5, 0.7];
+        normalize(&mut u);
+        normalize(&mut v);
+        let cos_d = DistanceKind::Cosine.eval(&u, &v);
+        let l2 = DistanceKind::Euclidean.eval(&u, &v);
+        assert!((l2 - DistanceKind::Cosine.to_euclidean_threshold(cos_d)).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,103 @@
+//! Small dense-vector helpers shared across the workspace.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths (debug builds assert).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    // 4-way unrolled accumulation: keeps the loop auto-vectorizable and
+    // reduces sequential FP dependency chains.
+    let chunks = a.len() / 4;
+    let (a4, a_rest) = a.split_at(chunks * 4);
+    let (b4, b_rest) = b.split_at(chunks * 4);
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc0 += ca[0] * cb[0];
+        acc1 += ca[1] * cb[1];
+        acc2 += ca[2] * cb[2];
+        acc3 += ca[3] * cb[3];
+    }
+    acc += acc0 + acc1 + acc2 + acc3;
+    for (&x, &y) in a_rest.iter().zip(b_rest) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Euclidean norm of a vector.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two vectors.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Normalizes `v` to unit length in place. Zero vectors are left unchanged.
+pub fn normalize(v: &mut [f32]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+/// Normalizes every row of a flat row-major buffer in place.
+pub fn normalize_all(data: &mut [f32], dim: usize) {
+    assert!(dim > 0 && data.len().is_multiple_of(dim), "buffer not a multiple of dim");
+    for row in data.chunks_exact_mut(dim) {
+        normalize(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        assert!((v[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0, 0.0, 0.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_all_rows() {
+        let mut data = vec![3.0, 4.0, 0.0, 5.0];
+        normalize_all(&mut data, 2);
+        assert!((norm(&data[0..2]) - 1.0).abs() < 1e-6);
+        assert!((norm(&data[2..4]) - 1.0).abs() < 1e-6);
+    }
+}

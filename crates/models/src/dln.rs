@@ -1,0 +1,426 @@
+//! Deep Lattice Network (the DLN baseline, You et al., NIPS'17).
+//!
+//! Six layers as in the paper's Appendix B.2: calibrators → linear
+//! embedding → calibrators → ensemble of lattices → calibrators → linear
+//! embedding. Monotonicity in `t` is enforced structurally:
+//!
+//! * the `t` calibrator uses softmax increments + prefix sum (monotone ↑);
+//! * embedding weights leaving the `t` channel are softplus-reparameterized
+//!   (non-negative);
+//! * intermediate calibrators are monotone ↑;
+//! * lattice vertex parameters are projected after every optimizer step so
+//!   each lattice is monotone in every input (the standard lattice
+//!   monotonicity projection);
+//! * the output layer's weights are softplus-reparameterized.
+//!
+//! The model predicts `log(y + ε)`; a monotone log-prediction implies a
+//! monotone (consistent) selectivity estimate. Note the keypoints of every
+//! calibrator are *fixed and evenly spaced* — exactly the inflexibility the
+//! paper's §6.2 analysis (and our Figure 3 reproduction) exposes.
+
+use crate::common::{from_log, train_minibatch, NeuralConfig};
+use crate::dnn::replicate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selnet_data::Dataset;
+use selnet_eval::SelectivityEstimator;
+use selnet_tensor::{init, Graph, Matrix, ParamId, ParamStore, Var};
+use selnet_workload::Workload;
+
+/// DLN hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct DlnConfig {
+    /// Shared neural settings (`hidden` is unused; DLN has its own shape).
+    pub base: NeuralConfig,
+    /// Keypoints per calibrator.
+    pub keypoints: usize,
+    /// Embedding width (number of lattice input channels).
+    pub embed: usize,
+    /// Number of lattices in the ensemble.
+    pub lattices: usize,
+    /// Inputs per lattice (2^m parameters each).
+    pub lattice_dim: usize,
+}
+
+impl Default for DlnConfig {
+    fn default() -> Self {
+        DlnConfig {
+            base: NeuralConfig::default(),
+            keypoints: 8,
+            embed: 6,
+            lattices: 4,
+            lattice_dim: 3,
+        }
+    }
+}
+
+impl DlnConfig {
+    /// Small fast configuration for tests.
+    pub fn tiny() -> Self {
+        DlnConfig {
+            base: NeuralConfig::tiny(),
+            keypoints: 6,
+            embed: 4,
+            lattices: 2,
+            lattice_dim: 2,
+        }
+    }
+}
+
+/// A bank of 1-D piece-wise-linear calibrators with fixed, evenly spaced
+/// keypoints and a per-dimension monotonicity flag.
+#[derive(Clone, Debug)]
+struct CalibratorBank {
+    /// Raw parameters, `1 x (dims * keypoints)`.
+    raw: ParamId,
+    /// Fixed keypoints, `dims * keypoints` flattened.
+    keypoints: Vec<f32>,
+    dims: usize,
+    k: usize,
+    /// Monotone dims map through softmax increments + prefix sum.
+    monotone: Vec<bool>,
+}
+
+impl CalibratorBank {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        ranges: &[(f32, f32)],
+        k: usize,
+        monotone: Vec<bool>,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let dims = ranges.len();
+        assert_eq!(monotone.len(), dims, "one monotone flag per dim");
+        assert!(k >= 2, "need at least two keypoints");
+        let raw = store.add(name.to_string(), init::normal(1, dims * k, 0.3, rng));
+        let mut keypoints = Vec::with_capacity(dims * k);
+        for &(lo, hi) in ranges {
+            let span = (hi - lo).max(1e-6);
+            for i in 0..k {
+                keypoints.push(lo + span * i as f32 / (k - 1) as f32);
+            }
+        }
+        CalibratorBank { raw, keypoints, dims, k, monotone }
+    }
+
+    /// Calibrates all dims of `inputs` (`R x dims`); returns `R x dims`.
+    fn calibrate_all(&self, g: &mut Graph, store: &ParamStore, inputs: Var) -> Var {
+        let raw = store.inject(g, self.raw);
+        let mut out: Option<Var> = None;
+        for d in 0..self.dims {
+            let slice = g.slice_cols(raw, d * self.k, (d + 1) * self.k);
+            let p = if self.monotone[d] {
+                let inc = g.softmax_rows(slice);
+                g.cumsum_cols(inc)
+            } else {
+                g.sigmoid(slice)
+            };
+            let tau =
+                g.leaf(Matrix::row_vector(&self.keypoints[d * self.k..(d + 1) * self.k]));
+            let col = g.slice_cols(inputs, d, d + 1);
+            let c = g.pwl_interp(tau, p, col);
+            out = Some(match out {
+                Some(acc) => g.concat_cols(acc, c),
+                None => c,
+            });
+        }
+        out.expect("dims > 0")
+    }
+}
+
+/// Projects a lattice parameter vector (`1 x 2^m`) to be monotone
+/// non-decreasing along every dimension: sweeps all axis-aligned vertex
+/// pairs, averaging violators, until a fixpoint (or 32 sweeps).
+pub fn project_lattice_monotone(params: &mut [f32], m: usize) {
+    let size = 1usize << m;
+    assert_eq!(params.len(), size, "params must have 2^m entries");
+    for _ in 0..32 {
+        let mut changed = false;
+        for j in 0..m {
+            let bit = 1usize << j;
+            for v in 0..size {
+                if v & bit == 0 {
+                    let hi = v | bit;
+                    if params[v] > params[hi] {
+                        let avg = 0.5 * (params[v] + params[hi]);
+                        params[v] = avg;
+                        params[hi] = avg;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// A trained DLN estimator.
+pub struct DlnEstimator {
+    store: ParamStore,
+    arch: DlnArch,
+    log_eps: f32,
+    name: String,
+}
+
+/// The architecture (parameter ids + shapes), separable from the store so
+/// the training closures can share it.
+#[derive(Clone)]
+struct DlnArch {
+    input_cal: CalibratorBank,
+    embed_w_free: ParamId,
+    embed_w_t: ParamId,
+    embed_b: ParamId,
+    mid_cal: CalibratorBank,
+    lattice_params: Vec<ParamId>,
+    lattice_inputs: Vec<Vec<usize>>,
+    out_cal: CalibratorBank,
+    out_w: ParamId,
+    out_b: ParamId,
+    dim: usize,
+}
+
+impl DlnArch {
+    fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var, t: Var) -> Var {
+        // layer 1: calibrate [x; t] (x dims free, t monotone)
+        let input = g.concat_cols(x, t);
+        let calibrated = self.input_cal.calibrate_all(g, store, input);
+        let xc = g.slice_cols(calibrated, 0, self.dim);
+        let tc = g.slice_cols(calibrated, self.dim, self.dim + 1);
+        // layer 2: linear embedding; the t channel has non-negative weights
+        let wf = store.inject(g, self.embed_w_free);
+        let wt_raw = store.inject(g, self.embed_w_t);
+        let wt = g.softplus(wt_raw);
+        let b = store.inject(g, self.embed_b);
+        let xe = g.matmul(xc, wf);
+        let te = g.matmul(tc, wt);
+        let sum = g.add(xe, te);
+        let emb = g.add_row_vec(sum, b);
+        let emb01 = g.sigmoid(emb); // squash into the calibrator domain
+        // layer 3: monotone calibrators per embedding channel
+        let cal3 = self.mid_cal.calibrate_all(g, store, emb01);
+        // layer 4: lattice ensemble
+        let mut lat_out: Option<Var> = None;
+        for (pid, dims) in self.lattice_params.iter().zip(&self.lattice_inputs) {
+            let mut cols: Option<Var> = None;
+            for &d in dims {
+                let c = g.slice_cols(cal3, d, d + 1);
+                cols = Some(match cols {
+                    Some(acc) => g.concat_cols(acc, c),
+                    None => c,
+                });
+            }
+            let input = cols.expect("lattice has inputs");
+            let params = store.inject(g, *pid);
+            let o = g.lattice(input, params);
+            lat_out = Some(match lat_out {
+                Some(acc) => g.concat_cols(acc, o),
+                None => o,
+            });
+        }
+        let lat = lat_out.expect("at least one lattice");
+        // layer 5: monotone calibrators on (squashed) lattice outputs
+        let lat01 = g.sigmoid(lat);
+        let cal5 = self.out_cal.calibrate_all(g, store, lat01);
+        // layer 6: linear output with non-negative weights
+        let ow_raw = store.inject(g, self.out_w);
+        let ow = g.softplus(ow_raw);
+        let ob = store.inject(g, self.out_b);
+        let z = g.matmul(cal5, ow);
+        g.add_row_vec(z, ob)
+    }
+}
+
+impl DlnEstimator {
+    /// Trains the DLN on a workload.
+    pub fn fit(ds: &Dataset, workload: &Workload, cfg: &DlnConfig) -> Self {
+        let dim = ds.dim();
+        let mut rng = StdRng::seed_from_u64(cfg.base.seed);
+        let mut store = ParamStore::new();
+
+        // feature ranges for the input calibrators
+        let stats = selnet_data::stats::column_stats(ds);
+        let mut ranges: Vec<(f32, f32)> = stats
+            .mean
+            .iter()
+            .zip(&stats.std)
+            .map(|(&m, &s)| (m - 3.0 * s, m + 3.0 * s))
+            .collect();
+        ranges.push((0.0, workload.tmax));
+        let mut monotone = vec![false; dim];
+        monotone.push(true); // t is the last dim
+        let input_cal =
+            CalibratorBank::new(&mut store, "cal1", &ranges, cfg.keypoints, monotone, &mut rng);
+
+        let embed_w_free = store.add("embed.wf", init::xavier(dim, cfg.embed, &mut rng));
+        let embed_w_t = store.add("embed.wt", init::normal(1, cfg.embed, 0.5, &mut rng));
+        let embed_b = store.add("embed.b", Matrix::zeros(1, cfg.embed));
+
+        let mid_ranges = vec![(0.0f32, 1.0f32); cfg.embed];
+        let mid_cal = CalibratorBank::new(
+            &mut store,
+            "cal3",
+            &mid_ranges,
+            cfg.keypoints,
+            vec![true; cfg.embed],
+            &mut rng,
+        );
+
+        let m = cfg.lattice_dim.min(cfg.embed).max(1);
+        let lattice_params: Vec<ParamId> = (0..cfg.lattices.max(1))
+            .map(|i| {
+                let mut p = init::normal(1, 1 << m, 0.3, &mut rng);
+                project_lattice_monotone(p.data_mut(), m);
+                store.add(format!("lattice{i}"), p)
+            })
+            .collect();
+        let lattice_inputs: Vec<Vec<usize>> = (0..cfg.lattices.max(1))
+            .map(|i| (0..m).map(|j| (i * m + j) % cfg.embed).collect())
+            .collect();
+
+        let out_ranges = vec![(0.0f32, 1.0f32); cfg.lattices.max(1)];
+        let out_cal = CalibratorBank::new(
+            &mut store,
+            "cal5",
+            &out_ranges,
+            cfg.keypoints,
+            vec![true; cfg.lattices.max(1)],
+            &mut rng,
+        );
+        let out_w = store.add("out.w", init::normal(cfg.lattices.max(1), 1, 0.5, &mut rng));
+        let out_b = store.add("out.b", Matrix::zeros(1, 1));
+
+        let arch = DlnArch {
+            input_cal,
+            embed_w_free,
+            embed_w_t,
+            embed_b,
+            mid_cal,
+            lattice_params: lattice_params.clone(),
+            lattice_inputs,
+            out_cal,
+            out_w,
+            out_b,
+            dim,
+        };
+
+        let log_eps = cfg.base.log_eps;
+        let arch_f = arch.clone();
+        let arch_p = arch.clone();
+        let lat_ids = lattice_params;
+        let lat_m = m;
+        train_minibatch(
+            &mut store,
+            &workload.train,
+            &workload.valid,
+            &cfg.base,
+            dim,
+            move |g, s, x, t| (arch_f.forward(g, s, x, t), true),
+            move |s, x, ts| {
+                let mut g = Graph::new();
+                let xv = g.leaf(replicate(x, ts.len()));
+                let tv = g.leaf(Matrix::col_vector(ts));
+                let out = arch_p.forward(&mut g, s, xv, tv);
+                g.value(out).data().iter().map(|&z| from_log(z as f64, log_eps)).collect()
+            },
+            move |s| {
+                for &pid in &lat_ids {
+                    let p = s.value_mut(pid);
+                    project_lattice_monotone(p.data_mut(), lat_m);
+                }
+            },
+        );
+        DlnEstimator { store, arch, log_eps, name: "DLN".into() }
+    }
+}
+
+impl SelectivityEstimator for DlnEstimator {
+    fn estimate(&self, x: &[f32], t: f32) -> f64 {
+        self.estimate_many(x, &[t])[0]
+    }
+
+    fn estimate_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
+        assert_eq!(x.len(), self.arch.dim, "dimension mismatch");
+        let mut g = Graph::new();
+        let xv = g.leaf(replicate(x, ts.len()));
+        let tv = g.leaf(Matrix::col_vector(ts));
+        let out = self.arch.forward(&mut g, &self.store, xv, tv);
+        g.value(out).data().iter().map(|&z| from_log(z as f64, self.log_eps)).collect()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn guarantees_consistency(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selnet_data::generators::{fasttext_like, GeneratorConfig};
+    use selnet_eval::evaluate;
+    use selnet_metric::DistanceKind;
+    use selnet_workload::{generate_workload, WorkloadConfig};
+
+    #[test]
+    fn lattice_projection_makes_monotone() {
+        let mut p = vec![3.0f32, 1.0, 0.5, 2.0, -1.0, 4.0, 0.0, 0.2];
+        project_lattice_monotone(&mut p, 3);
+        for j in 0..3usize {
+            let bit = 1usize << j;
+            for v in 0..8usize {
+                if v & bit == 0 {
+                    assert!(
+                        p[v] <= p[v | bit] + 1e-6,
+                        "dim {j}: p[{v}]={} > p[{}]={}",
+                        p[v],
+                        v | bit,
+                        p[v | bit]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_idempotent_on_monotone_input() {
+        let mut p = vec![0.0f32, 1.0, 2.0, 3.0];
+        let orig = p.clone();
+        project_lattice_monotone(&mut p, 2);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn dln_is_consistent_by_construction() {
+        let ds = fasttext_like(&GeneratorConfig::new(800, 5, 3, 29));
+        let mut wcfg = WorkloadConfig::new(40, DistanceKind::Euclidean, 11);
+        wcfg.thresholds_per_query = 8;
+        wcfg.threads = 4;
+        let w = generate_workload(&ds, &wcfg);
+        let mut cfg = DlnConfig::tiny();
+        cfg.base.epochs = 6;
+        let model = DlnEstimator::fit(&ds, &w, &cfg);
+        let score = selnet_eval::empirical_monotonicity(&model, &w.test, 8, 60, w.tmax);
+        assert_eq!(score, 100.0, "DLN must be monotone in t");
+    }
+
+    #[test]
+    fn dln_trains_and_predicts_finite() {
+        let ds = fasttext_like(&GeneratorConfig::new(600, 5, 3, 31));
+        let mut wcfg = WorkloadConfig::new(30, DistanceKind::Euclidean, 13);
+        wcfg.thresholds_per_query = 6;
+        wcfg.threads = 2;
+        let w = generate_workload(&ds, &wcfg);
+        let mut cfg = DlnConfig::tiny();
+        cfg.base.epochs = 5;
+        let model = DlnEstimator::fit(&ds, &w, &cfg);
+        let m = evaluate(&model, &w.test);
+        assert!(m.mse.is_finite() && m.count > 0);
+        assert!(model.guarantees_consistency());
+    }
+}

@@ -1,0 +1,74 @@
+//! Clenshaw–Curtis quadrature (the integration scheme behind UMNN, §6.3).
+//!
+//! Nodes are the Chebyshev points `ξ_j = cos(π j / N)`, `j = 0..N`; weights
+//! come from the classic cosine-series formula. CC with `N+1` points
+//! integrates polynomials of degree `N` exactly.
+
+/// Clenshaw–Curtis nodes and weights on `[-1, 1]` for `n + 1` points.
+pub fn clenshaw_curtis(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1, "need at least two points");
+    let nodes: Vec<f64> =
+        (0..=n).map(|j| (std::f64::consts::PI * j as f64 / n as f64).cos()).collect();
+    let mut weights = vec![0.0f64; n + 1];
+    for (j, w) in weights.iter_mut().enumerate() {
+        let c = if j == 0 || j == n { 1.0 } else { 2.0 };
+        let mut sum = 1.0f64;
+        for k in 1..=(n / 2) {
+            let b = if 2 * k == n { 1.0 } else { 2.0 };
+            sum -= b / ((4 * k * k - 1) as f64)
+                * (2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64).cos();
+        }
+        *w = c * sum / n as f64;
+    }
+    (nodes, weights)
+}
+
+/// Integrates `f` over `[0, t]` with `n + 1` CC points.
+pub fn integrate_cc(f: impl Fn(f64) -> f64, t: f64, n: usize) -> f64 {
+    let (nodes, weights) = clenshaw_curtis(n);
+    let half = t / 2.0;
+    nodes
+        .iter()
+        .zip(&weights)
+        .map(|(&xi, &w)| w * f(half * (xi + 1.0)))
+        .sum::<f64>()
+        * half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        for n in [2usize, 4, 8, 16, 17] {
+            let (_, w) = clenshaw_curtis(n);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 2.0).abs() < 1e-12, "n={n}: weight sum {sum}");
+        }
+    }
+
+    #[test]
+    fn integrates_polynomials_exactly() {
+        // CC with N+1 points is exact for degree <= N
+        let n = 8;
+        // ∫_0^2 x^3 dx = 4
+        let v = integrate_cc(|x| x * x * x, 2.0, n);
+        assert!((v - 4.0).abs() < 1e-10, "{v}");
+        // ∫_0^1 (5x^4 - 2x) dx = 1 - 1 = 0
+        let v = integrate_cc(|x| 5.0 * x.powi(4) - 2.0 * x, 1.0, n);
+        assert!(v.abs() < 1e-10, "{v}");
+    }
+
+    #[test]
+    fn integrates_exponential_accurately() {
+        // ∫_0^1 e^x dx = e - 1
+        let v = integrate_cc(f64::exp, 1.0, 16);
+        assert!((v - (std::f64::consts::E - 1.0)).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn zero_interval_is_zero() {
+        assert_eq!(integrate_cc(|x| x + 1.0, 0.0, 8), 0.0);
+    }
+}

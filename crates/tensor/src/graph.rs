@@ -1,0 +1,1018 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a fresh tape per training step. Operations evaluate
+//! eagerly (values are computed when the op is recorded) and record enough
+//! information for the backward sweep. [`Graph::backward`] walks the tape in
+//! reverse, accumulating gradients into every node.
+//!
+//! Besides the standard neural-network ops, the tape implements the fused
+//! operations the SelNet paper needs:
+//!
+//! * [`Graph::norml2`] — the paper's `Norml2` normalized-square map (§5.2),
+//! * [`Graph::cumsum_cols`] — the prefix-sum (`M_psum`) operator,
+//! * [`Graph::pwl_interp`] — evaluation of the continuous piece-wise linear
+//!   estimator (Eq. 1) with gradients to both control-point vectors,
+//! * [`Graph::block_linear`] — the per-control-point decoder of model M,
+//! * [`Graph::lattice`] — multilinear lattice interpolation (used by the
+//!   DLN baseline),
+//! * [`Graph::huber`] — the robust Huber loss (δ = 1.345 by default).
+
+use crate::matrix::Matrix;
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Identifier of a trainable parameter inside a
+/// [`ParamStore`](crate::params::ParamStore).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Clone, Debug)]
+enum Op {
+    Leaf,
+    MatMul(usize, usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    /// matrix (R x C) + row vector (1 x C) broadcast over rows
+    AddRowVec(usize, usize),
+    /// matrix (R x C) * column vector (R x 1) broadcast over columns
+    MulColVec(usize, usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    Relu(usize),
+    LeakyRelu(usize, f32),
+    /// `elu(x) + 1`, strictly positive; used by UMNN's integrand.
+    EluPlusOne(usize),
+    Softplus(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Exp(usize),
+    /// `ln(max(x, 0) + eps)`
+    LnEps(usize, f32),
+    Abs(usize),
+    Square(usize),
+    SoftmaxRows(usize),
+    Sum(usize),
+    Mean(usize),
+    RowSum(usize),
+    ConcatCols(usize, usize),
+    SliceCols(usize, usize, usize),
+    CumsumCols(usize),
+    Norml2(usize, f32),
+    Huber(usize, f32),
+    PwlInterp {
+        tau: usize,
+        p: usize,
+        t: usize,
+        /// per-row segment index chosen in the forward pass (-1 below, -2 above range)
+        segments: Vec<i64>,
+    },
+    BlockLinear {
+        input: usize,
+        weight: usize,
+        bias: usize,
+        blocks: usize,
+    },
+    Lattice {
+        input: usize,
+        params: usize,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    param: Option<ParamId>,
+}
+
+/// A fresh autodiff tape. Build the computation with the op methods, then
+/// call [`Graph::backward`] on a scalar node.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(64) }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { value, grad: None, op, param: None });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a constant leaf (inputs, targets). It still receives a
+    /// gradient during the backward sweep, which is simply discarded.
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records a trainable-parameter leaf tagged with `id` so its gradient
+    /// can be collected after [`Graph::backward`].
+    pub fn param_leaf(&mut self, id: ParamId, value: Matrix) -> Var {
+        let v = self.push(value, Op::Leaf);
+        self.nodes[v.0].param = Some(id);
+        v
+    }
+
+    /// The value held at `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient accumulated at `v`; zeros if backward never reached it.
+    pub fn grad(&self, v: Var) -> Matrix {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => Matrix::zeros(self.nodes[v.0].value.rows(), self.nodes[v.0].value.cols()),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Collects `(ParamId, gradient)` pairs for every parameter leaf.
+    pub fn param_grads(&self) -> Vec<(ParamId, Matrix)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.param.map(|id| (id, n.grad.clone().unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols())))))
+            .collect()
+    }
+
+    // ---- binary ops ----
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// Elementwise sum of two same-shape matrices.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = {
+            let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            va.zip_map(vb, |x, y| x + y)
+        };
+        self.push(v, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = {
+            let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            va.zip_map(vb, |x, y| x - y)
+        };
+        self.push(v, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = {
+            let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            va.zip_map(vb, |x, y| x * y)
+        };
+        self.push(v, Op::Mul(a.0, b.0))
+    }
+
+    /// Adds a `1 x C` row vector to every row of an `R x C` matrix
+    /// (the bias op).
+    pub fn add_row_vec(&mut self, m: Var, row: Var) -> Var {
+        let v = {
+            let (vm, vr) = (&self.nodes[m.0].value, &self.nodes[row.0].value);
+            assert_eq!(vr.rows(), 1, "add_row_vec: rhs must be a row vector");
+            assert_eq!(vm.cols(), vr.cols(), "add_row_vec: column mismatch");
+            let mut out = vm.clone();
+            for i in 0..out.rows() {
+                let r = out.row_mut(i);
+                for (o, &b) in r.iter_mut().zip(vr.data()) {
+                    *o += b;
+                }
+            }
+            out
+        };
+        self.push(v, Op::AddRowVec(m.0, row.0))
+    }
+
+    /// Multiplies every column of an `R x C` matrix by an `R x 1` column
+    /// vector (per-row scaling, e.g. gate weights).
+    pub fn mul_col_vec(&mut self, m: Var, col: Var) -> Var {
+        let v = {
+            let (vm, vc) = (&self.nodes[m.0].value, &self.nodes[col.0].value);
+            assert_eq!(vc.cols(), 1, "mul_col_vec: rhs must be a column vector");
+            assert_eq!(vm.rows(), vc.rows(), "mul_col_vec: row mismatch");
+            let mut out = vm.clone();
+            for i in 0..out.rows() {
+                let s = vc.get(i, 0);
+                for o in out.row_mut(i) {
+                    *o *= s;
+                }
+            }
+            out
+        };
+        self.push(v, Op::MulColVec(m.0, col.0))
+    }
+
+    // ---- scalar ops ----
+
+    /// Multiplies by a compile-time constant.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * alpha);
+        self.push(v, Op::Scale(a.0, alpha))
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + c);
+        self.push(v, Op::AddScalar(a.0))
+    }
+
+    // ---- unary activations ----
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a.0))
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x });
+        self.push(v, Op::LeakyRelu(a.0, alpha))
+    }
+
+    /// `elu(x) + 1 = exp(x)` for `x <= 0`, `x + 1` for `x > 0`; strictly
+    /// positive, used for UMNN's positive integrand.
+    pub fn elu_plus_one(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x + 1.0 } else { x.exp() });
+        self.push(v, Op::EluPlusOne(a.0))
+    }
+
+    /// Numerically-stable softplus `ln(1 + e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| {
+            if x > 20.0 {
+                x
+            } else if x < -20.0 {
+                x.exp()
+            } else {
+                x.exp().ln_1p()
+            }
+        });
+        self.push(v, Op::Softplus(a.0))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a.0))
+    }
+
+    /// Elementwise exponential (inputs are clamped to 30 to stay finite).
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.min(30.0).exp());
+        self.push(v, Op::Exp(a.0))
+    }
+
+    /// `ln(max(x, 0) + eps)` — the log-space mapping used by the paper's
+    /// loss (the `eps` padding prevents `ln 0`).
+    pub fn ln_eps(&mut self, a: Var, eps: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| (x.max(0.0) + eps).ln());
+        self.push(v, Op::LnEps(a.0, eps))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::abs);
+        self.push(v, Op::Abs(a.0))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * x);
+        self.push(v, Op::Square(a.0))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let va = &self.nodes[a.0].value;
+        let mut out = va.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        self.push(out, Op::SoftmaxRows(a.0))
+    }
+
+    // ---- reductions ----
+
+    /// Sum of all elements as a `1 x 1` node.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Matrix::full(1, 1, self.nodes[a.0].value.sum() as f32);
+        self.push(v, Op::Sum(a.0))
+    }
+
+    /// Mean of all elements as a `1 x 1` node.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = Matrix::full(1, 1, self.nodes[a.0].value.mean() as f32);
+        self.push(v, Op::Mean(a.0))
+    }
+
+    /// Per-row sum as an `R x 1` node.
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.row_sums();
+        self.push(v, Op::RowSum(a.0))
+    }
+
+    // ---- structural ops ----
+
+    /// Concatenates two matrices with the same row count along columns.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hstack(&self.nodes[b.0].value);
+        self.push(v, Op::ConcatCols(a.0, b.0))
+    }
+
+    /// Extracts columns `[start, end)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let va = &self.nodes[a.0].value;
+        assert!(start <= end && end <= va.cols(), "slice_cols out of range");
+        let mut out = Matrix::zeros(va.rows(), end - start);
+        for i in 0..va.rows() {
+            out.row_mut(i).copy_from_slice(&va.row(i)[start..end]);
+        }
+        self.push(out, Op::SliceCols(a.0, start, end))
+    }
+
+    /// Per-row prefix sum: `out[i][j] = sum_{k <= j} in[i][k]`.
+    ///
+    /// This is the `M_psum` operator from the paper's network architecture
+    /// (§5.2), which converts learned increments into non-decreasing control
+    /// point sequences.
+    pub fn cumsum_cols(&mut self, a: Var) -> Var {
+        let va = &self.nodes[a.0].value;
+        let mut out = va.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let mut acc = 0.0f32;
+            for x in row.iter_mut() {
+                acc += *x;
+                *x = acc;
+            }
+        }
+        self.push(out, Op::CumsumCols(a.0))
+    }
+
+    /// The paper's `Norml2` normalized-square map (§5.2):
+    /// `out_i = (x_i^2 + eps/d) / (x·x + eps)` per row. Every output row is
+    /// positive and sums to exactly 1, which turns the following cumulative
+    /// sum into a partition of `[0, 1]`.
+    pub fn norml2(&mut self, a: Var, eps: f32) -> Var {
+        let va = &self.nodes[a.0].value;
+        let d = va.cols() as f32;
+        let mut out = va.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let dot: f32 = row.iter().map(|&x| x * x).sum();
+            let denom = dot + eps;
+            for x in row.iter_mut() {
+                *x = (*x * *x + eps / d) / denom;
+            }
+        }
+        self.push(out, Op::Norml2(a.0, eps))
+    }
+
+    /// Elementwise Huber with parameter `delta`:
+    /// `r^2/2` for `|r| <= delta`, `delta(|r| - delta/2)` otherwise.
+    pub fn huber(&mut self, a: Var, delta: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|r| {
+            if r.abs() <= delta {
+                0.5 * r * r
+            } else {
+                delta * (r.abs() - 0.5 * delta)
+            }
+        });
+        self.push(v, Op::Huber(a.0, delta))
+    }
+
+    /// Evaluates the continuous piece-wise linear function of Eq. (1).
+    ///
+    /// * `tau`: control-point abscissae, `R x m` (or `1 x m`, broadcast),
+    ///   assumed non-decreasing along each row;
+    /// * `p`: control-point ordinates, same shape rules;
+    /// * `t`: evaluation points, `R x 1`.
+    ///
+    /// `t` below `tau[0]` clamps to `p[0]`; `t` at or above `tau[m-1]`
+    /// clamps to `p[m-1]`. Gradients flow to `tau`, `p`, and `t`.
+    pub fn pwl_interp(&mut self, tau: Var, p: Var, t: Var) -> Var {
+        let (vt, vtau, vp) =
+            (&self.nodes[t.0].value, &self.nodes[tau.0].value, &self.nodes[p.0].value);
+        let rows = vt.rows();
+        assert_eq!(vt.cols(), 1, "pwl_interp: t must be a column vector");
+        assert_eq!(vtau.cols(), vp.cols(), "pwl_interp: tau/p length mismatch");
+        assert!(vtau.cols() >= 2, "pwl_interp: need at least two control points");
+        for (name, m) in [("tau", vtau), ("p", vp)] {
+            assert!(
+                m.rows() == rows || m.rows() == 1,
+                "pwl_interp: {name} must have {rows} rows or broadcast from 1"
+            );
+        }
+        let m = vtau.cols();
+        let mut out = Matrix::zeros(rows, 1);
+        let mut segments = vec![0i64; rows];
+        for r in 0..rows {
+            let tr = vt.get(r, 0);
+            let taur = vtau.row(if vtau.rows() == 1 { 0 } else { r });
+            let pr = vp.row(if vp.rows() == 1 { 0 } else { r });
+            if tr < taur[0] {
+                segments[r] = -1;
+                out.set(r, 0, pr[0]);
+            } else if tr >= taur[m - 1] {
+                segments[r] = -2;
+                out.set(r, 0, pr[m - 1]);
+            } else {
+                // binary search for the segment i with taur[i] <= tr < taur[i+1]
+                let mut lo = 0usize;
+                let mut hi = m - 1;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if taur[mid] <= tr {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let denom = (taur[lo + 1] - taur[lo]).max(1e-12);
+                let alpha = (tr - taur[lo]) / denom;
+                segments[r] = lo as i64;
+                out.set(r, 0, pr[lo] + alpha * (pr[lo + 1] - pr[lo]));
+            }
+        }
+        self.push(out, Op::PwlInterp { tau: tau.0, p: p.0, t: t.0, segments })
+    }
+
+    /// Per-block linear map — the decoder of the paper's model M (§5.2).
+    ///
+    /// `input` is `R x (blocks*h)`, interpreted as `blocks` contiguous
+    /// chunks of width `h`; `weight` is `blocks x h`; `bias` is
+    /// `1 x blocks`. Output `R x blocks` with
+    /// `out[r][i] = input[r, i*h..][..h] · weight[i] + bias[i]`.
+    pub fn block_linear(&mut self, input: Var, weight: Var, bias: Var) -> Var {
+        let (vi, vw, vb) = (
+            &self.nodes[input.0].value,
+            &self.nodes[weight.0].value,
+            &self.nodes[bias.0].value,
+        );
+        let blocks = vw.rows();
+        let h = vw.cols();
+        assert_eq!(vi.cols(), blocks * h, "block_linear: input width mismatch");
+        assert_eq!(vb.shape(), (1, blocks), "block_linear: bias shape mismatch");
+        let mut out = Matrix::zeros(vi.rows(), blocks);
+        for r in 0..vi.rows() {
+            let row = vi.row(r);
+            for i in 0..blocks {
+                let chunk = &row[i * h..(i + 1) * h];
+                let w = vw.row(i);
+                let mut acc = vb.get(0, i);
+                for (&x, &wv) in chunk.iter().zip(w) {
+                    acc += x * wv;
+                }
+                out.set(r, i, acc);
+            }
+        }
+        self.push(out, Op::BlockLinear { input: input.0, weight: weight.0, bias: bias.0, blocks })
+    }
+
+    /// Multilinear lattice interpolation over the unit hypercube.
+    ///
+    /// `input` is `R x m` with entries clamped to `[0, 1]`; `params` is
+    /// `1 x 2^m` holding the lattice vertex values indexed by the bitmask of
+    /// upper coordinates (bit `j` set = upper vertex along dim `j`).
+    /// Used by the DLN baseline's lattice layers.
+    pub fn lattice(&mut self, input: Var, params: Var) -> Var {
+        let (vi, vp) = (&self.nodes[input.0].value, &self.nodes[params.0].value);
+        let m = vi.cols();
+        assert!(m <= 16, "lattice: dimension too large (2^m params)");
+        assert_eq!(vp.shape(), (1, 1usize << m), "lattice: params must be 1 x 2^m");
+        let mut out = Matrix::zeros(vi.rows(), 1);
+        for r in 0..vi.rows() {
+            let x = vi.row(r);
+            let mut acc = 0.0f32;
+            for mask in 0..(1usize << m) {
+                let mut w = 1.0f32;
+                for (j, &xj) in x.iter().enumerate() {
+                    let c = xj.clamp(0.0, 1.0);
+                    w *= if mask >> j & 1 == 1 { c } else { 1.0 - c };
+                }
+                acc += w * vp.get(0, mask);
+            }
+            out.set(r, 0, acc);
+        }
+        self.push(out, Op::Lattice { input: input.0, params: params.0 })
+    }
+
+    // ---- backward ----
+
+    /// Runs the reverse sweep from `loss`, which must be `1 x 1`. Gradients
+    /// accumulate in every reachable node and can be read with
+    /// [`Graph::grad`] / [`Graph::param_grads`].
+    pub fn backward(&mut self, loss: Var) {
+        {
+            let n = &self.nodes[loss.0];
+            assert_eq!(n.value.shape(), (1, 1), "backward: loss must be scalar");
+        }
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Matrix::full(1, 1, 1.0));
+        for idx in (0..=loss.0).rev() {
+            let Some(gout) = self.nodes[idx].grad.take() else {
+                continue;
+            };
+            let op = self.nodes[idx].op.clone();
+            self.apply_backward(idx, &op, &gout);
+            self.nodes[idx].grad = Some(gout);
+        }
+    }
+
+    fn accumulate(&mut self, target: usize, grad: Matrix) {
+        match &mut self.nodes[target].grad {
+            Some(g) => g.add_assign(&grad),
+            slot @ None => *slot = Some(grad),
+        }
+    }
+
+    fn apply_backward(&mut self, idx: usize, op: &Op, gout: &Matrix) {
+        match *op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let ga = gout.matmul_a_bt(&self.nodes[b].value);
+                let gb = self.nodes[a].value.matmul_at_b(gout);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Add(a, b) => {
+                self.accumulate(a, gout.clone());
+                self.accumulate(b, gout.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(a, gout.clone());
+                self.accumulate(b, gout.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                let ga = gout.zip_map(&self.nodes[b].value, |g, y| g * y);
+                let gb = gout.zip_map(&self.nodes[a].value, |g, x| g * x);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::AddRowVec(m, row) => {
+                self.accumulate(m, gout.clone());
+                self.accumulate(row, gout.col_sums());
+            }
+            Op::MulColVec(m, col) => {
+                let vcol = self.nodes[col].value.clone();
+                let vm = self.nodes[m].value.clone();
+                let mut gm = gout.clone();
+                for i in 0..gm.rows() {
+                    let s = vcol.get(i, 0);
+                    for x in gm.row_mut(i) {
+                        *x *= s;
+                    }
+                }
+                let mut gc = Matrix::zeros(vcol.rows(), 1);
+                for i in 0..gout.rows() {
+                    let mut acc = 0.0f32;
+                    for (g, x) in gout.row(i).iter().zip(vm.row(i)) {
+                        acc += g * x;
+                    }
+                    gc.set(i, 0, acc);
+                }
+                self.accumulate(m, gm);
+                self.accumulate(col, gc);
+            }
+            Op::Scale(a, alpha) => self.accumulate(a, gout.map(|g| g * alpha)),
+            Op::AddScalar(a) => self.accumulate(a, gout.clone()),
+            Op::Relu(a) => {
+                let g = gout.zip_map(&self.nodes[a].value, |g, x| if x > 0.0 { g } else { 0.0 });
+                self.accumulate(a, g);
+            }
+            Op::LeakyRelu(a, alpha) => {
+                let g = gout
+                    .zip_map(&self.nodes[a].value, |g, x| if x > 0.0 { g } else { alpha * g });
+                self.accumulate(a, g);
+            }
+            Op::EluPlusOne(a) => {
+                let g = gout
+                    .zip_map(&self.nodes[a].value, |g, x| if x > 0.0 { g } else { g * x.exp() });
+                self.accumulate(a, g);
+            }
+            Op::Softplus(a) => {
+                let g = gout
+                    .zip_map(&self.nodes[a].value, |g, x| g / (1.0 + (-x).exp()));
+                self.accumulate(a, g);
+            }
+            Op::Sigmoid(a) => {
+                let g = gout.zip_map(&self.nodes[idx].value, |g, y| g * y * (1.0 - y));
+                self.accumulate(a, g);
+            }
+            Op::Tanh(a) => {
+                let g = gout.zip_map(&self.nodes[idx].value, |g, y| g * (1.0 - y * y));
+                self.accumulate(a, g);
+            }
+            Op::Exp(a) => {
+                let g = gout.zip_map(&self.nodes[idx].value, |g, y| g * y);
+                self.accumulate(a, g);
+            }
+            Op::LnEps(a, eps) => {
+                let g = gout.zip_map(&self.nodes[a].value, |g, x| {
+                    if x > 0.0 {
+                        g / (x + eps)
+                    } else {
+                        0.0
+                    }
+                });
+                self.accumulate(a, g);
+            }
+            Op::Abs(a) => {
+                let g = gout.zip_map(&self.nodes[a].value, |g, x| g * x.signum());
+                self.accumulate(a, g);
+            }
+            Op::Square(a) => {
+                let g = gout.zip_map(&self.nodes[a].value, |g, x| 2.0 * g * x);
+                self.accumulate(a, g);
+            }
+            Op::SoftmaxRows(a) => {
+                let y = &self.nodes[idx].value;
+                let mut g = Matrix::zeros(y.rows(), y.cols());
+                for i in 0..y.rows() {
+                    let yr = y.row(i);
+                    let gr = gout.row(i);
+                    let dot: f32 = yr.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                    for (j, o) in g.row_mut(i).iter_mut().enumerate() {
+                        *o = yr[j] * (gr[j] - dot);
+                    }
+                }
+                self.accumulate(a, g);
+            }
+            Op::Sum(a) => {
+                let s = gout.get(0, 0);
+                let shape = self.nodes[a].value.shape();
+                self.accumulate(a, Matrix::full(shape.0, shape.1, s));
+            }
+            Op::Mean(a) => {
+                let shape = self.nodes[a].value.shape();
+                let n = (shape.0 * shape.1).max(1) as f32;
+                let s = gout.get(0, 0) / n;
+                self.accumulate(a, Matrix::full(shape.0, shape.1, s));
+            }
+            Op::RowSum(a) => {
+                let shape = self.nodes[a].value.shape();
+                let mut g = Matrix::zeros(shape.0, shape.1);
+                for i in 0..shape.0 {
+                    let s = gout.get(i, 0);
+                    for x in g.row_mut(i) {
+                        *x = s;
+                    }
+                }
+                self.accumulate(a, g);
+            }
+            Op::ConcatCols(a, b) => {
+                let ca = self.nodes[a].value.cols();
+                let cb = self.nodes[b].value.cols();
+                let rows = gout.rows();
+                let mut ga = Matrix::zeros(rows, ca);
+                let mut gb = Matrix::zeros(rows, cb);
+                for i in 0..rows {
+                    let gr = gout.row(i);
+                    ga.row_mut(i).copy_from_slice(&gr[..ca]);
+                    gb.row_mut(i).copy_from_slice(&gr[ca..]);
+                }
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::SliceCols(a, start, _end) => {
+                let shape = self.nodes[a].value.shape();
+                let mut g = Matrix::zeros(shape.0, shape.1);
+                for i in 0..gout.rows() {
+                    let gr = gout.row(i);
+                    g.row_mut(i)[start..start + gr.len()].copy_from_slice(gr);
+                }
+                self.accumulate(a, g);
+            }
+            Op::CumsumCols(a) => {
+                // d/dx_k sum over j >= k of gout_j  => reverse cumulative sum
+                let mut g = gout.clone();
+                for i in 0..g.rows() {
+                    let row = g.row_mut(i);
+                    let mut acc = 0.0f32;
+                    for x in row.iter_mut().rev() {
+                        acc += *x;
+                        *x = acc;
+                    }
+                }
+                self.accumulate(a, g);
+            }
+            Op::Norml2(a, eps) => {
+                let x = &self.nodes[a].value;
+                let d = x.cols() as f32;
+                let mut g = Matrix::zeros(x.rows(), x.cols());
+                for i in 0..x.rows() {
+                    let xr = x.row(i);
+                    let gr = gout.row(i);
+                    let dot: f32 = xr.iter().map(|&v| v * v).sum();
+                    let denom = dot + eps;
+                    let denom2 = denom * denom;
+                    // out_j = (x_j^2 + eps/d) / denom
+                    // d out_j / d x_k = [2 x_j delta_jk * denom - (x_j^2+eps/d) * 2 x_k] / denom^2
+                    let weighted: f32 = xr
+                        .iter()
+                        .zip(gr)
+                        .map(|(&xj, &gj)| gj * (xj * xj + eps / d))
+                        .sum();
+                    for (k, o) in g.row_mut(i).iter_mut().enumerate() {
+                        *o = 2.0 * xr[k] * (gr[k] * denom - weighted) / denom2;
+                    }
+                }
+                self.accumulate(a, g);
+            }
+            Op::Huber(a, delta) => {
+                let g = gout.zip_map(&self.nodes[a].value, |g, r| {
+                    if r.abs() <= delta {
+                        g * r
+                    } else {
+                        g * delta * r.signum()
+                    }
+                });
+                self.accumulate(a, g);
+            }
+            Op::PwlInterp { tau, p, t, ref segments } => {
+                let vtau = self.nodes[tau].value.clone();
+                let vp = self.nodes[p].value.clone();
+                let vt = self.nodes[t].value.clone();
+                let m = vtau.cols();
+                let mut gtau = Matrix::zeros(vtau.rows(), vtau.cols());
+                let mut gp = Matrix::zeros(vp.rows(), vp.cols());
+                let mut gt = Matrix::zeros(vt.rows(), 1);
+                for r in 0..vt.rows() {
+                    let g = gout.get(r, 0);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let rt = if vtau.rows() == 1 { 0 } else { r };
+                    let rp = if vp.rows() == 1 { 0 } else { r };
+                    match segments[r] {
+                        -1 => {
+                            gp.set(rp, 0, gp.get(rp, 0) + g);
+                        }
+                        -2 => {
+                            gp.set(rp, m - 1, gp.get(rp, m - 1) + g);
+                        }
+                        lo => {
+                            let lo = lo as usize;
+                            let a = vtau.get(rt, lo);
+                            let b = vtau.get(rt, lo + 1);
+                            let pa = vp.get(rp, lo);
+                            let pb = vp.get(rp, lo + 1);
+                            let tr = vt.get(r, 0);
+                            let denom = (b - a).max(1e-12);
+                            let alpha = (tr - a) / denom;
+                            let dp = pb - pa;
+                            gp.set(rp, lo, gp.get(rp, lo) + g * (1.0 - alpha));
+                            gp.set(rp, lo + 1, gp.get(rp, lo + 1) + g * alpha);
+                            let d2 = denom * denom;
+                            gtau.set(rt, lo, gtau.get(rt, lo) + g * dp * (tr - b) / d2);
+                            gtau.set(rt, lo + 1, gtau.get(rt, lo + 1) + g * dp * (a - tr) / d2);
+                            gt.set(r, 0, gt.get(r, 0) + g * dp / denom);
+                        }
+                    }
+                }
+                self.accumulate(tau, gtau);
+                self.accumulate(p, gp);
+                self.accumulate(t, gt);
+            }
+            Op::BlockLinear { input, weight, bias, blocks } => {
+                let vi = self.nodes[input].value.clone();
+                let vw = self.nodes[weight].value.clone();
+                let h = vw.cols();
+                let mut gi = Matrix::zeros(vi.rows(), vi.cols());
+                let mut gw = Matrix::zeros(blocks, h);
+                let mut gb = Matrix::zeros(1, blocks);
+                for r in 0..vi.rows() {
+                    let xrow = vi.row(r);
+                    let grow = gout.row(r);
+                    let girow = gi.row_mut(r);
+                    for (i, &g) in grow.iter().enumerate() {
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb.set(0, i, gb.get(0, i) + g);
+                        let w = vw.row(i);
+                        let x = &xrow[i * h..(i + 1) * h];
+                        let gx = &mut girow[i * h..(i + 1) * h];
+                        for k in 0..h {
+                            gx[k] += g * w[k];
+                        }
+                        let gwrow = gw.row_mut(i);
+                        for k in 0..h {
+                            gwrow[k] += g * x[k];
+                        }
+                    }
+                }
+                self.accumulate(input, gi);
+                self.accumulate(weight, gw);
+                self.accumulate(bias, gb);
+            }
+            Op::Lattice { input, params } => {
+                let vi = self.nodes[input].value.clone();
+                let vp = self.nodes[params].value.clone();
+                let m = vi.cols();
+                let mut gi = Matrix::zeros(vi.rows(), m);
+                let mut gp = Matrix::zeros(1, 1 << m);
+                for r in 0..vi.rows() {
+                    let g = gout.get(r, 0);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let x = vi.row(r);
+                    for mask in 0..(1usize << m) {
+                        // weight and its partials
+                        let mut w = 1.0f32;
+                        for (j, &xj) in x.iter().enumerate() {
+                            let c = xj.clamp(0.0, 1.0);
+                            w *= if mask >> j & 1 == 1 { c } else { 1.0 - c };
+                        }
+                        gp.set(0, mask, gp.get(0, mask) + g * w);
+                        let pv = vp.get(0, mask);
+                        for j in 0..m {
+                            let xj = x[j];
+                            if !(0.0..=1.0).contains(&xj) {
+                                continue; // clamped: zero gradient to input
+                            }
+                            let mut dw = 1.0f32;
+                            for (k, &xk) in x.iter().enumerate() {
+                                let c = xk.clamp(0.0, 1.0);
+                                if k == j {
+                                    dw *= if mask >> k & 1 == 1 { 1.0 } else { -1.0 };
+                                } else {
+                                    dw *= if mask >> k & 1 == 1 { c } else { 1.0 - c };
+                                }
+                            }
+                            gi.set(r, j, gi.get(r, j) + g * pv * dw);
+                        }
+                    }
+                }
+                self.accumulate(input, gi);
+                self.accumulate(params, gp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_simple_chain() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(1, 2, vec![1.0, -2.0]));
+        let r = g.relu(x);
+        assert_eq!(g.value(r).data(), &[1.0, 0.0]);
+        let s = g.sum(r);
+        assert_eq!(g.value(s).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn backward_matmul_chain() {
+        // loss = sum(A * B); dL/dA = ones * B^T, dL/dB = A^T * ones
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.leaf(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = g.matmul(a, b);
+        let loss = g.sum(c);
+        g.backward(loss);
+        assert_eq!(g.grad(a).data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(g.grad(b).data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn norml2_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(2, 4, vec![0.5, -1.0, 2.0, 0.0, 1.0, 1.0, 1.0, 1.0]));
+        let y = g.norml2(x, 1e-6);
+        for i in 0..2 {
+            let s: f32 = g.value(y).row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+            assert!(g.value(y).row(i).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn cumsum_forward_and_backward() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let c = g.cumsum_cols(x);
+        assert_eq!(g.value(c).data(), &[1.0, 3.0, 6.0]);
+        let s = g.sum(c);
+        g.backward(s);
+        // d/dx_k = number of outputs depending on x_k = 3 - k
+        assert_eq!(g.grad(x).data(), &[3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn pwl_interp_basic() {
+        let mut g = Graph::new();
+        let tau = g.leaf(Matrix::row_vector(&[0.0, 1.0, 2.0]));
+        let p = g.leaf(Matrix::row_vector(&[0.0, 10.0, 30.0]));
+        let t = g.leaf(Matrix::col_vector(&[0.5, 1.5, -1.0, 5.0]));
+        let y = g.pwl_interp(tau, p, t);
+        let v = g.value(y);
+        assert_eq!(v.data(), &[5.0, 20.0, 0.0, 30.0]);
+    }
+
+    #[test]
+    fn pwl_interp_monotone_when_p_nondecreasing() {
+        let mut g = Graph::new();
+        let tau = g.leaf(Matrix::row_vector(&[0.0, 0.3, 0.9, 2.0]));
+        let p = g.leaf(Matrix::row_vector(&[0.0, 1.0, 1.0, 7.0]));
+        let ts: Vec<f32> = (0..50).map(|i| i as f32 * 0.05).collect();
+        let t = g.leaf(Matrix::col_vector(&ts));
+        let y = g.pwl_interp(tau, p, t);
+        let v = g.value(y);
+        for i in 1..ts.len() {
+            assert!(v.get(i, 0) >= v.get(i - 1, 0) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let y = g.softmax_rows(x);
+        for i in 0..2 {
+            let s: f32 = g.value(y).row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn block_linear_matches_manual() {
+        let mut g = Graph::new();
+        // 2 blocks of width 2
+        let x = g.leaf(Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let w = g.leaf(Matrix::from_vec(2, 2, vec![1.0, 0.5, -1.0, 2.0]));
+        let b = g.leaf(Matrix::row_vector(&[0.1, -0.2]));
+        let y = g.block_linear(x, w, b);
+        let v = g.value(y);
+        assert!((v.get(0, 0) - (1.0 + 1.0 + 0.1)).abs() < 1e-6);
+        assert!((v.get(0, 1) - (-3.0 + 8.0 - 0.2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lattice_interpolates_corners_and_centers() {
+        let mut g = Graph::new();
+        // 2-d lattice with vertex values 0,1,2,3 for masks 00,01,10,11
+        let p = g.leaf(Matrix::row_vector(&[0.0, 1.0, 2.0, 3.0]));
+        let x = g.leaf(Matrix::from_vec(3, 2, vec![0.0, 0.0, 1.0, 1.0, 0.5, 0.5]));
+        let y = g.lattice(x, p);
+        let v = g.value(y);
+        assert!((v.get(0, 0) - 0.0).abs() < 1e-6);
+        assert!((v.get(1, 0) - 3.0).abs() < 1e-6);
+        assert!((v.get(2, 0) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_quadratic_and_linear_regimes() {
+        let mut g = Graph::new();
+        let r = g.leaf(Matrix::row_vector(&[0.5, 3.0]));
+        let h = g.huber(r, 1.0);
+        let v = g.value(h);
+        assert!((v.get(0, 0) - 0.125).abs() < 1e-6);
+        assert!((v.get(0, 1) - (3.0 - 0.5)).abs() < 1e-6);
+    }
+}

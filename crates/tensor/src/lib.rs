@@ -1,0 +1,51 @@
+//! # selnet-tensor
+//!
+//! A small, self-contained tensor + reverse-mode autodiff engine: the
+//! training substrate for the SelNet reproduction. The paper's models are
+//! compositions of feed-forward networks and a handful of custom operators
+//! (`Norml2`, prefix sums, piece-wise linear interpolation, lattice
+//! interpolation, Huber-on-log losses); all of them are first-class tape
+//! ops here with hand-derived backward passes that are verified against
+//! finite differences in `gradcheck`.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use selnet_tensor::{Graph, Matrix, ParamStore, Adam, Optimizer, Mlp, Activation};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let net = Mlp::new(&mut store, "net", &[2, 8, 1], Activation::Relu,
+//!                    Activation::Linear, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//! for _ in 0..10 {
+//!     let mut g = Graph::new();
+//!     let x = g.leaf(Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]));
+//!     let y = g.leaf(Matrix::col_vector(&[1.0, -1.0]));
+//!     let pred = net.forward(&mut g, &store, x);
+//!     let d = g.sub(pred, y);
+//!     let sq = g.square(d);
+//!     let loss = g.mean(sq);
+//!     g.backward(loss);
+//!     let grads = g.param_grads();
+//!     opt.step(&mut store, &grads);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod matrix;
+mod params;
+
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod optim;
+
+pub use graph::{Graph, ParamId, Var};
+pub use layers::{Activation, Linear, Mlp};
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::ParamStore;

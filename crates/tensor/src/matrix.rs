@@ -1,0 +1,490 @@
+//! Dense row-major `f32` matrix used as the storage type of the autodiff
+//! engine and everywhere else numeric data lives in this workspace.
+//!
+//! The type is deliberately small: two dimensions, `Vec<f32>` storage, and
+//! the handful of BLAS-like kernels the models need (`matmul` and its
+//! transposed variants, axpy, row/column reductions). Loops are written in
+//! `ikj` order so the inner loop streams over contiguous memory.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Creates a single-column matrix from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Builds a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies column `j` into a new `Vec`.
+    pub fn col(&self, j: usize) -> Vec<f32> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let oc = other.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * oc..(i + 1) * oc];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * oc..(k + 1) * oc];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `self^T * other` without materializing the transpose.
+    pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at_b shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let oc = other.cols;
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let b_row = &other.data[r * oc..(r + 1) * oc];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * oc..(i + 1) * oc];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `self * other^T` without materializing the transpose.
+    pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_a_bt shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise combination with another matrix of identical shape.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` (axpy).
+    pub fn scaled_add(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "scaled_add shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Sum over all elements (accumulated in `f64`).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean over all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Column sums as a `1 x cols` matrix.
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (o, &v) in out.data.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Row sums as a `rows x 1` matrix.
+    pub fn row_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for (i, o) in out.data.iter_mut().enumerate() {
+            *o = self.row(i).iter().sum();
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Extracts rows `[start, end)` into a new matrix.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "slice_rows out of range");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Gathers the given rows into a new matrix.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Horizontally concatenates `self` and `other` (same row count).
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(other.row(i));
+        }
+        Matrix { rows: self.rows, cols, data }
+    }
+
+    /// Vertically concatenates `self` and `other` (same column count).
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack col mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Returns true if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for i in 0..max_rows {
+            let row = self.row(i);
+            let shown: Vec<String> =
+                row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let ellipsis = if self.cols > 8 { ", ..." } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree_with_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f32 * 0.5 - 2.0);
+        let b = Matrix::from_fn(4, 5, |i, j| (i + j) as f32 * 0.25);
+        let atb = a.matmul_at_b(&b);
+        let expected = a.transpose().matmul(&b);
+        assert_eq!(atb, expected);
+
+        let c = Matrix::from_fn(6, 3, |i, j| (i as f32 - j as f32) * 0.1);
+        let abt = a.matmul_a_bt(&c);
+        let expected = a.matmul(&c.transpose());
+        assert_eq!(abt, expected);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.col_sums().data(), &[4.0, 6.0]);
+        assert_eq!(a.row_sums().data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn stacking_and_slicing() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 1, vec![5.0, 6.0]);
+        let h = a.hstack(&b);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.row(0), &[1.0, 2.0, 5.0]);
+        assert_eq!(h.row(1), &[3.0, 4.0, 6.0]);
+
+        let v = a.vstack(&a);
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.slice_rows(2, 4), a);
+
+        let g = v.gather_rows(&[0, 3]);
+        assert_eq!(g.row(0), &[1.0, 2.0]);
+        assert_eq!(g.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_and_scaling() {
+        let mut a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(2, 2, 2.0);
+        a.scaled_add(0.5, &b);
+        assert_eq!(a.data(), &[2.0, 2.0, 2.0, 2.0]);
+        a.scale_in_place(0.25);
+        assert_eq!(a.data(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

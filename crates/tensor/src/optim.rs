@@ -1,0 +1,181 @@
+//! First-order optimizers operating on a [`ParamStore`].
+
+use crate::graph::ParamId;
+use crate::matrix::Matrix;
+use crate::params::ParamStore;
+
+/// Interface shared by all optimizers: consume `(id, gradient)` pairs and
+/// update the store in place.
+pub trait Optimizer {
+    /// Applies one update step.
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]);
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+    /// Overrides the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+pub struct Sgd {
+    lr: f32,
+    clip: Option<f32>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, clip: None }
+    }
+
+    /// Enables elementwise gradient clipping to `[-c, c]`.
+    pub fn with_clip(mut self, c: f32) -> Self {
+        self.clip = Some(c);
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
+        for (id, g) in grads {
+            let p = store.value_mut(*id);
+            match self.clip {
+                Some(c) => {
+                    for (pv, &gv) in p.data_mut().iter_mut().zip(g.data()) {
+                        *pv -= self.lr * gv.clamp(-c, c);
+                    }
+                }
+                None => p.scaled_add(-self.lr, g),
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional gradient clipping.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    clip: Option<f32>,
+    t: u64,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults (β1 = 0.9, β2 = 0.999, ε = 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: None, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Enables elementwise gradient clipping to `[-c, c]`.
+    pub fn with_clip(mut self, c: f32) -> Self {
+        self.clip = Some(c);
+        self
+    }
+
+    fn ensure_state(&mut self, id: ParamId, shape: (usize, usize)) {
+        if self.m.len() <= id.0 {
+            self.m.resize_with(id.0 + 1, || None);
+            self.v.resize_with(id.0 + 1, || None);
+        }
+        if self.m[id.0].is_none() {
+            self.m[id.0] = Some(Matrix::zeros(shape.0, shape.1));
+            self.v[id.0] = Some(Matrix::zeros(shape.0, shape.1));
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, g) in grads {
+            self.ensure_state(*id, g.shape());
+            let m = self.m[id.0].as_mut().expect("state ensured");
+            let v = self.v[id.0].as_mut().expect("state ensured");
+            let p = store.value_mut(*id);
+            for (((pv, mv), vv), &graw) in p
+                .data_mut()
+                .iter_mut()
+                .zip(m.data_mut())
+                .zip(v.data_mut())
+                .zip(g.data())
+            {
+                let gv = match self.clip {
+                    Some(c) => graw.clamp(-c, c),
+                    None => graw,
+                };
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *pv -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimizes (w - 3)^2 and checks convergence.
+    fn converges(opt: &mut dyn Optimizer) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 1, 0.0));
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let wv = store.inject(&mut g, w);
+            let shifted = g.add_scalar(wv, -3.0);
+            let sq = g.square(shifted);
+            let loss = g.sum(sq);
+            g.backward(loss);
+            let grads = g.param_grads();
+            opt.step(&mut store, &grads);
+        }
+        store.value(w).get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = converges(&mut opt);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let w = converges(&mut opt);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn clipping_limits_step_size() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 1, 0.0));
+        let mut opt = Sgd::new(1.0).with_clip(0.5);
+        let grads = vec![(w, Matrix::full(1, 1, 100.0))];
+        opt.step(&mut store, &grads);
+        assert!((store.value(w).get(0, 0) + 0.5).abs() < 1e-6);
+    }
+}

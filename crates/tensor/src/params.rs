@@ -1,0 +1,188 @@
+//! Trainable-parameter storage with binary checkpointing.
+//!
+//! A [`ParamStore`] owns the master copy of every trainable matrix. Each
+//! training step injects parameters into a fresh [`Graph`] via
+//! [`ParamStore::inject`], runs forward + backward, collects gradients with
+//! [`Graph::param_grads`](crate::graph::Graph::param_grads), and hands them
+//! to an optimizer.
+//!
+//! Checkpoints use a small self-contained binary format (magic + version +
+//! named f32 matrices, little-endian), so no serialization dependency is
+//! needed.
+
+use crate::graph::{Graph, ParamId, Var};
+use crate::matrix::Matrix;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"SELNETP1";
+
+/// Owns named trainable parameters.
+#[derive(Default, Clone)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.names.push(name.into());
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Parameter value by id.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable parameter value by id (used by optimizers and projections).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Parameter name by id.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over all ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Records this parameter's current value on the tape.
+    pub fn inject(&self, g: &mut Graph, id: ParamId) -> Var {
+        g.param_leaf(id, self.values[id.0].clone())
+    }
+
+    /// Writes all parameters to `w` in the checkpoint format.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.values.len() as u64).to_le_bytes())?;
+        for (name, m) in self.names.iter().zip(&self.values) {
+            let bytes = name.as_bytes();
+            w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            w.write_all(bytes)?;
+            w.write_all(&(m.rows() as u64).to_le_bytes())?;
+            w.write_all(&(m.cols() as u64).to_le_bytes())?;
+            for &x in m.data() {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a checkpoint previously written by [`ParamStore::save`].
+    pub fn load(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+        }
+        let count = read_u64(r)? as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            let name_len = read_u32(r)? as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf8 name"))?;
+            let rows = read_u64(r)? as usize;
+            let cols = read_u64(r)? as usize;
+            let mut data = vec![0.0f32; rows * cols];
+            let mut buf = [0u8; 4];
+            for x in &mut data {
+                r.read_exact(&mut buf)?;
+                *x = f32::from_le_bytes(buf);
+            }
+            store.add(name, Matrix::from_vec(rows, cols, data));
+        }
+        Ok(store)
+    }
+
+    /// Copies values from `other` into `self` by position.
+    ///
+    /// # Panics
+    /// Panics if the stores have different parameter counts or shapes.
+    pub fn copy_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.values.len(), other.values.len(), "param count mismatch");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            assert_eq!(a.shape(), b.shape(), "param shape mismatch");
+            a.data_mut().copy_from_slice(b.data());
+        }
+    }
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.add("layer0.w", Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32 * 0.1));
+        let b = store.add("layer0.b", Matrix::row_vector(&[1.0, -2.0, 3.5, 0.0]));
+
+        let mut buf = Vec::new();
+        store.save(&mut buf).unwrap();
+        let loaded = ParamStore::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.value(w), store.value(w));
+        assert_eq!(loaded.value(b), store.value(b));
+        assert_eq!(loaded.name(w), "layer0.w");
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let buf = b"NOTMAGIC\x00\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        assert!(ParamStore::load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn inject_and_collect_grads() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut g = Graph::new();
+        let wv = store.inject(&mut g, w);
+        let sq = g.square(wv);
+        let loss = g.sum(sq);
+        g.backward(loss);
+        let grads = g.param_grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, w);
+        assert_eq!(grads[0].1.data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based verification of the autodiff engine: every op's analytic
+//! gradient is compared against central finite differences on random
+//! inputs, and algebraic identities of the tape are checked.
+
+use proptest::prelude::*;
+use selnet_tensor::gradcheck::check_gradients;
+use selnet_tensor::{Graph, Matrix};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn assert_grad_ok(report: &selnet_tensor::gradcheck::GradCheckReport) {
+    assert!(
+        report.max_rel_diff < 7e-2 || report.max_abs_diff < 7e-3,
+        "gradient mismatch: {report:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn elementwise_activation_gradients(m in matrix_strategy(3, 4), pick in 0usize..6) {
+        let report = check_gradients(&[m], 1e-3, |g, xs| {
+            let x = g.leaf(xs[0].clone());
+            let y = match pick {
+                0 => g.tanh(x),
+                1 => g.sigmoid(x),
+                2 => g.softplus(x),
+                3 => g.elu_plus_one(x),
+                4 => g.leaky_relu(x, 0.05),
+                _ => g.square(x),
+            };
+            let sq = g.square(y);
+            let loss = g.mean(sq);
+            (vec![x], loss)
+        });
+        assert_grad_ok(&report);
+    }
+
+    #[test]
+    fn broadcast_op_gradients(
+        m in matrix_strategy(4, 3),
+        row in matrix_strategy(1, 3),
+        col in matrix_strategy(4, 1),
+    ) {
+        let report = check_gradients(&[m, row, col], 1e-3, |g, xs| {
+            let m = g.leaf(xs[0].clone());
+            let r = g.leaf(xs[1].clone());
+            let c = g.leaf(xs[2].clone());
+            let a = g.add_row_vec(m, r);
+            let b = g.mul_col_vec(a, c);
+            let t = g.tanh(b);
+            let loss = g.mean(t);
+            (vec![m, r, c], loss)
+        });
+        assert_grad_ok(&report);
+    }
+
+    #[test]
+    fn structural_op_gradients(a in matrix_strategy(3, 4), b in matrix_strategy(3, 2)) {
+        let report = check_gradients(&[a, b], 1e-3, |g, xs| {
+            let a = g.leaf(xs[0].clone());
+            let b = g.leaf(xs[1].clone());
+            let cat = g.concat_cols(a, b);
+            let sl = g.slice_cols(cat, 1, 5);
+            let cs = g.cumsum_cols(sl);
+            let rs = g.row_sum(cs);
+            let loss = g.mean(rs);
+            (vec![a, b], loss)
+        });
+        assert_grad_ok(&report);
+    }
+
+    #[test]
+    fn softmax_rows_is_stochastic(m in matrix_strategy(5, 6)) {
+        let mut g = Graph::new();
+        let x = g.leaf(m);
+        let y = g.softmax_rows(x);
+        for i in 0..5 {
+            let row = g.value(y).row(i);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    /// sum(a + b) == sum(a) + sum(b) on the tape.
+    #[test]
+    fn add_is_linear_under_sum(a in matrix_strategy(3, 3), b in matrix_strategy(3, 3)) {
+        let mut g = Graph::new();
+        let av = g.leaf(a.clone());
+        let bv = g.leaf(b.clone());
+        let s = g.add(av, bv);
+        let total = g.sum(s);
+        let expected = a.sum() + b.sum();
+        prop_assert!((g.value(total).get(0, 0) as f64 - expected).abs() < 1e-3);
+    }
+
+    /// Gradient of sum w.r.t. any leaf is all-ones (chain through add).
+    #[test]
+    fn sum_gradient_is_ones(a in matrix_strategy(2, 5)) {
+        let mut g = Graph::new();
+        let x = g.leaf(a);
+        let s = g.sum(x);
+        g.backward(s);
+        let grad = g.grad(x);
+        prop_assert!(grad.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    /// cumsum is inverted by adjacent differences.
+    #[test]
+    fn cumsum_roundtrip(a in matrix_strategy(2, 8)) {
+        let mut g = Graph::new();
+        let x = g.leaf(a.clone());
+        let c = g.cumsum_cols(x);
+        let v = g.value(c);
+        for i in 0..2 {
+            let mut prev = 0.0f32;
+            for j in 0..8 {
+                let diff = v.get(i, j) - prev;
+                prop_assert!((diff - a.get(i, j)).abs() < 1e-4);
+                prev = v.get(i, j);
+            }
+        }
+    }
+
+    /// matmul associativity holds numerically on the tape.
+    #[test]
+    fn matmul_is_associative(
+        a in matrix_strategy(2, 3),
+        b in matrix_strategy(3, 4),
+        c in matrix_strategy(4, 2),
+    ) {
+        let mut g = Graph::new();
+        let (av, bv, cv) = (g.leaf(a), g.leaf(b), g.leaf(c));
+        let ab = g.matmul(av, bv);
+        let ab_c = g.matmul(ab, cv);
+        let bc = g.matmul(bv, cv);
+        let a_bc = g.matmul(av, bc);
+        let v1 = g.value(ab_c).clone();
+        let v2 = g.value(a_bc);
+        for (x, y) in v1.data().iter().zip(v2.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// PWL interpolation at control points returns the control values
+    /// (for strictly increasing tau).
+    #[test]
+    fn pwl_hits_control_points(
+        incs in prop::collection::vec(0.05f32..1.0, 3..10),
+        p_raw in prop::collection::vec(-5.0f32..5.0, 3..10),
+    ) {
+        let m = incs.len().min(p_raw.len());
+        let mut tau = vec![0.0f32];
+        for &d in incs.iter().take(m - 1) {
+            tau.push(tau.last().unwrap() + d);
+        }
+        let p: Vec<f32> = p_raw.iter().take(m).copied().collect();
+        let mut g = Graph::new();
+        let tv = g.leaf(Matrix::row_vector(&tau));
+        let pv = g.leaf(Matrix::row_vector(&p));
+        let t = g.leaf(Matrix::col_vector(&tau));
+        let y = g.pwl_interp(tv, pv, t);
+        for (j, &pj) in p.iter().enumerate() {
+            prop_assert!(
+                (g.value(y).get(j, 0) - pj).abs() < 1e-4,
+                "f(tau_{j}) = {} != p_{j} = {pj}",
+                g.value(y).get(j, 0)
+            );
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Workload generation following Appendix B.1 of the paper.
+//!
+//! Queries are sampled from the database itself. For each query we build a
+//! geometric ladder of `w` selectivity values in `[1, |D|/100]` and convert
+//! each to the threshold achieving it (the selectivity-quantile of the
+//! query's distance distribution) — "such generation better simulates the
+//! realistic workload" (§7.9, following Mattig et al.). The alternative
+//! Beta(3, 2.5)-distributed thresholds of §7.9 are also provided.
+
+use crate::query::{LabeledQuery, Workload};
+use crate::rand_ext::sample_beta;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selnet_data::Dataset;
+use selnet_metric::DistanceKind;
+
+/// How thresholds are drawn for each query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThresholdScheme {
+    /// Geometric ladder of selectivities in `[1, |D|/100]` (default,
+    /// Appendix B.1).
+    GeometricSelectivity,
+    /// Thresholds sampled from `Beta(alpha, beta)` scaled to `[0, tmax]`
+    /// (§7.9 uses `Beta(3, 2.5)`).
+    Beta {
+        /// Beta shape α.
+        alpha: f64,
+        /// Beta shape β.
+        beta: f64,
+    },
+}
+
+/// Workload generation parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of distinct query objects.
+    pub num_queries: usize,
+    /// Thresholds per query (`w`; the paper uses 40).
+    pub thresholds_per_query: usize,
+    /// Distance function.
+    pub kind: DistanceKind,
+    /// Threshold scheme.
+    pub scheme: ThresholdScheme,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of worker threads for labeling (0 = all cores).
+    pub threads: usize,
+}
+
+impl WorkloadConfig {
+    /// Default-configured workload: `w = 40`, geometric ladder.
+    pub fn new(num_queries: usize, kind: DistanceKind, seed: u64) -> Self {
+        WorkloadConfig {
+            num_queries,
+            thresholds_per_query: 40,
+            kind,
+            scheme: ThresholdScheme::GeometricSelectivity,
+            seed,
+            threads: 0,
+        }
+    }
+}
+
+fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// The geometric selectivity ladder: `w` values spaced geometrically in
+/// `[1, n/100]`.
+pub fn selectivity_ladder(n: usize, w: usize) -> Vec<f64> {
+    assert!(w >= 2, "need at least two rungs");
+    let hi = (n as f64 / 100.0).max(2.0);
+    (0..w).map(|j| hi.powf(j as f64 / (w - 1) as f64)).collect()
+}
+
+/// Computes sorted distances from `x` to every point of `ds`.
+pub fn sorted_distances(ds: &Dataset, x: &[f32], kind: DistanceKind) -> Vec<f32> {
+    let mut d: Vec<f32> = ds.iter().map(|row| kind.eval(x, row)).collect();
+    d.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    d
+}
+
+/// Exact selectivity at threshold `t` given the sorted distance array.
+pub fn selectivity_from_sorted(sorted: &[f32], t: f32) -> f64 {
+    // number of distances <= t == partition point of (d <= t)
+    sorted.partition_point(|&d| d <= t) as f64
+}
+
+/// Labels one query under the geometric-selectivity scheme.
+fn label_geometric(
+    ds: &Dataset,
+    x: &[f32],
+    kind: DistanceKind,
+    ladder: &[f64],
+) -> LabeledQuery {
+    let sorted = sorted_distances(ds, x, kind);
+    let n = sorted.len();
+    let mut thresholds = Vec::with_capacity(ladder.len());
+    let mut selectivities = Vec::with_capacity(ladder.len());
+    for &s in ladder {
+        let rank = (s.ceil() as usize).clamp(1, n);
+        let t = sorted[rank - 1];
+        thresholds.push(t);
+        selectivities.push(selectivity_from_sorted(&sorted, t));
+    }
+    // thresholds are non-decreasing by construction (sorted array ranks)
+    LabeledQuery { x: x.to_vec(), thresholds, selectivities }
+}
+
+/// Labels one query with externally chosen thresholds.
+fn label_fixed_thresholds(
+    ds: &Dataset,
+    x: &[f32],
+    kind: DistanceKind,
+    thresholds: Vec<f32>,
+) -> LabeledQuery {
+    let sorted = sorted_distances(ds, x, kind);
+    let selectivities = thresholds.iter().map(|&t| selectivity_from_sorted(&sorted, t)).collect();
+    LabeledQuery { x: x.to_vec(), thresholds, selectivities }
+}
+
+/// Generates a fully-labeled workload with an 80:10:10 query split.
+///
+/// Ground truth is exact (multi-threaded brute force over sorted distance
+/// arrays).
+pub fn generate_workload(ds: &Dataset, cfg: &WorkloadConfig) -> Workload {
+    assert!(ds.len() >= 2, "dataset too small");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // sample distinct query indices
+    let num_queries = cfg.num_queries.min(ds.len());
+    let mut indices: Vec<usize> = (0..ds.len()).collect();
+    for i in 0..num_queries {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices.truncate(num_queries);
+
+    // Beta thresholds need tmax: use the ladder's top rank distance sampled
+    // over a few queries as the scale, mirroring the default workload range.
+    let w = cfg.thresholds_per_query;
+    let ladder = selectivity_ladder(ds.len(), w);
+    let scale_t = match cfg.scheme {
+        ThresholdScheme::GeometricSelectivity => 0.0,
+        ThresholdScheme::Beta { .. } => {
+            let probes = indices.iter().take(16);
+            let top_rank = (ladder.last().copied().unwrap_or(1.0).ceil() as usize)
+                .clamp(1, ds.len());
+            let mut t = 0.0f32;
+            for &qi in probes {
+                let sorted = sorted_distances(ds, ds.row(qi), cfg.kind);
+                t = t.max(sorted[top_rank - 1]);
+            }
+            t
+        }
+    };
+
+    // pre-draw per-query thresholds for the beta scheme (deterministic)
+    let beta_thresholds: Vec<Vec<f32>> = match cfg.scheme {
+        ThresholdScheme::GeometricSelectivity => Vec::new(),
+        ThresholdScheme::Beta { alpha, beta } => (0..num_queries)
+            .map(|_| {
+                let mut ts: Vec<f32> = (0..w)
+                    .map(|_| (sample_beta(alpha, beta, &mut rng) as f32) * scale_t)
+                    .collect();
+                ts.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                ts
+            })
+            .collect(),
+    };
+
+    // parallel labeling
+    let threads = effective_threads(cfg.threads).min(num_queries.max(1));
+    let mut labeled: Vec<Option<LabeledQuery>> = vec![None; num_queries];
+    std::thread::scope(|scope| {
+        let chunk = num_queries.div_ceil(threads);
+        let mut rest: &mut [Option<LabeledQuery>] = &mut labeled;
+        let mut start = 0usize;
+        for _ in 0..threads {
+            let take = chunk.min(rest.len());
+            if take == 0 {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let indices = &indices;
+            let ladder = &ladder;
+            let beta_thresholds = &beta_thresholds;
+            let scheme = cfg.scheme;
+            let kind = cfg.kind;
+            scope.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    let qi = indices[start + off];
+                    let x = ds.row(qi);
+                    *slot = Some(match scheme {
+                        ThresholdScheme::GeometricSelectivity => {
+                            label_geometric(ds, x, kind, ladder)
+                        }
+                        ThresholdScheme::Beta { .. } => label_fixed_thresholds(
+                            ds,
+                            x,
+                            kind,
+                            beta_thresholds[start + off].clone(),
+                        ),
+                    });
+                }
+            });
+            start += take;
+        }
+    });
+    let labeled: Vec<LabeledQuery> =
+        labeled.into_iter().map(|q| q.expect("labeled")).collect();
+
+    // tmax: cover all generated thresholds with a small margin
+    let tmax = labeled
+        .iter()
+        .flat_map(|q| q.thresholds.iter().copied())
+        .fold(0.0f32, f32::max)
+        * 1.01
+        + 1e-6;
+
+    // 80:10:10 split by query
+    let n_train = num_queries * 8 / 10;
+    let n_valid = num_queries / 10;
+    let mut it = labeled.into_iter();
+    let train: Vec<_> = it.by_ref().take(n_train).collect();
+    let valid: Vec<_> = it.by_ref().take(n_valid).collect();
+    let test: Vec<_> = it.collect();
+
+    Workload { kind: cfg.kind, tmax, train, valid, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selnet_data::generators::{fasttext_like, GeneratorConfig};
+
+    fn small_ds() -> Dataset {
+        fasttext_like(&GeneratorConfig::new(500, 6, 4, 1))
+    }
+
+    #[test]
+    fn ladder_is_geometric_and_bounded() {
+        let ladder = selectivity_ladder(10_000, 40);
+        assert_eq!(ladder.len(), 40);
+        assert!((ladder[0] - 1.0).abs() < 1e-9);
+        assert!((ladder[39] - 100.0).abs() < 1e-6);
+        // constant ratio
+        let r0 = ladder[1] / ladder[0];
+        for w in ladder.windows(2) {
+            assert!((w[1] / w[0] - r0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn labels_are_exact_and_consistent() {
+        let ds = small_ds();
+        let cfg = WorkloadConfig {
+            num_queries: 20,
+            thresholds_per_query: 10,
+            kind: DistanceKind::Euclidean,
+            scheme: ThresholdScheme::GeometricSelectivity,
+            seed: 3,
+            threads: 2,
+        };
+        let w = generate_workload(&ds, &cfg);
+        assert_eq!(w.train.len(), 16);
+        assert_eq!(w.valid.len(), 2);
+        assert_eq!(w.test.len(), 2);
+        for q in w.train.iter().chain(&w.valid).chain(&w.test) {
+            // thresholds sorted, selectivities non-decreasing (consistency
+            // of the ground truth itself)
+            for i in 1..q.thresholds.len() {
+                assert!(q.thresholds[i] >= q.thresholds[i - 1]);
+                assert!(q.selectivities[i] >= q.selectivities[i - 1]);
+            }
+            // spot-check exactness by brute force
+            let t = q.thresholds[q.thresholds.len() / 2];
+            let count = ds
+                .iter()
+                .filter(|row| DistanceKind::Euclidean.eval(&q.x, row) <= t)
+                .count() as f64;
+            assert_eq!(count, q.selectivities[q.thresholds.len() / 2]);
+            assert!(q.thresholds.last().copied().expect("nonempty") <= w.tmax);
+        }
+    }
+
+    #[test]
+    fn selectivity_ladder_hits_target_counts() {
+        let ds = small_ds();
+        let cfg = WorkloadConfig {
+            num_queries: 5,
+            thresholds_per_query: 8,
+            kind: DistanceKind::Euclidean,
+            scheme: ThresholdScheme::GeometricSelectivity,
+            seed: 5,
+            threads: 1,
+        };
+        let w = generate_workload(&ds, &cfg);
+        for q in &w.train {
+            // smallest rung ~1 (query is itself a DB point → >= 1)
+            assert!(q.selectivities[0] >= 1.0);
+            // largest rung ~ n/100 = 5 (ties can push it higher)
+            assert!(*q.selectivities.last().expect("nonempty") >= 5.0);
+        }
+    }
+
+    #[test]
+    fn beta_scheme_produces_sorted_thresholds() {
+        let ds = small_ds();
+        let cfg = WorkloadConfig {
+            num_queries: 10,
+            thresholds_per_query: 12,
+            kind: DistanceKind::Cosine,
+            scheme: ThresholdScheme::Beta { alpha: 3.0, beta: 2.5 },
+            seed: 7,
+            threads: 2,
+        };
+        let w = generate_workload(&ds, &cfg);
+        for q in w.train.iter().chain(&w.valid).chain(&w.test) {
+            for i in 1..q.thresholds.len() {
+                assert!(q.thresholds[i] >= q.thresholds[i - 1]);
+                assert!(q.selectivities[i] >= q.selectivities[i - 1]);
+            }
+            assert!(q.thresholds.iter().all(|&t| t >= 0.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = small_ds();
+        let cfg = WorkloadConfig::new(8, DistanceKind::Euclidean, 11);
+        let a = generate_workload(&ds, &cfg);
+        let b = generate_workload(&ds, &cfg);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.tmax, b.tmax);
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-partition ground-truth labels for the joint training loss of the
+//! partitioned model (§5.3): `J_joint` needs the local selectivity
+//! `f_i(x, t, D_i)` for every partition `D_i`.
+
+use crate::query::{LabeledQuery, PartitionedLabels};
+use selnet_data::Dataset;
+use selnet_index::Partitioning;
+use selnet_metric::DistanceKind;
+
+/// Computes `labels[query][part][threshold]` — the exact selectivity of
+/// each query/threshold pair restricted to each partition. The per-part
+/// counts always sum to the global label (Observation 1 of the paper).
+pub fn label_partitions(
+    ds: &Dataset,
+    partitioning: &Partitioning,
+    queries: &[LabeledQuery],
+    kind: DistanceKind,
+    threads: usize,
+) -> PartitionedLabels {
+    let k = partitioning.k();
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+    .min(queries.len().max(1));
+
+    let mut labels: Vec<Option<Vec<Vec<f64>>>> = vec![None; queries.len()];
+    std::thread::scope(|scope| {
+        let chunk = queries.len().div_ceil(threads);
+        let mut rest: &mut [Option<Vec<Vec<f64>>>] = &mut labels;
+        let mut start = 0usize;
+        for _ in 0..threads {
+            let take = chunk.min(rest.len());
+            if take == 0 {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            scope.spawn(move || {
+                // per-thread scratch: distances grouped by partition
+                let mut per_part: Vec<Vec<f32>> = vec![Vec::new(); k];
+                for (off, slot) in head.iter_mut().enumerate() {
+                    let q = &queries[start + off];
+                    for p in &mut per_part {
+                        p.clear();
+                    }
+                    for (i, row) in ds.iter().enumerate() {
+                        per_part[partitioning.assignments()[i]].push(kind.eval(&q.x, row));
+                    }
+                    for p in &mut per_part {
+                        p.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    }
+                    let mut rows = Vec::with_capacity(k);
+                    for p in &per_part {
+                        let counts: Vec<f64> = q
+                            .thresholds
+                            .iter()
+                            .map(|&t| p.partition_point(|&d| d <= t) as f64)
+                            .collect();
+                        rows.push(counts);
+                    }
+                    *slot = Some(rows);
+                }
+            });
+            start += take;
+        }
+    });
+    PartitionedLabels { labels: labels.into_iter().map(|l| l.expect("labeled")).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_workload, WorkloadConfig};
+    use selnet_data::generators::{fasttext_like, GeneratorConfig};
+    use selnet_index::PartitionMethod;
+
+    #[test]
+    fn partition_labels_sum_to_global() {
+        let ds = fasttext_like(&GeneratorConfig::new(400, 5, 3, 2));
+        let cfg = WorkloadConfig {
+            num_queries: 10,
+            thresholds_per_query: 8,
+            kind: DistanceKind::Euclidean,
+            scheme: crate::generate::ThresholdScheme::GeometricSelectivity,
+            seed: 1,
+            threads: 2,
+        };
+        let w = generate_workload(&ds, &cfg);
+        let p = Partitioning::build(&ds, DistanceKind::Euclidean,
+            PartitionMethod::CoverTree { ratio: 0.1 }, 3, 0);
+        let pl = label_partitions(&ds, &p, &w.train, DistanceKind::Euclidean, 2);
+        assert_eq!(pl.labels.len(), w.train.len());
+        for (q, parts) in w.train.iter().zip(&pl.labels) {
+            assert_eq!(parts.len(), p.k());
+            for (j, &global) in q.selectivities.iter().enumerate() {
+                let sum: f64 = parts.iter().map(|row| row[j]).sum();
+                assert_eq!(sum, global, "Observation 1 violated");
+            }
+        }
+    }
+}

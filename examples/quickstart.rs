@@ -1,0 +1,65 @@
+//! Quickstart: train a SelNet selectivity estimator on a synthetic
+//! embedding collection and query it.
+//!
+//! ```text
+//! cargo run --release -p selnet-examples --bin quickstart
+//! ```
+
+use selnet_core::{fit_partitioned, PartitionConfig, SelNetConfig};
+use selnet_data::generators::{fasttext_like, GeneratorConfig};
+use selnet_eval::{evaluate, SelectivityEstimator};
+use selnet_metric::DistanceKind;
+use selnet_workload::{generate_workload, WorkloadConfig};
+
+fn main() {
+    // 1. a database of 10k 16-dimensional embeddings
+    let ds = fasttext_like(&GeneratorConfig::new(10_000, 16, 8, 42));
+    println!("database: {} vectors, {} dims", ds.len(), ds.dim());
+
+    // 2. a labeled workload: 200 queries x 15 thresholds, cosine distance
+    let wcfg = WorkloadConfig {
+        num_queries: 200,
+        thresholds_per_query: 15,
+        kind: DistanceKind::Cosine,
+        ..WorkloadConfig::new(200, DistanceKind::Cosine, 1)
+    };
+    let workload = generate_workload(&ds, &wcfg);
+    println!(
+        "workload: {} train / {} valid / {} test queries, tmax = {:.4}",
+        workload.train.len(),
+        workload.valid.len(),
+        workload.test.len(),
+        workload.tmax
+    );
+
+    // 3. train the partitioned SelNet (K = 3 cover-tree partitions)
+    let cfg = SelNetConfig { epochs: 20, ..SelNetConfig::default() };
+    let (model, report) = fit_partitioned(&ds, &workload, &cfg, &PartitionConfig::default());
+    println!(
+        "trained: best validation MAE {:.2} at epoch {}",
+        report.epoch_val_mae.iter().cloned().fold(f64::MAX, f64::min),
+        report.best_epoch
+    );
+
+    // 4. estimate: how many vectors are within cosine distance t of x?
+    // (thresholds drawn from the workload range — the paper's workloads
+    // cover selectivities in [1, |D|/100])
+    let probe = &workload.test[0];
+    let x = probe.x.as_slice();
+    for i in [2usize, 6, 10, 14] {
+        let t = probe.thresholds[i];
+        let exact = ds.iter().filter(|r| DistanceKind::Cosine.eval(x, r) <= t).count();
+        let est = model.estimate(x, t);
+        println!("t = {t:<9.5}  estimated {est:>9.1}   exact {exact:>6}");
+    }
+
+    // 5. consistency: estimates never decrease as t grows
+    let ts: Vec<f32> = (0..=40).map(|i| workload.tmax * i as f32 / 40.0).collect();
+    let preds = model.estimate_many(x, &ts);
+    assert!(preds.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    println!("consistency check passed ({} thresholds)", ts.len());
+
+    // 6. test-set accuracy
+    let m = evaluate(&model, &workload.test);
+    println!("test metrics: MSE {:.1}  MAE {:.2}  MAPE {:.3}", m.mse, m.mae, m.mape);
+}

@@ -1,0 +1,56 @@
+//! Live database updates with incremental learning (§5.4): stream inserts
+//! and deletes, keep labels exact incrementally, and let the update rule
+//! decide when retraining is worth it.
+//!
+//! ```text
+//! cargo run --release -p selnet-examples --bin update_stream
+//! ```
+
+use selnet_core::{fit_named, SelNetConfig, UpdatePolicy};
+use selnet_data::generators::{fasttext_like, GeneratorConfig};
+use selnet_eval::evaluate;
+use selnet_metric::DistanceKind;
+use selnet_workload::{generate_workload, LabeledQuery, UpdateSimulator, WorkloadConfig};
+
+fn main() {
+    let mut ds = fasttext_like(&GeneratorConfig::new(8000, 12, 8, 3));
+    let wcfg = WorkloadConfig {
+        num_queries: 150,
+        thresholds_per_query: 12,
+        ..WorkloadConfig::new(150, DistanceKind::Euclidean, 9)
+    };
+    let w = generate_workload(&ds, &wcfg);
+    let cfg = SelNetConfig { epochs: 15, ..SelNetConfig::default() };
+    let (mut model, _) = fit_named(&ds, &w, &cfg, "SelNet-ct");
+    println!("initial validation MAE: {:.2}", model.reference_val_mae());
+
+    let mut train = w.train.clone();
+    let mut valid = w.valid.clone();
+    let mut test = w.test.clone();
+    let mut sim = UpdateSimulator::new(17);
+    sim.batch = 25; // aggressive updates so retraining actually triggers
+    let policy = UpdatePolicy {
+        mae_tolerance: (model.reference_val_mae() * 0.10).max(0.25),
+        patience: 3,
+        max_epochs: 8,
+    };
+
+    println!("\n{:<5} {:<8} {:>10} {:>10} {:>12}", "op", "action", "test MSE", "test MAPE", "|D|");
+    for op in 1..=12 {
+        {
+            let mut splits: Vec<&mut [LabeledQuery]> =
+                vec![train.as_mut_slice(), valid.as_mut_slice(), test.as_mut_slice()];
+            sim.step(&mut ds, &mut splits, DistanceKind::Euclidean);
+        }
+        let decision = model.check_and_update(&train, &valid, &policy);
+        let m = evaluate(&model, &test);
+        println!(
+            "{op:<5} {:<8} {:>10.1} {:>10.3} {:>12}",
+            if decision.retrained() { "retrain" } else { "skip" },
+            m.mse,
+            m.mape,
+            ds.len()
+        );
+    }
+    println!("\nfinal validation MAE: {:.2}", model.reference_val_mae());
+}

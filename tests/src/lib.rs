@@ -1,0 +1,2 @@
+//! Integration test crate: see the `tests/` directory for the actual test
+//! suites (`end_to_end`, `property_tests`, `model_comparison`).

@@ -1,0 +1,69 @@
+//! Integration tests of the full model zoo through the bench harness:
+//! every model of the paper's comparison trains on every setting and
+//! produces finite, sane estimates.
+
+use selnet_bench::harness::{build_setting, train_models, ModelKind, Scale, Setting};
+use selnet_eval::{evaluate, SelectivityEstimator};
+
+fn tiny_scale() -> Scale {
+    Scale {
+        n: 1200,
+        dim: 8,
+        clusters: 5,
+        queries: 40,
+        w: 6,
+        epochs: 3,
+        ..Scale::quick()
+    }
+}
+
+#[test]
+fn full_zoo_trains_on_cosine_setting() {
+    let scale = tiny_scale();
+    let (ds, w) = build_setting(Setting::FaceCos, &scale);
+    let models = train_models(&ModelKind::comparison_set(), &ds, &w, &scale);
+    assert_eq!(models.len(), 10, "all ten models train under cosine");
+    for m in &models {
+        let metrics = evaluate(m.as_ref(), &w.test);
+        assert!(
+            metrics.mse.is_finite() && metrics.count > 0,
+            "{} produced bad metrics",
+            m.name()
+        );
+        // estimates must be non-negative
+        let q = &w.test[0];
+        for &t in &q.thresholds {
+            let e = m.estimate(&q.x, t);
+            assert!(e >= 0.0 && e.is_finite(), "{}: estimate {e} at t={t}", m.name());
+        }
+    }
+    // exactly the models marked * in the paper claim consistency
+    let consistent: Vec<&str> =
+        models.iter().filter(|m| m.guarantees_consistency()).map(|m| m.name()).collect();
+    assert_eq!(consistent, vec!["LSH", "KDE", "LightGBM-m", "DLN", "UMNN", "SelNet"]);
+}
+
+#[test]
+fn euclidean_setting_drops_lsh_only() {
+    let scale = tiny_scale();
+    let (ds, w) = build_setting(Setting::FasttextL2, &scale);
+    let models = train_models(&ModelKind::comparison_set(), &ds, &w, &scale);
+    assert_eq!(models.len(), 9, "LSH is cosine-only, like the paper's Table 2");
+    assert!(models.iter().all(|m| m.name() != "LSH"));
+}
+
+#[test]
+fn ablation_set_produces_three_named_variants() {
+    let scale = tiny_scale();
+    let (ds, w) = build_setting(Setting::FasttextCos, &scale);
+    let models = train_models(&ModelKind::ablation_set(), &ds, &w, &scale);
+    let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+    assert_eq!(names, vec!["SelNet", "SelNet-ct", "SelNet-ad-ct"]);
+}
+
+#[test]
+fn youtube_setting_uses_double_dimension() {
+    let scale = tiny_scale();
+    let (ds, _) = build_setting(Setting::YoutubeCos, &scale);
+    assert_eq!(ds.dim(), scale.dim * 2, "YouTube is the very-high-dim setting");
+}
