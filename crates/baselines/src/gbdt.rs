@@ -83,8 +83,17 @@ impl Tree {
         loop {
             match &self.nodes[cur] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    cur = if features[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -219,7 +228,12 @@ impl TreeBuilder<'_> {
         self.nodes.push(Node::Leaf { value: leaf_value }); // reserve slot
         let left = self.build(left_rows, depth + 1, llo, lhi);
         let right = self.build(right_rows, depth + 1, rlo, rhi);
-        self.nodes[placeholder] = Node::Split { feature, threshold, left, right };
+        self.nodes[placeholder] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         placeholder
     }
 
@@ -286,7 +300,9 @@ impl GbdtEstimator {
                 };
             }
             let rows: Vec<u32> = if cfg.subsample < 1.0 {
-                (0..n as u32).filter(|_| rng.gen::<f32>() < cfg.subsample).collect()
+                (0..n as u32)
+                    .filter(|_| rng.gen::<f32>() < cfg.subsample)
+                    .collect()
             } else {
                 (0..n as u32).collect()
             };
@@ -300,7 +316,9 @@ impl GbdtEstimator {
                 nodes: Vec::new(),
             };
             builder.build(rows, 0, f32::NEG_INFINITY, f32::INFINITY);
-            let tree = Tree { nodes: builder.nodes };
+            let tree = Tree {
+                nodes: builder.nodes,
+            };
             for i in 0..n {
                 let feats = &raw[i * num_features..(i + 1) * num_features];
                 pred[i] += cfg.learning_rate * tree.predict(feats);
@@ -308,8 +326,18 @@ impl GbdtEstimator {
             trees.push(tree);
         }
 
-        let name = if cfg.monotone_t { "LightGBM-m" } else { "LightGBM" };
-        GbdtEstimator { trees, base, cfg: cfg.clone(), dim, name: name.into() }
+        let name = if cfg.monotone_t {
+            "LightGBM-m"
+        } else {
+            "LightGBM"
+        };
+        GbdtEstimator {
+            trees,
+            base,
+            cfg: cfg.clone(),
+            dim,
+            name: name.into(),
+        }
     }
 
     /// Number of trees in the ensemble.
@@ -377,16 +405,26 @@ mod tests {
     #[test]
     fn gbdt_learns_better_than_base_prediction() {
         let (ds, w) = fixture();
-        let model = GbdtEstimator::fit(&ds, &w.train, DistanceKind::Euclidean, &GbdtConfig {
-            num_trees: 40,
-            ..Default::default()
-        });
+        let model = GbdtEstimator::fit(
+            &ds,
+            &w.train,
+            DistanceKind::Euclidean,
+            &GbdtConfig {
+                num_trees: 40,
+                ..Default::default()
+            },
+        );
         let metrics = evaluate(&model, &w.test);
         // base-only model (0 trees)
-        let base_only = GbdtEstimator::fit(&ds, &w.train, DistanceKind::Euclidean, &GbdtConfig {
-            num_trees: 0,
-            ..Default::default()
-        });
+        let base_only = GbdtEstimator::fit(
+            &ds,
+            &w.train,
+            DistanceKind::Euclidean,
+            &GbdtConfig {
+                num_trees: 0,
+                ..Default::default()
+            },
+        );
         let base_metrics = evaluate(&base_only, &w.test);
         assert!(
             metrics.mse < base_metrics.mse,
@@ -399,11 +437,16 @@ mod tests {
     #[test]
     fn monotone_variant_is_consistent() {
         let (ds, w) = fixture();
-        let model = GbdtEstimator::fit(&ds, &w.train, DistanceKind::Euclidean, &GbdtConfig {
-            num_trees: 30,
-            monotone_t: true,
-            ..Default::default()
-        });
+        let model = GbdtEstimator::fit(
+            &ds,
+            &w.train,
+            DistanceKind::Euclidean,
+            &GbdtConfig {
+                num_trees: 30,
+                monotone_t: true,
+                ..Default::default()
+            },
+        );
         let score = selnet_eval::empirical_monotonicity(&model, &w.test, 8, 60, w.tmax);
         assert_eq!(score, 100.0, "LightGBM-m must be fully monotone in t");
     }
@@ -411,10 +454,15 @@ mod tests {
     #[test]
     fn unconstrained_variant_may_violate_but_predicts() {
         let (ds, w) = fixture();
-        let model = GbdtEstimator::fit(&ds, &w.train, DistanceKind::Euclidean, &GbdtConfig {
-            num_trees: 30,
-            ..Default::default()
-        });
+        let model = GbdtEstimator::fit(
+            &ds,
+            &w.train,
+            DistanceKind::Euclidean,
+            &GbdtConfig {
+                num_trees: 30,
+                ..Default::default()
+            },
+        );
         assert!(!model.guarantees_consistency());
         let m = evaluate(&model, &w.test);
         assert!(m.mse.is_finite() && m.count > 0);
@@ -423,8 +471,12 @@ mod tests {
     #[test]
     fn predictions_are_nonnegative() {
         let (ds, w) = fixture();
-        let model = GbdtEstimator::fit(&ds, &w.train, DistanceKind::Euclidean,
-            &GbdtConfig::default());
+        let model = GbdtEstimator::fit(
+            &ds,
+            &w.train,
+            DistanceKind::Euclidean,
+            &GbdtConfig::default(),
+        );
         for q in &w.test {
             for &t in &q.thresholds {
                 assert!(model.estimate(&q.x, t) >= 0.0);

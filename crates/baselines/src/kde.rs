@@ -30,7 +30,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -49,7 +50,12 @@ pub struct KdeConfig {
 
 impl Default for KdeConfig {
     fn default() -> Self {
-        KdeConfig { sample_size: 2000, adaptive: true, adaptive_k: 1, seed: 0 }
+        KdeConfig {
+            sample_size: 2000,
+            adaptive: true,
+            adaptive_k: 1,
+            seed: 0,
+        }
     }
 }
 
@@ -134,8 +140,11 @@ impl SelectivityEstimator for KdeEstimator {
 
     fn estimate_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
         // compute distances once; reuse for all thresholds
-        let dists: Vec<f64> =
-            self.sample.iter().map(|s| self.kind.eval(x, s) as f64).collect();
+        let dists: Vec<f64> = self
+            .sample
+            .iter()
+            .map(|s| self.kind.eval(x, s) as f64)
+            .collect();
         ts.iter()
             .map(|&t| {
                 let mut acc = 0.0f64;
@@ -183,10 +192,14 @@ mod tests {
     #[test]
     fn kde_estimates_are_consistent_in_t() {
         let ds = fasttext_like(&GeneratorConfig::new(800, 6, 4, 2));
-        let kde = KdeEstimator::fit(&ds, DistanceKind::Euclidean, &KdeConfig {
-            sample_size: 200,
-            ..Default::default()
-        });
+        let kde = KdeEstimator::fit(
+            &ds,
+            DistanceKind::Euclidean,
+            &KdeConfig {
+                sample_size: 200,
+                ..Default::default()
+            },
+        );
         let x = ds.row(5);
         let mut prev = -1.0;
         for i in 0..50 {
@@ -200,10 +213,14 @@ mod tests {
     #[test]
     fn kde_total_mass_approaches_n() {
         let ds = fasttext_like(&GeneratorConfig::new(500, 5, 3, 3));
-        let kde = KdeEstimator::fit(&ds, DistanceKind::Euclidean, &KdeConfig {
-            sample_size: 150,
-            ..Default::default()
-        });
+        let kde = KdeEstimator::fit(
+            &ds,
+            DistanceKind::Euclidean,
+            &KdeConfig {
+                sample_size: 150,
+                ..Default::default()
+            },
+        );
         // at a huge threshold every kernel saturates -> estimate ≈ |D|
         let est = kde.estimate(ds.row(0), 1e6);
         assert!((est - 500.0).abs() < 1.0, "got {est}");
@@ -212,13 +229,19 @@ mod tests {
     #[test]
     fn kde_tracks_exact_counts_roughly() {
         let ds = fasttext_like(&GeneratorConfig::new(1000, 5, 3, 4));
-        let kde = KdeEstimator::fit(&ds, DistanceKind::Euclidean, &KdeConfig {
-            sample_size: 400,
-            ..Default::default()
-        });
+        let kde = KdeEstimator::fit(
+            &ds,
+            DistanceKind::Euclidean,
+            &KdeConfig {
+                sample_size: 400,
+                ..Default::default()
+            },
+        );
         let x = ds.row(10);
-        let mut dists: Vec<f32> =
-            ds.iter().map(|r| DistanceKind::Euclidean.eval(x, r)).collect();
+        let mut dists: Vec<f32> = ds
+            .iter()
+            .map(|r| DistanceKind::Euclidean.eval(x, r))
+            .collect();
         dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
         // threshold with exact selectivity 100
         let t = dists[99];
@@ -232,10 +255,14 @@ mod tests {
     #[test]
     fn estimate_many_matches_estimate() {
         let ds = fasttext_like(&GeneratorConfig::new(300, 4, 2, 5));
-        let kde = KdeEstimator::fit(&ds, DistanceKind::Cosine, &KdeConfig {
-            sample_size: 100,
-            ..Default::default()
-        });
+        let kde = KdeEstimator::fit(
+            &ds,
+            DistanceKind::Cosine,
+            &KdeConfig {
+                sample_size: 100,
+                ..Default::default()
+            },
+        );
         let x = ds.row(0);
         let ts = [0.1f32, 0.5, 1.0];
         let many = kde.estimate_many(x, &ts);

@@ -29,7 +29,11 @@ pub struct LshConfig {
 
 impl Default for LshConfig {
     fn default() -> Self {
-        LshConfig { num_bits: 16, sample_budget: 2000, seed: 0 }
+        LshConfig {
+            num_bits: 16,
+            sample_budget: 2000,
+            seed: 0,
+        }
     }
 }
 
@@ -51,7 +55,10 @@ pub struct LshEstimator {
 impl LshEstimator {
     /// Builds signatures for the whole dataset.
     pub fn fit(ds: &Dataset, cfg: &LshConfig) -> Self {
-        assert!(cfg.num_bits >= 1 && cfg.num_bits <= 64, "num_bits in 1..=64");
+        assert!(
+            cfg.num_bits >= 1 && cfg.num_bits <= 64,
+            "num_bits in 1..=64"
+        );
         assert!(!ds.is_empty(), "dataset must be non-empty");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let dim = ds.dim();
@@ -107,8 +114,9 @@ impl SelectivityEstimator for LshEstimator {
         // deterministic per-query sampling
         let mut rng = StdRng::seed_from_u64(self.seed ^ qsig);
         // proportional-with-floor allocation of the budget to non-empty strata
-        let nonempty: Vec<usize> =
-            (0..strata.len()).filter(|&h| !strata[h].is_empty()).collect();
+        let nonempty: Vec<usize> = (0..strata.len())
+            .filter(|&h| !strata[h].is_empty())
+            .collect();
         let per_floor = (self.budget / nonempty.len().max(1)).max(1);
         let mut out = vec![0.0f64; ts.len()];
         for &h in &nonempty {
@@ -155,7 +163,13 @@ mod tests {
     #[test]
     fn signature_is_deterministic_and_bounded() {
         let ds = fixture();
-        let lsh = LshEstimator::fit(&ds, &LshConfig { num_bits: 12, ..Default::default() });
+        let lsh = LshEstimator::fit(
+            &ds,
+            &LshConfig {
+                num_bits: 12,
+                ..Default::default()
+            },
+        );
         let s1 = lsh.signature(ds.row(0));
         let s2 = lsh.signature(ds.row(0));
         assert_eq!(s1, s2);
@@ -165,7 +179,13 @@ mod tests {
     #[test]
     fn close_vectors_share_signature_bits() {
         let ds = fixture();
-        let lsh = LshEstimator::fit(&ds, &LshConfig { num_bits: 32, ..Default::default() });
+        let lsh = LshEstimator::fit(
+            &ds,
+            &LshConfig {
+                num_bits: 32,
+                ..Default::default()
+            },
+        );
         // nearly identical vectors
         let a = ds.row(0).to_vec();
         let mut b = a.clone();
@@ -191,11 +211,14 @@ mod tests {
     fn full_budget_equals_exact_count() {
         // budget >= n: every stratum fully sampled -> exact counting
         let ds = face_like(&GeneratorConfig::new(300, 8, 4, 5));
-        let lsh = LshEstimator::fit(&ds, &LshConfig {
-            num_bits: 8,
-            sample_budget: 300 * 9,
-            seed: 1,
-        });
+        let lsh = LshEstimator::fit(
+            &ds,
+            &LshConfig {
+                num_bits: 8,
+                sample_budget: 300 * 9,
+                seed: 1,
+            },
+        );
         let x = ds.row(3);
         for t in [0.05f32, 0.2, 0.5] {
             let exact = ds
@@ -210,17 +233,26 @@ mod tests {
     #[test]
     fn partial_budget_is_unbiased_ballpark() {
         let ds = fixture();
-        let lsh = LshEstimator::fit(&ds, &LshConfig {
-            num_bits: 12,
-            sample_budget: 400,
-            seed: 2,
-        });
+        let lsh = LshEstimator::fit(
+            &ds,
+            &LshConfig {
+                num_bits: 12,
+                sample_budget: 400,
+                seed: 2,
+            },
+        );
         let x = ds.row(11);
         let t = 0.4f32;
-        let exact = ds.iter().filter(|r| DistanceKind::Cosine.eval(x, r) <= t).count() as f64;
+        let exact = ds
+            .iter()
+            .filter(|r| DistanceKind::Cosine.eval(x, r) <= t)
+            .count() as f64;
         let est = lsh.estimate(x, t);
         // loose sanity band: within a factor 3 for a mid-range selectivity
         assert!(exact > 10.0, "fixture should have non-trivial selectivity");
-        assert!(est > exact / 3.0 && est < exact * 3.0, "est {est} vs exact {exact}");
+        assert!(
+            est > exact / 3.0 && est < exact * 3.0,
+            "est {est} vs exact {exact}"
+        );
     }
 }

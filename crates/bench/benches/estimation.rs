@@ -35,7 +35,9 @@ fn bench_estimation(c: &mut Criterion) {
         ModelKind::SelNetCt,
         ModelKind::SelNet,
     ] {
-        let Some(model) = train_model(kind, &ds, &w, &scale) else { continue };
+        let Some(model) = train_model(kind, &ds, &w, &scale) else {
+            continue;
+        };
         group.bench_function(model.name().to_string(), |b| {
             b.iter(|| black_box(model.estimate(black_box(&q), black_box(t))))
         });

@@ -33,7 +33,9 @@ fn bench_cover_tree(c: &mut Criterion) {
     group.bench_function("range_count", |b| {
         b.iter(|| black_box(tree.range_count(black_box(&q), black_box(2.0))))
     });
-    group.bench_function("nearest", |b| b.iter(|| black_box(tree.nearest(black_box(&q)))));
+    group.bench_function("nearest", |b| {
+        b.iter(|| black_box(tree.nearest(black_box(&q))))
+    });
     group.finish();
 }
 
@@ -42,7 +44,9 @@ fn bench_pwl(c: &mut Criterion) {
     let p: Vec<f32> = (0..52).map(|i| (i * i) as f32).collect();
     let pwl = PiecewiseLinear::new(tau.clone(), p.clone());
     let mut group = c.benchmark_group("pwl_head");
-    group.bench_function("eval_scalar", |b| b.iter(|| black_box(pwl.eval(black_box(0.73)))));
+    group.bench_function("eval_scalar", |b| {
+        b.iter(|| black_box(pwl.eval(black_box(0.73))))
+    });
     group.bench_function("eval_tape_batch256", |b| {
         let ts: Vec<f32> = (0..256).map(|i| i as f32 / 256.0).collect();
         b.iter(|| {
@@ -73,5 +77,11 @@ fn bench_ground_truth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_cover_tree, bench_pwl, bench_ground_truth);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_cover_tree,
+    bench_pwl,
+    bench_ground_truth
+);
 criterion_main!(benches);

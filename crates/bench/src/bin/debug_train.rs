@@ -18,13 +18,23 @@ fn main() {
     let cfg = selnet_config(&scale);
     let (_, rep) = fit_named(&ds, &w, &cfg, "SelNet-ct");
     println!("SelNet-ct:");
-    for (i, (l, m)) in rep.epoch_train_loss.iter().zip(&rep.epoch_val_mae).enumerate() {
+    for (i, (l, m)) in rep
+        .epoch_train_loss
+        .iter()
+        .zip(&rep.epoch_val_mae)
+        .enumerate()
+    {
         println!("  epoch {i:>2}: train loss {l:.4}  val MAE {m:.2}");
     }
 
     let (_, rep) = fit_partitioned(&ds, &w, &cfg, &PartitionConfig::default());
     println!("SelNet (partitioned):");
-    for (i, (l, m)) in rep.epoch_train_loss.iter().zip(&rep.epoch_val_mae).enumerate() {
+    for (i, (l, m)) in rep
+        .epoch_train_loss
+        .iter()
+        .zip(&rep.epoch_val_mae)
+        .enumerate()
+    {
         println!("  epoch {i:>2}: train loss {l:.4}  val MAE {m:.2}");
     }
 }

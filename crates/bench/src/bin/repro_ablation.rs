@@ -8,11 +8,14 @@ use selnet_eval::{evaluate, render_accuracy_table, AccuracyRow};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
-    let settings =
-        [Setting::FasttextCos, Setting::FasttextL2, Setting::FaceCos, Setting::YoutubeCos];
-    let mut csv = String::from(
-        "setting,model,mse_valid,mse_test,mae_valid,mae_test,mape_valid,mape_test\n",
-    );
+    let settings = [
+        Setting::FasttextCos,
+        Setting::FasttextL2,
+        Setting::FaceCos,
+        Setting::YoutubeCos,
+    ];
+    let mut csv =
+        String::from("setting,model,mse_valid,mse_test,mae_valid,mae_test,mape_valid,mape_test\n");
     println!("## Table 6: ablation study");
     for setting in settings {
         eprintln!("[repro_ablation] {}", setting.label());
@@ -31,7 +34,10 @@ fn main() {
             10f64.powi((rows.iter().map(|r| r.test.mse).fold(1.0, f64::max)).log10() as i32);
         let mae_scale =
             10f64.powi((rows.iter().map(|r| r.test.mae).fold(1.0, f64::max)).log10() as i32);
-        println!("{}", render_accuracy_table(setting.label(), &rows, mse_scale, mae_scale));
+        println!(
+            "{}",
+            render_accuracy_table(setting.label(), &rows, mse_scale, mae_scale)
+        );
         for r in &rows {
             csv.push_str(&format!(
                 "{},{},{},{},{},{},{},{}\n",

@@ -45,7 +45,11 @@ fn main() {
     );
 
     let models = train_models(&ModelKind::comparison_set(), &ds, &w, &scale);
-    eprintln!("[repro_accuracy] trained {} models in {:.1}s", models.len(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[repro_accuracy] trained {} models in {:.1}s",
+        models.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     let rows: Vec<AccuracyRow> = models
         .iter()
@@ -67,11 +71,23 @@ fn main() {
     };
     // scale factors mirror the paper's column headers, adapted to our
     // smaller label range
-    let mse_scale = 10f64.powi((rows.iter().map(|r| r.test.mse).fold(1.0, f64::max)).log10() as i32);
-    let mae_scale = 10f64.powi((rows.iter().map(|r| r.test.mae).fold(1.0, f64::max)).log10() as i32);
-    let title = format!("{table_no}: accuracy on {}{}", setting.label(),
-        if beta { " (Beta(3,2.5) thresholds)" } else { "" });
-    println!("{}", render_accuracy_table(&title, &rows, mse_scale, mae_scale));
+    let mse_scale =
+        10f64.powi((rows.iter().map(|r| r.test.mse).fold(1.0, f64::max)).log10() as i32);
+    let mae_scale =
+        10f64.powi((rows.iter().map(|r| r.test.mae).fold(1.0, f64::max)).log10() as i32);
+    let title = format!(
+        "{table_no}: accuracy on {}{}",
+        setting.label(),
+        if beta {
+            " (Beta(3,2.5) thresholds)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{}",
+        render_accuracy_table(&title, &rows, mse_scale, mae_scale)
+    );
 
     let suffix = if beta { "_beta" } else { "" };
     selnet_bench::harness::write_results(

@@ -26,7 +26,10 @@ fn main() {
     let fixed = fit_fixed_grid(&samples, 8 + 2, 10.0, epochs, 0.05, 1);
 
     println!("## Figure 3: fitting y = exp(t)/10 with 8 control points");
-    println!("training MSE: our model {:.3}  |  simplified DLN {:.3}", adaptive.mse, fixed.mse);
+    println!(
+        "training MSE: our model {:.3}  |  simplified DLN {:.3}",
+        adaptive.mse, fixed.mse
+    );
     println!("\ncontrol points (our model):");
     for (tau, p) in adaptive.pwl.tau().iter().zip(adaptive.pwl.p()) {
         println!("  tau = {tau:>7.3}   p = {p:>10.3}");

@@ -27,11 +27,20 @@ fn run_setting(setting: Setting, scale: &Scale, num_ops: usize) -> String {
 
     let mut csv = String::new();
     let m0 = evaluate(&model, &test);
-    csv.push_str(&format!("{},0,init,{},{},{}\n", setting.label(), m0.mse, m0.mape, 0));
+    csv.push_str(&format!(
+        "{},0,init,{},{},{}\n",
+        setting.label(),
+        m0.mse,
+        m0.mape,
+        0
+    ));
     for op in 1..=num_ops {
         {
-            let mut splits: Vec<&mut [LabeledQuery]> =
-                vec![train.as_mut_slice(), valid.as_mut_slice(), test.as_mut_slice()];
+            let mut splits: Vec<&mut [LabeledQuery]> = vec![
+                train.as_mut_slice(),
+                valid.as_mut_slice(),
+                test.as_mut_slice(),
+            ];
             sim.step(&mut ds, &mut splits, kind);
         }
         let decision = model.check_and_update(&train, &valid, &policy);
@@ -52,7 +61,11 @@ fn run_setting(setting: Setting, scale: &Scale, num_ops: usize) -> String {
                 setting.label(),
                 m.mse,
                 m.mape,
-                if retrained == 1 { "retrained" } else { "skipped" }
+                if retrained == 1 {
+                    "retrained"
+                } else {
+                    "skipped"
+                }
             );
         }
     }
@@ -62,7 +75,11 @@ fn run_setting(setting: Setting, scale: &Scale, num_ops: usize) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
-    let num_ops = if args.iter().any(|a| a == "--quick") { 20 } else { 100 };
+    let num_ops = if args.iter().any(|a| a == "--quick") {
+        20
+    } else {
+        100
+    };
 
     println!("## Figure 5: data update stream ({num_ops} ops, ±5 records each)");
     let mut csv = String::from("setting,op,action,mse,mape,retrained\n");

@@ -11,7 +11,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
     let (ds, w) = build_setting(Setting::FasttextCos, &scale);
-    let variants = [("Huber", LossKind::Huber), ("L2", LossKind::L2), ("L1", LossKind::L1)];
+    let variants = [
+        ("Huber", LossKind::Huber),
+        ("L2", LossKind::L2),
+        ("L1", LossKind::L1),
+    ];
 
     let mut results: Vec<Option<(&str, f64, f64, f64)>> = vec![None; variants.len()];
     std::thread::scope(|scope| {

@@ -7,7 +7,10 @@ use selnet_eval::empirical_monotonicity;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
-    eprintln!("[repro_monotonicity] setting=face-cos n={} queries={}", scale.n, scale.queries);
+    eprintln!(
+        "[repro_monotonicity] setting=face-cos n={} queries={}",
+        scale.n, scale.queries
+    );
     let (ds, w) = build_setting(Setting::FaceCos, &scale);
     let models = train_models(&ModelKind::comparison_set(), &ds, &w, &scale);
 
@@ -16,10 +19,18 @@ fn main() {
     let mut csv = String::from("model,consistent,monotonicity_pct\n");
     for m in &models {
         let score = empirical_monotonicity(m.as_ref(), &w.test, 200, 100, w.tmax);
-        let name =
-            if m.guarantees_consistency() { format!("{} *", m.name()) } else { m.name().into() };
+        let name = if m.guarantees_consistency() {
+            format!("{} *", m.name())
+        } else {
+            m.name().into()
+        };
         println!("{name:<16} {score:>12.2}");
-        csv.push_str(&format!("{},{},{}\n", m.name(), m.guarantees_consistency(), score));
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            m.name(),
+            m.guarantees_consistency(),
+            score
+        ));
     }
     selnet_bench::harness::write_results("monotonicity_face-cos.csv", &csv);
 }

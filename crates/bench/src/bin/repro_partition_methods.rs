@@ -37,7 +37,10 @@ fn main() {
     });
 
     println!("## Table 10: errors vs partitioning method (K=3) on fasttext-l2 (test)");
-    println!("{:<10} {:>14} {:>12} {:>10}", "Method", "MSE", "MAE", "MAPE");
+    println!(
+        "{:<10} {:>14} {:>12} {:>10}",
+        "Method", "MSE", "MAE", "MAPE"
+    );
     let mut csv = String::from("method,mse,mae,mape\n");
     for r in results.into_iter().flatten() {
         let (label, mse, mae, mape) = r;

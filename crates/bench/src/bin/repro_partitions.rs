@@ -5,13 +5,16 @@ use selnet_bench::harness::{build_setting, partition_config, selnet_config, Scal
 use selnet_core::{fit_named, fit_partitioned};
 use selnet_eval::{average_estimate_ms, evaluate, SelectivityEstimator};
 
+/// One sweep row: `(k, mse, mae, mape, avg_estimate_ms)`.
+type SweepRow = (usize, f64, f64, f64, f64);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
     let (ds, w) = build_setting(Setting::FasttextL2, &scale);
     let ks = [1usize, 3, 6, 9];
 
-    let mut results: Vec<Option<(usize, f64, f64, f64, f64)>> = vec![None; ks.len()];
+    let mut results: Vec<Option<SweepRow>> = vec![None; ks.len()];
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &k in &ks {

@@ -11,8 +11,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
     let (ds, w) = build_setting(Setting::FasttextL2, &scale);
-    let variants =
-        [("Norml2", TauNormalization::Norml2), ("Softmax", TauNormalization::Softmax)];
+    let variants = [
+        ("Norml2", TauNormalization::Norml2),
+        ("Softmax", TauNormalization::Softmax),
+    ];
 
     let mut results: Vec<Option<(&str, f64, f64, f64)>> = vec![None; variants.len()];
     std::thread::scope(|scope| {

@@ -7,8 +7,12 @@ use selnet_eval::average_estimate_ms;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
-    let settings =
-        [Setting::FaceCos, Setting::FasttextCos, Setting::FasttextL2, Setting::YoutubeCos];
+    let settings = [
+        Setting::FaceCos,
+        Setting::FasttextCos,
+        Setting::FasttextL2,
+        Setting::YoutubeCos,
+    ];
     let kinds = [
         ModelKind::Lsh,
         ModelKind::Kde,
@@ -62,8 +66,8 @@ fn main() {
     for (mi, name) in names.iter().enumerate() {
         print!("{name:<16}");
         csv.push_str(name);
-        for si in 0..settings.len() {
-            match cells[mi][si] {
+        for cell in &cells[mi] {
+            match *cell {
                 Some(ms) => {
                     print!(" {ms:>14.3}");
                     csv.push_str(&format!(",{ms}"));

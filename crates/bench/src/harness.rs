@@ -1,7 +1,9 @@
 //! Shared experiment harness: dataset settings, model zoo, CLI parsing,
 //! and CSV output. Every `repro_*` binary builds on this module.
 
-use selnet_baselines::{GbdtConfig, GbdtEstimator, KdeConfig, KdeEstimator, LshConfig, LshEstimator};
+use selnet_baselines::{
+    GbdtConfig, GbdtEstimator, KdeConfig, KdeEstimator, LshConfig, LshEstimator,
+};
 use selnet_core::{
     fit_named, fit_partitioned, PartitionConfig, PartitionedSelNet, SelNetConfig, SelNetModel,
 };
@@ -100,13 +102,24 @@ impl Default for Scale {
 impl Scale {
     /// A fast scale for smoke-testing the harness.
     pub fn quick() -> Self {
-        Scale { n: 4000, dim: 12, clusters: 8, queries: 120, w: 10, epochs: 8, ..Default::default() }
+        Scale {
+            n: 4000,
+            dim: 12,
+            clusters: 8,
+            queries: 120,
+            w: 10,
+            epochs: 8,
+            ..Default::default()
+        }
     }
 
     /// Parses CLI overrides like `--n 30000 --queries 800 --quick`.
     pub fn from_args(args: &[String]) -> Scale {
-        let mut scale =
-            if args.iter().any(|a| a == "--quick") { Scale::quick() } else { Scale::default() };
+        let mut scale = if args.iter().any(|a| a == "--quick") {
+            Scale::quick()
+        } else {
+            Scale::default()
+        };
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let mut next_usize = |field: &mut usize| {
@@ -129,7 +142,10 @@ impl Scale {
                 "--thresholds" => {
                     if let Some(v) = it.next() {
                         if v == "beta" {
-                            scale.scheme = ThresholdScheme::Beta { alpha: 3.0, beta: 2.5 };
+                            scale.scheme = ThresholdScheme::Beta {
+                                alpha: 3.0,
+                                beta: 2.5,
+                            };
                         }
                     }
                 }
@@ -217,13 +233,21 @@ impl ModelKind {
 
     /// The ablation set (Table 6).
     pub fn ablation_set() -> Vec<ModelKind> {
-        vec![ModelKind::SelNet, ModelKind::SelNetCt, ModelKind::SelNetAdCt]
+        vec![
+            ModelKind::SelNet,
+            ModelKind::SelNetCt,
+            ModelKind::SelNetAdCt,
+        ]
     }
 }
 
 /// Neural config derived from the scale.
 pub fn neural_config(scale: &Scale) -> NeuralConfig {
-    NeuralConfig { epochs: scale.epochs, seed: scale.seed, ..NeuralConfig::default() }
+    NeuralConfig {
+        epochs: scale.epochs,
+        seed: scale.seed,
+        ..NeuralConfig::default()
+    }
 }
 
 /// SelNet config derived from the scale.
@@ -255,7 +279,11 @@ pub fn train_model(
             let budget = sample_budget(ds.len());
             Box::new(LshEstimator::fit(
                 ds,
-                &LshConfig { sample_budget: budget, seed: scale.seed, ..Default::default() },
+                &LshConfig {
+                    sample_budget: budget,
+                    seed: scale.seed,
+                    ..Default::default()
+                },
             ))
         }
         // KDE keeps the paper's absolute 2000-sample budget (its error
@@ -264,25 +292,63 @@ pub fn train_model(
         ModelKind::Kde => Box::new(KdeEstimator::fit(
             ds,
             w.kind,
-            &KdeConfig { seed: scale.seed, ..Default::default() },
+            &KdeConfig {
+                seed: scale.seed,
+                ..Default::default()
+            },
         )),
         ModelKind::LightGbm => Box::new(GbdtEstimator::fit(
             ds,
             &w.train,
             w.kind,
-            &GbdtConfig { seed: scale.seed, ..Default::default() },
+            &GbdtConfig {
+                seed: scale.seed,
+                ..Default::default()
+            },
         )),
         ModelKind::LightGbmM => Box::new(GbdtEstimator::fit(
             ds,
             &w.train,
             w.kind,
-            &GbdtConfig { monotone_t: true, seed: scale.seed, ..Default::default() },
+            &GbdtConfig {
+                monotone_t: true,
+                seed: scale.seed,
+                ..Default::default()
+            },
         )),
         ModelKind::Dnn => Box::new(DnnEstimator::fit(ds, w, &ncfg)),
-        ModelKind::Moe => Box::new(MoeEstimator::fit(ds, w, &MoeConfig { base: ncfg, ..Default::default() })),
-        ModelKind::Rmi => Box::new(RmiEstimator::fit(ds, w, &RmiConfig { base: ncfg, ..Default::default() })),
-        ModelKind::Dln => Box::new(DlnEstimator::fit(ds, w, &DlnConfig { base: ncfg, ..Default::default() })),
-        ModelKind::Umnn => Box::new(UmnnEstimator::fit(ds, w, &UmnnConfig { base: ncfg, ..Default::default() })),
+        ModelKind::Moe => Box::new(MoeEstimator::fit(
+            ds,
+            w,
+            &MoeConfig {
+                base: ncfg,
+                ..Default::default()
+            },
+        )),
+        ModelKind::Rmi => Box::new(RmiEstimator::fit(
+            ds,
+            w,
+            &RmiConfig {
+                base: ncfg,
+                ..Default::default()
+            },
+        )),
+        ModelKind::Dln => Box::new(DlnEstimator::fit(
+            ds,
+            w,
+            &DlnConfig {
+                base: ncfg,
+                ..Default::default()
+            },
+        )),
+        ModelKind::Umnn => Box::new(UmnnEstimator::fit(
+            ds,
+            w,
+            &UmnnConfig {
+                base: ncfg,
+                ..Default::default()
+            },
+        )),
         ModelKind::SelNet => {
             let (m, _) = fit_partitioned(ds, w, &selnet_config(scale), &partition_config(scale));
             Box::new(m)
@@ -307,7 +373,10 @@ pub fn sample_budget(n: usize) -> usize {
 
 /// Partition config derived from the scale.
 pub fn partition_config(scale: &Scale) -> PartitionConfig {
-    PartitionConfig { pretrain_epochs: (scale.epochs / 4).max(2), ..Default::default() }
+    PartitionConfig {
+        pretrain_epochs: (scale.epochs / 4).max(2),
+        ..Default::default()
+    }
 }
 
 /// Trains many models concurrently (one thread per model).
@@ -364,8 +433,12 @@ mod tests {
 
     #[test]
     fn setting_parsing_roundtrip() {
-        for s in [Setting::FasttextCos, Setting::FasttextL2, Setting::FaceCos, Setting::YoutubeCos]
-        {
+        for s in [
+            Setting::FasttextCos,
+            Setting::FasttextL2,
+            Setting::FaceCos,
+            Setting::YoutubeCos,
+        ] {
             assert_eq!(Setting::parse(s.label()), Some(s));
         }
         assert_eq!(Setting::parse("nope"), None);
@@ -373,8 +446,10 @@ mod tests {
 
     #[test]
     fn scale_cli_overrides() {
-        let args: Vec<String> =
-            ["--n", "1234", "--queries", "55", "--thresholds", "beta"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--n", "1234", "--queries", "55", "--thresholds", "beta"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let s = Scale::from_args(&args);
         assert_eq!(s.n, 1234);
         assert_eq!(s.queries, 55);
@@ -383,7 +458,15 @@ mod tests {
 
     #[test]
     fn lsh_skipped_under_euclidean() {
-        let scale = Scale { n: 300, dim: 6, clusters: 3, queries: 12, w: 5, epochs: 1, ..Scale::quick() };
+        let scale = Scale {
+            n: 300,
+            dim: 6,
+            clusters: 3,
+            queries: 12,
+            w: 5,
+            epochs: 1,
+            ..Scale::quick()
+        };
         let (ds, w) = build_setting(Setting::FasttextL2, &scale);
         assert!(train_model(ModelKind::Lsh, &ds, &w, &scale).is_none());
     }

@@ -48,7 +48,12 @@ impl Autoencoder {
             Activation::Linear,
             rng,
         );
-        Autoencoder { encoder, decoder, input_dim, latent_dim }
+        Autoencoder {
+            encoder,
+            decoder,
+            input_dim,
+            latent_dim,
+        }
     }
 
     /// Latent dimensionality.
@@ -82,6 +87,7 @@ impl Autoencoder {
 
     /// Pretrains on (a sample of) the database, as the paper does before
     /// estimator training. Returns the final reconstruction loss.
+    #[allow(clippy::too_many_arguments)]
     pub fn pretrain(
         &self,
         store: &mut ParamStore,

@@ -58,8 +58,10 @@ impl ControlPointNets {
             Activation::Linear,
             rng,
         );
-        let dec_w =
-            store.add(format!("{name}.pdec.w"), selnet_tensor::init::he(l + 2, h, rng));
+        let dec_w = store.add(
+            format!("{name}.pdec.w"),
+            selnet_tensor::init::he(l + 2, h, rng),
+        );
         let dec_b = store.add(format!("{name}.pdec.b"), Matrix::zeros(1, l + 2));
         ControlPointNets {
             tau_net,
@@ -158,7 +160,8 @@ impl SelNetModel {
         let z = self.ae.encode(g, store, x);
         let input = g.concat_cols(x, z);
         let (tau, p) =
-            self.nets.control_points(g, store, input, self.tmax, self.cfg.query_dependent_tau);
+            self.nets
+                .control_points(g, store, input, self.tmax, self.cfg.query_dependent_tau);
         (tau, p, z)
     }
 
@@ -230,12 +233,21 @@ mod tests {
     use rand::SeedableRng;
 
     fn make_model(query_dep: bool) -> SelNetModel {
-        let cfg = SelNetConfig { query_dependent_tau: query_dep, ..SelNetConfig::tiny() };
+        let cfg = SelNetConfig {
+            query_dependent_tau: query_dep,
+            ..SelNetConfig::tiny()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut store = ParamStore::new();
-        let ae = Autoencoder::new(&mut store, "ae", 6, &cfg.ae_hidden, cfg.latent_dim, &mut rng);
-        let nets =
-            ControlPointNets::new(&mut store, "m", 6 + cfg.latent_dim, &cfg, &mut rng);
+        let ae = Autoencoder::new(
+            &mut store,
+            "ae",
+            6,
+            &cfg.ae_hidden,
+            cfg.latent_dim,
+            &mut rng,
+        );
+        let nets = ControlPointNets::new(&mut store, "m", 6 + cfg.latent_dim, &cfg, &mut rng);
         SelNetModel {
             cfg,
             dim: 6,
@@ -270,7 +282,11 @@ mod tests {
         assert_eq!(tau.len(), model.cfg.control_points + 2);
         assert_eq!(p.len(), tau.len());
         assert_eq!(tau[0], 0.0);
-        assert!((tau.last().unwrap() - 2.0).abs() < 1e-4, "tau_max {:?}", tau.last());
+        assert!(
+            (tau.last().unwrap() - 2.0).abs() < 1e-4,
+            "tau_max {:?}",
+            tau.last()
+        );
         assert!(tau.windows(2).all(|w| w[1] >= w[0]));
         assert!(p.windows(2).all(|w| w[1] >= w[0]));
     }
@@ -288,7 +304,10 @@ mod tests {
         let model = make_model(true);
         let (tau_a, _) = model.control_points_for(&[0.0; 6]);
         let (tau_b, _) = model.control_points_for(&[1.0, -1.0, 0.5, 0.3, -0.7, 0.2]);
-        assert_ne!(tau_a, tau_b, "query-dependent tau should differ across queries");
+        assert_ne!(
+            tau_a, tau_b,
+            "query-dependent tau should differ across queries"
+        );
     }
 
     #[test]
@@ -301,7 +320,14 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(9);
         let mut store = ParamStore::new();
-        let ae = Autoencoder::new(&mut store, "ae", 6, &cfg.ae_hidden, cfg.latent_dim, &mut rng);
+        let ae = Autoencoder::new(
+            &mut store,
+            "ae",
+            6,
+            &cfg.ae_hidden,
+            cfg.latent_dim,
+            &mut rng,
+        );
         let nets = ControlPointNets::new(&mut store, "m", 6 + cfg.latent_dim, &cfg, &mut rng);
         let model = SelNetModel {
             cfg,

@@ -167,8 +167,7 @@ fn build_joint_pairs<'a>(
             out.ylog.push((q.selectivities[j] as f32 + log_eps).ln());
             let ind = partitioning.indicator(&q.x, t);
             for part in 0..k {
-                out.ylog_local[part]
-                    .push((part_labels[qi][part][j] as f32 + log_eps).ln());
+                out.ylog_local[part].push((part_labels[qi][part][j] as f32 + log_eps).ln());
                 out.indicator[part].push(if ind[part] { 1.0 } else { 0.0 });
             }
         }
@@ -198,7 +197,6 @@ pub(crate) fn run_training_phase(
 ) {
     let cfg = model.cfg.clone();
     let beta = model.pcfg.beta;
-    let k = model.locals.len();
     let n = pairs.t.len();
     let mut order: Vec<usize> = (0..n).collect();
     let mut best_mae = model.reference_val_mae;
@@ -230,9 +228,9 @@ pub(crate) fn run_training_phase(
 
             // local losses: beta * sum_i J_est(f^(i))
             let mut loss_acc: Option<Var> = None;
-            for part in 0..k {
+            for (part, &local_pred) in local_preds.iter().enumerate() {
                 let yl = g.leaf(gather(&pairs.ylog_local[part], chunk));
-                let pl = g.ln_eps(local_preds[part], cfg.log_eps);
+                let pl = g.ln_eps(local_pred, cfg.log_eps);
                 let r = g.sub(pl, yl);
                 let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
                 let m = g.mean(h);
@@ -247,9 +245,9 @@ pub(crate) fn run_training_phase(
             if joint {
                 // global estimate: sum of indicator-masked local predictions
                 let mut global: Option<Var> = None;
-                for part in 0..k {
+                for (part, &local_pred) in local_preds.iter().enumerate() {
                     let ind = g.leaf(gather(&pairs.indicator[part], chunk));
-                    let masked = g.mul(local_preds[part], ind);
+                    let masked = g.mul(local_pred, ind);
                     global = Some(match global {
                         Some(acc) => g.add(acc, masked),
                         None => masked,
@@ -277,7 +275,9 @@ pub(crate) fn run_training_phase(
             let grads = g.param_grads();
             opt.step(&mut model.store, &grads);
         }
-        report.epoch_train_loss.push(epoch_loss / batches.max(1) as f64);
+        report
+            .epoch_train_loss
+            .push(epoch_loss / batches.max(1) as f64);
         let mae = partitioned_validation_mae(model, valid);
         report.epoch_val_mae.push(mae);
         if mae < best_mae {
@@ -300,10 +300,7 @@ pub(crate) fn run_training_phase(
     }
 }
 
-pub(crate) fn partitioned_validation_mae(
-    model: &PartitionedSelNet,
-    split: &[LabeledQuery],
-) -> f64 {
+pub(crate) fn partitioned_validation_mae(model: &PartitionedSelNet, split: &[LabeledQuery]) -> f64 {
     let mut abs = 0.0f64;
     let mut n = 0usize;
     for q in split {
@@ -326,14 +323,28 @@ pub fn fit_partitioned(
 ) -> (PartitionedSelNet, TrainReport) {
     let dim = ds.dim();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let partitioning =
-        Partitioning::build(ds, workload.kind, pcfg.method, pcfg.k, cfg.seed);
+    let partitioning = Partitioning::build(ds, workload.kind, pcfg.method, pcfg.k, cfg.seed);
     let k = partitioning.k();
 
     let mut store = ParamStore::new();
-    let ae = Autoencoder::new(&mut store, "ae", dim, &cfg.ae_hidden, cfg.latent_dim, &mut rng);
+    let ae = Autoencoder::new(
+        &mut store,
+        "ae",
+        dim,
+        &cfg.ae_hidden,
+        cfg.latent_dim,
+        &mut rng,
+    );
     let locals: Vec<ControlPointNets> = (0..k)
-        .map(|i| ControlPointNets::new(&mut store, &format!("local{i}"), dim + cfg.latent_dim, cfg, &mut rng))
+        .map(|i| {
+            ControlPointNets::new(
+                &mut store,
+                &format!("local{i}"),
+                dim + cfg.latent_dim,
+                cfg,
+                &mut rng,
+            )
+        })
         .collect();
 
     // AE pretraining (database, then training queries), as in the single model
@@ -349,7 +360,11 @@ pub fn fit_partitioned(
     if !workload.train.is_empty() {
         let queries = Dataset::from_rows(
             dim,
-            &workload.train.iter().map(|q| q.x.clone()).collect::<Vec<_>>(),
+            &workload
+                .train
+                .iter()
+                .map(|q| q.x.clone())
+                .collect::<Vec<_>>(),
         );
         ae.pretrain(
             &mut store,
@@ -376,8 +391,7 @@ pub fn fit_partitioned(
     };
 
     // per-partition ground truth (precomputed, as in the paper)
-    let part_labels =
-        label_partitions(ds, &model.partitioning, &workload.train, workload.kind, 0);
+    let part_labels = label_partitions(ds, &model.partitioning, &workload.train, workload.kind, 0);
     let pairs = build_joint_pairs(
         &workload.train,
         &part_labels.labels,
@@ -417,6 +431,7 @@ pub fn fit_partitioned(
 
 /// Re-trains an existing partitioned model on updated data until the
 /// validation MAE stops improving (used by the §5.4 update rule).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn continue_training(
     model: &mut PartitionedSelNet,
     ds: &Dataset,
@@ -522,7 +537,11 @@ mod tests {
         cfg.epochs = 12;
         let (_, report) = fit_partitioned(&ds, &w, &cfg, &tiny_pcfg());
         let first = report.epoch_val_mae[0];
-        let best = report.epoch_val_mae.iter().cloned().fold(f64::MAX, f64::min);
+        let best = report
+            .epoch_val_mae
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
         assert!(best < first, "val MAE should improve: {first} -> {best}");
     }
 }

@@ -62,15 +62,21 @@ impl SelNetModel {
         write_f32(w, c.huber_delta)?;
         write_f32(w, c.log_eps)?;
         write_usize(w, usize::from(c.query_dependent_tau))?;
-        write_usize(w, match c.tau_normalization {
-            TauNormalization::Norml2 => 0,
-            TauNormalization::Softmax => 1,
-        })?;
-        write_usize(w, match c.loss {
-            LossKind::Huber => 0,
-            LossKind::L2 => 1,
-            LossKind::L1 => 2,
-        })?;
+        write_usize(
+            w,
+            match c.tau_normalization {
+                TauNormalization::Norml2 => 0,
+                TauNormalization::Softmax => 1,
+            },
+        )?;
+        write_usize(
+            w,
+            match c.loss {
+                LossKind::Huber => 0,
+                LossKind::L2 => 1,
+                LossKind::L1 => 2,
+            },
+        )?;
         write_usize(w, c.ae_pretrain_epochs)?;
         write_usize(w, c.ae_pretrain_sample)?;
         w.write_all(&c.seed.to_le_bytes())?;
@@ -89,7 +95,10 @@ impl SelNetModel {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad model magic",
+            ));
         }
         let control_points = read_usize(r)?;
         let latent_dim = read_usize(r)?;
@@ -107,13 +116,23 @@ impl SelNetModel {
         let tau_normalization = match read_usize(r)? {
             0 => TauNormalization::Norml2,
             1 => TauNormalization::Softmax,
-            v => return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad tau norm {v}"))),
+            v => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad tau norm {v}"),
+                ))
+            }
         };
         let loss = match read_usize(r)? {
             0 => LossKind::Huber,
             1 => LossKind::L2,
             2 => LossKind::L1,
-            v => return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad loss {v}"))),
+            v => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad loss {v}"),
+                ))
+            }
         };
         let ae_pretrain_epochs = read_usize(r)?;
         let ae_pretrain_sample = read_usize(r)?;
@@ -155,11 +174,26 @@ impl SelNetModel {
         // copy the trained weights in
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let ae =
-            Autoencoder::new(&mut store, "ae", dim, &cfg.ae_hidden, cfg.latent_dim, &mut rng);
+        let ae = Autoencoder::new(
+            &mut store,
+            "ae",
+            dim,
+            &cfg.ae_hidden,
+            cfg.latent_dim,
+            &mut rng,
+        );
         let nets = ControlPointNets::new(&mut store, "net", dim + cfg.latent_dim, &cfg, &mut rng);
         store.copy_from(&loaded_store);
-        Ok(SelNetModel { cfg, dim, tmax, store, ae, nets, name, reference_val_mae })
+        Ok(SelNetModel {
+            cfg,
+            dim,
+            tmax,
+            store,
+            ae,
+            nets,
+            name,
+            reference_val_mae,
+        })
     }
 }
 

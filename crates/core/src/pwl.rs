@@ -148,8 +148,7 @@ pub fn fit_fixed_grid(
     let mut store = ParamStore::new();
     let raw_p = store.add("raw_p", init::normal(1, m, 0.5, &mut rng));
     let mut opt = Adam::new(lr);
-    let tau_fixed: Vec<f32> =
-        (0..m).map(|i| tmax * i as f32 / (m - 1) as f32).collect();
+    let tau_fixed: Vec<f32> = (0..m).map(|i| tmax * i as f32 / (m - 1) as f32).collect();
 
     let ts = Matrix::col_vector(&samples.iter().map(|s| s.0).collect::<Vec<_>>());
     let ys = Matrix::col_vector(&samples.iter().map(|s| s.1).collect::<Vec<_>>());
@@ -229,8 +228,9 @@ mod tests {
 
     #[test]
     fn fitted_function_covers_range() {
-        let samples: Vec<(f32, f32)> =
-            (0..50).map(|i| (i as f32 / 10.0, (i as f32 / 10.0) * 2.0)).collect();
+        let samples: Vec<(f32, f32)> = (0..50)
+            .map(|i| (i as f32 / 10.0, (i as f32 / 10.0) * 2.0))
+            .collect();
         let fit = fit_selnet_head(&samples, 6, 5.0, 1500, 0.05, 3);
         assert_eq!(fit.pwl.tau()[0], 0.0);
         let last = *fit.pwl.tau().last().expect("nonempty");

@@ -33,7 +33,11 @@ pub struct UpdatePolicy {
 
 impl Default for UpdatePolicy {
     fn default() -> Self {
-        UpdatePolicy { mae_tolerance: 1.0, patience: 3, max_epochs: 30 }
+        UpdatePolicy {
+            mae_tolerance: 1.0,
+            patience: 3,
+            max_epochs: 30,
+        }
     }
 }
 
@@ -102,7 +106,11 @@ impl SelNetModel {
             }
         }
         self.reference_val_mae = best;
-        UpdateDecision::Retrained { epochs_run, new_val_mae: best, report }
+        UpdateDecision::Retrained {
+            epochs_run,
+            new_val_mae: best,
+            report,
+        }
     }
 
     /// Stored reference validation MAE.
@@ -176,7 +184,10 @@ mod tests {
         scfg.epochs = 8;
         let (mut model, _) = fit(&ds, &w, &scfg);
         // no data change: drift 0 => skipped under any positive tolerance
-        let policy = UpdatePolicy { mae_tolerance: 1e9, ..Default::default() };
+        let policy = UpdatePolicy {
+            mae_tolerance: 1e9,
+            ..Default::default()
+        };
         let decision = model.check_and_update(&w.train, &w.valid, &policy);
         assert!(!decision.retrained());
     }
@@ -208,7 +219,11 @@ mod tests {
             sim.step(&mut ds, &mut splits, DistanceKind::Euclidean);
         }
 
-        let policy = UpdatePolicy { mae_tolerance: 0.01, patience: 2, max_epochs: 6 };
+        let policy = UpdatePolicy {
+            mae_tolerance: 0.01,
+            patience: 2,
+            max_epochs: 6,
+        };
         let mae_before = crate::train::validation_mae(&model, &valid);
         let decision = model.check_and_update(&train, &valid, &policy);
         assert!(decision.retrained());

@@ -16,7 +16,11 @@ impl Dataset {
     /// Creates an empty dataset of dimension `dim`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Dataset { dim, data: Vec::new(), name: String::new() }
+        Dataset {
+            dim,
+            data: Vec::new(),
+            name: String::new(),
+        }
     }
 
     /// Creates a dataset from a flat row-major buffer.
@@ -26,7 +30,11 @@ impl Dataset {
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(data.len() % dim, 0, "flat buffer not a multiple of dim");
-        Dataset { dim, data, name: String::new() }
+        Dataset {
+            dim,
+            data,
+            name: String::new(),
+        }
     }
 
     /// Creates a dataset from individual rows.

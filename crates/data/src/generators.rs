@@ -40,7 +40,12 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// Convenience constructor.
     pub fn new(n: usize, dim: usize, clusters: usize, seed: u64) -> Self {
-        GeneratorConfig { n, dim, clusters, seed }
+        GeneratorConfig {
+            n,
+            dim,
+            clusters,
+            seed,
+        }
     }
 }
 
@@ -102,7 +107,11 @@ pub fn fasttext_like(cfg: &GeneratorConfig) -> Dataset {
         .map(|_| (0..cfg.dim).map(|_| randn(&mut rng) * 2.0).collect())
         .collect();
     let scales: Vec<Vec<f32>> = (0..k)
-        .map(|_| (0..cfg.dim).map(|_| 0.15 + rng.gen_range(0.0..0.85f32)).collect())
+        .map(|_| {
+            (0..cfg.dim)
+                .map(|_| 0.15 + rng.gen_range(0.0..0.85f32))
+                .collect()
+        })
         .collect();
 
     let mut data = Vec::with_capacity(cfg.n * cfg.dim);
@@ -140,8 +149,9 @@ pub fn face_like(cfg: &GeneratorConfig) -> Dataset {
         let c = sample_cluster(&cum, &mut rng);
         // tight clusters on the sphere: small tangential noise
         let spread = 0.08 + 0.1 * (c as f32 / k.max(1) as f32);
-        let mut v: Vec<f32> =
-            (0..cfg.dim).map(|j| centers[c][j] + randn(&mut rng) * spread).collect();
+        let mut v: Vec<f32> = (0..cfg.dim)
+            .map(|j| centers[c][j] + randn(&mut rng) * spread)
+            .collect();
         selnet_metric::vectors::normalize(&mut v);
         data.extend_from_slice(&v);
     }
@@ -207,7 +217,10 @@ mod tests {
         let norms: Vec<f32> = ds.iter().map(norm).collect();
         let min = norms.iter().cloned().fold(f32::MAX, f32::min);
         let max = norms.iter().cloned().fold(0.0f32, f32::max);
-        assert!(max / min > 1.5, "expected heavy norm spread, got {min}..{max}");
+        assert!(
+            max / min > 1.5,
+            "expected heavy norm spread, got {min}..{max}"
+        );
     }
 
     #[test]

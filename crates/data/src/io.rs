@@ -26,7 +26,10 @@ pub fn read_dataset(r: &mut impl Read) -> io::Result<Dataset> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad dataset magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad dataset magic",
+        ));
     }
     let mut b4 = [0u8; 4];
     r.read_exact(&mut b4)?;

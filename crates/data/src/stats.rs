@@ -56,12 +56,7 @@ pub struct DistanceStats {
 
 /// Estimates the pairwise-distance distribution from `pairs` random pairs.
 /// Used to pick `tmax` and KDE bandwidths.
-pub fn distance_stats(
-    ds: &Dataset,
-    kind: DistanceKind,
-    pairs: usize,
-    seed: u64,
-) -> DistanceStats {
+pub fn distance_stats(ds: &Dataset, kind: DistanceKind, pairs: usize, seed: u64) -> DistanceStats {
     assert!(ds.len() >= 2, "need at least two vectors");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sum = 0.0f64;
@@ -82,7 +77,12 @@ pub fn distance_stats(
     }
     let mean = sum / pairs as f64;
     let var = (sumsq / pairs as f64 - mean * mean).max(0.0);
-    DistanceStats { mean, std: var.sqrt(), min, max }
+    DistanceStats {
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,12 @@ impl MetricsAccumulator {
     /// Finalizes into [`ErrorMetrics`].
     pub fn finish(self) -> ErrorMetrics {
         let n = self.n.max(1) as f64;
-        ErrorMetrics { mse: self.se / n, mae: self.ae / n, mape: self.ape / n, count: self.n }
+        ErrorMetrics {
+            mse: self.se / n,
+            mae: self.ae / n,
+            mape: self.ape / n,
+            count: self.n,
+        }
     }
 }
 

@@ -37,7 +37,11 @@ pub fn render_accuracy_table(
         "MAPE(T)",
     ));
     for r in rows {
-        let name = if r.consistent { format!("{} *", r.model) } else { r.model.clone() };
+        let name = if r.consistent {
+            format!("{} *", r.model)
+        } else {
+            r.model.clone()
+        };
         out.push_str(&format!(
             "{:<16} {:>12.2} {:>12.2} {:>10.2} {:>10.2} {:>8.2} {:>8.2}\n",
             name,
@@ -81,8 +85,18 @@ mod tests {
         AccuracyRow {
             model: "SelNet".into(),
             consistent: true,
-            valid: ErrorMetrics { mse: 4.95e5, mae: 2.95e2, mape: 0.63, count: 10 },
-            test: ErrorMetrics { mse: 5.08e5, mae: 2.96e2, mape: 0.61, count: 10 },
+            valid: ErrorMetrics {
+                mse: 4.95e5,
+                mae: 2.95e2,
+                mape: 0.63,
+                count: 10,
+            },
+            test: ErrorMetrics {
+                mse: 5.08e5,
+                mae: 2.96e2,
+                mape: 0.61,
+                count: 10,
+            },
         }
     }
 

@@ -55,7 +55,11 @@ fn covdist(level: i32) -> f32 {
 impl<'a> CoverTree<'a> {
     /// Builds a cover tree by sequential insertion of all dataset points.
     pub fn build(ds: &'a Dataset) -> Self {
-        let mut tree = CoverTree { ds, nodes: Vec::with_capacity(ds.len()), root: None };
+        let mut tree = CoverTree {
+            ds,
+            nodes: Vec::with_capacity(ds.len()),
+            root: None,
+        };
         for i in 0..ds.len() {
             tree.insert(i);
         }
@@ -184,7 +188,9 @@ impl<'a> CoverTree<'a> {
 
     /// Exact indices of points within distance `t` of `q`.
     pub fn range_query(&self, q: &[f32], t: f32) -> Vec<usize> {
-        let Some(root) = self.root else { return Vec::new() };
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
@@ -209,7 +215,10 @@ impl<'a> CoverTree<'a> {
     /// `(point index, distance)`, or `None` for an empty tree.
     pub fn nearest(&self, q: &[f32]) -> Option<(usize, f32)> {
         let root = self.root?;
-        let mut best = (self.nodes[root].point, self.dist_to(self.nodes[root].point, q));
+        let mut best = (
+            self.nodes[root].point,
+            self.dist_to(self.nodes[root].point, q),
+        );
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
             let node = &self.nodes[n];
@@ -230,7 +239,9 @@ impl<'a> CoverTree<'a> {
     /// tree will not expand its nodes if the number of data inside is
     /// smaller than r·|D|" (§5.3).
     pub fn regions(&self, max_region_size: usize) -> Vec<Region> {
-        let Some(root) = self.root else { return Vec::new() };
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
         let max_region_size = max_region_size.max(1);
         let mut regions = Vec::new();
         let mut stack = vec![root];
@@ -296,7 +307,9 @@ mod tests {
     use selnet_data::generators::{fasttext_like, GeneratorConfig};
 
     fn brute_count(ds: &Dataset, q: &[f32], t: f32) -> usize {
-        ds.iter().filter(|r| DistanceKind::Euclidean.eval(r, q) <= t).count()
+        ds.iter()
+            .filter(|r| DistanceKind::Euclidean.eval(r, q) <= t)
+            .count()
     }
 
     #[test]

@@ -102,7 +102,11 @@ pub fn kmeans(ds: &Dataset, k: usize, max_iters: usize, seed: u64) -> KMeansResu
             }
         }
     }
-    KMeansResult { centroids, assignments, inertia }
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+    }
 }
 
 #[cfg(test)]

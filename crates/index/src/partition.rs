@@ -83,9 +83,7 @@ impl Partitioning {
             }
         };
         match method {
-            PartitionMethod::CoverTree { ratio } => {
-                Self::build_cover_tree(geo_ref, kind, k, ratio)
-            }
+            PartitionMethod::CoverTree { ratio } => Self::build_cover_tree(geo_ref, kind, k, ratio),
             PartitionMethod::Random => Self::build_random(ds.len(), kind, k, seed),
             PartitionMethod::KMeans => Self::build_kmeans(geo_ref, kind, k, seed),
         }
@@ -152,7 +150,12 @@ impl Partitioning {
             .centroids
             .iter()
             .zip(&radius)
-            .map(|(c, &r)| vec![BallRegion { center: c.clone(), radius: r }])
+            .map(|(c, &r)| {
+                vec![BallRegion {
+                    center: c.clone(),
+                    radius: r,
+                }]
+            })
             .collect();
         Partitioning {
             k,
@@ -214,9 +217,9 @@ impl Partitioning {
         self.regions
             .iter()
             .map(|cluster| {
-                cluster.iter().any(|r| {
-                    DistanceKind::Euclidean.eval(&q, &r.center) <= te + r.radius + 1e-6
-                })
+                cluster
+                    .iter()
+                    .any(|r| DistanceKind::Euclidean.eval(&q, &r.center) <= te + r.radius + 1e-6)
             })
             .collect()
     }
@@ -237,8 +240,13 @@ mod tests {
     #[test]
     fn cover_tree_partitioning_is_balanced() {
         let ds = fasttext_like(&GeneratorConfig::new(600, 6, 5, 1));
-        let p = Partitioning::build(&ds, DistanceKind::Euclidean,
-            PartitionMethod::CoverTree { ratio: 0.05 }, 3, 0);
+        let p = Partitioning::build(
+            &ds,
+            DistanceKind::Euclidean,
+            PartitionMethod::CoverTree { ratio: 0.05 },
+            3,
+            0,
+        );
         check_valid_partitioning(&p, 600);
         let sizes = p.sizes();
         let max = *sizes.iter().max().unwrap() as f64;
@@ -278,10 +286,7 @@ mod tests {
                     for (i, row) in ds.iter().enumerate() {
                         if DistanceKind::Euclidean.eval(q, row) <= t {
                             let c = p.assignments()[i];
-                            assert!(
-                                ind[c],
-                                "cluster {c} pruned but contains in-range point {i}"
-                            );
+                            assert!(ind[c], "cluster {c} pruned but contains in-range point {i}");
                         }
                     }
                 }
@@ -292,8 +297,13 @@ mod tests {
     #[test]
     fn indicator_is_sound_cosine() {
         let ds = face_like(&GeneratorConfig::new(300, 8, 5, 6));
-        let p = Partitioning::build(&ds, DistanceKind::Cosine,
-            PartitionMethod::CoverTree { ratio: 0.05 }, 3, 7);
+        let p = Partitioning::build(
+            &ds,
+            DistanceKind::Cosine,
+            PartitionMethod::CoverTree { ratio: 0.05 },
+            3,
+            7,
+        );
         for qi in [5usize, 150] {
             let q = ds.row(qi);
             for t in [0.05f32, 0.2, 0.6] {
@@ -317,9 +327,12 @@ mod tests {
             rows.push(vec![100.0 + i as f32 * 1e-3, 0.0]);
         }
         let ds = Dataset::from_rows(2, &rows);
-        let p = Partitioning::build(&ds, DistanceKind::Euclidean,
-            PartitionMethod::KMeans, 2, 0);
+        let p = Partitioning::build(&ds, DistanceKind::Euclidean, PartitionMethod::KMeans, 2, 0);
         let ind = p.indicator(&[0.0, 0.0], 0.5);
-        assert_eq!(ind.iter().filter(|&&b| b).count(), 1, "expected one valid cluster");
+        assert_eq!(
+            ind.iter().filter(|&&b| b).count(),
+            1,
+            "expected one valid cluster"
+        );
     }
 }

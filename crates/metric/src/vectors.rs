@@ -60,7 +60,10 @@ pub fn normalize(v: &mut [f32]) {
 
 /// Normalizes every row of a flat row-major buffer in place.
 pub fn normalize_all(data: &mut [f32], dim: usize) {
-    assert!(dim > 0 && data.len().is_multiple_of(dim), "buffer not a multiple of dim");
+    assert!(
+        dim > 0 && data.len().is_multiple_of(dim),
+        "buffer not a multiple of dim"
+    );
     for row in data.chunks_exact_mut(dim) {
         normalize(row);
     }

@@ -67,7 +67,9 @@ pub struct TEmbedding {
 impl TEmbedding {
     /// Registers the embedding in `store`.
     pub fn new(store: &mut ParamStore, name: &str, width: usize, rng: &mut impl Rng) -> Self {
-        TEmbedding { linear: selnet_tensor::Linear::new(store, name, 1, width, rng) }
+        TEmbedding {
+            linear: selnet_tensor::Linear::new(store, name, 1, width, rng),
+        }
     }
 
     /// Records the forward pass (`t` is an `R x 1` column).
@@ -89,7 +91,11 @@ pub struct Pairs<'a> {
 
 /// Flattens a split for training.
 pub fn flatten<'a>(split: &'a [LabeledQuery], log_eps: f32) -> Pairs<'a> {
-    let mut p = Pairs { x: Vec::new(), t: Vec::new(), ylog: Vec::new() };
+    let mut p = Pairs {
+        x: Vec::new(),
+        t: Vec::new(),
+        ylog: Vec::new(),
+    };
     for q in split {
         for (i, &t) in q.thresholds.iter().enumerate() {
             p.x.push(q.x.as_slice());
@@ -111,7 +117,11 @@ pub fn batch(pairs: &Pairs<'_>, order: &[usize], dim: usize) -> (Matrix, Matrix,
         tb.push(pairs.t[i]);
         yb.push(pairs.ylog[i]);
     }
-    (Matrix::from_vec(b, dim, xb), Matrix::col_vector(&tb), Matrix::col_vector(&yb))
+    (
+        Matrix::from_vec(b, dim, xb),
+        Matrix::col_vector(&tb),
+        Matrix::col_vector(&yb),
+    )
 }
 
 /// Generic mini-batch trainer. `forward` records the model and returns the
@@ -153,7 +163,11 @@ pub fn train_minibatch(
             let tv = g.leaf(t);
             let yv = g.leaf(ylog);
             let (pred, is_log) = forward(&mut g, store, xv, tv);
-            let pred_log = if is_log { pred } else { g.ln_eps(pred, cfg.log_eps) };
+            let pred_log = if is_log {
+                pred
+            } else {
+                g.ln_eps(pred, cfg.log_eps)
+            };
             let r = g.sub(pred_log, yv);
             let h = g.huber(r, cfg.huber_delta);
             let loss = g.mean(h);
@@ -220,8 +234,11 @@ mod tests {
         let valid = vec![q.clone()];
         let mut rng = StdRng::seed_from_u64(1);
         let mut store = ParamStore::new();
-        let cfg =
-            NeuralConfig { epochs: 250, learning_rate: 1e-2, ..NeuralConfig::tiny() };
+        let cfg = NeuralConfig {
+            epochs: 250,
+            learning_rate: 1e-2,
+            ..NeuralConfig::tiny()
+        };
         let emb = TEmbedding::new(&mut store, "t", cfg.t_embed, &mut rng);
         let net = Mlp::new(
             &mut store,
@@ -259,7 +276,11 @@ mod tests {
                 let te = emb2.forward(&mut g, s, tv);
                 let input = g.concat_cols(xv, te);
                 let out = net2.forward(&mut g, s, input);
-                g.value(out).data().iter().map(|&z| from_log(z as f64, log_eps)).collect()
+                g.value(out)
+                    .data()
+                    .iter()
+                    .map(|&z| from_log(z as f64, log_eps))
+                    .collect()
             },
             |_| {},
         );

@@ -101,7 +101,13 @@ impl CalibratorBank {
                 keypoints.push(lo + span * i as f32 / (k - 1) as f32);
             }
         }
-        CalibratorBank { raw, keypoints, dims, k, monotone }
+        CalibratorBank {
+            raw,
+            keypoints,
+            dims,
+            k,
+            monotone,
+        }
     }
 
     /// Calibrates all dims of `inputs` (`R x dims`); returns `R x dims`.
@@ -116,8 +122,9 @@ impl CalibratorBank {
             } else {
                 g.sigmoid(slice)
             };
-            let tau =
-                g.leaf(Matrix::row_vector(&self.keypoints[d * self.k..(d + 1) * self.k]));
+            let tau = g.leaf(Matrix::row_vector(
+                &self.keypoints[d * self.k..(d + 1) * self.k],
+            ));
             let col = g.slice_cols(inputs, d, d + 1);
             let c = g.pwl_interp(tau, p, col);
             out = Some(match out {
@@ -199,7 +206,7 @@ impl DlnArch {
         let sum = g.add(xe, te);
         let emb = g.add_row_vec(sum, b);
         let emb01 = g.sigmoid(emb); // squash into the calibrator domain
-        // layer 3: monotone calibrators per embedding channel
+                                    // layer 3: monotone calibrators per embedding channel
         let cal3 = self.mid_cal.calibrate_all(g, store, emb01);
         // layer 4: lattice ensemble
         let mut lat_out: Option<Var> = None;
@@ -251,8 +258,14 @@ impl DlnEstimator {
         ranges.push((0.0, workload.tmax));
         let mut monotone = vec![false; dim];
         monotone.push(true); // t is the last dim
-        let input_cal =
-            CalibratorBank::new(&mut store, "cal1", &ranges, cfg.keypoints, monotone, &mut rng);
+        let input_cal = CalibratorBank::new(
+            &mut store,
+            "cal1",
+            &ranges,
+            cfg.keypoints,
+            monotone,
+            &mut rng,
+        );
 
         let embed_w_free = store.add("embed.wf", init::xavier(dim, cfg.embed, &mut rng));
         let embed_w_t = store.add("embed.wt", init::normal(1, cfg.embed, 0.5, &mut rng));
@@ -323,7 +336,11 @@ impl DlnEstimator {
                 let xv = g.leaf(replicate(x, ts.len()));
                 let tv = g.leaf(Matrix::col_vector(ts));
                 let out = arch_p.forward(&mut g, s, xv, tv);
-                g.value(out).data().iter().map(|&z| from_log(z as f64, log_eps)).collect()
+                g.value(out)
+                    .data()
+                    .iter()
+                    .map(|&z| from_log(z as f64, log_eps))
+                    .collect()
             },
             move |s| {
                 for &pid in &lat_ids {
@@ -332,7 +349,12 @@ impl DlnEstimator {
                 }
             },
         );
-        DlnEstimator { store, arch, log_eps, name: "DLN".into() }
+        DlnEstimator {
+            store,
+            arch,
+            log_eps,
+            name: "DLN".into(),
+        }
     }
 }
 
@@ -347,7 +369,11 @@ impl SelectivityEstimator for DlnEstimator {
         let xv = g.leaf(replicate(x, ts.len()));
         let tv = g.leaf(Matrix::col_vector(ts));
         let out = self.arch.forward(&mut g, &self.store, xv, tv);
-        g.value(out).data().iter().map(|&z| from_log(z as f64, self.log_eps)).collect()
+        g.value(out)
+            .data()
+            .iter()
+            .map(|&z| from_log(z as f64, self.log_eps))
+            .collect()
     }
 
     fn name(&self) -> &str {

@@ -38,7 +38,14 @@ impl DnnEstimator {
         let mut widths = vec![dim + cfg.t_embed];
         widths.extend_from_slice(&cfg.hidden);
         widths.push(1);
-        let net = Mlp::new(&mut store, "dnn", &widths, Activation::Relu, Activation::Linear, &mut rng);
+        let net = Mlp::new(
+            &mut store,
+            "dnn",
+            &widths,
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng,
+        );
 
         let emb_f = emb.clone();
         let net_f = net.clone();
@@ -63,11 +70,22 @@ impl DnnEstimator {
                 let te = emb_p.forward(&mut g, s, tv);
                 let input = g.concat_cols(xv, te);
                 let out = net_p.forward(&mut g, s, input);
-                g.value(out).data().iter().map(|&z| from_log(z as f64, log_eps)).collect()
+                g.value(out)
+                    .data()
+                    .iter()
+                    .map(|&z| from_log(z as f64, log_eps))
+                    .collect()
             },
             |_| {},
         );
-        DnnEstimator { store, emb, net, dim, log_eps, name: "DNN".into() }
+        DnnEstimator {
+            store,
+            emb,
+            net,
+            dim,
+            log_eps,
+            name: "DNN".into(),
+        }
     }
 }
 
@@ -84,7 +102,11 @@ impl SelectivityEstimator for DnnEstimator {
         let te = self.emb.forward(&mut g, &self.store, tv);
         let input = g.concat_cols(xv, te);
         let out = self.net.forward(&mut g, &self.store, input);
-        g.value(out).data().iter().map(|&z| from_log(z as f64, self.log_eps)).collect()
+        g.value(out)
+            .data()
+            .iter()
+            .map(|&z| from_log(z as f64, self.log_eps))
+            .collect()
     }
 
     fn name(&self) -> &str {
@@ -115,6 +137,11 @@ mod tests {
             let flat = Workload::flatten(&w.test);
             flat.iter().map(|f| f.2 * f.2).sum::<f64>() / flat.len() as f64
         };
-        assert!(m.mse < zero_mse, "DNN {} vs zero predictor {}", m.mse, zero_mse);
+        assert!(
+            m.mse < zero_mse,
+            "DNN {} vs zero predictor {}",
+            m.mse,
+            zero_mse
+        );
     }
 }

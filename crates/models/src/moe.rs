@@ -74,6 +74,7 @@ fn topk_mask(logits: &Matrix, k: usize) -> Matrix {
     mask
 }
 
+#[allow(clippy::too_many_arguments)]
 fn forward_moe(
     g: &mut Graph,
     store: &ParamStore,
@@ -140,18 +141,34 @@ impl MoeEstimator {
             &cfg.base,
             dim,
             move |g, s, x, t| {
-                (forward_moe(g, s, &emb_f, &gate_f, &experts_f, k, x, t), true)
+                (
+                    forward_moe(g, s, &emb_f, &gate_f, &experts_f, k, x, t),
+                    true,
+                )
             },
             move |s, x, ts| {
                 let mut g = Graph::new();
                 let xv = g.leaf(replicate(x, ts.len()));
                 let tv = g.leaf(Matrix::col_vector(ts));
                 let out = forward_moe(&mut g, s, &emb_p, &gate_p, &experts_p, k, xv, tv);
-                g.value(out).data().iter().map(|&z| from_log(z as f64, log_eps)).collect()
+                g.value(out)
+                    .data()
+                    .iter()
+                    .map(|&z| from_log(z as f64, log_eps))
+                    .collect()
             },
             |_| {},
         );
-        MoeEstimator { store, emb, gate, experts, top_k: cfg.top_k, dim, log_eps, name: "MoE".into() }
+        MoeEstimator {
+            store,
+            emb,
+            gate,
+            experts,
+            top_k: cfg.top_k,
+            dim,
+            log_eps,
+            name: "MoE".into(),
+        }
     }
 
     /// Number of experts.
@@ -180,7 +197,11 @@ impl SelectivityEstimator for MoeEstimator {
             xv,
             tv,
         );
-        g.value(out).data().iter().map(|&z| from_log(z as f64, self.log_eps)).collect()
+        g.value(out)
+            .data()
+            .iter()
+            .map(|&z| from_log(z as f64, self.log_eps))
+            .collect()
     }
 
     fn name(&self) -> &str {

@@ -7,8 +7,9 @@
 /// Clenshaw–Curtis nodes and weights on `[-1, 1]` for `n + 1` points.
 pub fn clenshaw_curtis(n: usize) -> (Vec<f64>, Vec<f64>) {
     assert!(n >= 1, "need at least two points");
-    let nodes: Vec<f64> =
-        (0..=n).map(|j| (std::f64::consts::PI * j as f64 / n as f64).cos()).collect();
+    let nodes: Vec<f64> = (0..=n)
+        .map(|j| (std::f64::consts::PI * j as f64 / n as f64).cos())
+        .collect();
     let mut weights = vec![0.0f64; n + 1];
     for (j, w) in weights.iter_mut().enumerate() {
         let c = if j == 0 || j == n { 1.0 } else { 2.0 };

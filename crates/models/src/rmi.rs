@@ -23,14 +23,20 @@ pub struct RmiConfig {
 
 impl Default for RmiConfig {
     fn default() -> Self {
-        RmiConfig { base: NeuralConfig::default(), stage_sizes: vec![1, 4, 8] }
+        RmiConfig {
+            base: NeuralConfig::default(),
+            stage_sizes: vec![1, 4, 8],
+        }
     }
 }
 
 impl RmiConfig {
     /// Small fast configuration for tests.
     pub fn tiny() -> Self {
-        RmiConfig { base: NeuralConfig::tiny(), stage_sizes: vec![1, 2, 4] }
+        RmiConfig {
+            base: NeuralConfig::tiny(),
+            stage_sizes: vec![1, 2, 4],
+        }
     }
 }
 
@@ -168,13 +174,7 @@ impl RmiEstimator {
     }
 }
 
-fn predict_submodel(
-    store: &ParamStore,
-    emb: &TEmbedding,
-    net: &Mlp,
-    x: &[f32],
-    t: f32,
-) -> f32 {
+fn predict_submodel(store: &ParamStore, emb: &TEmbedding, net: &Mlp, x: &[f32], t: f32) -> f32 {
     let mut g = Graph::new();
     let xv = g.leaf(Matrix::row_vector(x));
     let tv = g.leaf(Matrix::full(1, 1, t));

@@ -34,14 +34,22 @@ pub struct UmnnConfig {
 
 impl Default for UmnnConfig {
     fn default() -> Self {
-        UmnnConfig { base: NeuralConfig::default(), nodes: 8, offset_hidden: vec![32] }
+        UmnnConfig {
+            base: NeuralConfig::default(),
+            nodes: 8,
+            offset_hidden: vec![32],
+        }
     }
 }
 
 impl UmnnConfig {
     /// Small fast configuration for tests.
     pub fn tiny() -> Self {
-        UmnnConfig { base: NeuralConfig::tiny(), nodes: 6, offset_hidden: vec![8] }
+        UmnnConfig {
+            base: NeuralConfig::tiny(),
+            nodes: 6,
+            offset_hidden: vec![8],
+        }
     }
 }
 
@@ -140,11 +148,19 @@ impl UmnnEstimator {
                 let xv = g.leaf(replicate(x, ts.len()));
                 let tv = g.leaf(Matrix::col_vector(ts));
                 let out = arch_p.forward(&mut g, s, xv, tv);
-                g.value(out).data().iter().map(|&v| (v as f64).max(0.0)).collect()
+                g.value(out)
+                    .data()
+                    .iter()
+                    .map(|&v| (v as f64).max(0.0))
+                    .collect()
             },
             |_| {},
         );
-        UmnnEstimator { store, arch, name: "UMNN".into() }
+        UmnnEstimator {
+            store,
+            arch,
+            name: "UMNN".into(),
+        }
     }
 }
 
@@ -159,7 +175,11 @@ impl SelectivityEstimator for UmnnEstimator {
         let xv = g.leaf(replicate(x, ts.len()));
         let tv = g.leaf(Matrix::col_vector(ts));
         let out = self.arch.forward(&mut g, &self.store, xv, tv);
-        g.value(out).data().iter().map(|&v| (v as f64).max(0.0)).collect()
+        g.value(out)
+            .data()
+            .iter()
+            .map(|&v| (v as f64).max(0.0))
+            .collect()
     }
 
     fn name(&self) -> &str {

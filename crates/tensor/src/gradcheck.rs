@@ -28,7 +28,11 @@ pub fn check_gradients(
     // analytic
     let mut g = Graph::new();
     let (vars, loss) = build(&mut g, inputs);
-    assert_eq!(vars.len(), inputs.len(), "build must return one Var per input");
+    assert_eq!(
+        vars.len(),
+        inputs.len(),
+        "build must return one Var per input"
+    );
     g.backward(loss);
     let analytic: Vec<Matrix> = vars.iter().map(|&v| g.grad(v)).collect();
 
@@ -54,7 +58,10 @@ pub fn check_gradients(
             max_rel = max_rel.max(rel);
         }
     }
-    GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel }
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+    }
 }
 
 #[cfg(test)]

@@ -98,12 +98,19 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(64) }
+        Graph {
+            nodes: Vec::with_capacity(64),
+        }
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
         debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
-        self.nodes.push(Node { value, grad: None, op, param: None });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            param: None,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -148,7 +155,16 @@ impl Graph {
     pub fn param_grads(&self) -> Vec<(ParamId, Matrix)> {
         self.nodes
             .iter()
-            .filter_map(|n| n.param.map(|id| (id, n.grad.clone().unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols())))))
+            .filter_map(|n| {
+                n.param.map(|id| {
+                    (
+                        id,
+                        n.grad
+                            .clone()
+                            .unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols())),
+                    )
+                })
+            })
             .collect()
     }
 
@@ -249,14 +265,18 @@ impl Graph {
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x });
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { alpha * x });
         self.push(v, Op::LeakyRelu(a.0, alpha))
     }
 
     /// `elu(x) + 1 = exp(x)` for `x <= 0`, `x + 1` for `x > 0`; strictly
     /// positive, used for UMNN's positive integrand.
     pub fn elu_plus_one(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x + 1.0 } else { x.exp() });
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x + 1.0 } else { x.exp() });
         self.push(v, Op::EluPlusOne(a.0))
     }
 
@@ -430,12 +450,18 @@ impl Graph {
     /// `t` below `tau[0]` clamps to `p[0]`; `t` at or above `tau[m-1]`
     /// clamps to `p[m-1]`. Gradients flow to `tau`, `p`, and `t`.
     pub fn pwl_interp(&mut self, tau: Var, p: Var, t: Var) -> Var {
-        let (vt, vtau, vp) =
-            (&self.nodes[t.0].value, &self.nodes[tau.0].value, &self.nodes[p.0].value);
+        let (vt, vtau, vp) = (
+            &self.nodes[t.0].value,
+            &self.nodes[tau.0].value,
+            &self.nodes[p.0].value,
+        );
         let rows = vt.rows();
         assert_eq!(vt.cols(), 1, "pwl_interp: t must be a column vector");
         assert_eq!(vtau.cols(), vp.cols(), "pwl_interp: tau/p length mismatch");
-        assert!(vtau.cols() >= 2, "pwl_interp: need at least two control points");
+        assert!(
+            vtau.cols() >= 2,
+            "pwl_interp: need at least two control points"
+        );
         for (name, m) in [("tau", vtau), ("p", vp)] {
             assert!(
                 m.rows() == rows || m.rows() == 1,
@@ -445,6 +471,8 @@ impl Graph {
         let m = vtau.cols();
         let mut out = Matrix::zeros(rows, 1);
         let mut segments = vec![0i64; rows];
+        // index-driven on purpose: three parallel row-broadcast matrices
+        #[allow(clippy::needless_range_loop)]
         for r in 0..rows {
             let tr = vt.get(r, 0);
             let taur = vtau.row(if vtau.rows() == 1 { 0 } else { r });
@@ -473,7 +501,15 @@ impl Graph {
                 out.set(r, 0, pr[lo] + alpha * (pr[lo + 1] - pr[lo]));
             }
         }
-        self.push(out, Op::PwlInterp { tau: tau.0, p: p.0, t: t.0, segments })
+        self.push(
+            out,
+            Op::PwlInterp {
+                tau: tau.0,
+                p: p.0,
+                t: t.0,
+                segments,
+            },
+        )
     }
 
     /// Per-block linear map — the decoder of the paper's model M (§5.2).
@@ -505,7 +541,15 @@ impl Graph {
                 out.set(r, i, acc);
             }
         }
-        self.push(out, Op::BlockLinear { input: input.0, weight: weight.0, bias: bias.0, blocks })
+        self.push(
+            out,
+            Op::BlockLinear {
+                input: input.0,
+                weight: weight.0,
+                bias: bias.0,
+                blocks,
+            },
+        )
     }
 
     /// Multilinear lattice interpolation over the unit hypercube.
@@ -518,7 +562,11 @@ impl Graph {
         let (vi, vp) = (&self.nodes[input.0].value, &self.nodes[params.0].value);
         let m = vi.cols();
         assert!(m <= 16, "lattice: dimension too large (2^m params)");
-        assert_eq!(vp.shape(), (1, 1usize << m), "lattice: params must be 1 x 2^m");
+        assert_eq!(
+            vp.shape(),
+            (1, 1usize << m),
+            "lattice: params must be 1 x 2^m"
+        );
         let mut out = Matrix::zeros(vi.rows(), 1);
         for r in 0..vi.rows() {
             let x = vi.row(r);
@@ -533,7 +581,13 @@ impl Graph {
             }
             out.set(r, 0, acc);
         }
-        self.push(out, Op::Lattice { input: input.0, params: params.0 })
+        self.push(
+            out,
+            Op::Lattice {
+                input: input.0,
+                params: params.0,
+            },
+        )
     }
 
     // ---- backward ----
@@ -622,18 +676,21 @@ impl Graph {
                 self.accumulate(a, g);
             }
             Op::LeakyRelu(a, alpha) => {
-                let g = gout
-                    .zip_map(&self.nodes[a].value, |g, x| if x > 0.0 { g } else { alpha * g });
+                let g = gout.zip_map(
+                    &self.nodes[a].value,
+                    |g, x| if x > 0.0 { g } else { alpha * g },
+                );
                 self.accumulate(a, g);
             }
             Op::EluPlusOne(a) => {
-                let g = gout
-                    .zip_map(&self.nodes[a].value, |g, x| if x > 0.0 { g } else { g * x.exp() });
+                let g = gout.zip_map(
+                    &self.nodes[a].value,
+                    |g, x| if x > 0.0 { g } else { g * x.exp() },
+                );
                 self.accumulate(a, g);
             }
             Op::Softplus(a) => {
-                let g = gout
-                    .zip_map(&self.nodes[a].value, |g, x| g / (1.0 + (-x).exp()));
+                let g = gout.zip_map(&self.nodes[a].value, |g, x| g / (1.0 + (-x).exp()));
                 self.accumulate(a, g);
             }
             Op::Sigmoid(a) => {
@@ -770,7 +827,12 @@ impl Graph {
                 });
                 self.accumulate(a, g);
             }
-            Op::PwlInterp { tau, p, t, ref segments } => {
+            Op::PwlInterp {
+                tau,
+                p,
+                t,
+                ref segments,
+            } => {
                 let vtau = self.nodes[tau].value.clone();
                 let vp = self.nodes[p].value.clone();
                 let vt = self.nodes[t].value.clone();
@@ -778,6 +840,8 @@ impl Graph {
                 let mut gtau = Matrix::zeros(vtau.rows(), vtau.cols());
                 let mut gp = Matrix::zeros(vp.rows(), vp.cols());
                 let mut gt = Matrix::zeros(vt.rows(), 1);
+                // index-driven on purpose: parallel row-broadcast matrices
+                #[allow(clippy::needless_range_loop)]
                 for r in 0..vt.rows() {
                     let g = gout.get(r, 0);
                     if g == 0.0 {
@@ -815,7 +879,12 @@ impl Graph {
                 self.accumulate(p, gp);
                 self.accumulate(t, gt);
             }
-            Op::BlockLinear { input, weight, bias, blocks } => {
+            Op::BlockLinear {
+                input,
+                weight,
+                bias,
+                blocks,
+            } => {
                 let vi = self.nodes[input].value.clone();
                 let vw = self.nodes[weight].value.clone();
                 let h = vw.cols();
@@ -923,7 +992,11 @@ mod tests {
     #[test]
     fn norml2_rows_sum_to_one() {
         let mut g = Graph::new();
-        let x = g.leaf(Matrix::from_vec(2, 4, vec![0.5, -1.0, 2.0, 0.0, 1.0, 1.0, 1.0, 1.0]));
+        let x = g.leaf(Matrix::from_vec(
+            2,
+            4,
+            vec![0.5, -1.0, 2.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+        ));
         let y = g.norml2(x, 1e-6);
         for i in 0..2 {
             let s: f32 = g.value(y).row(i).iter().sum();

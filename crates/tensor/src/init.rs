@@ -51,8 +51,11 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.05, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.05, "var = {var}");
     }
@@ -70,8 +73,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = he(256, 256, &mut rng);
         let std_expected = (2.0 / 256.0f32).sqrt() as f64;
-        let var: f64 =
-            w.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / w.len() as f64;
+        let var: f64 = w.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / w.len() as f64;
         assert!((var.sqrt() - std_expected).abs() / std_expected < 0.1);
     }
 }

@@ -59,7 +59,12 @@ impl Linear {
     ) -> Self {
         let w = store.add(format!("{name}.w"), init::he(in_dim, out_dim, rng));
         let b = store.add(format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input dimensionality.
@@ -113,13 +118,20 @@ impl Mlp {
         output_activation: Activation,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(widths.len() >= 2, "Mlp needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "Mlp needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()
             .map(|(i, w)| Linear::new(store, &format!("{name}.l{i}"), w[0], w[1], rng))
             .collect();
-        Mlp { layers, hidden_activation, output_activation }
+        Mlp {
+            layers,
+            hidden_activation,
+            output_activation,
+        }
     }
 
     /// Input dimensionality.

@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -56,12 +64,20 @@ impl Matrix {
 
     /// Creates a single-row matrix from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Creates a single-column matrix from a slice.
     pub fn col_vector(values: &[f32]) -> Self {
-        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// Builds a matrix from a slice of equal-length rows.
@@ -78,7 +94,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -275,7 +295,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -339,7 +364,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Maximum absolute element, or 0 for an empty matrix.
@@ -363,7 +392,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: indices.len(), cols: self.cols, data }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Horizontally concatenates `self` and `other` (same row count).
@@ -375,7 +408,11 @@ impl Matrix {
             data.extend_from_slice(self.row(i));
             data.extend_from_slice(other.row(i));
         }
-        Matrix { rows: self.rows, cols, data }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Vertically concatenates `self` and `other` (same column count).
@@ -383,7 +420,11 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "vstack col mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns true if every element is finite.
@@ -398,8 +439,7 @@ impl fmt::Debug for Matrix {
         let max_rows = 8.min(self.rows);
         for i in 0..max_rows {
             let row = self.row(i);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
             let ellipsis = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
         }

@@ -73,7 +73,16 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the usual defaults (β1 = 0.9, β2 = 0.999, ε = 1e-8).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: None, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: None,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Enables elementwise gradient clipping to `[-c, c]`.

@@ -98,7 +98,10 @@ impl ParamStore {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad checkpoint magic",
+            ));
         }
         let count = read_u64(r)? as usize;
         let mut store = ParamStore::new();
@@ -126,7 +129,11 @@ impl ParamStore {
     /// # Panics
     /// Panics if the stores have different parameter counts or shapes.
     pub fn copy_from(&mut self, other: &ParamStore) {
-        assert_eq!(self.values.len(), other.values.len(), "param count mismatch");
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "param count mismatch"
+        );
         for (a, b) in self.values.iter_mut().zip(&other.values) {
             assert_eq!(a.shape(), b.shape(), "param shape mismatch");
             a.data_mut().copy_from_slice(b.data());
@@ -153,7 +160,10 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let mut store = ParamStore::new();
-        let w = store.add("layer0.w", Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32 * 0.1));
+        let w = store.add(
+            "layer0.w",
+            Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32 * 0.1),
+        );
         let b = store.add("layer0.b", Matrix::row_vector(&[1.0, -2.0, 3.5, 0.0]));
 
         let mut buf = Vec::new();

@@ -65,7 +65,9 @@ fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -91,12 +93,7 @@ pub fn selectivity_from_sorted(sorted: &[f32], t: f32) -> f64 {
 }
 
 /// Labels one query under the geometric-selectivity scheme.
-fn label_geometric(
-    ds: &Dataset,
-    x: &[f32],
-    kind: DistanceKind,
-    ladder: &[f64],
-) -> LabeledQuery {
+fn label_geometric(ds: &Dataset, x: &[f32], kind: DistanceKind, ladder: &[f64]) -> LabeledQuery {
     let sorted = sorted_distances(ds, x, kind);
     let n = sorted.len();
     let mut thresholds = Vec::with_capacity(ladder.len());
@@ -108,7 +105,11 @@ fn label_geometric(
         selectivities.push(selectivity_from_sorted(&sorted, t));
     }
     // thresholds are non-decreasing by construction (sorted array ranks)
-    LabeledQuery { x: x.to_vec(), thresholds, selectivities }
+    LabeledQuery {
+        x: x.to_vec(),
+        thresholds,
+        selectivities,
+    }
 }
 
 /// Labels one query with externally chosen thresholds.
@@ -119,8 +120,15 @@ fn label_fixed_thresholds(
     thresholds: Vec<f32>,
 ) -> LabeledQuery {
     let sorted = sorted_distances(ds, x, kind);
-    let selectivities = thresholds.iter().map(|&t| selectivity_from_sorted(&sorted, t)).collect();
-    LabeledQuery { x: x.to_vec(), thresholds, selectivities }
+    let selectivities = thresholds
+        .iter()
+        .map(|&t| selectivity_from_sorted(&sorted, t))
+        .collect();
+    LabeledQuery {
+        x: x.to_vec(),
+        thresholds,
+        selectivities,
+    }
 }
 
 /// Generates a fully-labeled workload with an 80:10:10 query split.
@@ -147,8 +155,8 @@ pub fn generate_workload(ds: &Dataset, cfg: &WorkloadConfig) -> Workload {
         ThresholdScheme::GeometricSelectivity => 0.0,
         ThresholdScheme::Beta { .. } => {
             let probes = indices.iter().take(16);
-            let top_rank = (ladder.last().copied().unwrap_or(1.0).ceil() as usize)
-                .clamp(1, ds.len());
+            let top_rank =
+                (ladder.last().copied().unwrap_or(1.0).ceil() as usize).clamp(1, ds.len());
             let mut t = 0.0f32;
             for &qi in probes {
                 let sorted = sorted_distances(ds, ds.row(qi), cfg.kind);
@@ -211,8 +219,7 @@ pub fn generate_workload(ds: &Dataset, cfg: &WorkloadConfig) -> Workload {
             start += take;
         }
     });
-    let labeled: Vec<LabeledQuery> =
-        labeled.into_iter().map(|q| q.expect("labeled")).collect();
+    let labeled: Vec<LabeledQuery> = labeled.into_iter().map(|q| q.expect("labeled")).collect();
 
     // tmax: cover all generated thresholds with a small margin
     let tmax = labeled
@@ -230,7 +237,13 @@ pub fn generate_workload(ds: &Dataset, cfg: &WorkloadConfig) -> Workload {
     let valid: Vec<_> = it.by_ref().take(n_valid).collect();
     let test: Vec<_> = it.collect();
 
-    Workload { kind: cfg.kind, tmax, train, valid, test }
+    Workload {
+        kind: cfg.kind,
+        tmax,
+        train,
+        valid,
+        test,
+    }
 }
 
 #[cfg(test)]
@@ -315,7 +328,10 @@ mod tests {
             num_queries: 10,
             thresholds_per_query: 12,
             kind: DistanceKind::Cosine,
-            scheme: ThresholdScheme::Beta { alpha: 3.0, beta: 2.5 },
+            scheme: ThresholdScheme::Beta {
+                alpha: 3.0,
+                beta: 2.5,
+            },
             seed: 7,
             threads: 2,
         };

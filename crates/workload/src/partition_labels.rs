@@ -21,7 +21,9 @@ pub fn label_partitions(
     let threads = if threads > 0 {
         threads
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
     .min(queries.len().max(1));
 
@@ -66,7 +68,9 @@ pub fn label_partitions(
             start += take;
         }
     });
-    PartitionedLabels { labels: labels.into_iter().map(|l| l.expect("labeled")).collect() }
+    PartitionedLabels {
+        labels: labels.into_iter().map(|l| l.expect("labeled")).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -88,8 +92,13 @@ mod tests {
             threads: 2,
         };
         let w = generate_workload(&ds, &cfg);
-        let p = Partitioning::build(&ds, DistanceKind::Euclidean,
-            PartitionMethod::CoverTree { ratio: 0.1 }, 3, 0);
+        let p = Partitioning::build(
+            &ds,
+            DistanceKind::Euclidean,
+            PartitionMethod::CoverTree { ratio: 0.1 },
+            3,
+            0,
+        );
         let pl = label_partitions(&ds, &p, &w.train, DistanceKind::Euclidean, 2);
         assert_eq!(pl.labels.len(), w.train.len());
         for (q, parts) in w.train.iter().zip(&pl.labels) {

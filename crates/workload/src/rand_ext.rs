@@ -64,12 +64,20 @@ mod tests {
         assert!(samples.iter().all(|&s| (0.0..=1.0).contains(&s)));
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
         let expected_mean = alpha / (alpha + beta);
-        assert!((mean - expected_mean).abs() < 0.01, "mean {mean} vs {expected_mean}");
-        let var: f64 =
-            samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
-        let expected_var =
-            alpha * beta / ((alpha + beta) * (alpha + beta) * (alpha + beta + 1.0));
-        assert!((var - expected_var).abs() < 0.005, "var {var} vs {expected_var}");
+        assert!(
+            (mean - expected_mean).abs() < 0.01,
+            "mean {mean} vs {expected_mean}"
+        );
+        let var: f64 = samples
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n as f64;
+        let expected_var = alpha * beta / ((alpha + beta) * (alpha + beta) * (alpha + beta + 1.0));
+        assert!(
+            (var - expected_var).abs() < 0.005,
+            "var {var} vs {expected_var}"
+        );
     }
 
     #[test]
@@ -77,9 +85,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for shape in [0.5, 1.0, 4.0] {
             let n = 30_000;
-            let mean: f64 =
-                (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
-            assert!((mean - shape).abs() / shape < 0.05, "shape {shape}: mean {mean}");
+            let mean: f64 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() / shape < 0.05,
+                "shape {shape}: mean {mean}"
+            );
         }
     }
 }

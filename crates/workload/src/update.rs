@@ -49,7 +49,12 @@ impl UpdateSimulator {
     /// Creates a simulator matching the paper's §7.6 setting: 5 records per
     /// op, balanced inserts/deletes.
     pub fn new(seed: u64) -> Self {
-        UpdateSimulator { rng: StdRng::seed_from_u64(seed), batch: 5, insert_prob: 0.5, noise: 0.05 }
+        UpdateSimulator {
+            rng: StdRng::seed_from_u64(seed),
+            batch: 5,
+            insert_prob: 0.5,
+            noise: 0.05,
+        }
     }
 
     /// Applies one operation to `ds`, incrementally fixing the labels of
@@ -70,8 +75,7 @@ impl UpdateSimulator {
                     // Box-Muller noise
                     let u1: f32 = self.rng.gen_range(f32::MIN_POSITIVE..1.0);
                     let u2: f32 = self.rng.gen_range(0.0..1.0);
-                    let z = (-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f32::consts::PI * u2).cos();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
                     *x += z * self.noise;
                 }
                 records.push(v);

@@ -36,7 +36,7 @@ fn splits_are_disjoint_by_query() {
     let mut seen: Vec<&[f32]> = Vec::new();
     for q in w.train.iter().chain(&w.valid).chain(&w.test) {
         assert!(
-            !seen.iter().any(|s| *s == q.x.as_slice()),
+            !seen.contains(&q.x.as_slice()),
             "query appears in two splits"
         );
         seen.push(&q.x);

@@ -35,13 +35,19 @@ fn train_attribute(name: &'static str, data: Dataset, seed: u64) -> Attribute {
         ..WorkloadConfig::new(150, DistanceKind::Cosine, seed)
     };
     let workload = generate_workload(&data, &wcfg);
-    let cfg = SelNetConfig { epochs: 15, seed, ..SelNetConfig::default() };
+    let cfg = SelNetConfig {
+        epochs: 15,
+        seed,
+        ..SelNetConfig::default()
+    };
     let (model, _) = fit_named(&data, &workload, &cfg, "SelNet-ct");
     Attribute { name, data, model }
 }
 
 fn exact_count(ds: &Dataset, x: &[f32], t: f32) -> usize {
-    ds.iter().filter(|r| DistanceKind::Cosine.eval(x, r) <= t).count()
+    ds.iter()
+        .filter(|r| DistanceKind::Cosine.eval(x, r) <= t)
+        .count()
 }
 
 fn main() {
@@ -58,11 +64,16 @@ fn main() {
     });
 
     // a stream of blocking rules: (record index, per-attribute threshold)
-    let rules = [(3usize, 0.05f32, 0.02f32), (50, 0.15, 0.01), (200, 0.01, 0.2), (777, 0.08, 0.08)];
+    let rules = [
+        (3usize, 0.05f32, 0.02f32),
+        (50, 0.15, 0.01),
+        (200, 0.01, 0.2),
+        (777, 0.08, 0.08),
+    ];
     let mut agree = 0usize;
     println!(
-        "\n{:<6} {:>12} {:>12} {:>12} {:>12}  {:<18} {}",
-        "record", "est(name)", "est(addr)", "exact(name)", "exact(addr)", "plan", "optimal?"
+        "\n{:<6} {:>12} {:>12} {:>12} {:>12}  {:<18} optimal?",
+        "record", "est(name)", "est(addr)", "exact(name)", "exact(addr)", "plan"
     );
     for &(rec, t_name, t_addr) in &rules {
         let thresholds = [t_name, t_addr];
@@ -88,9 +99,16 @@ fn main() {
             ests[1],
             exacts[0],
             exacts[1],
-            format!("{} then {}", attrs[plan_first].name, attrs[1 - plan_first].name),
+            format!(
+                "{} then {}",
+                attrs[plan_first].name,
+                attrs[1 - plan_first].name
+            ),
             if ok { "yes" } else { "NO" }
         );
     }
-    println!("\nplanner matched the optimal predicate order on {agree}/{} rules", rules.len());
+    println!(
+        "\nplanner matched the optimal predicate order on {agree}/{} rules",
+        rules.len()
+    );
 }

@@ -1,0 +1,3 @@
+//! Carrier crate for the runnable examples; see the `[[example]]`
+//! targets in `Cargo.toml`. Run one with e.g.
+//! `cargo run --release -p selnet-examples --example quickstart`.

@@ -40,13 +40,18 @@ fn main() {
         ..WorkloadConfig::new(250, DistanceKind::Cosine, 31)
     };
     let workload = generate_workload(&ds, &wcfg);
-    let cfg = SelNetConfig { epochs: 18, seed: 5, ..SelNetConfig::default() };
+    let cfg = SelNetConfig {
+        epochs: 18,
+        seed: 5,
+        ..SelNetConfig::default()
+    };
     let (model, _) = fit_named(&ds, &workload, &cfg, "SelNet-ct");
 
     // local density score: estimated count within a fixed cosine radius
     let radius = 0.05f32;
-    let mut scores: Vec<(usize, f64)> =
-        (0..ds.len()).map(|i| (i, model.estimate(ds.row(i), radius))).collect();
+    let mut scores: Vec<(usize, f64)> = (0..ds.len())
+        .map(|i| (i, model.estimate(ds.row(i), radius)))
+        .collect();
     scores.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
 
     // how many planted outliers appear in the bottom 2% of density scores?
@@ -57,9 +62,15 @@ fn main() {
 
     println!("\nlowest estimated densities (radius {radius}):");
     for &(i, s) in scores.iter().take(8) {
-        let exact =
-            ds.iter().filter(|r| DistanceKind::Cosine.eval(ds.row(i), r) <= radius).count();
-        let mark = if planted.contains(&i) { "  <- planted outlier" } else { "" };
+        let exact = ds
+            .iter()
+            .filter(|r| DistanceKind::Cosine.eval(ds.row(i), r) <= radius)
+            .count();
+        let mark = if planted.contains(&i) {
+            "  <- planted outlier"
+        } else {
+            ""
+        };
         println!("  point {i:>5}: est {s:>8.1}  exact {exact:>5}{mark}");
     }
     println!(

@@ -33,11 +33,18 @@ fn main() {
     );
 
     // 3. train the partitioned SelNet (K = 3 cover-tree partitions)
-    let cfg = SelNetConfig { epochs: 20, ..SelNetConfig::default() };
+    let cfg = SelNetConfig {
+        epochs: 20,
+        ..SelNetConfig::default()
+    };
     let (model, report) = fit_partitioned(&ds, &workload, &cfg, &PartitionConfig::default());
     println!(
         "trained: best validation MAE {:.2} at epoch {}",
-        report.epoch_val_mae.iter().cloned().fold(f64::MAX, f64::min),
+        report
+            .epoch_val_mae
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min),
         report.best_epoch
     );
 
@@ -48,7 +55,10 @@ fn main() {
     let x = probe.x.as_slice();
     for i in [2usize, 6, 10, 14] {
         let t = probe.thresholds[i];
-        let exact = ds.iter().filter(|r| DistanceKind::Cosine.eval(x, r) <= t).count();
+        let exact = ds
+            .iter()
+            .filter(|r| DistanceKind::Cosine.eval(x, r) <= t)
+            .count();
         let est = model.estimate(x, t);
         println!("t = {t:<9.5}  estimated {est:>9.1}   exact {exact:>6}");
     }
@@ -61,5 +71,8 @@ fn main() {
 
     // 6. test-set accuracy
     let m = evaluate(&model, &workload.test);
-    println!("test metrics: MSE {:.1}  MAE {:.2}  MAPE {:.3}", m.mse, m.mae, m.mape);
+    println!(
+        "test metrics: MSE {:.1}  MAE {:.2}  MAPE {:.3}",
+        m.mse, m.mae, m.mape
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
         ..WorkloadConfig::new(150, DistanceKind::Euclidean, 9)
     };
     let w = generate_workload(&ds, &wcfg);
-    let cfg = SelNetConfig { epochs: 15, ..SelNetConfig::default() };
+    let cfg = SelNetConfig {
+        epochs: 15,
+        ..SelNetConfig::default()
+    };
     let (mut model, _) = fit_named(&ds, &w, &cfg, "SelNet-ct");
     println!("initial validation MAE: {:.2}", model.reference_val_mae());
 
@@ -35,18 +38,28 @@ fn main() {
         max_epochs: 8,
     };
 
-    println!("\n{:<5} {:<8} {:>10} {:>10} {:>12}", "op", "action", "test MSE", "test MAPE", "|D|");
+    println!(
+        "\n{:<5} {:<8} {:>10} {:>10} {:>12}",
+        "op", "action", "test MSE", "test MAPE", "|D|"
+    );
     for op in 1..=12 {
         {
-            let mut splits: Vec<&mut [LabeledQuery]> =
-                vec![train.as_mut_slice(), valid.as_mut_slice(), test.as_mut_slice()];
+            let mut splits: Vec<&mut [LabeledQuery]> = vec![
+                train.as_mut_slice(),
+                valid.as_mut_slice(),
+                test.as_mut_slice(),
+            ];
             sim.step(&mut ds, &mut splits, DistanceKind::Euclidean);
         }
         let decision = model.check_and_update(&train, &valid, &policy);
         let m = evaluate(&model, &test);
         println!(
             "{op:<5} {:<8} {:>10.1} {:>10.3} {:>12}",
-            if decision.retrained() { "retrain" } else { "skip" },
+            if decision.retrained() {
+                "retrain"
+            } else {
+                "skip"
+            },
             m.mse,
             m.mape,
             ds.len()

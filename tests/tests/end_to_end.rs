@@ -1,7 +1,9 @@
 //! End-to-end integration tests spanning the whole workspace: data
 //! generation → workload labeling → partitioning → training → evaluation.
 
-use selnet_baselines::{GbdtConfig, GbdtEstimator, KdeConfig, KdeEstimator, LshConfig, LshEstimator};
+use selnet_baselines::{
+    GbdtConfig, GbdtEstimator, KdeConfig, KdeEstimator, LshConfig, LshEstimator,
+};
 use selnet_core::{fit_named, fit_partitioned, PartitionConfig, SelNetConfig};
 use selnet_data::generators::{face_like, fasttext_like, GeneratorConfig};
 use selnet_eval::{empirical_monotonicity, evaluate, SelectivityEstimator};
@@ -88,7 +90,10 @@ fn selnet_full_pipeline_euclidean() {
         metrics.mae,
         baseline.mae
     );
-    assert_eq!(empirical_monotonicity(&model, &w.test, 20, 60, w.tmax), 100.0);
+    assert_eq!(
+        empirical_monotonicity(&model, &w.test, 20, 60, w.tmax),
+        100.0
+    );
 }
 
 /// Cosine workload: partitioning runs on normalized vectors via the
@@ -96,15 +101,23 @@ fn selnet_full_pipeline_euclidean() {
 #[test]
 fn selnet_full_pipeline_cosine() {
     let (ds, w) = cosine_fixture();
-    let (model, _) = fit_partitioned(&ds, &w, &tiny_selnet(), &PartitionConfig {
-        k: 3,
-        method: PartitionMethod::CoverTree { ratio: 0.1 },
-        pretrain_epochs: 3,
-        beta: 0.1,
-    });
+    let (model, _) = fit_partitioned(
+        &ds,
+        &w,
+        &tiny_selnet(),
+        &PartitionConfig {
+            k: 3,
+            method: PartitionMethod::CoverTree { ratio: 0.1 },
+            pretrain_epochs: 3,
+            beta: 0.1,
+        },
+    );
     let metrics = evaluate(&model, &w.test);
     assert!(metrics.mse.is_finite() && metrics.count > 0);
-    assert_eq!(empirical_monotonicity(&model, &w.test, 20, 60, w.tmax), 100.0);
+    assert_eq!(
+        empirical_monotonicity(&model, &w.test, 20, 60, w.tmax),
+        100.0
+    );
 }
 
 /// Every consistent estimator must score exactly 100% on the §7.3 test;
@@ -116,23 +129,37 @@ fn all_consistent_models_score_100() {
     models.push(Box::new(KdeEstimator::fit(
         &ds,
         w.kind,
-        &KdeConfig { sample_size: 300, ..Default::default() },
+        &KdeConfig {
+            sample_size: 300,
+            ..Default::default()
+        },
     )));
     models.push(Box::new(LshEstimator::fit(
         &ds,
-        &LshConfig { sample_budget: 500, ..Default::default() },
+        &LshConfig {
+            sample_budget: 500,
+            ..Default::default()
+        },
     )));
     models.push(Box::new(GbdtEstimator::fit(
         &ds,
         &w.train,
         w.kind,
-        &GbdtConfig { num_trees: 20, monotone_t: true, ..Default::default() },
+        &GbdtConfig {
+            num_trees: 20,
+            monotone_t: true,
+            ..Default::default()
+        },
     )));
     let (selnet_ct, _) = fit_named(&ds, &w, &tiny_selnet(), "SelNet-ct");
     models.push(Box::new(selnet_ct));
 
     for m in &models {
-        assert!(m.guarantees_consistency(), "{} should claim consistency", m.name());
+        assert!(
+            m.guarantees_consistency(),
+            "{} should claim consistency",
+            m.name()
+        );
         let score = empirical_monotonicity(m.as_ref(), &w.test, 10, 50, w.tmax);
         assert_eq!(score, 100.0, "{} violated monotonicity", m.name());
     }
@@ -177,8 +204,11 @@ fn update_stream_keeps_model_healthy() {
     };
     for _ in 0..5 {
         {
-            let mut splits: Vec<&mut [selnet_workload::LabeledQuery]> =
-                vec![train.as_mut_slice(), valid.as_mut_slice(), test.as_mut_slice()];
+            let mut splits: Vec<&mut [selnet_workload::LabeledQuery]> = vec![
+                train.as_mut_slice(),
+                valid.as_mut_slice(),
+                test.as_mut_slice(),
+            ];
             sim.step(&mut ds, &mut splits, DistanceKind::Euclidean);
         }
         model.check_and_update(&train, &valid, &policy);
@@ -196,7 +226,10 @@ fn beta_threshold_pipeline() {
         num_queries: 50,
         thresholds_per_query: 10,
         kind: DistanceKind::Cosine,
-        scheme: ThresholdScheme::Beta { alpha: 3.0, beta: 2.5 },
+        scheme: ThresholdScheme::Beta {
+            alpha: 3.0,
+            beta: 2.5,
+        },
         seed: 9,
         threads: 0,
     };

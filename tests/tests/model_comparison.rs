@@ -34,13 +34,23 @@ fn full_zoo_trains_on_cosine_setting() {
         let q = &w.test[0];
         for &t in &q.thresholds {
             let e = m.estimate(&q.x, t);
-            assert!(e >= 0.0 && e.is_finite(), "{}: estimate {e} at t={t}", m.name());
+            assert!(
+                e >= 0.0 && e.is_finite(),
+                "{}: estimate {e} at t={t}",
+                m.name()
+            );
         }
     }
     // exactly the models marked * in the paper claim consistency
-    let consistent: Vec<&str> =
-        models.iter().filter(|m| m.guarantees_consistency()).map(|m| m.name()).collect();
-    assert_eq!(consistent, vec!["LSH", "KDE", "LightGBM-m", "DLN", "UMNN", "SelNet"]);
+    let consistent: Vec<&str> = models
+        .iter()
+        .filter(|m| m.guarantees_consistency())
+        .map(|m| m.name())
+        .collect();
+    assert_eq!(
+        consistent,
+        vec!["LSH", "KDE", "LightGBM-m", "DLN", "UMNN", "SelNet"]
+    );
 }
 
 #[test]
@@ -48,7 +58,11 @@ fn euclidean_setting_drops_lsh_only() {
     let scale = tiny_scale();
     let (ds, w) = build_setting(Setting::FasttextL2, &scale);
     let models = train_models(&ModelKind::comparison_set(), &ds, &w, &scale);
-    assert_eq!(models.len(), 9, "LSH is cosine-only, like the paper's Table 2");
+    assert_eq!(
+        models.len(),
+        9,
+        "LSH is cosine-only, like the paper's Table 2"
+    );
     assert!(models.iter().all(|m| m.name() != "LSH"));
 }
 
@@ -65,5 +79,9 @@ fn ablation_set_produces_three_named_variants() {
 fn youtube_setting_uses_double_dimension() {
     let scale = tiny_scale();
     let (ds, _) = build_setting(Setting::YoutubeCos, &scale);
-    assert_eq!(ds.dim(), scale.dim * 2, "YouTube is the very-high-dim setting");
+    assert_eq!(
+        ds.dim(),
+        scale.dim * 2,
+        "YouTube is the very-high-dim setting"
+    );
 }

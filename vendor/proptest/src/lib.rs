@@ -1,0 +1,92 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering the subset the SelNet reproduction's property tests
+//! use:
+//!
+//! * the [`proptest!`] macro (with an optional leading
+//!   `#![proptest_config(...)]`);
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges;
+//! * [`collection::vec`] with exact or ranged sizes;
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Semantics differ from the real crate in one deliberate way: failing
+//! cases are **not shrunk** — a failure panics with the sampled inputs in
+//! the assertion message instead. Each test function draws from a
+//! deterministic RNG seeded from its module path, so failures reproduce
+//! across runs. Swap this path dependency for the real crate when a
+//! registry is reachable.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! Mirrors the `prop` module re-export of the real prelude.
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a `proptest!` body. Unlike the real crate (which records
+/// the failure for shrinking) this panics immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `config.cases` times
+/// and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::new_rng(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
