@@ -115,10 +115,13 @@ impl Autoencoder {
                 indices.swap(i, j);
             }
             for chunk in indices.chunks(batch_size.max(1)) {
-                let mut xbuf = Vec::with_capacity(chunk.len() * ds.dim());
-                for &i in chunk {
-                    xbuf.extend_from_slice(ds.row(i));
-                }
+                // row gathering parallelizes over chunks for big batches
+                let xbuf = selnet_tensor::parallel::par_build_rows(
+                    chunk.len(),
+                    ds.dim(),
+                    selnet_tensor::parallel::configured_threads(),
+                    |bi, row| row.copy_from_slice(ds.row(chunk[bi])),
+                );
                 let batch = Matrix::from_vec(chunk.len(), ds.dim(), xbuf);
                 let mut g = Graph::new();
                 let x = g.leaf(batch);

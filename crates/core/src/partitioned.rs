@@ -179,6 +179,144 @@ fn gather(values: &[f32], order: &[usize]) -> Matrix {
     Matrix::col_vector(&order.iter().map(|&i| values[i]).collect::<Vec<_>>())
 }
 
+/// One local-pretraining step (§5.3 phase 1). The `K` local estimation
+/// losses and the AE reconstruction term are independent given the current
+/// parameters, so each runs forward + backward on its **own tape** — on
+/// its own thread when the dispatcher has workers to spare — and the
+/// gradients are summed in fixed job order afterwards. This is
+/// mathematically the same total loss the seed computed on one tape
+/// (`Σ_i J_est(f^(i)) + λ J_AE`), and the fixed merge order keeps the step
+/// deterministic for any thread count.
+///
+/// This multi-tape split runs even with one worker, where it re-runs the
+/// (small) AE encoder per job instead of sharing one `z`. That modest
+/// single-thread overhead is deliberate: a serial single-tape fallback
+/// would produce *different float rounding* than the merged-tape path, so
+/// trained models would depend on the machine's thread count — breaking
+/// the reproducibility contract pinned by
+/// `partitioned_training_is_deterministic`.
+fn local_pretrain_step(
+    model: &PartitionedSelNet,
+    pairs: &JointPairs<'_>,
+    chunk: &[usize],
+    x: &Matrix,
+    t: &Matrix,
+) -> (f64, Vec<(selnet_tensor::ParamId, Matrix)>) {
+    let cfg = &model.cfg;
+    let k = model.locals.len();
+    let threads = selnet_tensor::parallel::configured_threads();
+    // jobs 0..k: per-partition estimation losses; job k: the AE term
+    let jobs = selnet_tensor::parallel::par_map_indexed(k + 1, threads, 1, |job| {
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        if job < k {
+            let tv = g.leaf(t.clone());
+            let z = model.ae.encode(&mut g, &model.store, xv);
+            let input = g.concat_cols(xv, z);
+            let (tau, p) = model.locals[job].control_points(
+                &mut g,
+                &model.store,
+                input,
+                model.tmax,
+                cfg.query_dependent_tau,
+            );
+            let pred = g.pwl_interp(tau, p, tv);
+            let yl = g.leaf(gather(&pairs.ylog_local[job], chunk));
+            let pl = g.ln_eps(pred, cfg.log_eps);
+            let r = g.sub(pl, yl);
+            let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
+            let m = g.mean(h);
+            g.backward(m);
+            (g.value(m).get(0, 0) as f64, g.param_grads())
+        } else {
+            let loss = model.ae.reconstruction_loss(&mut g, &model.store, xv);
+            let scaled = g.scale(loss, cfg.lambda_ae);
+            g.backward(scaled);
+            (g.value(scaled).get(0, 0) as f64, g.param_grads())
+        }
+    });
+    // deterministic merge: job order, then parameter order
+    let mut merged: Vec<Option<Matrix>> = vec![None; model.store.len()];
+    let mut total = 0.0f64;
+    for (loss, grads) in jobs {
+        total += loss;
+        for (id, gm) in grads {
+            match &mut merged[id.index()] {
+                Some(acc) => acc.add_assign(&gm),
+                slot @ None => *slot = Some(gm),
+            }
+        }
+    }
+    let grads = model
+        .store
+        .ids()
+        .filter_map(|id| merged[id.index()].take().map(|g| (id, g)))
+        .collect();
+    (total, grads)
+}
+
+/// One joint-training step (§5.3 phase 2): the global estimate couples
+/// every partition through the indicator sum, so this stays a single tape.
+fn joint_step(
+    model: &PartitionedSelNet,
+    pairs: &JointPairs<'_>,
+    chunk: &[usize],
+    x: &Matrix,
+    t: &Matrix,
+) -> (f64, Vec<(selnet_tensor::ParamId, Matrix)>) {
+    let cfg = &model.cfg;
+    let beta = model.pcfg.beta;
+    let mut g = Graph::new();
+    let xv = g.leaf(x.clone());
+    let tv = g.leaf(t.clone());
+    let yv = g.leaf(gather(&pairs.ylog, chunk));
+    let (z, local_preds) = model.forward_locals(&mut g, xv, tv);
+
+    // local losses: beta * sum_i J_est(f^(i))
+    let mut loss_acc: Option<Var> = None;
+    for (part, &local_pred) in local_preds.iter().enumerate() {
+        let yl = g.leaf(gather(&pairs.ylog_local[part], chunk));
+        let pl = g.ln_eps(local_pred, cfg.log_eps);
+        let r = g.sub(pl, yl);
+        let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
+        let m = g.mean(h);
+        let weighted = g.scale(m, beta);
+        loss_acc = Some(match loss_acc {
+            Some(acc) => g.add(acc, weighted),
+            None => weighted,
+        });
+    }
+    let mut loss = loss_acc.expect("k > 0");
+
+    // global estimate: sum of indicator-masked local predictions
+    let mut global: Option<Var> = None;
+    for (part, &local_pred) in local_preds.iter().enumerate() {
+        let ind = g.leaf(gather(&pairs.indicator[part], chunk));
+        let masked = g.mul(local_pred, ind);
+        global = Some(match global {
+            Some(acc) => g.add(acc, masked),
+            None => masked,
+        });
+    }
+    let global = global.expect("k > 0");
+    let gl = g.ln_eps(global, cfg.log_eps);
+    let r = g.sub(gl, yv);
+    let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
+    let global_loss = g.mean(h);
+    loss = g.add(global_loss, loss);
+
+    // lambda * J_AE
+    let recon = model.ae.decode(&mut g, &model.store, z);
+    let dx = g.sub(recon, xv);
+    let sq = g.square(dx);
+    let ae = g.mean(sq);
+    let ae_scaled = g.scale(ae, cfg.lambda_ae);
+    loss = g.add(loss, ae_scaled);
+
+    g.backward(loss);
+    (g.value(loss).get(0, 0) as f64, g.param_grads())
+}
+
 /// Runs `epochs` of training. `joint = false` gives the pretraining phase
 /// (local losses + AE only); `joint = true` adds the global term.
 /// With `patience = Some(p)`, stops once validation MAE has not improved
@@ -196,7 +334,6 @@ pub(crate) fn run_training_phase(
     report: &mut TrainReport,
 ) {
     let cfg = model.cfg.clone();
-    let beta = model.pcfg.beta;
     let n = pairs.t.len();
     let mut order: Vec<usize> = (0..n).collect();
     let mut best_mae = model.reference_val_mae;
@@ -212,76 +349,36 @@ pub(crate) fn run_training_phase(
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let b = chunk.len();
-            let mut xbuf = Vec::with_capacity(b * model.dim);
-            for &i in chunk {
-                xbuf.extend_from_slice(pairs.x[i]);
-            }
+            let xbuf = selnet_tensor::parallel::par_build_rows(
+                b,
+                model.dim,
+                selnet_tensor::parallel::configured_threads(),
+                |bi, row| row.copy_from_slice(pairs.x[chunk[bi]]),
+            );
             let x = Matrix::from_vec(b, model.dim, xbuf);
             let t = gather(&pairs.t, chunk);
-            let ylog = gather(&pairs.ylog, chunk);
-
-            let mut g = Graph::new();
-            let xv = g.leaf(x);
-            let tv = g.leaf(t);
-            let yv = g.leaf(ylog);
-            let (z, local_preds) = model.forward_locals(&mut g, xv, tv);
-
-            // local losses: beta * sum_i J_est(f^(i))
-            let mut loss_acc: Option<Var> = None;
-            for (part, &local_pred) in local_preds.iter().enumerate() {
-                let yl = g.leaf(gather(&pairs.ylog_local[part], chunk));
-                let pl = g.ln_eps(local_pred, cfg.log_eps);
-                let r = g.sub(pl, yl);
-                let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
-                let m = g.mean(h);
-                let weighted = if joint { g.scale(m, beta) } else { m };
-                loss_acc = Some(match loss_acc {
-                    Some(acc) => g.add(acc, weighted),
-                    None => weighted,
-                });
-            }
-            let mut loss = loss_acc.expect("k > 0");
-
-            if joint {
-                // global estimate: sum of indicator-masked local predictions
-                let mut global: Option<Var> = None;
-                for (part, &local_pred) in local_preds.iter().enumerate() {
-                    let ind = g.leaf(gather(&pairs.indicator[part], chunk));
-                    let masked = g.mul(local_pred, ind);
-                    global = Some(match global {
-                        Some(acc) => g.add(acc, masked),
-                        None => masked,
-                    });
-                }
-                let global = global.expect("k > 0");
-                let gl = g.ln_eps(global, cfg.log_eps);
-                let r = g.sub(gl, yv);
-                let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
-                let global_loss = g.mean(h);
-                loss = g.add(global_loss, loss);
-            }
-
-            // lambda * J_AE
-            let recon = model.ae.decode(&mut g, &model.store, z);
-            let dx = g.sub(recon, xv);
-            let sq = g.square(dx);
-            let ae = g.mean(sq);
-            let ae_scaled = g.scale(ae, cfg.lambda_ae);
-            loss = g.add(loss, ae_scaled);
-
-            g.backward(loss);
-            epoch_loss += g.value(loss).get(0, 0) as f64;
+            let (batch_loss, grads) = if joint {
+                joint_step(model, pairs, chunk, &x, &t)
+            } else {
+                local_pretrain_step(model, pairs, chunk, &x, &t)
+            };
+            epoch_loss += batch_loss;
             batches += 1;
-            let grads = g.param_grads();
             opt.step(&mut model.store, &grads);
         }
-        report
-            .epoch_train_loss
-            .push(epoch_loss / batches.max(1) as f64);
+        let mean_train_loss = epoch_loss / batches.max(1) as f64;
+        report.epoch_train_loss.push(mean_train_loss);
         let mae = partitioned_validation_mae(model, valid);
         report.epoch_val_mae.push(mae);
-        if mae < best_mae {
-            best_mae = mae;
+        // empty validation split: select on training loss (see
+        // `train_loop` for the rationale)
+        let selection = if valid.is_empty() {
+            mean_train_loss
+        } else {
+            mae
+        };
+        if selection < best_mae {
+            best_mae = selection;
             best_store = model.store.clone();
             report.best_epoch = report.epoch_val_mae.len() - 1;
             since_improvement = 0;
@@ -296,21 +393,17 @@ pub(crate) fn run_training_phase(
     }
     if best_mae.is_finite() && best_mae < f64::MAX {
         model.store = best_store;
-        model.reference_val_mae = best_mae;
+        if !valid.is_empty() {
+            model.reference_val_mae = best_mae;
+        }
     }
 }
 
+/// Validation MAE of the partitioned model (see
+/// [`crate::train::mean_abs_error`] for the parallel reduction and the
+/// empty-split `INFINITY` contract).
 pub(crate) fn partitioned_validation_mae(model: &PartitionedSelNet, split: &[LabeledQuery]) -> f64 {
-    let mut abs = 0.0f64;
-    let mut n = 0usize;
-    for q in split {
-        let preds = model.predict_many(&q.x, &q.thresholds);
-        for (p, &y) in preds.iter().zip(&q.selectivities) {
-            abs += (p - y).abs();
-            n += 1;
-        }
-    }
-    abs / n.max(1) as f64
+    crate::train::mean_abs_error(split, |q| model.predict_many(&q.x, &q.thresholds))
 }
 
 /// Trains the full partitioned SelNet: partition, pretrain local models for
@@ -528,6 +621,29 @@ mod tests {
             .sum();
         let got = model.estimate(&q.x, t);
         assert!((got - expected).abs() < 1e-3 * expected.abs().max(1.0));
+    }
+
+    /// Parallel per-partition pretraining merges gradients in fixed job
+    /// order, so training is fully reproducible: same seed + same thread
+    /// count => identical model. (The kernels and the gradient merge are
+    /// in fact thread-count independent; the second fit runs under a
+    /// different worker count to pin that stronger property too.)
+    #[test]
+    fn partitioned_training_is_deterministic() {
+        let (ds, w) = fixture();
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 5;
+        let (m1, r1) = fit_partitioned(&ds, &w, &cfg, &tiny_pcfg());
+        selnet_tensor::parallel::set_threads(4);
+        let (m2, r2) = fit_partitioned(&ds, &w, &cfg, &tiny_pcfg());
+        selnet_tensor::parallel::set_threads(0);
+        assert_eq!(r1.epoch_train_loss, r2.epoch_train_loss);
+        assert_eq!(r1.epoch_val_mae, r2.epoch_val_mae);
+        let q = &w.test[0];
+        assert_eq!(
+            m1.predict_many(&q.x, &q.thresholds),
+            m2.predict_many(&q.x, &q.thresholds)
+        );
     }
 
     #[test]

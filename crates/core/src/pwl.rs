@@ -44,7 +44,12 @@ impl PiecewiseLinear {
     }
 
     /// Evaluates the function at `t`, clamping outside `[τ_0, τ_{L+1}]`.
+    /// `t = NaN` returns NaN (the seed panicked: both clamp comparisons
+    /// were false, `partition_point` returned 0, and `hi - 1` underflowed).
     pub fn eval(&self, t: f32) -> f32 {
+        if t.is_nan() {
+            return f32::NAN;
+        }
         let m = self.tau.len();
         if t < self.tau[0] {
             return self.p[0];
@@ -191,6 +196,16 @@ mod tests {
         assert_eq!(f.eval(1.5), 10.0);
         assert_eq!(f.eval(3.0), 10.0);
         assert!(f.is_monotone());
+    }
+
+    /// Regression: `eval(NaN)` underflowed `hi - 1` and panicked.
+    #[test]
+    fn eval_handles_nan_and_infinities() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 10.0]);
+        assert!(f.eval(f32::NAN).is_nan());
+        // infinities clamp like any other out-of-range input
+        assert_eq!(f.eval(f32::NEG_INFINITY), 0.0);
+        assert_eq!(f.eval(f32::INFINITY), 10.0);
     }
 
     #[test]

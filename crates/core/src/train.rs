@@ -50,11 +50,17 @@ pub(crate) fn batch_matrices(
     dim: usize,
 ) -> (Matrix, Matrix, Matrix) {
     let b = order.len();
-    let mut xbuf = Vec::with_capacity(b * dim);
+    // row gathering parallelizes over chunks for big batches (the helper
+    // stays serial below its own threshold)
+    let xbuf = selnet_tensor::parallel::par_build_rows(
+        b,
+        dim,
+        selnet_tensor::parallel::configured_threads(),
+        |bi, row| row.copy_from_slice(pairs.x[order[bi]]),
+    );
     let mut tbuf = Vec::with_capacity(b);
     let mut ybuf = Vec::with_capacity(b);
     for &i in order {
-        xbuf.extend_from_slice(pairs.x[i]);
         tbuf.push(pairs.t[i]);
         ybuf.push(pairs.ylog[i]);
     }
@@ -82,18 +88,43 @@ pub(crate) fn apply_loss(
     }
 }
 
-/// Mean absolute error of the current parameters on a labeled split.
-pub(crate) fn validation_mae(model: &SelNetModel, split: &[LabeledQuery]) -> f64 {
+/// Mean absolute error of `predict` over a labeled split, parallelized
+/// over queries (per-query sums are reduced in query order, so the result
+/// is independent of the thread count). Shared by the single-model and
+/// partitioned validation paths.
+///
+/// Returns `f64::INFINITY` for an empty split: the seed returned `0.0`,
+/// which made the training loops lock in the earliest parameters as
+/// "best" and store a bogus drift reference of 0.
+pub(crate) fn mean_abs_error<F>(split: &[LabeledQuery], predict: F) -> f64
+where
+    F: Fn(&LabeledQuery) -> Vec<f64> + Sync,
+{
+    if split.is_empty() {
+        return f64::INFINITY;
+    }
+    let threads = selnet_tensor::parallel::configured_threads();
+    let per_query = selnet_tensor::parallel::par_map_indexed(split.len(), threads, 4, |qi| {
+        let q = &split[qi];
+        let abs: f64 = predict(q)
+            .iter()
+            .zip(&q.selectivities)
+            .map(|(p, &y)| (p - y).abs())
+            .sum();
+        (abs, q.thresholds.len())
+    });
     let mut abs = 0.0f64;
     let mut n = 0usize;
-    for q in split {
-        let preds = model.predict_many(&q.x, &q.thresholds);
-        for (p, &y) in preds.iter().zip(&q.selectivities) {
-            abs += (p - y).abs();
-            n += 1;
-        }
+    for (a, c) in per_query {
+        abs += a;
+        n += c;
     }
     abs / n.max(1) as f64
+}
+
+/// [`mean_abs_error`] of the current parameters on a validation split.
+pub(crate) fn validation_mae(model: &SelNetModel, split: &[LabeledQuery]) -> f64 {
+    mean_abs_error(split, |q| model.predict_many(&q.x, &q.thresholds))
 }
 
 /// Trains a fresh SelNet model (no data partitioning — the `SelNet-ct`
@@ -231,20 +262,31 @@ pub(crate) fn train_loop(
             let grads = g.param_grads();
             opt.step(&mut model.store, &grads);
         }
-        report
-            .epoch_train_loss
-            .push(epoch_loss / batches.max(1) as f64);
+        let mean_train_loss = epoch_loss / batches.max(1) as f64;
+        report.epoch_train_loss.push(mean_train_loss);
         let mae = validation_mae(model, valid);
         report.epoch_val_mae.push(mae);
-        if mae < best_mae {
-            best_mae = mae;
+        // With an empty validation split the MAE is infinite every epoch;
+        // fall back to selecting on training loss so "best" tracks
+        // learning instead of freezing the earliest parameters.
+        let selection = if valid.is_empty() {
+            mean_train_loss
+        } else {
+            mae
+        };
+        if selection < best_mae {
+            best_mae = selection;
             best_store = model.store.clone();
             report.best_epoch = epoch;
         }
     }
     if best_mae.is_finite() {
         model.store = best_store;
-        model.reference_val_mae = best_mae;
+        if !valid.is_empty() {
+            // only a real validation MAE may serve as the §5.4 drift
+            // reference
+            model.reference_val_mae = best_mae;
+        }
     }
     report
 }
@@ -320,6 +362,34 @@ mod tests {
             metrics.mse,
             baseline.mse
         );
+    }
+
+    /// Regression: with an empty validation split, `validation_mae`
+    /// returned 0.0, so the loop froze the epoch-0 parameters as "best"
+    /// and stored a bogus drift reference of 0.
+    #[test]
+    fn empty_validation_split_selects_on_training_loss() {
+        let (ds, mut w) = fixture();
+        w.valid.clear();
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 6;
+        let (model, report) = fit(&ds, &w, &cfg);
+        assert!(
+            report.epoch_val_mae.iter().all(|m| m.is_infinite()),
+            "empty split must yield infinite MAE, got {:?}",
+            report.epoch_val_mae
+        );
+        // best epoch tracks the training-loss minimum instead of epoch 0
+        let argmin = report
+            .epoch_train_loss
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite losses"))
+            .expect("has epochs")
+            .0;
+        assert_eq!(report.best_epoch, argmin);
+        // and the §5.4 drift reference is not silently set to 0
+        assert_eq!(model.reference_val_mae, f64::MAX);
     }
 
     #[test]

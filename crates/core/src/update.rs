@@ -76,9 +76,12 @@ impl SelNetModel {
         valid: &[LabeledQuery],
         policy: &UpdatePolicy,
     ) -> UpdateDecision {
+        // With an empty validation split the MAE is infinite, so drift is
+        // unmeasurable — retrain conservatively and track training loss
+        // for the patience rule (mirroring `train_loop`'s fallback).
         let fresh = validation_mae(self, valid);
         let drift = (fresh - self.reference_val_mae).abs();
-        if drift <= policy.mae_tolerance {
+        if !valid.is_empty() && drift <= policy.mae_tolerance {
             return UpdateDecision::Skipped { mae_drift: drift };
         }
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x0badf00d);
@@ -91,11 +94,13 @@ impl SelNetModel {
         for _ in 0..policy.max_epochs {
             let r = train_loop(self, train, valid, 1, &mut rng);
             let mae = r.epoch_val_mae[0];
+            let train_loss = r.epoch_train_loss[0];
             report.epoch_train_loss.extend(r.epoch_train_loss);
             report.epoch_val_mae.push(mae);
             epochs_run += 1;
-            if mae < best {
-                best = mae;
+            let selection = if valid.is_empty() { train_loss } else { mae };
+            if selection < best {
+                best = selection;
                 report.best_epoch = epochs_run - 1;
                 since = 0;
             } else {
@@ -105,10 +110,11 @@ impl SelNetModel {
                 }
             }
         }
-        self.reference_val_mae = best;
+        // only a real validation MAE may serve as the next drift reference
+        self.reference_val_mae = if valid.is_empty() { f64::MAX } else { best };
         UpdateDecision::Retrained {
             epochs_run,
-            new_val_mae: best,
+            new_val_mae: self.reference_val_mae,
             report,
         }
     }
@@ -130,9 +136,11 @@ impl PartitionedSelNet {
         valid: &[LabeledQuery],
         policy: &UpdatePolicy,
     ) -> UpdateDecision {
+        // empty validation split: drift is unmeasurable, retrain
+        // conservatively (`continue_training` selects on training loss)
         let fresh = partitioned_validation_mae(self, valid);
         let drift = (fresh - self.reference_val_mae).abs();
-        if drift <= policy.mae_tolerance {
+        if !valid.is_empty() && drift <= policy.mae_tolerance {
             return UpdateDecision::Skipped { mae_drift: drift };
         }
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x0badf00d);
@@ -190,6 +198,41 @@ mod tests {
         };
         let decision = model.check_and_update(&w.train, &w.valid, &policy);
         assert!(!decision.retrained());
+    }
+
+    /// Regression (follow-on to the empty-split `validation_mae` fix):
+    /// with an empty validation split, the update rule must still make
+    /// progress — retrain conservatively, select on training loss, and
+    /// never store an infinite/bogus drift reference as if it were real.
+    #[test]
+    fn empty_validation_split_retrains_on_training_loss() {
+        let ds = fasttext_like(&GeneratorConfig::new(300, 5, 3, 23));
+        let cfg = WorkloadConfig {
+            num_queries: 20,
+            thresholds_per_query: 6,
+            kind: DistanceKind::Euclidean,
+            scheme: ThresholdScheme::GeometricSelectivity,
+            seed: 5,
+            threads: 2,
+        };
+        let w = generate_workload(&ds, &cfg);
+        let mut scfg = SelNetConfig::tiny();
+        scfg.epochs = 4;
+        let (mut model, _) = fit(&ds, &w, &scfg);
+        let policy = UpdatePolicy {
+            mae_tolerance: 1e9, // would skip if drift were measurable
+            patience: 2,
+            max_epochs: 4,
+        };
+        let decision = model.check_and_update(&w.train, &[], &policy);
+        assert!(decision.retrained(), "unmeasurable drift must retrain");
+        if let UpdateDecision::Retrained { report, .. } = &decision {
+            // patience ran on finite training losses, not on infinite MAE
+            assert!(report.epoch_train_loss.iter().all(|l| l.is_finite()));
+            assert!(report.epoch_val_mae.iter().all(|m| m.is_infinite()));
+        }
+        // no fake reference: a later call with real validation data works
+        assert_eq!(model.reference_val_mae(), f64::MAX);
     }
 
     #[test]

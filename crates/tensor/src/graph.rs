@@ -28,6 +28,15 @@ pub struct Var(pub(crate) usize);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
+impl ParamId {
+    /// Dense index of the parameter inside its store (ids are assigned in
+    /// registration order), e.g. for merging gradients computed on
+    /// independent tapes.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 #[derive(Clone, Debug)]
 enum Op {
     Leaf,

@@ -8,6 +8,12 @@
 //! ops here with hand-derived backward passes that are verified against
 //! finite differences in `gradcheck`.
 //!
+//! The matmul kernels are cache-blocked/register-tiled and split output
+//! rows across scoped threads above a size threshold; see [`parallel`] for
+//! the threading knob (`SELNET_THREADS` / [`parallel::set_threads`]) and
+//! the determinism guarantees (bit-identical results for any thread
+//! count).
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -43,6 +49,7 @@ pub mod gradcheck;
 pub mod init;
 pub mod layers;
 pub mod optim;
+pub mod parallel;
 
 pub use graph::{Graph, ParamId, Var};
 pub use layers::{Activation, Linear, Mlp};

@@ -3,10 +3,213 @@
 //!
 //! The type is deliberately small: two dimensions, `Vec<f32>` storage, and
 //! the handful of BLAS-like kernels the models need (`matmul` and its
-//! transposed variants, axpy, row/column reductions). Loops are written in
-//! `ikj` order so the inner loop streams over contiguous memory.
+//! transposed variants, axpy, row/column reductions).
+//!
+//! ## Kernel design
+//!
+//! All three matmul variants funnel into **one** register-tiled kernel for
+//! row-major operands: output tiles of [`MR`]` x `[`NR`] scalars are
+//! accumulated in registers ([`NR`] split into two [`VW`]-wide banks) with
+//! the reduction dimension innermost, so each tile streams its panel of
+//! `b` once and the compiler vectorizes the bank-wide inner loops. The
+//! transposed variants **pack the transpose first** (blocked transpose,
+//! `O(rows·cols)` next to the `O(rows·cols·n)` product) instead of walking
+//! strided columns — a strided reduction walk thrashes the cache-set
+//! mapping and measured ~16x slower than pack-then-multiply.
+//!
+//! The reduction is accumulated **strictly in index order** per output
+//! element, which makes every variant bit-identical to the naive `ikj`
+//! reference ([`Matrix::matmul_naive`]) on the equivalent operands.
+//!
+//! Above [`PAR_MIN_MULADDS`] multiply-adds the kernels split the output
+//! rows across scoped threads (see [`crate::parallel`]). Each output
+//! element is written by exactly one thread with the same in-kernel
+//! arithmetic order as the serial path, so results are bit-identical for
+//! any thread count.
 
+use crate::parallel;
 use std::fmt;
+
+/// Rows per register tile of the blocked matmul kernel.
+const MR: usize = 6;
+/// Width of one accumulator bank (one AVX-512 register of `f32`, two SSE
+/// registers on the baseline target — the compiler picks).
+const VW: usize = 16;
+/// Columns per register tile: two accumulator banks.
+const NR: usize = 2 * VW;
+/// Edge length of one blocked-transpose tile.
+const TR: usize = 32;
+/// Minimum multiply-add count before a kernel splits across threads;
+/// smaller products stay on the serial path (scoped-thread spawns would
+/// dominate).
+const PAR_MIN_MULADDS: usize = 1 << 21;
+
+/// One `R x NR` register tile of `out[i][j] += Σ_s a[i][s] * b[s*n + j]`
+/// for `i` in `[i0, i0+R)`, including the `< NR` column tail. The
+/// reduction over `s` runs strictly in index order per output element, so
+/// the result is independent of tiling and threading and bit-identical to
+/// the naive `ikj` loop.
+fn saxpy_tile<const R: usize>(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    steps: usize,
+    n: usize,
+) {
+    let mut arows = [&a[0..0]; R];
+    for (r, row) in arows.iter_mut().enumerate() {
+        *row = &a[(i0 + r) * lda..(i0 + r) * lda + steps];
+    }
+    let mut j0 = 0;
+    while j0 + NR <= n {
+        let mut acc0 = [[0.0f32; VW]; R];
+        let mut acc1 = [[0.0f32; VW]; R];
+        for s in 0..steps {
+            let row = &b[s * n + j0..s * n + j0 + NR];
+            let b0: &[f32; VW] = row[..VW].try_into().expect("bank 0");
+            let b1: &[f32; VW] = row[VW..].try_into().expect("bank 1");
+            for r in 0..R {
+                let av = arows[r][s];
+                for c in 0..VW {
+                    acc0[r][c] += av * b0[c];
+                }
+                for c in 0..VW {
+                    acc1[r][c] += av * b1[c];
+                }
+            }
+        }
+        for r in 0..R {
+            out[(i0 + r) * n + j0..(i0 + r) * n + j0 + VW].copy_from_slice(&acc0[r]);
+            out[(i0 + r) * n + j0 + VW..(i0 + r) * n + j0 + NR].copy_from_slice(&acc1[r]);
+        }
+        j0 += NR;
+    }
+    if j0 + VW <= n {
+        // single-bank tile for the [VW, NR) column tail
+        let mut acc = [[0.0f32; VW]; R];
+        for s in 0..steps {
+            let bk: &[f32; VW] = b[s * n + j0..s * n + j0 + VW]
+                .try_into()
+                .expect("single bank");
+            for r in 0..R {
+                let av = arows[r][s];
+                for c in 0..VW {
+                    acc[r][c] += av * bk[c];
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            out[(i0 + r) * n + j0..(i0 + r) * n + j0 + VW].copy_from_slice(acc_row);
+        }
+    }
+}
+
+/// The final `< VW` column tail, fed from `packed` (the tail columns of
+/// `b` zero-padded to `VW` per step, packed once per kernel call so every
+/// row band runs a full-width FMA loop). Padding lanes are discarded on
+/// write-back; the kept lanes still accumulate in `s` order.
+#[allow(clippy::too_many_arguments)]
+fn saxpy_tail<const R: usize>(
+    a: &[f32],
+    lda: usize,
+    packed: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    steps: usize,
+    n: usize,
+    j0: usize,
+    w: usize,
+) {
+    let mut arows = [&a[0..0]; R];
+    for (r, row) in arows.iter_mut().enumerate() {
+        *row = &a[(i0 + r) * lda..(i0 + r) * lda + steps];
+    }
+    let mut acc = [[0.0f32; VW]; R];
+    for s in 0..steps {
+        let bk: &[f32; VW] = packed[s * VW..(s + 1) * VW]
+            .try_into()
+            .expect("packed bank");
+        for r in 0..R {
+            let av = arows[r][s];
+            for c in 0..VW {
+                acc[r][c] += av * bk[c];
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        out[(i0 + r) * n + j0..(i0 + r) * n + j0 + w].copy_from_slice(&acc_row[..w]);
+    }
+}
+
+/// Serial register-tiled kernel over all `m` output rows (`a` row-major
+/// with leading dimension `lda`).
+fn saxpy_kernel(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    steps: usize,
+    n: usize,
+) {
+    // pack the `< VW` column tail of `b` once, zero-padded to full width,
+    // so the tail FMA loop of every row band stays vectorized
+    let w = n % VW;
+    let j_tail = n - w;
+    let packed: Option<Vec<f32>> = (w != 0).then(|| {
+        let mut p = vec![0.0f32; steps * VW];
+        for s in 0..steps {
+            for c in 0..w {
+                p[s * VW + c] = b[s * n + j_tail + c];
+            }
+        }
+        p
+    });
+    let mut i0 = 0;
+    while i0 + MR <= m {
+        saxpy_tile::<MR>(a, lda, b, out, i0, steps, n);
+        if let Some(p) = &packed {
+            saxpy_tail::<MR>(a, lda, p, out, i0, steps, n, j_tail, w);
+        }
+        i0 += MR;
+    }
+    while i0 < m {
+        saxpy_tile::<1>(a, lda, b, out, i0, steps, n);
+        if let Some(p) = &packed {
+            saxpy_tail::<1>(a, lda, p, out, i0, steps, n, j_tail, w);
+        }
+        i0 += 1;
+    }
+}
+
+/// Row-parallel dispatcher: splits the output rows across scoped threads
+/// above the size threshold.
+#[allow(clippy::too_many_arguments)]
+fn saxpy_dispatch(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    steps: usize,
+    n: usize,
+    threads: usize,
+) {
+    if n == 0 || m == 0 {
+        return;
+    }
+    let t = parallel::effective_threads(threads);
+    if t <= 1 || m.saturating_mul(steps).saturating_mul(n) < PAR_MIN_MULADDS {
+        saxpy_kernel(a, lda, b, out, m, steps, n);
+        return;
+    }
+    parallel::par_row_chunks_mut(out, n, t, MR, |first_row, chunk| {
+        let rows = chunk.len() / n;
+        saxpy_kernel(&a[first_row * lda..], lda, b, chunk, rows, steps, n);
+    });
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -183,9 +386,11 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Iterator over row slices.
+    /// Iterator over row slices. Yields exactly [`Matrix::rows`] items,
+    /// including (empty) rows of a zero-column matrix.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols.max(1))
+        let cols = self.cols;
+        (0..self.rows).map(move |i| &self.data[i * cols..(i + 1) * cols])
     }
 
     /// Copies column `j` into a new `Vec`.
@@ -193,11 +398,44 @@ impl Matrix {
         (0..self.rows).map(|i| self.get(i, j)).collect()
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other` (blocked kernel, row-parallel above
+    /// the size threshold; see the module docs).
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_threaded(other, 0)
+    }
+
+    /// [`Matrix::matmul`] with an explicit worker count (`0` = configured;
+    /// see [`crate::parallel::effective_threads`]). The result is
+    /// bit-identical for every thread count.
+    pub fn matmul_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        saxpy_dispatch(
+            &self.data,
+            self.cols,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            threads,
+        );
+        out
+    }
+
+    /// Reference naive `ikj` matrix product, kept as the ground truth for
+    /// the blocked kernels (property tests assert `matmul` is bit-identical
+    /// to it) and as the "before" baseline in the substrate benchmark.
+    /// Unlike the seed kernel it does **not** skip `a == 0.0` entries, so
+    /// `0 * NaN` and `0 * Inf` propagate as IEEE 754 demands.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -209,9 +447,6 @@ impl Matrix {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * oc..(i + 1) * oc];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[k * oc..(k + 1) * oc];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -221,61 +456,62 @@ impl Matrix {
         out
     }
 
-    /// Computes `self^T * other` without materializing the transpose.
+    /// Computes `self^T * other`. Packs the transpose of `self` first
+    /// (blocked transpose, `O(rows·cols)` next to the product itself) and
+    /// reuses the blocked row-major kernel — a strided column walk of the
+    /// reduction thrashes the cache and measured ~16x slower. Bit-identical
+    /// to `self.transpose().matmul(other)`.
     pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
+        self.matmul_at_b_threaded(other, 0)
+    }
+
+    /// [`Matrix::matmul_at_b`] with an explicit worker count (`0` =
+    /// configured). Bit-identical for every thread count.
+    pub fn matmul_at_b_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_at_b shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        let oc = other.cols;
-        for r in 0..self.rows {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let b_row = &other.data[r * oc..(r + 1) * oc];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * oc..(i + 1) * oc];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        self.transpose().matmul_threaded(other, threads)
     }
 
-    /// Computes `self * other^T` without materializing the transpose.
+    /// Computes `self * other^T`. Packs the transpose of `other` first and
+    /// reuses the blocked row-major kernel (see [`Matrix::matmul_at_b`]).
+    /// Bit-identical to `self.matmul(&other.transpose())`.
     pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        self.matmul_a_bt_threaded(other, 0)
+    }
+
+    /// [`Matrix::matmul_a_bt`] with an explicit worker count (`0` =
+    /// configured). Bit-identical for every thread count.
+    pub fn matmul_a_bt_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_a_bt shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
-        out
+        self.matmul_threaded(&other.transpose(), threads)
     }
 
-    /// Returns the transpose.
+    /// Returns the transpose (blocked into [`TR`]`-square` tiles so both
+    /// sides of the copy stay cache-resident).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+        let mut i0 = 0;
+        while i0 < self.rows {
+            let iend = (i0 + TR).min(self.rows);
+            let mut j0 = 0;
+            while j0 < self.cols {
+                let jend = (j0 + TR).min(self.cols);
+                for i in i0..iend {
+                    for j in j0..jend {
+                        out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+                j0 = jend;
             }
+            i0 = iend;
         }
         out
     }
@@ -371,9 +607,18 @@ impl Matrix {
             .sqrt()
     }
 
-    /// Maximum absolute element, or 0 for an empty matrix.
+    /// Maximum absolute element, or 0 for an empty matrix. NaN anywhere in
+    /// the matrix propagates to the result (unlike `f32::max`, which would
+    /// silently drop it).
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+        self.data.iter().fold(0.0f32, |m, &x| {
+            let a = x.abs();
+            if a.is_nan() || a > m {
+                a
+            } else {
+                m
+            }
+        })
     }
 
     /// Extracts rows `[start, end)` into a new matrix.
@@ -526,5 +771,102 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Regression: the seed kernels skipped `a == 0.0` entries, so a
+    /// `0 x NaN` / `0 x Inf` product silently produced 0 and disagreed
+    /// with the transposed variants. All kernels must propagate NaN.
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_rows() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 0.0]);
+        let b = Matrix::from_vec(2, 2, vec![f32::NAN, 2.0, f32::INFINITY, 3.0]);
+        let c = a.matmul(&b);
+        // column 0 hits NaN/Inf: 0*NaN + 0*Inf = NaN, 1*NaN + 0*Inf = NaN
+        assert!(c.get(0, 0).is_nan(), "0 * NaN must be NaN, got {c:?}");
+        assert!(c.get(1, 0).is_nan(), "1 * NaN must be NaN, got {c:?}");
+        // column 1 is finite: 0*2 + 0*3 = 0, 1*2 + 0*3 = 2
+        assert_eq!(c.get(0, 1), 0.0);
+        assert_eq!(c.get(1, 1), 2.0);
+
+        // transposed variants agree in NaN placement
+        let atb = a.transpose().matmul_at_b(&b);
+        let abt = a.matmul_a_bt(&b.transpose());
+        for idx in 0..4 {
+            assert_eq!(
+                c.data()[idx].is_nan(),
+                atb.data()[idx].is_nan(),
+                "matmul vs matmul_at_b NaN mismatch at {idx}"
+            );
+            assert_eq!(
+                c.data()[idx].is_nan(),
+                abt.data()[idx].is_nan(),
+                "matmul vs matmul_a_bt NaN mismatch at {idx}"
+            );
+        }
+        // the naive reference also propagates
+        assert!(a.matmul_naive(&b).get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        // odd shapes exercise the MR/NR tail paths
+        let a = Matrix::from_fn(37, 29, |i, j| ((i * 31 + j * 17) % 97) as f32 * 0.013 - 0.5);
+        let b = Matrix::from_fn(29, 43, |i, j| ((i * 13 + j * 29) % 89) as f32 * 0.011 - 0.4);
+        assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn threaded_kernels_match_serial_bit_for_bit() {
+        let a = Matrix::from_fn(53, 31, |i, j| ((i * 7 + j * 3) % 23) as f32 * 0.07 - 0.7);
+        let b = Matrix::from_fn(31, 41, |i, j| ((i * 5 + j * 11) % 19) as f32 * 0.05 - 0.3);
+        assert_eq!(a.matmul_threaded(&b, 1), a.matmul_threaded(&b, 4));
+        let c = Matrix::from_fn(53, 41, |i, j| (i as f32 - j as f32) * 0.01);
+        assert_eq!(a.matmul_at_b_threaded(&c, 1), a.matmul_at_b_threaded(&c, 4));
+        let d = Matrix::from_fn(27, 31, |i, j| ((i + 2 * j) % 13) as f32 * 0.09);
+        assert_eq!(a.matmul_a_bt_threaded(&d, 1), a.matmul_a_bt_threaded(&d, 4));
+    }
+
+    /// Regression: `rows_iter` used `chunks_exact(cols.max(1))`, yielding
+    /// zero rows for a `3 x 0` matrix instead of three empty rows.
+    #[test]
+    fn rows_iter_handles_zero_columns() {
+        let m = Matrix::zeros(3, 0);
+        let rows: Vec<&[f32]> = m.rows_iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.is_empty()));
+        // and the ordinary case still walks every row once
+        let m = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f32);
+        let rows: Vec<&[f32]> = m.rows_iter().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3], &[6.0, 7.0]);
+    }
+
+    /// Regression: `max_abs` folded through `f32::max`, which drops NaN.
+    #[test]
+    fn max_abs_propagates_nan() {
+        let m = Matrix::from_vec(1, 3, vec![1.0, f32::NAN, -2.0]);
+        assert!(m.max_abs().is_nan());
+        // NaN first, larger finite values afterwards must not mask it
+        let m = Matrix::from_vec(1, 3, vec![f32::NAN, 5.0, -7.0]);
+        assert!(m.max_abs().is_nan());
+        let m = Matrix::from_vec(1, 3, vec![1.0, -4.0, 2.0]);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(Matrix::zeros(0, 0).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_matmul_shapes() {
+        // zero inner dimension: all-zero result, no panic
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (3, 4));
+        assert!(c.data().iter().all(|&v| v == 0.0));
+        // zero output columns
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(2, 0);
+        assert_eq!(a.matmul(&b).shape(), (3, 0));
+        assert_eq!(a.matmul_at_b(&Matrix::zeros(3, 0)).shape(), (2, 0));
+        assert_eq!(a.matmul_a_bt(&Matrix::zeros(0, 2)).shape(), (3, 0));
     }
 }

@@ -1,0 +1,246 @@
+//! Scoped-thread row-parallel dispatcher for the tensor kernels and the
+//! training hot path.
+//!
+//! There is no persistent thread pool: workers are `std::thread::scope`
+//! threads spawned per call, so the helpers are only used above a size
+//! threshold (each kernel gates on its own flop estimate; see
+//! [`crate::Matrix::matmul`]). Work is always split into **contiguous,
+//! disjoint** chunks whose boundaries depend only on the input size and the
+//! thread count — never on scheduling — so every helper here is
+//! deterministic: the same inputs and the same thread count produce
+//! bit-identical results, and the row-partitioned kernels are bit-identical
+//! to their serial counterparts for *any* thread count.
+//!
+//! ## The threading knob
+//!
+//! The worker count is resolved, in order, from:
+//!
+//! 1. an explicit per-call request (`Matrix::matmul_threaded(_, n)` with
+//!    `n > 0`);
+//! 2. a process-wide override set with [`set_threads`];
+//! 3. the `SELNET_THREADS` environment variable (read once);
+//! 4. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("SELNET_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Sets the process-wide worker count (`0` restores the automatic
+/// `SELNET_THREADS` / `available_parallelism` resolution).
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::Relaxed);
+}
+
+/// Resolves a requested worker count: `requested > 0` wins, otherwise the
+/// process-wide configuration (see the module docs for the full order).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        let configured = CONFIGURED.load(Ordering::Relaxed);
+        if configured > 0 {
+            configured
+        } else {
+            default_threads()
+        }
+    }
+}
+
+/// The process-wide worker count currently in effect.
+pub fn configured_threads() -> usize {
+    effective_threads(0)
+}
+
+/// Splits `total` items into at most `threads` contiguous ranges of at
+/// least `min_per_chunk` items (the final range takes the remainder).
+fn chunk_ranges(total: usize, threads: usize, min_per_chunk: usize) -> Vec<(usize, usize)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let max_chunks = total.div_ceil(min_per_chunk.max(1));
+    let chunks = threads.clamp(1, max_chunks);
+    let per = total.div_ceil(chunks);
+    (0..chunks)
+        .map(|c| (c * per, ((c + 1) * per).min(total)))
+        .filter(|(s, e)| s < e)
+        .collect()
+}
+
+/// Runs `f(first_row, rows)` over disjoint row-aligned chunks of a
+/// row-major buffer, on up to `threads` scoped threads. With one chunk the
+/// call runs inline on the caller's thread.
+pub fn par_row_chunks_mut<F>(
+    data: &mut [f32],
+    row_width: usize,
+    threads: usize,
+    min_rows: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let width = row_width.max(1);
+    let rows = data.len() / width;
+    let ranges = chunk_ranges(rows, threads, min_rows);
+    if ranges.len() <= 1 {
+        if !data.is_empty() {
+            f(0, data);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0usize;
+        for &(start, end) in &ranges {
+            let take = (end - start) * width;
+            debug_assert_eq!(start * width, consumed);
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            consumed += take;
+            let f = &f;
+            scope.spawn(move || f(start, head));
+        }
+    });
+}
+
+/// Maps `f` over `0..count` on up to `threads` scoped threads, returning
+/// the results in index order (scheduling never affects the output).
+pub fn par_map_indexed<R, F>(count: usize, threads: usize, min_per_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let ranges = chunk_ranges(count, threads, min_per_chunk);
+    if ranges.len() <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(count);
+    out.resize_with(count, || None);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<R>] = &mut out;
+        for &(start, end) in &ranges {
+            let (head, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(start + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("all chunks filled"))
+        .collect()
+}
+
+/// Builds a `count x width` row-major buffer by filling each row with
+/// `fill(row_index, row)`, parallelized over row chunks.
+pub fn par_build_rows<F>(count: usize, width: usize, threads: usize, fill: F) -> Vec<f32>
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let mut data = vec![0.0f32; count * width];
+    if width == 0 {
+        return data;
+    }
+    // ~64k elements per chunk keeps spawn cost negligible next to the copy
+    let min_rows = (65_536 / width).max(1);
+    par_row_chunks_mut(&mut data, width, threads, min_rows, |first_row, chunk| {
+        for (off, row) in chunk.chunks_exact_mut(width).enumerate() {
+            fill(first_row + off, row);
+        }
+    });
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_prefers_explicit_request() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything_once() {
+        for total in [0usize, 1, 7, 64, 1000] {
+            for threads in [1usize, 2, 3, 8] {
+                for min in [1usize, 10, 400] {
+                    let ranges = chunk_ranges(total, threads, min);
+                    let mut expect = 0usize;
+                    for &(s, e) in &ranges {
+                        assert_eq!(s, expect);
+                        assert!(e > s);
+                        expect = e;
+                    }
+                    assert_eq!(expect, total);
+                    assert!(ranges.len() <= threads.max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_row_chunks_mut_visits_each_row_once() {
+        let rows = 37;
+        let width = 5;
+        let mut data = vec![0.0f32; rows * width];
+        par_row_chunks_mut(&mut data, width, 4, 1, |first_row, chunk| {
+            for (off, row) in chunk.chunks_exact_mut(width).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first_row + off) as f32;
+                }
+            }
+        });
+        for (i, row) in data.chunks_exact(width).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f32), "row {i}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_is_ordered() {
+        for threads in [1usize, 2, 5] {
+            let out = par_map_indexed(23, threads, 1, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_build_rows_matches_serial() {
+        let serial = par_build_rows(11, 3, 1, |i, row| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (i * 3 + j) as f32;
+            }
+        });
+        let parallel = par_build_rows(11, 3, 4, |i, row| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (i * 3 + j) as f32;
+            }
+        });
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 33);
+    }
+
+    #[test]
+    fn zero_width_rows_are_harmless() {
+        assert!(par_build_rows(4, 0, 2, |_, _| unreachable!()).is_empty());
+    }
+}

@@ -61,15 +61,7 @@ impl WorkloadConfig {
     }
 }
 
-fn effective_threads(requested: usize) -> usize {
-    if requested > 0 {
-        requested
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    }
-}
+use selnet_tensor::parallel::effective_threads;
 
 /// The geometric selectivity ladder: `w` values spaced geometrically in
 /// `[1, n/100]`.

@@ -18,14 +18,7 @@ pub fn label_partitions(
     threads: usize,
 ) -> PartitionedLabels {
     let k = partitioning.k();
-    let threads = if threads > 0 {
-        threads
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    }
-    .min(queries.len().max(1));
+    let threads = selnet_tensor::parallel::effective_threads(threads).min(queries.len().max(1));
 
     let mut labels: Vec<Option<Vec<Vec<f64>>>> = vec![None; queries.len()];
     std::thread::scope(|scope| {
