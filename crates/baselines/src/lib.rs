@@ -8,7 +8,8 @@
 //!   consistent;
 //! * [`gbdt`] — LightGBM-style gradient-boosted trees, with
 //!   (`LightGBM-m`) and without monotone constraints;
-//! * [`isotonic`] — PAVA isotonic regression (related-work utility).
+//! * [`isotonic`](mod@isotonic) — PAVA isotonic regression (related-work
+//!   utility).
 
 #![warn(missing_docs)]
 

@@ -1,20 +1,89 @@
 //! Microbenchmarks of the substrates: tensor matmul (naive reference vs
-//! blocked vs blocked+threads), cover-tree construction and range
-//! counting, PWL head evaluation, workload ground-truth labeling, and one
-//! end-to-end training epoch.
+//! blocked vs blocked+threads), the tape itself (fresh graph per step vs
+//! arena reuse — the allocation-sensitive benchmark), cover-tree
+//! construction and range counting, PWL head evaluation, workload
+//! ground-truth labeling, and one end-to-end training epoch.
 //!
 //! With `SELNET_BENCH_RECORD=1` the run re-times the key kernels with a
 //! plain `Instant` loop and rewrites `BENCH_substrate.json` at the repo
-//! root, next to the frozen seed baselines, so perf PRs leave a recorded
-//! trajectory.
+//! root, next to the frozen seed/PR-2 baselines, so perf PRs leave a
+//! recorded trajectory. See `crates/bench/README.md` for the workflow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use selnet_core::PiecewiseLinear;
 use selnet_data::generators::{fasttext_like, GeneratorConfig};
 use selnet_index::CoverTree;
 use selnet_metric::DistanceKind;
-use selnet_tensor::{Graph, Matrix};
+use selnet_tensor::{Activation, Graph, Matrix, Mlp, Optimizer, ParamStore, Sgd};
 use std::hint::black_box;
+
+/// One forward+backward+step of a small MLP regression — the op mix of
+/// the training hot path. The benchmark runs it two ways: handing in a
+/// brand-new `Graph` per step (the historical behavior) vs one long-lived
+/// arena tape that each step resets and refills.
+fn tape_step(
+    g: &mut Graph,
+    store: &mut ParamStore,
+    opt: &mut Sgd,
+    net: &Mlp,
+    x: &Matrix,
+    y: &Matrix,
+) -> f32 {
+    g.reset();
+    let xv = g.leaf_ref(x);
+    let yv = g.leaf_ref(y);
+    let pred = net.forward(g, store, xv);
+    let d = g.sub(pred, yv);
+    let h = g.huber(d, 1.0);
+    let loss = g.mean(h);
+    g.backward(loss);
+    let val = g.value(loss).get(0, 0);
+    let grads = g.param_grad_refs();
+    opt.step_refs(store, &grads);
+    val
+}
+
+/// Small-batch fixture: `rows = 16` is the regime the ROADMAP flags, where
+/// per-op allocation (not matmul flops) dominates the step.
+fn tape_fixture(rows: usize) -> (ParamStore, Mlp, Matrix, Matrix) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let net = Mlp::new(
+        &mut store,
+        "bench",
+        &[10, 64, 64, 1],
+        Activation::Relu,
+        Activation::Linear,
+        &mut rng,
+    );
+    let x = Matrix::from_fn(rows, 10, |i, j| ((i * 7 + j * 13) % 31) as f32 * 0.05 - 0.7);
+    let y = Matrix::from_fn(rows, 1, |i, _| (i % 17) as f32 * 0.1);
+    (store, net, x, y)
+}
+
+fn bench_tape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tape");
+    group.sample_size(20);
+    for rows in [16usize, 128] {
+        let (mut store, net, x, y) = tape_fixture(rows);
+        let mut opt = Sgd::new(1e-3);
+        group.bench_function(format!("train_step_b{rows}_fresh_graph"), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                black_box(tape_step(&mut g, &mut store, &mut opt, &net, &x, &y))
+            })
+        });
+        let (mut store, net, x, y) = tape_fixture(rows);
+        let mut opt = Sgd::new(1e-3);
+        let mut g = Graph::new();
+        group.bench_function(format!("train_step_b{rows}_reused_arena"), |b| {
+            b.iter(|| black_box(tape_step(&mut g, &mut store, &mut opt, &net, &x, &y)))
+        });
+    }
+    group.finish();
+}
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor_matmul");
@@ -167,6 +236,21 @@ fn bench_record(_c: &mut Criterion) {
         black_box(a.matmul_a_bt_threaded(&b, 1));
     });
 
+    // tape overhead at batch 16 (the small-batch regime the ROADMAP
+    // flags): fresh graph per step vs reused arena
+    let (mut store, net, bx, by) = tape_fixture(16);
+    let mut opt = Sgd::new(1e-3);
+    let tape_fresh = time_ms(10, 50, || {
+        let mut g = Graph::new();
+        black_box(tape_step(&mut g, &mut store, &mut opt, &net, &bx, &by));
+    });
+    let (mut store, net, bx, by) = tape_fixture(16);
+    let mut opt = Sgd::new(1e-3);
+    let mut g = Graph::new();
+    let tape_reused = time_ms(10, 50, || {
+        black_box(tape_step(&mut g, &mut store, &mut opt, &net, &bx, &by));
+    });
+
     use selnet_core::SelNetConfig;
     use selnet_workload::{generate_workload, ThresholdScheme, WorkloadConfig};
     let ds = fasttext_like(&GeneratorConfig::new(2000, 6, 4, 7));
@@ -189,17 +273,24 @@ fn bench_record(_c: &mut Criterion) {
         .map(|n| n.get())
         .unwrap_or(1);
     // The `seed` block is the frozen pre-optimization measurement (naive
-    // ikj kernel, no target-cpu flags, single thread, this machine) —
-    // keep it stable so the trajectory stays comparable.
+    // ikj kernel, no target-cpu flags, single thread) and the `pr2` block
+    // the frozen post-blocked-kernel measurement — keep both stable so the
+    // trajectory stays comparable across PRs.
     let json = format!(
         r#"{{
-  "description": "Substrate benchmark trajectory: seed = frozen pre-optimization baseline; current = latest SELNET_BENCH_RECORD=1 run of `cargo bench -p selnet-bench --bench substrate`. Times in milliseconds (best-of-samples mean).",
+  "description": "Substrate benchmark trajectory: seed = frozen pre-optimization baseline; pr2 = frozen blocked-kernel baseline (PR 2); current = latest SELNET_BENCH_RECORD=1 run of `cargo bench -p selnet-bench --bench substrate`. Times in milliseconds (best-of-samples mean).",
   "seed": {{
     "machine_cpus": 1,
     "matmul_256_ms": 2.0667,
     "matmul_128_ms": 0.2678,
     "matmul_64_ms": 0.03741,
     "train_epoch_tiny_ms": 3.3017
+  }},
+  "pr2": {{
+    "machine_cpus": 1,
+    "matmul_naive_256_ms": 1.5338,
+    "matmul_blocked_256_1t_ms": 0.5930,
+    "train_epoch_tiny_ms": 1.3914
   }},
   "current": {{
     "machine_cpus": {cpus},
@@ -208,15 +299,21 @@ fn bench_record(_c: &mut Criterion) {
     "matmul_blocked_256_4t_ms": {blocked_4t:.4},
     "matmul_at_b_256_1t_ms": {at_b_1t:.4},
     "matmul_a_bt_256_1t_ms": {a_bt_1t:.4},
+    "tape_train_step_b16_fresh_graph_ms": {tape_fresh:.4},
+    "tape_train_step_b16_reused_arena_ms": {tape_reused:.4},
     "train_epoch_tiny_ms": {train_epoch:.4},
     "speedup_vs_seed_matmul_256": {speedup_mm:.2},
-    "speedup_vs_seed_train_epoch": {speedup_te:.2}
+    "speedup_vs_seed_train_epoch": {speedup_te:.2},
+    "speedup_vs_pr2_train_epoch": {speedup_pr2:.2},
+    "speedup_tape_reuse_vs_fresh": {speedup_tape:.2}
   }},
-  "notes": "seed numbers were taken on a single-vCPU container; the 4t entries only show parallel gains on multi-core hosts (the kernels are bit-identical across thread counts either way)"
+  "notes": "seed/pr2 numbers were taken on a single-vCPU container; the 4t entries only show parallel gains on multi-core hosts (the kernels are bit-identical across thread counts either way). The tape_* pair isolates per-step tape overhead: same model, same data, fresh Graph per step vs one reused arena."
 }}
 "#,
         speedup_mm = 2.0667 / blocked_1t.min(blocked_4t),
         speedup_te = 3.3017 / train_epoch,
+        speedup_pr2 = 1.3914 / train_epoch,
+        speedup_tape = tape_fresh / tape_reused,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json");
     std::fs::write(path, json).expect("write BENCH_substrate.json");
@@ -226,6 +323,7 @@ fn bench_record(_c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_tape,
     bench_cover_tree,
     bench_pwl,
     bench_train_epoch,

@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selnet_data::Dataset;
-use selnet_tensor::{Activation, Adam, Graph, Matrix, Mlp, Optimizer, ParamStore, Var};
+use selnet_tensor::{Activation, Adam, Graph, Mlp, Optimizer, ParamStore, Var};
 
 /// Encoder/decoder MLP pair.
 #[derive(Clone, Debug)]
@@ -87,6 +87,10 @@ impl Autoencoder {
 
     /// Pretrains on (a sample of) the database, as the paper does before
     /// estimator training. Returns the final reconstruction loss.
+    ///
+    /// One arena tape is reused across all batches and epochs; the batch
+    /// rows are gathered (in parallel for big batches) straight into the
+    /// tape's recycled leaf buffer.
     #[allow(clippy::too_many_arguments)]
     pub fn pretrain(
         &self,
@@ -108,6 +112,8 @@ impl Autoencoder {
         indices.truncate(n);
         let mut opt = Adam::new(lr);
         let mut last = f64::MAX;
+        let mut g = Graph::new();
+        let threads = selnet_tensor::parallel::configured_threads();
         for _ in 0..epochs {
             // shuffle each epoch
             for i in (1..indices.len()).rev() {
@@ -115,21 +121,17 @@ impl Autoencoder {
                 indices.swap(i, j);
             }
             for chunk in indices.chunks(batch_size.max(1)) {
-                // row gathering parallelizes over chunks for big batches
-                let xbuf = selnet_tensor::parallel::par_build_rows(
-                    chunk.len(),
-                    ds.dim(),
-                    selnet_tensor::parallel::configured_threads(),
-                    |bi, row| row.copy_from_slice(ds.row(chunk[bi])),
-                );
-                let batch = Matrix::from_vec(chunk.len(), ds.dim(), xbuf);
-                let mut g = Graph::new();
-                let x = g.leaf(batch);
+                g.reset();
+                let x = g.leaf_with(chunk.len(), ds.dim(), |data| {
+                    selnet_tensor::parallel::par_fill_rows(data, ds.dim(), threads, |bi, row| {
+                        row.copy_from_slice(ds.row(chunk[bi]))
+                    });
+                });
                 let loss = self.reconstruction_loss(&mut g, store, x);
                 g.backward(loss);
                 last = g.value(loss).get(0, 0) as f64;
-                let grads = g.param_grads();
-                opt.step(store, &grads);
+                let grads = g.param_grad_refs();
+                opt.step_refs(store, &grads);
             }
         }
         last
@@ -140,6 +142,7 @@ impl Autoencoder {
 mod tests {
     use super::*;
     use selnet_data::generators::{face_like, GeneratorConfig};
+    use selnet_tensor::Matrix;
 
     #[test]
     fn shapes_are_consistent() {

@@ -98,7 +98,7 @@ impl ControlPointNets {
             input
         } else {
             let in_dim = g.value(input).cols();
-            g.leaf(Matrix::full(1, in_dim, 1.0))
+            g.leaf_with(1, in_dim, |d| d.fill(1.0))
         };
         let raw_tau = self.tau_net.forward(g, store, tau_in);
         let norm = match self.tau_normalization {
@@ -107,7 +107,7 @@ impl ControlPointNets {
         };
         let scaled = g.scale(norm, tmax);
         let tail = g.cumsum_cols(scaled);
-        let zeros = g.leaf(Matrix::zeros(if query_dependent_tau { rows } else { 1 }, 1));
+        let zeros = g.leaf_with(if query_dependent_tau { rows } else { 1 }, 1, |_| {});
         let tau = g.concat_cols(zeros, tail);
 
         // ---- p: model M — encoder embeddings, block-linear decoder,
@@ -169,10 +169,11 @@ impl SelNetModel {
     /// Figure 4 experiment to visualize where the model places them.
     pub fn control_points_for(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
         assert_eq!(x.len(), self.dim, "query dimension mismatch");
-        let mut g = Graph::new();
-        let xv = g.leaf(Matrix::row_vector(x));
-        let (tau, p, _) = self.forward_control_points(&mut g, &self.store, xv);
-        (g.value(tau).row(0).to_vec(), g.value(p).row(0).to_vec())
+        Graph::with_pooled(|g| {
+            let xv = g.leaf_with(1, x.len(), |row| row.copy_from_slice(x));
+            let (tau, p, _) = self.forward_control_points(g, &self.store, xv);
+            (g.value(tau).row(0).to_vec(), g.value(p).row(0).to_vec())
+        })
     }
 
     /// Maximum supported threshold.
@@ -196,15 +197,18 @@ impl SelNetModel {
     }
 
     /// Predicts selectivities for one query at many thresholds with a
-    /// single network evaluation (control points are query-only).
+    /// single network evaluation (control points are query-only). Runs on
+    /// the thread-local pooled tape, so repeated predictions recycle one
+    /// arena instead of building a graph per call.
     pub fn predict_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "query dimension mismatch");
-        let mut g = Graph::new();
-        let xv = g.leaf(Matrix::row_vector(x));
-        let (tau, p, _) = self.forward_control_points(&mut g, &self.store, xv);
-        let t = g.leaf(Matrix::col_vector(ts));
-        let y = g.pwl_interp(tau, p, t);
-        g.value(y).data().iter().map(|&v| v as f64).collect()
+        Graph::with_pooled(|g| {
+            let xv = g.leaf_with(1, x.len(), |row| row.copy_from_slice(x));
+            let (tau, p, _) = self.forward_control_points(g, &self.store, xv);
+            let t = g.leaf_with(ts.len(), 1, |col| col.copy_from_slice(ts));
+            let y = g.pwl_interp(tau, p, t);
+            g.value(y).data().iter().map(|&v| v as f64).collect()
+        })
     }
 }
 

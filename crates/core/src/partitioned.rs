@@ -72,27 +72,32 @@ impl PartitionedSelNet {
     }
 
     /// Predicts selectivities for one query at many thresholds, applying
-    /// the intersection indicator per threshold.
+    /// the intersection indicator per threshold. Runs on the thread-local
+    /// pooled tape (see [`Graph::with_pooled`]).
     pub fn predict_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "query dimension mismatch");
-        let mut g = Graph::new();
-        let xv = g.leaf(Matrix::row_vector(x));
-        let z = self.ae.encode(&mut g, &self.store, xv);
-        let input = g.concat_cols(xv, z);
-        let tv = g.leaf(Matrix::col_vector(ts));
-        // local predictions over all thresholds (tau/p broadcast from 1 row)
-        let mut local_preds: Vec<Vec<f64>> = Vec::with_capacity(self.locals.len());
-        for nets in &self.locals {
-            let (tau, p) = nets.control_points(
-                &mut g,
-                &self.store,
-                input,
-                self.tmax,
-                self.cfg.query_dependent_tau,
-            );
-            let y = g.pwl_interp(tau, p, tv);
-            local_preds.push(g.value(y).data().iter().map(|&v| v as f64).collect());
-        }
+        let local_preds: Vec<Vec<f64>> = Graph::with_pooled(|g| {
+            let xv = g.leaf_with(1, x.len(), |row| row.copy_from_slice(x));
+            let z = self.ae.encode(g, &self.store, xv);
+            let input = g.concat_cols(xv, z);
+            let tv = g.leaf_with(ts.len(), 1, |col| col.copy_from_slice(ts));
+            // local predictions over all thresholds (tau/p broadcast from
+            // 1 row)
+            self.locals
+                .iter()
+                .map(|nets| {
+                    let (tau, p) = nets.control_points(
+                        g,
+                        &self.store,
+                        input,
+                        self.tmax,
+                        self.cfg.query_dependent_tau,
+                    );
+                    let y = g.pwl_interp(tau, p, tv);
+                    g.value(y).data().iter().map(|&v| v as f64).collect()
+                })
+                .collect()
+        });
         // indicator per threshold
         ts.iter()
             .enumerate()
@@ -109,11 +114,12 @@ impl PartitionedSelNet {
 
     /// Per-part predictions for one `(x, t)` (diagnostics / tests).
     pub fn local_estimates(&self, x: &[f32], t: f32) -> Vec<f64> {
-        let mut g = Graph::new();
-        let xv = g.leaf(Matrix::row_vector(x));
-        let tv = g.leaf(Matrix::full(1, 1, t));
-        let (_, preds) = self.forward_locals(&mut g, xv, tv);
-        preds.iter().map(|&p| g.value(p).get(0, 0) as f64).collect()
+        Graph::with_pooled(|g| {
+            let xv = g.leaf_with(1, x.len(), |row| row.copy_from_slice(x));
+            let tv = g.leaf_with(1, 1, |d| d[0] = t);
+            let (_, preds) = self.forward_locals(g, xv, tv);
+            preds.iter().map(|&p| g.value(p).get(0, 0) as f64).collect()
+        })
     }
 }
 
@@ -175,18 +181,27 @@ fn build_joint_pairs<'a>(
     out
 }
 
-fn gather(values: &[f32], order: &[usize]) -> Matrix {
-    Matrix::col_vector(&order.iter().map(|&i| values[i]).collect::<Vec<_>>())
+/// Records a column-vector leaf gathering `values[order[i]]` directly into
+/// the tape's recycled buffer.
+fn gather_leaf(g: &mut Graph, values: &[f32], order: &[usize]) -> Var {
+    g.leaf_with(order.len(), 1, |data| {
+        for (o, &i) in data.iter_mut().zip(order) {
+            *o = values[i];
+        }
+    })
 }
 
 /// One local-pretraining step (§5.3 phase 1). The `K` local estimation
 /// losses and the AE reconstruction term are independent given the current
 /// parameters, so each runs forward + backward on its **own tape** — on
-/// its own thread when the dispatcher has workers to spare — and the
-/// gradients are summed in fixed job order afterwards. This is
-/// mathematically the same total loss the seed computed on one tape
-/// (`Σ_i J_est(f^(i)) + λ J_AE`), and the fixed merge order keeps the step
-/// deterministic for any thread count.
+/// its own thread when the dispatcher has workers to spare. The tapes are
+/// persistent arenas owned by [`run_training_phase`]: each job resets and
+/// rebuilds its tape in place, so the fan-out's matrix traffic recycles
+/// warm buffers. The per-job losses come back in job order; the caller merges the
+/// per-tape gradients in that same fixed order, which is mathematically
+/// the same total loss the seed computed on one tape
+/// (`Σ_i J_est(f^(i)) + λ J_AE`) and keeps the step deterministic for any
+/// thread count.
 ///
 /// This multi-tape split runs even with one worker, where it re-runs the
 /// (small) AE encoder per job instead of sharing one `z`. That modest
@@ -201,84 +216,70 @@ fn local_pretrain_step(
     chunk: &[usize],
     x: &Matrix,
     t: &Matrix,
-) -> (f64, Vec<(selnet_tensor::ParamId, Matrix)>) {
+    tapes: &mut [Graph],
+) -> Vec<f64> {
     let cfg = &model.cfg;
     let k = model.locals.len();
     let threads = selnet_tensor::parallel::configured_threads();
     // jobs 0..k: per-partition estimation losses; job k: the AE term
-    let jobs = selnet_tensor::parallel::par_map_indexed(k + 1, threads, 1, |job| {
-        let mut g = Graph::new();
-        let xv = g.leaf(x.clone());
+    selnet_tensor::parallel::par_map_states(tapes, threads, |job, g| {
+        g.reset();
+        let xv = g.leaf_ref(x);
         if job < k {
-            let tv = g.leaf(t.clone());
-            let z = model.ae.encode(&mut g, &model.store, xv);
+            let tv = g.leaf_ref(t);
+            let z = model.ae.encode(g, &model.store, xv);
             let input = g.concat_cols(xv, z);
             let (tau, p) = model.locals[job].control_points(
-                &mut g,
+                g,
                 &model.store,
                 input,
                 model.tmax,
                 cfg.query_dependent_tau,
             );
             let pred = g.pwl_interp(tau, p, tv);
-            let yl = g.leaf(gather(&pairs.ylog_local[job], chunk));
+            let yl = gather_leaf(g, &pairs.ylog_local[job], chunk);
             let pl = g.ln_eps(pred, cfg.log_eps);
             let r = g.sub(pl, yl);
-            let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
+            let h = crate::train::apply_loss(g, r, cfg.loss, cfg.huber_delta);
             let m = g.mean(h);
             g.backward(m);
-            (g.value(m).get(0, 0) as f64, g.param_grads())
+            g.value(m).get(0, 0) as f64
         } else {
-            let loss = model.ae.reconstruction_loss(&mut g, &model.store, xv);
+            let loss = model.ae.reconstruction_loss(g, &model.store, xv);
             let scaled = g.scale(loss, cfg.lambda_ae);
             g.backward(scaled);
-            (g.value(scaled).get(0, 0) as f64, g.param_grads())
+            g.value(scaled).get(0, 0) as f64
         }
-    });
-    // deterministic merge: job order, then parameter order
-    let mut merged: Vec<Option<Matrix>> = vec![None; model.store.len()];
-    let mut total = 0.0f64;
-    for (loss, grads) in jobs {
-        total += loss;
-        for (id, gm) in grads {
-            match &mut merged[id.index()] {
-                Some(acc) => acc.add_assign(&gm),
-                slot @ None => *slot = Some(gm),
-            }
-        }
-    }
-    let grads = model
-        .store
-        .ids()
-        .filter_map(|id| merged[id.index()].take().map(|g| (id, g)))
-        .collect();
-    (total, grads)
+    })
 }
 
 /// One joint-training step (§5.3 phase 2): the global estimate couples
-/// every partition through the indicator sum, so this stays a single tape.
-fn joint_step(
+/// every partition through the indicator sum, so this stays a single
+/// (reused) tape. Returns the batch loss and the parameter gradients as
+/// borrows into the tape.
+fn joint_step<'g>(
     model: &PartitionedSelNet,
     pairs: &JointPairs<'_>,
     chunk: &[usize],
     x: &Matrix,
     t: &Matrix,
-) -> (f64, Vec<(selnet_tensor::ParamId, Matrix)>) {
+    g: &'g mut Graph,
+) -> (f64, Vec<(selnet_tensor::ParamId, &'g Matrix)>) {
     let cfg = &model.cfg;
     let beta = model.pcfg.beta;
-    let mut g = Graph::new();
-    let xv = g.leaf(x.clone());
-    let tv = g.leaf(t.clone());
-    let yv = g.leaf(gather(&pairs.ylog, chunk));
-    let (z, local_preds) = model.forward_locals(&mut g, xv, tv);
+    g.reset();
+    let xv = g.leaf_ref(x);
+    let tv = g.leaf_ref(t);
+    let yv = gather_leaf(g, &pairs.ylog, chunk);
+    let (z, local_preds) = model.forward_locals(g, xv, tv);
 
     // local losses: beta * sum_i J_est(f^(i))
     let mut loss_acc: Option<Var> = None;
     for (part, &local_pred) in local_preds.iter().enumerate() {
-        let yl = g.leaf(gather(&pairs.ylog_local[part], chunk));
+        let yl = gather_leaf(g, &pairs.ylog_local[part], chunk);
         let pl = g.ln_eps(local_pred, cfg.log_eps);
         let r = g.sub(pl, yl);
-        let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
+        let h = crate::train::apply_loss(g, r, cfg.loss, cfg.huber_delta);
         let m = g.mean(h);
         let weighted = g.scale(m, beta);
         loss_acc = Some(match loss_acc {
@@ -291,7 +292,7 @@ fn joint_step(
     // global estimate: sum of indicator-masked local predictions
     let mut global: Option<Var> = None;
     for (part, &local_pred) in local_preds.iter().enumerate() {
-        let ind = g.leaf(gather(&pairs.indicator[part], chunk));
+        let ind = gather_leaf(g, &pairs.indicator[part], chunk);
         let masked = g.mul(local_pred, ind);
         global = Some(match global {
             Some(acc) => g.add(acc, masked),
@@ -301,12 +302,12 @@ fn joint_step(
     let global = global.expect("k > 0");
     let gl = g.ln_eps(global, cfg.log_eps);
     let r = g.sub(gl, yv);
-    let h = crate::train::apply_loss(&mut g, r, cfg.loss, cfg.huber_delta);
+    let h = crate::train::apply_loss(g, r, cfg.loss, cfg.huber_delta);
     let global_loss = g.mean(h);
     loss = g.add(global_loss, loss);
 
     // lambda * J_AE
-    let recon = model.ae.decode(&mut g, &model.store, z);
+    let recon = model.ae.decode(g, &model.store, z);
     let dx = g.sub(recon, xv);
     let sq = g.square(dx);
     let ae = g.mean(sq);
@@ -314,13 +315,20 @@ fn joint_step(
     loss = g.add(loss, ae_scaled);
 
     g.backward(loss);
-    (g.value(loss).get(0, 0) as f64, g.param_grads())
+    let loss_val = g.value(loss).get(0, 0) as f64;
+    (loss_val, g.param_grad_refs())
 }
 
 /// Runs `epochs` of training. `joint = false` gives the pretraining phase
 /// (local losses + AE only); `joint = true` adds the global term.
 /// With `patience = Some(p)`, stops once validation MAE has not improved
 /// for `p` consecutive epochs (the §5.4 incremental-update rule).
+///
+/// All tape state is persistent across batches: the pretraining phase owns
+/// one arena tape per job (`K` locals + 1 AE) plus fixed-order gradient
+/// merge buffers, the joint phase owns a single arena tape, and the batch
+/// matrices are reused allocations — after the first batch a training step
+/// performs no per-op matrix allocations.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_training_phase(
     model: &mut PartitionedSelNet,
@@ -339,6 +347,19 @@ pub(crate) fn run_training_phase(
     let mut best_mae = model.reference_val_mae;
     let mut best_store = model.store.clone();
     let mut since_improvement = 0usize;
+    let k = model.locals.len();
+    // persistent tapes and batch buffers (see the function docs)
+    let mut tapes: Vec<Graph> = Vec::new();
+    if !joint {
+        tapes.resize_with(k + 1, Graph::new);
+    }
+    let mut joint_tape = Graph::new();
+    let mut x = Matrix::default();
+    let mut t = Matrix::default();
+    // per-parameter accumulators for the fixed-order pretraining merge
+    let mut merged: Vec<Matrix> = Vec::new();
+    merged.resize_with(model.store.len(), Matrix::default);
+    let mut merged_seen = vec![false; model.store.len()];
 
     for _ in 0..epochs {
         for i in (1..n).rev() {
@@ -349,22 +370,46 @@ pub(crate) fn run_training_phase(
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let b = chunk.len();
-            let xbuf = selnet_tensor::parallel::par_build_rows(
-                b,
-                model.dim,
-                selnet_tensor::parallel::configured_threads(),
-                |bi, row| row.copy_from_slice(pairs.x[chunk[bi]]),
-            );
-            let x = Matrix::from_vec(b, model.dim, xbuf);
-            let t = gather(&pairs.t, chunk);
-            let (batch_loss, grads) = if joint {
-                joint_step(model, pairs, chunk, &x, &t)
+            let threads = selnet_tensor::parallel::configured_threads();
+            x.reset_shape(b, model.dim);
+            selnet_tensor::parallel::par_fill_rows(x.data_mut(), model.dim, threads, |bi, row| {
+                row.copy_from_slice(pairs.x[chunk[bi]])
+            });
+            t.reset_shape(b, 1);
+            for (o, &i) in t.data_mut().iter_mut().zip(chunk) {
+                *o = pairs.t[i];
+            }
+            let batch_loss = if joint {
+                let (loss, grads) = joint_step(model, pairs, chunk, &x, &t, &mut joint_tape);
+                opt.step_refs(&mut model.store, &grads);
+                loss
             } else {
-                local_pretrain_step(model, pairs, chunk, &x, &t)
+                let losses = local_pretrain_step(model, pairs, chunk, &x, &t, &mut tapes);
+                // deterministic merge: job order, then injection order
+                // within a tape, then parameter order for the update
+                merged_seen.fill(false);
+                for tape in tapes.iter_mut() {
+                    for (id, gm) in tape.param_grad_refs() {
+                        let slot = &mut merged[id.index()];
+                        if merged_seen[id.index()] {
+                            slot.add_assign(gm);
+                        } else {
+                            slot.copy_from(gm);
+                            merged_seen[id.index()] = true;
+                        }
+                    }
+                }
+                let grads: Vec<(selnet_tensor::ParamId, &Matrix)> = model
+                    .store
+                    .ids()
+                    .filter(|id| merged_seen[id.index()])
+                    .map(|id| (id, &merged[id.index()]))
+                    .collect();
+                opt.step_refs(&mut model.store, &grads);
+                losses.iter().sum()
             };
             epoch_loss += batch_loss;
             batches += 1;
-            opt.step(&mut model.store, &grads);
         }
         let mean_train_loss = epoch_loss / batches.max(1) as f64;
         report.epoch_train_loss.push(mean_train_loss);

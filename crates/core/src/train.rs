@@ -9,7 +9,7 @@ use crate::model::{ControlPointNets, SelNetModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selnet_data::Dataset;
-use selnet_tensor::{Adam, Graph, Matrix, Optimizer, ParamStore};
+use selnet_tensor::{Adam, Graph, Optimizer, ParamStore};
 use selnet_workload::{LabeledQuery, Workload};
 
 /// Per-epoch training diagnostics.
@@ -44,31 +44,34 @@ pub(crate) fn flatten_pairs<'a>(split: &'a [LabeledQuery], log_eps: f32) -> Flat
     FlatPairs { x, t, ylog }
 }
 
-pub(crate) fn batch_matrices(
+/// Records the batch `(x, t, ylog)` leaves for the given pair indices
+/// directly on the (reused) tape: the query rows are gathered in parallel
+/// into the recycled leaf buffer, so batch assembly allocates nothing once
+/// the tape is warm.
+pub(crate) fn batch_leaves(
+    g: &mut Graph,
     pairs: &FlatPairs<'_>,
     order: &[usize],
     dim: usize,
-) -> (Matrix, Matrix, Matrix) {
+) -> (selnet_tensor::Var, selnet_tensor::Var, selnet_tensor::Var) {
     let b = order.len();
-    // row gathering parallelizes over chunks for big batches (the helper
-    // stays serial below its own threshold)
-    let xbuf = selnet_tensor::parallel::par_build_rows(
-        b,
-        dim,
-        selnet_tensor::parallel::configured_threads(),
-        |bi, row| row.copy_from_slice(pairs.x[order[bi]]),
-    );
-    let mut tbuf = Vec::with_capacity(b);
-    let mut ybuf = Vec::with_capacity(b);
-    for &i in order {
-        tbuf.push(pairs.t[i]);
-        ybuf.push(pairs.ylog[i]);
-    }
-    (
-        Matrix::from_vec(b, dim, xbuf),
-        Matrix::col_vector(&tbuf),
-        Matrix::col_vector(&ybuf),
-    )
+    let threads = selnet_tensor::parallel::configured_threads();
+    let xv = g.leaf_with(b, dim, |data| {
+        selnet_tensor::parallel::par_fill_rows(data, dim, threads, |bi, row| {
+            row.copy_from_slice(pairs.x[order[bi]])
+        });
+    });
+    let tv = g.leaf_with(b, 1, |data| {
+        for (o, &i) in data.iter_mut().zip(order) {
+            *o = pairs.t[i];
+        }
+    });
+    let yv = g.leaf_with(b, 1, |data| {
+        for (o, &i) in data.iter_mut().zip(order) {
+            *o = pairs.ylog[i];
+        }
+    });
+    (xv, tv, yv)
 }
 
 /// Records the configured loss (§5.1 design choice) on log residuals.
@@ -213,6 +216,11 @@ pub fn fit_named(
 /// The core mini-batch loop, shared by initial training and the §5.4
 /// incremental update. Keeps the parameters with the smallest validation
 /// MAE and stores that MAE as the model's reference.
+///
+/// One arena tape is reused for every batch of every epoch
+/// ([`Graph::reset`] keeps the buffers), and gradients flow to Adam as
+/// borrows — after the first batch a step performs no per-op matrix
+/// allocations.
 pub(crate) fn train_loop(
     model: &mut SelNetModel,
     train: &[LabeledQuery],
@@ -228,6 +236,7 @@ pub(crate) fn train_loop(
     let mut report = TrainReport::default();
     let mut best_mae = f64::MAX;
     let mut best_store = model.store.clone();
+    let mut g = Graph::new();
 
     for epoch in 0..epochs {
         // shuffle
@@ -238,11 +247,8 @@ pub(crate) fn train_loop(
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
-            let (x, t, ylog) = batch_matrices(&pairs, chunk, model.dim);
-            let mut g = Graph::new();
-            let xv = g.leaf(x);
-            let tv = g.leaf(t);
-            let yv = g.leaf(ylog);
+            g.reset();
+            let (xv, tv, yv) = batch_leaves(&mut g, &pairs, chunk, model.dim);
             let (tau, p, z) = model.forward_control_points(&mut g, &model.store, xv);
             let yhat = g.pwl_interp(tau, p, tv);
             let yhat_log = g.ln_eps(yhat, cfg.log_eps);
@@ -259,8 +265,8 @@ pub(crate) fn train_loop(
             g.backward(loss);
             epoch_loss += g.value(loss).get(0, 0) as f64;
             batches += 1;
-            let grads = g.param_grads();
-            opt.step(&mut model.store, &grads);
+            let grads = g.param_grad_refs();
+            opt.step_refs(&mut model.store, &grads);
         }
         let mean_train_loss = epoch_loss / batches.max(1) as f64;
         report.epoch_train_loss.push(mean_train_loss);

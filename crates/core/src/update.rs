@@ -9,6 +9,11 @@
 //!    scratch, preventing catastrophic forgetting) with the full training
 //!    data until the validation MAE stops improving for 3 consecutive
 //!    epochs.
+//!
+//! Both variants run on the reused-arena training loops (`train_loop` /
+//! `run_training_phase`), so an incremental retrain pays no per-batch tape
+//! allocation — the property that keeps the §5.4 loop cheap enough to
+//! trigger frequently.
 
 use crate::model::SelNetModel;
 use crate::partitioned::{continue_training, partitioned_validation_mae, PartitionedSelNet};

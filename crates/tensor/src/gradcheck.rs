@@ -16,10 +16,12 @@ pub struct GradCheckReport {
 /// Checks the analytic gradient of a scalar function built on the tape
 /// against central finite differences.
 ///
-/// `build` receives a fresh graph and the current input values (one matrix
-/// per input) and must return `(input_vars, loss_var)` where `loss_var` is
-/// `1 x 1`. Analytic gradients are compared entry-by-entry against
-/// `(f(x + h) - f(x - h)) / 2h`.
+/// `build` receives a (reset) graph and the current input values (one
+/// matrix per input) and must return `(input_vars, loss_var)` where
+/// `loss_var` is `1 x 1`. Analytic gradients are compared entry-by-entry
+/// against `(f(x + h) - f(x - h)) / 2h`. All finite-difference evaluations
+/// share one reused arena tape, so every gradcheck in the workspace also
+/// exercises the reset-and-reuse path of [`Graph`].
 pub fn check_gradients(
     inputs: &[Matrix],
     h: f32,
@@ -36,10 +38,11 @@ pub fn check_gradients(
     g.backward(loss);
     let analytic: Vec<Matrix> = vars.iter().map(|&v| g.grad(v)).collect();
 
-    let eval = |xs: &[Matrix]| -> f64 {
-        let mut g = Graph::new();
-        let (_, loss) = build(&mut g, xs);
-        g.value(loss).get(0, 0) as f64
+    let mut eval_tape = Graph::new();
+    let mut eval = |xs: &[Matrix]| -> f64 {
+        eval_tape.reset();
+        let (_, loss) = build(&mut eval_tape, xs);
+        eval_tape.value(loss).get(0, 0) as f64
     };
 
     let mut max_abs = 0.0f64;

@@ -1,9 +1,48 @@
-//! Tape-based reverse-mode automatic differentiation.
+//! Tape-based reverse-mode automatic differentiation on an **arena of
+//! reusable buffers**.
 //!
-//! A [`Graph`] is a fresh tape per training step. Operations evaluate
-//! eagerly (values are computed when the op is recorded) and record enough
-//! information for the backward sweep. [`Graph::backward`] walks the tape in
-//! reverse, accumulating gradients into every node.
+//! A [`Graph`] is a tape of nodes recorded in topological order. Operations
+//! evaluate eagerly (values are computed when the op is recorded) and record
+//! enough information for the backward sweep. [`Graph::backward`] walks the
+//! tape in reverse, accumulating gradients into every node.
+//!
+//! ## Tape lifecycle: build → forward → backward → [`Graph::reset`]
+//!
+//! The tape is designed to be **reused across training batches**. Calling
+//! [`Graph::reset`] rewinds the tape to empty but keeps every node's value
+//! and gradient buffer (and the tape's capacity) alive, so the next batch —
+//! which in a training loop records the same op sequence with new data —
+//! recycles the previous batch's storage instead of touching the allocator:
+//!
+//! * op methods write their results **into the recycled value buffers**
+//!   (via the `Matrix::*_into` / `reset_*` kernels);
+//! * [`Graph::leaf_ref`] / [`Graph::leaf_with`] copy or build leaf data in
+//!   place, and [`Graph::param_leaf`] rebinds parameter values by copy
+//!   instead of cloning a fresh `Matrix` per batch;
+//! * [`Graph::backward`] accumulates gradients **in place** into per-node
+//!   gradient buffers (a small scratch pool serves the ops that need a
+//!   temporary), allocating nothing after the first batch at a given shape;
+//! * [`Graph::param_grad_refs`] hands the optimizer borrowed gradients, so
+//!   nothing is cloned on the way to the update step.
+//!
+//! After a `reset()`, any [`Var`] from the previous batch is **stale**;
+//! using one is a logic error and panics in [`Graph::value`] /
+//! [`Graph::grad`].
+//!
+//! ## Determinism contract
+//!
+//! Reusing a tape is **bit-identical** to building a fresh [`Graph`]: every
+//! op writes its recycled buffer with exactly the arithmetic (same
+//! operations, same order) as the allocating path, and in-place gradient
+//! accumulation performs the same `existing += update` sequence the
+//! allocate-then-accumulate sweep performed. The property suite
+//! (`tests/tape_reuse.rs`, `tests/autodiff_properties.rs`) pins
+//! reset-and-reuse against fresh graphs bit for bit, including across
+//! batch-size changes. Together with the thread-count-invariant matmul
+//! kernels (see [`crate::parallel`]) this keeps training runs reproducible:
+//! same seed, same model — regardless of tape reuse or worker count.
+//!
+//! ## The op set
 //!
 //! Besides the standard neural-network ops, the tape implements the fused
 //! operations the SelNet paper needs:
@@ -20,6 +59,9 @@
 use crate::matrix::Matrix;
 
 /// Handle to a node on the tape.
+///
+/// A `Var` is only valid until the next [`Graph::reset`]; using a stale
+/// handle afterwards panics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
 
@@ -37,7 +79,10 @@ impl ParamId {
     }
 }
 
-#[derive(Clone, Debug)]
+/// The recorded operation of a tape node. Plain indices only — per-node
+/// auxiliary state (the PWL segment choice) lives on the [`Node`] so slot
+/// reuse recycles its allocation too.
+#[derive(Clone, Copy, Debug)]
 enum Op {
     Leaf,
     MatMul(usize, usize),
@@ -75,8 +120,6 @@ enum Op {
         tau: usize,
         p: usize,
         t: usize,
-        /// per-row segment index chosen in the forward pass (-1 below, -2 above range)
-        segments: Vec<i64>,
     },
     BlockLinear {
         input: usize,
@@ -90,18 +133,36 @@ enum Op {
     },
 }
 
+/// One tape slot. `value` and `grad` keep their allocations across
+/// [`Graph::reset`] so later batches recycle them.
 struct Node {
     value: Matrix,
-    grad: Option<Matrix>,
+    /// In-place gradient accumulator; meaningful only while `grad_seen`.
+    grad: Matrix,
+    /// Whether `grad` holds this backward sweep's accumulated gradient.
+    grad_seen: bool,
     op: Op,
     param: Option<ParamId>,
+    /// Per-row segment chosen by a `PwlInterp` forward pass (`-1` below
+    /// range, `-2` above); replayed by the backward sweep. Kept on the node
+    /// (not in [`Op`]) so the buffer is recycled across batches.
+    seg: Vec<i64>,
 }
 
-/// A fresh autodiff tape. Build the computation with the op methods, then
-/// call [`Graph::backward`] on a scalar node.
+/// A reusable autodiff tape. Build the computation with the op methods,
+/// call [`Graph::backward`] on a scalar node, read gradients, then
+/// [`Graph::reset`] and record the next batch into the same storage.
 #[derive(Default)]
 pub struct Graph {
+    /// Slot arena. `nodes[..live]` is the current tape; `nodes[live..]`
+    /// are spare slots retained by [`Graph::reset`] for recycling.
     nodes: Vec<Node>,
+    /// Number of live nodes in the current tape.
+    live: usize,
+    /// Recycled temporaries for the backward sweep (gradient scratch and
+    /// transpose packing); they grow to the largest shape once and are
+    /// reused forever after.
+    scratch: Vec<Matrix>,
 }
 
 impl Graph {
@@ -109,71 +170,205 @@ impl Graph {
     pub fn new() -> Self {
         Graph {
             nodes: Vec::with_capacity(64),
+            live: 0,
+            scratch: Vec::new(),
         }
     }
 
-    fn push(&mut self, value: Matrix, op: Op) -> Var {
-        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
-        self.nodes.push(Node {
-            value,
-            grad: None,
-            op,
-            param: None,
-        });
-        Var(self.nodes.len() - 1)
+    /// Rewinds the tape to empty while **keeping every buffer**: node
+    /// capacity, value/gradient storage and scratch temporaries all survive
+    /// and are recycled by the next batch's ops. All existing [`Var`]s
+    /// become stale.
+    pub fn reset(&mut self) {
+        self.live = 0;
     }
 
-    /// Records a constant leaf (inputs, targets). It still receives a
-    /// gradient during the backward sweep, which is simply discarded.
+    /// Runs `f` on a freshly [`reset`](Graph::reset) **thread-local** tape
+    /// whose arena persists for the life of the thread — the zero-setup way
+    /// to get tape reuse on inference paths (`predict_many` and friends)
+    /// that can't thread a `&mut Graph` through their signatures.
+    ///
+    /// The closure must not call `with_pooled` reentrantly (the tape is
+    /// exclusively borrowed while `f` runs; nesting panics).
+    pub fn with_pooled<R>(f: impl FnOnce(&mut Graph) -> R) -> R {
+        use std::cell::RefCell;
+        thread_local! {
+            static POOLED: RefCell<Graph> = RefCell::new(Graph::new());
+        }
+        POOLED.with(|tape| {
+            let mut g = tape.borrow_mut();
+            g.reset();
+            f(&mut g)
+        })
+    }
+
+    /// Allocates the next tape slot (recycling a spare one when available)
+    /// with a `rows x cols` value buffer of unspecified contents. Every op
+    /// must overwrite the value completely.
+    fn alloc(&mut self, rows: usize, cols: usize, op: Op) -> usize {
+        let idx = self.live;
+        if idx < self.nodes.len() {
+            let n = &mut self.nodes[idx];
+            n.value.reset_shape(rows, cols);
+            n.grad_seen = false;
+            n.op = op;
+            n.param = None;
+        } else {
+            let mut value = Matrix::default();
+            value.reset_shape(rows, cols);
+            self.nodes.push(Node {
+                value,
+                grad: Matrix::default(),
+                grad_seen: false,
+                op,
+                param: None,
+                seg: Vec::new(),
+            });
+        }
+        self.live = idx + 1;
+        idx
+    }
+
+    /// Splits the arena at a freshly allocated `idx`: the already-recorded
+    /// input nodes and the output node, borrowable simultaneously.
+    fn out_split(&mut self, idx: usize) -> (&[Node], &mut Node) {
+        let (pre, rest) = self.nodes.split_at_mut(idx);
+        (&*pre, &mut rest[0])
+    }
+
+    /// Finalizes an op: debug-checks the produced value and returns the
+    /// handle.
+    fn done(&self, idx: usize) -> Var {
+        debug_assert!(
+            self.nodes[idx].value.all_finite(),
+            "non-finite value produced by {:?}",
+            self.nodes[idx].op
+        );
+        Var(idx)
+    }
+
+    fn take_scratch(&mut self) -> Matrix {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    fn put_scratch(&mut self, m: Matrix) {
+        self.scratch.push(m);
+    }
+
+    /// Records a constant leaf (inputs, targets), **moving** `value` onto
+    /// the tape. On hot paths prefer [`Graph::leaf_ref`] or
+    /// [`Graph::leaf_with`], which recycle the slot's existing buffer
+    /// instead of adopting a freshly allocated one.
     pub fn leaf(&mut self, value: Matrix) -> Var {
-        self.push(value, Op::Leaf)
+        let idx = self.alloc(0, 0, Op::Leaf);
+        self.nodes[idx].value = value;
+        self.done(idx)
+    }
+
+    /// Records a constant leaf by **copying** `value` into recycled
+    /// storage (no allocation once the slot has the capacity).
+    pub fn leaf_ref(&mut self, value: &Matrix) -> Var {
+        let idx = self.alloc(0, 0, Op::Leaf);
+        self.nodes[idx].value.copy_from(value);
+        self.done(idx)
+    }
+
+    /// Records a `rows x cols` constant leaf whose zero-initialized data is
+    /// filled in place by `fill` — the allocation-free way to assemble
+    /// batch matrices directly on the tape.
+    pub fn leaf_with(&mut self, rows: usize, cols: usize, fill: impl FnOnce(&mut [f32])) -> Var {
+        let idx = self.alloc(0, 0, Op::Leaf);
+        self.nodes[idx].value.reset_zero(rows, cols);
+        fill(self.nodes[idx].value.data_mut());
+        self.done(idx)
     }
 
     /// Records a trainable-parameter leaf tagged with `id` so its gradient
-    /// can be collected after [`Graph::backward`].
-    pub fn param_leaf(&mut self, id: ParamId, value: Matrix) -> Var {
-        let v = self.push(value, Op::Leaf);
+    /// can be collected after [`Graph::backward`]. The value is copied into
+    /// recycled storage — parameters are *rebound* to the tape each batch,
+    /// not cloned into fresh allocations.
+    pub fn param_leaf(&mut self, id: ParamId, value: &Matrix) -> Var {
+        let v = self.leaf_ref(value);
         self.nodes[v.0].param = Some(id);
         v
     }
 
     /// The value held at `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is stale (recorded before the last [`Graph::reset`]).
     pub fn value(&self, v: Var) -> &Matrix {
+        assert!(v.0 < self.live, "stale Var used after Graph::reset()");
         &self.nodes[v.0].value
     }
 
-    /// The gradient accumulated at `v`; zeros if backward never reached it.
+    /// The gradient accumulated at `v` (cloned); zeros if backward never
+    /// reached it.
+    ///
+    /// # Panics
+    /// Panics if `v` is stale (recorded before the last [`Graph::reset`]).
     pub fn grad(&self, v: Var) -> Matrix {
-        match &self.nodes[v.0].grad {
-            Some(g) => g.clone(),
-            None => Matrix::zeros(self.nodes[v.0].value.rows(), self.nodes[v.0].value.cols()),
+        assert!(v.0 < self.live, "stale Var used after Graph::reset()");
+        let n = &self.nodes[v.0];
+        if n.grad_seen {
+            n.grad.clone()
+        } else {
+            Matrix::zeros(n.value.rows(), n.value.cols())
         }
     }
 
-    /// Number of nodes recorded so far.
+    /// Number of nodes recorded since the last [`Graph::reset`].
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 
     /// Whether the tape is empty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.live == 0
     }
 
-    /// Collects `(ParamId, gradient)` pairs for every parameter leaf.
+    /// Number of node slots the arena retains (live + spare); stays flat
+    /// across steady-state reuse.
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Collects `(ParamId, gradient)` pairs for every parameter leaf,
+    /// **cloning** each gradient. Hot paths should use
+    /// [`Graph::param_grad_refs`] instead.
     pub fn param_grads(&self) -> Vec<(ParamId, Matrix)> {
-        self.nodes
+        self.nodes[..self.live]
             .iter()
             .filter_map(|n| {
                 n.param.map(|id| {
                     (
                         id,
-                        n.grad
-                            .clone()
-                            .unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols())),
+                        if n.grad_seen {
+                            n.grad.clone()
+                        } else {
+                            Matrix::zeros(n.value.rows(), n.value.cols())
+                        },
                     )
                 })
             })
+            .collect()
+    }
+
+    /// Collects `(ParamId, &gradient)` pairs for every parameter leaf
+    /// **without cloning** — feed these straight to
+    /// [`Optimizer::step_refs`](crate::optim::Optimizer::step_refs).
+    /// Parameters the backward sweep never reached get a zero gradient
+    /// (materialized in their recycled buffer).
+    pub fn param_grad_refs(&mut self) -> Vec<(ParamId, &Matrix)> {
+        for n in &mut self.nodes[..self.live] {
+            if n.param.is_some() && !n.grad_seen {
+                n.grad.reset_zero(n.value.rows(), n.value.cols());
+                n.grad_seen = true;
+            }
+        }
+        self.nodes[..self.live]
+            .iter()
+            .filter_map(|n| n.param.map(|id| (id, &n.grad)))
             .collect()
     }
 
@@ -181,117 +376,155 @@ impl Graph {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(v, Op::MatMul(a.0, b.0))
+        let rows = self.nodes[a.0].value.rows();
+        let cols = self.nodes[b.0].value.cols();
+        let idx = self.alloc(rows, cols, Op::MatMul(a.0, b.0));
+        let (pre, out) = self.out_split(idx);
+        pre[a.0].value.matmul_into(&pre[b.0].value, &mut out.value);
+        self.done(idx)
+    }
+
+    /// Shared body of the elementwise binary ops.
+    fn binary_zip(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f32, f32) -> f32) -> Var {
+        let shape = self.nodes[a.0].value.shape();
+        assert_eq!(
+            shape,
+            self.nodes[b.0].value.shape(),
+            "elementwise op shape mismatch"
+        );
+        let idx = self.alloc(shape.0, shape.1, op);
+        let (pre, out) = self.out_split(idx);
+        let (va, vb) = (&pre[a.0].value, &pre[b.0].value);
+        for ((o, &x), &y) in out
+            .value
+            .data_mut()
+            .iter_mut()
+            .zip(va.data())
+            .zip(vb.data())
+        {
+            *o = f(x, y);
+        }
+        self.done(idx)
     }
 
     /// Elementwise sum of two same-shape matrices.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = {
-            let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-            va.zip_map(vb, |x, y| x + y)
-        };
-        self.push(v, Op::Add(a.0, b.0))
+        self.binary_zip(a, b, Op::Add(a.0, b.0), |x, y| x + y)
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = {
-            let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-            va.zip_map(vb, |x, y| x - y)
-        };
-        self.push(v, Op::Sub(a.0, b.0))
+        self.binary_zip(a, b, Op::Sub(a.0, b.0), |x, y| x - y)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = {
-            let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-            va.zip_map(vb, |x, y| x * y)
-        };
-        self.push(v, Op::Mul(a.0, b.0))
+        self.binary_zip(a, b, Op::Mul(a.0, b.0), |x, y| x * y)
     }
 
     /// Adds a `1 x C` row vector to every row of an `R x C` matrix
     /// (the bias op).
     pub fn add_row_vec(&mut self, m: Var, row: Var) -> Var {
-        let v = {
+        {
             let (vm, vr) = (&self.nodes[m.0].value, &self.nodes[row.0].value);
             assert_eq!(vr.rows(), 1, "add_row_vec: rhs must be a row vector");
             assert_eq!(vm.cols(), vr.cols(), "add_row_vec: column mismatch");
-            let mut out = vm.clone();
-            for i in 0..out.rows() {
-                let r = out.row_mut(i);
-                for (o, &b) in r.iter_mut().zip(vr.data()) {
-                    *o += b;
-                }
+        }
+        let (rows, cols) = self.nodes[m.0].value.shape();
+        let idx = self.alloc(rows, cols, Op::AddRowVec(m.0, row.0));
+        let (pre, out) = self.out_split(idx);
+        let (vm, vr) = (&pre[m.0].value, &pre[row.0].value);
+        for i in 0..rows {
+            for ((o, &x), &b) in out
+                .value
+                .row_mut(i)
+                .iter_mut()
+                .zip(vm.row(i))
+                .zip(vr.data())
+            {
+                *o = x + b;
             }
-            out
-        };
-        self.push(v, Op::AddRowVec(m.0, row.0))
+        }
+        self.done(idx)
     }
 
     /// Multiplies every column of an `R x C` matrix by an `R x 1` column
     /// vector (per-row scaling, e.g. gate weights).
     pub fn mul_col_vec(&mut self, m: Var, col: Var) -> Var {
-        let v = {
+        {
             let (vm, vc) = (&self.nodes[m.0].value, &self.nodes[col.0].value);
             assert_eq!(vc.cols(), 1, "mul_col_vec: rhs must be a column vector");
             assert_eq!(vm.rows(), vc.rows(), "mul_col_vec: row mismatch");
-            let mut out = vm.clone();
-            for i in 0..out.rows() {
-                let s = vc.get(i, 0);
-                for o in out.row_mut(i) {
-                    *o *= s;
-                }
+        }
+        let (rows, cols) = self.nodes[m.0].value.shape();
+        let idx = self.alloc(rows, cols, Op::MulColVec(m.0, col.0));
+        let (pre, out) = self.out_split(idx);
+        let (vm, vc) = (&pre[m.0].value, &pre[col.0].value);
+        for i in 0..rows {
+            let s = vc.get(i, 0);
+            for (o, &x) in out.value.row_mut(i).iter_mut().zip(vm.row(i)) {
+                *o = x * s;
             }
-            out
-        };
-        self.push(v, Op::MulColVec(m.0, col.0))
+        }
+        self.done(idx)
     }
 
     // ---- scalar ops ----
 
+    /// Shared body of the elementwise unary ops.
+    fn unary_map(&mut self, a: Var, op: Op, f: impl Fn(f32) -> f32) -> Var {
+        let shape = self.nodes[a.0].value.shape();
+        let idx = self.alloc(shape.0, shape.1, op);
+        let (pre, out) = self.out_split(idx);
+        for (o, &x) in out.value.data_mut().iter_mut().zip(pre[a.0].value.data()) {
+            *o = f(x);
+        }
+        self.done(idx)
+    }
+
     /// Multiplies by a compile-time constant.
     pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x * alpha);
-        self.push(v, Op::Scale(a.0, alpha))
+        self.unary_map(a, Op::Scale(a.0, alpha), |x| x * alpha)
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x + c);
-        self.push(v, Op::AddScalar(a.0))
+        self.unary_map(a, Op::AddScalar(a.0), |x| x + c)
     }
 
     // ---- unary activations ----
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a.0))
+        self.unary_map(a, Op::Relu(a.0), |x| x.max(0.0))
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .map(|x| if x > 0.0 { x } else { alpha * x });
-        self.push(v, Op::LeakyRelu(a.0, alpha))
+        self.unary_map(a, Op::LeakyRelu(a.0, alpha), |x| {
+            if x > 0.0 {
+                x
+            } else {
+                alpha * x
+            }
+        })
     }
 
     /// `elu(x) + 1 = exp(x)` for `x <= 0`, `x + 1` for `x > 0`; strictly
     /// positive, used for UMNN's positive integrand.
     pub fn elu_plus_one(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .map(|x| if x > 0.0 { x + 1.0 } else { x.exp() });
-        self.push(v, Op::EluPlusOne(a.0))
+        self.unary_map(a, Op::EluPlusOne(a.0), |x| {
+            if x > 0.0 {
+                x + 1.0
+            } else {
+                x.exp()
+            }
+        })
     }
 
     /// Numerically-stable softplus `ln(1 + e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| {
+        self.unary_map(a, Op::Softplus(a.0), |x| {
             if x > 20.0 {
                 x
             } else if x < -20.0 {
@@ -299,53 +532,48 @@ impl Graph {
             } else {
                 x.exp().ln_1p()
             }
-        });
-        self.push(v, Op::Softplus(a.0))
+        })
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(v, Op::Sigmoid(a.0))
+        self.unary_map(a, Op::Sigmoid(a.0), |x| 1.0 / (1.0 + (-x).exp()))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f32::tanh);
-        self.push(v, Op::Tanh(a.0))
+        self.unary_map(a, Op::Tanh(a.0), f32::tanh)
     }
 
     /// Elementwise exponential (inputs are clamped to 30 to stay finite).
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.min(30.0).exp());
-        self.push(v, Op::Exp(a.0))
+        self.unary_map(a, Op::Exp(a.0), |x| x.min(30.0).exp())
     }
 
     /// `ln(max(x, 0) + eps)` — the log-space mapping used by the paper's
     /// loss (the `eps` padding prevents `ln 0`).
     pub fn ln_eps(&mut self, a: Var, eps: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| (x.max(0.0) + eps).ln());
-        self.push(v, Op::LnEps(a.0, eps))
+        self.unary_map(a, Op::LnEps(a.0, eps), |x| (x.max(0.0) + eps).ln())
     }
 
     /// Elementwise absolute value.
     pub fn abs(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f32::abs);
-        self.push(v, Op::Abs(a.0))
+        self.unary_map(a, Op::Abs(a.0), f32::abs)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x * x);
-        self.push(v, Op::Square(a.0))
+        self.unary_map(a, Op::Square(a.0), |x| x * x)
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let va = &self.nodes[a.0].value;
-        let mut out = va.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let idx = self.alloc(rows, cols, Op::SoftmaxRows(a.0));
+        let (pre, out) = self.out_split(idx);
+        for i in 0..rows {
+            let row = out.value.row_mut(i);
+            row.copy_from_slice(pre[a.0].value.row(i));
             let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let mut sum = 0.0f32;
             for x in row.iter_mut() {
@@ -356,46 +584,68 @@ impl Graph {
                 *x /= sum;
             }
         }
-        self.push(out, Op::SoftmaxRows(a.0))
+        self.done(idx)
     }
 
     // ---- reductions ----
 
     /// Sum of all elements as a `1 x 1` node.
     pub fn sum(&mut self, a: Var) -> Var {
-        let v = Matrix::full(1, 1, self.nodes[a.0].value.sum() as f32);
-        self.push(v, Op::Sum(a.0))
+        let s = self.nodes[a.0].value.sum() as f32;
+        let idx = self.alloc(1, 1, Op::Sum(a.0));
+        self.nodes[idx].value.data_mut()[0] = s;
+        self.done(idx)
     }
 
     /// Mean of all elements as a `1 x 1` node.
     pub fn mean(&mut self, a: Var) -> Var {
-        let v = Matrix::full(1, 1, self.nodes[a.0].value.mean() as f32);
-        self.push(v, Op::Mean(a.0))
+        let m = self.nodes[a.0].value.mean() as f32;
+        let idx = self.alloc(1, 1, Op::Mean(a.0));
+        self.nodes[idx].value.data_mut()[0] = m;
+        self.done(idx)
     }
 
     /// Per-row sum as an `R x 1` node.
     pub fn row_sum(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.row_sums();
-        self.push(v, Op::RowSum(a.0))
+        let rows = self.nodes[a.0].value.rows();
+        let idx = self.alloc(rows, 1, Op::RowSum(a.0));
+        let (pre, out) = self.out_split(idx);
+        for i in 0..rows {
+            let s: f32 = pre[a.0].value.row(i).iter().sum();
+            out.value.set(i, 0, s);
+        }
+        self.done(idx)
     }
 
     // ---- structural ops ----
 
     /// Concatenates two matrices with the same row count along columns.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.hstack(&self.nodes[b.0].value);
-        self.push(v, Op::ConcatCols(a.0, b.0))
+        let (rows, ca) = self.nodes[a.0].value.shape();
+        let (rb, cb) = self.nodes[b.0].value.shape();
+        assert_eq!(rows, rb, "concat_cols row mismatch");
+        let idx = self.alloc(rows, ca + cb, Op::ConcatCols(a.0, b.0));
+        let (pre, out) = self.out_split(idx);
+        for i in 0..rows {
+            let dst = out.value.row_mut(i);
+            dst[..ca].copy_from_slice(pre[a.0].value.row(i));
+            dst[ca..].copy_from_slice(pre[b.0].value.row(i));
+        }
+        self.done(idx)
     }
 
     /// Extracts columns `[start, end)`.
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
-        let va = &self.nodes[a.0].value;
-        assert!(start <= end && end <= va.cols(), "slice_cols out of range");
-        let mut out = Matrix::zeros(va.rows(), end - start);
-        for i in 0..va.rows() {
-            out.row_mut(i).copy_from_slice(&va.row(i)[start..end]);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        assert!(start <= end && end <= cols, "slice_cols out of range");
+        let idx = self.alloc(rows, end - start, Op::SliceCols(a.0, start, end));
+        let (pre, out) = self.out_split(idx);
+        for i in 0..rows {
+            out.value
+                .row_mut(i)
+                .copy_from_slice(&pre[a.0].value.row(i)[start..end]);
         }
-        self.push(out, Op::SliceCols(a.0, start, end))
+        self.done(idx)
     }
 
     /// Per-row prefix sum: `out[i][j] = sum_{k <= j} in[i][k]`.
@@ -404,17 +654,17 @@ impl Graph {
     /// (§5.2), which converts learned increments into non-decreasing control
     /// point sequences.
     pub fn cumsum_cols(&mut self, a: Var) -> Var {
-        let va = &self.nodes[a.0].value;
-        let mut out = va.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let idx = self.alloc(rows, cols, Op::CumsumCols(a.0));
+        let (pre, out) = self.out_split(idx);
+        for i in 0..rows {
             let mut acc = 0.0f32;
-            for x in row.iter_mut() {
-                acc += *x;
-                *x = acc;
+            for (o, &x) in out.value.row_mut(i).iter_mut().zip(pre[a.0].value.row(i)) {
+                acc += x;
+                *o = acc;
             }
         }
-        self.push(out, Op::CumsumCols(a.0))
+        self.done(idx)
     }
 
     /// The paper's `Norml2` normalized-square map (§5.2):
@@ -422,31 +672,31 @@ impl Graph {
     /// positive and sums to exactly 1, which turns the following cumulative
     /// sum into a partition of `[0, 1]`.
     pub fn norml2(&mut self, a: Var, eps: f32) -> Var {
-        let va = &self.nodes[a.0].value;
-        let d = va.cols() as f32;
-        let mut out = va.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
-            let dot: f32 = row.iter().map(|&x| x * x).sum();
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let d = cols as f32;
+        let idx = self.alloc(rows, cols, Op::Norml2(a.0, eps));
+        let (pre, out) = self.out_split(idx);
+        for i in 0..rows {
+            let src = pre[a.0].value.row(i);
+            let dot: f32 = src.iter().map(|&x| x * x).sum();
             let denom = dot + eps;
-            for x in row.iter_mut() {
-                *x = (*x * *x + eps / d) / denom;
+            for (o, &x) in out.value.row_mut(i).iter_mut().zip(src) {
+                *o = (x * x + eps / d) / denom;
             }
         }
-        self.push(out, Op::Norml2(a.0, eps))
+        self.done(idx)
     }
 
     /// Elementwise Huber with parameter `delta`:
     /// `r^2/2` for `|r| <= delta`, `delta(|r| - delta/2)` otherwise.
     pub fn huber(&mut self, a: Var, delta: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|r| {
+        self.unary_map(a, Op::Huber(a.0, delta), |r| {
             if r.abs() <= delta {
                 0.5 * r * r
             } else {
                 delta * (r.abs() - 0.5 * delta)
             }
-        });
-        self.push(v, Op::Huber(a.0, delta))
+        })
     }
 
     /// Evaluates the continuous piece-wise linear function of Eq. (1).
@@ -459,27 +709,41 @@ impl Graph {
     /// `t` below `tau[0]` clamps to `p[0]`; `t` at or above `tau[m-1]`
     /// clamps to `p[m-1]`. Gradients flow to `tau`, `p`, and `t`.
     pub fn pwl_interp(&mut self, tau: Var, p: Var, t: Var) -> Var {
-        let (vt, vtau, vp) = (
-            &self.nodes[t.0].value,
-            &self.nodes[tau.0].value,
-            &self.nodes[p.0].value,
-        );
-        let rows = vt.rows();
-        assert_eq!(vt.cols(), 1, "pwl_interp: t must be a column vector");
-        assert_eq!(vtau.cols(), vp.cols(), "pwl_interp: tau/p length mismatch");
-        assert!(
-            vtau.cols() >= 2,
-            "pwl_interp: need at least two control points"
-        );
-        for (name, m) in [("tau", vtau), ("p", vp)] {
-            assert!(
-                m.rows() == rows || m.rows() == 1,
-                "pwl_interp: {name} must have {rows} rows or broadcast from 1"
+        let rows = {
+            let (vt, vtau, vp) = (
+                &self.nodes[t.0].value,
+                &self.nodes[tau.0].value,
+                &self.nodes[p.0].value,
             );
-        }
+            let rows = vt.rows();
+            assert_eq!(vt.cols(), 1, "pwl_interp: t must be a column vector");
+            assert_eq!(vtau.cols(), vp.cols(), "pwl_interp: tau/p length mismatch");
+            assert!(
+                vtau.cols() >= 2,
+                "pwl_interp: need at least two control points"
+            );
+            for (name, m) in [("tau", vtau), ("p", vp)] {
+                assert!(
+                    m.rows() == rows || m.rows() == 1,
+                    "pwl_interp: {name} must have {rows} rows or broadcast from 1"
+                );
+            }
+            rows
+        };
+        let idx = self.alloc(
+            rows,
+            1,
+            Op::PwlInterp {
+                tau: tau.0,
+                p: p.0,
+                t: t.0,
+            },
+        );
+        let (pre, out) = self.out_split(idx);
+        let (vt, vtau, vp) = (&pre[t.0].value, &pre[tau.0].value, &pre[p.0].value);
         let m = vtau.cols();
-        let mut out = Matrix::zeros(rows, 1);
-        let mut segments = vec![0i64; rows];
+        out.seg.clear();
+        out.seg.resize(rows, 0);
         // index-driven on purpose: three parallel row-broadcast matrices
         #[allow(clippy::needless_range_loop)]
         for r in 0..rows {
@@ -487,11 +751,11 @@ impl Graph {
             let taur = vtau.row(if vtau.rows() == 1 { 0 } else { r });
             let pr = vp.row(if vp.rows() == 1 { 0 } else { r });
             if tr < taur[0] {
-                segments[r] = -1;
-                out.set(r, 0, pr[0]);
+                out.seg[r] = -1;
+                out.value.set(r, 0, pr[0]);
             } else if tr >= taur[m - 1] {
-                segments[r] = -2;
-                out.set(r, 0, pr[m - 1]);
+                out.seg[r] = -2;
+                out.value.set(r, 0, pr[m - 1]);
             } else {
                 // binary search for the segment i with taur[i] <= tr < taur[i+1]
                 let mut lo = 0usize;
@@ -506,19 +770,11 @@ impl Graph {
                 }
                 let denom = (taur[lo + 1] - taur[lo]).max(1e-12);
                 let alpha = (tr - taur[lo]) / denom;
-                segments[r] = lo as i64;
-                out.set(r, 0, pr[lo] + alpha * (pr[lo + 1] - pr[lo]));
+                out.seg[r] = lo as i64;
+                out.value.set(r, 0, pr[lo] + alpha * (pr[lo + 1] - pr[lo]));
             }
         }
-        self.push(
-            out,
-            Op::PwlInterp {
-                tau: tau.0,
-                p: p.0,
-                t: t.0,
-                segments,
-            },
-        )
+        self.done(idx)
     }
 
     /// Per-block linear map — the decoder of the paper's model M (§5.2).
@@ -528,17 +784,36 @@ impl Graph {
     /// `1 x blocks`. Output `R x blocks` with
     /// `out[r][i] = input[r, i*h..][..h] · weight[i] + bias[i]`.
     pub fn block_linear(&mut self, input: Var, weight: Var, bias: Var) -> Var {
-        let (vi, vw, vb) = (
-            &self.nodes[input.0].value,
-            &self.nodes[weight.0].value,
-            &self.nodes[bias.0].value,
+        let (rows, blocks) = {
+            let (vi, vw, vb) = (
+                &self.nodes[input.0].value,
+                &self.nodes[weight.0].value,
+                &self.nodes[bias.0].value,
+            );
+            let blocks = vw.rows();
+            let h = vw.cols();
+            assert_eq!(vi.cols(), blocks * h, "block_linear: input width mismatch");
+            assert_eq!(vb.shape(), (1, blocks), "block_linear: bias shape mismatch");
+            (vi.rows(), blocks)
+        };
+        let idx = self.alloc(
+            rows,
+            blocks,
+            Op::BlockLinear {
+                input: input.0,
+                weight: weight.0,
+                bias: bias.0,
+                blocks,
+            },
         );
-        let blocks = vw.rows();
+        let (pre, out) = self.out_split(idx);
+        let (vi, vw, vb) = (
+            &pre[input.0].value,
+            &pre[weight.0].value,
+            &pre[bias.0].value,
+        );
         let h = vw.cols();
-        assert_eq!(vi.cols(), blocks * h, "block_linear: input width mismatch");
-        assert_eq!(vb.shape(), (1, blocks), "block_linear: bias shape mismatch");
-        let mut out = Matrix::zeros(vi.rows(), blocks);
-        for r in 0..vi.rows() {
+        for r in 0..rows {
             let row = vi.row(r);
             for i in 0..blocks {
                 let chunk = &row[i * h..(i + 1) * h];
@@ -547,18 +822,10 @@ impl Graph {
                 for (&x, &wv) in chunk.iter().zip(w) {
                     acc += x * wv;
                 }
-                out.set(r, i, acc);
+                out.value.set(r, i, acc);
             }
         }
-        self.push(
-            out,
-            Op::BlockLinear {
-                input: input.0,
-                weight: weight.0,
-                bias: bias.0,
-                blocks,
-            },
-        )
+        self.done(idx)
     }
 
     /// Multilinear lattice interpolation over the unit hypercube.
@@ -568,16 +835,28 @@ impl Graph {
     /// upper coordinates (bit `j` set = upper vertex along dim `j`).
     /// Used by the DLN baseline's lattice layers.
     pub fn lattice(&mut self, input: Var, params: Var) -> Var {
-        let (vi, vp) = (&self.nodes[input.0].value, &self.nodes[params.0].value);
-        let m = vi.cols();
-        assert!(m <= 16, "lattice: dimension too large (2^m params)");
-        assert_eq!(
-            vp.shape(),
-            (1, 1usize << m),
-            "lattice: params must be 1 x 2^m"
+        let (rows, m) = {
+            let (vi, vp) = (&self.nodes[input.0].value, &self.nodes[params.0].value);
+            let m = vi.cols();
+            assert!(m <= 16, "lattice: dimension too large (2^m params)");
+            assert_eq!(
+                vp.shape(),
+                (1, 1usize << m),
+                "lattice: params must be 1 x 2^m"
+            );
+            (vi.rows(), m)
+        };
+        let idx = self.alloc(
+            rows,
+            1,
+            Op::Lattice {
+                input: input.0,
+                params: params.0,
+            },
         );
-        let mut out = Matrix::zeros(vi.rows(), 1);
-        for r in 0..vi.rows() {
+        let (pre, out) = self.out_split(idx);
+        let (vi, vp) = (&pre[input.0].value, &pre[params.0].value);
+        for r in 0..rows {
             let x = vi.row(r);
             let mut acc = 0.0f32;
             for mask in 0..(1usize << m) {
@@ -588,305 +867,485 @@ impl Graph {
                 }
                 acc += w * vp.get(0, mask);
             }
-            out.set(r, 0, acc);
+            out.value.set(r, 0, acc);
         }
-        self.push(
-            out,
-            Op::Lattice {
-                input: input.0,
-                params: params.0,
-            },
-        )
+        self.done(idx)
     }
 
     // ---- backward ----
 
     /// Runs the reverse sweep from `loss`, which must be `1 x 1`. Gradients
-    /// accumulate in every reachable node and can be read with
-    /// [`Graph::grad`] / [`Graph::param_grads`].
+    /// accumulate **in place** into every reachable node's recycled buffer
+    /// and can be read with [`Graph::grad`] / [`Graph::param_grads`] /
+    /// [`Graph::param_grad_refs`].
     pub fn backward(&mut self, loss: Var) {
+        assert!(loss.0 < self.live, "stale Var used after Graph::reset()");
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward: loss must be scalar"
+        );
+        for n in &mut self.nodes[..self.live] {
+            n.grad_seen = false;
+        }
         {
-            let n = &self.nodes[loss.0];
-            assert_eq!(n.value.shape(), (1, 1), "backward: loss must be scalar");
+            let n = &mut self.nodes[loss.0];
+            n.grad.reset_shape(1, 1);
+            n.grad.data_mut()[0] = 1.0;
+            n.grad_seen = true;
         }
-        for n in &mut self.nodes {
-            n.grad = None;
-        }
-        self.nodes[loss.0].grad = Some(Matrix::full(1, 1, 1.0));
         for idx in (0..=loss.0).rev() {
-            let Some(gout) = self.nodes[idx].grad.take() else {
+            if !self.nodes[idx].grad_seen {
                 continue;
-            };
-            let op = self.nodes[idx].op.clone();
-            self.apply_backward(idx, &op, &gout);
-            self.nodes[idx].grad = Some(gout);
+            }
+            self.apply_backward(idx);
         }
     }
 
-    fn accumulate(&mut self, target: usize, grad: Matrix) {
-        match &mut self.nodes[target].grad {
-            Some(g) => g.add_assign(&grad),
-            slot @ None => *slot = Some(grad),
-        }
-    }
-
-    fn apply_backward(&mut self, idx: usize, op: &Op, gout: &Matrix) {
-        match *op {
+    fn apply_backward(&mut self, idx: usize) {
+        let op = self.nodes[idx].op;
+        match op {
             Op::Leaf => {}
             Op::MatMul(a, b) => {
-                let ga = gout.matmul_a_bt(&self.nodes[b].value);
-                let gb = self.nodes[a].value.matmul_at_b(gout);
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
+                let mut pack = self.take_scratch();
+                let mut tmp = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                {
+                    let (grad, seen, vb) = grad_and_value(pre, a, b);
+                    acc_with(grad, seen, &mut tmp, |out| {
+                        gout.matmul_a_bt_into(vb, out, &mut pack)
+                    });
+                }
+                {
+                    let (grad, seen, va) = grad_and_value(pre, b, a);
+                    acc_with(grad, seen, &mut tmp, |out| {
+                        va.matmul_at_b_into(gout, out, &mut pack)
+                    });
+                }
+                self.put_scratch(tmp);
+                self.put_scratch(pack);
             }
             Op::Add(a, b) => {
-                self.accumulate(a, gout.clone());
-                self.accumulate(b, gout.clone());
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                acc_matrix(pre, a, gout);
+                acc_matrix(pre, b, gout);
             }
             Op::Sub(a, b) => {
-                self.accumulate(a, gout.clone());
-                self.accumulate(b, gout.map(|x| -x));
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                acc_matrix(pre, a, gout);
+                let (grad, seen) = grad_mut(pre, b);
+                acc_map(grad, seen, gout, |g| -g);
             }
             Op::Mul(a, b) => {
-                let ga = gout.zip_map(&self.nodes[b].value, |g, y| g * y);
-                let gb = gout.zip_map(&self.nodes[a].value, |g, x| g * x);
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                {
+                    let (grad, seen, vb) = grad_and_value(pre, a, b);
+                    acc_zip(grad, seen, gout, vb, |g, y| g * y);
+                }
+                {
+                    let (grad, seen, va) = grad_and_value(pre, b, a);
+                    acc_zip(grad, seen, gout, va, |g, x| g * x);
+                }
             }
             Op::AddRowVec(m, row) => {
-                self.accumulate(m, gout.clone());
-                self.accumulate(row, gout.col_sums());
+                let mut tmp = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                acc_matrix(pre, m, gout);
+                let (grad, seen) = grad_mut(pre, row);
+                acc_with(grad, seen, &mut tmp, |out| {
+                    // column sums of gout, accumulated row by row
+                    out.reset_zero(1, gout.cols());
+                    for i in 0..gout.rows() {
+                        for (o, &g) in out.row_mut(0).iter_mut().zip(gout.row(i)) {
+                            *o += g;
+                        }
+                    }
+                });
+                self.put_scratch(tmp);
             }
             Op::MulColVec(m, col) => {
-                let vcol = self.nodes[col].value.clone();
-                let vm = self.nodes[m].value.clone();
-                let mut gm = gout.clone();
-                for i in 0..gm.rows() {
-                    let s = vcol.get(i, 0);
-                    for x in gm.row_mut(i) {
-                        *x *= s;
-                    }
+                let mut tmp = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                {
+                    let (grad, seen, vcol) = grad_and_value(pre, m, col);
+                    acc_with(grad, seen, &mut tmp, |out| {
+                        out.reset_shape(gout.rows(), gout.cols());
+                        for i in 0..gout.rows() {
+                            let s = vcol.get(i, 0);
+                            for (o, &g) in out.row_mut(i).iter_mut().zip(gout.row(i)) {
+                                *o = g * s;
+                            }
+                        }
+                    });
                 }
-                let mut gc = Matrix::zeros(vcol.rows(), 1);
-                for i in 0..gout.rows() {
-                    let mut acc = 0.0f32;
-                    for (g, x) in gout.row(i).iter().zip(vm.row(i)) {
-                        acc += g * x;
-                    }
-                    gc.set(i, 0, acc);
+                {
+                    let (grad, seen, vm) = grad_and_value(pre, col, m);
+                    acc_with(grad, seen, &mut tmp, |out| {
+                        out.reset_shape(gout.rows(), 1);
+                        for i in 0..gout.rows() {
+                            let mut acc = 0.0f32;
+                            for (g, x) in gout.row(i).iter().zip(vm.row(i)) {
+                                acc += g * x;
+                            }
+                            out.set(i, 0, acc);
+                        }
+                    });
                 }
-                self.accumulate(m, gm);
-                self.accumulate(col, gc);
+                self.put_scratch(tmp);
             }
-            Op::Scale(a, alpha) => self.accumulate(a, gout.map(|g| g * alpha)),
-            Op::AddScalar(a) => self.accumulate(a, gout.clone()),
+            Op::Scale(a, alpha) => {
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let (grad, seen) = grad_mut(pre, a);
+                acc_map(grad, seen, &rest[0].grad, |g| g * alpha);
+            }
+            Op::AddScalar(a) => {
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                acc_matrix(pre, a, &rest[0].grad);
+            }
             Op::Relu(a) => {
-                let g = gout.zip_map(&self.nodes[a].value, |g, x| if x > 0.0 { g } else { 0.0 });
-                self.accumulate(a, g);
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &rest[0].grad,
+                    &n.value,
+                    |g, x| if x > 0.0 { g } else { 0.0 },
+                );
             }
             Op::LeakyRelu(a, alpha) => {
-                let g = gout.zip_map(
-                    &self.nodes[a].value,
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &rest[0].grad,
+                    &n.value,
                     |g, x| if x > 0.0 { g } else { alpha * g },
                 );
-                self.accumulate(a, g);
             }
             Op::EluPlusOne(a) => {
-                let g = gout.zip_map(
-                    &self.nodes[a].value,
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &rest[0].grad,
+                    &n.value,
                     |g, x| if x > 0.0 { g } else { g * x.exp() },
                 );
-                self.accumulate(a, g);
             }
             Op::Softplus(a) => {
-                let g = gout.zip_map(&self.nodes[a].value, |g, x| g / (1.0 + (-x).exp()));
-                self.accumulate(a, g);
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &rest[0].grad,
+                    &n.value,
+                    |g, x| g / (1.0 + (-x).exp()),
+                );
             }
             Op::Sigmoid(a) => {
-                let g = gout.zip_map(&self.nodes[idx].value, |g, y| g * y * (1.0 - y));
-                self.accumulate(a, g);
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let node = &rest[0];
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &node.grad,
+                    &node.value,
+                    |g, y| g * y * (1.0 - y),
+                );
             }
             Op::Tanh(a) => {
-                let g = gout.zip_map(&self.nodes[idx].value, |g, y| g * (1.0 - y * y));
-                self.accumulate(a, g);
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let node = &rest[0];
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &node.grad,
+                    &node.value,
+                    |g, y| g * (1.0 - y * y),
+                );
             }
             Op::Exp(a) => {
-                let g = gout.zip_map(&self.nodes[idx].value, |g, y| g * y);
-                self.accumulate(a, g);
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let node = &rest[0];
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &node.grad,
+                    &node.value,
+                    |g, y| g * y,
+                );
             }
             Op::LnEps(a, eps) => {
-                let g = gout.zip_map(&self.nodes[a].value, |g, x| {
-                    if x > 0.0 {
-                        g / (x + eps)
-                    } else {
-                        0.0
-                    }
-                });
-                self.accumulate(a, g);
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &rest[0].grad,
+                    &n.value,
+                    |g, x| if x > 0.0 { g / (x + eps) } else { 0.0 },
+                );
             }
             Op::Abs(a) => {
-                let g = gout.zip_map(&self.nodes[a].value, |g, x| g * x.signum());
-                self.accumulate(a, g);
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &rest[0].grad,
+                    &n.value,
+                    |g, x| g * x.signum(),
+                );
             }
             Op::Square(a) => {
-                let g = gout.zip_map(&self.nodes[a].value, |g, x| 2.0 * g * x);
-                self.accumulate(a, g);
-            }
-            Op::SoftmaxRows(a) => {
-                let y = &self.nodes[idx].value;
-                let mut g = Matrix::zeros(y.rows(), y.cols());
-                for i in 0..y.rows() {
-                    let yr = y.row(i);
-                    let gr = gout.row(i);
-                    let dot: f32 = yr.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
-                    for (j, o) in g.row_mut(i).iter_mut().enumerate() {
-                        *o = yr[j] * (gr[j] - dot);
-                    }
-                }
-                self.accumulate(a, g);
-            }
-            Op::Sum(a) => {
-                let s = gout.get(0, 0);
-                let shape = self.nodes[a].value.shape();
-                self.accumulate(a, Matrix::full(shape.0, shape.1, s));
-            }
-            Op::Mean(a) => {
-                let shape = self.nodes[a].value.shape();
-                let n = (shape.0 * shape.1).max(1) as f32;
-                let s = gout.get(0, 0) / n;
-                self.accumulate(a, Matrix::full(shape.0, shape.1, s));
-            }
-            Op::RowSum(a) => {
-                let shape = self.nodes[a].value.shape();
-                let mut g = Matrix::zeros(shape.0, shape.1);
-                for i in 0..shape.0 {
-                    let s = gout.get(i, 0);
-                    for x in g.row_mut(i) {
-                        *x = s;
-                    }
-                }
-                self.accumulate(a, g);
-            }
-            Op::ConcatCols(a, b) => {
-                let ca = self.nodes[a].value.cols();
-                let cb = self.nodes[b].value.cols();
-                let rows = gout.rows();
-                let mut ga = Matrix::zeros(rows, ca);
-                let mut gb = Matrix::zeros(rows, cb);
-                for i in 0..rows {
-                    let gr = gout.row(i);
-                    ga.row_mut(i).copy_from_slice(&gr[..ca]);
-                    gb.row_mut(i).copy_from_slice(&gr[ca..]);
-                }
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
-            }
-            Op::SliceCols(a, start, _end) => {
-                let shape = self.nodes[a].value.shape();
-                let mut g = Matrix::zeros(shape.0, shape.1);
-                for i in 0..gout.rows() {
-                    let gr = gout.row(i);
-                    g.row_mut(i)[start..start + gr.len()].copy_from_slice(gr);
-                }
-                self.accumulate(a, g);
-            }
-            Op::CumsumCols(a) => {
-                // d/dx_k sum over j >= k of gout_j  => reverse cumulative sum
-                let mut g = gout.clone();
-                for i in 0..g.rows() {
-                    let row = g.row_mut(i);
-                    let mut acc = 0.0f32;
-                    for x in row.iter_mut().rev() {
-                        acc += *x;
-                        *x = acc;
-                    }
-                }
-                self.accumulate(a, g);
-            }
-            Op::Norml2(a, eps) => {
-                let x = &self.nodes[a].value;
-                let d = x.cols() as f32;
-                let mut g = Matrix::zeros(x.rows(), x.cols());
-                for i in 0..x.rows() {
-                    let xr = x.row(i);
-                    let gr = gout.row(i);
-                    let dot: f32 = xr.iter().map(|&v| v * v).sum();
-                    let denom = dot + eps;
-                    let denom2 = denom * denom;
-                    // out_j = (x_j^2 + eps/d) / denom
-                    // d out_j / d x_k = [2 x_j delta_jk * denom - (x_j^2+eps/d) * 2 x_k] / denom^2
-                    let weighted: f32 = xr
-                        .iter()
-                        .zip(gr)
-                        .map(|(&xj, &gj)| gj * (xj * xj + eps / d))
-                        .sum();
-                    for (k, o) in g.row_mut(i).iter_mut().enumerate() {
-                        *o = 2.0 * xr[k] * (gr[k] * denom - weighted) / denom2;
-                    }
-                }
-                self.accumulate(a, g);
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &rest[0].grad,
+                    &n.value,
+                    |g, x| 2.0 * g * x,
+                );
             }
             Op::Huber(a, delta) => {
-                let g = gout.zip_map(&self.nodes[a].value, |g, r| {
-                    if r.abs() <= delta {
-                        g * r
-                    } else {
-                        g * delta * r.signum()
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let n = &mut pre[a];
+                acc_zip(
+                    &mut n.grad,
+                    &mut n.grad_seen,
+                    &rest[0].grad,
+                    &n.value,
+                    |g, r| {
+                        if r.abs() <= delta {
+                            g * r
+                        } else {
+                            g * delta * r.signum()
+                        }
+                    },
+                );
+            }
+            Op::SoftmaxRows(a) => {
+                let mut tmp = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let node = &rest[0];
+                let y = &node.value;
+                let gout = &node.grad;
+                let (grad, seen) = grad_mut(pre, a);
+                acc_with(grad, seen, &mut tmp, |out| {
+                    out.reset_shape(y.rows(), y.cols());
+                    for i in 0..y.rows() {
+                        let yr = y.row(i);
+                        let gr = gout.row(i);
+                        let dot: f32 = yr.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                        for (j, o) in out.row_mut(i).iter_mut().enumerate() {
+                            *o = yr[j] * (gr[j] - dot);
+                        }
                     }
                 });
-                self.accumulate(a, g);
+                self.put_scratch(tmp);
             }
-            Op::PwlInterp {
-                tau,
-                p,
-                t,
-                ref segments,
-            } => {
-                let vtau = self.nodes[tau].value.clone();
-                let vp = self.nodes[p].value.clone();
-                let vt = self.nodes[t].value.clone();
-                let m = vtau.cols();
-                let mut gtau = Matrix::zeros(vtau.rows(), vtau.cols());
-                let mut gp = Matrix::zeros(vp.rows(), vp.cols());
-                let mut gt = Matrix::zeros(vt.rows(), 1);
-                // index-driven on purpose: parallel row-broadcast matrices
-                #[allow(clippy::needless_range_loop)]
-                for r in 0..vt.rows() {
-                    let g = gout.get(r, 0);
-                    if g == 0.0 {
-                        continue;
-                    }
-                    let rt = if vtau.rows() == 1 { 0 } else { r };
-                    let rp = if vp.rows() == 1 { 0 } else { r };
-                    match segments[r] {
-                        -1 => {
-                            gp.set(rp, 0, gp.get(rp, 0) + g);
+            Op::Sum(a) => {
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let s = rest[0].grad.get(0, 0);
+                let n = &mut pre[a];
+                let shape = n.value.shape();
+                acc_fill(&mut n.grad, &mut n.grad_seen, shape, s);
+            }
+            Op::Mean(a) => {
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let n = &mut pre[a];
+                let shape = n.value.shape();
+                let count = (shape.0 * shape.1).max(1) as f32;
+                let s = rest[0].grad.get(0, 0) / count;
+                acc_fill(&mut n.grad, &mut n.grad_seen, shape, s);
+            }
+            Op::RowSum(a) => {
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                let n = &mut pre[a];
+                let shape = n.value.shape();
+                if !n.grad_seen {
+                    n.grad.reset_shape(shape.0, shape.1);
+                }
+                for i in 0..shape.0 {
+                    let s = gout.get(i, 0);
+                    if n.grad_seen {
+                        for gd in n.grad.row_mut(i) {
+                            *gd += s;
                         }
-                        -2 => {
-                            gp.set(rp, m - 1, gp.get(rp, m - 1) + g);
-                        }
-                        lo => {
-                            let lo = lo as usize;
-                            let a = vtau.get(rt, lo);
-                            let b = vtau.get(rt, lo + 1);
-                            let pa = vp.get(rp, lo);
-                            let pb = vp.get(rp, lo + 1);
-                            let tr = vt.get(r, 0);
-                            let denom = (b - a).max(1e-12);
-                            let alpha = (tr - a) / denom;
-                            let dp = pb - pa;
-                            gp.set(rp, lo, gp.get(rp, lo) + g * (1.0 - alpha));
-                            gp.set(rp, lo + 1, gp.get(rp, lo + 1) + g * alpha);
-                            let d2 = denom * denom;
-                            gtau.set(rt, lo, gtau.get(rt, lo) + g * dp * (tr - b) / d2);
-                            gtau.set(rt, lo + 1, gtau.get(rt, lo + 1) + g * dp * (a - tr) / d2);
-                            gt.set(r, 0, gt.get(r, 0) + g * dp / denom);
+                    } else {
+                        for gd in n.grad.row_mut(i) {
+                            *gd = s;
                         }
                     }
                 }
-                self.accumulate(tau, gtau);
-                self.accumulate(p, gp);
-                self.accumulate(t, gt);
+                n.grad_seen = true;
+            }
+            Op::ConcatCols(a, b) => {
+                let mut tmp = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                let ca = pre[a].value.cols();
+                let cb = pre[b].value.cols();
+                let rows = gout.rows();
+                {
+                    let (grad, seen) = grad_mut(pre, a);
+                    acc_with(grad, seen, &mut tmp, |out| {
+                        out.reset_shape(rows, ca);
+                        for i in 0..rows {
+                            out.row_mut(i).copy_from_slice(&gout.row(i)[..ca]);
+                        }
+                    });
+                }
+                {
+                    let (grad, seen) = grad_mut(pre, b);
+                    acc_with(grad, seen, &mut tmp, |out| {
+                        out.reset_shape(rows, cb);
+                        for i in 0..rows {
+                            out.row_mut(i).copy_from_slice(&gout.row(i)[ca..]);
+                        }
+                    });
+                }
+                self.put_scratch(tmp);
+            }
+            Op::SliceCols(a, start, _end) => {
+                let mut tmp = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                let shape = pre[a].value.shape();
+                let (grad, seen) = grad_mut(pre, a);
+                acc_with(grad, seen, &mut tmp, |out| {
+                    out.reset_zero(shape.0, shape.1);
+                    for i in 0..gout.rows() {
+                        let gr = gout.row(i);
+                        out.row_mut(i)[start..start + gr.len()].copy_from_slice(gr);
+                    }
+                });
+                self.put_scratch(tmp);
+            }
+            Op::CumsumCols(a) => {
+                let mut tmp = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                let (grad, seen) = grad_mut(pre, a);
+                acc_with(grad, seen, &mut tmp, |out| {
+                    // d/dx_k sum over j >= k of gout_j => reverse cumulative sum
+                    out.reset_shape(gout.rows(), gout.cols());
+                    for i in 0..gout.rows() {
+                        let mut acc = 0.0f32;
+                        for (o, &g) in out
+                            .row_mut(i)
+                            .iter_mut()
+                            .rev()
+                            .zip(gout.row(i).iter().rev())
+                        {
+                            acc += g;
+                            *o = acc;
+                        }
+                    }
+                });
+                self.put_scratch(tmp);
+            }
+            Op::Norml2(a, eps) => {
+                let mut tmp = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                let n = &mut pre[a];
+                let (grad, seen, x) = (&mut n.grad, &mut n.grad_seen, &n.value);
+                let d = x.cols() as f32;
+                acc_with(grad, seen, &mut tmp, |out| {
+                    out.reset_shape(x.rows(), x.cols());
+                    for i in 0..x.rows() {
+                        let xr = x.row(i);
+                        let gr = gout.row(i);
+                        let dot: f32 = xr.iter().map(|&v| v * v).sum();
+                        let denom = dot + eps;
+                        let denom2 = denom * denom;
+                        // out_j = (x_j^2 + eps/d) / denom
+                        // d out_j / d x_k =
+                        //   [2 x_j delta_jk * denom - (x_j^2+eps/d) * 2 x_k] / denom^2
+                        let weighted: f32 = xr
+                            .iter()
+                            .zip(gr)
+                            .map(|(&xj, &gj)| gj * (xj * xj + eps / d))
+                            .sum();
+                        for (k, o) in out.row_mut(i).iter_mut().enumerate() {
+                            *o = 2.0 * xr[k] * (gr[k] * denom - weighted) / denom2;
+                        }
+                    }
+                });
+                self.put_scratch(tmp);
+            }
+            Op::PwlInterp { tau, p, t } => {
+                let mut gtau = self.take_scratch();
+                let mut gp = self.take_scratch();
+                let mut gt = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let node = &rest[0];
+                let gout = &node.grad;
+                let segments = &node.seg;
+                {
+                    let (vtau, vp, vt) = (&pre[tau].value, &pre[p].value, &pre[t].value);
+                    let m = vtau.cols();
+                    gtau.reset_zero(vtau.rows(), vtau.cols());
+                    gp.reset_zero(vp.rows(), vp.cols());
+                    gt.reset_zero(vt.rows(), 1);
+                    // index-driven on purpose: parallel row-broadcast matrices
+                    #[allow(clippy::needless_range_loop)]
+                    for r in 0..vt.rows() {
+                        let g = gout.get(r, 0);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let rt = if vtau.rows() == 1 { 0 } else { r };
+                        let rp = if vp.rows() == 1 { 0 } else { r };
+                        match segments[r] {
+                            -1 => {
+                                gp.set(rp, 0, gp.get(rp, 0) + g);
+                            }
+                            -2 => {
+                                gp.set(rp, m - 1, gp.get(rp, m - 1) + g);
+                            }
+                            lo => {
+                                let lo = lo as usize;
+                                let a = vtau.get(rt, lo);
+                                let b = vtau.get(rt, lo + 1);
+                                let pa = vp.get(rp, lo);
+                                let pb = vp.get(rp, lo + 1);
+                                let tr = vt.get(r, 0);
+                                let denom = (b - a).max(1e-12);
+                                let alpha = (tr - a) / denom;
+                                let dp = pb - pa;
+                                gp.set(rp, lo, gp.get(rp, lo) + g * (1.0 - alpha));
+                                gp.set(rp, lo + 1, gp.get(rp, lo + 1) + g * alpha);
+                                let d2 = denom * denom;
+                                gtau.set(rt, lo, gtau.get(rt, lo) + g * dp * (tr - b) / d2);
+                                gtau.set(rt, lo + 1, gtau.get(rt, lo + 1) + g * dp * (a - tr) / d2);
+                                gt.set(r, 0, gt.get(r, 0) + g * dp / denom);
+                            }
+                        }
+                    }
+                }
+                acc_matrix(pre, tau, &gtau);
+                acc_matrix(pre, p, &gp);
+                acc_matrix(pre, t, &gt);
+                self.put_scratch(gt);
+                self.put_scratch(gp);
+                self.put_scratch(gtau);
             }
             Op::BlockLinear {
                 input,
@@ -894,80 +1353,212 @@ impl Graph {
                 bias,
                 blocks,
             } => {
-                let vi = self.nodes[input].value.clone();
-                let vw = self.nodes[weight].value.clone();
-                let h = vw.cols();
-                let mut gi = Matrix::zeros(vi.rows(), vi.cols());
-                let mut gw = Matrix::zeros(blocks, h);
-                let mut gb = Matrix::zeros(1, blocks);
-                for r in 0..vi.rows() {
-                    let xrow = vi.row(r);
-                    let grow = gout.row(r);
-                    let girow = gi.row_mut(r);
-                    for (i, &g) in grow.iter().enumerate() {
+                let mut gi = self.take_scratch();
+                let mut gw = self.take_scratch();
+                let mut gb = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                {
+                    let (vi, vw) = (&pre[input].value, &pre[weight].value);
+                    let h = vw.cols();
+                    gi.reset_zero(vi.rows(), vi.cols());
+                    gw.reset_zero(blocks, h);
+                    gb.reset_zero(1, blocks);
+                    for r in 0..vi.rows() {
+                        let xrow = vi.row(r);
+                        let grow = gout.row(r);
+                        let girow = gi.row_mut(r);
+                        for (i, &g) in grow.iter().enumerate() {
+                            if g == 0.0 {
+                                continue;
+                            }
+                            gb.set(0, i, gb.get(0, i) + g);
+                            let w = vw.row(i);
+                            let x = &xrow[i * h..(i + 1) * h];
+                            let gx = &mut girow[i * h..(i + 1) * h];
+                            for k in 0..h {
+                                gx[k] += g * w[k];
+                            }
+                            let gwrow = gw.row_mut(i);
+                            for k in 0..h {
+                                gwrow[k] += g * x[k];
+                            }
+                        }
+                    }
+                }
+                acc_matrix(pre, input, &gi);
+                acc_matrix(pre, weight, &gw);
+                acc_matrix(pre, bias, &gb);
+                self.put_scratch(gb);
+                self.put_scratch(gw);
+                self.put_scratch(gi);
+            }
+            Op::Lattice { input, params } => {
+                let mut gi = self.take_scratch();
+                let mut gp = self.take_scratch();
+                let (pre, rest) = self.nodes.split_at_mut(idx);
+                let gout = &rest[0].grad;
+                {
+                    let (vi, vp) = (&pre[input].value, &pre[params].value);
+                    let m = vi.cols();
+                    gi.reset_zero(vi.rows(), m);
+                    gp.reset_zero(1, 1 << m);
+                    for r in 0..vi.rows() {
+                        let g = gout.get(r, 0);
                         if g == 0.0 {
                             continue;
                         }
-                        gb.set(0, i, gb.get(0, i) + g);
-                        let w = vw.row(i);
-                        let x = &xrow[i * h..(i + 1) * h];
-                        let gx = &mut girow[i * h..(i + 1) * h];
-                        for k in 0..h {
-                            gx[k] += g * w[k];
-                        }
-                        let gwrow = gw.row_mut(i);
-                        for k in 0..h {
-                            gwrow[k] += g * x[k];
-                        }
-                    }
-                }
-                self.accumulate(input, gi);
-                self.accumulate(weight, gw);
-                self.accumulate(bias, gb);
-            }
-            Op::Lattice { input, params } => {
-                let vi = self.nodes[input].value.clone();
-                let vp = self.nodes[params].value.clone();
-                let m = vi.cols();
-                let mut gi = Matrix::zeros(vi.rows(), m);
-                let mut gp = Matrix::zeros(1, 1 << m);
-                for r in 0..vi.rows() {
-                    let g = gout.get(r, 0);
-                    if g == 0.0 {
-                        continue;
-                    }
-                    let x = vi.row(r);
-                    for mask in 0..(1usize << m) {
-                        // weight and its partials
-                        let mut w = 1.0f32;
-                        for (j, &xj) in x.iter().enumerate() {
-                            let c = xj.clamp(0.0, 1.0);
-                            w *= if mask >> j & 1 == 1 { c } else { 1.0 - c };
-                        }
-                        gp.set(0, mask, gp.get(0, mask) + g * w);
-                        let pv = vp.get(0, mask);
-                        for j in 0..m {
-                            let xj = x[j];
-                            if !(0.0..=1.0).contains(&xj) {
-                                continue; // clamped: zero gradient to input
+                        let x = vi.row(r);
+                        for mask in 0..(1usize << m) {
+                            // weight and its partials
+                            let mut w = 1.0f32;
+                            for (j, &xj) in x.iter().enumerate() {
+                                let c = xj.clamp(0.0, 1.0);
+                                w *= if mask >> j & 1 == 1 { c } else { 1.0 - c };
                             }
-                            let mut dw = 1.0f32;
-                            for (k, &xk) in x.iter().enumerate() {
-                                let c = xk.clamp(0.0, 1.0);
-                                if k == j {
-                                    dw *= if mask >> k & 1 == 1 { 1.0 } else { -1.0 };
-                                } else {
-                                    dw *= if mask >> k & 1 == 1 { c } else { 1.0 - c };
+                            gp.set(0, mask, gp.get(0, mask) + g * w);
+                            let pv = vp.get(0, mask);
+                            for j in 0..m {
+                                let xj = x[j];
+                                if !(0.0..=1.0).contains(&xj) {
+                                    continue; // clamped: zero gradient to input
                                 }
+                                let mut dw = 1.0f32;
+                                for (k, &xk) in x.iter().enumerate() {
+                                    let c = xk.clamp(0.0, 1.0);
+                                    if k == j {
+                                        dw *= if mask >> k & 1 == 1 { 1.0 } else { -1.0 };
+                                    } else {
+                                        dw *= if mask >> k & 1 == 1 { c } else { 1.0 - c };
+                                    }
+                                }
+                                gi.set(r, j, gi.get(r, j) + g * pv * dw);
                             }
-                            gi.set(r, j, gi.get(r, j) + g * pv * dw);
                         }
                     }
                 }
-                self.accumulate(input, gi);
-                self.accumulate(params, gp);
+                acc_matrix(pre, input, &gi);
+                acc_matrix(pre, params, &gp);
+                self.put_scratch(gp);
+                self.put_scratch(gi);
             }
         }
+    }
+}
+
+// ---- in-place gradient accumulation helpers ----
+//
+// All of these preserve the exact arithmetic of the old allocate-then-
+// accumulate sweep: the first contribution to a node *defines* its gradient
+// (copy), every later one performs `existing += update` elementwise, in the
+// same visit order.
+
+/// Mutable access to a node's gradient accumulator.
+fn grad_mut(pre: &mut [Node], t: usize) -> (&mut Matrix, &mut bool) {
+    let n = &mut pre[t];
+    (&mut n.grad, &mut n.grad_seen)
+}
+
+/// Gradient accumulator of node `t` together with the *value* of node `s`,
+/// handling `t == s` (gradient and value of one node are disjoint fields).
+fn grad_and_value(pre: &mut [Node], t: usize, s: usize) -> (&mut Matrix, &mut bool, &Matrix) {
+    use std::cmp::Ordering;
+    match t.cmp(&s) {
+        Ordering::Equal => {
+            let n = &mut pre[t];
+            (&mut n.grad, &mut n.grad_seen, &n.value)
+        }
+        Ordering::Less => {
+            let (lo, hi) = pre.split_at_mut(s);
+            let n = &mut lo[t];
+            (&mut n.grad, &mut n.grad_seen, &hi[0].value)
+        }
+        Ordering::Greater => {
+            let (lo, hi) = pre.split_at_mut(t);
+            let n = &mut hi[0];
+            (&mut n.grad, &mut n.grad_seen, &lo[s].value)
+        }
+    }
+}
+
+/// Accumulates a fully-formed gradient matrix into node `t`.
+fn acc_matrix(pre: &mut [Node], t: usize, src: &Matrix) {
+    let n = &mut pre[t];
+    if n.grad_seen {
+        n.grad.add_assign(src);
+    } else {
+        n.grad.copy_from(src);
+        n.grad_seen = true;
+    }
+}
+
+/// Accumulates a constant `s` broadcast over a `shape`-d gradient buffer
+/// (the scalar-reduction backward of `sum` / `mean`).
+fn acc_fill(grad: &mut Matrix, seen: &mut bool, shape: (usize, usize), s: f32) {
+    if *seen {
+        for gd in grad.data_mut() {
+            *gd += s;
+        }
+    } else {
+        grad.reset_shape(shape.0, shape.1);
+        grad.fill(s);
+        *seen = true;
+    }
+}
+
+/// Accumulates `f(gout)` elementwise into a gradient buffer.
+fn acc_map(grad: &mut Matrix, seen: &mut bool, gout: &Matrix, f: impl Fn(f32) -> f32) {
+    if *seen {
+        for (gd, &go) in grad.data_mut().iter_mut().zip(gout.data()) {
+            *gd += f(go);
+        }
+    } else {
+        grad.reset_shape(gout.rows(), gout.cols());
+        for (gd, &go) in grad.data_mut().iter_mut().zip(gout.data()) {
+            *gd = f(go);
+        }
+        *seen = true;
+    }
+}
+
+/// Accumulates `f(gout, aux)` elementwise into a gradient buffer, where
+/// `aux` is a same-shape companion matrix (an input or output value).
+fn acc_zip(
+    grad: &mut Matrix,
+    seen: &mut bool,
+    gout: &Matrix,
+    aux: &Matrix,
+    f: impl Fn(f32, f32) -> f32,
+) {
+    debug_assert_eq!(gout.shape(), aux.shape());
+    if *seen {
+        for ((gd, &go), &x) in grad.data_mut().iter_mut().zip(gout.data()).zip(aux.data()) {
+            *gd += f(go, x);
+        }
+    } else {
+        grad.reset_shape(gout.rows(), gout.cols());
+        for ((gd, &go), &x) in grad.data_mut().iter_mut().zip(gout.data()).zip(aux.data()) {
+            *gd = f(go, x);
+        }
+        *seen = true;
+    }
+}
+
+/// Runs `compute` into the gradient buffer directly on the first
+/// contribution, or into `tmp` followed by an in-place add on later ones.
+/// `compute` must reshape and fully define its output.
+fn acc_with(
+    grad: &mut Matrix,
+    seen: &mut bool,
+    tmp: &mut Matrix,
+    compute: impl FnOnce(&mut Matrix),
+) {
+    if *seen {
+        compute(tmp);
+        grad.add_assign(tmp);
+    } else {
+        compute(grad);
+        *seen = true;
     }
 }
 
@@ -1096,5 +1687,33 @@ mod tests {
         let v = g.value(h);
         assert!((v.get(0, 0) - 0.125).abs() < 1e-6);
         assert!((v.get(0, 1) - (3.0 - 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_recycles_slots_without_growing_the_arena() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = g.square(x);
+        let loss = g.sum(y);
+        g.backward(loss);
+        let cap = g.node_capacity();
+        for _ in 0..5 {
+            g.reset();
+            let x = g.leaf_with(2, 2, |d| d.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]));
+            let y = g.square(x);
+            let loss = g.sum(y);
+            g.backward(loss);
+            assert_eq!(g.grad(x).data(), &[2.0, 4.0, 6.0, 8.0]);
+            assert_eq!(g.node_capacity(), cap, "arena must not grow on reuse");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale Var")]
+    fn stale_var_panics_after_reset() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::zeros(1, 1));
+        g.reset();
+        let _ = g.value(x);
     }
 }

@@ -8,11 +8,32 @@
 //! ops here with hand-derived backward passes that are verified against
 //! finite differences in `gradcheck`.
 //!
+//! ## The arena tape
+//!
+//! [`Graph`] is an **arena of reusable buffers**: a training loop builds
+//! one tape, then [`Graph::reset`]s it each batch instead of rebuilding
+//! it. Forward ops write into recycled value buffers,
+//! [`ParamStore::inject`] rebinds parameter values by copy instead of
+//! cloning, the backward sweep accumulates gradients in place, and
+//! [`Graph::param_grad_refs`] + [`Optimizer::step_refs`] carry borrowed
+//! gradients to the optimizer — after the first batch a training step
+//! performs **no per-op matrix allocations** (only a few small
+//! bookkeeping `Vec`s, e.g. the gradient-ref list, remain per step).
+//! Reuse is bit-identical to a fresh graph
+//! (property-tested); see the [`graph`](Graph) module docs for the full
+//! lifecycle and determinism contract. Inference paths without a handy
+//! `&mut Graph` can use the thread-local pool, [`Graph::with_pooled`].
+//!
+//! ## Kernels and threading
+//!
 //! The matmul kernels are cache-blocked/register-tiled and split output
-//! rows across scoped threads above a size threshold; see [`parallel`] for
-//! the threading knob (`SELNET_THREADS` / [`parallel::set_threads`]) and
-//! the determinism guarantees (bit-identical results for any thread
-//! count).
+//! rows across scoped threads above a size threshold. The worker count
+//! resolves, in order, from: an explicit per-call argument
+//! ([`Matrix::matmul_threaded`]), the process-wide
+//! [`parallel::set_threads`], the `SELNET_THREADS` environment variable,
+//! then `std::thread::available_parallelism`. Results are **bit-identical
+//! for every thread count** — each output element is computed by one
+//! thread in the serial arithmetic order; see [`parallel`].
 //!
 //! ## Quick tour
 //!
@@ -25,17 +46,20 @@
 //! let net = Mlp::new(&mut store, "net", &[2, 8, 1], Activation::Relu,
 //!                    Activation::Linear, &mut rng);
 //! let mut opt = Adam::new(1e-2);
+//! let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+//! let y = Matrix::col_vector(&[1.0, -1.0]);
+//! let mut g = Graph::new(); // one arena tape, reused across batches
 //! for _ in 0..10 {
-//!     let mut g = Graph::new();
-//!     let x = g.leaf(Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]));
-//!     let y = g.leaf(Matrix::col_vector(&[1.0, -1.0]));
-//!     let pred = net.forward(&mut g, &store, x);
-//!     let d = g.sub(pred, y);
+//!     g.reset(); // rewind; keep every buffer for recycling
+//!     let xv = g.leaf_ref(&x);
+//!     let yv = g.leaf_ref(&y);
+//!     let pred = net.forward(&mut g, &store, xv);
+//!     let d = g.sub(pred, yv);
 //!     let sq = g.square(d);
 //!     let loss = g.mean(sq);
 //!     g.backward(loss);
-//!     let grads = g.param_grads();
-//!     opt.step(&mut store, &grads);
+//!     let grads = g.param_grad_refs(); // borrowed, nothing cloned
+//!     opt.step_refs(&mut store, &grads);
 //! }
 //! ```
 

@@ -212,11 +212,27 @@ fn saxpy_dispatch(
 }
 
 /// A dense row-major matrix of `f32`.
+///
+/// Most constructors allocate; the `reset_*` / `*_into` family instead
+/// reuses an existing matrix's allocation, which is what the
+/// [`Graph`](crate::Graph) arena builds on to keep training batches
+/// allocation-free after warm-up.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// The empty `0 x 0` matrix (no heap allocation).
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
 }
 
 impl Matrix {
@@ -360,6 +376,48 @@ impl Matrix {
         self.data
     }
 
+    // ---- allocation-reusing shape changes ----
+    //
+    // These are the primitives behind the tape arena: they never shrink the
+    // backing `Vec`'s capacity, so a matrix that has once held a batch of a
+    // given size holds every later batch of that size without touching the
+    // allocator.
+
+    /// Reshapes `self` to `rows x cols` in place, reusing the allocation.
+    ///
+    /// Element values are **unspecified** afterwards (a grown region is
+    /// zeroed, a retained prefix keeps its old data): callers must overwrite
+    /// every element. Use [`Matrix::reset_zero`] when a zeroed matrix is
+    /// needed.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Reshapes `self` to `rows x cols` and zeroes every element, reusing
+    /// the allocation.
+    pub fn reset_zero(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Makes `self` an exact copy of `src` (shape and data), reusing the
+    /// allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+        self.rows = src.rows;
+        self.cols = src.cols;
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
     /// Element accessor.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f32 {
@@ -411,12 +469,27 @@ impl Matrix {
     /// see [`crate::parallel::effective_threads`]). The result is
     /// bit-identical for every thread count.
     pub fn matmul_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into_threaded(other, &mut out, threads);
+        out
+    }
+
+    /// Computes `self * other` into `out`, reusing `out`'s allocation
+    /// (`out` is reshaped and fully overwritten). Bit-identical to
+    /// [`Matrix::matmul`].
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_threaded(other, out, 0);
+    }
+
+    /// [`Matrix::matmul_into`] with an explicit worker count (`0` =
+    /// configured).
+    pub fn matmul_into_threaded(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset_zero(self.rows, other.cols);
         saxpy_dispatch(
             &self.data,
             self.cols,
@@ -427,7 +500,6 @@ impl Matrix {
             other.cols,
             threads,
         );
-        out
     }
 
     /// Reference naive `ikj` matrix product, kept as the ground truth for
@@ -476,6 +548,20 @@ impl Matrix {
         self.transpose().matmul_threaded(other, threads)
     }
 
+    /// Computes `self^T * other` into `out`, packing the transpose of
+    /// `self` into `pack` (both buffers are reshaped and fully overwritten,
+    /// reusing their allocations). Bit-identical to
+    /// [`Matrix::matmul_at_b`].
+    pub fn matmul_at_b_into(&self, other: &Matrix, out: &mut Matrix, pack: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at_b shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        self.transpose_into(pack);
+        pack.matmul_into(other, out);
+    }
+
     /// Computes `self * other^T`. Packs the transpose of `other` first and
     /// reuses the blocked row-major kernel (see [`Matrix::matmul_at_b`]).
     /// Bit-identical to `self.matmul(&other.transpose())`.
@@ -494,10 +580,32 @@ impl Matrix {
         self.matmul_threaded(&other.transpose(), threads)
     }
 
-    /// Returns the transpose (blocked into [`TR`]`-square` tiles so both
+    /// Computes `self * other^T` into `out`, packing the transpose of
+    /// `other` into `pack` (both buffers are reshaped and fully
+    /// overwritten, reusing their allocations). Bit-identical to
+    /// [`Matrix::matmul_a_bt`].
+    pub fn matmul_a_bt_into(&self, other: &Matrix, out: &mut Matrix, pack: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_a_bt shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        other.transpose_into(pack);
+        self.matmul_into(pack, out);
+    }
+
+    /// Returns the transpose (blocked into `TR`-square tiles so both
     /// sides of the copy stay cache-resident).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::default();
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose of `self` into `out`, reusing `out`'s
+    /// allocation (`out` is reshaped and fully overwritten).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset_shape(self.cols, self.rows);
         let mut i0 = 0;
         while i0 < self.rows {
             let iend = (i0 + TR).min(self.rows);
@@ -513,7 +621,6 @@ impl Matrix {
             }
             i0 = iend;
         }
-        out
     }
 
     /// Elementwise map into a new matrix.
@@ -852,6 +959,50 @@ mod tests {
         let m = Matrix::from_vec(1, 3, vec![1.0, -4.0, 2.0]);
         assert_eq!(m.max_abs(), 4.0);
         assert_eq!(Matrix::zeros(0, 0).max_abs(), 0.0);
+    }
+
+    /// The `_into` variants must be bit-identical to their allocating
+    /// counterparts, regardless of what the output buffers previously held.
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let a = Matrix::from_fn(19, 23, |i, j| ((i * 31 + j * 17) % 97) as f32 * 0.013 - 0.5);
+        let b = Matrix::from_fn(23, 11, |i, j| ((i * 13 + j * 29) % 89) as f32 * 0.011 - 0.4);
+        // dirty buffers with wrong shapes
+        let mut out = Matrix::full(3, 50, f32::NAN);
+        let mut pack = Matrix::full(7, 2, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+        let c = Matrix::from_fn(19, 11, |i, j| (i as f32 - j as f32) * 0.1);
+        a.matmul_at_b_into(&c, &mut out, &mut pack);
+        assert_eq!(out, a.matmul_at_b(&c));
+        let d = Matrix::from_fn(5, 23, |i, j| ((i + 2 * j) % 13) as f32 * 0.09);
+        a.matmul_a_bt_into(&d, &mut out, &mut pack);
+        assert_eq!(out, a.matmul_a_bt(&d));
+    }
+
+    #[test]
+    fn reset_shape_grow_shrink_and_copy_from() {
+        let mut m = Matrix::zeros(2, 3);
+        let cap_small = m.data.capacity();
+        m.reset_shape(4, 5);
+        assert_eq!(m.shape(), (4, 5));
+        assert_eq!(m.len(), 20);
+        assert!(m.data.capacity() >= cap_small);
+        let cap_big = m.data.capacity();
+        // shrinking keeps the capacity (no reallocation on the next grow)
+        m.reset_zero(1, 2);
+        assert_eq!(m.shape(), (1, 2));
+        assert_eq!(m.data.capacity(), cap_big);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+        m.reset_shape(4, 5);
+        assert_eq!(m.data.capacity(), cap_big);
+
+        let src = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f32);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        assert_eq!(m.data.capacity(), cap_big);
     }
 
     #[test]

@@ -7,8 +7,16 @@ use crate::params::ParamStore;
 /// Interface shared by all optimizers: consume `(id, gradient)` pairs and
 /// update the store in place.
 pub trait Optimizer {
-    /// Applies one update step.
-    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]);
+    /// Applies one update step from **borrowed** gradients — the zero-copy
+    /// path fed by
+    /// [`Graph::param_grad_refs`](crate::graph::Graph::param_grad_refs).
+    fn step_refs(&mut self, store: &mut ParamStore, grads: &[(ParamId, &Matrix)]);
+    /// Applies one update step from owned gradients (convenience wrapper
+    /// around [`Optimizer::step_refs`]).
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
+        let refs: Vec<(ParamId, &Matrix)> = grads.iter().map(|(id, g)| (*id, g)).collect();
+        self.step_refs(store, &refs);
+    }
     /// Current learning rate.
     fn learning_rate(&self) -> f32;
     /// Overrides the learning rate (e.g. for decay schedules).
@@ -35,9 +43,9 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
-        for (id, g) in grads {
-            let p = store.value_mut(*id);
+    fn step_refs(&mut self, store: &mut ParamStore, grads: &[(ParamId, &Matrix)]) {
+        for &(id, g) in grads {
+            let p = store.value_mut(id);
             match self.clip {
                 Some(c) => {
                     for (pv, &gv) in p.data_mut().iter_mut().zip(g.data()) {
@@ -104,15 +112,15 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
+    fn step_refs(&mut self, store: &mut ParamStore, grads: &[(ParamId, &Matrix)]) {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (id, g) in grads {
-            self.ensure_state(*id, g.shape());
+        for &(id, g) in grads {
+            self.ensure_state(id, g.shape());
             let m = self.m[id.0].as_mut().expect("state ensured");
             let v = self.v[id.0].as_mut().expect("state ensured");
-            let p = store.value_mut(*id);
+            let p = store.value_mut(id);
             for (((pv, mv), vv), &graw) in p
                 .data_mut()
                 .iter_mut()

@@ -149,6 +149,27 @@ where
         .collect()
 }
 
+/// Fills an existing `width`-column row-major buffer row by row with
+/// `fill(row_index, row)`, parallelized over row chunks. This is the
+/// allocation-free sibling of [`par_build_rows`] — the training loops call
+/// it on tape-owned leaf buffers (see `Graph::leaf_with`) so batch assembly
+/// recycles storage instead of building a fresh `Vec` per batch.
+pub fn par_fill_rows<F>(data: &mut [f32], width: usize, threads: usize, fill: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if width == 0 || data.is_empty() {
+        return;
+    }
+    // ~64k elements per chunk keeps spawn cost negligible next to the copy
+    let min_rows = (65_536 / width).max(1);
+    par_row_chunks_mut(data, width, threads, min_rows, |first_row, chunk| {
+        for (off, row) in chunk.chunks_exact_mut(width).enumerate() {
+            fill(first_row + off, row);
+        }
+    });
+}
+
 /// Builds a `count x width` row-major buffer by filling each row with
 /// `fill(row_index, row)`, parallelized over row chunks.
 pub fn par_build_rows<F>(count: usize, width: usize, threads: usize, fill: F) -> Vec<f32>
@@ -156,17 +177,52 @@ where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     let mut data = vec![0.0f32; count * width];
-    if width == 0 {
-        return data;
+    par_fill_rows(&mut data, width, threads, fill);
+    data
+}
+
+/// Runs `f(i, &mut states[i])` for every state on up to `threads` scoped
+/// threads and returns the results in index order. States are split into
+/// contiguous, disjoint chunks whose boundaries depend only on the input
+/// size and thread count, so scheduling never affects the output — the
+/// per-partition training tapes ride this to stay deterministic while each
+/// job mutates (resets and rebuilds) its own persistent `Graph`.
+pub fn par_map_states<S, R, F>(states: &mut [S], threads: usize, f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    let count = states.len();
+    let ranges = chunk_ranges(count, threads, 1);
+    if ranges.len() <= 1 {
+        return states
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| f(i, s))
+            .collect();
     }
-    // ~64k elements per chunk keeps spawn cost negligible next to the copy
-    let min_rows = (65_536 / width).max(1);
-    par_row_chunks_mut(&mut data, width, threads, min_rows, |first_row, chunk| {
-        for (off, row) in chunk.chunks_exact_mut(width).enumerate() {
-            fill(first_row + off, row);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(count);
+    out.resize_with(count, || None);
+    std::thread::scope(|scope| {
+        let mut srest: &mut [S] = states;
+        let mut orest: &mut [Option<R>] = &mut out;
+        for &(start, end) in &ranges {
+            let (shead, stail) = srest.split_at_mut(end - start);
+            srest = stail;
+            let (ohead, otail) = orest.split_at_mut(end - start);
+            orest = otail;
+            let f = &f;
+            scope.spawn(move || {
+                for (off, (slot, state)) in ohead.iter_mut().zip(shead.iter_mut()).enumerate() {
+                    *slot = Some(f(start + off, state));
+                }
+            });
         }
     });
-    data
+    out.into_iter()
+        .map(|r| r.expect("all chunks filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -242,5 +298,18 @@ mod tests {
     #[test]
     fn zero_width_rows_are_harmless() {
         assert!(par_build_rows(4, 0, 2, |_, _| unreachable!()).is_empty());
+    }
+
+    #[test]
+    fn par_map_states_mutates_each_state_once_in_order() {
+        for threads in [1usize, 2, 5] {
+            let mut states: Vec<u64> = (0..13).map(|i| i as u64).collect();
+            let out = par_map_states(&mut states, threads, |i, s| {
+                *s += 100;
+                (i as u64) * 2
+            });
+            assert_eq!(out, (0..13).map(|i| i * 2).collect::<Vec<u64>>());
+            assert_eq!(states, (100..113).collect::<Vec<u64>>());
+        }
     }
 }

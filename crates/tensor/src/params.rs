@@ -1,10 +1,14 @@
 //! Trainable-parameter storage with binary checkpointing.
 //!
 //! A [`ParamStore`] owns the master copy of every trainable matrix. Each
-//! training step injects parameters into a fresh [`Graph`] via
-//! [`ParamStore::inject`], runs forward + backward, collects gradients with
-//! [`Graph::param_grads`](crate::graph::Graph::param_grads), and hands them
-//! to an optimizer.
+//! training step injects parameters into a (freshly [`reset`]) [`Graph`]
+//! via [`ParamStore::inject`] — a copy into the tape's recycled leaf
+//! buffer, not a clone — runs forward + backward, collects borrowed
+//! gradients with
+//! [`Graph::param_grad_refs`](crate::graph::Graph::param_grad_refs), and
+//! hands them to an optimizer.
+//!
+//! [`reset`]: crate::graph::Graph::reset
 //!
 //! Checkpoints use a small self-contained binary format (magic + version +
 //! named f32 matrices, little-endian), so no serialization dependency is
@@ -71,9 +75,11 @@ impl ParamStore {
         (0..self.values.len()).map(ParamId)
     }
 
-    /// Records this parameter's current value on the tape.
+    /// Records this parameter's current value on the tape. The value is
+    /// copied into the tape's recycled leaf buffer — no allocation once the
+    /// (reused) tape has warmed up.
     pub fn inject(&self, g: &mut Graph, id: ParamId) -> Var {
-        g.param_leaf(id, self.values[id.0].clone())
+        g.param_leaf(id, &self.values[id.0])
     }
 
     /// Writes all parameters to `w` in the checkpoint format.

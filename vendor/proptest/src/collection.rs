@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::ops::Range;
 
-/// Size specification for [`vec`]: an exact length or a half-open range.
+/// Size specification for [`vec`](fn@vec): an exact length or a half-open range.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -39,7 +39,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec`](fn@vec).
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,
