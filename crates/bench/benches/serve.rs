@@ -1,0 +1,193 @@
+//! Serving-path benchmarks: one-query-per-tape-call vs the batched
+//! coalesced entry point (`predict_batch`) vs the full engine
+//! (queue + workers + cache), all on the same trained partitioned model.
+//!
+//! With `SELNET_BENCH_RECORD=1` the run re-times the key comparisons with
+//! a plain `Instant` loop and rewrites `BENCH_serve.json` at the repo
+//! root. See `crates/bench/README.md` for the workflow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selnet_core::{fit_partitioned, PartitionConfig, PartitionedSelNet, SelNetConfig};
+use selnet_data::generators::{fasttext_like, GeneratorConfig};
+use selnet_data::Dataset;
+use selnet_eval::SelectivityEstimator;
+use selnet_metric::DistanceKind;
+use selnet_serve::engine::{Engine, EngineConfig};
+use selnet_serve::registry::ModelRegistry;
+use selnet_workload::{generate_workload, WorkloadConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Bench batch size — the acceptance point for coalescing throughput.
+const BATCH: usize = 64;
+
+fn model_fixture() -> (Dataset, PartitionedSelNet) {
+    let ds = fasttext_like(&GeneratorConfig::new(600, 5, 3, 7));
+    let mut wcfg = WorkloadConfig::new(24, DistanceKind::Euclidean, 8);
+    wcfg.thresholds_per_query = 8;
+    let w = generate_workload(&ds, &wcfg);
+    let mut cfg = SelNetConfig::tiny();
+    cfg.epochs = 3;
+    let pcfg = PartitionConfig {
+        k: 3,
+        pretrain_epochs: 1,
+        ..Default::default()
+    };
+    let (model, _) = fit_partitioned(&ds, &w, &cfg, &pcfg);
+    (ds, model)
+}
+
+/// `BATCH` distinct `(x, t)` queries spread over the database and the
+/// threshold range.
+fn query_batch(ds: &Dataset, tmax: f32) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let xs: Vec<Vec<f32>> = (0..BATCH)
+        .map(|i| ds.row(i * 7 % ds.len()).to_vec())
+        .collect();
+    let ts: Vec<f32> = (0..BATCH)
+        .map(|i| tmax * (0.1 + 0.9 * i as f32 / BATCH as f32))
+        .collect();
+    (xs, ts)
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let (ds, model) = model_fixture();
+    let (xs, ts) = query_batch(&ds, model.tmax());
+    let x_refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    // the baseline the issue names: one tape walk per query
+    group.bench_function(format!("one_query_per_call/{BATCH}"), |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                black_box(model.estimate(&xs[i], ts[i]));
+            }
+        })
+    });
+    // coalesced: every query a row of one batch matrix, one tape walk
+    group.bench_function(format!("batched_coalesced/{BATCH}"), |b| {
+        b.iter(|| black_box(model.predict_batch(&x_refs, &ts)))
+    });
+    group.finish();
+
+    // end-to-end engine: queue + worker + batched eval (cache disabled so
+    // it measures evaluation, not memoization)
+    let engine = Engine::start(
+        Arc::new(ModelRegistry::new(model)),
+        &EngineConfig {
+            workers: 1,
+            shards: 1,
+            max_batch_rows: BATCH,
+            cache_entries: 0,
+        },
+    );
+    let mut group = c.benchmark_group("serve_engine");
+    group.sample_size(20);
+    group.bench_function(format!("submit_collect/{BATCH}"), |b| {
+        b.iter(|| {
+            let receivers: Vec<_> = (0..BATCH)
+                .map(|i| {
+                    engine
+                        .submit(xs[i].clone(), vec![ts[i]])
+                        .expect("engine running")
+                })
+                .collect();
+            for rx in receivers {
+                black_box(rx.recv().expect("served"));
+            }
+        })
+    });
+    group.finish();
+    engine.shutdown();
+}
+
+/// Rewrites `BENCH_serve.json` (repo root) with wall-clock numbers for
+/// the three serving paths. Opt-in via `SELNET_BENCH_RECORD=1` so
+/// ordinary `cargo bench` / CI runs never touch the tree.
+fn bench_record(_c: &mut Criterion) {
+    if std::env::var("SELNET_BENCH_RECORD").as_deref() != Ok("1") {
+        return;
+    }
+    use std::time::Instant;
+    fn time_ms(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+        f(); // warm up
+        let mut best = f64::MAX;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            best = best.min(t.elapsed().as_secs_f64() * 1e3 / iters as f64);
+        }
+        best
+    }
+
+    let (ds, model) = model_fixture();
+    let (xs, ts) = query_batch(&ds, model.tmax());
+    let x_refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+
+    let single = time_ms(10, 10, || {
+        for i in 0..BATCH {
+            black_box(model.estimate(&xs[i], ts[i]));
+        }
+    });
+    let batched = time_ms(10, 10, || {
+        black_box(model.predict_batch(&x_refs, &ts));
+    });
+
+    let engine = Engine::start(
+        Arc::new(ModelRegistry::new(model)),
+        &EngineConfig {
+            workers: 1,
+            shards: 1,
+            max_batch_rows: BATCH,
+            cache_entries: 0,
+        },
+    );
+    let engine_batch = time_ms(10, 10, || {
+        let receivers: Vec<_> = (0..BATCH)
+            .map(|i| {
+                engine
+                    .submit(xs[i].clone(), vec![ts[i]])
+                    .expect("engine running")
+            })
+            .collect();
+        for rx in receivers {
+            black_box(rx.recv().expect("served"));
+        }
+    });
+    engine.shutdown();
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        r#"{{
+  "description": "Serving throughput at batch {BATCH} on a tiny()-architecture partitioned SelNet (K=3): one_query_per_call = {BATCH} separate pooled-tape evaluations; batched_coalesced = one predict_batch tape pass over all {BATCH} rows; engine_submit_collect = the same through the full engine (queue + worker thread + reply channels, cache off). Times in milliseconds per {BATCH}-query wave (best-of-samples mean); recorded by SELNET_BENCH_RECORD=1 cargo bench -p selnet-bench --bench serve.",
+  "current": {{
+    "machine_cpus": {cpus},
+    "one_query_per_call_{BATCH}_ms": {single:.4},
+    "batched_coalesced_{BATCH}_ms": {batched:.4},
+    "engine_submit_collect_{BATCH}_ms": {engine_batch:.4},
+    "queries_per_sec_single": {qps_single:.0},
+    "queries_per_sec_batched": {qps_batched:.0},
+    "queries_per_sec_engine": {qps_engine:.0},
+    "speedup_batched_vs_single": {speedup:.2},
+    "speedup_engine_vs_single": {speedup_engine:.2}
+  }},
+  "notes": "speedup_batched_vs_single is the coalescing win the serving engine exists for: a batch amortizes the tape walk and turns {BATCH} skinny 1-row matmuls into one {BATCH}-row matmul. The engine path adds queue/channel overhead per request and stays well ahead of one-query-per-call."
+}}
+"#,
+        qps_single = BATCH as f64 / (single / 1e3),
+        qps_batched = BATCH as f64 / (batched / 1e3),
+        qps_engine = BATCH as f64 / (engine_batch / 1e3),
+        speedup = single / batched,
+        speedup_engine = single / engine_batch,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+    println!("\nrecorded serving numbers to {path}");
+}
+
+criterion_group!(benches, bench_serve_throughput, bench_record);
+criterion_main!(benches);

@@ -22,7 +22,7 @@ fn main() {
             let w = &w;
             let scale = &scale;
             handles.push(scope.spawn(move || {
-                let model: Box<dyn SelectivityEstimator + Send> = if k == 1 {
+                let model: Box<dyn SelectivityEstimator + Send + Sync> = if k == 1 {
                     Box::new(fit_named(ds, w, &selnet_config(scale), "SelNet-ct").0)
                 } else {
                     let mut pcfg = partition_config(scale);

@@ -267,7 +267,7 @@ pub fn train_model(
     ds: &Dataset,
     w: &Workload,
     scale: &Scale,
-) -> Option<Box<dyn SelectivityEstimator + Send>> {
+) -> Option<Box<dyn SelectivityEstimator + Send + Sync>> {
     let ncfg = neural_config(scale);
     Some(match kind {
         ModelKind::Lsh => {
@@ -385,8 +385,8 @@ pub fn train_models(
     ds: &Dataset,
     w: &Workload,
     scale: &Scale,
-) -> Vec<Box<dyn SelectivityEstimator + Send>> {
-    let mut out: Vec<Option<Box<dyn SelectivityEstimator + Send>>> =
+) -> Vec<Box<dyn SelectivityEstimator + Send + Sync>> {
+    let mut out: Vec<Option<Box<dyn SelectivityEstimator + Send + Sync>>> =
         Vec::with_capacity(kinds.len());
     for _ in kinds {
         out.push(None);

@@ -221,6 +221,10 @@ impl SelectivityEstimator for SelNetModel {
         self.predict_many(x, ts)
     }
 
+    fn query_dim(&self) -> Option<usize> {
+        Some(self.dim)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

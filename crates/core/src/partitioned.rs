@@ -112,6 +112,60 @@ impl PartitionedSelNet {
             .collect()
     }
 
+    /// Predicts selectivities for **many distinct queries in one tape
+    /// pass**: query `i` is `(xs[i], ts[i])`. This is the batched entry
+    /// point the `selnet-serve` engine coalesces concurrent requests into —
+    /// all queries become rows of a single batch matrix, so the networks
+    /// run once over `B` rows instead of `B` times over one row.
+    ///
+    /// Every forward op is row-wise (the blocked matmul kernels accumulate
+    /// each output row independently and in a fixed order), so the result
+    /// for query `i` is **bit-identical** to
+    /// `predict_many(xs[i], &[ts[i]])[0]` — the property that lets the
+    /// serving engine batch opportunistically without changing any answer
+    /// (pinned by `predict_batch_matches_predict_many`).
+    pub fn predict_batch(&self, xs: &[&[f32]], ts: &[f32]) -> Vec<f64> {
+        assert_eq!(xs.len(), ts.len(), "one threshold per query object");
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        for x in xs {
+            assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        }
+        let b = xs.len();
+        let threads = selnet_tensor::parallel::configured_threads();
+        let local_preds: Vec<Vec<f64>> = Graph::with_pooled(|g| {
+            let xv = g.leaf_rows(b, self.dim, threads, |i, row| row.copy_from_slice(xs[i]));
+            let tv = g.leaf_with(b, 1, |col| col.copy_from_slice(ts));
+            let z = self.ae.encode(g, &self.store, xv);
+            let input = g.concat_cols(xv, z);
+            self.locals
+                .iter()
+                .map(|nets| {
+                    let (tau, p) = nets.control_points(
+                        g,
+                        &self.store,
+                        input,
+                        self.tmax,
+                        self.cfg.query_dependent_tau,
+                    );
+                    let y = g.pwl_interp(tau, p, tv);
+                    g.value(y).data().iter().map(|&v| v as f64).collect()
+                })
+                .collect()
+        });
+        (0..b)
+            .map(|i| {
+                let ind = self.partitioning.indicator(xs[i], ts[i]);
+                local_preds
+                    .iter()
+                    .zip(&ind)
+                    .map(|(pred, &on)| if on { pred[i] } else { 0.0 })
+                    .sum()
+            })
+            .collect()
+    }
+
     /// Per-part predictions for one `(x, t)` (diagnostics / tests).
     pub fn local_estimates(&self, x: &[f32], t: f32) -> Vec<f64> {
         Graph::with_pooled(|g| {
@@ -130,6 +184,14 @@ impl SelectivityEstimator for PartitionedSelNet {
 
     fn estimate_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
         self.predict_many(x, ts)
+    }
+
+    fn estimate_batch(&self, xs: &[&[f32]], ts: &[f32]) -> Vec<f64> {
+        self.predict_batch(xs, ts)
+    }
+
+    fn query_dim(&self) -> Option<usize> {
+        Some(self.dim)
     }
 
     fn name(&self) -> &str {
@@ -589,8 +651,13 @@ pub(crate) fn continue_training(
     );
     let mut report = TrainReport::default();
     let mut opt = Adam::new(model.cfg.learning_rate).with_clip(1.0);
-    // reset the reference so the retrained parameters are always adopted
-    model.reference_val_mae = f64::MAX;
+    // Early stopping with restore: seed the selection reference with the
+    // *current* parameters' MAE on the (drifted) validation split, so
+    // `run_training_phase` only adopts retrained parameters that actually
+    // beat what the model already had — incremental training can never
+    // leave the model worse than it found it. (Empty split: INFINITY, and
+    // the phase falls back to training-loss selection.)
+    model.reference_val_mae = partitioned_validation_mae(model, valid);
     run_training_phase(
         model,
         &pairs,
@@ -602,6 +669,10 @@ pub(crate) fn continue_training(
         rng,
         &mut report,
     );
+    if valid.is_empty() {
+        // keep the "no measurable reference" sentinel (see `train_loop`)
+        model.reference_val_mae = f64::MAX;
+    }
     report
 }
 
@@ -689,6 +760,46 @@ mod tests {
             m1.predict_many(&q.x, &q.thresholds),
             m2.predict_many(&q.x, &q.thresholds)
         );
+    }
+
+    /// The batched entry point must be *bit-identical* to per-query
+    /// evaluation — the property the serving engine's request coalescing
+    /// relies on. Checked for several batch sizes (including one crossing
+    /// the kernel's row-tile width) and with batches that mix queries in
+    /// arbitrary order.
+    #[test]
+    fn predict_batch_matches_predict_many() {
+        let (ds, w) = fixture();
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 4;
+        let (model, _) = fit_partitioned(&ds, &w, &cfg, &tiny_pcfg());
+
+        // flatten (x, t) pairs across test queries
+        let mut xs: Vec<&[f32]> = Vec::new();
+        let mut ts: Vec<f32> = Vec::new();
+        for q in &w.test {
+            for &t in &q.thresholds {
+                xs.push(&q.x);
+                ts.push(t);
+            }
+        }
+        for &b in &[1usize, 2, 5, 7, 64, xs.len()] {
+            let b = b.min(xs.len());
+            let batch = model.predict_batch(&xs[..b], &ts[..b]);
+            for i in 0..b {
+                let single = model.predict_many(xs[i], &[ts[i]])[0];
+                assert_eq!(
+                    batch[i].to_bits(),
+                    single.to_bits(),
+                    "batch size {b}, row {i}: {} != {}",
+                    batch[i],
+                    single
+                );
+            }
+        }
+        // and the trait-level batched call agrees
+        let via_trait = model.estimate_batch(&xs, &ts);
+        assert_eq!(via_trait, model.predict_batch(&xs, &ts));
     }
 
     #[test]

@@ -1,15 +1,44 @@
-//! Checkpointing of trained single SelNet models: configuration +
-//! parameters in one self-contained binary stream.
+//! Checkpointing of trained models.
+//!
+//! Two self-contained little-endian binary formats, no serialization
+//! dependency:
+//!
+//! * `SELNETM1` — a single [`SelNetModel`] (configuration + parameters);
+//! * `SELNETP1` — a **versioned whole-model snapshot** of a
+//!   [`PartitionedSelNet`]: hyper-parameters, partition configuration, the
+//!   partitioning itself (assignments + ball regions), the shared
+//!   autoencoder and every per-partition network (one parameter stream),
+//!   and the §5.4 update-policy state (`reference_val_mae`). This is the
+//!   format the `selnet-serve` subsystem ships between trainer and server.
+//!
+//! Loaders return typed [`io::Error`]s — truncated streams surface as
+//! [`io::ErrorKind::UnexpectedEof`], bad magic/version/structure as
+//! [`io::ErrorKind::InvalidData`] — and never panic on corrupt input.
 
 use crate::autoencoder::Autoencoder;
-use crate::config::{LossKind, SelNetConfig, TauNormalization};
+use crate::config::{LossKind, PartitionConfig, SelNetConfig, TauNormalization};
 use crate::model::{ControlPointNets, SelNetModel};
+use crate::partitioned::PartitionedSelNet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use selnet_index::Partitioning;
 use selnet_tensor::ParamStore;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"SELNETM1";
+const PARTITIONED_MAGIC: &[u8; 8] = b"SELNETP1";
+/// Current `SELNETP1` snapshot version. Bump when the layout changes; the
+/// loader rejects anything else with a typed error.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Caps on length fields read from untrusted bytes (see the loaders).
+const MAX_NAME_LEN: usize = 1 << 16;
+const MAX_HIDDEN_LAYERS: usize = 1 << 10;
+const MAX_LOCALS: usize = 1 << 16;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
 
 fn write_usize(w: &mut impl Write, v: usize) -> io::Result<()> {
     w.write_all(&(v as u64).to_le_bytes())
@@ -19,6 +48,14 @@ fn read_usize(r: &mut impl Read) -> io::Result<usize> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b) as usize)
+}
+
+fn read_len(r: &mut impl Read, max: usize, what: &str) -> io::Result<usize> {
+    let v = read_usize(r)?;
+    if v > max {
+        return Err(invalid(format!("implausible {what}: {v}")));
+    }
+    Ok(v)
 }
 
 fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
@@ -40,53 +77,174 @@ fn write_vec_usize(w: &mut impl Write, v: &[usize]) -> io::Result<()> {
 }
 
 fn read_vec_usize(r: &mut impl Read) -> io::Result<Vec<usize>> {
-    let n = read_usize(r)?;
+    let n = read_len(r, MAX_HIDDEN_LAYERS, "layer count")?;
     (0..n).map(|_| read_usize(r)).collect()
+}
+
+fn write_string(w: &mut impl Write, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    write_usize(w, bytes.len())?;
+    w.write_all(bytes)
+}
+
+fn read_string(r: &mut impl Read) -> io::Result<String> {
+    let len = read_len(r, MAX_NAME_LEN, "string length")?;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| invalid("bad utf8 string"))
+}
+
+fn write_config(w: &mut impl Write, c: &SelNetConfig) -> io::Result<()> {
+    write_usize(w, c.control_points)?;
+    write_usize(w, c.latent_dim)?;
+    write_usize(w, c.embed_dim)?;
+    write_vec_usize(w, &c.tau_hidden)?;
+    write_vec_usize(w, &c.p_hidden)?;
+    write_vec_usize(w, &c.ae_hidden)?;
+    write_f32(w, c.learning_rate)?;
+    write_usize(w, c.epochs)?;
+    write_usize(w, c.batch_size)?;
+    write_f32(w, c.lambda_ae)?;
+    write_f32(w, c.huber_delta)?;
+    write_f32(w, c.log_eps)?;
+    write_usize(w, usize::from(c.query_dependent_tau))?;
+    write_usize(
+        w,
+        match c.tau_normalization {
+            TauNormalization::Norml2 => 0,
+            TauNormalization::Softmax => 1,
+        },
+    )?;
+    write_usize(
+        w,
+        match c.loss {
+            LossKind::Huber => 0,
+            LossKind::L2 => 1,
+            LossKind::L1 => 2,
+        },
+    )?;
+    write_usize(w, c.ae_pretrain_epochs)?;
+    write_usize(w, c.ae_pretrain_sample)?;
+    w.write_all(&c.seed.to_le_bytes())
+}
+
+fn read_config(r: &mut impl Read) -> io::Result<SelNetConfig> {
+    let control_points = read_usize(r)?;
+    let latent_dim = read_usize(r)?;
+    let embed_dim = read_usize(r)?;
+    let tau_hidden = read_vec_usize(r)?;
+    let p_hidden = read_vec_usize(r)?;
+    let ae_hidden = read_vec_usize(r)?;
+    let learning_rate = read_f32(r)?;
+    let epochs = read_usize(r)?;
+    let batch_size = read_usize(r)?;
+    let lambda_ae = read_f32(r)?;
+    let huber_delta = read_f32(r)?;
+    let log_eps = read_f32(r)?;
+    let query_dependent_tau = read_usize(r)? != 0;
+    let tau_normalization = match read_usize(r)? {
+        0 => TauNormalization::Norml2,
+        1 => TauNormalization::Softmax,
+        v => return Err(invalid(format!("bad tau norm {v}"))),
+    };
+    let loss = match read_usize(r)? {
+        0 => LossKind::Huber,
+        1 => LossKind::L2,
+        2 => LossKind::L1,
+        v => return Err(invalid(format!("bad loss {v}"))),
+    };
+    let ae_pretrain_epochs = read_usize(r)?;
+    let ae_pretrain_sample = read_usize(r)?;
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let seed = u64::from_le_bytes(b8);
+    // Architecture sizes feed matrix allocations when the loader rebuilds
+    // the network, so corrupt bytes here must not request absurd buffers.
+    // 16384 is ~16x the paper's widest layer.
+    const MAX_WIDTH: usize = 1 << 14;
+    for (what, v) in [
+        ("control_points", control_points),
+        ("latent_dim", latent_dim),
+        ("embed_dim", embed_dim),
+    ] {
+        if v > MAX_WIDTH {
+            return Err(invalid(format!("implausible {what}: {v}")));
+        }
+    }
+    for widths in [&tau_hidden, &p_hidden, &ae_hidden] {
+        if widths.iter().any(|&w| w > MAX_WIDTH) {
+            return Err(invalid("implausible hidden layer width"));
+        }
+    }
+    Ok(SelNetConfig {
+        control_points,
+        latent_dim,
+        embed_dim,
+        tau_hidden,
+        p_hidden,
+        ae_hidden,
+        learning_rate,
+        epochs,
+        batch_size,
+        lambda_ae,
+        huber_delta,
+        log_eps,
+        query_dependent_tau,
+        tau_normalization,
+        loss,
+        ae_pretrain_epochs,
+        ae_pretrain_sample,
+        seed,
+    })
+}
+
+fn write_pconfig(w: &mut impl Write, p: &PartitionConfig) -> io::Result<()> {
+    write_usize(w, p.k)?;
+    match p.method {
+        selnet_index::PartitionMethod::CoverTree { ratio } => {
+            write_usize(w, 0)?;
+            w.write_all(&ratio.to_le_bytes())?;
+        }
+        selnet_index::PartitionMethod::Random => write_usize(w, 1)?,
+        selnet_index::PartitionMethod::KMeans => write_usize(w, 2)?,
+    }
+    write_usize(w, p.pretrain_epochs)?;
+    write_f32(w, p.beta)
+}
+
+fn read_pconfig(r: &mut impl Read) -> io::Result<PartitionConfig> {
+    let k = read_usize(r)?;
+    let method = match read_usize(r)? {
+        0 => {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            selnet_index::PartitionMethod::CoverTree {
+                ratio: f64::from_le_bytes(b),
+            }
+        }
+        1 => selnet_index::PartitionMethod::Random,
+        2 => selnet_index::PartitionMethod::KMeans,
+        v => return Err(invalid(format!("bad partition method {v}"))),
+    };
+    let pretrain_epochs = read_usize(r)?;
+    let beta = read_f32(r)?;
+    Ok(PartitionConfig {
+        k,
+        method,
+        pretrain_epochs,
+        beta,
+    })
 }
 
 impl SelNetModel {
     /// Serializes the model (config + parameters).
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(MAGIC)?;
-        let c = &self.cfg;
-        write_usize(w, c.control_points)?;
-        write_usize(w, c.latent_dim)?;
-        write_usize(w, c.embed_dim)?;
-        write_vec_usize(w, &c.tau_hidden)?;
-        write_vec_usize(w, &c.p_hidden)?;
-        write_vec_usize(w, &c.ae_hidden)?;
-        write_f32(w, c.learning_rate)?;
-        write_usize(w, c.epochs)?;
-        write_usize(w, c.batch_size)?;
-        write_f32(w, c.lambda_ae)?;
-        write_f32(w, c.huber_delta)?;
-        write_f32(w, c.log_eps)?;
-        write_usize(w, usize::from(c.query_dependent_tau))?;
-        write_usize(
-            w,
-            match c.tau_normalization {
-                TauNormalization::Norml2 => 0,
-                TauNormalization::Softmax => 1,
-            },
-        )?;
-        write_usize(
-            w,
-            match c.loss {
-                LossKind::Huber => 0,
-                LossKind::L2 => 1,
-                LossKind::L1 => 2,
-            },
-        )?;
-        write_usize(w, c.ae_pretrain_epochs)?;
-        write_usize(w, c.ae_pretrain_sample)?;
-        w.write_all(&c.seed.to_le_bytes())?;
-
+        write_config(w, &self.cfg)?;
         write_usize(w, self.dim)?;
         write_f32(w, self.tmax)?;
         w.write_all(&self.reference_val_mae.to_le_bytes())?;
-        let name = self.name.as_bytes();
-        write_usize(w, name.len())?;
-        w.write_all(name)?;
+        write_string(w, &self.name)?;
         self.store.save(w)
     }
 
@@ -95,79 +253,15 @@ impl SelNetModel {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad model magic",
-            ));
+            return Err(invalid("bad model magic"));
         }
-        let control_points = read_usize(r)?;
-        let latent_dim = read_usize(r)?;
-        let embed_dim = read_usize(r)?;
-        let tau_hidden = read_vec_usize(r)?;
-        let p_hidden = read_vec_usize(r)?;
-        let ae_hidden = read_vec_usize(r)?;
-        let learning_rate = read_f32(r)?;
-        let epochs = read_usize(r)?;
-        let batch_size = read_usize(r)?;
-        let lambda_ae = read_f32(r)?;
-        let huber_delta = read_f32(r)?;
-        let log_eps = read_f32(r)?;
-        let query_dependent_tau = read_usize(r)? != 0;
-        let tau_normalization = match read_usize(r)? {
-            0 => TauNormalization::Norml2,
-            1 => TauNormalization::Softmax,
-            v => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad tau norm {v}"),
-                ))
-            }
-        };
-        let loss = match read_usize(r)? {
-            0 => LossKind::Huber,
-            1 => LossKind::L2,
-            2 => LossKind::L1,
-            v => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad loss {v}"),
-                ))
-            }
-        };
-        let ae_pretrain_epochs = read_usize(r)?;
-        let ae_pretrain_sample = read_usize(r)?;
+        let cfg = read_config(r)?;
+        let dim = read_len(r, 1 << 20, "input dimension")?;
+        let tmax = read_f32(r)?;
         let mut b8 = [0u8; 8];
         r.read_exact(&mut b8)?;
-        let seed = u64::from_le_bytes(b8);
-        let cfg = SelNetConfig {
-            control_points,
-            latent_dim,
-            embed_dim,
-            tau_hidden,
-            p_hidden,
-            ae_hidden,
-            learning_rate,
-            epochs,
-            batch_size,
-            lambda_ae,
-            huber_delta,
-            log_eps,
-            query_dependent_tau,
-            tau_normalization,
-            loss,
-            ae_pretrain_epochs,
-            ae_pretrain_sample,
-            seed,
-        };
-        let dim = read_usize(r)?;
-        let tmax = read_f32(r)?;
-        r.read_exact(&mut b8)?;
         let reference_val_mae = f64::from_le_bytes(b8);
-        let name_len = read_usize(r)?;
-        let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf8 name"))?;
+        let name = read_string(r)?;
         let loaded_store = ParamStore::load(r)?;
 
         // rebuild the architecture with the same registration order, then
@@ -183,7 +277,7 @@ impl SelNetModel {
             &mut rng,
         );
         let nets = ControlPointNets::new(&mut store, "net", dim + cfg.latent_dim, &cfg, &mut rng);
-        store.copy_from(&loaded_store);
+        store.try_copy_from(&loaded_store).map_err(invalid)?;
         Ok(SelNetModel {
             cfg,
             dim,
@@ -197,14 +291,114 @@ impl SelNetModel {
     }
 }
 
+impl PartitionedSelNet {
+    /// Serializes the whole partitioned model as a versioned `SELNETP1`
+    /// snapshot: hyper-parameters, partition configuration, the
+    /// partitioning (assignments + ball regions), one parameter stream
+    /// covering the shared autoencoder and all `K` local networks, and the
+    /// update-policy state.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(PARTITIONED_MAGIC)?;
+        w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        write_config(w, &self.cfg)?;
+        write_pconfig(w, &self.pcfg)?;
+        write_usize(w, self.dim)?;
+        write_f32(w, self.tmax)?;
+        w.write_all(&self.reference_val_mae.to_le_bytes())?;
+        write_string(w, &self.name)?;
+        write_usize(w, self.locals.len())?;
+        self.partitioning.save(w)?;
+        self.store.save(w)
+    }
+
+    /// Deserializes a snapshot written by [`PartitionedSelNet::save`].
+    ///
+    /// `load(save(m))` reproduces `m`'s predictions bit for bit: the
+    /// network architecture is re-registered in the exact order
+    /// [`crate::fit_partitioned`] used, then the checkpointed weights are
+    /// copied in (a count/shape mismatch is [`io::ErrorKind::InvalidData`],
+    /// not a panic).
+    pub fn load(r: &mut impl Read) -> io::Result<PartitionedSelNet> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != PARTITIONED_MAGIC {
+            return Err(invalid("bad snapshot magic (expected SELNETP1)"));
+        }
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        let version = u32::from_le_bytes(b4);
+        if version != SNAPSHOT_VERSION {
+            return Err(invalid(format!(
+                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        let cfg = read_config(r)?;
+        let pcfg = read_pconfig(r)?;
+        let dim = read_len(r, 1 << 20, "input dimension")?;
+        let tmax = read_f32(r)?;
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let reference_val_mae = f64::from_le_bytes(b8);
+        let name = read_string(r)?;
+        let k = read_len(r, MAX_LOCALS, "local model count")?;
+        let partitioning = Partitioning::load(r)?;
+        if partitioning.k() != k {
+            return Err(invalid(format!(
+                "snapshot has {k} local models but a {}-part partitioning",
+                partitioning.k()
+            )));
+        }
+        let loaded_store = ParamStore::load(r)?;
+
+        // rebuild the architecture in `fit_partitioned`'s registration
+        // order, then copy the trained weights in
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(
+            &mut store,
+            "ae",
+            dim,
+            &cfg.ae_hidden,
+            cfg.latent_dim,
+            &mut rng,
+        );
+        let locals: Vec<ControlPointNets> = (0..k)
+            .map(|i| {
+                ControlPointNets::new(
+                    &mut store,
+                    &format!("local{i}"),
+                    dim + cfg.latent_dim,
+                    &cfg,
+                    &mut rng,
+                )
+            })
+            .collect();
+        store.try_copy_from(&loaded_store).map_err(invalid)?;
+        Ok(PartitionedSelNet {
+            cfg,
+            pcfg,
+            dim,
+            tmax,
+            store,
+            ae,
+            locals,
+            partitioning,
+            name,
+            reference_val_mae,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partitioned::fit_partitioned;
     use crate::train::fit;
     use selnet_data::generators::{fasttext_like, GeneratorConfig};
     use selnet_eval::SelectivityEstimator;
+    use selnet_index::PartitionMethod;
     use selnet_metric::DistanceKind;
-    use selnet_workload::{generate_workload, WorkloadConfig};
+    use selnet_workload::{generate_workload, Workload, WorkloadConfig};
 
     #[test]
     fn save_load_preserves_predictions() {
@@ -232,5 +426,149 @@ mod tests {
     fn load_rejects_garbage() {
         let buf = vec![1u8; 64];
         assert!(SelNetModel::load(&mut buf.as_slice()).is_err());
+    }
+
+    /// Loads expecting failure (`PartitionedSelNet` has no `Debug` impl,
+    /// so `expect_err` can't be used directly).
+    fn load_err(bytes: &[u8]) -> io::Error {
+        match PartitionedSelNet::load(&mut &*bytes) {
+            Ok(_) => panic!("corrupt snapshot must not load"),
+            Err(e) => e,
+        }
+    }
+
+    fn partitioned_fixture(seed: u64) -> (PartitionedSelNet, Workload) {
+        let ds = fasttext_like(&GeneratorConfig::new(400, 5, 3, seed));
+        let mut wcfg = WorkloadConfig::new(24, DistanceKind::Euclidean, seed ^ 1);
+        wcfg.thresholds_per_query = 8;
+        let w = generate_workload(&ds, &wcfg);
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 4;
+        let pcfg = PartitionConfig {
+            k: 3,
+            method: PartitionMethod::CoverTree { ratio: 0.1 },
+            pretrain_epochs: 2,
+            beta: 0.1,
+        };
+        let (model, _) = fit_partitioned(&ds, &w, &cfg, &pcfg);
+        (model, w)
+    }
+
+    #[test]
+    fn partitioned_snapshot_roundtrip_is_bit_identical() {
+        let (model, w) = partitioned_fixture(41);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = PartitionedSelNet::load(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.k(), model.k());
+        assert_eq!(loaded.name(), model.name());
+        assert_eq!(loaded.tmax(), model.tmax());
+        assert_eq!(loaded.reference_val_mae(), model.reference_val_mae());
+        assert_eq!(
+            loaded.partitioning().assignments(),
+            model.partitioning().assignments()
+        );
+        for q in &w.test {
+            assert_eq!(
+                loaded.estimate_many(&q.x, &q.thresholds),
+                model.estimate_many(&q.x, &q.thresholds),
+                "round-tripped predictions must be bit-identical"
+            );
+        }
+    }
+
+    /// Round-trip equivalence holds for every partitioning method,
+    /// including the all-ones-indicator Random case (empty region table).
+    #[test]
+    fn partitioned_snapshot_roundtrip_random_partitioning() {
+        let ds = fasttext_like(&GeneratorConfig::new(300, 4, 2, 47));
+        let mut wcfg = WorkloadConfig::new(16, DistanceKind::Euclidean, 48);
+        wcfg.thresholds_per_query = 6;
+        let w = generate_workload(&ds, &wcfg);
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 3;
+        let pcfg = PartitionConfig {
+            k: 2,
+            method: PartitionMethod::Random,
+            pretrain_epochs: 1,
+            beta: 0.1,
+        };
+        let (model, _) = fit_partitioned(&ds, &w, &cfg, &pcfg);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = PartitionedSelNet::load(&mut buf.as_slice()).unwrap();
+        let q = &w.test[0];
+        assert_eq!(
+            loaded.estimate_many(&q.x, &q.thresholds),
+            model.estimate_many(&q.x, &q.thresholds)
+        );
+    }
+
+    /// Every strict prefix of a valid snapshot must fail with a typed
+    /// error (UnexpectedEof or InvalidData), never a panic. This sweeps
+    /// all truncation points, so it also covers "stream ends inside the
+    /// magic / config / partitioning / parameter block".
+    #[test]
+    fn truncated_snapshot_returns_typed_error() {
+        let (model, _) = partitioned_fixture(43);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        // sweep a dense set of prefixes: every length up to 256, then a
+        // coarse stride through the (large) parameter block
+        let mut cuts: Vec<usize> = (0..buf.len().min(256)).collect();
+        cuts.extend((256..buf.len()).step_by(997));
+        for cut in cuts {
+            let err = load_err(&buf[..cut]);
+            assert!(
+                matches!(
+                    err.kind(),
+                    io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                ),
+                "cut at {cut}: unexpected error kind {:?}",
+                err.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_returns_typed_error() {
+        let (model, _) = partitioned_fixture(44);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        buf[0..8].copy_from_slice(b"SELNETXX");
+        let err = load_err(&buf);
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"), "got: {err}");
+        // a single-model stream is also rejected up front
+        let err = load_err(b"SELNETM1garbage");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn version_mismatch_returns_typed_error() {
+        let (model, _) = partitioned_fixture(45);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        buf[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = load_err(&buf);
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 99"), "got: {err}");
+    }
+
+    /// Random byte corruption anywhere in the stream must yield an error
+    /// or a loadable model — never a panic or abort.
+    #[test]
+    fn corrupt_bytes_never_panic() {
+        let (model, _) = partitioned_fixture(46);
+        let mut clean = Vec::new();
+        model.save(&mut clean).unwrap();
+        for (i, flip) in [(8usize, 0xffu8), (13, 0x80), (60, 0x41), (200, 0xff)] {
+            let mut buf = clean.clone();
+            if i < buf.len() {
+                buf[i] ^= flip;
+                let _ = PartitionedSelNet::load(&mut buf.as_slice());
+            }
+        }
     }
 }

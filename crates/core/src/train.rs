@@ -352,10 +352,12 @@ mod tests {
             }
         }
         let baseline = evaluate(&Const(mean_label), &w.test);
-        // The Huber-on-log loss optimizes *relative* error (§5.1), so the
-        // learned-signal check compares MAPE — a mean-label constant is the
-        // MSE-optimal constant and a tiny 15-epoch model need not beat it on
-        // the raw scale. MSE still gets a coarse sanity bound.
+        // The Huber-on-log loss optimizes *relative* error (§5.1), so MAPE
+        // is the primary learned-signal check. Since the PR-4
+        // hyperparameter pass (batch 96, 20 epochs, lr 4e-3) the tiny
+        // model also beats the mean-label constant on raw-scale MSE — a
+        // strictly harder bar, because that constant is the MSE-optimal
+        // constant predictor.
         assert!(
             metrics.mape < baseline.mape,
             "SelNet MAPE {} should beat constant {}",
@@ -363,8 +365,8 @@ mod tests {
             baseline.mape
         );
         assert!(
-            metrics.mse < 2.0 * baseline.mse,
-            "SelNet MSE {} should stay within 2x of constant {}",
+            metrics.mse < baseline.mse,
+            "SelNet MSE {} should beat the MSE-optimal constant {}",
             metrics.mse,
             baseline.mse
         );

@@ -8,7 +8,12 @@
 //! 2. otherwise continues training *from the current parameters* (not from
 //!    scratch, preventing catastrophic forgetting) with the full training
 //!    data until the validation MAE stops improving for 3 consecutive
-//!    epochs.
+//!    epochs — **with restore**: the pre-retrain parameters remain the
+//!    fallback, so if no retrained epoch beats them on the drifted
+//!    validation split the model keeps what it had. Incremental updates
+//!    can therefore never make the served model worse (a guarantee the
+//!    `selnet-serve` hot-swap path relies on: a published post-update
+//!    generation is at least as good as the one it replaces).
 //!
 //! Both variants run on the reused-arena training loops (`train_loop` /
 //! `run_training_phase`), so an incremental retrain pays no per-batch tape
@@ -54,7 +59,8 @@ pub enum UpdateDecision {
         /// Observed MAE drift.
         mae_drift: f64,
     },
-    /// Model was incrementally retrained.
+    /// Model was incrementally retrained (parameters kept only if they
+    /// beat the pre-retrain state on the drifted validation split).
     Retrained {
         /// Epochs actually run before early stop.
         epochs_run: usize,
@@ -90,9 +96,16 @@ impl SelNetModel {
             return UpdateDecision::Skipped { mae_drift: drift };
         }
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x0badf00d);
-        // continue from the current parameters with patience-based stopping
+        // Continue from the current parameters with patience-based
+        // stopping, *with restore*: the pre-retrain parameters (whose MAE
+        // on the drifted split is `fresh`) stay the fallback, so
+        // incremental training can never leave the model worse than it
+        // found it. With an empty split the starting point is
+        // unmeasurable, so selection falls back to training loss and the
+        // first epoch always adopts.
         let mut report = TrainReport::default();
-        let mut best = f64::MAX;
+        let mut best = if valid.is_empty() { f64::MAX } else { fresh };
+        let mut best_store = self.store.clone();
         let mut since = 0usize;
         let mut epochs_run = 0usize;
         self.reference_val_mae = f64::MAX;
@@ -106,6 +119,7 @@ impl SelNetModel {
             let selection = if valid.is_empty() { train_loss } else { mae };
             if selection < best {
                 best = selection;
+                best_store = self.store.clone();
                 report.best_epoch = epochs_run - 1;
                 since = 0;
             } else {
@@ -115,6 +129,7 @@ impl SelNetModel {
                 }
             }
         }
+        self.store = best_store;
         // only a real validation MAE may serve as the next drift reference
         self.reference_val_mae = if valid.is_empty() { f64::MAX } else { best };
         UpdateDecision::Retrained {
@@ -276,9 +291,11 @@ mod tests {
         let decision = model.check_and_update(&train, &valid, &policy);
         assert!(decision.retrained());
         let mae_after = crate::train::validation_mae(&model, &valid);
+        // structural since the restore semantics: the pre-retrain
+        // parameters are the fallback, so an update can never hurt
         assert!(
             mae_after <= mae_before,
-            "incremental training should not hurt: {mae_before} -> {mae_after}"
+            "incremental training must not hurt: {mae_before} -> {mae_after}"
         );
     }
 }

@@ -14,6 +14,29 @@ pub trait SelectivityEstimator {
         ts.iter().map(|&t| self.estimate(x, t)).collect()
     }
 
+    /// Estimates selectivities of many **distinct** queries at once:
+    /// query `i` is `(xs[i], ts[i])`.
+    ///
+    /// The default loops over [`SelectivityEstimator::estimate`]; batched
+    /// models (the partitioned SelNet) override this with one network
+    /// evaluation over all queries, which is what the serving engine's
+    /// request coalescing rides on.
+    fn estimate_batch(&self, xs: &[&[f32]], ts: &[f32]) -> Vec<f64> {
+        assert_eq!(xs.len(), ts.len(), "one threshold per query object");
+        xs.iter()
+            .zip(ts)
+            .map(|(x, &t)| self.estimate(x, t))
+            .collect()
+    }
+
+    /// The query dimensionality this estimator accepts, when it has a
+    /// fixed one. Serving layers use this to reject mis-shaped queries
+    /// *before* evaluation (the models themselves assert on dimension
+    /// mismatch, which must not be reachable from untrusted input).
+    fn query_dim(&self) -> Option<usize> {
+        None
+    }
+
     /// Model name used in result tables.
     fn name(&self) -> &str;
 
@@ -59,6 +82,14 @@ impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for Box<T> {
 
     fn estimate_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
         (**self).estimate_many(x, ts)
+    }
+
+    fn estimate_batch(&self, xs: &[&[f32]], ts: &[f32]) -> Vec<f64> {
+        (**self).estimate_batch(xs, ts)
+    }
+
+    fn query_dim(&self) -> Option<usize> {
+        (**self).query_dim()
     }
 
     fn name(&self) -> &str {

@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selnet_data::Dataset;
 use selnet_metric::{vectors, DistanceKind};
+use std::io::{self, Read, Write};
 
 /// Partitioning strategy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -199,6 +200,119 @@ impl Partitioning {
         sizes
     }
 
+    /// Serializes the partitioning (method, per-point assignments, and
+    /// ball regions) as a little-endian binary stream. The inverse of
+    /// [`Partitioning::load`]; embedded in whole-model snapshots by
+    /// `selnet-core`'s persistence layer.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        write_u64(w, self.k as u64)?;
+        w.write_all(&[match self.kind {
+            DistanceKind::Euclidean => 0u8,
+            DistanceKind::Cosine => 1u8,
+        }])?;
+        match self.method {
+            PartitionMethod::CoverTree { ratio } => {
+                w.write_all(&[0u8])?;
+                w.write_all(&ratio.to_le_bytes())?;
+            }
+            PartitionMethod::Random => w.write_all(&[1u8])?,
+            PartitionMethod::KMeans => w.write_all(&[2u8])?,
+        }
+        write_u64(w, self.assignments.len() as u64)?;
+        for &a in &self.assignments {
+            write_u64(w, a as u64)?;
+        }
+        write_u64(w, self.regions.len() as u64)?;
+        for cluster in &self.regions {
+            write_u64(w, cluster.len() as u64)?;
+            for region in cluster {
+                write_u64(w, region.center.len() as u64)?;
+                for &c in &region.center {
+                    w.write_all(&c.to_le_bytes())?;
+                }
+                w.write_all(&region.radius.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a partitioning written by [`Partitioning::save`].
+    ///
+    /// Returns a typed [`io::Error`] (never panics) on truncated input or
+    /// structurally invalid data: unknown distance/method tags, assignments
+    /// out of range, or a region table whose length matches neither `k`
+    /// (per-cluster regions) nor `0` (the all-ones indicator).
+    pub fn load(r: &mut impl Read) -> io::Result<Partitioning> {
+        let k = read_checked_len(r, MAX_PARTS, "partition count")?;
+        if k == 0 {
+            return Err(invalid("partition count must be positive"));
+        }
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let kind = match tag[0] {
+            0 => DistanceKind::Euclidean,
+            1 => DistanceKind::Cosine,
+            v => return Err(invalid(format!("bad distance tag {v}"))),
+        };
+        r.read_exact(&mut tag)?;
+        let method = match tag[0] {
+            0 => {
+                let mut b = [0u8; 8];
+                r.read_exact(&mut b)?;
+                let ratio = f64::from_le_bytes(b);
+                if !ratio.is_finite() {
+                    return Err(invalid("non-finite cover-tree ratio"));
+                }
+                PartitionMethod::CoverTree { ratio }
+            }
+            1 => PartitionMethod::Random,
+            2 => PartitionMethod::KMeans,
+            v => return Err(invalid(format!("bad method tag {v}"))),
+        };
+        let n = read_checked_len(r, MAX_POINTS, "assignment count")?;
+        let mut assignments = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let a = read_u64(r)? as usize;
+            if a >= k {
+                return Err(invalid(format!("assignment {a} out of range for k={k}")));
+            }
+            assignments.push(a);
+        }
+        let clusters = read_checked_len(r, MAX_PARTS, "region cluster count")?;
+        if clusters != 0 && clusters != k {
+            return Err(invalid(format!(
+                "region table has {clusters} clusters, expected {k} or 0"
+            )));
+        }
+        let mut regions = Vec::with_capacity(clusters.min(1 << 12));
+        for _ in 0..clusters {
+            let m = read_checked_len(r, MAX_POINTS, "region count")?;
+            let mut cluster = Vec::with_capacity(m.min(1 << 12));
+            for _ in 0..m {
+                let dim = read_checked_len(r, MAX_DIM, "region dimension")?;
+                let mut center = vec![0.0f32; dim];
+                let mut b = [0u8; 4];
+                for c in &mut center {
+                    r.read_exact(&mut b)?;
+                    *c = f32::from_le_bytes(b);
+                }
+                r.read_exact(&mut b)?;
+                cluster.push(BallRegion {
+                    center,
+                    radius: f32::from_le_bytes(b),
+                });
+            }
+            regions.push(cluster);
+        }
+        Ok(Partitioning {
+            k,
+            kind,
+            method,
+            assignments,
+            regions,
+        })
+    }
+
     /// The intersection indicator `f_c(x, t)`: `true` for every cluster the
     /// query ball could intersect. Always all-true for random partitioning.
     pub fn indicator(&self, x: &[f32], t: f32) -> Vec<bool> {
@@ -223,6 +337,34 @@ impl Partitioning {
             })
             .collect()
     }
+}
+
+/// Size caps that keep `load` from allocating absurd buffers for a
+/// corrupted length field; generous next to anything this workspace builds.
+const MAX_PARTS: usize = 1 << 20;
+const MAX_POINTS: usize = 1 << 31;
+const MAX_DIM: usize = 1 << 20;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_checked_len(r: &mut impl Read, max: usize, what: &str) -> io::Result<usize> {
+    let v = read_u64(r)?;
+    if v > max as u64 {
+        return Err(invalid(format!("implausible {what}: {v}")));
+    }
+    Ok(v as usize)
 }
 
 #[cfg(test)]

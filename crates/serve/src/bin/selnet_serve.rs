@@ -1,0 +1,291 @@
+//! The `selnet-serve` binary: loads a `SELNETP1` snapshot and serves it
+//! over TCP (binary protocol) or stdin (text protocol), plus the small
+//! train/replay/check subcommands the CI smoke pipeline is built from.
+//!
+//! ```text
+//! selnet-serve train-tiny --out snap.selnet --replay-out queries.txt
+//! selnet-serve serve --snapshot snap.selnet --stdin < queries.txt
+//! selnet-serve serve --snapshot snap.selnet --addr 127.0.0.1:7878
+//! selnet-serve check-monotone --expect non-increasing < responses.txt
+//! ```
+
+use selnet_core::{fit_partitioned, PartitionConfig, PartitionedSelNet, SelNetConfig};
+use selnet_data::generators::{fasttext_like, GeneratorConfig};
+use selnet_metric::DistanceKind;
+use selnet_serve::engine::{Engine, EngineConfig};
+use selnet_serve::registry::ModelRegistry;
+use selnet_serve::server;
+use selnet_workload::{generate_workload, WorkloadConfig};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+const USAGE: &str = "usage:
+  selnet-serve train-tiny --out SNAPSHOT [--replay-out FILE] [--replay-count N]
+                          [--n N] [--dim D] [--queries Q] [--epochs E]
+                          [--seed S] [--thresholds M] [--order desc|asc]
+  selnet-serve serve --snapshot SNAPSHOT (--stdin | --addr HOST:PORT)
+                     [--workers N] [--shards N] [--batch ROWS] [--cache ENTRIES]
+  selnet-serve check-monotone [--expect non-increasing|non-decreasing]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train-tiny") => cmd_train_tiny(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("check-monotone") => cmd_check_monotone(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("selnet-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tiny positional-free flag parser: every option is `--key value` except
+/// boolean flags, which are listed in `flags`.
+struct Options {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String], flag_names: &[&str]) -> Result<Options, String> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {arg:?}"))?;
+            if flag_names.contains(&key) {
+                flags.push(key.to_string());
+            } else {
+                let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                pairs.push((key.to_string(), value.clone()));
+            }
+        }
+        Ok(Options { pairs, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
+        }
+    }
+}
+
+fn cmd_train_tiny(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let out = opts.get("out").ok_or("train-tiny needs --out")?;
+    let n: usize = opts.num("n", 600)?;
+    let dim: usize = opts.num("dim", 5)?;
+    let queries: usize = opts.num("queries", 24)?;
+    let epochs: usize = opts.num("epochs", 6)?;
+    let seed: u64 = opts.num("seed", 17)?;
+    let replay_count: usize = opts.num("replay-count", 100)?;
+    let thresholds: usize = opts.num("thresholds", 8)?;
+    let descending = match opts.get("order").unwrap_or("desc") {
+        "desc" => true,
+        "asc" => false,
+        v => return Err(format!("bad --order {v:?} (desc|asc)")),
+    };
+
+    eprintln!("training tiny partitioned SelNet (n={n}, dim={dim}, epochs={epochs})...");
+    let ds = fasttext_like(&GeneratorConfig::new(n, dim, 3, seed));
+    let mut wcfg = WorkloadConfig::new(queries, DistanceKind::Euclidean, seed ^ 1);
+    wcfg.thresholds_per_query = 8;
+    let workload = generate_workload(&ds, &wcfg);
+    let mut cfg = SelNetConfig::tiny();
+    cfg.epochs = epochs;
+    cfg.seed = seed;
+    let pcfg = PartitionConfig {
+        k: 3,
+        pretrain_epochs: (epochs / 3).max(1),
+        ..Default::default()
+    };
+    let (model, report) = fit_partitioned(&ds, &workload, &cfg, &pcfg);
+    eprintln!(
+        "trained: k={}, best val MAE {:.3}",
+        model.k(),
+        report.epoch_val_mae[report.best_epoch]
+    );
+
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    model
+        .save(&mut w)
+        .map_err(|e| format!("write {out}: {e}"))?;
+    w.flush().map_err(|e| format!("flush {out}: {e}"))?;
+    eprintln!("snapshot written to {out}");
+
+    if let Some(replay) = opts.get("replay-out") {
+        let file = std::fs::File::create(replay).map_err(|e| format!("create {replay}: {e}"))?;
+        let mut w = BufWriter::new(file);
+        write_replay(
+            &mut w,
+            &ds,
+            model.tmax(),
+            replay_count,
+            thresholds,
+            descending,
+        )
+        .map_err(|e| format!("write {replay}: {e}"))?;
+        eprintln!(
+            "{replay_count} replay queries written to {replay} ({} thresholds each, {})",
+            thresholds,
+            if descending {
+                "descending"
+            } else {
+                "ascending"
+            }
+        );
+    }
+    Ok(())
+}
+
+/// Emits `count` text-protocol lines: database rows as query objects with
+/// an evenly spaced threshold grid over `(0, 1.1 * tmax]`. Descending
+/// grids make each *response* line monotone non-increasing — what the CI
+/// checker asserts.
+fn write_replay(
+    w: &mut impl Write,
+    ds: &selnet_data::Dataset,
+    tmax: f32,
+    count: usize,
+    thresholds: usize,
+    descending: bool,
+) -> io::Result<()> {
+    writeln!(
+        w,
+        "# selnet-serve replay: {count} queries, {thresholds} thresholds, tmax {tmax}"
+    )?;
+    for i in 0..count {
+        let row = ds.row(i % ds.len());
+        let mut grid: Vec<f32> = (1..=thresholds)
+            .map(|j| tmax * 1.1 * j as f32 / thresholds as f32)
+            .collect();
+        if descending {
+            grid.reverse();
+        }
+        let q = selnet_serve::protocol::TextQuery {
+            x: row.to_vec(),
+            ts: grid,
+        };
+        writeln!(w, "{}", q.render())?;
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["stdin"])?;
+    let snapshot = opts.get("snapshot").ok_or("serve needs --snapshot")?;
+    let cfg = EngineConfig {
+        workers: opts.num("workers", 0)?,
+        shards: opts.num("shards", 0)?,
+        max_batch_rows: opts.num("batch", 64)?,
+        cache_entries: opts.num("cache", 256)?,
+    };
+
+    let file = std::fs::File::open(snapshot).map_err(|e| format!("open {snapshot}: {e}"))?;
+    let mut reader = io::BufReader::new(file);
+    let model =
+        PartitionedSelNet::load(&mut reader).map_err(|e| format!("load {snapshot}: {e}"))?;
+    eprintln!(
+        "loaded snapshot {snapshot}: {} partitions, tmax {:.3}",
+        model.k(),
+        model.tmax()
+    );
+    let registry = Arc::new(ModelRegistry::new(model));
+    let engine = Engine::start(registry, &cfg);
+
+    if opts.flag("stdin") {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        let mut out = BufWriter::new(stdout.lock());
+        let served = server::serve_lines(&engine, &mut stdin.lock(), &mut out)
+            .map_err(|e| format!("stdin serving failed: {e}"))?;
+        let snap = engine.stats().snapshot();
+        eprintln!("served {served} queries; {snap}");
+        engine.shutdown();
+        Ok(())
+    } else {
+        let addr = opts.get("addr").unwrap_or("127.0.0.1:7878");
+        let listener =
+            std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        eprintln!("serving binary protocol on {addr} (send a stats frame for counters)");
+        let stop = Arc::new(AtomicBool::new(false));
+        server::serve_tcp(engine, listener, stop).map_err(|e| format!("serve failed: {e}"))
+    }
+}
+
+fn cmd_check_monotone(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let expect = opts.get("expect").unwrap_or("non-increasing");
+    let non_increasing = match expect {
+        "non-increasing" => true,
+        "non-decreasing" => false,
+        v => return Err(format!("bad --expect {v:?}")),
+    };
+    let stdin = io::stdin();
+    let mut lines = 0u64;
+    for (lineno, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| format!("read stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let values: Vec<f64> = trimmed
+            .split_whitespace()
+            .map(|tok| {
+                tok.parse::<f64>()
+                    .map_err(|e| format!("line {}: bad value {tok:?}: {e}", lineno + 1))
+            })
+            .collect::<Result<_, _>>()?;
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(format!("line {}: non-finite estimate", lineno + 1));
+        }
+        for pair in values.windows(2) {
+            let ok = if non_increasing {
+                pair[1] <= pair[0]
+            } else {
+                pair[1] >= pair[0]
+            };
+            if !ok {
+                return Err(format!(
+                    "line {}: response not {expect}: {} then {}",
+                    lineno + 1,
+                    pair[0],
+                    pair[1]
+                ));
+            }
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("no response lines on stdin".into());
+    }
+    println!("OK: {lines} response streams are monotone {expect} in t");
+    Ok(())
+}

@@ -1,0 +1,527 @@
+//! The batched inference engine: a sharded request queue drained by
+//! worker threads that coalesce concurrent queries into single batched
+//! tape evaluations.
+//!
+//! ## Request lifecycle
+//!
+//! 1. [`Engine::submit`] round-robins the request onto a queue shard and
+//!    wakes a worker;
+//! 2. a worker drains up to `max_batch_rows` `(x, t)` rows from its home
+//!    shard (stealing from other shards when idle), **never splitting a
+//!    request across batches**;
+//! 3. the worker binds the current model generation once, answers cache
+//!    hits, flattens the misses into one
+//!    [`estimate_batch`](selnet_eval::SelectivityEstimator::estimate_batch)
+//!    call on the pooled arena tape, scatters the rows back per request,
+//!    fills the LRU cache, and replies.
+//!
+//! Because the batched forward is bit-identical per row to single-query
+//! evaluation, coalescing never changes an answer — any interleaving of
+//! client threads yields exactly the results of a sequential
+//! `estimate_many` (pinned by the `engine_concurrency` stress test). And
+//! because a request is answered entirely by the one generation its batch
+//! bound (the cache is generation-keyed too), a hot swap can never tear a
+//! response.
+
+use crate::cache::{LruCache, QueryKey};
+use crate::registry::ModelRegistry;
+use crate::stats::ServeStats;
+use selnet_eval::SelectivityEstimator;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine knobs. `..Default::default()` gives a sensible server: one
+/// worker per configured tensor thread, one shard per worker, batches of
+/// 64 rows, 256 cached responses per shard.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue (`0` = the tensor dispatcher's
+    /// configured thread count, see `selnet_tensor::parallel`).
+    pub workers: usize,
+    /// Queue shards (`0` = one per worker). More shards cut submit-side
+    /// contention; workers steal across shards so no request starves.
+    pub shards: usize,
+    /// Maximum `(x, t)` rows coalesced into one batched evaluation. A
+    /// single request larger than this still runs (alone, unsplit).
+    pub max_batch_rows: usize,
+    /// LRU entries per cache shard (`0` disables response caching).
+    pub cache_entries: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            shards: 0,
+            max_batch_rows: 64,
+            cache_entries: 256,
+        }
+    }
+}
+
+/// Why [`Engine::submit`] refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The engine has been shut down.
+    ShutDown,
+    /// The query vector's length does not match the model's dimension.
+    DimensionMismatch {
+        /// The dimension the served model expects.
+        expected: usize,
+        /// The dimension the request carried.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShutDown => write!(f, "engine is shut down"),
+            SubmitError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "query dimension mismatch: model expects {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Request {
+    x: Vec<f32>,
+    ts: Vec<f32>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Vec<f64>>,
+}
+
+struct Shard {
+    queue: Mutex<VecDeque<Request>>,
+    signal: Condvar,
+}
+
+/// The serving engine. Create with [`Engine::start`]; submit work with
+/// [`Engine::submit`] / [`Engine::estimate_many`]; stop with
+/// [`Engine::shutdown`] (queued requests are drained first).
+pub struct Engine<M> {
+    registry: Arc<ModelRegistry<M>>,
+    shards: Vec<Shard>,
+    caches: Vec<Mutex<LruCache>>,
+    stats: Arc<ServeStats>,
+    max_batch_rows: usize,
+    next_shard: AtomicUsize,
+    stop: AtomicBool,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<M> Engine<M>
+where
+    M: SelectivityEstimator + Send + Sync + 'static,
+{
+    /// Spawns the worker threads and returns the running engine.
+    pub fn start(registry: Arc<ModelRegistry<M>>, cfg: &EngineConfig) -> Arc<Engine<M>> {
+        let workers = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            selnet_tensor::parallel::configured_threads()
+        }
+        .max(1);
+        let nshards = if cfg.shards > 0 { cfg.shards } else { workers }.max(1);
+        let shards = (0..nshards)
+            .map(|_| Shard {
+                queue: Mutex::new(VecDeque::new()),
+                signal: Condvar::new(),
+            })
+            .collect();
+        let caches = (0..nshards)
+            .map(|_| Mutex::new(LruCache::new(cfg.cache_entries)))
+            .collect();
+        let engine = Arc::new(Engine {
+            registry,
+            shards,
+            caches,
+            stats: Arc::new(ServeStats::new()),
+            max_batch_rows: cfg.max_batch_rows.max(1),
+            next_shard: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let eng = Arc::clone(&engine);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("selnet-serve-{w}"))
+                    .spawn(move || eng.worker_loop(w))
+                    .expect("spawn worker"),
+            );
+        }
+        *engine.workers.lock().expect("worker list poisoned") = handles;
+        engine
+    }
+
+    /// Enqueues one query object with its threshold grid; the receiver
+    /// yields the estimates (one per threshold, in order).
+    ///
+    /// The query dimension is validated against the model *before*
+    /// enqueueing (when the model declares one via
+    /// [`SelectivityEstimator::query_dim`]): the estimators assert on
+    /// mis-shaped input, and a panicking worker must never be reachable
+    /// from untrusted wire bytes.
+    pub fn submit(
+        &self,
+        x: Vec<f32>,
+        ts: Vec<f32>,
+    ) -> Result<mpsc::Receiver<Vec<f64>>, SubmitError> {
+        if let Some(expected) = self.registry.current().1.query_dim() {
+            if x.len() != expected {
+                return Err(SubmitError::DimensionMismatch {
+                    expected,
+                    got: x.len(),
+                });
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let req = Request {
+            x,
+            ts,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        {
+            // the stop re-check happens under the queue lock: a worker's
+            // exit decision (stop && queue empty) takes the same lock, so
+            // a request pushed here is guaranteed to be drained
+            let mut q = self.shards[shard]
+                .queue
+                .lock()
+                .expect("queue lock poisoned");
+            if self.stop.load(Ordering::SeqCst) {
+                return Err(SubmitError::ShutDown);
+            }
+            q.push_back(req);
+        }
+        self.shards[shard].signal.notify_one();
+        Ok(rx)
+    }
+
+    /// Blocking convenience wrapper around [`Engine::submit`].
+    ///
+    /// # Panics
+    /// Panics if the engine has been shut down or the query is mis-shaped
+    /// (use [`Engine::submit`] to handle those as errors).
+    pub fn estimate_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
+        self.submit(x.to_vec(), ts.to_vec())
+            .expect("submit failed")
+            .recv()
+            .expect("engine stopped while serving")
+    }
+
+    /// The engine's telemetry.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The registry this engine serves from (for hot swaps).
+    pub fn registry(&self) -> &Arc<ModelRegistry<M>> {
+        &self.registry
+    }
+
+    /// Stops accepting new requests, drains everything already queued,
+    /// and joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for s in &self.shards {
+            s.signal.notify_all();
+        }
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+        // Belt and braces: the under-lock stop check in `submit` means no
+        // request can land after the workers exit, but if that invariant
+        // ever broke, dropping the stragglers (and their reply senders)
+        // turns a would-be infinite `recv()` hang into a recv error.
+        for s in &self.shards {
+            s.queue.lock().expect("queue lock poisoned").clear();
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>, worker: usize) {
+        let home = worker % self.shards.len();
+        loop {
+            match self.collect_batch(home) {
+                Some(batch) => self.serve_batch(batch),
+                None => {
+                    if self.stop.load(Ordering::SeqCst) && self.all_queues_empty() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn all_queues_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.queue.lock().expect("queue lock poisoned").is_empty())
+    }
+
+    /// Pops up to `max_batch_rows` rows of requests, preferring the home
+    /// shard and stealing from the others, without ever splitting one
+    /// request across batches. Returns `None` after an idle wait so the
+    /// caller can re-check for shutdown.
+    fn collect_batch(&self, home: usize) -> Option<Vec<Request>> {
+        let n = self.shards.len();
+        for offset in 0..n {
+            let shard = &self.shards[(home + offset) % n];
+            let mut q = shard.queue.lock().expect("queue lock poisoned");
+            if let Some(batch) = Self::drain_requests(&mut q, self.max_batch_rows) {
+                return Some(batch);
+            }
+        }
+        // nothing anywhere: park briefly on the home shard
+        let shard = &self.shards[home];
+        let q = shard.queue.lock().expect("queue lock poisoned");
+        let (mut q, _) = shard
+            .signal
+            .wait_timeout(q, Duration::from_millis(5))
+            .expect("queue lock poisoned");
+        Self::drain_requests(&mut q, self.max_batch_rows)
+    }
+
+    fn drain_requests(q: &mut VecDeque<Request>, max_rows: usize) -> Option<Vec<Request>> {
+        if q.is_empty() {
+            return None;
+        }
+        let mut batch = Vec::new();
+        let mut rows = 0usize;
+        while let Some(front) = q.front() {
+            let r = front.ts.len().max(1);
+            if !batch.is_empty() && rows + r > max_rows {
+                break;
+            }
+            rows += r;
+            batch.push(q.pop_front().expect("front exists"));
+            if rows >= max_rows {
+                break;
+            }
+        }
+        Some(batch)
+    }
+
+    fn cache_shard(&self, key: &QueryKey) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.caches.len()
+    }
+
+    /// Answers a batch of requests from **one** model generation: cache
+    /// hits first, then a single coalesced `estimate_batch` over every
+    /// remaining `(x, t)` row.
+    fn serve_batch(&self, requests: Vec<Request>) {
+        let (generation, model) = self.registry.current();
+        let mut pending: Vec<(Request, QueryKey)> = Vec::with_capacity(requests.len());
+        for req in requests {
+            let key = QueryKey::new(generation, &req.x, &req.ts);
+            let cached = self.caches[self.cache_shard(&key)]
+                .lock()
+                .expect("cache lock poisoned")
+                .get(&key);
+            match cached {
+                Some(values) => {
+                    self.stats.record_cache_hit();
+                    self.finish(req, values);
+                }
+                None => pending.push((req, key)),
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let total_rows: usize = pending.iter().map(|(r, _)| r.ts.len()).sum();
+        let mut xs: Vec<&[f32]> = Vec::with_capacity(total_rows);
+        let mut ts: Vec<f32> = Vec::with_capacity(total_rows);
+        for (req, _) in &pending {
+            for &t in &req.ts {
+                xs.push(&req.x);
+                ts.push(t);
+            }
+        }
+        let flat = model.estimate_batch(&xs, &ts);
+        self.stats.record_batch();
+        let mut offset = 0usize;
+        for (req, key) in pending {
+            let m = req.ts.len();
+            let values = flat[offset..offset + m].to_vec();
+            offset += m;
+            self.caches[self.cache_shard(&key)]
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(key, values.clone());
+            self.finish(req, values);
+        }
+    }
+
+    fn finish(&self, req: Request, values: Vec<f64>) {
+        let latency_us = req.enqueued.elapsed().as_micros() as u64;
+        self.stats.record_request(req.ts.len() as u64, latency_us);
+        // the client may have dropped its receiver; that's its business
+        let _ = req.reply.send(values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic estimator: `scale * t`, ignoring `x` except for its
+    /// first coordinate which is added in — enough to distinguish both
+    /// queries and models.
+    struct Affine {
+        scale: f64,
+    }
+
+    impl SelectivityEstimator for Affine {
+        fn estimate(&self, x: &[f32], t: f32) -> f64 {
+            self.scale * t as f64 + x[0] as f64
+        }
+        fn name(&self) -> &str {
+            "affine"
+        }
+    }
+
+    fn engine(scale: f64, cfg: &EngineConfig) -> Arc<Engine<Affine>> {
+        Engine::start(Arc::new(ModelRegistry::new(Affine { scale })), cfg)
+    }
+
+    #[test]
+    fn answers_match_direct_evaluation() {
+        let eng = engine(
+            3.0,
+            &EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let got = eng.estimate_many(&[1.0, 0.0], &[0.5, 1.0, 2.0]);
+        assert_eq!(got, vec![2.5, 4.0, 7.0]);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests_then_rejects() {
+        let eng = engine(
+            1.0,
+            &EngineConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let receivers: Vec<_> = (0..32)
+            .map(|i| {
+                eng.submit(vec![i as f32], vec![1.0])
+                    .expect("engine running")
+            })
+            .collect();
+        eng.shutdown();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            assert_eq!(rx.recv().expect("drained"), vec![1.0 + i as f64]);
+        }
+        assert_eq!(
+            eng.submit(vec![0.0], vec![1.0]).err(),
+            Some(SubmitError::ShutDown)
+        );
+        eng.shutdown(); // idempotent
+    }
+
+    /// A model that declares its dimension: mis-shaped queries must be
+    /// rejected before they can reach (and panic) a worker.
+    struct FixedDim;
+    impl SelectivityEstimator for FixedDim {
+        fn estimate(&self, x: &[f32], t: f32) -> f64 {
+            x.iter().sum::<f32>() as f64 + t as f64
+        }
+        fn query_dim(&self) -> Option<usize> {
+            Some(3)
+        }
+        fn name(&self) -> &str {
+            "fixed-dim"
+        }
+    }
+
+    #[test]
+    fn mis_shaped_query_is_rejected_before_evaluation() {
+        let eng = Engine::start(
+            Arc::new(ModelRegistry::new(FixedDim)),
+            &EngineConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            eng.submit(vec![0.0; 2], vec![1.0]).err(),
+            Some(SubmitError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            })
+        );
+        // the engine is still healthy and serves well-shaped queries
+        assert_eq!(eng.estimate_many(&[1.0, 2.0, 3.0], &[1.0]), vec![7.0]);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn empty_threshold_grid_yields_empty_response() {
+        let eng = engine(1.0, &EngineConfig::default());
+        assert_eq!(eng.estimate_many(&[0.0], &[]), Vec::<f64>::new());
+        eng.shutdown();
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_invalidates_on_swap() {
+        let eng = engine(
+            2.0,
+            &EngineConfig {
+                workers: 1,
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        let a = eng.estimate_many(&[0.5], &[1.0]);
+        let b = eng.estimate_many(&[0.5], &[1.0]);
+        assert_eq!(a, b);
+        assert!(
+            eng.stats().snapshot().cache_hits >= 1,
+            "second identical request should hit the cache"
+        );
+        // swap the model: same query must now be recomputed (new answer)
+        eng.registry().publish(Affine { scale: 10.0 });
+        let c = eng.estimate_many(&[0.5], &[1.0]);
+        assert_eq!(c, vec![10.5]);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_is_served_unsplit() {
+        let eng = engine(
+            1.0,
+            &EngineConfig {
+                workers: 1,
+                max_batch_rows: 4,
+                ..Default::default()
+            },
+        );
+        let ts: Vec<f32> = (0..17).map(|i| i as f32).collect();
+        let got = eng.estimate_many(&[0.0], &ts);
+        assert_eq!(got.len(), 17);
+        assert_eq!(got[16], 16.0);
+        eng.shutdown();
+    }
+}

@@ -1,0 +1,55 @@
+//! # selnet-serve
+//!
+//! The online-serving subsystem: everything between a trained
+//! [`PartitionedSelNet`](selnet_core::PartitionedSelNet) and a query
+//! optimizer that needs selectivity estimates *now*, under concurrency,
+//! while §5.4 drift-triggered retraining runs in the background.
+//!
+//! The subsystem is four layers, each usable on its own:
+//!
+//! * [`registry`] — a generation-counted model registry with atomic hot
+//!   swap: readers grab an `Arc` snapshot, a publisher replaces it without
+//!   blocking in-flight requests;
+//! * [`engine`] — a sharded, multi-threaded request queue that coalesces
+//!   concurrent `(x, t)` queries into **batched** tape evaluations
+//!   (`estimate_batch`, bit-identical to per-query evaluation) with a
+//!   small per-shard LRU [`cache`] for repeated query objects;
+//! * [`protocol`] — the length-prefixed binary wire format and the
+//!   line-oriented text format spoken by the `selnet-serve` binary over
+//!   TCP and stdin respectively;
+//! * [`stats`] — latency (p50/p99) and throughput counters.
+//!
+//! Model snapshots travel as `SELNETP1` streams (see
+//! `selnet_core::persist`): `selnet-serve train-tiny` writes one, the
+//! server loads it, and a background
+//! [`spawn_check_and_update`](registry::ModelRegistry::spawn_update)
+//! retrain publishes a fresh generation while the old one keeps serving.
+//!
+//! ## Consistency guarantees
+//!
+//! * Every request is answered by exactly **one** model generation: a
+//!   batch binds the registry snapshot once, a request is never split
+//!   across batches, and the cache is keyed by generation. A hot swap
+//!   mid-traffic therefore can never produce a response that mixes two
+//!   models — every response is monotone in `t` (Lemma 1) no matter when
+//!   the swap lands.
+//! * Batching never changes an answer: the batched forward is bit-identical
+//!   per row to single-query evaluation (pinned by
+//!   `predict_batch_matches_predict_many` in `selnet-core`), so results
+//!   under any concurrency are bit-identical to a sequential
+//!   `estimate_many` over the same generation.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use cache::LruCache;
+pub use engine::{Engine, EngineConfig, SubmitError};
+pub use protocol::{Frame, TextQuery};
+pub use registry::{ModelRegistry, UpdateHandle};
+pub use stats::{ServeStats, StatsSnapshot};

@@ -1,0 +1,345 @@
+//! The `selnet-serve` wire formats.
+//!
+//! ## Binary protocol (TCP)
+//!
+//! Little-endian, length-prefixed frames; one request, one response, in
+//! order, per connection (pipelining is allowed — the server answers in
+//! arrival order).
+//!
+//! ```text
+//! request  := u32 payload_len | payload
+//! payload  := u32 dim | dim x f32 query | u32 m | m x f32 thresholds
+//! response := u32 payload_len | u32 m | m x f64 estimates
+//! ```
+//!
+//! A request with `dim == 0xFFFF_FFFF` (and no further payload) asks for
+//! server statistics; the response payload is `u32 0xFFFF_FFFF` followed
+//! by `u32 len | len` bytes of UTF-8 counter text.
+//!
+//! ## Text protocol (stdin mode, used by CI)
+//!
+//! One query per line: the query vector, a `|` separator, then the
+//! threshold grid; response is one line of estimates. Blank lines and
+//! `#` comments are ignored.
+//!
+//! ```text
+//! 0.12 -0.3 0.5 | 2.0 1.5 1.0 0.5
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (16 MiB) — a corrupt or hostile length
+/// prefix must not trigger an absurd allocation.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Sentinel `dim` requesting a statistics report instead of an estimate.
+pub const STATS_SENTINEL: u32 = u32::MAX;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// One parsed request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// An estimation request: query object + threshold grid.
+    Query {
+        /// The query vector `x`.
+        x: Vec<f32>,
+        /// The thresholds to estimate at, in the client's order.
+        ts: Vec<f32>,
+    },
+    /// A statistics request.
+    Stats,
+}
+
+impl Frame {
+    /// Writes this request as a binary frame.
+    pub fn write(&self, w: &mut impl Write) -> io::Result<()> {
+        match self {
+            Frame::Stats => {
+                w.write_all(&4u32.to_le_bytes())?;
+                w.write_all(&STATS_SENTINEL.to_le_bytes())
+            }
+            Frame::Query { x, ts } => {
+                let payload_len = 4 + 4 * x.len() + 4 + 4 * ts.len();
+                w.write_all(&(payload_len as u32).to_le_bytes())?;
+                w.write_all(&(x.len() as u32).to_le_bytes())?;
+                for &v in x {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+                w.write_all(&(ts.len() as u32).to_le_bytes())?;
+                for &v in ts {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads one binary request frame. `Ok(None)` means the peer closed
+    /// the connection cleanly (EOF before any frame byte); EOF *inside* a
+    /// frame — even inside the length prefix — is `UnexpectedEof`.
+    pub fn read(r: &mut impl Read) -> io::Result<Option<Frame>> {
+        let mut len_buf = [0u8; 4];
+        if !read_exact_or_clean_eof(r, &mut len_buf)? {
+            return Ok(None);
+        }
+        let payload_len = u32::from_le_bytes(len_buf);
+        if payload_len > MAX_FRAME_LEN {
+            return Err(invalid(format!("frame length {payload_len} exceeds cap")));
+        }
+        if payload_len < 4 {
+            return Err(invalid("frame too short for a dimension field"));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        r.read_exact(&mut payload)?;
+        let mut p = payload.as_slice();
+        let dim = read_u32(&mut p)?;
+        if dim == STATS_SENTINEL {
+            return Ok(Some(Frame::Stats));
+        }
+        let x = read_f32s(&mut p, dim, "query")?;
+        let m = read_u32(&mut p)?;
+        let ts = read_f32s(&mut p, m, "threshold grid")?;
+        if !p.is_empty() {
+            return Err(invalid("trailing bytes in request frame"));
+        }
+        Ok(Some(Frame::Query { x, ts }))
+    }
+}
+
+/// Fills `buf` completely, returning `Ok(false)` only when EOF arrived
+/// before the *first* byte (a clean close). A partial fill is
+/// `UnexpectedEof` — unlike `read_exact`, which can't tell the two apart.
+fn read_exact_or_clean_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn read_f32s(p: &mut &[u8], count: u32, what: &str) -> io::Result<Vec<f32>> {
+    if (p.len() as u64) < count as u64 * 4 {
+        return Err(invalid(format!("{what} truncated: {count} floats claimed")));
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let mut b = [0u8; 4];
+        p.read_exact(&mut b)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+/// Writes an estimate response frame.
+pub fn write_response(w: &mut impl Write, estimates: &[f64]) -> io::Result<()> {
+    let payload_len = 4 + 8 * estimates.len();
+    w.write_all(&(payload_len as u32).to_le_bytes())?;
+    w.write_all(&(estimates.len() as u32).to_le_bytes())?;
+    for &v in estimates {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes a statistics response frame (UTF-8 counter text).
+pub fn write_stats_response(w: &mut impl Write, text: &str) -> io::Result<()> {
+    let bytes = text.as_bytes();
+    let payload_len = 4 + 4 + bytes.len();
+    w.write_all(&(payload_len as u32).to_le_bytes())?;
+    w.write_all(&STATS_SENTINEL.to_le_bytes())?;
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)
+}
+
+/// A parsed response frame: estimates or a statistics report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Estimates, one per requested threshold, in request order.
+    Estimates(Vec<f64>),
+    /// Counter text from a [`Frame::Stats`] request.
+    Stats(String),
+}
+
+/// Reads one response frame (client side). `Ok(None)` on clean EOF.
+pub fn read_response(r: &mut impl Read) -> io::Result<Option<Response>> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_clean_eof(r, &mut len_buf)? {
+        return Ok(None);
+    }
+    let payload_len = u32::from_le_bytes(len_buf);
+    if payload_len > MAX_FRAME_LEN {
+        return Err(invalid(format!("frame length {payload_len} exceeds cap")));
+    }
+    if payload_len < 4 {
+        return Err(invalid("response frame too short"));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact(&mut payload)?;
+    let mut p = payload.as_slice();
+    let m = read_u32(&mut p)?;
+    if m == STATS_SENTINEL {
+        let len = read_u32(&mut p)? as usize;
+        if p.len() != len {
+            return Err(invalid("stats text length mismatch"));
+        }
+        let text = String::from_utf8(p.to_vec()).map_err(|_| invalid("stats text not utf8"))?;
+        return Ok(Some(Response::Stats(text)));
+    }
+    if (p.len() as u64) != m as u64 * 8 {
+        return Err(invalid("estimate payload length mismatch"));
+    }
+    let mut out = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let mut b = [0u8; 8];
+        p.read_exact(&mut b)?;
+        out.push(f64::from_le_bytes(b));
+    }
+    Ok(Some(Response::Estimates(out)))
+}
+
+/// One parsed line of the text protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TextQuery {
+    /// The query vector.
+    pub x: Vec<f32>,
+    /// The threshold grid.
+    pub ts: Vec<f32>,
+}
+
+impl TextQuery {
+    /// Parses a `x... | t...` line. Returns `Ok(None)` for blank lines and
+    /// `#` comments.
+    pub fn parse(line: &str) -> Result<Option<TextQuery>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let (xs, ts) = line
+            .split_once('|')
+            .ok_or_else(|| format!("missing '|' separator in {line:?}"))?;
+        let parse_floats = |s: &str, what: &str| -> Result<Vec<f32>, String> {
+            s.split_whitespace()
+                .map(|tok| {
+                    tok.parse::<f32>()
+                        .map_err(|e| format!("bad {what} value {tok:?}: {e}"))
+                })
+                .collect()
+        };
+        let x = parse_floats(xs, "query")?;
+        let ts = parse_floats(ts, "threshold")?;
+        if x.is_empty() {
+            return Err("empty query vector".into());
+        }
+        Ok(Some(TextQuery { x, ts }))
+    }
+
+    /// Renders this query as a text-protocol line.
+    pub fn render(&self) -> String {
+        let xs: Vec<String> = self.x.iter().map(|v| v.to_string()).collect();
+        let ts: Vec<String> = self.ts.iter().map(|v| v.to_string()).collect();
+        format!("{} | {}", xs.join(" "), ts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_roundtrip_query_and_response() {
+        let frame = Frame::Query {
+            x: vec![0.25, -1.5, 3.0],
+            ts: vec![0.1, 0.2],
+        };
+        let mut buf = Vec::new();
+        frame.write(&mut buf).unwrap();
+        let back = Frame::read(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, frame);
+
+        let mut rbuf = Vec::new();
+        write_response(&mut rbuf, &[13.0, 12.5]).unwrap();
+        let resp = read_response(&mut rbuf.as_slice()).unwrap().unwrap();
+        assert_eq!(resp, Response::Estimates(vec![13.0, 12.5]));
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let mut buf = Vec::new();
+        Frame::Stats.write(&mut buf).unwrap();
+        assert_eq!(
+            Frame::read(&mut buf.as_slice()).unwrap(),
+            Some(Frame::Stats)
+        );
+        let mut rbuf = Vec::new();
+        write_stats_response(&mut rbuf, "requests=1").unwrap();
+        assert_eq!(
+            read_response(&mut rbuf.as_slice()).unwrap(),
+            Some(Response::Stats("requests=1".into()))
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_truncation_is_error() {
+        assert_eq!(Frame::read(&mut [].as_slice()).unwrap(), None);
+        let frame = Frame::Query {
+            x: vec![1.0],
+            ts: vec![2.0],
+        };
+        let mut buf = Vec::new();
+        frame.write(&mut buf).unwrap();
+        for cut in 1..buf.len() {
+            assert!(
+                Frame::read(&mut &buf[..cut]).is_err(),
+                "prefix of {cut} bytes must be an error"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected() {
+        // huge frame length
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(Frame::read(&mut buf.as_slice()).is_err());
+        // inner float count larger than the payload
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(&1000u32.to_le_bytes()); // dim = 1000
+        buf.extend_from_slice(&[0u8; 4]);
+        assert!(Frame::read(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn text_lines_parse_and_render() {
+        let q = TextQuery::parse("0.5 -1 2.5 | 3 2 1").unwrap().unwrap();
+        assert_eq!(q.x, vec![0.5, -1.0, 2.5]);
+        assert_eq!(q.ts, vec![3.0, 2.0, 1.0]);
+        let back = TextQuery::parse(&q.render()).unwrap().unwrap();
+        assert_eq!(back, q);
+        assert_eq!(TextQuery::parse("  ").unwrap(), None);
+        assert_eq!(TextQuery::parse("# comment").unwrap(), None);
+        assert!(TextQuery::parse("1 2 3").is_err(), "missing separator");
+        assert!(TextQuery::parse("a b | 1").is_err(), "bad float");
+        assert!(TextQuery::parse("| 1").is_err(), "empty query");
+    }
+}

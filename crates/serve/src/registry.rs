@@ -1,0 +1,156 @@
+//! Generation-counted model registry with atomic hot swap.
+//!
+//! Readers call [`ModelRegistry::current`] and get `(generation, Arc)` —
+//! a consistent snapshot they hold for the duration of one batch. A
+//! publisher ([`ModelRegistry::publish`] or a background
+//! [`ModelRegistry::spawn_update`] worker) replaces the `Arc` under a
+//! short write lock; in-flight batches keep serving from the generation
+//! they bound, so a swap never tears a response.
+
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+/// A hot-swappable model slot. `M` is typically
+/// [`PartitionedSelNet`](selnet_core::PartitionedSelNet) but any estimator
+/// works — the registry itself never calls into the model.
+pub struct ModelRegistry<M> {
+    slot: RwLock<(u64, Arc<M>)>,
+}
+
+impl<M> ModelRegistry<M> {
+    /// Creates a registry serving `model` as generation 0.
+    pub fn new(model: M) -> Self {
+        ModelRegistry {
+            slot: RwLock::new((0, Arc::new(model))),
+        }
+    }
+
+    /// The generation and model currently being served. The `Arc` keeps
+    /// the snapshot alive even if a publish lands immediately after.
+    pub fn current(&self) -> (u64, Arc<M>) {
+        let guard = self.slot.read().expect("registry lock poisoned");
+        (guard.0, Arc::clone(&guard.1))
+    }
+
+    /// The current generation number (0 until the first publish).
+    pub fn generation(&self) -> u64 {
+        self.slot.read().expect("registry lock poisoned").0
+    }
+
+    /// Atomically replaces the served model, returning the new generation.
+    /// In-flight readers holding the previous `Arc` are unaffected.
+    pub fn publish(&self, model: M) -> u64 {
+        let mut guard = self.slot.write().expect("registry lock poisoned");
+        guard.0 += 1;
+        guard.1 = Arc::new(model);
+        guard.0
+    }
+}
+
+impl<M: Clone + Send + Sync + 'static> ModelRegistry<M> {
+    /// Runs `update` on a **clone** of the current model on a background
+    /// thread, then publishes the result — the serving side of §5.4: the
+    /// old snapshot keeps answering queries for the whole retrain, and the
+    /// new model becomes visible atomically.
+    ///
+    /// `update` returns its own report (e.g.
+    /// [`UpdateDecision`](selnet_core::UpdateDecision)); the handle yields
+    /// `(report, new_generation)` on [`UpdateHandle::wait`].
+    pub fn spawn_update<R, F>(self: &Arc<Self>, update: F) -> UpdateHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut M) -> R + Send + 'static,
+    {
+        let registry = Arc::clone(self);
+        let join = std::thread::spawn(move || {
+            let mut model = (*registry.current().1).clone();
+            let report = update(&mut model);
+            let generation = registry.publish(model);
+            (report, generation)
+        });
+        UpdateHandle { join }
+    }
+}
+
+/// Handle to a background update spawned with
+/// [`ModelRegistry::spawn_update`].
+pub struct UpdateHandle<R> {
+    join: JoinHandle<(R, u64)>,
+}
+
+impl<R> UpdateHandle<R> {
+    /// Blocks until the retrain finishes and its model is published;
+    /// returns the update's report and the generation it was published as.
+    pub fn wait(self) -> (R, u64) {
+        self.join.join().expect("update thread panicked")
+    }
+
+    /// Whether the background update has finished (published).
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_generation_and_swaps() {
+        let reg = ModelRegistry::new(1u32);
+        assert_eq!(reg.current().0, 0);
+        assert_eq!(*reg.current().1, 1);
+        let generation = reg.publish(2);
+        assert_eq!(generation, 1);
+        assert_eq!(*reg.current().1, 2);
+    }
+
+    #[test]
+    fn readers_keep_their_snapshot_across_a_swap() {
+        let reg = ModelRegistry::new(10u32);
+        let (g0, before) = reg.current();
+        reg.publish(20);
+        assert_eq!(*before, 10, "held Arc must still see the old model");
+        let (g1, after) = reg.current();
+        assert_eq!((*after, g0, g1), (20, 0, 1));
+    }
+
+    #[test]
+    fn spawn_update_publishes_the_updated_clone() {
+        let reg = Arc::new(ModelRegistry::new(5u32));
+        let handle = reg.spawn_update(|m| {
+            *m += 1;
+            "done"
+        });
+        let (report, generation) = handle.wait();
+        assert_eq!(report, "done");
+        assert_eq!(generation, 1);
+        assert_eq!(*reg.current().1, 6);
+    }
+
+    #[test]
+    fn concurrent_publishers_and_readers_do_not_tear() {
+        let reg = Arc::new(ModelRegistry::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let reg = &reg;
+                s.spawn(move || {
+                    for i in 1..=100u64 {
+                        reg.publish(i);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let reg = &reg;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let (generation, v) = reg.current();
+                        assert!(generation <= 200);
+                        assert!(*v <= 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.generation(), 200);
+    }
+}

@@ -1,0 +1,249 @@
+//! Connection handling: the TCP accept loop and the stdin (text) loop,
+//! both draining into one shared [`Engine`].
+
+use crate::engine::Engine;
+use crate::protocol::{self, Frame, TextQuery};
+use selnet_eval::SelectivityEstimator;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Serves the binary protocol on `listener` until `stop` is set (checked
+/// between accepts; the listener must be non-blocking for prompt
+/// shutdown) or the listener errors. Each connection gets its own thread;
+/// all of them share `engine`, so concurrent connections coalesce into
+/// the same batches.
+pub fn serve_tcp<M>(
+    engine: Arc<Engine<M>>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()>
+where
+    M: SelectivityEstimator + Send + Sync + 'static,
+{
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    if let Err(e) = serve_connection(&engine, stream) {
+                        eprintln!("selnet-serve: connection error: {e}");
+                    }
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    })
+}
+
+/// One binary-protocol connection: read frames until EOF, answer each in
+/// order.
+pub fn serve_connection<M>(engine: &Engine<M>, stream: TcpStream) -> io::Result<()>
+where
+    M: SelectivityEstimator + Send + Sync + 'static,
+{
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(frame) = Frame::read(&mut reader)? {
+        match frame {
+            Frame::Stats => {
+                let text = engine.stats().snapshot().to_string();
+                protocol::write_stats_response(&mut writer, &text)?;
+            }
+            Frame::Query { x, ts } => {
+                // a mis-shaped query from an untrusted peer is a protocol
+                // error: close this connection, leave the engine serving
+                let rx = engine
+                    .submit(x, ts)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let estimates = rx
+                    .recv()
+                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "engine shut down"))?;
+                protocol::write_response(&mut writer, &estimates)?;
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// The CI-friendly text loop: parses [`TextQuery`] lines from `input`,
+/// answers each on one line of `output`, and returns the number of
+/// queries served. Parse errors abort with `InvalidData` (a replay file
+/// is trusted input; silently skipping a bad line would hide a broken
+/// generator).
+pub fn serve_lines<M>(
+    engine: &Engine<M>,
+    input: &mut impl BufRead,
+    output: &mut impl Write,
+) -> io::Result<u64>
+where
+    M: SelectivityEstimator + Send + Sync + 'static,
+{
+    let mut served = 0u64;
+    for line in input.lines() {
+        let line = line?;
+        let query =
+            TextQuery::parse(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let Some(TextQuery { x, ts }) = query else {
+            continue;
+        };
+        let rx = engine
+            .submit(x, ts)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let estimates = rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "engine shut down"))?;
+        let rendered: Vec<String> = estimates.iter().map(|v| v.to_string()).collect();
+        writeln!(output, "{}", rendered.join(" "))?;
+        served += 1;
+    }
+    output.flush()?;
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::registry::ModelRegistry;
+
+    struct Linear;
+    impl SelectivityEstimator for Linear {
+        fn estimate(&self, x: &[f32], t: f32) -> f64 {
+            x[0] as f64 + t as f64
+        }
+        fn query_dim(&self) -> Option<usize> {
+            Some(1)
+        }
+        fn name(&self) -> &str {
+            "linear"
+        }
+    }
+
+    fn engine() -> Arc<Engine<Linear>> {
+        Engine::start(
+            Arc::new(ModelRegistry::new(Linear)),
+            &EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn text_loop_answers_queries_and_skips_comments() {
+        let eng = engine();
+        let input = "# header\n1.0 | 0.5 1.5\n\n2.0 | 3.0\n";
+        let mut out = Vec::new();
+        let served = serve_lines(&eng, &mut input.as_bytes(), &mut out).unwrap();
+        assert_eq!(served, 2);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["1.5 2.5", "5"]);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn text_loop_rejects_malformed_lines() {
+        let eng = engine();
+        let mut out = Vec::new();
+        let err =
+            serve_lines(&eng, &mut "not a query\n".as_bytes(), &mut out).expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        eng.shutdown();
+    }
+
+    /// A well-formed frame with the wrong query dimension must close
+    /// that connection with an error — and leave the engine alive for
+    /// other connections (no worker panic, no hang).
+    #[test]
+    fn mis_dimensioned_tcp_frame_closes_connection_but_not_engine() {
+        let eng = engine();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let eng2 = Arc::clone(&eng);
+        let stop2 = Arc::clone(&stop);
+        let server = std::thread::spawn(move || serve_tcp(eng2, listener, stop2));
+
+        // hostile client: dim 3 against a dim-1 model
+        let mut bad = TcpStream::connect(addr).unwrap();
+        Frame::Query {
+            x: vec![1.0, 2.0, 3.0],
+            ts: vec![1.0],
+        }
+        .write(&mut bad)
+        .unwrap();
+        bad.flush().unwrap();
+        // connection is closed without a response frame
+        let mut reader = BufReader::new(bad);
+        assert!(protocol::read_response(&mut reader).unwrap().is_none());
+
+        // the engine still serves a healthy connection
+        let mut good = TcpStream::connect(addr).unwrap();
+        Frame::Query {
+            x: vec![2.0],
+            ts: vec![1.0],
+        }
+        .write(&mut good)
+        .unwrap();
+        good.flush().unwrap();
+        let mut reader = BufReader::new(good.try_clone().unwrap());
+        match protocol::read_response(&mut reader).unwrap().unwrap() {
+            protocol::Response::Estimates(e) => assert_eq!(e, vec![3.0]),
+            other => panic!("expected estimates, got {other:?}"),
+        }
+        drop(good);
+        drop(reader);
+        stop.store(true, Ordering::SeqCst);
+        server.join().unwrap().unwrap();
+        eng.shutdown();
+    }
+
+    #[test]
+    fn tcp_connection_roundtrip() {
+        let eng = engine();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let eng2 = Arc::clone(&eng);
+        let stop2 = Arc::clone(&stop);
+        let server = std::thread::spawn(move || serve_tcp(eng2, listener, stop2));
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        Frame::Query {
+            x: vec![2.0],
+            ts: vec![1.0, 2.0],
+        }
+        .write(&mut client)
+        .unwrap();
+        Frame::Stats.write(&mut client).unwrap();
+        client.flush().unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        match protocol::read_response(&mut reader).unwrap().unwrap() {
+            protocol::Response::Estimates(e) => assert_eq!(e, vec![3.0, 4.0]),
+            other => panic!("expected estimates, got {other:?}"),
+        }
+        match protocol::read_response(&mut reader).unwrap().unwrap() {
+            protocol::Response::Stats(text) => {
+                assert!(text.contains("requests="), "stats: {text}")
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(client);
+        drop(reader);
+        stop.store(true, Ordering::SeqCst);
+        server.join().unwrap().unwrap();
+        eng.shutdown();
+    }
+}

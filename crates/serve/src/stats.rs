@@ -1,0 +1,193 @@
+//! Serving telemetry: request/row/batch counters and a latency record
+//! from which p50/p99 are computed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Latency samples kept for percentile computation. Beyond this, further
+/// samples are dropped (and counted — see
+/// [`StatsSnapshot::dropped_latency_samples`]), so the percentiles of a
+/// very long run describe its first ~1M requests.
+const MAX_SAMPLES: usize = 1 << 20;
+
+/// Shared serving counters. All methods take `&self`; the engine threads
+/// update them lock-free except for the latency record.
+pub struct ServeStats {
+    started: Instant,
+    requests: AtomicU64,
+    rows: AtomicU64,
+    batches: AtomicU64,
+    cache_hits: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+    dropped_samples: AtomicU64,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeStats {
+    /// Fresh counters; `started` is now.
+    pub fn new() -> Self {
+        ServeStats {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            dropped_samples: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one answered request with its `(x, t)` row count and
+    /// end-to-end latency (enqueue → reply).
+    pub fn record_request(&self, rows: u64, latency_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows, Ordering::Relaxed);
+        let mut lat = self.latencies_us.lock().expect("stats lock poisoned");
+        if lat.len() < MAX_SAMPLES {
+            lat.push(latency_us);
+        } else {
+            self.dropped_samples.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one coalesced batch evaluation.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a response served straight from the LRU cache.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent copy of the counters with percentiles computed.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut lat = self
+            .latencies_us
+            .lock()
+            .expect("stats lock poisoned")
+            .clone();
+        lat.sort_unstable();
+        // nearest-rank percentile: ceil(p * N) - 1
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                return 0;
+            }
+            let rank = (p * lat.len() as f64).ceil() as usize;
+            lat[rank.clamp(1, lat.len()) - 1]
+        };
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let rows = self.rows.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests,
+            rows,
+            batches,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            dropped_latency_samples: self.dropped_samples.load(Ordering::Relaxed),
+            p50_latency_us: pct(0.50),
+            p99_latency_us: pct(0.99),
+            elapsed_secs: elapsed,
+            requests_per_sec: requests as f64 / elapsed.max(1e-9),
+            rows_per_sec: rows as f64 / elapsed.max(1e-9),
+            mean_batch_rows: rows as f64 / batches.max(1) as f64,
+        }
+    }
+}
+
+/// Point-in-time view of [`ServeStats`].
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Requests answered (cache hits included).
+    pub requests: u64,
+    /// `(x, t)` rows evaluated or served from cache.
+    pub rows: u64,
+    /// Coalesced batch evaluations run.
+    pub batches: u64,
+    /// Requests served from the LRU cache.
+    pub cache_hits: u64,
+    /// Latency samples dropped after the recorder filled (the
+    /// percentiles then describe the first [`struct@ServeStats`]
+    /// `MAX_SAMPLES` requests only).
+    pub dropped_latency_samples: u64,
+    /// Median end-to-end request latency, microseconds.
+    pub p50_latency_us: u64,
+    /// 99th-percentile end-to-end request latency, microseconds.
+    pub p99_latency_us: u64,
+    /// Seconds since the counters were created.
+    pub elapsed_secs: f64,
+    /// Mean request throughput over the whole run.
+    pub requests_per_sec: f64,
+    /// Mean row throughput over the whole run.
+    pub rows_per_sec: f64,
+    /// Mean rows per coalesced batch — the coalescing win in one number.
+    pub mean_batch_rows: f64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requests={} rows={} batches={} mean_batch_rows={:.2} cache_hits={} \
+             p50_us={} p99_us={} req_per_s={:.1} rows_per_s={:.1} elapsed_s={:.2}\
+             {}",
+            self.requests,
+            self.rows,
+            self.batches,
+            self.mean_batch_rows,
+            self.cache_hits,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.requests_per_sec,
+            self.rows_per_sec,
+            self.elapsed_secs,
+            if self.dropped_latency_samples > 0 {
+                format!(
+                    " dropped_latency_samples={} (percentiles cover the first samples only)",
+                    self.dropped_latency_samples
+                )
+            } else {
+                String::new()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_counters() {
+        let s = ServeStats::new();
+        for i in 1..=100u64 {
+            s.record_request(2, i);
+        }
+        s.record_batch();
+        s.record_cache_hit();
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 100);
+        assert_eq!(snap.rows, 200);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.p50_latency_us, 50);
+        assert_eq!(snap.p99_latency_us, 99);
+        assert!(snap.mean_batch_rows > 100.0);
+        let line = snap.to_string();
+        assert!(line.contains("p99_us=99"), "display: {line}");
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let snap = ServeStats::new().snapshot();
+        assert_eq!(snap.p50_latency_us, 0);
+        assert_eq!(snap.requests, 0);
+    }
+}

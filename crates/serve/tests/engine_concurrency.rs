@@ -1,0 +1,256 @@
+//! Integration tests of the serving subsystem against a real trained
+//! `PartitionedSelNet`: snapshot round-trips feeding the engine,
+//! concurrent clients getting bit-identical answers, and hot swaps never
+//! tearing a response.
+
+use selnet_core::{fit_partitioned, PartitionConfig, PartitionedSelNet, SelNetConfig};
+use selnet_data::generators::{fasttext_like, GeneratorConfig};
+use selnet_data::Dataset;
+use selnet_eval::SelectivityEstimator;
+use selnet_metric::DistanceKind;
+use selnet_serve::engine::{Engine, EngineConfig};
+use selnet_serve::registry::ModelRegistry;
+use selnet_workload::{generate_workload, Workload, WorkloadConfig};
+use std::sync::Arc;
+
+fn data_fixture(seed: u64) -> (Dataset, Workload) {
+    let ds = fasttext_like(&GeneratorConfig::new(300, 4, 3, seed));
+    let mut wcfg = WorkloadConfig::new(18, DistanceKind::Euclidean, seed ^ 5);
+    wcfg.thresholds_per_query = 6;
+    let w = generate_workload(&ds, &wcfg);
+    (ds, w)
+}
+
+fn train(ds: &Dataset, w: &Workload, model_seed: u64, epochs: usize) -> PartitionedSelNet {
+    let mut cfg = SelNetConfig::tiny();
+    cfg.epochs = epochs;
+    cfg.seed = model_seed;
+    let pcfg = PartitionConfig {
+        k: 2,
+        pretrain_epochs: 1,
+        ..Default::default()
+    };
+    let (model, _) = fit_partitioned(ds, w, &cfg, &pcfg);
+    model
+}
+
+fn fixture(seed: u64, epochs: usize) -> (Dataset, Workload, PartitionedSelNet) {
+    let (ds, w) = data_fixture(seed);
+    let model = train(&ds, &w, seed, epochs);
+    (ds, w, model)
+}
+
+/// The query pool every client draws from: `(x, ascending thresholds)`.
+fn query_pool(ds: &Dataset, tmax: f32, n: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
+    (0..n)
+        .map(|i| {
+            let x = ds.row(i % ds.len()).to_vec();
+            let m = 3 + i % 5;
+            let ts: Vec<f32> = (1..=m).map(|j| tmax * 1.1 * j as f32 / m as f32).collect();
+            (x, ts)
+        })
+        .collect()
+}
+
+/// N client threads x M queries against the engine must produce results
+/// **bit-identical** to a single-threaded `estimate_many` pass over the
+/// same model — coalescing, sharding, stealing, and the cache change
+/// nothing about any answer.
+#[test]
+fn concurrent_serving_is_bit_identical_to_sequential() {
+    let (ds, _, model) = fixture(91, 3);
+    let pool = query_pool(&ds, model.tmax(), 40);
+    // single-threaded ground truth straight from the model
+    let expected: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| model.estimate_many(x, ts))
+        .collect();
+
+    let engine = Engine::start(
+        Arc::new(ModelRegistry::new(model)),
+        &EngineConfig {
+            workers: 4,
+            shards: 2,
+            max_batch_rows: 16,
+            cache_entries: 32,
+        },
+    );
+    let clients = 6;
+    let rounds = 3;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let engine = &engine;
+            let pool = &pool;
+            let expected = &expected;
+            scope.spawn(move || {
+                // each client walks the pool from its own offset so the
+                // queue interleaving differs per thread
+                for r in 0..rounds {
+                    for i in 0..pool.len() {
+                        let idx = (i + c * 7 + r * 13) % pool.len();
+                        let (x, ts) = &pool[idx];
+                        let got = engine.estimate_many(x, ts);
+                        assert_eq!(
+                            got, expected[idx],
+                            "client {c} round {r} query {idx}: batched concurrent result \
+                             differs from sequential estimate_many"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let stats = engine.stats().snapshot();
+    assert_eq!(stats.requests, (clients * rounds * pool.len()) as u64);
+    assert!(
+        stats.mean_batch_rows > 1.0,
+        "concurrent load should produce coalesced batches, got {}",
+        stats.mean_batch_rows
+    );
+    engine.shutdown();
+}
+
+/// Hot swap mid-traffic: responses must never tear. Every response served
+/// while generations alternate must (a) exactly match one model's answer
+/// — never a mixture — and therefore (b) be monotone non-decreasing in
+/// the ascending threshold grid (Lemma 1 holds per model).
+#[test]
+fn hot_swap_mid_traffic_never_tears_a_response() {
+    let (ds, w) = data_fixture(92);
+    let model_a = train(&ds, &w, 92, 2);
+    let model_b = train(&ds, &w, 193, 3); // different init: different weights
+    let pool = query_pool(&ds, model_a.tmax(), 24);
+    let answers_a: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| model_a.estimate_many(x, ts))
+        .collect();
+    let answers_b: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| model_b.estimate_many(x, ts))
+        .collect();
+    // the test only bites if the models actually disagree somewhere
+    assert!(
+        answers_a != answers_b,
+        "fixture models must differ for the tear check to mean anything"
+    );
+
+    let registry = Arc::new(ModelRegistry::new(model_a.clone()));
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        &EngineConfig {
+            workers: 3,
+            shards: 2,
+            max_batch_rows: 16,
+            cache_entries: 16,
+        },
+    );
+    std::thread::scope(|scope| {
+        // swapper: alternate generations while traffic runs
+        let swapper = {
+            let registry = Arc::clone(&registry);
+            let model_a = model_a.clone();
+            let model_b = model_b.clone();
+            scope.spawn(move || {
+                for i in 0..30 {
+                    let next = if i % 2 == 0 {
+                        model_b.clone()
+                    } else {
+                        model_a.clone()
+                    };
+                    registry.publish(next);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            })
+        };
+        for c in 0..4 {
+            let engine = &engine;
+            let pool = &pool;
+            let answers_a = &answers_a;
+            let answers_b = &answers_b;
+            scope.spawn(move || {
+                for r in 0..8 {
+                    for i in 0..pool.len() {
+                        let idx = (i + c * 5 + r) % pool.len();
+                        let (x, ts) = &pool[idx];
+                        let got = engine.estimate_many(x, ts);
+                        // untorn: exactly one generation's answer
+                        assert!(
+                            got == answers_a[idx] || got == answers_b[idx],
+                            "query {idx}: response mixes generations: {got:?}"
+                        );
+                        // monotone in the ascending grid
+                        for pair in got.windows(2) {
+                            assert!(
+                                pair[1] >= pair[0],
+                                "query {idx}: non-monotone response {got:?}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        swapper.join().expect("swapper panicked");
+    });
+    engine.shutdown();
+}
+
+/// Background `spawn_update` retraining: the old generation keeps serving
+/// during the retrain, and the published generation serves afterwards.
+#[test]
+fn background_update_publishes_without_blocking_serving() {
+    let (ds, w, model) = fixture(93, 2);
+    let pool = query_pool(&ds, model.tmax(), 8);
+    let before: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| model.estimate_many(x, ts))
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::new(model));
+    let engine = Engine::start(Arc::clone(&registry), &EngineConfig::default());
+    // negative tolerance: even zero drift retrains
+    let policy = selnet_core::UpdatePolicy {
+        mae_tolerance: -1.0,
+        patience: 1,
+        max_epochs: 2,
+    };
+    let train = w.train.clone();
+    let valid = w.valid.clone();
+    let kind = w.kind;
+    let handle = registry.spawn_update(move |m: &mut PartitionedSelNet| {
+        m.check_and_update(&ds, kind, &train, &valid, &policy)
+    });
+    // keep serving while the retrain runs; every response is from a
+    // complete generation, so it's monotone either way
+    while !handle.is_finished() {
+        for (x, ts) in &pool {
+            let got = engine.estimate_many(x, ts);
+            for pair in got.windows(2) {
+                assert!(pair[1] >= pair[0], "non-monotone during retrain: {got:?}");
+            }
+        }
+    }
+    let (decision, generation) = handle.wait();
+    assert!(decision.retrained(), "negative tolerance must retrain");
+    assert_eq!(generation, 1);
+    assert_eq!(engine.registry().generation(), 1);
+    // the new generation serves; answers come from one model and differ
+    // from the old generation somewhere (weights moved)
+    let after: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| engine.estimate_many(x, ts))
+        .collect();
+    let direct: Vec<Vec<f64>> = {
+        let (_, m) = engine.registry().current();
+        pool.iter().map(|(x, ts)| m.estimate_many(x, ts)).collect()
+    };
+    assert_eq!(after, direct, "served answers must match the new model");
+    // restore semantics mean the retrain may keep the old weights if no
+    // epoch improved; either way the served answers must stay monotone
+    for got in &after {
+        for pair in got.windows(2) {
+            assert!(pair[1] >= pair[0], "non-monotone after publish: {got:?}");
+        }
+    }
+    let _ = before;
+    engine.shutdown();
+}

@@ -1,0 +1,57 @@
+//! Property test of the `SELNETP1` snapshot: for randomly drawn data
+//! seeds, partition counts, and partitioning methods, `load(save(m))`
+//! produces bit-identical `estimate_many` outputs across the whole test
+//! workload.
+
+use proptest::prelude::*;
+use selnet_core::{fit_partitioned, PartitionConfig, PartitionedSelNet, SelNetConfig};
+use selnet_data::generators::{fasttext_like, GeneratorConfig};
+use selnet_eval::SelectivityEstimator;
+use selnet_index::PartitionMethod;
+use selnet_metric::DistanceKind;
+use selnet_workload::{generate_workload, WorkloadConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical(
+        seed in 0u64..1000,
+        k in 1usize..4,
+        method_tag in 0usize..3,
+        query_dependent in 0usize..2,
+    ) {
+        let method = match method_tag {
+            0 => PartitionMethod::CoverTree { ratio: 0.1 },
+            1 => PartitionMethod::Random,
+            _ => PartitionMethod::KMeans,
+        };
+        let ds = fasttext_like(&GeneratorConfig::new(150, 4, 2, seed));
+        let mut wcfg = WorkloadConfig::new(10, DistanceKind::Euclidean, seed ^ 3);
+        wcfg.thresholds_per_query = 5;
+        let w = generate_workload(&ds, &wcfg);
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 1;
+        cfg.ae_pretrain_epochs = 1;
+        cfg.seed = seed;
+        cfg.query_dependent_tau = query_dependent == 1;
+        let pcfg = PartitionConfig {
+            k,
+            method,
+            pretrain_epochs: 1,
+            beta: 0.1,
+        };
+        let (model, _) = fit_partitioned(&ds, &w, &cfg, &pcfg);
+
+        let mut buf = Vec::new();
+        model.save(&mut buf).expect("save");
+        let loaded = PartitionedSelNet::load(&mut buf.as_slice()).expect("load");
+
+        prop_assert_eq!(loaded.k(), model.k());
+        for q in w.test.iter().chain(w.valid.iter()) {
+            let a = model.estimate_many(&q.x, &q.thresholds);
+            let b = loaded.estimate_many(&q.x, &q.thresholds);
+            prop_assert_eq!(a, b, "seed {} k {} method {:?}", seed, k, method);
+        }
+    }
+}

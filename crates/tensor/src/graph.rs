@@ -283,6 +283,20 @@ impl Graph {
         self.done(idx)
     }
 
+    /// Records a `rows x cols` constant leaf assembled row by row with
+    /// `fill(row_index, row)`, parallelized over row chunks on up to
+    /// `threads` workers (see [`crate::parallel::par_fill_rows`]) — the
+    /// batched entry point used by inference engines to coalesce many
+    /// queries into one tape pass without allocating a staging buffer.
+    pub fn leaf_rows<F>(&mut self, rows: usize, cols: usize, threads: usize, fill: F) -> Var
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        self.leaf_with(rows, cols, |data| {
+            crate::parallel::par_fill_rows(data, cols, threads, fill)
+        })
+    }
+
     /// Records a trainable-parameter leaf tagged with `id` so its gradient
     /// can be collected after [`Graph::backward`]. The value is copied into
     /// recycled storage — parameters are *rebound* to the tape each batch,

@@ -18,7 +18,17 @@ use crate::graph::{Graph, ParamId, Var};
 use crate::matrix::Matrix;
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 8] = b"SELNETP1";
+// "W" for weights. (`SELNETP1` is the whole-model *partitioned snapshot*
+// magic owned by `selnet-core`'s persistence layer, which embeds one of
+// these parameter streams.)
+const MAGIC: &[u8; 8] = b"SELNETW1";
+
+/// Caps on length fields read from untrusted checkpoint bytes, so a
+/// corrupted stream yields [`io::ErrorKind::InvalidData`] instead of an
+/// absurd allocation.
+const MAX_PARAMS: u64 = 1 << 24;
+const MAX_NAME_LEN: u32 = 1 << 16;
+const MAX_MATRIX_SCALARS: u64 = 1 << 31;
 
 /// Owns named trainable parameters.
 #[derive(Default, Clone)]
@@ -109,23 +119,32 @@ impl ParamStore {
                 "bad checkpoint magic",
             ));
         }
-        let count = read_u64(r)? as usize;
+        let count = read_u64(r)?;
+        if count > MAX_PARAMS {
+            return Err(invalid_data(format!("implausible parameter count {count}")));
+        }
         let mut store = ParamStore::new();
         for _ in 0..count {
-            let name_len = read_u32(r)? as usize;
-            let mut name = vec![0u8; name_len];
+            let name_len = read_u32(r)?;
+            if name_len > MAX_NAME_LEN {
+                return Err(invalid_data(format!("implausible name length {name_len}")));
+            }
+            let mut name = vec![0u8; name_len as usize];
             r.read_exact(&mut name)?;
-            let name = String::from_utf8(name)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf8 name"))?;
-            let rows = read_u64(r)? as usize;
-            let cols = read_u64(r)? as usize;
-            let mut data = vec![0.0f32; rows * cols];
+            let name = String::from_utf8(name).map_err(|_| invalid_data("bad utf8 name"))?;
+            let rows = read_u64(r)?;
+            let cols = read_u64(r)?;
+            let scalars = rows
+                .checked_mul(cols)
+                .filter(|&n| n <= MAX_MATRIX_SCALARS)
+                .ok_or_else(|| invalid_data(format!("implausible matrix shape {rows}x{cols}")))?;
+            let mut data = vec![0.0f32; scalars as usize];
             let mut buf = [0u8; 4];
             for x in &mut data {
                 r.read_exact(&mut buf)?;
                 *x = f32::from_le_bytes(buf);
             }
-            store.add(name, Matrix::from_vec(rows, cols, data));
+            store.add(name, Matrix::from_vec(rows as usize, cols as usize, data));
         }
         Ok(store)
     }
@@ -135,16 +154,39 @@ impl ParamStore {
     /// # Panics
     /// Panics if the stores have different parameter counts or shapes.
     pub fn copy_from(&mut self, other: &ParamStore) {
-        assert_eq!(
-            self.values.len(),
-            other.values.len(),
-            "param count mismatch"
-        );
+        self.try_copy_from(other).expect("param store mismatch");
+    }
+
+    /// Fallible [`ParamStore::copy_from`]: returns a description of the
+    /// first count/shape mismatch instead of panicking. Model loaders use
+    /// this so a corrupted checkpoint surfaces as a typed error.
+    pub fn try_copy_from(&mut self, other: &ParamStore) -> Result<(), String> {
+        if self.values.len() != other.values.len() {
+            return Err(format!(
+                "param count mismatch: expected {}, checkpoint has {}",
+                self.values.len(),
+                other.values.len()
+            ));
+        }
+        for (i, (a, b)) in self.values.iter().zip(&other.values).enumerate() {
+            if a.shape() != b.shape() {
+                return Err(format!(
+                    "param {i} ({}) shape mismatch: expected {:?}, checkpoint has {:?}",
+                    self.names[i],
+                    a.shape(),
+                    b.shape()
+                ));
+            }
+        }
         for (a, b) in self.values.iter_mut().zip(&other.values) {
-            assert_eq!(a.shape(), b.shape(), "param shape mismatch");
             a.data_mut().copy_from_slice(b.data());
         }
+        Ok(())
     }
+}
+
+fn invalid_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 fn read_u64(r: &mut impl Read) -> io::Result<u64> {
