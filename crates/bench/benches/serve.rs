@@ -1,53 +1,21 @@
 //! Serving-path benchmarks: one-query-per-tape-call vs the batched
-//! coalesced entry point (`predict_batch`) vs the full engine
-//! (queue + workers + cache), all on the same trained partitioned model.
+//! coalesced entry point (`predict_batch`, now riding a compiled
+//! inference plan) vs the full engine (queue + workers + cache), plus the
+//! `plan` group comparing plan replays against the reference tape paths
+//! on the same trained partitioned model.
 //!
 //! With `SELNET_BENCH_RECORD=1` the run re-times the key comparisons with
 //! a plain `Instant` loop and rewrites `BENCH_serve.json` at the repo
-//! root. See `crates/bench/README.md` for the workflow.
+//! root (PR 4's figures stay frozen in the `baseline_pr4` block). See
+//! `crates/bench/README.md` for the workflow.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use selnet_core::{fit_partitioned, PartitionConfig, PartitionedSelNet, SelNetConfig};
-use selnet_data::generators::{fasttext_like, GeneratorConfig};
-use selnet_data::Dataset;
+use selnet_bench::servebench::{json_number, model_fixture, query_batch, time_ms, BATCH};
 use selnet_eval::SelectivityEstimator;
-use selnet_metric::DistanceKind;
 use selnet_serve::engine::{Engine, EngineConfig};
 use selnet_serve::registry::ModelRegistry;
-use selnet_workload::{generate_workload, WorkloadConfig};
 use std::hint::black_box;
 use std::sync::Arc;
-
-/// Bench batch size — the acceptance point for coalescing throughput.
-const BATCH: usize = 64;
-
-fn model_fixture() -> (Dataset, PartitionedSelNet) {
-    let ds = fasttext_like(&GeneratorConfig::new(600, 5, 3, 7));
-    let mut wcfg = WorkloadConfig::new(24, DistanceKind::Euclidean, 8);
-    wcfg.thresholds_per_query = 8;
-    let w = generate_workload(&ds, &wcfg);
-    let mut cfg = SelNetConfig::tiny();
-    cfg.epochs = 3;
-    let pcfg = PartitionConfig {
-        k: 3,
-        pretrain_epochs: 1,
-        ..Default::default()
-    };
-    let (model, _) = fit_partitioned(&ds, &w, &cfg, &pcfg);
-    (ds, model)
-}
-
-/// `BATCH` distinct `(x, t)` queries spread over the database and the
-/// threshold range.
-fn query_batch(ds: &Dataset, tmax: f32) -> (Vec<Vec<f32>>, Vec<f32>) {
-    let xs: Vec<Vec<f32>> = (0..BATCH)
-        .map(|i| ds.row(i * 7 % ds.len()).to_vec())
-        .collect();
-    let ts: Vec<f32> = (0..BATCH)
-        .map(|i| tmax * (0.1 + 0.9 * i as f32 / BATCH as f32))
-        .collect();
-    (xs, ts)
-}
 
 fn bench_serve_throughput(c: &mut Criterion) {
     let (ds, model) = model_fixture();
@@ -56,7 +24,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("serve_throughput");
     group.sample_size(20);
-    // the baseline the issue names: one tape walk per query
+    // the baseline the issue names: one evaluation per query
     group.bench_function(format!("one_query_per_call/{BATCH}"), |b| {
         b.iter(|| {
             for i in 0..BATCH {
@@ -64,9 +32,34 @@ fn bench_serve_throughput(c: &mut Criterion) {
             }
         })
     });
-    // coalesced: every query a row of one batch matrix, one tape walk
+    // coalesced: every query a row of one batch matrix, one plan replay
     group.bench_function(format!("batched_coalesced/{BATCH}"), |b| {
         b.iter(|| black_box(model.predict_batch(&x_refs, &ts)))
+    });
+    group.finish();
+
+    // plan vs tape: the same math, compiled replay vs autodiff tape walk
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(20);
+    group.bench_function(format!("plan_batched/{BATCH}"), |b| {
+        let mut out = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            model.predict_batch_into(&x_refs, &ts, &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.bench_function(format!("tape_batched/{BATCH}"), |b| {
+        b.iter(|| black_box(model.tape_predict_batch(&x_refs, &ts)))
+    });
+    group.bench_function(format!("plan_many/{BATCH}"), |b| {
+        let mut out = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            model.predict_many_into(&xs[0], &ts, &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.bench_function(format!("tape_many/{BATCH}"), |b| {
+        b.iter(|| black_box(model.tape_predict_many(&xs[0], &ts)))
     });
     group.finish();
 
@@ -79,6 +72,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
             shards: 1,
             max_batch_rows: BATCH,
             cache_entries: 0,
+            auto_batch_min_rows: 0,
         },
     );
     let mut group = c.benchmark_group("serve_engine");
@@ -93,7 +87,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                 })
                 .collect();
             for rx in receivers {
-                black_box(rx.recv().expect("served"));
+                black_box(rx.wait().expect("served"));
             }
         })
     });
@@ -102,26 +96,14 @@ fn bench_serve_throughput(c: &mut Criterion) {
 }
 
 /// Rewrites `BENCH_serve.json` (repo root) with wall-clock numbers for
-/// the three serving paths. Opt-in via `SELNET_BENCH_RECORD=1` so
-/// ordinary `cargo bench` / CI runs never touch the tree.
+/// the serving paths and the plan-vs-tape comparison, keeping PR 4's
+/// figures frozen as `baseline_pr4` and carrying the CI regression
+/// floors. Opt-in via `SELNET_BENCH_RECORD=1` so ordinary `cargo bench` /
+/// CI runs never touch the tree.
 fn bench_record(_c: &mut Criterion) {
     if std::env::var("SELNET_BENCH_RECORD").as_deref() != Ok("1") {
         return;
     }
-    use std::time::Instant;
-    fn time_ms(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
-        f(); // warm up
-        let mut best = f64::MAX;
-        for _ in 0..samples {
-            let t = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            best = best.min(t.elapsed().as_secs_f64() * 1e3 / iters as f64);
-        }
-        best
-    }
-
     let (ds, model) = model_fixture();
     let (xs, ts) = query_batch(&ds, model.tmax());
     let x_refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
@@ -134,6 +116,17 @@ fn bench_record(_c: &mut Criterion) {
     let batched = time_ms(10, 10, || {
         black_box(model.predict_batch(&x_refs, &ts));
     });
+    let tape_batched = time_ms(10, 10, || {
+        black_box(model.tape_predict_batch(&x_refs, &ts));
+    });
+    let mut out = Vec::with_capacity(BATCH);
+    let plan_many = time_ms(10, 10, || {
+        model.predict_many_into(&xs[0], &ts, &mut out);
+        black_box(out.last().copied());
+    });
+    let tape_many = time_ms(10, 10, || {
+        black_box(model.tape_predict_many(&xs[0], &ts));
+    });
 
     let engine = Engine::start(
         Arc::new(ModelRegistry::new(model)),
@@ -142,6 +135,7 @@ fn bench_record(_c: &mut Criterion) {
             shards: 1,
             max_batch_rows: BATCH,
             cache_entries: 0,
+            auto_batch_min_rows: 0,
         },
     );
     let engine_batch = time_ms(10, 10, || {
@@ -153,17 +147,40 @@ fn bench_record(_c: &mut Criterion) {
             })
             .collect();
         for rx in receivers {
-            black_box(rx.recv().expect("served"));
+            black_box(rx.wait().expect("served"));
         }
     });
     engine.shutdown();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    // floors survive re-recording: read them back from the existing file
+    // (falling back to the shipped defaults)
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let floors_blob = existing
+        .find("\"floors\"")
+        .map(|i| &existing[i..])
+        .unwrap_or("");
+    let floor_batched = json_number(floors_blob, "speedup_batched_vs_single").unwrap_or(2.0);
+    let floor_plan = json_number(floors_blob, "plan_vs_tape").unwrap_or(1.05);
 
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
         r#"{{
-  "description": "Serving throughput at batch {BATCH} on a tiny()-architecture partitioned SelNet (K=3): one_query_per_call = {BATCH} separate pooled-tape evaluations; batched_coalesced = one predict_batch tape pass over all {BATCH} rows; engine_submit_collect = the same through the full engine (queue + worker thread + reply channels, cache off). Times in milliseconds per {BATCH}-query wave (best-of-samples mean); recorded by SELNET_BENCH_RECORD=1 cargo bench -p selnet-bench --bench serve.",
+  "description": "Serving throughput at batch {BATCH} on a tiny()-architecture partitioned SelNet (K=3): one_query_per_call = {BATCH} separate single-query evaluations; batched_coalesced = one predict_batch plan replay over all {BATCH} rows; engine_submit_collect = the same through the full engine (queue + worker thread + reply channels, cache off). The plan block compares the compiled grad-free inference plan against the reference autodiff-tape forward on identical inputs. Times in milliseconds per {BATCH}-query wave (best-of-samples mean); recorded by SELNET_BENCH_RECORD=1 cargo bench -p selnet-bench --bench serve.",
+  "baseline_pr4": {{
+    "machine_cpus": 1,
+    "one_query_per_call_{BATCH}_ms": 0.3047,
+    "batched_coalesced_{BATCH}_ms": 0.0631,
+    "engine_submit_collect_{BATCH}_ms": 0.2318,
+    "queries_per_sec_single": 210043,
+    "queries_per_sec_batched": 1013519,
+    "queries_per_sec_engine": 276043,
+    "speedup_batched_vs_single": 4.83,
+    "speedup_engine_vs_single": 1.31,
+    "note": "PR 4 figures (tape-based predict_batch, pre-plan engine), frozen"
+  }},
   "current": {{
     "machine_cpus": {cpus},
     "one_query_per_call_{BATCH}_ms": {single:.4},
@@ -173,9 +190,23 @@ fn bench_record(_c: &mut Criterion) {
     "queries_per_sec_batched": {qps_batched:.0},
     "queries_per_sec_engine": {qps_engine:.0},
     "speedup_batched_vs_single": {speedup:.2},
-    "speedup_engine_vs_single": {speedup_engine:.2}
+    "speedup_engine_vs_single": {speedup_engine:.2},
+    "engine_vs_batched": {engine_vs_batched:.2}
   }},
-  "notes": "speedup_batched_vs_single is the coalescing win the serving engine exists for: a batch amortizes the tape walk and turns {BATCH} skinny 1-row matmuls into one {BATCH}-row matmul. The engine path adds queue/channel overhead per request and stays well ahead of one-query-per-call."
+  "plan": {{
+    "plan_batched_{BATCH}_ms": {batched:.4},
+    "tape_batched_{BATCH}_ms": {tape_batched:.4},
+    "plan_vs_tape_batched": {plan_vs_tape:.2},
+    "plan_many_{BATCH}_ms": {plan_many:.4},
+    "tape_many_{BATCH}_ms": {tape_many:.4},
+    "plan_vs_tape_many": {plan_vs_tape_many:.2}
+  }},
+  "floors": {{
+    "speedup_batched_vs_single": {floor_batched:.2},
+    "plan_vs_tape": {floor_plan:.2},
+    "note": "CI floors enforced by serve_bench_guard; conservative next to the recorded figures to ride out machine noise"
+  }},
+  "notes": "speedup_batched_vs_single is the coalescing win the serving engine exists for: a batch amortizes the forward pass and turns {BATCH} skinny 1-row matmuls into one {BATCH}-row matmul. plan_vs_tape_batched is the compiled-plan win on top: no grad buffers, no per-call parameter injection, fused affine+activation steps. engine_vs_batched is the remaining queue/channel overhead per request (1.0 = free)."
 }}
 "#,
         qps_single = BATCH as f64 / (single / 1e3),
@@ -183,8 +214,10 @@ fn bench_record(_c: &mut Criterion) {
         qps_engine = BATCH as f64 / (engine_batch / 1e3),
         speedup = single / batched,
         speedup_engine = single / engine_batch,
+        engine_vs_batched = engine_batch / batched,
+        plan_vs_tape = tape_batched / batched,
+        plan_vs_tape_many = tape_many / plan_many,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, json).expect("write BENCH_serve.json");
     println!("\nrecorded serving numbers to {path}");
 }

@@ -1,0 +1,75 @@
+//! CI bench-regression guard for the serving hot path.
+//!
+//! Re-times the two ratios the serving layer's performance story rests on
+//! — `speedup_batched_vs_single` (coalescing) and `plan_vs_tape`
+//! (compiled inference plans) — on the same fixture the serve benchmark
+//! uses, and fails (exit 1) if either falls below the floor checked into
+//! `BENCH_serve.json`. Floors are deliberately conservative next to the
+//! recorded figures, so machine noise doesn't flake CI while a real
+//! regression (a plan silently falling back to the tape, a batching
+//! pessimization) still trips it.
+//!
+//! Run manually: `cargo run --release -p selnet-bench --bin serve_bench_guard`
+
+use selnet_bench::servebench::{json_number, model_fixture, query_batch, time_ms, BATCH};
+use selnet_eval::SelectivityEstimator;
+use std::hint::black_box;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let floors_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let blob = match std::fs::read_to_string(floors_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("serve_bench_guard: cannot read {floors_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let floors = blob.find("\"floors\"").map(|i| &blob[i..]).unwrap_or("");
+    let floor_batched = json_number(floors, "speedup_batched_vs_single").unwrap_or(2.0);
+    let floor_plan = json_number(floors, "plan_vs_tape").unwrap_or(1.05);
+
+    eprintln!("serve_bench_guard: training fixture...");
+    let (ds, model) = model_fixture();
+    let (xs, ts) = query_batch(&ds, model.tmax());
+    let x_refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+
+    let single = time_ms(8, 8, || {
+        for i in 0..BATCH {
+            black_box(model.estimate(&xs[i], ts[i]));
+        }
+    });
+    let batched = time_ms(8, 8, || {
+        black_box(model.predict_batch(&x_refs, &ts));
+    });
+    let tape_batched = time_ms(8, 8, || {
+        black_box(model.tape_predict_batch(&x_refs, &ts));
+    });
+
+    let speedup_batched = single / batched;
+    let plan_vs_tape = tape_batched / batched;
+    println!(
+        "serve_bench_guard: single={single:.4}ms batched={batched:.4}ms \
+         tape_batched={tape_batched:.4}ms -> speedup_batched_vs_single={speedup_batched:.2} \
+         (floor {floor_batched:.2}), plan_vs_tape={plan_vs_tape:.2} (floor {floor_plan:.2})"
+    );
+
+    let mut ok = true;
+    if speedup_batched < floor_batched {
+        eprintln!(
+            "serve_bench_guard: FAIL speedup_batched_vs_single {speedup_batched:.2} \
+             < floor {floor_batched:.2}"
+        );
+        ok = false;
+    }
+    if plan_vs_tape < floor_plan {
+        eprintln!("serve_bench_guard: FAIL plan_vs_tape {plan_vs_tape:.2} < floor {floor_plan:.2}");
+        ok = false;
+    }
+    if ok {
+        println!("serve_bench_guard: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -43,6 +43,7 @@ pub mod config;
 pub mod model;
 pub mod partitioned;
 pub mod persist;
+mod plans;
 pub mod pwl;
 pub mod train;
 pub mod update;

@@ -5,9 +5,13 @@
 
 use crate::autoencoder::Autoencoder;
 use crate::config::{SelNetConfig, TauNormalization};
+use crate::plans::PlanCell;
 use rand::Rng;
 use selnet_eval::SelectivityEstimator;
-use selnet_tensor::{Activation, Graph, Matrix, Mlp, ParamId, ParamStore, Var};
+use selnet_tensor::{
+    Activation, Graph, InferencePlan, Matrix, Mlp, ParamId, ParamStore, PlanBuffers, Var,
+};
+use std::sync::Arc;
 
 /// The per-model networks that generate the control points for one
 /// (local or global) SelNet model. Shared across the partitioned variant:
@@ -146,9 +150,39 @@ pub struct SelNetModel {
     /// Validation MAE recorded when the model was (re)trained; the §5.4
     /// update rule compares fresh MAE against this.
     pub(crate) reference_val_mae: f64,
+    /// Compiled inference plan, keyed on the parameter-store version (see
+    /// [`crate::plans::PlanCell`]). Rebuilt lazily after any retrain.
+    pub(crate) plans: PlanCell<SelNetPlans>,
+}
+
+/// The compiled forward program of a [`SelNetModel`]: inputs
+/// `(x [1 x d, fixed], t [batch x 1])`, outputs `(y, tau, p)`. One plan
+/// serves `predict_many` (reads `y`) and `control_points_for` (reads
+/// `tau`/`p` with a dummy threshold).
+pub(crate) struct SelNetPlans {
+    many: InferencePlan,
 }
 
 impl SelNetModel {
+    /// Compiles the inference plan from the current parameters.
+    fn compile_plans(&self) -> SelNetPlans {
+        let mut g = Graph::new();
+        let xv = g.leaf_with(1, self.dim, |_| {});
+        let (tau, p, _z) = self.forward_control_points(&mut g, &self.store, xv);
+        // probe with two threshold rows so batch scaling is unambiguous
+        let tv = g.leaf_with(2, 1, |d| d.copy_from_slice(&[0.0, 1.0]));
+        let y = g.pwl_interp(tau, p, tv);
+        let many = InferencePlan::compile(&g, &[(xv, false), (tv, true)], &[y, tau, p])
+            .expect("the SelNet forward pass is plan-compilable");
+        SelNetPlans { many }
+    }
+
+    /// The plan bundle for the current parameters (compiling on first use
+    /// or after a parameter mutation).
+    fn plans(&self) -> Arc<SelNetPlans> {
+        self.plans
+            .get_or(self.store.version(), || self.compile_plans())
+    }
     /// Records the full forward pass for a batch of query vectors.
     /// Returns `(tau, p, z)`.
     pub(crate) fn forward_control_points(
@@ -167,7 +201,24 @@ impl SelNetModel {
 
     /// The learned control points for a single query — used by the
     /// Figure 4 experiment to visualize where the model places them.
+    /// Replays the compiled plan (τ and p are plan outputs; the threshold
+    /// input is irrelevant to them and bound to a dummy row).
     pub fn control_points_for(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let plans = self.plans();
+        PlanBuffers::with_pooled(|bufs| {
+            let out = plans.many.run(bufs, 1, |k, m| {
+                if k == 0 {
+                    m.data_mut().copy_from_slice(x);
+                }
+            });
+            (out.output(1).row(0).to_vec(), out.output(2).row(0).to_vec())
+        })
+    }
+
+    /// Reference tape implementation of [`SelNetModel::control_points_for`]
+    /// — pinned bit-identical to the plan path by the property suite.
+    pub fn tape_control_points_for(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
         assert_eq!(x.len(), self.dim, "query dimension mismatch");
         Graph::with_pooled(|g| {
             let xv = g.leaf_with(1, x.len(), |row| row.copy_from_slice(x));
@@ -197,10 +248,34 @@ impl SelNetModel {
     }
 
     /// Predicts selectivities for one query at many thresholds with a
-    /// single network evaluation (control points are query-only). Runs on
-    /// the thread-local pooled tape, so repeated predictions recycle one
-    /// arena instead of building a graph per call.
+    /// single network evaluation (control points are query-only). Replays
+    /// the compiled grad-free plan on thread-local buffers — no tape, no
+    /// parameter injection, no allocation beyond the returned `Vec`.
     pub fn predict_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(ts.len());
+        self.predict_many_into(x, ts, &mut out);
+        out
+    }
+
+    /// [`SelNetModel::predict_many`] writing into a caller-provided buffer
+    /// (cleared first) — the allocation-free serving entry point.
+    pub fn predict_many_into(&self, x: &[f32], ts: &[f32], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        out.clear();
+        let plans = self.plans();
+        PlanBuffers::with_pooled(|bufs| {
+            let run = plans.many.run(bufs, ts.len(), |k, m| match k {
+                0 => m.data_mut().copy_from_slice(x),
+                _ => m.data_mut().copy_from_slice(ts),
+            });
+            out.extend(run.output(0).data().iter().map(|&v| v as f64));
+        });
+    }
+
+    /// Reference tape implementation of [`SelNetModel::predict_many`] —
+    /// pinned bit-identical to the plan path by the property suite, and
+    /// the baseline the `plan_*` bench group compares against.
+    pub fn tape_predict_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "query dimension mismatch");
         Graph::with_pooled(|g| {
             let xv = g.leaf_with(1, x.len(), |row| row.copy_from_slice(x));
@@ -219,6 +294,10 @@ impl SelectivityEstimator for SelNetModel {
 
     fn estimate_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
         self.predict_many(x, ts)
+    }
+
+    fn estimate_many_into(&self, x: &[f32], ts: &[f32], out: &mut Vec<f64>) {
+        self.predict_many_into(x, ts, out)
     }
 
     fn query_dim(&self) -> Option<usize> {
@@ -265,6 +344,7 @@ mod tests {
             nets,
             name: "SelNet-ct".into(),
             reference_val_mae: 0.0,
+            plans: PlanCell::new(),
         }
     }
 
@@ -346,6 +426,7 @@ mod tests {
             nets,
             name: "SelNet-softmax".into(),
             reference_val_mae: 0.0,
+            plans: PlanCell::new(),
         };
         let ts: Vec<f32> = (0..60).map(|i| 2.0 * i as f32 / 59.0).collect();
         let preds = model.predict_many(&[0.2, -0.4, 0.1, 0.7, -0.3, 0.0], &ts);

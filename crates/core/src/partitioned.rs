@@ -12,14 +12,16 @@
 use crate::autoencoder::Autoencoder;
 use crate::config::{PartitionConfig, SelNetConfig};
 use crate::model::ControlPointNets;
+use crate::plans::PlanCell;
 use crate::train::TrainReport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selnet_data::Dataset;
 use selnet_eval::SelectivityEstimator;
 use selnet_index::Partitioning;
-use selnet_tensor::{Adam, Graph, Matrix, Optimizer, ParamStore, Var};
+use selnet_tensor::{Adam, Graph, InferencePlan, Matrix, Optimizer, ParamStore, PlanBuffers, Var};
 use selnet_workload::{label_partitions, LabeledQuery, Workload};
+use std::sync::Arc;
 
 /// A trained partitioned SelNet (the paper's headline model).
 #[derive(Clone)]
@@ -34,9 +36,57 @@ pub struct PartitionedSelNet {
     pub(crate) partitioning: Partitioning,
     pub(crate) name: String,
     pub(crate) reference_val_mae: f64,
+    /// Compiled inference plans, keyed on the parameter-store version (see
+    /// [`crate::plans::PlanCell`]). Rebuilt lazily after any retrain; a
+    /// clone (the hot-swap `spawn_update` path) starts with an empty cell.
+    pub(crate) plans: PlanCell<PartitionedPlans>,
+}
+
+/// The compiled forward programs of a [`PartitionedSelNet`]. Both plans
+/// share the structure "AE encode once → per-partition control points →
+/// PWL head", with all `K` local predictions as outputs:
+///
+/// * `batch` — inputs `(x [batch x d], t [batch x 1])`: one row per
+///   distinct `(x, t)` query, the shape `predict_batch` coalesces the
+///   serving engine's requests into;
+/// * `many` — inputs `(x [1 x d, fixed], t [batch x 1])`: one query at
+///   many thresholds, with τ/p broadcasting from one row (also serves
+///   `local_estimates` at a single row).
+pub(crate) struct PartitionedPlans {
+    batch: InferencePlan,
+    many: InferencePlan,
 }
 
 impl PartitionedSelNet {
+    /// Compiles both inference plans from the current parameters.
+    fn compile_plans(&self) -> PartitionedPlans {
+        // probe with 2 rows so batch scaling is unambiguous (a constant
+        // leaf with probe-batch rows is broadcast; see InferencePlan docs)
+        let batch = {
+            let mut g = Graph::new();
+            let xv = g.leaf_with(2, self.dim, |_| {});
+            let tv = g.leaf_with(2, 1, |d| d.copy_from_slice(&[0.0, 1.0]));
+            let (_z, preds) = self.forward_locals(&mut g, xv, tv);
+            InferencePlan::compile(&g, &[(xv, true), (tv, true)], &preds)
+                .expect("the partitioned SelNet batch forward is plan-compilable")
+        };
+        let many = {
+            let mut g = Graph::new();
+            let xv = g.leaf_with(1, self.dim, |_| {});
+            let tv = g.leaf_with(2, 1, |d| d.copy_from_slice(&[0.0, 1.0]));
+            let (_z, preds) = self.forward_locals(&mut g, xv, tv);
+            InferencePlan::compile(&g, &[(xv, false), (tv, true)], &preds)
+                .expect("the partitioned SelNet one-query forward is plan-compilable")
+        };
+        PartitionedPlans { batch, many }
+    }
+
+    /// The plan bundle for the current parameters (compiling on first use
+    /// or after a parameter mutation).
+    fn plans(&self) -> Arc<PartitionedPlans> {
+        self.plans
+            .get_or(self.store.version(), || self.compile_plans())
+    }
     /// Number of partitions.
     pub fn k(&self) -> usize {
         self.locals.len()
@@ -72,9 +122,49 @@ impl PartitionedSelNet {
     }
 
     /// Predicts selectivities for one query at many thresholds, applying
-    /// the intersection indicator per threshold. Runs on the thread-local
-    /// pooled tape (see [`Graph::with_pooled`]).
+    /// the intersection indicator per threshold. Replays the compiled
+    /// grad-free `many` plan on thread-local buffers — no tape, no
+    /// per-call parameter injection.
     pub fn predict_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(ts.len());
+        self.predict_many_into(x, ts, &mut out);
+        out
+    }
+
+    /// [`PartitionedSelNet::predict_many`] writing into a caller-provided
+    /// buffer (cleared first) — the allocation-free serving entry point.
+    pub fn predict_many_into(&self, x: &[f32], ts: &[f32], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        out.clear();
+        let plans = self.plans();
+        PlanBuffers::with_pooled(|bufs| {
+            let run = plans.many.run(bufs, ts.len(), |k, m| match k {
+                0 => m.data_mut().copy_from_slice(x),
+                _ => m.data_mut().copy_from_slice(ts),
+            });
+            // indicator per threshold; the sum replicates the tape path's
+            // arithmetic exactly (masked-out parts contribute a 0.0 term)
+            let parts: Vec<&[f32]> = (0..self.locals.len())
+                .map(|part| run.output(part).data())
+                .collect();
+            let mut ind: Vec<bool> = Vec::with_capacity(parts.len());
+            for (j, &t) in ts.iter().enumerate() {
+                self.partitioning.indicator_into(x, t, &mut ind);
+                let sum: f64 = parts
+                    .iter()
+                    .zip(&ind)
+                    .map(|(pred, &on)| if on { pred[j] as f64 } else { 0.0 })
+                    .sum();
+                out.push(sum);
+            }
+        });
+    }
+
+    /// Reference tape implementation of
+    /// [`PartitionedSelNet::predict_many`] — pinned bit-identical to the
+    /// plan path by the property suite, and the baseline the `plan_*`
+    /// bench group compares against.
+    pub fn tape_predict_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "query dimension mismatch");
         let local_preds: Vec<Vec<f64>> = Graph::with_pooled(|g| {
             let xv = g.leaf_with(1, x.len(), |row| row.copy_from_slice(x));
@@ -125,6 +215,59 @@ impl PartitionedSelNet {
     /// serving engine batch opportunistically without changing any answer
     /// (pinned by `predict_batch_matches_predict_many`).
     pub fn predict_batch(&self, xs: &[&[f32]], ts: &[f32]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(xs.len());
+        self.predict_batch_into(xs, ts, &mut out);
+        out
+    }
+
+    /// [`PartitionedSelNet::predict_batch`] writing into a caller-provided
+    /// buffer (cleared first). This is what the serving engine calls with
+    /// a per-worker scratch `Vec`: the plan replay itself is
+    /// allocation-free, so a steady-state coalesced batch costs exactly
+    /// the network arithmetic plus the indicator checks.
+    pub fn predict_batch_into(&self, xs: &[&[f32]], ts: &[f32], out: &mut Vec<f64>) {
+        assert_eq!(xs.len(), ts.len(), "one threshold per query object");
+        out.clear();
+        if xs.is_empty() {
+            return;
+        }
+        for x in xs {
+            assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        }
+        let b = xs.len();
+        let threads = selnet_tensor::parallel::configured_threads();
+        let plans = self.plans();
+        PlanBuffers::with_pooled(|bufs| {
+            let run = plans.batch.run(bufs, b, |k, m| match k {
+                0 => selnet_tensor::parallel::par_fill_rows(
+                    m.data_mut(),
+                    self.dim,
+                    threads,
+                    |i, row| row.copy_from_slice(xs[i]),
+                ),
+                _ => m.data_mut().copy_from_slice(ts),
+            });
+            let parts: Vec<&[f32]> = (0..self.locals.len())
+                .map(|part| run.output(part).data())
+                .collect();
+            let mut ind: Vec<bool> = Vec::with_capacity(parts.len());
+            for i in 0..b {
+                self.partitioning.indicator_into(xs[i], ts[i], &mut ind);
+                let sum: f64 = parts
+                    .iter()
+                    .zip(&ind)
+                    .map(|(pred, &on)| if on { pred[i] as f64 } else { 0.0 })
+                    .sum();
+                out.push(sum);
+            }
+        });
+    }
+
+    /// Reference tape implementation of
+    /// [`PartitionedSelNet::predict_batch`] — pinned bit-identical to the
+    /// plan path by the property suite, and the baseline the `plan_*`
+    /// bench group compares against.
+    pub fn tape_predict_batch(&self, xs: &[&[f32]], ts: &[f32]) -> Vec<f64> {
         assert_eq!(xs.len(), ts.len(), "one threshold per query object");
         if xs.is_empty() {
             return Vec::new();
@@ -168,12 +311,25 @@ impl PartitionedSelNet {
 
     /// Per-part predictions for one `(x, t)` (diagnostics / tests).
     pub fn local_estimates(&self, x: &[f32], t: f32) -> Vec<f64> {
-        Graph::with_pooled(|g| {
-            let xv = g.leaf_with(1, x.len(), |row| row.copy_from_slice(x));
-            let tv = g.leaf_with(1, 1, |d| d[0] = t);
-            let (_, preds) = self.forward_locals(g, xv, tv);
-            preds.iter().map(|&p| g.value(p).get(0, 0) as f64).collect()
-        })
+        let mut out = Vec::with_capacity(self.locals.len());
+        self.local_estimates_into(x, t, &mut out);
+        out
+    }
+
+    /// [`PartitionedSelNet::local_estimates`] writing into a
+    /// caller-provided buffer (cleared first) — rides the compiled `many`
+    /// plan at a single row instead of building a tape per call.
+    pub fn local_estimates_into(&self, x: &[f32], t: f32, out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        out.clear();
+        let plans = self.plans();
+        PlanBuffers::with_pooled(|bufs| {
+            let run = plans.many.run(bufs, 1, |k, m| match k {
+                0 => m.data_mut().copy_from_slice(x),
+                _ => m.data_mut()[0] = t,
+            });
+            out.extend((0..self.locals.len()).map(|part| run.output(part).get(0, 0) as f64));
+        });
     }
 }
 
@@ -186,8 +342,16 @@ impl SelectivityEstimator for PartitionedSelNet {
         self.predict_many(x, ts)
     }
 
+    fn estimate_many_into(&self, x: &[f32], ts: &[f32], out: &mut Vec<f64>) {
+        self.predict_many_into(x, ts, out)
+    }
+
     fn estimate_batch(&self, xs: &[&[f32]], ts: &[f32]) -> Vec<f64> {
         self.predict_batch(xs, ts)
+    }
+
+    fn estimate_batch_into(&self, xs: &[&[f32]], ts: &[f32], out: &mut Vec<f64>) {
+        self.predict_batch_into(xs, ts, out)
     }
 
     fn query_dim(&self) -> Option<usize> {
@@ -588,6 +752,7 @@ pub fn fit_partitioned(
         partitioning,
         name: "SelNet".into(),
         reference_val_mae: f64::MAX,
+        plans: PlanCell::new(),
     };
 
     // per-partition ground truth (precomputed, as in the paper)

@@ -287,6 +287,7 @@ impl SelNetModel {
             nets,
             name,
             reference_val_mae,
+            plans: crate::plans::PlanCell::new(),
         })
     }
 }
@@ -385,6 +386,7 @@ impl PartitionedSelNet {
             partitioning,
             name,
             reference_val_mae,
+            plans: crate::plans::PlanCell::new(),
         })
     }
 }

@@ -1,0 +1,94 @@
+//! Version-keyed caching of compiled inference plans.
+//!
+//! A model caches the [`InferencePlan`](selnet_tensor::InferencePlan)s
+//! compiled from its current parameters in a [`PlanCell`], keyed by
+//! [`ParamStore::version`](selnet_tensor::ParamStore::version). Any
+//! mutation of the store (an optimizer step during a §5.4 retrain, a
+//! checkpoint restore) bumps the version, so the next prediction
+//! recompiles automatically — there is no invalidation call to forget.
+//! Cloning a model (the hot-swap registry's `spawn_update` path) clones an
+//! **empty** cell: plans bake parameter values, and the clone builds its
+//! own on first use.
+
+use std::sync::{Arc, RwLock};
+
+/// A lazily-built, version-keyed slot for a compiled plan bundle `T`.
+pub(crate) struct PlanCell<T> {
+    slot: RwLock<Option<(u64, Arc<T>)>>,
+}
+
+impl<T> PlanCell<T> {
+    pub(crate) fn new() -> Self {
+        PlanCell {
+            slot: RwLock::new(None),
+        }
+    }
+
+    /// The cached bundle for `version`, building (and caching) it with
+    /// `build` when absent or stale. Readers share the slot; a rebuild
+    /// takes the write lock briefly.
+    pub(crate) fn get_or(&self, version: u64, build: impl FnOnce() -> T) -> Arc<T> {
+        if let Some((v, plans)) = self.slot.read().expect("plan cell poisoned").as_ref() {
+            if *v == version {
+                return Arc::clone(plans);
+            }
+        }
+        let mut slot = self.slot.write().expect("plan cell poisoned");
+        if let Some((v, plans)) = slot.as_ref() {
+            if *v == version {
+                return Arc::clone(plans);
+            }
+        }
+        let plans = Arc::new(build());
+        *slot = Some((version, Arc::clone(&plans)));
+        plans
+    }
+}
+
+impl<T> Clone for PlanCell<T> {
+    /// Clones as an empty cell: the clone rebuilds its plans on first use
+    /// (cheap, and immune to divergence once the clone retrains).
+    fn clone(&self) -> Self {
+        PlanCell::new()
+    }
+}
+
+impl<T> Default for PlanCell<T> {
+    fn default() -> Self {
+        PlanCell::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuilds_only_on_version_change() {
+        let cell: PlanCell<u32> = PlanCell::new();
+        let mut builds = 0;
+        let a = cell.get_or(1, || {
+            builds += 1;
+            10
+        });
+        let b = cell.get_or(1, || {
+            builds += 1;
+            11
+        });
+        assert_eq!((*a, *b, builds), (10, 10, 1));
+        let c = cell.get_or(2, || {
+            builds += 1;
+            12
+        });
+        assert_eq!((*c, builds), (12, 2));
+    }
+
+    #[test]
+    fn clone_is_empty() {
+        let cell: PlanCell<u32> = PlanCell::new();
+        let _ = cell.get_or(7, || 1);
+        let clone = cell.clone();
+        let v = clone.get_or(7, || 2);
+        assert_eq!(*v, 2, "cloned cell must rebuild, not share");
+    }
+}

@@ -201,6 +201,7 @@ pub fn fit_named(
         nets,
         name: name.to_string(),
         reference_val_mae: f64::MAX,
+        plans: crate::plans::PlanCell::new(),
     };
 
     let report = train_loop(

@@ -1,0 +1,150 @@
+//! Property tests pinning the **plan-vs-tape bit-identity contract** at
+//! the estimator level: for randomly drawn data seeds, partition counts,
+//! methods, and τ variants, the compiled-plan prediction paths
+//! (`predict_many`, `predict_batch`, `control_points_for`,
+//! `local_estimates`) produce exactly the bits of the reference tape
+//! implementations — before a retrain, after a §5.4 `check_and_update`
+//! retrain (plan cache invalidated by the parameter-version bump), and
+//! after a snapshot round-trip.
+
+use proptest::prelude::*;
+use selnet_core::{
+    fit, fit_partitioned, PartitionConfig, PartitionedSelNet, SelNetConfig, UpdatePolicy,
+};
+use selnet_data::generators::{fasttext_like, GeneratorConfig};
+use selnet_data::Dataset;
+use selnet_index::PartitionMethod;
+use selnet_metric::DistanceKind;
+use selnet_workload::{generate_workload, Workload, WorkloadConfig};
+
+fn fixture(seed: u64) -> (Dataset, Workload) {
+    let ds = fasttext_like(&GeneratorConfig::new(150, 4, 2, seed));
+    let mut wcfg = WorkloadConfig::new(10, DistanceKind::Euclidean, seed ^ 3);
+    wcfg.thresholds_per_query = 5;
+    let w = generate_workload(&ds, &wcfg);
+    (ds, w)
+}
+
+fn assert_model_paths_match(model: &PartitionedSelNet, w: &Workload, label: &str) {
+    // predict_many over every test query's grid
+    for q in w.test.iter().chain(w.valid.iter()) {
+        let plan = model.predict_many(&q.x, &q.thresholds);
+        let tape = model.tape_predict_many(&q.x, &q.thresholds);
+        assert_eq!(plan, tape, "{label}: predict_many diverged");
+        // local estimates at the last threshold: the indicator-masked sum
+        // must equal the global estimate bit for bit (the per-part values
+        // come from the same compiled plan `predict_many` just verified,
+        // and the sum replicates the tape path's arithmetic order)
+        if let Some(&t) = q.thresholds.last() {
+            let got = model.local_estimates(&q.x, t);
+            assert_eq!(got.len(), model.k(), "{label}: local_estimates arity");
+            let ind = model.partitioning().indicator(&q.x, t);
+            let expected: f64 = got
+                .iter()
+                .zip(&ind)
+                .map(|(&l, &on)| if on { l } else { 0.0 })
+                .sum();
+            let global = model.predict_many(&q.x, &[t])[0];
+            assert_eq!(
+                global.to_bits(),
+                expected.to_bits(),
+                "{label}: local/global sum"
+            );
+        }
+    }
+    // predict_batch over a flattened mixed batch
+    let mut xs: Vec<&[f32]> = Vec::new();
+    let mut ts: Vec<f32> = Vec::new();
+    for q in &w.test {
+        for &t in &q.thresholds {
+            xs.push(&q.x);
+            ts.push(t);
+        }
+    }
+    for &b in &[1usize, 3, 17, xs.len()] {
+        let b = b.min(xs.len());
+        let plan = model.predict_batch(&xs[..b], &ts[..b]);
+        let tape = model.tape_predict_batch(&xs[..b], &ts[..b]);
+        assert_eq!(plan, tape, "{label}: predict_batch diverged at b={b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Partitioned model: every prediction path rides the plan and matches
+    /// the tape bit for bit — including after a retrain (version-keyed
+    /// recompile) and after a snapshot round-trip (fresh plan cell).
+    #[test]
+    fn partitioned_plan_paths_are_bit_identical(
+        seed in 0u64..1000,
+        k in 1usize..4,
+        method_tag in 0usize..3,
+        query_dependent in 0usize..2,
+    ) {
+        let method = match method_tag {
+            0 => PartitionMethod::CoverTree { ratio: 0.1 },
+            1 => PartitionMethod::Random,
+            _ => PartitionMethod::KMeans,
+        };
+        let (ds, w) = fixture(seed);
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 1;
+        cfg.ae_pretrain_epochs = 1;
+        cfg.seed = seed;
+        cfg.query_dependent_tau = query_dependent == 1;
+        let pcfg = PartitionConfig { k, method, pretrain_epochs: 1, beta: 0.1 };
+        let (mut model, _) = fit_partitioned(&ds, &w, &cfg, &pcfg);
+
+        assert_model_paths_match(&model, &w, "fresh");
+
+        // §5.4 retrain mutates the store; the version bump must invalidate
+        // the cached plans so post-retrain predictions still match the tape
+        let policy = UpdatePolicy { mae_tolerance: -1.0, patience: 1, max_epochs: 1 };
+        let decision = model.check_and_update(&ds, w.kind, &w.train, &w.valid, &policy);
+        prop_assert!(decision.retrained(), "negative tolerance must retrain");
+        assert_model_paths_match(&model, &w, "after retrain");
+
+        // snapshot round-trip: the loaded model compiles its own plans and
+        // must agree with the original bit for bit
+        let mut buf = Vec::new();
+        model.save(&mut buf).expect("save");
+        let loaded = PartitionedSelNet::load(&mut buf.as_slice()).expect("load");
+        assert_model_paths_match(&loaded, &w, "after snapshot round-trip");
+        for q in &w.test {
+            prop_assert_eq!(
+                loaded.predict_many(&q.x, &q.thresholds),
+                model.predict_many(&q.x, &q.thresholds)
+            );
+        }
+    }
+
+    /// Single (non-partitioned) model: `predict_many` and
+    /// `control_points_for` ride one plan and match the tape bit for bit,
+    /// for both τ normalizations.
+    #[test]
+    fn single_model_plan_paths_are_bit_identical(
+        seed in 0u64..1000,
+        query_dependent in 0usize..2,
+    ) {
+        let (ds, w) = fixture(seed ^ 0x51);
+        let mut cfg = SelNetConfig::tiny();
+        cfg.epochs = 1;
+        cfg.ae_pretrain_epochs = 1;
+        cfg.seed = seed;
+        cfg.query_dependent_tau = query_dependent == 1;
+        let (model, _) = fit(&ds, &w, &cfg);
+        for q in w.test.iter().chain(w.valid.iter()) {
+            prop_assert_eq!(
+                model.predict_many(&q.x, &q.thresholds),
+                model.tape_predict_many(&q.x, &q.thresholds)
+            );
+            let (tau_p, p_p) = model.control_points_for(&q.x);
+            let (tau_t, p_t) = model.tape_control_points_for(&q.x);
+            prop_assert_eq!(tau_p, tau_t);
+            prop_assert_eq!(p_p, p_t);
+            // empty threshold grid: zero-row replay is well-defined
+            prop_assert_eq!(model.predict_many(&q.x, &[]), Vec::<f64>::new());
+        }
+    }
+}

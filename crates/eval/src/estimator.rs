@@ -14,6 +14,16 @@ pub trait SelectivityEstimator {
         ts.iter().map(|&t| self.estimate(x, t)).collect()
     }
 
+    /// [`SelectivityEstimator::estimate_many`] writing into a
+    /// caller-provided buffer (cleared first) — the allocation-free
+    /// variant serving loops and repeated-evaluation metrics ride.
+    /// Implementations must produce exactly the values `estimate_many`
+    /// returns.
+    fn estimate_many_into(&self, x: &[f32], ts: &[f32], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.estimate_many(x, ts));
+    }
+
     /// Estimates selectivities of many **distinct** queries at once:
     /// query `i` is `(xs[i], ts[i])`.
     ///
@@ -27,6 +37,17 @@ pub trait SelectivityEstimator {
             .zip(ts)
             .map(|(x, &t)| self.estimate(x, t))
             .collect()
+    }
+
+    /// [`SelectivityEstimator::estimate_batch`] writing into a
+    /// caller-provided buffer (cleared first). The serving engine calls
+    /// this once per coalesced batch with a per-worker scratch `Vec`, so
+    /// steady-state batches allocate nothing on the result path.
+    /// Implementations must produce exactly the values `estimate_batch`
+    /// returns.
+    fn estimate_batch_into(&self, xs: &[&[f32]], ts: &[f32], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.estimate_batch(xs, ts));
     }
 
     /// The query dimensionality this estimator accepts, when it has a
@@ -84,8 +105,16 @@ impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for Box<T> {
         (**self).estimate_many(x, ts)
     }
 
+    fn estimate_many_into(&self, x: &[f32], ts: &[f32], out: &mut Vec<f64>) {
+        (**self).estimate_many_into(x, ts, out)
+    }
+
     fn estimate_batch(&self, xs: &[&[f32]], ts: &[f32]) -> Vec<f64> {
         (**self).estimate_batch(xs, ts)
+    }
+
+    fn estimate_batch_into(&self, xs: &[&[f32]], ts: &[f32], out: &mut Vec<f64>) {
+        (**self).estimate_batch_into(xs, ts, out)
     }
 
     fn query_dim(&self) -> Option<usize> {

@@ -84,13 +84,16 @@ pub fn empirical_monotonicity(
         return 100.0;
     }
     let mut total = 0.0f64;
+    // evenly spaced thresholds over [0, tmax], as the test samples 100
+    // thresholds per query; the grid and the prediction buffer are shared
+    // across queries (buffer-reuse API), so the sweep allocates nothing
+    // per query
+    let ts: Vec<f32> = (0..num_thresholds)
+        .map(|i| tmax * i as f32 / (num_thresholds - 1) as f32)
+        .collect();
+    let mut preds = Vec::with_capacity(num_thresholds);
     for q in queries.iter().take(take) {
-        // evenly spaced thresholds over [0, tmax], as the test samples 100
-        // thresholds per query
-        let ts: Vec<f32> = (0..num_thresholds)
-            .map(|i| tmax * i as f32 / (num_thresholds - 1) as f32)
-            .collect();
-        let preds = model.estimate_many(&q.x, &ts);
+        model.estimate_many_into(&q.x, &ts, &mut preds);
         let mut ok = 0usize;
         let mut pairs = 0usize;
         for i in 0..preds.len() {

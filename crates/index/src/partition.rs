@@ -117,6 +117,7 @@ impl Partitioning {
                 radius: region.radius,
             });
         }
+        sort_regions_for_probing(&mut cluster_regions);
         Partitioning {
             k,
             kind,
@@ -304,6 +305,7 @@ impl Partitioning {
             }
             regions.push(cluster);
         }
+        sort_regions_for_probing(&mut regions);
         Ok(Partitioning {
             k,
             kind,
@@ -316,26 +318,59 @@ impl Partitioning {
     /// The intersection indicator `f_c(x, t)`: `true` for every cluster the
     /// query ball could intersect. Always all-true for random partitioning.
     pub fn indicator(&self, x: &[f32], t: f32) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.k);
+        self.indicator_into(x, t, &mut out);
+        out
+    }
+
+    /// [`Partitioning::indicator`] writing into a caller-provided buffer
+    /// (cleared first). For Euclidean partitionings this evaluates with no
+    /// allocation at all, so per-row indicator checks on serving hot paths
+    /// reuse one buffer across an entire batch. The ball test compares
+    /// **squared** distances (`‖x−c‖² ≤ (t_e + r + ε)²`, both sides
+    /// non-negative, so exactly the same balls match) — one fewer `sqrt`
+    /// per region on the hot path.
+    pub fn indicator_into(&self, x: &[f32], t: f32, out: &mut Vec<bool>) {
+        out.clear();
         if self.regions.is_empty() {
-            return vec![true; self.k];
+            out.resize(self.k, true);
+            return;
         }
-        // convert to Euclidean geometry
-        let (q, te): (Vec<f32>, f32) = match self.kind {
-            DistanceKind::Euclidean => (x.to_vec(), t),
+        // convert to Euclidean geometry; Euclidean queries borrow `x`
+        // directly instead of cloning it
+        let normalized;
+        let (q, te): (&[f32], f32) = match self.kind {
+            DistanceKind::Euclidean => (x, t),
             DistanceKind::Cosine => {
                 let mut q = x.to_vec();
                 vectors::normalize(&mut q);
-                (q, self.kind.to_euclidean_threshold(t))
+                normalized = q;
+                (&normalized, self.kind.to_euclidean_threshold(t))
             }
         };
-        self.regions
-            .iter()
-            .map(|cluster| {
-                cluster
-                    .iter()
-                    .any(|r| DistanceKind::Euclidean.eval(&q, &r.center) <= te + r.radius + 1e-6)
+        out.extend(self.regions.iter().map(|cluster| {
+            cluster.iter().any(|r| {
+                let bound = te + r.radius + 1e-6;
+                vectors::squared_euclidean(q, &r.center) <= bound * bound
             })
-            .collect()
+        }));
+    }
+}
+
+/// Orders each cluster's regions by **decreasing radius** (stable; ties
+/// keep their build order). The indicator's `any` probe then usually hits
+/// on the first region — the biggest ball is the likeliest intersector —
+/// which matters on the serving hot path where the indicator runs once
+/// per `(x, t)` row. Pure reordering of an OR: the indicator result is
+/// identical for every ordering. Applied at build and after load, so
+/// snapshots written before this ordering existed still probe fast.
+fn sort_regions_for_probing(regions: &mut [Vec<BallRegion>]) {
+    for cluster in regions.iter_mut() {
+        cluster.sort_by(|a, b| {
+            b.radius
+                .partial_cmp(&a.radius)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
     }
 }
 

@@ -8,6 +8,39 @@ use rand::{Rng, SeedableRng};
 use selnet_tensor::{Adam, Graph, Matrix, Optimizer, ParamStore, Var};
 use selnet_workload::LabeledQuery;
 
+/// One arena-tape training step shared by the baseline trainers: reset the
+/// tape, gather the batch leaves in place, record `forward`, apply the
+/// Huber-on-(log-)residual loss, and feed Adam **borrowed** gradients.
+/// After the first batch this performs no per-op matrix allocations (the
+/// PR 3 tape lifecycle), and it is bit-identical to the old
+/// fresh-`Graph`-per-batch step (pinned by `tests/arena_trainer.rs`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn arena_train_step(
+    g: &mut Graph,
+    store: &mut ParamStore,
+    opt: &mut Adam,
+    pairs: &Pairs<'_>,
+    chunk: &[usize],
+    dim: usize,
+    cfg: &NeuralConfig,
+    forward: &mut impl FnMut(&mut Graph, &ParamStore, Var, Var) -> (Var, bool),
+) {
+    g.reset();
+    let (xv, tv, yv) = batch_leaves(g, pairs, chunk, dim);
+    let (pred, is_log) = forward(g, store, xv, tv);
+    let pred_log = if is_log {
+        pred
+    } else {
+        g.ln_eps(pred, cfg.log_eps)
+    };
+    let r = g.sub(pred_log, yv);
+    let h = g.huber(r, cfg.huber_delta);
+    let loss = g.mean(h);
+    g.backward(loss);
+    let grads = g.param_grad_refs();
+    opt.step_refs(store, &grads);
+}
+
 /// Hyper-parameters shared by the neural baselines.
 #[derive(Clone, Debug)]
 pub struct NeuralConfig {
@@ -106,7 +139,10 @@ pub fn flatten<'a>(split: &'a [LabeledQuery], log_eps: f32) -> Pairs<'a> {
     p
 }
 
-/// Assembles batch matrices for the given pair indices.
+/// Assembles batch matrices for the given pair indices (allocating; kept
+/// for callers outside a training loop). Hot loops use
+/// [`batch_leaves`], which gathers straight into a reused tape's recycled
+/// buffers instead.
 pub fn batch(pairs: &Pairs<'_>, order: &[usize], dim: usize) -> (Matrix, Matrix, Matrix) {
     let b = order.len();
     let mut xb = Vec::with_capacity(b * dim);
@@ -124,6 +160,36 @@ pub fn batch(pairs: &Pairs<'_>, order: &[usize], dim: usize) -> (Matrix, Matrix,
     )
 }
 
+/// Records the batch `(x, t, ylog)` leaves for the given pair indices
+/// directly on a (reused) tape — the arena-lifecycle counterpart of
+/// [`batch`]: once the tape is warm, batch assembly touches the allocator
+/// not at all, and the leaf values are bit-identical to the allocating
+/// path.
+pub fn batch_leaves(
+    g: &mut Graph,
+    pairs: &Pairs<'_>,
+    order: &[usize],
+    dim: usize,
+) -> (Var, Var, Var) {
+    let b = order.len();
+    let xv = g.leaf_with(b, dim, |data| {
+        for (row, &i) in data.chunks_mut(dim.max(1)).zip(order) {
+            row.copy_from_slice(pairs.x[i]);
+        }
+    });
+    let tv = g.leaf_with(b, 1, |data| {
+        for (o, &i) in data.iter_mut().zip(order) {
+            *o = pairs.t[i];
+        }
+    });
+    let yv = g.leaf_with(b, 1, |data| {
+        for (o, &i) in data.iter_mut().zip(order) {
+            *o = pairs.ylog[i];
+        }
+    });
+    (xv, tv, yv)
+}
+
 /// Generic mini-batch trainer. `forward` records the model and returns the
 /// prediction; `pred_is_log` says whether it is already in log space (else
 /// `ln(max(·,0)+ε)` is applied before the Huber loss). `post_step` runs
@@ -131,6 +197,11 @@ pub fn batch(pairs: &Pairs<'_>, order: &[usize], dim: usize) -> (Matrix, Matrix,
 /// `(store, x, ts)` to selectivity predictions for validation. The
 /// parameters with the smallest validation MAE are kept; returns the
 /// per-epoch validation MAE history.
+///
+/// One arena tape is reused across every batch of every epoch
+/// ([`Graph::reset`] keeps the buffers) and gradients reach Adam as
+/// borrows — the PR 3 tape lifecycle, bit-identical to the old
+/// fresh-`Graph`-per-batch loop (pinned by `tests/arena_trainer.rs`).
 #[allow(clippy::too_many_arguments)]
 pub fn train_minibatch(
     store: &mut ParamStore,
@@ -150,6 +221,7 @@ pub fn train_minibatch(
     let mut best_mae = f64::MAX;
     let mut best_store = store.clone();
     let mut history = Vec::with_capacity(cfg.epochs);
+    let mut g = Graph::new();
 
     for _ in 0..cfg.epochs {
         for i in (1..n).rev() {
@@ -157,23 +229,16 @@ pub fn train_minibatch(
             order.swap(i, j);
         }
         for chunk in order.chunks(cfg.batch_size.max(1)) {
-            let (x, t, ylog) = batch(&pairs, chunk, dim);
-            let mut g = Graph::new();
-            let xv = g.leaf(x);
-            let tv = g.leaf(t);
-            let yv = g.leaf(ylog);
-            let (pred, is_log) = forward(&mut g, store, xv, tv);
-            let pred_log = if is_log {
-                pred
-            } else {
-                g.ln_eps(pred, cfg.log_eps)
-            };
-            let r = g.sub(pred_log, yv);
-            let h = g.huber(r, cfg.huber_delta);
-            let loss = g.mean(h);
-            g.backward(loss);
-            let grads = g.param_grads();
-            opt.step(store, &grads);
+            arena_train_step(
+                &mut g,
+                store,
+                &mut opt,
+                &pairs,
+                chunk,
+                dim,
+                cfg,
+                &mut forward,
+            );
             post_step(store);
         }
         // validation MAE with current parameters

@@ -184,7 +184,9 @@ fn predict_submodel(store: &ParamStore, emb: &TEmbedding, net: &Mlp, x: &[f32], 
     g.value(out).get(0, 0)
 }
 
-/// Trains one sub-model on a subset of pairs (Huber on logs).
+/// Trains one sub-model on a subset of pairs (Huber on logs). One arena
+/// tape is reused across all batches and epochs (the PR 3 lifecycle):
+/// leaves gather in place, gradients reach Adam as borrows.
 #[allow(clippy::too_many_arguments)]
 fn train_pairs_subset(
     store: &mut ParamStore,
@@ -199,17 +201,15 @@ fn train_pairs_subset(
 ) {
     let mut order: Vec<usize> = subset.to_vec();
     let mut opt = Adam::new(cfg.learning_rate).with_clip(1.0);
+    let mut g = Graph::new();
     for _ in 0..epochs {
         for i in (1..order.len()).rev() {
             let j = rng.gen_range(0..=i);
             order.swap(i, j);
         }
         for chunk in order.chunks(cfg.batch_size.max(1)) {
-            let (x, t, ylog) = crate::common::batch(pairs, chunk, dim);
-            let mut g = Graph::new();
-            let xv = g.leaf(x);
-            let tv = g.leaf(t);
-            let yv = g.leaf(ylog);
+            g.reset();
+            let (xv, tv, yv) = crate::common::batch_leaves(&mut g, pairs, chunk, dim);
             let te = emb.forward(&mut g, store, tv);
             let input = g.concat_cols(xv, te);
             let pred = net.forward(&mut g, store, input);
@@ -217,8 +217,8 @@ fn train_pairs_subset(
             let h = g.huber(r, cfg.huber_delta);
             let loss = g.mean(h);
             g.backward(loss);
-            let grads = g.param_grads();
-            opt.step(store, &grads);
+            let grads = g.param_grad_refs();
+            opt.step_refs(store, &grads);
         }
     }
 }

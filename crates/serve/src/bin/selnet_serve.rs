@@ -27,6 +27,7 @@ const USAGE: &str = "usage:
                           [--seed S] [--thresholds M] [--order desc|asc]
   selnet-serve serve --snapshot SNAPSHOT (--stdin | --addr HOST:PORT)
                      [--workers N] [--shards N] [--batch ROWS] [--cache ENTRIES]
+                     [--auto-batch-min ROWS]
   selnet-serve check-monotone [--expect non-increasing|non-decreasing]";
 
 fn main() -> ExitCode {
@@ -206,6 +207,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         shards: opts.num("shards", 0)?,
         max_batch_rows: opts.num("batch", 64)?,
         cache_entries: opts.num("cache", 256)?,
+        auto_batch_min_rows: opts.num("auto-batch-min", 0)?,
     };
 
     let file = std::fs::File::open(snapshot).map_err(|e| format!("open {snapshot}: {e}"))?;
@@ -226,7 +228,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let mut out = BufWriter::new(stdout.lock());
         let served = server::serve_lines(&engine, &mut stdin.lock(), &mut out)
             .map_err(|e| format!("stdin serving failed: {e}"))?;
-        let snap = engine.stats().snapshot();
+        // the merged snapshot carries per-shard cache hit/miss/eviction
+        // counters alongside the latency percentiles
+        let snap = engine.stats_snapshot();
         eprintln!("served {served} queries; {snap}");
         engine.shutdown();
         Ok(())

@@ -45,6 +45,21 @@ struct Entry {
     touched: u64,
 }
 
+/// Point-in-time counters of one cache shard, for the serving telemetry
+/// (`StatsSnapshot::cache_shards`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Lookups answered from the shard.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room (capacity pressure, not hot swaps —
+    /// generation turnover leaves old-generation entries to age out).
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: u64,
+}
+
 /// Least-recently-used map from [`QueryKey`] to a computed response.
 pub struct LruCache {
     capacity: usize,
@@ -52,6 +67,7 @@ pub struct LruCache {
     map: HashMap<QueryKey, Entry>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl LruCache {
@@ -64,6 +80,7 @@ impl LruCache {
             map: HashMap::with_capacity(capacity.min(1 << 12)),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -99,6 +116,7 @@ impl LruCache {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                self.evictions += 1;
             }
         }
         self.map.insert(
@@ -123,6 +141,16 @@ impl LruCache {
     /// `(hits, misses)` since construction.
     pub fn hit_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Full counters of this shard, for the stats snapshot.
+    pub fn counters(&self) -> CacheShardStats {
+        CacheShardStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len() as u64,
+        }
     }
 }
 

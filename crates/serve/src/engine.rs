@@ -8,31 +8,151 @@
 //!    wakes a worker;
 //! 2. a worker drains up to `max_batch_rows` `(x, t)` rows from its home
 //!    shard (stealing from other shards when idle), **never splitting a
-//!    request across batches**;
+//!    request across batches** — with batch-size auto-tuning enabled
+//!    ([`EngineConfig::auto_batch_min_rows`]), the drain cap follows an
+//!    EWMA of the observed queue depth, so light load gets small
+//!    low-latency batches and heavy load fills up to `max_batch_rows`;
 //! 3. the worker binds the current model generation once, answers cache
 //!    hits, flattens the misses into one
-//!    [`estimate_batch`](selnet_eval::SelectivityEstimator::estimate_batch)
-//!    call on the pooled arena tape, scatters the rows back per request,
-//!    fills the LRU cache, and replies.
+//!    [`estimate_batch_into`](selnet_eval::SelectivityEstimator::estimate_batch_into)
+//!    call over the model's compiled inference plan, writing into
+//!    per-worker scratch buffers (no per-request allocation beyond the
+//!    reply `Vec`s), scatters the rows back per request, fills the LRU
+//!    cache, and replies; latency samples land in the stats record under
+//!    one lock per batch.
+//!
+//! Blocking callers ([`Engine::serve_blocking`] / [`Engine::estimate_many`]
+//! and the TCP/stdin connection loops) additionally get a **same-thread
+//! fast path**: when every queue is idle there is nothing to coalesce
+//! with, so the submitting thread binds a generation and evaluates the
+//! single request itself, skipping the queue, the Condvar wake-up, and
+//! the reply-channel round-trip entirely. Async [`Engine::submit`] always
+//! queues, preserving pipelined coalescing.
 //!
 //! Because the batched forward is bit-identical per row to single-query
 //! evaluation, coalescing never changes an answer — any interleaving of
 //! client threads yields exactly the results of a sequential
 //! `estimate_many` (pinned by the `engine_concurrency` stress test). And
 //! because a request is answered entirely by the one generation its batch
-//! bound (the cache is generation-keyed too), a hot swap can never tear a
-//! response.
+//! bound (inline serving binds one generation too, and the cache is
+//! generation-keyed), a hot swap can never tear a response.
 
-use crate::cache::{LruCache, QueryKey};
+use crate::cache::{CacheShardStats, LruCache, QueryKey};
 use crate::registry::ModelRegistry;
-use crate::stats::ServeStats;
+use crate::stats::{ServeStats, StatsSnapshot};
 use selnet_eval::SelectivityEstimator;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// One-shot reply cell: a single `Arc` allocation per request, replacing
+/// the `mpsc` channel a request used to carry (channel creation plus its
+/// send-side node allocation dominated the per-request overhead of the
+/// coalesced path once evaluation itself got cheap).
+struct ReplySlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+enum SlotState {
+    Pending,
+    Ready(Vec<f64>),
+    /// The serving side dropped the request without answering (only
+    /// possible on shutdown races).
+    Abandoned,
+    /// The value was already taken by `wait`.
+    Taken,
+}
+
+/// Serving-side handle; fulfills the slot, or marks it abandoned on drop.
+/// The `Option` is `Some` until the reply is staged — staging takes the
+/// `Arc` out, so the `Drop` marker becomes a no-op without leaking a
+/// reference count (and without `unsafe`).
+struct ReplySender(Option<Arc<ReplySlot>>);
+
+impl ReplySender {
+    fn send(self, values: Vec<f64>) {
+        self.stage(values).notify();
+    }
+
+    /// Stores the value **without waking the waiter** — the worker stages
+    /// a whole batch of replies first and notifies afterwards, so a woken
+    /// client finds every other reply of its batch already in place
+    /// instead of ping-ponging the (single) CPU with the worker once per
+    /// reply.
+    fn stage(mut self, values: Vec<f64>) -> StagedReply {
+        let slot = self.0.take().expect("reply staged once");
+        *slot.state.lock().expect("reply slot poisoned") = SlotState::Ready(values);
+        StagedReply(slot)
+    }
+}
+
+/// A fulfilled reply whose waiter has not been woken yet.
+struct StagedReply(Arc<ReplySlot>);
+
+impl StagedReply {
+    fn notify(self) {
+        self.0.ready.notify_one();
+    }
+}
+
+impl Drop for ReplySender {
+    fn drop(&mut self) {
+        let Some(slot) = &self.0 else { return };
+        let mut state = slot.state.lock().expect("reply slot poisoned");
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Abandoned;
+            slot.ready.notify_one();
+        }
+    }
+}
+
+/// The engine dropped a request without answering it (only possible on a
+/// shutdown race).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request dropped unanswered (engine shut down)")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// Client-side handle to an in-flight request, returned by
+/// [`Engine::submit`].
+pub struct ReplyHandle(Arc<ReplySlot>);
+
+impl ReplyHandle {
+    /// Blocks until the engine answers; [`Disconnected`] means the
+    /// request was dropped unanswered (engine shutdown race).
+    pub fn wait(self) -> Result<Vec<f64>, Disconnected> {
+        let mut state = self.0.state.lock().expect("reply slot poisoned");
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Ready(values) => return Ok(values),
+                SlotState::Abandoned => return Err(Disconnected),
+                SlotState::Taken => unreachable!("wait consumes the handle"),
+                SlotState::Pending => {
+                    *state = SlotState::Pending;
+                    state = self.0.ready.wait(state).expect("reply slot poisoned");
+                }
+            }
+        }
+    }
+}
+
+fn reply_pair() -> (ReplySender, ReplyHandle) {
+    let slot = Arc::new(ReplySlot {
+        state: Mutex::new(SlotState::Pending),
+        ready: Condvar::new(),
+    });
+    (ReplySender(Some(Arc::clone(&slot))), ReplyHandle(slot))
+}
 
 /// Engine knobs. `..Default::default()` gives a sensible server: one
 /// worker per configured tensor thread, one shard per worker, batches of
@@ -50,6 +170,13 @@ pub struct EngineConfig {
     pub max_batch_rows: usize,
     /// LRU entries per cache shard (`0` disables response caching).
     pub cache_entries: usize,
+    /// Batch-size auto-tuning floor (`0` disables auto-tuning). When set,
+    /// each worker caps its drain at an EWMA of the queue depth it has
+    /// been observing, clamped to `[auto_batch_min_rows, max_batch_rows]`:
+    /// under light load batches stay small (latency), under bursts they
+    /// grow to `max_batch_rows` (throughput). Coalescing semantics are
+    /// unchanged — requests are never split, answers are bit-identical.
+    pub auto_batch_min_rows: usize,
 }
 
 impl Default for EngineConfig {
@@ -59,8 +186,54 @@ impl Default for EngineConfig {
             shards: 0,
             max_batch_rows: 64,
             cache_entries: 256,
+            auto_batch_min_rows: 0,
         }
     }
+}
+
+/// Per-worker batch-size auto-tuner: an EWMA of observed queue depth
+/// (in rows), clamped to the configured window at drain time.
+struct AutoBatch {
+    ewma_rows: f64,
+}
+
+impl AutoBatch {
+    fn new(max: usize) -> Self {
+        AutoBatch {
+            ewma_rows: max as f64,
+        }
+    }
+
+    /// Folds an observed pre-drain queue depth (rows) into the EWMA.
+    fn observe(&mut self, depth_rows: usize, max: usize) {
+        // cap the sample so one burst can't pin the EWMA above the window
+        let sample = depth_rows.min(max * 2) as f64;
+        self.ewma_rows = 0.7 * self.ewma_rows + 0.3 * sample;
+    }
+
+    /// The drain cap for the next batch.
+    fn cap(&self, min: usize, max: usize) -> usize {
+        auto_batch_cap(self.ewma_rows, min, max)
+    }
+}
+
+/// Pure cap computation: the EWMA rounded into `[min, max]` (`min == 0`
+/// means auto-tuning is off and the cap is always `max`).
+fn auto_batch_cap(ewma_rows: f64, min: usize, max: usize) -> usize {
+    if min == 0 {
+        return max;
+    }
+    (ewma_rows.round() as usize).clamp(min.min(max), max)
+}
+
+/// Per-worker scratch reused across batches: the flattened threshold
+/// column, the batched-evaluation output, and the latency samples — none
+/// of them re-allocate once warm.
+#[derive(Default)]
+struct BatchScratch {
+    ts: Vec<f32>,
+    flat: Vec<f64>,
+    served: Vec<(u64, u64)>,
 }
 
 /// Why [`Engine::submit`] refused a request.
@@ -97,7 +270,7 @@ struct Request {
     x: Vec<f32>,
     ts: Vec<f32>,
     enqueued: Instant,
-    reply: mpsc::Sender<Vec<f64>>,
+    reply: ReplySender,
 }
 
 struct Shard {
@@ -112,8 +285,12 @@ pub struct Engine<M> {
     registry: Arc<ModelRegistry<M>>,
     shards: Vec<Shard>,
     caches: Vec<Mutex<LruCache>>,
+    /// Whether the caches can ever hold anything; `false` skips key
+    /// construction and cache locks entirely on the batch path.
+    cache_enabled: bool,
     stats: Arc<ServeStats>,
     max_batch_rows: usize,
+    auto_batch_min_rows: usize,
     next_shard: AtomicUsize,
     stop: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -145,8 +322,10 @@ where
             registry,
             shards,
             caches,
+            cache_enabled: cfg.cache_entries > 0,
             stats: Arc::new(ServeStats::new()),
             max_batch_rows: cfg.max_batch_rows.max(1),
+            auto_batch_min_rows: cfg.auto_batch_min_rows,
             next_shard: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
@@ -165,28 +344,18 @@ where
         engine
     }
 
-    /// Enqueues one query object with its threshold grid; the receiver
-    /// yields the estimates (one per threshold, in order).
+    /// Enqueues one query object with its threshold grid; the returned
+    /// handle yields the estimates (one per threshold, in order) on
+    /// [`ReplyHandle::wait`].
     ///
     /// The query dimension is validated against the model *before*
     /// enqueueing (when the model declares one via
     /// [`SelectivityEstimator::query_dim`]): the estimators assert on
     /// mis-shaped input, and a panicking worker must never be reachable
     /// from untrusted wire bytes.
-    pub fn submit(
-        &self,
-        x: Vec<f32>,
-        ts: Vec<f32>,
-    ) -> Result<mpsc::Receiver<Vec<f64>>, SubmitError> {
-        if let Some(expected) = self.registry.current().1.query_dim() {
-            if x.len() != expected {
-                return Err(SubmitError::DimensionMismatch {
-                    expected,
-                    got: x.len(),
-                });
-            }
-        }
-        let (tx, rx) = mpsc::channel();
+    pub fn submit(&self, x: Vec<f32>, ts: Vec<f32>) -> Result<ReplyHandle, SubmitError> {
+        self.check_dim(&x)?;
+        let (tx, rx) = reply_pair();
         let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let req = Request {
             x,
@@ -211,21 +380,115 @@ where
         Ok(rx)
     }
 
-    /// Blocking convenience wrapper around [`Engine::submit`].
+    fn check_dim(&self, x: &[f32]) -> Result<(), SubmitError> {
+        if let Some(expected) = self.registry.current().1.query_dim() {
+            if x.len() != expected {
+                return Err(SubmitError::DimensionMismatch {
+                    expected,
+                    got: x.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves one request, blocking until the answer is ready — the entry
+    /// point for callers that wait anyway (connection loops, synchronous
+    /// clients).
+    ///
+    /// When every queue is idle there is nothing to coalesce with, so the
+    /// request is evaluated **inline on this thread** against one bound
+    /// generation (cache consulted and filled as usual), skipping the
+    /// queue, the worker wake-up, and the reply channel. Otherwise it
+    /// falls back to [`Engine::submit`] + receive, so concurrent load
+    /// still coalesces.
+    pub fn serve_blocking(&self, x: &[f32], ts: &[f32]) -> Result<Vec<f64>, SubmitError> {
+        self.check_dim(x)?;
+        if self.stop.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShutDown);
+        }
+        if self.queues_idle() {
+            return Ok(self.serve_inline(x, ts));
+        }
+        self.submit(x.to_vec(), ts.to_vec())?
+            .wait()
+            .map_err(|Disconnected| SubmitError::ShutDown)
+    }
+
+    /// Whether every shard queue is currently observably empty (a busy
+    /// lock counts as non-idle — a worker is draining it).
+    fn queues_idle(&self) -> bool {
+        self.shards.iter().all(|s| match s.queue.try_lock() {
+            Ok(q) => q.is_empty(),
+            Err(_) => false,
+        })
+    }
+
+    /// Evaluates one request synchronously against one bound generation,
+    /// with the same cache semantics as the worker path.
+    fn serve_inline(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
+        let started = Instant::now();
+        let (generation, model) = self.registry.current();
+        let key = self.cache_enabled.then(|| QueryKey::new(generation, x, ts));
+        if let Some(key) = &key {
+            let cached = self.caches[self.cache_shard(key)]
+                .lock()
+                .expect("cache lock poisoned")
+                .get(key);
+            if let Some(values) = cached {
+                self.stats.record_cache_hit();
+                self.stats.record_inline();
+                self.stats
+                    .record_request(ts.len() as u64, started.elapsed().as_micros() as u64);
+                return values;
+            }
+        }
+        let values = model.estimate_many(x, ts);
+        if let Some(key) = key {
+            self.caches[self.cache_shard(&key)]
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(key, values.clone());
+        }
+        self.stats.record_inline();
+        self.stats
+            .record_request(ts.len() as u64, started.elapsed().as_micros() as u64);
+        values
+    }
+
+    /// Blocking convenience wrapper around [`Engine::serve_blocking`].
     ///
     /// # Panics
     /// Panics if the engine has been shut down or the query is mis-shaped
-    /// (use [`Engine::submit`] to handle those as errors).
+    /// (use [`Engine::serve_blocking`] to handle those as errors).
     pub fn estimate_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
-        self.submit(x.to_vec(), ts.to_vec())
-            .expect("submit failed")
-            .recv()
+        self.serve_blocking(x, ts)
             .expect("engine stopped while serving")
     }
 
     /// The engine's telemetry.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// A stats snapshot with the per-shard cache counters filled in —
+    /// what the TCP stats frame and the stdin-mode stderr report render.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.cache_shards = self
+            .caches
+            .iter()
+            .map(|c| c.lock().expect("cache lock poisoned").counters())
+            .collect();
+        snap
+    }
+
+    /// Per-shard LRU cache counters.
+    pub fn cache_stats(&self) -> Vec<CacheShardStats> {
+        self.caches
+            .iter()
+            .map(|c| c.lock().expect("cache lock poisoned").counters())
+            .collect()
     }
 
     /// The registry this engine serves from (for hot swaps).
@@ -255,9 +518,11 @@ where
 
     fn worker_loop(self: &Arc<Self>, worker: usize) {
         let home = worker % self.shards.len();
+        let mut scratch = BatchScratch::default();
+        let mut auto = AutoBatch::new(self.max_batch_rows);
         loop {
-            match self.collect_batch(home) {
-                Some(batch) => self.serve_batch(batch),
+            match self.collect_batch(home, &mut auto) {
+                Some(batch) => self.serve_batch(batch, &mut scratch),
                 None => {
                     if self.stop.load(Ordering::SeqCst) && self.all_queues_empty() {
                         return;
@@ -273,16 +538,25 @@ where
             .all(|s| s.queue.lock().expect("queue lock poisoned").is_empty())
     }
 
-    /// Pops up to `max_batch_rows` rows of requests, preferring the home
-    /// shard and stealing from the others, without ever splitting one
-    /// request across batches. Returns `None` after an idle wait so the
-    /// caller can re-check for shutdown.
-    fn collect_batch(&self, home: usize) -> Option<Vec<Request>> {
+    /// Pops up to the current drain cap's rows of requests, preferring the
+    /// home shard and stealing from the others, without ever splitting one
+    /// request across batches. With auto-tuning on, the cap follows the
+    /// worker's queue-depth EWMA; otherwise it is `max_batch_rows`.
+    /// Returns `None` after an idle wait so the caller can re-check for
+    /// shutdown.
+    fn collect_batch(&self, home: usize, auto: &mut AutoBatch) -> Option<Vec<Request>> {
         let n = self.shards.len();
+        let cap = auto.cap(self.auto_batch_min_rows, self.max_batch_rows);
         for offset in 0..n {
             let shard = &self.shards[(home + offset) % n];
             let mut q = shard.queue.lock().expect("queue lock poisoned");
-            if let Some(batch) = Self::drain_requests(&mut q, self.max_batch_rows) {
+            if !q.is_empty() {
+                auto.observe(
+                    Self::queued_rows(&q, self.max_batch_rows),
+                    self.max_batch_rows,
+                );
+            }
+            if let Some(batch) = Self::drain_requests(&mut q, cap) {
                 return Some(batch);
             }
         }
@@ -293,7 +567,26 @@ where
             .signal
             .wait_timeout(q, Duration::from_millis(5))
             .expect("queue lock poisoned");
-        Self::drain_requests(&mut q, self.max_batch_rows)
+        if !q.is_empty() {
+            auto.observe(
+                Self::queued_rows(&q, self.max_batch_rows),
+                self.max_batch_rows,
+            );
+        }
+        Self::drain_requests(&mut q, cap)
+    }
+
+    /// Total `(x, t)` rows waiting in a queue, counted up to `2 * max`
+    /// (beyond that the EWMA sample is capped anyway).
+    fn queued_rows(q: &VecDeque<Request>, max: usize) -> usize {
+        let mut rows = 0usize;
+        for r in q {
+            rows += r.ts.len().max(1);
+            if rows >= max * 2 {
+                break;
+            }
+        }
+        rows
     }
 
     fn drain_requests(q: &mut VecDeque<Request>, max_rows: usize) -> Option<Vec<Request>> {
@@ -323,57 +616,82 @@ where
     }
 
     /// Answers a batch of requests from **one** model generation: cache
-    /// hits first, then a single coalesced `estimate_batch` over every
-    /// remaining `(x, t)` row.
-    fn serve_batch(&self, requests: Vec<Request>) {
+    /// hits first (skipped wholesale when caching is disabled), then a
+    /// single coalesced `estimate_batch_into` over every remaining
+    /// `(x, t)` row, written into the worker's reusable scratch.
+    fn serve_batch(&self, requests: Vec<Request>, scratch: &mut BatchScratch) {
         let (generation, model) = self.registry.current();
-        let mut pending: Vec<(Request, QueryKey)> = Vec::with_capacity(requests.len());
-        for req in requests {
-            let key = QueryKey::new(generation, &req.x, &req.ts);
-            let cached = self.caches[self.cache_shard(&key)]
-                .lock()
-                .expect("cache lock poisoned")
-                .get(&key);
-            match cached {
-                Some(values) => {
-                    self.stats.record_cache_hit();
-                    self.finish(req, values);
+        scratch.served.clear();
+        let mut pending: Vec<(Request, Option<QueryKey>)> = Vec::with_capacity(requests.len());
+        if self.cache_enabled {
+            for req in requests {
+                let key = QueryKey::new(generation, &req.x, &req.ts);
+                let cached = self.caches[self.cache_shard(&key)]
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .get(&key);
+                match cached {
+                    Some(values) => {
+                        // hits are recorded *before* their reply wakes the
+                        // client, so a snapshot taken right after a client
+                        // returns always counts its request
+                        self.stats.record_cache_hit();
+                        self.stats.record_request(
+                            req.ts.len() as u64,
+                            req.enqueued.elapsed().as_micros() as u64,
+                        );
+                        req.reply.send(values);
+                    }
+                    None => pending.push((req, Some(key))),
                 }
-                None => pending.push((req, key)),
             }
+        } else {
+            pending.extend(requests.into_iter().map(|r| (r, None)));
         }
         if pending.is_empty() {
             return;
         }
         let total_rows: usize = pending.iter().map(|(r, _)| r.ts.len()).sum();
         let mut xs: Vec<&[f32]> = Vec::with_capacity(total_rows);
-        let mut ts: Vec<f32> = Vec::with_capacity(total_rows);
+        scratch.ts.clear();
         for (req, _) in &pending {
             for &t in &req.ts {
                 xs.push(&req.x);
-                ts.push(t);
+                scratch.ts.push(t);
             }
         }
-        let flat = model.estimate_batch(&xs, &ts);
+        model.estimate_batch_into(&xs, &scratch.ts, &mut scratch.flat);
         self.stats.record_batch();
         let mut offset = 0usize;
+        // slice the results and record the stats BEFORE any reply becomes
+        // observable — a client returning from wait() must always find its
+        // request already counted in a snapshot
+        let mut replies = Vec::with_capacity(pending.len());
         for (req, key) in pending {
             let m = req.ts.len();
-            let values = flat[offset..offset + m].to_vec();
+            let values = scratch.flat[offset..offset + m].to_vec();
             offset += m;
-            self.caches[self.cache_shard(&key)]
-                .lock()
-                .expect("cache lock poisoned")
-                .insert(key, values.clone());
-            self.finish(req, values);
+            if let Some(key) = key {
+                self.caches[self.cache_shard(&key)]
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .insert(key, values.clone());
+            }
+            scratch
+                .served
+                .push((m as u64, req.enqueued.elapsed().as_micros() as u64));
+            replies.push((req.reply, values));
         }
-    }
-
-    fn finish(&self, req: Request, values: Vec<f64>) {
-        let latency_us = req.enqueued.elapsed().as_micros() as u64;
-        self.stats.record_request(req.ts.len() as u64, latency_us);
-        // the client may have dropped its receiver; that's its business
-        let _ = req.reply.send(values);
+        self.stats.record_requests(&scratch.served);
+        // stage every reply, then wake the waiters: a woken client then
+        // drains its whole batch without sleeping again per reply
+        let staged: Vec<StagedReply> = replies
+            .into_iter()
+            .map(|(reply, values)| reply.stage(values))
+            .collect();
+        for reply in staged {
+            reply.notify();
+        }
     }
 }
 
@@ -432,7 +750,7 @@ mod tests {
             .collect();
         eng.shutdown();
         for (i, rx) in receivers.into_iter().enumerate() {
-            assert_eq!(rx.recv().expect("drained"), vec![1.0 + i as f64]);
+            assert_eq!(rx.wait().expect("drained"), vec![1.0 + i as f64]);
         }
         assert_eq!(
             eng.submit(vec![0.0], vec![1.0]).err(),
@@ -505,6 +823,85 @@ mod tests {
         eng.registry().publish(Affine { scale: 10.0 });
         let c = eng.estimate_many(&[0.5], &[1.0]);
         assert_eq!(c, vec![10.5]);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn inline_fast_path_serves_idle_queues() {
+        let eng = engine(
+            2.0,
+            &EngineConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        // with no concurrent load every blocking call finds idle queues
+        // and is served on the calling thread
+        assert_eq!(eng.estimate_many(&[1.0], &[0.5, 1.0]), vec![2.0, 3.0]);
+        assert_eq!(eng.estimate_many(&[0.0], &[2.0]), vec![4.0]);
+        let snap = eng.stats().snapshot();
+        assert_eq!(snap.requests, 2);
+        assert!(
+            snap.inline_requests >= 1,
+            "idle-queue blocking calls should take the inline path, got {}",
+            snap.inline_requests
+        );
+        // inline serves still fill the cache: an identical repeat hits
+        let before = eng.stats().snapshot().cache_hits;
+        assert_eq!(eng.estimate_many(&[1.0], &[0.5, 1.0]), vec![2.0, 3.0]);
+        assert!(eng.stats().snapshot().cache_hits > before);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn auto_batch_cap_clamps_to_window() {
+        // disabled: always the max
+        assert_eq!(auto_batch_cap(3.0, 0, 64), 64);
+        // enabled: EWMA rounded into [min, max]
+        assert_eq!(auto_batch_cap(3.4, 8, 64), 8);
+        assert_eq!(auto_batch_cap(23.6, 8, 64), 24);
+        assert_eq!(auto_batch_cap(900.0, 8, 64), 64);
+        // degenerate window
+        assert_eq!(auto_batch_cap(10.0, 64, 16), 16);
+    }
+
+    #[test]
+    fn auto_batch_ewma_tracks_depth() {
+        let mut auto = AutoBatch::new(64);
+        for _ in 0..32 {
+            auto.observe(2, 64);
+        }
+        assert_eq!(auto.cap(4, 64), 4, "light load should shrink the cap");
+        for _ in 0..32 {
+            auto.observe(500, 64);
+        }
+        assert_eq!(auto.cap(4, 64), 64, "bursts should restore the max cap");
+    }
+
+    #[test]
+    fn cache_telemetry_reports_misses_and_evictions_per_shard() {
+        let eng = engine(
+            1.0,
+            &EngineConfig {
+                workers: 1,
+                shards: 1,
+                cache_entries: 1, // single-entry cache: repeats evict
+                ..Default::default()
+            },
+        );
+        for i in 0..4 {
+            let _ = eng.estimate_many(&[i as f32], &[1.0]);
+        }
+        let snap = eng.stats_snapshot();
+        assert_eq!(snap.cache_shards.len(), 1);
+        assert!(snap.cache_misses() >= 4, "distinct queries must miss");
+        assert!(
+            snap.cache_evictions() >= 3,
+            "a 1-entry cache under 4 distinct queries must evict, got {}",
+            snap.cache_evictions()
+        );
+        let line = snap.to_string();
+        assert!(line.contains("cache_shards=["), "display: {line}");
         eng.shutdown();
     }
 

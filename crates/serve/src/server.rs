@@ -9,6 +9,19 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+/// Maps an engine refusal onto the connection loops' `io::Error`
+/// vocabulary: shutdown reads as a broken pipe, anything else (a
+/// mis-shaped query) as invalid data. Shared by the TCP and stdin loops
+/// so both classify failures identically.
+fn submit_err_to_io(e: crate::engine::SubmitError) -> io::Error {
+    match e {
+        crate::engine::SubmitError::ShutDown => {
+            io::Error::new(io::ErrorKind::BrokenPipe, "engine shut down")
+        }
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
 /// Serves the binary protocol on `listener` until `stop` is set (checked
 /// between accepts; the listener must be non-blocking for prompt
 /// shutdown) or the listener errors. Each connection gets its own thread;
@@ -56,18 +69,17 @@ where
     while let Some(frame) = Frame::read(&mut reader)? {
         match frame {
             Frame::Stats => {
-                let text = engine.stats().snapshot().to_string();
+                // the merged snapshot includes per-shard cache counters
+                let text = engine.stats_snapshot().to_string();
                 protocol::write_stats_response(&mut writer, &text)?;
             }
             Frame::Query { x, ts } => {
                 // a mis-shaped query from an untrusted peer is a protocol
-                // error: close this connection, leave the engine serving
-                let rx = engine
-                    .submit(x, ts)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-                let estimates = rx
-                    .recv()
-                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "engine shut down"))?;
+                // error: close this connection, leave the engine serving.
+                // serve_blocking takes the same-thread fast path when the
+                // queues are idle and falls back to coalesced queueing
+                // under load.
+                let estimates = engine.serve_blocking(&x, &ts).map_err(submit_err_to_io)?;
                 protocol::write_response(&mut writer, &estimates)?;
             }
         }
@@ -97,12 +109,7 @@ where
         let Some(TextQuery { x, ts }) = query else {
             continue;
         };
-        let rx = engine
-            .submit(x, ts)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let estimates = rx
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "engine shut down"))?;
+        let estimates = engine.serve_blocking(&x, &ts).map_err(submit_err_to_io)?;
         let rendered: Vec<String> = estimates.iter().map(|v| v.to_string()).collect();
         writeln!(output, "{}", rendered.join(" "))?;
         served += 1;

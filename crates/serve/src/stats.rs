@@ -1,6 +1,7 @@
 //! Serving telemetry: request/row/batch counters and a latency record
 //! from which p50/p99 are computed.
 
+use crate::cache::CacheShardStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -18,7 +19,12 @@ pub struct ServeStats {
     requests: AtomicU64,
     rows: AtomicU64,
     batches: AtomicU64,
+    /// Rows that went through coalesced batch evaluations only (the
+    /// numerator of `mean_batch_rows`; inline and cache-hit rows are
+    /// excluded).
+    batch_rows: AtomicU64,
     cache_hits: AtomicU64,
+    inline_requests: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
     dropped_samples: AtomicU64,
 }
@@ -37,7 +43,9 @@ impl ServeStats {
             requests: AtomicU64::new(0),
             rows: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            batch_rows: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            inline_requests: AtomicU64::new(0),
             latencies_us: Mutex::new(Vec::new()),
             dropped_samples: AtomicU64::new(0),
         }
@@ -54,6 +62,36 @@ impl ServeStats {
         } else {
             self.dropped_samples.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Records a whole coalesced batch of answered requests —
+    /// `(rows, latency_us)` per request — under **one** latency-record
+    /// lock and two counter updates, instead of per-request traffic. This
+    /// is the worker path; [`ServeStats::record_request`] remains for
+    /// single-request (inline) serving.
+    pub fn record_requests(&self, served: &[(u64, u64)]) {
+        if served.is_empty() {
+            return;
+        }
+        let total_rows: u64 = served.iter().map(|&(r, _)| r).sum();
+        self.requests
+            .fetch_add(served.len() as u64, Ordering::Relaxed);
+        self.rows.fetch_add(total_rows, Ordering::Relaxed);
+        self.batch_rows.fetch_add(total_rows, Ordering::Relaxed);
+        let mut lat = self.latencies_us.lock().expect("stats lock poisoned");
+        for &(_, us) in served {
+            if lat.len() < MAX_SAMPLES {
+                lat.push(us);
+            } else {
+                self.dropped_samples.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records a request served synchronously on the submitting thread
+    /// (the idle-queue fast path), bypassing the queue and workers.
+    pub fn record_inline(&self) {
+        self.inline_requests.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one coalesced batch evaluation.
@@ -86,18 +124,27 @@ impl ServeStats {
         let requests = self.requests.load(Ordering::Relaxed);
         let rows = self.rows.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
+        let batch_rows = self.batch_rows.load(Ordering::Relaxed);
         StatsSnapshot {
             requests,
             rows,
             batches,
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            inline_requests: self.inline_requests.load(Ordering::Relaxed),
             dropped_latency_samples: self.dropped_samples.load(Ordering::Relaxed),
             p50_latency_us: pct(0.50),
             p99_latency_us: pct(0.99),
             elapsed_secs: elapsed,
             requests_per_sec: requests as f64 / elapsed.max(1e-9),
             rows_per_sec: rows as f64 / elapsed.max(1e-9),
-            mean_batch_rows: rows as f64 / batches.max(1) as f64,
+            // only batch-evaluated rows count, so inline serves and cache
+            // hits cannot inflate the reported coalescing win
+            mean_batch_rows: if batches == 0 {
+                0.0
+            } else {
+                batch_rows as f64 / batches as f64
+            },
+            cache_shards: Vec::new(),
         }
     }
 }
@@ -113,6 +160,11 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Requests served from the LRU cache.
     pub cache_hits: u64,
+    /// Requests served synchronously on the submitting thread (idle-queue
+    /// fast path); these bypass the queue, so they appear in `requests`
+    /// and `rows` but are excluded from `batches` and `mean_batch_rows`
+    /// (whose numerator counts only batch-evaluated rows).
+    pub inline_requests: u64,
     /// Latency samples dropped after the recorder filled (the
     /// percentiles then describe the first [`struct@ServeStats`]
     /// `MAX_SAMPLES` requests only).
@@ -127,27 +179,63 @@ pub struct StatsSnapshot {
     pub requests_per_sec: f64,
     /// Mean row throughput over the whole run.
     pub rows_per_sec: f64,
-    /// Mean rows per coalesced batch — the coalescing win in one number.
+    /// Mean **batch-evaluated** rows per coalesced batch — the coalescing
+    /// win in one number (inline serves and cache hits are excluded from
+    /// the numerator; `0` when no batch has run).
     pub mean_batch_rows: f64,
+    /// Per-shard LRU cache counters (hits / misses / evictions /
+    /// resident entries). Filled by
+    /// [`Engine::stats_snapshot`](crate::engine::Engine::stats_snapshot);
+    /// empty in a raw [`ServeStats::snapshot`], which cannot see the
+    /// engine's caches.
+    pub cache_shards: Vec<CacheShardStats>,
+}
+
+impl StatsSnapshot {
+    /// Cache misses summed across shards.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_shards.iter().map(|s| s.misses).sum()
+    }
+
+    /// Cache evictions summed across shards.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_shards.iter().map(|s| s.evictions).sum()
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "requests={} rows={} batches={} mean_batch_rows={:.2} cache_hits={} \
+            "requests={} rows={} batches={} mean_batch_rows={:.2} inline={} cache_hits={} \
              p50_us={} p99_us={} req_per_s={:.1} rows_per_s={:.1} elapsed_s={:.2}\
-             {}",
+             {}{}",
             self.requests,
             self.rows,
             self.batches,
             self.mean_batch_rows,
+            self.inline_requests,
             self.cache_hits,
             self.p50_latency_us,
             self.p99_latency_us,
             self.requests_per_sec,
             self.rows_per_sec,
             self.elapsed_secs,
+            if self.cache_shards.is_empty() {
+                String::new()
+            } else {
+                let shards: Vec<String> = self
+                    .cache_shards
+                    .iter()
+                    .map(|s| format!("{}h/{}m/{}e/{}r", s.hits, s.misses, s.evictions, s.entries))
+                    .collect();
+                format!(
+                    " cache_misses={} cache_evictions={} cache_shards=[{}]",
+                    self.cache_misses(),
+                    self.cache_evictions(),
+                    shards.join(" ")
+                )
+            },
             if self.dropped_latency_samples > 0 {
                 format!(
                     " dropped_latency_samples={} (percentiles cover the first samples only)",
@@ -172,16 +260,20 @@ mod tests {
         }
         s.record_batch();
         s.record_cache_hit();
+        // one coalesced batch of three requests (3 + 5 + 4 = 12 rows)
+        s.record_requests(&[(3, 101), (5, 102), (4, 103)]);
         let snap = s.snapshot();
-        assert_eq!(snap.requests, 100);
-        assert_eq!(snap.rows, 200);
+        assert_eq!(snap.requests, 103);
+        assert_eq!(snap.rows, 212);
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.cache_hits, 1);
-        assert_eq!(snap.p50_latency_us, 50);
-        assert_eq!(snap.p99_latency_us, 99);
-        assert!(snap.mean_batch_rows > 100.0);
+        assert_eq!(snap.p50_latency_us, 52);
+        assert_eq!(snap.p99_latency_us, 102);
+        // only the batch's 12 rows count toward the coalescing mean — the
+        // 200 rows recorded one request at a time (the inline path) do not
+        assert_eq!(snap.mean_batch_rows, 12.0);
         let line = snap.to_string();
-        assert!(line.contains("p99_us=99"), "display: {line}");
+        assert!(line.contains("p99_us=102"), "display: {line}");
     }
 
     #[test]
@@ -189,5 +281,6 @@ mod tests {
         let snap = ServeStats::new().snapshot();
         assert_eq!(snap.p50_latency_us, 0);
         assert_eq!(snap.requests, 0);
+        assert_eq!(snap.mean_batch_rows, 0.0);
     }
 }

@@ -73,6 +73,9 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
             shards: 2,
             max_batch_rows: 16,
             cache_entries: 32,
+            // auto-tuning on: the drain cap follows queue depth, and must
+            // not change a single answer
+            auto_batch_min_rows: 2,
         },
     );
     let clients = 6;
@@ -84,17 +87,41 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
             let expected = &expected;
             scope.spawn(move || {
                 // each client walks the pool from its own offset so the
-                // queue interleaving differs per thread
+                // queue interleaving differs per thread; traffic mixes the
+                // blocking path (which may serve inline when queues are
+                // idle) with pipelined submit bursts (which always queue
+                // and therefore coalesce)
                 for r in 0..rounds {
+                    let mut burst: Vec<(usize, _)> = Vec::new();
                     for i in 0..pool.len() {
                         let idx = (i + c * 7 + r * 13) % pool.len();
                         let (x, ts) = &pool[idx];
-                        let got = engine.estimate_many(x, ts);
-                        assert_eq!(
-                            got, expected[idx],
-                            "client {c} round {r} query {idx}: batched concurrent result \
-                             differs from sequential estimate_many"
-                        );
+                        if (i + c) % 2 == 0 {
+                            let got = engine.estimate_many(x, ts);
+                            assert_eq!(
+                                got, expected[idx],
+                                "client {c} round {r} query {idx}: blocking concurrent \
+                                 result differs from sequential estimate_many"
+                            );
+                        } else {
+                            let handle = engine
+                                .submit(x.clone(), ts.clone())
+                                .expect("engine running");
+                            burst.push((idx, handle));
+                            if burst.len() >= 8 {
+                                for (idx, handle) in burst.drain(..) {
+                                    assert_eq!(
+                                        handle.wait().expect("served"),
+                                        expected[idx],
+                                        "client {c} round {r} query {idx}: queued \
+                                         concurrent result differs from sequential"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    for (idx, handle) in burst {
+                        assert_eq!(handle.wait().expect("served"), expected[idx]);
                     }
                 }
             });
@@ -104,7 +131,7 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
     assert_eq!(stats.requests, (clients * rounds * pool.len()) as u64);
     assert!(
         stats.mean_batch_rows > 1.0,
-        "concurrent load should produce coalesced batches, got {}",
+        "pipelined submit bursts must produce coalesced batches, got {}",
         stats.mean_batch_rows
     );
     engine.shutdown();
@@ -142,6 +169,7 @@ fn hot_swap_mid_traffic_never_tears_a_response() {
             shards: 2,
             max_batch_rows: 16,
             cache_entries: 16,
+            auto_batch_min_rows: 0,
         },
     );
     std::thread::scope(|scope| {
@@ -191,6 +219,105 @@ fn hot_swap_mid_traffic_never_tears_a_response() {
         }
         swapper.join().expect("swapper panicked");
     });
+    engine.shutdown();
+}
+
+/// Plan-cache invalidation under hot swap: with compiled inference plans
+/// now backing every prediction path, a hot swap mid-traffic must still
+/// produce **exactly-one-generation** answers — each response equals one
+/// model's (plan-backed) output bit for bit, never a mixture of a stale
+/// plan and fresh parameters — and stays monotone in an ascending
+/// threshold grid. This drives a real §5.4 `spawn_update` retrain (which
+/// mutates a clone's `ParamStore`, exercising the version-keyed recompile)
+/// while clients hammer the engine.
+#[test]
+fn plans_stay_generation_consistent_across_retrain_swap() {
+    let (ds, w) = data_fixture(97);
+    let model = train(&ds, &w, 97, 2);
+    let pool = query_pool(&ds, model.tmax(), 16);
+    // pre-swap truth from the plan path AND the tape path (they must agree
+    // before we can attribute any served answer to a generation)
+    let answers_old: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| model.predict_many(x, ts))
+        .collect();
+    for ((x, ts), expected) in pool.iter().zip(&answers_old) {
+        assert_eq!(
+            &model.tape_predict_many(x, ts),
+            expected,
+            "plan path must equal tape path before serving"
+        );
+    }
+
+    let registry = Arc::new(ModelRegistry::new(model));
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        &EngineConfig {
+            workers: 3,
+            shards: 2,
+            max_batch_rows: 16,
+            cache_entries: 16,
+            auto_batch_min_rows: 4,
+        },
+    );
+    // retrain a clone off-thread (negative tolerance: always retrains) and
+    // publish it while traffic runs
+    let policy = selnet_core::UpdatePolicy {
+        mae_tolerance: -1.0,
+        patience: 1,
+        max_epochs: 2,
+    };
+    let (train_split, valid_split, kind) = (w.train.clone(), w.valid.clone(), w.kind);
+    let handle = registry.spawn_update(move |m: &mut PartitionedSelNet| {
+        m.check_and_update(&ds, kind, &train_split, &valid_split, &policy)
+    });
+    std::thread::scope(|scope| {
+        for c in 0..4 {
+            let engine = &engine;
+            let pool = &pool;
+            let answers_old = &answers_old;
+            let registry = &registry;
+            scope.spawn(move || {
+                for r in 0..6 {
+                    for i in 0..pool.len() {
+                        let idx = (i + c * 3 + r) % pool.len();
+                        let (x, ts) = &pool[idx];
+                        let got = engine.estimate_many(x, ts);
+                        // every answer is one complete generation's output:
+                        // either the pre-swap model's pinned answers, or
+                        // whatever the currently-published model computes
+                        // (compared via its own plan path)
+                        if got != answers_old[idx] {
+                            let (_, current) = registry.current();
+                            let fresh = current.predict_many(x, ts);
+                            assert_eq!(
+                                got, fresh,
+                                "query {idx}: response matches neither the old generation \
+                                 nor the current one — a stale plan leaked across a swap"
+                            );
+                        }
+                        for pair in got.windows(2) {
+                            assert!(
+                                pair[1] >= pair[0],
+                                "query {idx}: non-monotone response {got:?}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let (decision, generation) = handle.wait();
+    assert!(decision.retrained(), "negative tolerance must retrain");
+    assert_eq!(generation, 1);
+    // after the swap: served answers equal the new model's plan path,
+    // which in turn equals its tape path (version-keyed recompile worked)
+    let (_, current) = registry.current();
+    for (x, ts) in &pool {
+        let served = engine.estimate_many(x, ts);
+        assert_eq!(served, current.predict_many(x, ts));
+        assert_eq!(served, current.tape_predict_many(x, ts));
+    }
     engine.shutdown();
 }
 

@@ -56,6 +56,7 @@
 //!   DLN baseline),
 //! * [`Graph::huber`] — the robust Huber loss (δ = 1.345 by default).
 
+use crate::fwd;
 use crate::matrix::Matrix;
 
 /// Handle to a node on the tape.
@@ -81,9 +82,11 @@ impl ParamId {
 
 /// The recorded operation of a tape node. Plain indices only — per-node
 /// auxiliary state (the PWL segment choice) lives on the [`Node`] so slot
-/// reuse recycles its allocation too.
+/// reuse recycles its allocation too. `pub(crate)` so
+/// [`InferencePlan::compile`](crate::InferencePlan::compile) can translate
+/// a recorded tape into a grad-free instruction list.
 #[derive(Clone, Copy, Debug)]
-enum Op {
+pub(crate) enum Op {
     Leaf,
     MatMul(usize, usize),
     Add(usize, usize),
@@ -94,7 +97,7 @@ enum Op {
     /// matrix (R x C) * column vector (R x 1) broadcast over columns
     MulColVec(usize, usize),
     Scale(usize, f32),
-    AddScalar(usize),
+    AddScalar(usize, f32),
     Relu(usize),
     LeakyRelu(usize, f32),
     /// `elu(x) + 1`, strictly positive; used by UMNN's integrand.
@@ -135,14 +138,14 @@ enum Op {
 
 /// One tape slot. `value` and `grad` keep their allocations across
 /// [`Graph::reset`] so later batches recycle them.
-struct Node {
-    value: Matrix,
+pub(crate) struct Node {
+    pub(crate) value: Matrix,
     /// In-place gradient accumulator; meaningful only while `grad_seen`.
     grad: Matrix,
     /// Whether `grad` holds this backward sweep's accumulated gradient.
     grad_seen: bool,
-    op: Op,
-    param: Option<ParamId>,
+    pub(crate) op: Op,
+    pub(crate) param: Option<ParamId>,
     /// Per-row segment chosen by a `PwlInterp` forward pass (`-1` below
     /// range, `-2` above); replayed by the backward sweep. Kept on the node
     /// (not in [`Op`]) so the buffer is recycled across batches.
@@ -347,6 +350,11 @@ impl Graph {
         self.nodes.len()
     }
 
+    /// The live portion of the tape, for the plan compiler.
+    pub(crate) fn live_nodes(&self) -> &[Node] {
+        &self.nodes[..self.live]
+    }
+
     /// Collects `(ParamId, gradient)` pairs for every parameter leaf,
     /// **cloning** each gradient. Hot paths should use
     /// [`Graph::param_grad_refs`] instead.
@@ -408,16 +416,7 @@ impl Graph {
         );
         let idx = self.alloc(shape.0, shape.1, op);
         let (pre, out) = self.out_split(idx);
-        let (va, vb) = (&pre[a.0].value, &pre[b.0].value);
-        for ((o, &x), &y) in out
-            .value
-            .data_mut()
-            .iter_mut()
-            .zip(va.data())
-            .zip(vb.data())
-        {
-            *o = f(x, y);
-        }
+        fwd::binary_zip(&pre[a.0].value, &pre[b.0].value, &mut out.value, f);
         self.done(idx)
     }
 
@@ -447,18 +446,7 @@ impl Graph {
         let (rows, cols) = self.nodes[m.0].value.shape();
         let idx = self.alloc(rows, cols, Op::AddRowVec(m.0, row.0));
         let (pre, out) = self.out_split(idx);
-        let (vm, vr) = (&pre[m.0].value, &pre[row.0].value);
-        for i in 0..rows {
-            for ((o, &x), &b) in out
-                .value
-                .row_mut(i)
-                .iter_mut()
-                .zip(vm.row(i))
-                .zip(vr.data())
-            {
-                *o = x + b;
-            }
-        }
+        fwd::add_row_vec(&pre[m.0].value, &pre[row.0].value, &mut out.value);
         self.done(idx)
     }
 
@@ -473,13 +461,7 @@ impl Graph {
         let (rows, cols) = self.nodes[m.0].value.shape();
         let idx = self.alloc(rows, cols, Op::MulColVec(m.0, col.0));
         let (pre, out) = self.out_split(idx);
-        let (vm, vc) = (&pre[m.0].value, &pre[col.0].value);
-        for i in 0..rows {
-            let s = vc.get(i, 0);
-            for (o, &x) in out.value.row_mut(i).iter_mut().zip(vm.row(i)) {
-                *o = x * s;
-            }
-        }
+        fwd::mul_col_vec(&pre[m.0].value, &pre[col.0].value, &mut out.value);
         self.done(idx)
     }
 
@@ -490,9 +472,7 @@ impl Graph {
         let shape = self.nodes[a.0].value.shape();
         let idx = self.alloc(shape.0, shape.1, op);
         let (pre, out) = self.out_split(idx);
-        for (o, &x) in out.value.data_mut().iter_mut().zip(pre[a.0].value.data()) {
-            *o = f(x);
-        }
+        fwd::unary_map(&pre[a.0].value, &mut out.value, f);
         self.done(idx)
     }
 
@@ -503,55 +483,35 @@ impl Graph {
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        self.unary_map(a, Op::AddScalar(a.0), |x| x + c)
+        self.unary_map(a, Op::AddScalar(a.0, c), |x| x + c)
     }
 
     // ---- unary activations ----
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        self.unary_map(a, Op::Relu(a.0), |x| x.max(0.0))
+        self.unary_map(a, Op::Relu(a.0), fwd::relu)
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        self.unary_map(a, Op::LeakyRelu(a.0, alpha), |x| {
-            if x > 0.0 {
-                x
-            } else {
-                alpha * x
-            }
-        })
+        self.unary_map(a, Op::LeakyRelu(a.0, alpha), |x| fwd::leaky_relu(x, alpha))
     }
 
     /// `elu(x) + 1 = exp(x)` for `x <= 0`, `x + 1` for `x > 0`; strictly
     /// positive, used for UMNN's positive integrand.
     pub fn elu_plus_one(&mut self, a: Var) -> Var {
-        self.unary_map(a, Op::EluPlusOne(a.0), |x| {
-            if x > 0.0 {
-                x + 1.0
-            } else {
-                x.exp()
-            }
-        })
+        self.unary_map(a, Op::EluPlusOne(a.0), fwd::elu_plus_one)
     }
 
     /// Numerically-stable softplus `ln(1 + e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
-        self.unary_map(a, Op::Softplus(a.0), |x| {
-            if x > 20.0 {
-                x
-            } else if x < -20.0 {
-                x.exp()
-            } else {
-                x.exp().ln_1p()
-            }
-        })
+        self.unary_map(a, Op::Softplus(a.0), fwd::softplus)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        self.unary_map(a, Op::Sigmoid(a.0), |x| 1.0 / (1.0 + (-x).exp()))
+        self.unary_map(a, Op::Sigmoid(a.0), fwd::sigmoid)
     }
 
     /// Hyperbolic tangent.
@@ -561,13 +521,13 @@ impl Graph {
 
     /// Elementwise exponential (inputs are clamped to 30 to stay finite).
     pub fn exp(&mut self, a: Var) -> Var {
-        self.unary_map(a, Op::Exp(a.0), |x| x.min(30.0).exp())
+        self.unary_map(a, Op::Exp(a.0), fwd::exp_clamped)
     }
 
     /// `ln(max(x, 0) + eps)` — the log-space mapping used by the paper's
     /// loss (the `eps` padding prevents `ln 0`).
     pub fn ln_eps(&mut self, a: Var, eps: f32) -> Var {
-        self.unary_map(a, Op::LnEps(a.0, eps), |x| (x.max(0.0) + eps).ln())
+        self.unary_map(a, Op::LnEps(a.0, eps), |x| fwd::ln_eps(x, eps))
     }
 
     /// Elementwise absolute value.
@@ -585,19 +545,7 @@ impl Graph {
         let (rows, cols) = self.nodes[a.0].value.shape();
         let idx = self.alloc(rows, cols, Op::SoftmaxRows(a.0));
         let (pre, out) = self.out_split(idx);
-        for i in 0..rows {
-            let row = out.value.row_mut(i);
-            row.copy_from_slice(pre[a.0].value.row(i));
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let mut sum = 0.0f32;
-            for x in row.iter_mut() {
-                *x = (*x - max).exp();
-                sum += *x;
-            }
-            for x in row.iter_mut() {
-                *x /= sum;
-            }
-        }
+        fwd::softmax_rows(&pre[a.0].value, &mut out.value);
         self.done(idx)
     }
 
@@ -624,10 +572,7 @@ impl Graph {
         let rows = self.nodes[a.0].value.rows();
         let idx = self.alloc(rows, 1, Op::RowSum(a.0));
         let (pre, out) = self.out_split(idx);
-        for i in 0..rows {
-            let s: f32 = pre[a.0].value.row(i).iter().sum();
-            out.value.set(i, 0, s);
-        }
+        fwd::row_sum(&pre[a.0].value, &mut out.value);
         self.done(idx)
     }
 
@@ -640,11 +585,7 @@ impl Graph {
         assert_eq!(rows, rb, "concat_cols row mismatch");
         let idx = self.alloc(rows, ca + cb, Op::ConcatCols(a.0, b.0));
         let (pre, out) = self.out_split(idx);
-        for i in 0..rows {
-            let dst = out.value.row_mut(i);
-            dst[..ca].copy_from_slice(pre[a.0].value.row(i));
-            dst[ca..].copy_from_slice(pre[b.0].value.row(i));
-        }
+        fwd::concat_cols(&pre[a.0].value, &pre[b.0].value, &mut out.value);
         self.done(idx)
     }
 
@@ -654,11 +595,7 @@ impl Graph {
         assert!(start <= end && end <= cols, "slice_cols out of range");
         let idx = self.alloc(rows, end - start, Op::SliceCols(a.0, start, end));
         let (pre, out) = self.out_split(idx);
-        for i in 0..rows {
-            out.value
-                .row_mut(i)
-                .copy_from_slice(&pre[a.0].value.row(i)[start..end]);
-        }
+        fwd::slice_cols(&pre[a.0].value, start, end, &mut out.value);
         self.done(idx)
     }
 
@@ -671,13 +608,7 @@ impl Graph {
         let (rows, cols) = self.nodes[a.0].value.shape();
         let idx = self.alloc(rows, cols, Op::CumsumCols(a.0));
         let (pre, out) = self.out_split(idx);
-        for i in 0..rows {
-            let mut acc = 0.0f32;
-            for (o, &x) in out.value.row_mut(i).iter_mut().zip(pre[a.0].value.row(i)) {
-                acc += x;
-                *o = acc;
-            }
-        }
+        fwd::cumsum_cols(&pre[a.0].value, &mut out.value);
         self.done(idx)
     }
 
@@ -687,30 +618,16 @@ impl Graph {
     /// sum into a partition of `[0, 1]`.
     pub fn norml2(&mut self, a: Var, eps: f32) -> Var {
         let (rows, cols) = self.nodes[a.0].value.shape();
-        let d = cols as f32;
         let idx = self.alloc(rows, cols, Op::Norml2(a.0, eps));
         let (pre, out) = self.out_split(idx);
-        for i in 0..rows {
-            let src = pre[a.0].value.row(i);
-            let dot: f32 = src.iter().map(|&x| x * x).sum();
-            let denom = dot + eps;
-            for (o, &x) in out.value.row_mut(i).iter_mut().zip(src) {
-                *o = (x * x + eps / d) / denom;
-            }
-        }
+        fwd::norml2(&pre[a.0].value, eps, &mut out.value);
         self.done(idx)
     }
 
     /// Elementwise Huber with parameter `delta`:
     /// `r^2/2` for `|r| <= delta`, `delta(|r| - delta/2)` otherwise.
     pub fn huber(&mut self, a: Var, delta: f32) -> Var {
-        self.unary_map(a, Op::Huber(a.0, delta), |r| {
-            if r.abs() <= delta {
-                0.5 * r * r
-            } else {
-                delta * (r.abs() - 0.5 * delta)
-            }
-        })
+        self.unary_map(a, Op::Huber(a.0, delta), |r| fwd::huber(r, delta))
     }
 
     /// Evaluates the continuous piece-wise linear function of Eq. (1).
@@ -754,40 +671,13 @@ impl Graph {
             },
         );
         let (pre, out) = self.out_split(idx);
-        let (vt, vtau, vp) = (&pre[t.0].value, &pre[tau.0].value, &pre[p.0].value);
-        let m = vtau.cols();
-        out.seg.clear();
-        out.seg.resize(rows, 0);
-        // index-driven on purpose: three parallel row-broadcast matrices
-        #[allow(clippy::needless_range_loop)]
-        for r in 0..rows {
-            let tr = vt.get(r, 0);
-            let taur = vtau.row(if vtau.rows() == 1 { 0 } else { r });
-            let pr = vp.row(if vp.rows() == 1 { 0 } else { r });
-            if tr < taur[0] {
-                out.seg[r] = -1;
-                out.value.set(r, 0, pr[0]);
-            } else if tr >= taur[m - 1] {
-                out.seg[r] = -2;
-                out.value.set(r, 0, pr[m - 1]);
-            } else {
-                // binary search for the segment i with taur[i] <= tr < taur[i+1]
-                let mut lo = 0usize;
-                let mut hi = m - 1;
-                while hi - lo > 1 {
-                    let mid = (lo + hi) / 2;
-                    if taur[mid] <= tr {
-                        lo = mid;
-                    } else {
-                        hi = mid;
-                    }
-                }
-                let denom = (taur[lo + 1] - taur[lo]).max(1e-12);
-                let alpha = (tr - taur[lo]) / denom;
-                out.seg[r] = lo as i64;
-                out.value.set(r, 0, pr[lo] + alpha * (pr[lo + 1] - pr[lo]));
-            }
-        }
+        fwd::pwl_interp(
+            &pre[tau.0].value,
+            &pre[p.0].value,
+            &pre[t.0].value,
+            &mut out.value,
+            Some(&mut out.seg),
+        );
         self.done(idx)
     }
 
@@ -821,24 +711,12 @@ impl Graph {
             },
         );
         let (pre, out) = self.out_split(idx);
-        let (vi, vw, vb) = (
+        fwd::block_linear(
             &pre[input.0].value,
             &pre[weight.0].value,
             &pre[bias.0].value,
+            &mut out.value,
         );
-        let h = vw.cols();
-        for r in 0..rows {
-            let row = vi.row(r);
-            for i in 0..blocks {
-                let chunk = &row[i * h..(i + 1) * h];
-                let w = vw.row(i);
-                let mut acc = vb.get(0, i);
-                for (&x, &wv) in chunk.iter().zip(w) {
-                    acc += x * wv;
-                }
-                out.value.set(r, i, acc);
-            }
-        }
         self.done(idx)
     }
 
@@ -849,7 +727,7 @@ impl Graph {
     /// upper coordinates (bit `j` set = upper vertex along dim `j`).
     /// Used by the DLN baseline's lattice layers.
     pub fn lattice(&mut self, input: Var, params: Var) -> Var {
-        let (rows, m) = {
+        let (rows, _m) = {
             let (vi, vp) = (&self.nodes[input.0].value, &self.nodes[params.0].value);
             let m = vi.cols();
             assert!(m <= 16, "lattice: dimension too large (2^m params)");
@@ -869,20 +747,7 @@ impl Graph {
             },
         );
         let (pre, out) = self.out_split(idx);
-        let (vi, vp) = (&pre[input.0].value, &pre[params.0].value);
-        for r in 0..rows {
-            let x = vi.row(r);
-            let mut acc = 0.0f32;
-            for mask in 0..(1usize << m) {
-                let mut w = 1.0f32;
-                for (j, &xj) in x.iter().enumerate() {
-                    let c = xj.clamp(0.0, 1.0);
-                    w *= if mask >> j & 1 == 1 { c } else { 1.0 - c };
-                }
-                acc += w * vp.get(0, mask);
-            }
-            out.value.set(r, 0, acc);
-        }
+        fwd::lattice(&pre[input.0].value, &pre[params.0].value, &mut out.value);
         self.done(idx)
     }
 
@@ -1018,7 +883,7 @@ impl Graph {
                 let (grad, seen) = grad_mut(pre, a);
                 acc_map(grad, seen, &rest[0].grad, |g| g * alpha);
             }
-            Op::AddScalar(a) => {
+            Op::AddScalar(a, _) => {
                 let (pre, rest) = self.nodes.split_at_mut(idx);
                 acc_matrix(pre, a, &rest[0].grad);
             }

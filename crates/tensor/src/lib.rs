@@ -24,6 +24,16 @@
 //! lifecycle and determinism contract. Inference paths without a handy
 //! `&mut Graph` can use the thread-local pool, [`Graph::with_pooled`].
 //!
+//! ## Compiled inference plans
+//!
+//! Serving doesn't need the tape at all: [`InferencePlan::compile`] turns a
+//! recorded forward pass into a flat, grad-free instruction list with baked
+//! parameters and fused affine+activation steps, and
+//! [`InferencePlan::run`] replays it allocation-free into a reusable
+//! [`PlanBuffers`] arena for any batch size — bit-identical to the tape
+//! forward pass (both execute the same shared kernels). See the
+//! [`InferencePlan`] docs for the compile/replay lifecycle.
+//!
 //! ## Kernels and threading
 //!
 //! The matmul kernels are cache-blocked/register-tiled and split output
@@ -65,9 +75,11 @@
 
 #![warn(missing_docs)]
 
+mod fwd;
 mod graph;
 mod matrix;
 mod params;
+mod plan;
 
 pub mod gradcheck;
 pub mod init;
@@ -80,3 +92,4 @@ pub use layers::{Activation, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::ParamStore;
+pub use plan::{InferencePlan, PlanBuffers, PlanError, PlanOutputs};

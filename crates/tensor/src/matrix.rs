@@ -155,32 +155,47 @@ fn saxpy_kernel(
     n: usize,
 ) {
     // pack the `< VW` column tail of `b` once, zero-padded to full width,
-    // so the tail FMA loop of every row band stays vectorized
+    // so the tail FMA loop of every row band stays vectorized. The pack
+    // buffer is thread-local: small-matrix products (the inference-plan
+    // hot path) would otherwise pay an allocation per call.
+    use std::cell::RefCell;
+    thread_local! {
+        static TAIL_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    }
     let w = n % VW;
     let j_tail = n - w;
-    let packed: Option<Vec<f32>> = (w != 0).then(|| {
-        let mut p = vec![0.0f32; steps * VW];
-        for s in 0..steps {
-            for c in 0..w {
-                p[s * VW + c] = b[s * n + j_tail + c];
+    let mut run = |packed: Option<&[f32]>| {
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            saxpy_tile::<MR>(a, lda, b, out, i0, steps, n);
+            if let Some(p) = packed {
+                saxpy_tail::<MR>(a, lda, p, out, i0, steps, n, j_tail, w);
             }
+            i0 += MR;
         }
-        p
-    });
-    let mut i0 = 0;
-    while i0 + MR <= m {
-        saxpy_tile::<MR>(a, lda, b, out, i0, steps, n);
-        if let Some(p) = &packed {
-            saxpy_tail::<MR>(a, lda, p, out, i0, steps, n, j_tail, w);
+        while i0 < m {
+            saxpy_tile::<1>(a, lda, b, out, i0, steps, n);
+            if let Some(p) = packed {
+                saxpy_tail::<1>(a, lda, p, out, i0, steps, n, j_tail, w);
+            }
+            i0 += 1;
         }
-        i0 += MR;
-    }
-    while i0 < m {
-        saxpy_tile::<1>(a, lda, b, out, i0, steps, n);
-        if let Some(p) = &packed {
-            saxpy_tail::<1>(a, lda, p, out, i0, steps, n, j_tail, w);
-        }
-        i0 += 1;
+    };
+    if w == 0 {
+        run(None);
+    } else {
+        // nested saxpy_kernel calls on one thread don't exist (the
+        // threaded dispatcher hands disjoint row chunks to *other*
+        // threads), so the borrow is exclusive for the whole call
+        TAIL_PACK.with(|cell| {
+            let mut p = cell.borrow_mut();
+            p.clear();
+            p.resize(steps * VW, 0.0); // zero-pads the [w, VW) lanes
+            for s in 0..steps {
+                p[s * VW..s * VW + w].copy_from_slice(&b[s * n + j_tail..s * n + j_tail + w]);
+            }
+            run(Some(&p));
+        });
     }
 }
 
@@ -489,7 +504,10 @@ impl Matrix {
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        out.reset_zero(self.rows, other.cols);
+        // no reset_zero: the tiled kernel overwrites every output element
+        // (register accumulators are copied out, never added), so zeroing
+        // first would only memset memory that is about to be written
+        out.reset_shape(self.rows, other.cols);
         saxpy_dispatch(
             &self.data,
             self.cols,

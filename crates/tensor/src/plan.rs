@@ -1,0 +1,1191 @@
+//! Grad-free **compiled inference plans**: record a forward pass once on a
+//! [`Graph`] probe tape, compile it to a flat instruction list, and replay
+//! it per batch with none of the autodiff machinery.
+//!
+//! The serving hot path (the paper's §4–§5 query-time contract) is pure
+//! forward evaluation, yet a tape replay still pays for everything training
+//! needs: per-node gradient buffers, `Op` metadata writes, parameter
+//! re-injection (a copy of every weight matrix *per call*), and slot
+//! bookkeeping. An [`InferencePlan`] strips all of that out:
+//!
+//! * **compile once per model generation** — [`InferencePlan::compile`]
+//!   walks a recorded probe tape, dead-code-eliminates nodes the outputs
+//!   don't need, **bakes parameter and constant leaves into the plan**
+//!   (no per-call injection), and fuses adjacent
+//!   `matmul → add_row_vec → activation` triples into single affine
+//!   instructions;
+//! * **replay allocation-free** — [`InferencePlan::run`] executes the
+//!   instruction list into a caller-provided [`PlanBuffers`] arena whose
+//!   matrices keep their capacity across calls, for any batch row count;
+//! * **bit-identical by construction** — every instruction calls the same
+//!   `fwd` kernels the tape ops call (and the fused affine performs exactly
+//!   the tape's `matmul`, `+bias`, `activation` scalar sequence), so a plan
+//!   replay produces the same bits as the tape forward pass. The property
+//!   suite (`tests/plan_properties.rs`) pins this over random networks,
+//!   shapes, and batch sizes.
+//!
+//! ## Row scaling
+//!
+//! A plan is compiled from a probe tape recorded at some **probe batch
+//! size** `B0` and replayed at any row count: every slot is classified as
+//! *batch-scaled* (rows follow the run's row count) or *fixed* (rows are
+//! whatever the probe recorded). Classification propagates from the
+//! declared inputs through the op semantics; a constant leaf whose row
+//! count equals `B0` (with `B0 >= 2`) is treated as a batch-broadcast
+//! constant — its rows must be bit-identical, and the plan replicates the
+//! single stored row to the run's row count. Compile with `B0 >= 2` so
+//! batch-scaled slots are distinguishable from genuine one-row constants.
+
+use crate::fwd;
+use crate::graph::{Graph, Op, Var};
+use crate::matrix::Matrix;
+
+/// Why a tape could not be compiled into an [`InferencePlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(String);
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inference plan compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, PlanError> {
+    Err(PlanError(msg.into()))
+}
+
+/// How a slot's row count behaves across runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RowSpec {
+    /// Rows follow the `rows` argument of [`InferencePlan::run`].
+    Batch,
+    /// Rows are fixed at the probe-recorded count.
+    Fixed(usize),
+}
+
+impl RowSpec {
+    fn resolve(self, rows: usize) -> usize {
+        match self {
+            RowSpec::Batch => rows,
+            RowSpec::Fixed(n) => n,
+        }
+    }
+}
+
+/// An instruction operand: either a run-time buffer slot or a baked
+/// constant (parameter / constant leaf).
+#[derive(Clone, Copy, Debug)]
+enum Arg {
+    Buf(u32),
+    Const(u32),
+}
+
+/// Elementwise unary ops (also usable as the fused-affine activation).
+#[derive(Clone, Copy, Debug)]
+enum UnOp {
+    Relu,
+    LeakyRelu(f32),
+    EluPlusOne,
+    Softplus,
+    Sigmoid,
+    Tanh,
+    Exp,
+    LnEps(f32),
+    Abs,
+    Square,
+    Scale(f32),
+    AddScalar(f32),
+    Huber(f32),
+}
+
+impl UnOp {
+    /// `out = f(a)` elementwise, with the variant match resolved **once
+    /// per instruction**: each arm monomorphizes
+    /// [`fwd::unary_map`] with a concrete scalar closure, so the
+    /// per-element loop vectorizes exactly like the tape's closures do.
+    fn run(self, a: &Matrix, out: &mut Matrix) {
+        match self {
+            UnOp::Relu => fwd::unary_map(a, out, fwd::relu),
+            UnOp::LeakyRelu(al) => fwd::unary_map(a, out, |x| fwd::leaky_relu(x, al)),
+            UnOp::EluPlusOne => fwd::unary_map(a, out, fwd::elu_plus_one),
+            UnOp::Softplus => fwd::unary_map(a, out, fwd::softplus),
+            UnOp::Sigmoid => fwd::unary_map(a, out, fwd::sigmoid),
+            UnOp::Tanh => fwd::unary_map(a, out, f32::tanh),
+            UnOp::Exp => fwd::unary_map(a, out, fwd::exp_clamped),
+            UnOp::LnEps(eps) => fwd::unary_map(a, out, |x| fwd::ln_eps(x, eps)),
+            UnOp::Abs => fwd::unary_map(a, out, f32::abs),
+            UnOp::Square => fwd::unary_map(a, out, |x| x * x),
+            UnOp::Scale(al) => fwd::unary_map(a, out, |x| x * al),
+            UnOp::AddScalar(c) => fwd::unary_map(a, out, |x| x + c),
+            UnOp::Huber(d) => fwd::unary_map(a, out, |x| fwd::huber(x, d)),
+        }
+    }
+
+    /// In-place `out[i][j] = f(out[i][j] + bias[j])` — the fused affine
+    /// tail, monomorphized per variant like [`UnOp::run`]. (Folding the
+    /// epilogue into the matmul kernel's register writeback was measured
+    /// and *lost*: the extra generic instantiations of the tile kernel
+    /// degrade its codegen by more than the saved output pass — the
+    /// cache-hot separate pass costs almost nothing.)
+    fn run_bias_act(self, bias: &Matrix, out: &mut Matrix) {
+        match self {
+            UnOp::Relu => bias_act(bias, out, fwd::relu),
+            UnOp::LeakyRelu(al) => bias_act(bias, out, |x| fwd::leaky_relu(x, al)),
+            UnOp::EluPlusOne => bias_act(bias, out, fwd::elu_plus_one),
+            UnOp::Softplus => bias_act(bias, out, fwd::softplus),
+            UnOp::Sigmoid => bias_act(bias, out, fwd::sigmoid),
+            UnOp::Tanh => bias_act(bias, out, f32::tanh),
+            UnOp::Exp => bias_act(bias, out, fwd::exp_clamped),
+            UnOp::LnEps(eps) => bias_act(bias, out, |x| fwd::ln_eps(x, eps)),
+            UnOp::Abs => bias_act(bias, out, f32::abs),
+            UnOp::Square => bias_act(bias, out, |x| x * x),
+            UnOp::Scale(al) => bias_act(bias, out, |x| x * al),
+            UnOp::AddScalar(c) => bias_act(bias, out, |x| x + c),
+            UnOp::Huber(d) => bias_act(bias, out, |x| fwd::huber(x, d)),
+        }
+    }
+}
+
+/// `out[i][j] = f(out[i][j] + bias[j])` over all rows — the second half of
+/// a fused affine instruction, running on the cache-hot matmul output.
+fn bias_act(bias: &Matrix, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+    let cols = bias.cols();
+    let b = bias.data();
+    for row in out.data_mut().chunks_exact_mut(cols) {
+        for (o, &bv) in row.iter_mut().zip(b) {
+            *o = f(*o + bv);
+        }
+    }
+}
+
+/// Elementwise binary ops.
+#[derive(Clone, Copy, Debug)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+/// One compiled forward instruction. Operands are [`Arg`]s; `out` is
+/// always a buffer slot written in execution order (so every operand's
+/// buffer index is strictly below `out`).
+#[derive(Clone, Copy, Debug)]
+enum Instr {
+    /// Replicates a baked single-row constant to the run's row count
+    /// (batch-broadcast constant leaves, e.g. an all-zeros column).
+    Broadcast {
+        src: u32,
+        out: u32,
+    },
+    /// Fused `act(x @ w + b)`; `act: None` is plain `x @ w + b`.
+    Affine {
+        x: Arg,
+        w: Arg,
+        b: Arg,
+        act: Option<UnOp>,
+        out: u32,
+    },
+    MatMul {
+        a: Arg,
+        b: Arg,
+        out: u32,
+    },
+    AddRowVec {
+        m: Arg,
+        row: Arg,
+        out: u32,
+    },
+    MulColVec {
+        m: Arg,
+        col: Arg,
+        out: u32,
+    },
+    Binary {
+        op: BinOp,
+        a: Arg,
+        b: Arg,
+        out: u32,
+    },
+    Unary {
+        op: UnOp,
+        a: Arg,
+        out: u32,
+    },
+    SoftmaxRows {
+        a: Arg,
+        out: u32,
+    },
+    Sum {
+        a: Arg,
+        out: u32,
+    },
+    Mean {
+        a: Arg,
+        out: u32,
+    },
+    RowSum {
+        a: Arg,
+        out: u32,
+    },
+    ConcatCols {
+        a: Arg,
+        b: Arg,
+        out: u32,
+    },
+    SliceCols {
+        a: Arg,
+        start: u32,
+        end: u32,
+        out: u32,
+    },
+    CumsumCols {
+        a: Arg,
+        out: u32,
+    },
+    Norml2 {
+        a: Arg,
+        eps: f32,
+        out: u32,
+    },
+    PwlInterp {
+        tau: Arg,
+        p: Arg,
+        t: Arg,
+        out: u32,
+    },
+    BlockLinear {
+        input: Arg,
+        weight: Arg,
+        bias: Arg,
+        out: u32,
+    },
+    Lattice {
+        input: Arg,
+        params: Arg,
+        out: u32,
+    },
+}
+
+impl Instr {
+    fn out(&self) -> u32 {
+        match *self {
+            Instr::Broadcast { out, .. }
+            | Instr::Affine { out, .. }
+            | Instr::MatMul { out, .. }
+            | Instr::AddRowVec { out, .. }
+            | Instr::MulColVec { out, .. }
+            | Instr::Binary { out, .. }
+            | Instr::Unary { out, .. }
+            | Instr::SoftmaxRows { out, .. }
+            | Instr::Sum { out, .. }
+            | Instr::Mean { out, .. }
+            | Instr::RowSum { out, .. }
+            | Instr::ConcatCols { out, .. }
+            | Instr::SliceCols { out, .. }
+            | Instr::CumsumCols { out, .. }
+            | Instr::Norml2 { out, .. }
+            | Instr::PwlInterp { out, .. }
+            | Instr::BlockLinear { out, .. }
+            | Instr::Lattice { out, .. } => out,
+        }
+    }
+}
+
+/// Reusable value-buffer arena for plan replays. One `PlanBuffers` serves
+/// any number of plans (buffers are reshaped per run, keeping capacity);
+/// a steady-state replay touches the allocator not at all. Not shareable
+/// across threads mid-run — use [`PlanBuffers::with_pooled`] for a
+/// zero-setup thread-local arena.
+#[derive(Default)]
+pub struct PlanBuffers {
+    bufs: Vec<Matrix>,
+}
+
+impl PlanBuffers {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PlanBuffers::default()
+    }
+
+    /// Runs `f` with a **thread-local** arena whose buffers persist for
+    /// the life of the thread — the inference mirror of
+    /// [`Graph::with_pooled`]. Must not be nested (the arena is exclusively
+    /// borrowed while `f` runs; nesting panics).
+    pub fn with_pooled<R>(f: impl FnOnce(&mut PlanBuffers) -> R) -> R {
+        use std::cell::RefCell;
+        thread_local! {
+            static POOLED: RefCell<PlanBuffers> = RefCell::new(PlanBuffers::new());
+        }
+        POOLED.with(|pool| {
+            let mut b = pool.borrow_mut();
+            f(&mut b)
+        })
+    }
+}
+
+/// Read-only view of a finished replay's outputs, borrowing the arena.
+pub struct PlanOutputs<'a> {
+    plan: &'a InferencePlan,
+    bufs: &'a PlanBuffers,
+}
+
+impl PlanOutputs<'_> {
+    /// The `i`-th output matrix (same order as the `outputs` slice given
+    /// to [`InferencePlan::compile`]).
+    pub fn output(&self, i: usize) -> &Matrix {
+        match self.plan.outputs[i] {
+            Arg::Buf(b) => &self.bufs.bufs[b as usize],
+            Arg::Const(c) => &self.plan.consts[c as usize],
+        }
+    }
+}
+
+/// A compiled, immutable, grad-free forward program. Compile once per
+/// model generation with [`InferencePlan::compile`]; replay with
+/// [`InferencePlan::run`]. The plan owns baked copies of every parameter
+/// and constant leaf, so it stays valid (and answers from exactly the
+/// generation it was compiled from) even if the source model mutates —
+/// callers invalidate by recompiling, typically keyed on
+/// [`ParamStore::version`](crate::ParamStore::version).
+#[derive(Debug)]
+pub struct InferencePlan {
+    instrs: Vec<Instr>,
+    /// Baked parameter/constant values (and single rows of batch-broadcast
+    /// constants).
+    consts: Vec<Matrix>,
+    /// `(RowSpec, cols)` per buffer slot, indexed by buffer id.
+    buf_shapes: Vec<(RowSpec, usize)>,
+    /// Buffer ids of the run-time inputs, in `compile`'s `inputs` order.
+    input_bufs: Vec<u32>,
+    /// `(RowSpec, cols)` per input, for shaping before the fill callback.
+    input_shapes: Vec<(RowSpec, usize)>,
+    outputs: Vec<Arg>,
+}
+
+/// Per-node classification produced during compilation.
+#[derive(Clone, Copy)]
+enum NodeVal {
+    /// Not yet assigned (unreached).
+    None,
+    /// Resolves to a baked constant.
+    Const(u32),
+    /// Resolves to a computed/bound buffer, identified by node id until
+    /// buffer ids are assigned in the final pass.
+    Node,
+}
+
+impl InferencePlan {
+    /// Compiles the live tape of `g` into a plan.
+    ///
+    /// * `inputs` — leaves to re-bind on every run, each with a flag:
+    ///   `true` = batch-scaled (rows follow the run's row count; all such
+    ///   inputs must share the probe row count `B0`), `false` = fixed rows
+    ///   as recorded on the probe tape.
+    /// * `outputs` — the nodes whose values [`PlanOutputs::output`]
+    ///   exposes. Nodes no output depends on are eliminated.
+    ///
+    /// Errors when a referenced `Var` is stale, an input is not a plain
+    /// constant leaf, batch inputs disagree on the probe row count, or row
+    /// scaling cannot be propagated consistently (e.g. an elementwise op
+    /// mixing a batch-scaled and a fixed operand).
+    pub fn compile(
+        g: &Graph,
+        inputs: &[(Var, bool)],
+        outputs: &[Var],
+    ) -> Result<InferencePlan, PlanError> {
+        let nodes = g.live_nodes();
+        let n = nodes.len();
+        for v in inputs
+            .iter()
+            .map(|(v, _)| *v)
+            .chain(outputs.iter().copied())
+        {
+            if v.0 >= n {
+                return err("stale Var (recorded before the last reset?)");
+            }
+        }
+
+        // ---- probe batch size from the batch-scaled inputs ----
+        let mut b0: Option<usize> = None;
+        for &(v, batch) in inputs {
+            if !matches!(nodes[v.0].op, Op::Leaf) {
+                return err("plan inputs must be constant leaves");
+            }
+            if nodes[v.0].param.is_some() {
+                return err("a parameter leaf cannot be a plan input");
+            }
+            if batch {
+                let rows = nodes[v.0].value.rows();
+                match b0 {
+                    None => b0 = Some(rows),
+                    Some(r) if r == rows => {}
+                    Some(r) => {
+                        return err(format!(
+                            "batch inputs disagree on probe rows: {r} vs {rows}"
+                        ))
+                    }
+                }
+            }
+        }
+
+        // ---- reachability from the outputs ----
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<usize> = outputs.iter().map(|v| v.0).collect();
+        while let Some(i) = stack.pop() {
+            if reachable[i] {
+                continue;
+            }
+            reachable[i] = true;
+            for_each_input(&nodes[i].op, |j| stack.push(j));
+        }
+
+        // ---- use counts (among reachable consumers + output references) ----
+        let mut uses = vec![0usize; n];
+        for (i, node) in nodes.iter().enumerate() {
+            if reachable[i] {
+                for_each_input(&node.op, |j| uses[j] += 1);
+            }
+        }
+        let mut is_output = vec![false; n];
+        for v in outputs {
+            is_output[v.0] = true;
+        }
+
+        // ---- row-spec propagation + symbolic instruction emission ----
+        let mut spec: Vec<Option<RowSpec>> = vec![None; n];
+        let mut vals: Vec<NodeVal> = vec![NodeVal::None; n];
+        let mut consts: Vec<Matrix> = Vec::new();
+        // symbolic instrs: op template + output *node* id (buffer ids are
+        // assigned after fusion)
+        let mut sym: Vec<Option<(SymInstr, usize)>> = Vec::new();
+        // node id -> index into `sym` (for fusion lookups)
+        let mut producer: Vec<Option<usize>> = vec![None; n];
+        let input_pos: std::collections::HashMap<usize, (usize, bool)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(k, &(v, batch))| (v.0, (k, batch)))
+            .collect();
+        let mut input_nodes: Vec<Option<usize>> = vec![None; inputs.len()];
+
+        for i in 0..n {
+            if !reachable[i] {
+                continue;
+            }
+            let node = &nodes[i];
+            let (rows, cols) = node.value.shape();
+            match node.op {
+                Op::Leaf => {
+                    if let Some(&(k, batch)) = input_pos.get(&i) {
+                        spec[i] = Some(if batch {
+                            RowSpec::Batch
+                        } else {
+                            RowSpec::Fixed(rows)
+                        });
+                        vals[i] = NodeVal::Node;
+                        input_nodes[k] = Some(i);
+                    } else if node.param.is_some() || Some(rows) != b0 || rows <= 1 {
+                        // parameter or genuine fixed constant: bake it
+                        spec[i] = Some(RowSpec::Fixed(rows));
+                        let c = consts.len() as u32;
+                        consts.push(node.value.clone());
+                        vals[i] = NodeVal::Const(c);
+                    } else {
+                        // constant leaf with the probe batch row count:
+                        // batch-broadcast — rows must be bit-identical
+                        let first = node.value.row(0);
+                        for r in 1..rows {
+                            if node.value.row(r) != first {
+                                return err(
+                                    "constant leaf has probe-batch rows but non-identical row \
+                                     contents; cannot batch-broadcast it",
+                                );
+                            }
+                        }
+                        spec[i] = Some(RowSpec::Batch);
+                        let c = consts.len() as u32;
+                        let mut row = Matrix::default();
+                        row.reset_shape(1, cols);
+                        row.data_mut().copy_from_slice(first);
+                        consts.push(row);
+                        vals[i] = NodeVal::Node;
+                        producer[i] = Some(sym.len());
+                        sym.push(Some((SymInstr::Broadcast { src: c }, i)));
+                    }
+                }
+                op => {
+                    let s = emit_op(&op, i, &spec, &mut sym, &mut producer, &uses, &is_output)?;
+                    spec[i] = Some(s);
+                    vals[i] = NodeVal::Node;
+                }
+            }
+        }
+
+        // ---- assign dense buffer ids: inputs first, then surviving
+        // instruction outputs in execution order (so operand < out) ----
+        let mut buf_of: Vec<Option<u32>> = vec![None; n];
+        let mut buf_shapes: Vec<(RowSpec, usize)> = Vec::new();
+        let mut input_bufs = Vec::with_capacity(inputs.len());
+        let mut input_shapes = Vec::with_capacity(inputs.len());
+        for (k, node) in input_nodes.iter().enumerate() {
+            let i = node.ok_or_else(|| {
+                PlanError(format!("input {k} is unreachable from the plan outputs"))
+            })?;
+            let id = buf_shapes.len() as u32;
+            buf_of[i] = Some(id);
+            let shape = (spec[i].expect("input classified"), nodes[i].value.cols());
+            buf_shapes.push(shape);
+            input_bufs.push(id);
+            input_shapes.push(shape);
+        }
+        let mut instrs = Vec::with_capacity(sym.len());
+        let arg_of = |i: usize, vals: &[NodeVal], buf_of: &[Option<u32>]| -> Arg {
+            match vals[i] {
+                NodeVal::Const(c) => Arg::Const(c),
+                _ => Arg::Buf(buf_of[i].expect("operand buffer assigned before use")),
+            }
+        };
+        for entry in sym.iter().flatten() {
+            let (template, out_node) = entry;
+            let id = buf_shapes.len() as u32;
+            buf_of[*out_node] = Some(id);
+            buf_shapes.push((
+                spec[*out_node].expect("output classified"),
+                nodes[*out_node].value.cols(),
+            ));
+            instrs.push(template.resolve(id, |i| arg_of(i, &vals, &buf_of)));
+        }
+
+        let outputs = outputs
+            .iter()
+            .map(|v| arg_of(v.0, &vals, &buf_of))
+            .collect();
+
+        Ok(InferencePlan {
+            instrs,
+            consts,
+            buf_shapes,
+            input_bufs,
+            input_shapes,
+            outputs,
+        })
+    }
+
+    /// Number of run-time inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_bufs.len()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of compiled instructions (after dead-code elimination and
+    /// affine fusion) — diagnostics for tests and benches.
+    pub fn num_instructions(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Replays the plan at `rows` batch rows.
+    ///
+    /// `fill` is called once per input (in `compile` order) with the
+    /// input's zeroed, already-shaped buffer — write the batch data in
+    /// place. Returns an accessor over the output matrices, which borrow
+    /// `bufs` until dropped.
+    pub fn run<'b>(
+        &'b self,
+        bufs: &'b mut PlanBuffers,
+        rows: usize,
+        mut fill: impl FnMut(usize, &mut Matrix),
+    ) -> PlanOutputs<'b> {
+        if bufs.bufs.len() < self.buf_shapes.len() {
+            bufs.bufs
+                .resize_with(self.buf_shapes.len(), Matrix::default);
+        }
+        for (k, &b) in self.input_bufs.iter().enumerate() {
+            let (rspec, cols) = self.input_shapes[k];
+            let m = &mut bufs.bufs[b as usize];
+            m.reset_zero(rspec.resolve(rows), cols);
+            fill(k, m);
+        }
+        for instr in &self.instrs {
+            self.exec(instr, &mut bufs.bufs, rows);
+        }
+        PlanOutputs { plan: self, bufs }
+    }
+
+    fn exec(&self, instr: &Instr, bufs: &mut [Matrix], rows: usize) {
+        let out_id = instr.out() as usize;
+        let (rspec, cols) = self.buf_shapes[out_id];
+        let (lower, rest) = bufs.split_at_mut(out_id);
+        let out = &mut rest[0];
+        out.reset_shape(rspec.resolve(rows), cols);
+        let val = |a: Arg| -> &Matrix {
+            match a {
+                Arg::Buf(b) => &lower[b as usize],
+                Arg::Const(c) => &self.consts[c as usize],
+            }
+        };
+        match *instr {
+            Instr::Broadcast { src, .. } => {
+                let row = &self.consts[src as usize];
+                if row.cols() == 1 {
+                    out.fill(row.get(0, 0));
+                } else {
+                    for chunk in out.data_mut().chunks_exact_mut(row.cols()) {
+                        chunk.copy_from_slice(row.row(0));
+                    }
+                }
+            }
+            Instr::Affine { x, w, b, act, .. } => {
+                // exactly the tape's matmul → +bias → activation scalar
+                // sequence, in one output buffer (the epilogue runs as a
+                // cache-hot pass over the matmul result)
+                val(x).matmul_into(val(w), out);
+                let bias = val(b);
+                match act {
+                    None => bias_act(bias, out, |v| v),
+                    Some(a) => a.run_bias_act(bias, out),
+                }
+            }
+            Instr::MatMul { a, b, .. } => val(a).matmul_into(val(b), out),
+            Instr::AddRowVec { m, row, .. } => fwd::add_row_vec(val(m), val(row), out),
+            Instr::MulColVec { m, col, .. } => fwd::mul_col_vec(val(m), val(col), out),
+            Instr::Binary { op, a, b, .. } => {
+                let f = match op {
+                    BinOp::Add => |x: f32, y: f32| x + y,
+                    BinOp::Sub => |x: f32, y: f32| x - y,
+                    BinOp::Mul => |x: f32, y: f32| x * y,
+                };
+                fwd::binary_zip(val(a), val(b), out, f)
+            }
+            Instr::Unary { op, a, .. } => op.run(val(a), out),
+            Instr::SoftmaxRows { a, .. } => fwd::softmax_rows(val(a), out),
+            Instr::Sum { a, .. } => {
+                let s = val(a).sum() as f32;
+                out.data_mut()[0] = s;
+            }
+            Instr::Mean { a, .. } => {
+                let m = val(a).mean() as f32;
+                out.data_mut()[0] = m;
+            }
+            Instr::RowSum { a, .. } => fwd::row_sum(val(a), out),
+            Instr::ConcatCols { a, b, .. } => fwd::concat_cols(val(a), val(b), out),
+            Instr::SliceCols { a, start, end, .. } => {
+                fwd::slice_cols(val(a), start as usize, end as usize, out)
+            }
+            Instr::CumsumCols { a, .. } => fwd::cumsum_cols(val(a), out),
+            Instr::Norml2 { a, eps, .. } => fwd::norml2(val(a), eps, out),
+            Instr::PwlInterp { tau, p, t, .. } => {
+                fwd::pwl_interp(val(tau), val(p), val(t), out, None)
+            }
+            Instr::BlockLinear {
+                input,
+                weight,
+                bias,
+                ..
+            } => fwd::block_linear(val(input), val(weight), val(bias), out),
+            Instr::Lattice { input, params, .. } => fwd::lattice(val(input), val(params), out),
+        }
+    }
+}
+
+/// A symbolic instruction: operands are still *node ids*; buffer ids are
+/// assigned after fusion.
+#[derive(Clone, Copy, Debug)]
+enum SymInstr {
+    Broadcast {
+        src: u32,
+    },
+    Affine {
+        x: usize,
+        w: usize,
+        b: usize,
+        act: Option<UnOp>,
+    },
+    MatMul {
+        a: usize,
+        b: usize,
+    },
+    AddRowVec {
+        m: usize,
+        row: usize,
+    },
+    MulColVec {
+        m: usize,
+        col: usize,
+    },
+    Binary {
+        op: BinOp,
+        a: usize,
+        b: usize,
+    },
+    Unary {
+        op: UnOp,
+        a: usize,
+    },
+    SoftmaxRows {
+        a: usize,
+    },
+    Sum {
+        a: usize,
+    },
+    Mean {
+        a: usize,
+    },
+    RowSum {
+        a: usize,
+    },
+    ConcatCols {
+        a: usize,
+        b: usize,
+    },
+    SliceCols {
+        a: usize,
+        start: u32,
+        end: u32,
+    },
+    CumsumCols {
+        a: usize,
+    },
+    Norml2 {
+        a: usize,
+        eps: f32,
+    },
+    PwlInterp {
+        tau: usize,
+        p: usize,
+        t: usize,
+    },
+    BlockLinear {
+        input: usize,
+        weight: usize,
+        bias: usize,
+    },
+    Lattice {
+        input: usize,
+        params: usize,
+    },
+}
+
+impl SymInstr {
+    fn resolve(&self, out: u32, mut arg: impl FnMut(usize) -> Arg) -> Instr {
+        match *self {
+            SymInstr::Broadcast { src } => Instr::Broadcast { src, out },
+            SymInstr::Affine { x, w, b, act } => Instr::Affine {
+                x: arg(x),
+                w: arg(w),
+                b: arg(b),
+                act,
+                out,
+            },
+            SymInstr::MatMul { a, b } => Instr::MatMul {
+                a: arg(a),
+                b: arg(b),
+                out,
+            },
+            SymInstr::AddRowVec { m, row } => Instr::AddRowVec {
+                m: arg(m),
+                row: arg(row),
+                out,
+            },
+            SymInstr::MulColVec { m, col } => Instr::MulColVec {
+                m: arg(m),
+                col: arg(col),
+                out,
+            },
+            SymInstr::Binary { op, a, b } => Instr::Binary {
+                op,
+                a: arg(a),
+                b: arg(b),
+                out,
+            },
+            SymInstr::Unary { op, a } => Instr::Unary { op, a: arg(a), out },
+            SymInstr::SoftmaxRows { a } => Instr::SoftmaxRows { a: arg(a), out },
+            SymInstr::Sum { a } => Instr::Sum { a: arg(a), out },
+            SymInstr::Mean { a } => Instr::Mean { a: arg(a), out },
+            SymInstr::RowSum { a } => Instr::RowSum { a: arg(a), out },
+            SymInstr::ConcatCols { a, b } => Instr::ConcatCols {
+                a: arg(a),
+                b: arg(b),
+                out,
+            },
+            SymInstr::SliceCols { a, start, end } => Instr::SliceCols {
+                a: arg(a),
+                start,
+                end,
+                out,
+            },
+            SymInstr::CumsumCols { a } => Instr::CumsumCols { a: arg(a), out },
+            SymInstr::Norml2 { a, eps } => Instr::Norml2 {
+                a: arg(a),
+                eps,
+                out,
+            },
+            SymInstr::PwlInterp { tau, p, t } => Instr::PwlInterp {
+                tau: arg(tau),
+                p: arg(p),
+                t: arg(t),
+                out,
+            },
+            SymInstr::BlockLinear {
+                input,
+                weight,
+                bias,
+            } => Instr::BlockLinear {
+                input: arg(input),
+                weight: arg(weight),
+                bias: arg(bias),
+                out,
+            },
+            SymInstr::Lattice { input, params } => Instr::Lattice {
+                input: arg(input),
+                params: arg(params),
+                out,
+            },
+        }
+    }
+}
+
+/// Visits the tape-node inputs of an op.
+fn for_each_input(op: &Op, mut f: impl FnMut(usize)) {
+    match *op {
+        Op::Leaf => {}
+        Op::MatMul(a, b)
+        | Op::Add(a, b)
+        | Op::Sub(a, b)
+        | Op::Mul(a, b)
+        | Op::AddRowVec(a, b)
+        | Op::MulColVec(a, b)
+        | Op::ConcatCols(a, b) => {
+            f(a);
+            f(b);
+        }
+        Op::Scale(a, _)
+        | Op::AddScalar(a, _)
+        | Op::Relu(a)
+        | Op::LeakyRelu(a, _)
+        | Op::EluPlusOne(a)
+        | Op::Softplus(a)
+        | Op::Sigmoid(a)
+        | Op::Tanh(a)
+        | Op::Exp(a)
+        | Op::LnEps(a, _)
+        | Op::Abs(a)
+        | Op::Square(a)
+        | Op::SoftmaxRows(a)
+        | Op::Sum(a)
+        | Op::Mean(a)
+        | Op::RowSum(a)
+        | Op::SliceCols(a, _, _)
+        | Op::CumsumCols(a)
+        | Op::Norml2(a, _)
+        | Op::Huber(a, _) => f(a),
+        Op::PwlInterp { tau, p, t } => {
+            f(tau);
+            f(p);
+            f(t);
+        }
+        Op::BlockLinear {
+            input,
+            weight,
+            bias,
+            ..
+        } => {
+            f(input);
+            f(weight);
+            f(bias);
+        }
+        Op::Lattice { input, params } => {
+            f(input);
+            f(params);
+        }
+    }
+}
+
+/// The unary-op template for a tape op, if it is elementwise.
+fn unop_of(op: &Op) -> Option<(UnOp, usize)> {
+    Some(match *op {
+        Op::Relu(a) => (UnOp::Relu, a),
+        Op::LeakyRelu(a, alpha) => (UnOp::LeakyRelu(alpha), a),
+        Op::EluPlusOne(a) => (UnOp::EluPlusOne, a),
+        Op::Softplus(a) => (UnOp::Softplus, a),
+        Op::Sigmoid(a) => (UnOp::Sigmoid, a),
+        Op::Tanh(a) => (UnOp::Tanh, a),
+        Op::Exp(a) => (UnOp::Exp, a),
+        Op::LnEps(a, eps) => (UnOp::LnEps(eps), a),
+        Op::Abs(a) => (UnOp::Abs, a),
+        Op::Square(a) => (UnOp::Square, a),
+        Op::Scale(a, alpha) => (UnOp::Scale(alpha), a),
+        Op::AddScalar(a, c) => (UnOp::AddScalar(c), a),
+        Op::Huber(a, delta) => (UnOp::Huber(delta), a),
+        _ => return None,
+    })
+}
+
+/// Appends a symbolic instruction for `node_id`.
+fn push_sym(
+    sym: &mut Vec<Option<(SymInstr, usize)>>,
+    producer: &mut [Option<usize>],
+    node_id: usize,
+    instr: SymInstr,
+) {
+    producer[node_id] = Some(sym.len());
+    sym.push(Some((instr, node_id)));
+}
+
+/// Emits the symbolic instruction for a non-leaf tape op, fusing
+/// `matmul → add_row_vec → activation` chains, and returns the node's
+/// [`RowSpec`].
+fn emit_op(
+    op: &Op,
+    node_id: usize,
+    spec: &[Option<RowSpec>],
+    sym: &mut Vec<Option<(SymInstr, usize)>>,
+    producer: &mut [Option<usize>],
+    uses: &[usize],
+    is_output: &[bool],
+) -> Result<RowSpec, PlanError> {
+    let sp = |i: usize| -> Result<RowSpec, PlanError> {
+        spec[i].ok_or_else(|| PlanError("operand of an op was eliminated or unclassified".into()))
+    };
+    // elementwise shape rule: same rows spec on both sides
+    let same = |a: usize, b: usize| -> Result<RowSpec, PlanError> {
+        let (sa, sb) = (sp(a)?, sp(b)?);
+        if sa != sb {
+            return err(format!(
+                "elementwise op mixes batch-scaled and fixed operands ({sa:?} vs {sb:?}); \
+                 this tape cannot scale with the batch size"
+            ));
+        }
+        Ok(sa)
+    };
+    // activation fusion first: any elementwise unary riding a single-use
+    // affine collapses into its `act`
+    if let Some((unop, a)) = unop_of(op) {
+        let rspec = sp(a)?;
+        if uses[a] == 1 && !is_output[a] {
+            if let Some(site) = producer[a] {
+                if let Some((SymInstr::Affine { x, w, b, act: None }, _)) = sym[site] {
+                    sym[site] = None;
+                    push_sym(
+                        sym,
+                        producer,
+                        node_id,
+                        SymInstr::Affine {
+                            x,
+                            w,
+                            b,
+                            act: Some(unop),
+                        },
+                    );
+                    return Ok(rspec);
+                }
+            }
+        }
+        push_sym(sym, producer, node_id, SymInstr::Unary { op: unop, a });
+        return Ok(rspec);
+    }
+    let (instr, rspec) = match *op {
+        Op::Leaf => unreachable!("leaves handled by the caller"),
+        Op::MatMul(a, b) => {
+            if sp(b)? == RowSpec::Batch {
+                return err("matmul right-hand side cannot be batch-scaled");
+            }
+            (SymInstr::MatMul { a, b }, sp(a)?)
+        }
+        Op::Add(a, b) => (
+            SymInstr::Binary {
+                op: BinOp::Add,
+                a,
+                b,
+            },
+            same(a, b)?,
+        ),
+        Op::Sub(a, b) => (
+            SymInstr::Binary {
+                op: BinOp::Sub,
+                a,
+                b,
+            },
+            same(a, b)?,
+        ),
+        Op::Mul(a, b) => (
+            SymInstr::Binary {
+                op: BinOp::Mul,
+                a,
+                b,
+            },
+            same(a, b)?,
+        ),
+        Op::AddRowVec(m, row) => {
+            if sp(row)? == RowSpec::Batch {
+                return err("add_row_vec bias cannot be batch-scaled");
+            }
+            let rspec = sp(m)?;
+            // fuse onto a single-use matmul producing `m`
+            if uses[m] == 1 && !is_output[m] {
+                if let Some(site) = producer[m] {
+                    if let Some((SymInstr::MatMul { a, b }, _)) = sym[site] {
+                        sym[site] = None;
+                        push_sym(
+                            sym,
+                            producer,
+                            node_id,
+                            SymInstr::Affine {
+                                x: a,
+                                w: b,
+                                b: row,
+                                act: None,
+                            },
+                        );
+                        return Ok(rspec);
+                    }
+                }
+            }
+            (SymInstr::AddRowVec { m, row }, rspec)
+        }
+        Op::MulColVec(m, col) => (SymInstr::MulColVec { m, col }, same(m, col)?),
+        Op::SoftmaxRows(a) => (SymInstr::SoftmaxRows { a }, sp(a)?),
+        Op::Sum(a) => (SymInstr::Sum { a }, RowSpec::Fixed(1)),
+        Op::Mean(a) => (SymInstr::Mean { a }, RowSpec::Fixed(1)),
+        Op::RowSum(a) => (SymInstr::RowSum { a }, sp(a)?),
+        Op::ConcatCols(a, b) => (SymInstr::ConcatCols { a, b }, same(a, b)?),
+        Op::SliceCols(a, start, end) => (
+            SymInstr::SliceCols {
+                a,
+                start: start as u32,
+                end: end as u32,
+            },
+            sp(a)?,
+        ),
+        Op::CumsumCols(a) => (SymInstr::CumsumCols { a }, sp(a)?),
+        Op::Norml2(a, eps) => (SymInstr::Norml2 { a, eps }, sp(a)?),
+        Op::PwlInterp { tau, p, t } => {
+            let st = sp(t)?;
+            for (name, v) in [("tau", tau), ("p", p)] {
+                let s = sp(v)?;
+                let broadcast = matches!(s, RowSpec::Fixed(1));
+                if !broadcast && s != st {
+                    return err(format!(
+                        "pwl_interp {name} must broadcast from one row or match t's scaling"
+                    ));
+                }
+            }
+            (SymInstr::PwlInterp { tau, p, t }, st)
+        }
+        Op::BlockLinear {
+            input,
+            weight,
+            bias,
+            ..
+        } => {
+            if sp(weight)? == RowSpec::Batch || sp(bias)? == RowSpec::Batch {
+                return err("block_linear weight/bias cannot be batch-scaled");
+            }
+            (
+                SymInstr::BlockLinear {
+                    input,
+                    weight,
+                    bias,
+                },
+                sp(input)?,
+            )
+        }
+        Op::Lattice { input, params } => {
+            if sp(params)? == RowSpec::Batch {
+                return err("lattice params cannot be batch-scaled");
+            }
+            (SymInstr::Lattice { input, params }, sp(input)?)
+        }
+        // every elementwise unary was handled by `unop_of` above
+        _ => unreachable!("unary ops handled above"),
+    };
+    push_sym(sym, producer, node_id, instr);
+    Ok(rspec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Record `relu(x @ w + b)` on a tape, compile, and replay at several
+    /// row counts; replay must match a fresh tape forward bit for bit.
+    #[test]
+    fn affine_fusion_matches_tape() {
+        let w = Matrix::from_fn(3, 4, |i, j| (i as f32 - j as f32) * 0.37);
+        let b = Matrix::row_vector(&[0.1, -0.2, 0.3, -0.4]);
+        let probe_x = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32 * 0.11 - 0.2);
+
+        let mut g = Graph::new();
+        let xv = g.leaf_ref(&probe_x);
+        let wv = g.leaf_ref(&w);
+        let bv = g.leaf_ref(&b);
+        let mm = g.matmul(xv, wv);
+        let aff = g.add_row_vec(mm, bv);
+        let y = g.relu(aff);
+        let plan = InferencePlan::compile(&g, &[(xv, true)], &[y]).expect("compilable");
+        assert_eq!(plan.num_instructions(), 1, "matmul+bias+relu must fuse");
+
+        let mut bufs = PlanBuffers::new();
+        for rows in [1usize, 2, 5, 64] {
+            let x = Matrix::from_fn(rows, 3, |i, j| ((i * 7 + j) as f32).sin());
+            let got = plan.run(&mut bufs, rows, |_, m| {
+                m.data_mut().copy_from_slice(x.data())
+            });
+            let mut fresh = Graph::new();
+            let xv = fresh.leaf_ref(&x);
+            let wv = fresh.leaf_ref(&w);
+            let bv = fresh.leaf_ref(&b);
+            let mm = fresh.matmul(xv, wv);
+            let aff = fresh.add_row_vec(mm, bv);
+            let yv = fresh.relu(aff);
+            assert_eq!(got.output(0).data(), fresh.value(yv).data(), "rows {rows}");
+        }
+    }
+
+    /// A fixed (non-batch) input keeps its probe rows across runs.
+    #[test]
+    fn fixed_input_and_broadcast_const() {
+        let mut g = Graph::new();
+        // x: fixed single row input; t: batch column; zeros: batch const
+        let xv = g.leaf_with(1, 2, |d| d.copy_from_slice(&[0.5, -0.5]));
+        let tv = g.leaf_with(3, 1, |d| d.copy_from_slice(&[0.1, 0.2, 0.3]));
+        let zeros = g.leaf_with(3, 1, |_| {});
+        let tz = g.add(tv, zeros);
+        let tau = g.cumsum_cols(xv);
+        let y = g.pwl_interp(tau, xv, tz);
+        let plan = InferencePlan::compile(&g, &[(xv, false), (tv, true)], &[y]).expect("compiles");
+
+        let mut bufs = PlanBuffers::new();
+        let ts = [0.05f32, 0.15, 0.25, 0.35, 0.45];
+        let out = plan.run(&mut bufs, ts.len(), |k, m| match k {
+            0 => m.data_mut().copy_from_slice(&[0.5, -0.5]),
+            _ => m.data_mut().copy_from_slice(&ts),
+        });
+        // reference on a fresh tape
+        let mut fresh = Graph::new();
+        let xv = fresh.leaf_with(1, 2, |d| d.copy_from_slice(&[0.5, -0.5]));
+        let tv = fresh.leaf_with(5, 1, |d| d.copy_from_slice(&ts));
+        let zeros = fresh.leaf_with(5, 1, |_| {});
+        let tz = fresh.add(tv, zeros);
+        let tau = fresh.cumsum_cols(xv);
+        let y = fresh.pwl_interp(tau, xv, tz);
+        assert_eq!(out.output(0).data(), fresh.value(y).data());
+    }
+
+    #[test]
+    fn mixed_scaling_is_rejected() {
+        let mut g = Graph::new();
+        let a = g.leaf_with(2, 2, |d| d.fill(1.0)); // batch input
+        let b = g.leaf_with(2, 2, |d| {
+            d.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]) // fixed const, 2 rows,
+                                                     // rows differ => no broadcast
+        });
+        let c = g.add(a, b);
+        let e = InferencePlan::compile(&g, &[(a, true)], &[c]).unwrap_err();
+        assert!(e.to_string().contains("cannot"), "{e}");
+    }
+}
