@@ -12,7 +12,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use selnet_bench::servebench::{json_number, model_fixture, query_batch, time_ms, BATCH};
 use selnet_eval::SelectivityEstimator;
-use selnet_serve::engine::{Engine, EngineConfig};
+use selnet_serve::engine::{Engine, EngineConfig, Request};
 use selnet_serve::registry::ModelRegistry;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -73,6 +73,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
             max_batch_rows: BATCH,
             cache_entries: 0,
             auto_batch_min_rows: 0,
+            max_queue_rows: 0, // unbounded: the bench measures service, not shedding
         },
     );
     let mut group = c.benchmark_group("serve_engine");
@@ -82,7 +83,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
             let receivers: Vec<_> = (0..BATCH)
                 .map(|i| {
                     engine
-                        .submit(xs[i].clone(), vec![ts[i]])
+                        .submit(Request::new(xs[i].clone()).thresholds(vec![ts[i]]))
                         .expect("engine running")
                 })
                 .collect();
@@ -136,13 +137,14 @@ fn bench_record(_c: &mut Criterion) {
             max_batch_rows: BATCH,
             cache_entries: 0,
             auto_batch_min_rows: 0,
+            max_queue_rows: 0,
         },
     );
     let engine_batch = time_ms(10, 10, || {
         let receivers: Vec<_> = (0..BATCH)
             .map(|i| {
                 engine
-                    .submit(xs[i].clone(), vec![ts[i]])
+                    .submit(Request::new(xs[i].clone()).thresholds(vec![ts[i]]))
                     .expect("engine running")
             })
             .collect();

@@ -1,11 +1,12 @@
-//! The `selnet-serve` binary: loads a `SELNETP1` snapshot and serves it
-//! over TCP (binary protocol) or stdin (text protocol), plus the small
-//! train/replay/check subcommands the CI smoke pipeline is built from.
+//! The `selnet-serve` binary: loads one or more `SELNETP1` snapshots and
+//! serves them as named tenants over TCP (binary protocols v1 and v2) or
+//! stdin (text protocol), plus the small train/replay/check subcommands
+//! the CI smoke pipeline is built from.
 //!
 //! ```text
 //! selnet-serve train-tiny --out snap.selnet --replay-out queries.txt
 //! selnet-serve serve --snapshot snap.selnet --stdin < queries.txt
-//! selnet-serve serve --snapshot snap.selnet --addr 127.0.0.1:7878
+//! selnet-serve serve --model alpha=a.selnet --model beta=b.selnet --addr 127.0.0.1:7878
 //! selnet-serve check-monotone --expect non-increasing < responses.txt
 //! ```
 
@@ -23,11 +24,12 @@ use std::sync::Arc;
 
 const USAGE: &str = "usage:
   selnet-serve train-tiny --out SNAPSHOT [--replay-out FILE] [--replay-count N]
-                          [--n N] [--dim D] [--queries Q] [--epochs E]
-                          [--seed S] [--thresholds M] [--order desc|asc]
-  selnet-serve serve --snapshot SNAPSHOT (--stdin | --addr HOST:PORT)
+                          [--replay-model NAME] [--n N] [--dim D] [--queries Q]
+                          [--epochs E] [--seed S] [--thresholds M] [--order desc|asc]
+  selnet-serve serve (--snapshot SNAPSHOT | --model NAME=SNAPSHOT ...)
+                     (--stdin | --addr HOST:PORT)
                      [--workers N] [--shards N] [--batch ROWS] [--cache ENTRIES]
-                     [--auto-batch-min ROWS]
+                     [--auto-batch-min ROWS] [--queue ROWS]
   selnet-serve check-monotone [--expect non-increasing|non-decreasing]";
 
 fn main() -> ExitCode {
@@ -83,6 +85,15 @@ impl Options {
             .rev()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value given for a repeatable option, in order.
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn flag(&self, key: &str) -> bool {
@@ -151,6 +162,7 @@ fn cmd_train_tiny(args: &[String]) -> Result<(), String> {
             replay_count,
             thresholds,
             descending,
+            opts.get("replay-model"),
         )
         .map_err(|e| format!("write {replay}: {e}"))?;
         eprintln!(
@@ -167,9 +179,10 @@ fn cmd_train_tiny(args: &[String]) -> Result<(), String> {
 }
 
 /// Emits `count` text-protocol lines: database rows as query objects with
-/// an evenly spaced threshold grid over `(0, 1.1 * tmax]`. Descending
-/// grids make each *response* line monotone non-increasing — what the CI
-/// checker asserts.
+/// an evenly spaced threshold grid over `(0, 1.1 * tmax]`, optionally
+/// routed to `@model`. Descending grids make each *response* line
+/// monotone non-increasing — what the CI checker asserts.
+#[allow(clippy::too_many_arguments)]
 fn write_replay(
     w: &mut impl Write,
     ds: &selnet_data::Dataset,
@@ -177,6 +190,7 @@ fn write_replay(
     count: usize,
     thresholds: usize,
     descending: bool,
+    model: Option<&str>,
 ) -> io::Result<()> {
     writeln!(
         w,
@@ -191,6 +205,7 @@ fn write_replay(
             grid.reverse();
         }
         let q = selnet_serve::protocol::TextQuery {
+            model: model.map(str::to_string),
             x: row.to_vec(),
             ts: grid,
         };
@@ -199,27 +214,52 @@ fn write_replay(
     Ok(())
 }
 
+fn load_snapshot(path: &str) -> Result<PartitionedSelNet, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut reader = io::BufReader::new(file);
+    PartitionedSelNet::load(&mut reader).map_err(|e| format!("load {path}: {e}"))
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let opts = Options::parse(args, &["stdin"])?;
-    let snapshot = opts.get("snapshot").ok_or("serve needs --snapshot")?;
     let cfg = EngineConfig {
         workers: opts.num("workers", 0)?,
         shards: opts.num("shards", 0)?,
         max_batch_rows: opts.num("batch", 64)?,
         cache_entries: opts.num("cache", 256)?,
         auto_batch_min_rows: opts.num("auto-batch-min", 0)?,
+        max_queue_rows: opts.num("queue", 4096)?,
     };
 
-    let file = std::fs::File::open(snapshot).map_err(|e| format!("open {snapshot}: {e}"))?;
-    let mut reader = io::BufReader::new(file);
-    let model =
-        PartitionedSelNet::load(&mut reader).map_err(|e| format!("load {snapshot}: {e}"))?;
-    eprintln!(
-        "loaded snapshot {snapshot}: {} partitions, tmax {:.3}",
-        model.k(),
-        model.tmax()
-    );
-    let registry = Arc::new(ModelRegistry::new(model));
+    // tenants: repeated --model NAME=PATH, plus the legacy --snapshot PATH
+    // (registered as the default tenant)
+    let registry = Arc::new(ModelRegistry::empty());
+    if let Some(snapshot) = opts.get("snapshot") {
+        let model = load_snapshot(snapshot)?;
+        eprintln!(
+            "loaded snapshot {snapshot}: {} partitions, tmax {:.3}",
+            model.k(),
+            model.tmax()
+        );
+        registry
+            .register(selnet_serve::registry::DEFAULT_MODEL, model)
+            .map_err(|e| e.to_string())?;
+    }
+    for spec in opts.get_all("model") {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --model {spec:?} (want NAME=PATH)"))?;
+        let model = load_snapshot(path)?;
+        eprintln!(
+            "loaded tenant {name} from {path}: {} partitions, tmax {:.3}",
+            model.k(),
+            model.tmax()
+        );
+        registry.register(name, model).map_err(|e| e.to_string())?;
+    }
+    if registry.is_empty() {
+        return Err("serve needs --snapshot or at least one --model NAME=PATH".into());
+    }
     let engine = Engine::start(registry, &cfg);
 
     if opts.flag("stdin") {
@@ -228,17 +268,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let mut out = BufWriter::new(stdout.lock());
         let served = server::serve_lines(&engine, &mut stdin.lock(), &mut out)
             .map_err(|e| format!("stdin serving failed: {e}"))?;
-        // the merged snapshot carries per-shard cache hit/miss/eviction
-        // counters alongside the latency percentiles
-        let snap = engine.stats_snapshot();
-        eprintln!("served {served} queries; {snap}");
+        // the fleet report: combined counters plus one line per tenant
+        // (generation, p50/p99, hit rate, shed count)
+        let report = engine
+            .stats_report(None)
+            .expect("fleet report always renders");
+        eprintln!("served {served} queries");
+        for line in report.lines() {
+            eprintln!("{line}");
+        }
         engine.shutdown();
         Ok(())
     } else {
         let addr = opts.get("addr").unwrap_or("127.0.0.1:7878");
         let listener =
             std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
-        eprintln!("serving binary protocol on {addr} (send a stats frame for counters)");
+        eprintln!("serving binary protocol (v1 + v2) on {addr} (send a stats frame for counters)");
         let stop = Arc::new(AtomicBool::new(false));
         server::serve_tcp(engine, listener, stop).map_err(|e| format!("serve failed: {e}"))
     }
@@ -259,6 +304,9 @@ fn cmd_check_monotone(args: &[String]) -> Result<(), String> {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
+        }
+        if trimmed.starts_with('!') {
+            return Err(format!("line {}: server refusal: {trimmed}", lineno + 1));
         }
         let values: Vec<f64> = trimmed
             .split_whitespace()

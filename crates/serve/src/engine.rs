@@ -1,44 +1,53 @@
 //! The batched inference engine: a sharded request queue drained by
 //! worker threads that coalesce concurrent queries into single batched
-//! tape evaluations.
+//! tape evaluations, routed across a multi-tenant model registry.
 //!
 //! ## Request lifecycle
 //!
-//! 1. [`Engine::submit`] round-robins the request onto a queue shard and
-//!    wakes a worker;
+//! 1. [`Engine::submit`] takes a [`Request`] (model id + query +
+//!    thresholds), resolves its tenant **before** anything is queued
+//!    ([`SubmitError::UnknownModel`] / [`SubmitError::DimensionMismatch`]
+//!    — a worker can never see a misrouted or mis-shaped row), applies
+//!    admission control (bounded per-shard queues; a saturated engine
+//!    sheds with [`SubmitError::Overloaded`] instead of queueing without
+//!    bound), then round-robins the request onto a queue shard and wakes
+//!    a worker;
 //! 2. a worker drains up to `max_batch_rows` `(x, t)` rows from its home
 //!    shard (stealing from other shards when idle), **never splitting a
 //!    request across batches** — with batch-size auto-tuning enabled
 //!    ([`EngineConfig::auto_batch_min_rows`]), the drain cap follows an
 //!    EWMA of the observed queue depth, so light load gets small
 //!    low-latency batches and heavy load fills up to `max_batch_rows`;
-//! 3. the worker binds the current model generation once, answers cache
-//!    hits, flattens the misses into one
+//! 3. the worker groups the drained requests **per tenant**, binds each
+//!    tenant's model generation once, answers cache hits, flattens the
+//!    misses into one
 //!    [`estimate_batch_into`](selnet_eval::SelectivityEstimator::estimate_batch_into)
-//!    call over the model's compiled inference plan, writing into
-//!    per-worker scratch buffers (no per-request allocation beyond the
-//!    reply `Vec`s), scatters the rows back per request, fills the LRU
-//!    cache, and replies; latency samples land in the stats record under
-//!    one lock per batch.
+//!    call over that tenant's compiled inference plan, writing into
+//!    per-worker scratch buffers, scatters the rows back per request,
+//!    fills the LRU cache (keyed by tenant id + generation), and
+//!    replies; latency samples land in both the fleet record and the
+//!    tenant's own record under one lock per batch.
 //!
 //! Blocking callers ([`Engine::serve_blocking`] / [`Engine::estimate_many`]
 //! and the TCP/stdin connection loops) additionally get a **same-thread
 //! fast path**: when every queue is idle there is nothing to coalesce
 //! with, so the submitting thread binds a generation and evaluates the
-//! single request itself, skipping the queue, the Condvar wake-up, and
-//! the reply-channel round-trip entirely. Async [`Engine::submit`] always
-//! queues, preserving pipelined coalescing.
+//! single request itself. Blocking callers are also never shed — when
+//! the queues are saturated they evaluate inline as well, which *is*
+//! backpressure (one in-flight request per caller); only the pipelined
+//! [`Engine::submit`] path sheds.
 //!
 //! Because the batched forward is bit-identical per row to single-query
 //! evaluation, coalescing never changes an answer — any interleaving of
 //! client threads yields exactly the results of a sequential
 //! `estimate_many` (pinned by the `engine_concurrency` stress test). And
-//! because a request is answered entirely by the one generation its batch
-//! bound (inline serving binds one generation too, and the cache is
-//! generation-keyed), a hot swap can never tear a response.
+//! because a request is answered entirely by the one generation its
+//! tenant group bound (inline serving binds one generation too, and the
+//! cache is tenant-and-generation-keyed), a hot swap can never tear a
+//! response or bleed across tenants.
 
 use crate::cache::{CacheShardStats, LruCache, QueryKey};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, Tenant};
 use crate::stats::{ServeStats, StatsSnapshot};
 use selnet_eval::SelectivityEstimator;
 use std::collections::VecDeque;
@@ -154,9 +163,81 @@ fn reply_pair() -> (ReplySender, ReplyHandle) {
     (ReplySender(Some(Arc::clone(&slot))), ReplyHandle(slot))
 }
 
+/// One routed estimation request: which tenant, which query object,
+/// which threshold grid. Built builder-style:
+///
+/// ```
+/// use selnet_serve::engine::Request;
+/// let req = Request::new(vec![0.1, 0.2])
+///     .thresholds(vec![1.0, 0.5])
+///     .model("alpha");
+/// assert_eq!(req.model_id(), Some("alpha"));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    model: Option<String>,
+    x: Vec<f32>,
+    ts: Vec<f32>,
+}
+
+impl Request {
+    /// A request for the **default tenant** with an empty threshold grid;
+    /// chain [`Request::thresholds`] and [`Request::model`] to fill it
+    /// in.
+    pub fn new(x: Vec<f32>) -> Request {
+        Request {
+            model: None,
+            x,
+            ts: Vec::new(),
+        }
+    }
+
+    /// Sets the thresholds to estimate at (the reply has one estimate per
+    /// threshold, in this order).
+    pub fn thresholds(mut self, ts: Vec<f32>) -> Request {
+        self.ts = ts;
+        self
+    }
+
+    /// Routes the request to a named tenant.
+    pub fn model(mut self, name: impl Into<String>) -> Request {
+        self.model = Some(name.into());
+        self
+    }
+
+    /// Routes the request to `Some` tenant or the default (`None`) — the
+    /// shape wire decoding produces.
+    pub fn model_opt(mut self, name: Option<String>) -> Request {
+        self.model = name;
+        self
+    }
+
+    /// The tenant this request is routed to (`None` = default tenant).
+    pub fn model_id(&self) -> Option<&str> {
+        self.model.as_deref()
+    }
+
+    /// The query vector.
+    pub fn query(&self) -> &[f32] {
+        &self.x
+    }
+
+    /// The threshold grid.
+    pub fn threshold_grid(&self) -> &[f32] {
+        &self.ts
+    }
+
+    /// The `(x, t)` row count this request contributes to a batch (at
+    /// least 1 — an empty grid still occupies a queue slot).
+    pub fn rows(&self) -> usize {
+        self.ts.len().max(1)
+    }
+}
+
 /// Engine knobs. `..Default::default()` gives a sensible server: one
 /// worker per configured tensor thread, one shard per worker, batches of
-/// 64 rows, 256 cached responses per shard.
+/// 64 rows, 256 cached responses per shard, 4096 queued rows per shard
+/// before admission control sheds.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker threads draining the queue (`0` = the tensor dispatcher's
@@ -177,6 +258,14 @@ pub struct EngineConfig {
     /// grow to `max_batch_rows` (throughput). Coalescing semantics are
     /// unchanged — requests are never split, answers are bit-identical.
     pub auto_batch_min_rows: usize,
+    /// Admission-control bound: maximum `(x, t)` rows queued per shard
+    /// before [`Engine::submit`] sheds with [`SubmitError::Overloaded`]
+    /// (`0` = unbounded, the pre-admission-control behaviour). The bound
+    /// is approximate under submit races, and an oversized single request
+    /// is always admitted to an **empty** shard so it cannot be starved
+    /// by its own size. Blocking callers are never shed — they fall back
+    /// to inline evaluation, which is its own backpressure.
+    pub max_queue_rows: usize,
 }
 
 impl Default for EngineConfig {
@@ -187,6 +276,7 @@ impl Default for EngineConfig {
             max_batch_rows: 64,
             cache_entries: 256,
             auto_batch_min_rows: 0,
+            max_queue_rows: 4096,
         }
     }
 }
@@ -236,17 +326,36 @@ struct BatchScratch {
     served: Vec<(u64, u64)>,
 }
 
-/// Why [`Engine::submit`] refused a request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Why [`Engine::submit`] refused a request. Routing and shape errors
+/// surface here — **before** a worker thread can see the request.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitError {
     /// The engine has been shut down.
     ShutDown,
-    /// The query vector's length does not match the model's dimension.
+    /// The request named a model the registry does not hold (or the
+    /// registry is empty and the request wanted the default tenant).
+    UnknownModel {
+        /// The model id the request carried (`"<default>"` when the
+        /// request was unrouted but no tenant exists).
+        model: String,
+    },
+    /// The query vector's length does not match the routed model's
+    /// dimension.
     DimensionMismatch {
+        /// The tenant the request was routed to.
+        model: String,
         /// The dimension the served model expects.
         expected: usize,
         /// The dimension the request carried.
         got: usize,
+    },
+    /// Admission control shed the request: every queue shard is at
+    /// [`EngineConfig::max_queue_rows`]. Retry after backing off.
+    Overloaded {
+        /// Rows waiting on the fullest shard probed.
+        queued_rows: usize,
+        /// The configured per-shard bound.
+        limit: usize,
     },
 }
 
@@ -254,10 +363,23 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::ShutDown => write!(f, "engine is shut down"),
-            SubmitError::DimensionMismatch { expected, got } => {
+            SubmitError::UnknownModel { model } => {
+                write!(f, "unknown model {model:?}")
+            }
+            SubmitError::DimensionMismatch {
+                model,
+                expected,
+                got,
+            } => {
                 write!(
                     f,
-                    "query dimension mismatch: model expects {expected}, got {got}"
+                    "query dimension mismatch for model {model:?}: expects {expected}, got {got}"
+                )
+            }
+            SubmitError::Overloaded { queued_rows, limit } => {
+                write!(
+                    f,
+                    "overloaded: {queued_rows} rows queued against a per-shard bound of {limit}"
                 )
             }
         }
@@ -266,16 +388,45 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-struct Request {
+/// A queued request, its tenant already resolved — workers never touch
+/// the registry's name map.
+struct Queued<M> {
+    tenant: Arc<Tenant<M>>,
     x: Vec<f32>,
     ts: Vec<f32>,
     enqueued: Instant,
     reply: ReplySender,
 }
 
-struct Shard {
-    queue: Mutex<VecDeque<Request>>,
+struct Shard<M> {
+    queue: Mutex<VecDeque<Queued<M>>>,
     signal: Condvar,
+    /// `(x, t)` rows currently queued — the admission-control gauge,
+    /// updated under the queue lock.
+    rows: AtomicUsize,
+}
+
+/// Per-tenant stats view: name, served generation, and this tenant's own
+/// counters — the scrapeable unit of fleet telemetry.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// The tenant's registered name.
+    pub name: String,
+    /// The generation currently being served.
+    pub generation: u64,
+    /// The tenant's counters (requests, p50/p99, hit rate, batch-row
+    /// mean, shed count).
+    pub stats: StatsSnapshot,
+}
+
+impl std::fmt::Display for TenantStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant={} generation={} {}",
+            self.name, self.generation, self.stats
+        )
+    }
 }
 
 /// The serving engine. Create with [`Engine::start`]; submit work with
@@ -283,7 +434,7 @@ struct Shard {
 /// [`Engine::shutdown`] (queued requests are drained first).
 pub struct Engine<M> {
     registry: Arc<ModelRegistry<M>>,
-    shards: Vec<Shard>,
+    shards: Vec<Shard<M>>,
     caches: Vec<Mutex<LruCache>>,
     /// Whether the caches can ever hold anything; `false` skips key
     /// construction and cache locks entirely on the batch path.
@@ -291,6 +442,7 @@ pub struct Engine<M> {
     stats: Arc<ServeStats>,
     max_batch_rows: usize,
     auto_batch_min_rows: usize,
+    max_queue_rows: usize,
     next_shard: AtomicUsize,
     stop: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -313,6 +465,7 @@ where
             .map(|_| Shard {
                 queue: Mutex::new(VecDeque::new()),
                 signal: Condvar::new(),
+                rows: AtomicUsize::new(0),
             })
             .collect();
         let caches = (0..nshards)
@@ -326,6 +479,7 @@ where
             stats: Arc::new(ServeStats::new()),
             max_batch_rows: cfg.max_batch_rows.max(1),
             auto_batch_min_rows: cfg.auto_batch_min_rows,
+            max_queue_rows: cfg.max_queue_rows,
             next_shard: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
@@ -344,52 +498,100 @@ where
         engine
     }
 
-    /// Enqueues one query object with its threshold grid; the returned
-    /// handle yields the estimates (one per threshold, in order) on
-    /// [`ReplyHandle::wait`].
+    /// Resolves a request's tenant and validates its query dimension —
+    /// the routing checks both entry points share. Errors surface here so
+    /// a worker thread can never observe a misrouted or mis-shaped row.
+    fn route(&self, req: &Request) -> Result<Arc<Tenant<M>>, SubmitError> {
+        let tenant =
+            self.registry
+                .resolve(req.model_id())
+                .ok_or_else(|| SubmitError::UnknownModel {
+                    model: req.model_id().unwrap_or("<default>").to_string(),
+                })?;
+        if let Some(expected) = tenant.current().1.query_dim() {
+            if req.query().len() != expected {
+                return Err(SubmitError::DimensionMismatch {
+                    model: tenant.name().to_string(),
+                    expected,
+                    got: req.query().len(),
+                });
+            }
+        }
+        Ok(tenant)
+    }
+
+    /// Enqueues one routed request; the returned handle yields the
+    /// estimates (one per threshold, in order) on [`ReplyHandle::wait`].
     ///
-    /// The query dimension is validated against the model *before*
-    /// enqueueing (when the model declares one via
-    /// [`SelectivityEstimator::query_dim`]): the estimators assert on
-    /// mis-shaped input, and a panicking worker must never be reachable
-    /// from untrusted wire bytes.
-    pub fn submit(&self, x: Vec<f32>, ts: Vec<f32>) -> Result<ReplyHandle, SubmitError> {
-        self.check_dim(&x)?;
+    /// Routing ([`SubmitError::UnknownModel`]), shape
+    /// ([`SubmitError::DimensionMismatch`]) and admission
+    /// ([`SubmitError::Overloaded`]) are all decided **here**, before the
+    /// request can reach a worker: the estimators assert on mis-shaped
+    /// input, and a panicking worker must never be reachable from
+    /// untrusted wire bytes; likewise a saturated engine must refuse
+    /// cheaply rather than grow its queues without bound.
+    pub fn submit(&self, req: Request) -> Result<ReplyHandle, SubmitError> {
+        let tenant = self.route(&req)?;
+        self.enqueue(tenant, req.x, req.ts)
+    }
+
+    fn enqueue(
+        &self,
+        tenant: Arc<Tenant<M>>,
+        x: Vec<f32>,
+        ts: Vec<f32>,
+    ) -> Result<ReplyHandle, SubmitError> {
+        let rows = ts.len().max(1);
+        let n = self.shards.len();
+        let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        // admission control: probe round-robin for a shard with room. The
+        // gauge is read without the queue lock, so the bound is
+        // approximate under submit races — by design; shedding exists to
+        // stop unbounded growth, not to enforce an exact ceiling.
+        let mut fullest = 0usize;
+        let mut chosen = None;
+        for offset in 0..n {
+            let idx = (start + offset) % n;
+            let queued = self.shards[idx].rows.load(Ordering::Relaxed);
+            fullest = fullest.max(queued);
+            let admit = self.max_queue_rows == 0
+                || queued == 0 // an empty shard always admits (oversized single requests)
+                || queued + rows <= self.max_queue_rows;
+            if admit {
+                chosen = Some(idx);
+                break;
+            }
+        }
+        let Some(idx) = chosen else {
+            tenant.stats().record_shed();
+            self.stats.record_shed();
+            return Err(SubmitError::Overloaded {
+                queued_rows: fullest,
+                limit: self.max_queue_rows,
+            });
+        };
         let (tx, rx) = reply_pair();
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        let req = Request {
+        let req = Queued {
+            tenant,
             x,
             ts,
             enqueued: Instant::now(),
             reply: tx,
         };
+        let shard = &self.shards[idx];
         {
             // the stop re-check happens under the queue lock: a worker's
             // exit decision (stop && queue empty) takes the same lock, so
             // a request pushed here is guaranteed to be drained
-            let mut q = self.shards[shard]
-                .queue
-                .lock()
-                .expect("queue lock poisoned");
+            let mut q = shard.queue.lock().expect("queue lock poisoned");
             if self.stop.load(Ordering::SeqCst) {
                 return Err(SubmitError::ShutDown);
             }
+            shard.rows.fetch_add(rows, Ordering::Relaxed);
             q.push_back(req);
         }
-        self.shards[shard].signal.notify_one();
+        shard.signal.notify_one();
         Ok(rx)
-    }
-
-    fn check_dim(&self, x: &[f32]) -> Result<(), SubmitError> {
-        if let Some(expected) = self.registry.current().1.query_dim() {
-            if x.len() != expected {
-                return Err(SubmitError::DimensionMismatch {
-                    expected,
-                    got: x.len(),
-                });
-            }
-        }
-        Ok(())
     }
 
     /// Serves one request, blocking until the answer is ready — the entry
@@ -399,20 +601,35 @@ where
     /// When every queue is idle there is nothing to coalesce with, so the
     /// request is evaluated **inline on this thread** against one bound
     /// generation (cache consulted and filled as usual), skipping the
-    /// queue, the worker wake-up, and the reply channel. Otherwise it
-    /// falls back to [`Engine::submit`] + receive, so concurrent load
-    /// still coalesces.
-    pub fn serve_blocking(&self, x: &[f32], ts: &[f32]) -> Result<Vec<f64>, SubmitError> {
-        self.check_dim(x)?;
+    /// queue, the worker wake-up, and the reply channel. Under saturation
+    /// the request also evaluates inline rather than shedding — a
+    /// blocking caller has at most one request in flight, so making it do
+    /// its own work *is* the backpressure. Otherwise it falls back to
+    /// queued submission, so concurrent load still coalesces.
+    pub fn serve_blocking(&self, req: &Request) -> Result<Vec<f64>, SubmitError> {
+        let tenant = self.route(req)?;
         if self.stop.load(Ordering::SeqCst) {
             return Err(SubmitError::ShutDown);
         }
         if self.queues_idle() {
-            return Ok(self.serve_inline(x, ts));
+            return Ok(self.serve_inline(&tenant, req.query(), req.threshold_grid()));
         }
-        self.submit(x.to_vec(), ts.to_vec())?
-            .wait()
-            .map_err(|Disconnected| SubmitError::ShutDown)
+        match self.enqueue(
+            tenant.clone(),
+            req.query().to_vec(),
+            req.threshold_grid().to_vec(),
+        ) {
+            Ok(handle) => handle.wait().map_err(|Disconnected| SubmitError::ShutDown),
+            // saturated: evaluate on the caller's own thread instead of
+            // shedding a blocking caller (the shed was already counted by
+            // enqueue; un-count it — the request IS being served)
+            Err(SubmitError::Overloaded { .. }) => {
+                tenant.stats().uncount_shed();
+                self.stats.uncount_shed();
+                Ok(self.serve_inline(&tenant, req.query(), req.threshold_grid()))
+            }
+            Err(other) => Err(other),
+        }
     }
 
     /// Whether every shard queue is currently observably empty (a busy
@@ -424,22 +641,26 @@ where
         })
     }
 
-    /// Evaluates one request synchronously against one bound generation,
-    /// with the same cache semantics as the worker path.
-    fn serve_inline(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
+    /// Evaluates one request synchronously against one bound generation
+    /// of its tenant, with the same cache semantics as the worker path.
+    fn serve_inline(&self, tenant: &Tenant<M>, x: &[f32], ts: &[f32]) -> Vec<f64> {
         let started = Instant::now();
-        let (generation, model) = self.registry.current();
-        let key = self.cache_enabled.then(|| QueryKey::new(generation, x, ts));
+        let (generation, model) = tenant.current();
+        let key = self
+            .cache_enabled
+            .then(|| QueryKey::new(tenant.id(), generation, x, ts));
         if let Some(key) = &key {
             let cached = self.caches[self.cache_shard(key)]
                 .lock()
                 .expect("cache lock poisoned")
                 .get(key);
             if let Some(values) = cached {
-                self.stats.record_cache_hit();
-                self.stats.record_inline();
-                self.stats
-                    .record_request(ts.len() as u64, started.elapsed().as_micros() as u64);
+                let us = started.elapsed().as_micros() as u64;
+                for stats in [self.stats.as_ref(), tenant.stats().as_ref()] {
+                    stats.record_cache_hit();
+                    stats.record_inline();
+                    stats.record_request(ts.len() as u64, us);
+                }
                 return values;
             }
         }
@@ -450,29 +671,33 @@ where
                 .expect("cache lock poisoned")
                 .insert(key, values.clone());
         }
-        self.stats.record_inline();
-        self.stats
-            .record_request(ts.len() as u64, started.elapsed().as_micros() as u64);
+        let us = started.elapsed().as_micros() as u64;
+        for stats in [self.stats.as_ref(), tenant.stats().as_ref()] {
+            stats.record_inline();
+            stats.record_request(ts.len() as u64, us);
+        }
         values
     }
 
-    /// Blocking convenience wrapper around [`Engine::serve_blocking`].
+    /// Blocking convenience wrapper around [`Engine::serve_blocking`] for
+    /// the default tenant.
     ///
     /// # Panics
     /// Panics if the engine has been shut down or the query is mis-shaped
     /// (use [`Engine::serve_blocking`] to handle those as errors).
     pub fn estimate_many(&self, x: &[f32], ts: &[f32]) -> Vec<f64> {
-        self.serve_blocking(x, ts)
+        self.serve_blocking(&Request::new(x.to_vec()).thresholds(ts.to_vec()))
             .expect("engine stopped while serving")
     }
 
-    /// The engine's telemetry.
+    /// The engine's fleet-wide telemetry (every tenant combined).
     pub fn stats(&self) -> &ServeStats {
         &self.stats
     }
 
-    /// A stats snapshot with the per-shard cache counters filled in —
-    /// what the TCP stats frame and the stdin-mode stderr report render.
+    /// A fleet stats snapshot with the per-shard cache counters filled in
+    /// — what the TCP fleet-stats frame and the stdin-mode stderr report
+    /// render.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let mut snap = self.stats.snapshot();
         snap.cache_shards = self
@@ -483,6 +708,49 @@ where
         snap
     }
 
+    /// Per-tenant stats views, in registration order — the scrapeable
+    /// fleet telemetry (p50/p99, hit rates, batch-row mean, shed count,
+    /// generation per tenant).
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.registry
+            .tenants()
+            .iter()
+            .map(|t| TenantStats {
+                name: t.name().to_string(),
+                generation: t.generation(),
+                stats: t.stats().snapshot(),
+            })
+            .collect()
+    }
+
+    /// Renders the stats report a [`Stats`](crate::protocol::Frame::Stats)
+    /// frame asks for: one tenant's line, or the fleet header plus every
+    /// tenant's line (`None`). `None` is returned only for an unknown
+    /// model id.
+    pub fn stats_report(&self, model: Option<&str>) -> Option<String> {
+        match model {
+            Some(name) => {
+                let tenant = self.registry.get(name)?;
+                Some(
+                    TenantStats {
+                        name: tenant.name().to_string(),
+                        generation: tenant.generation(),
+                        stats: tenant.stats().snapshot(),
+                    }
+                    .to_string(),
+                )
+            }
+            None => {
+                let mut out = format!("fleet {}", self.stats_snapshot());
+                for t in self.tenant_stats() {
+                    out.push('\n');
+                    out.push_str(&t.to_string());
+                }
+                Some(out)
+            }
+        }
+    }
+
     /// Per-shard LRU cache counters.
     pub fn cache_stats(&self) -> Vec<CacheShardStats> {
         self.caches
@@ -491,7 +759,8 @@ where
             .collect()
     }
 
-    /// The registry this engine serves from (for hot swaps).
+    /// The registry this engine serves from (for hot swaps and tenant
+    /// registration).
     pub fn registry(&self) -> &Arc<ModelRegistry<M>> {
         &self.registry
     }
@@ -507,12 +776,13 @@ where
         for h in workers.drain(..) {
             let _ = h.join();
         }
-        // Belt and braces: the under-lock stop check in `submit` means no
+        // Belt and braces: the under-lock stop check in `enqueue` means no
         // request can land after the workers exit, but if that invariant
         // ever broke, dropping the stragglers (and their reply senders)
         // turns a would-be infinite `recv()` hang into a recv error.
         for s in &self.shards {
             s.queue.lock().expect("queue lock poisoned").clear();
+            s.rows.store(0, Ordering::Relaxed);
         }
     }
 
@@ -544,7 +814,7 @@ where
     /// worker's queue-depth EWMA; otherwise it is `max_batch_rows`.
     /// Returns `None` after an idle wait so the caller can re-check for
     /// shutdown.
-    fn collect_batch(&self, home: usize, auto: &mut AutoBatch) -> Option<Vec<Request>> {
+    fn collect_batch(&self, home: usize, auto: &mut AutoBatch) -> Option<Vec<Queued<M>>> {
         let n = self.shards.len();
         let cap = auto.cap(self.auto_batch_min_rows, self.max_batch_rows);
         for offset in 0..n {
@@ -556,7 +826,7 @@ where
                     self.max_batch_rows,
                 );
             }
-            if let Some(batch) = Self::drain_requests(&mut q, cap) {
+            if let Some(batch) = Self::drain_requests(shard, &mut q, cap) {
                 return Some(batch);
             }
         }
@@ -573,12 +843,12 @@ where
                 self.max_batch_rows,
             );
         }
-        Self::drain_requests(&mut q, cap)
+        Self::drain_requests(shard, &mut q, cap)
     }
 
     /// Total `(x, t)` rows waiting in a queue, counted up to `2 * max`
     /// (beyond that the EWMA sample is capped anyway).
-    fn queued_rows(q: &VecDeque<Request>, max: usize) -> usize {
+    fn queued_rows(q: &VecDeque<Queued<M>>, max: usize) -> usize {
         let mut rows = 0usize;
         for r in q {
             rows += r.ts.len().max(1);
@@ -589,7 +859,13 @@ where
         rows
     }
 
-    fn drain_requests(q: &mut VecDeque<Request>, max_rows: usize) -> Option<Vec<Request>> {
+    /// Drains up to `max_rows` rows of requests (called with the queue
+    /// lock held), keeping the shard's admission gauge in step.
+    fn drain_requests(
+        shard: &Shard<M>,
+        q: &mut VecDeque<Queued<M>>,
+        max_rows: usize,
+    ) -> Option<Vec<Queued<M>>> {
         if q.is_empty() {
             return None;
         }
@@ -606,6 +882,12 @@ where
                 break;
             }
         }
+        // saturating: shutdown's gauge reset can race a final drain
+        let _ = shard
+            .rows
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(rows))
+            });
         Some(batch)
     }
 
@@ -615,17 +897,43 @@ where
         (h.finish() as usize) % self.caches.len()
     }
 
-    /// Answers a batch of requests from **one** model generation: cache
-    /// hits first (skipped wholesale when caching is disabled), then a
-    /// single coalesced `estimate_batch_into` over every remaining
-    /// `(x, t)` row, written into the worker's reusable scratch.
-    fn serve_batch(&self, requests: Vec<Request>, scratch: &mut BatchScratch) {
-        let (generation, model) = self.registry.current();
+    /// Answers a drained batch: requests are grouped **per tenant** (a
+    /// batched evaluation can only ride one model), then each group is
+    /// served from one bound generation of its tenant.
+    fn serve_batch(&self, requests: Vec<Queued<M>>, scratch: &mut BatchScratch) {
+        type TenantGroup<M> = (Arc<Tenant<M>>, Vec<Queued<M>>);
+        let mut groups: Vec<TenantGroup<M>> = Vec::new();
+        for req in requests {
+            match groups.iter_mut().find(|(t, _)| t.id() == req.tenant.id()) {
+                Some((_, group)) => group.push(req),
+                None => {
+                    let tenant = Arc::clone(&req.tenant);
+                    groups.push((tenant, vec![req]));
+                }
+            }
+        }
+        for (tenant, group) in groups {
+            self.serve_tenant_batch(&tenant, group, scratch);
+        }
+    }
+
+    /// Answers one tenant's share of a batch from **one** generation of
+    /// that tenant's model: cache hits first (skipped wholesale when
+    /// caching is disabled), then a single coalesced `estimate_batch_into`
+    /// over every remaining `(x, t)` row, written into the worker's
+    /// reusable scratch.
+    fn serve_tenant_batch(
+        &self,
+        tenant: &Arc<Tenant<M>>,
+        requests: Vec<Queued<M>>,
+        scratch: &mut BatchScratch,
+    ) {
+        let (generation, model) = tenant.current();
         scratch.served.clear();
-        let mut pending: Vec<(Request, Option<QueryKey>)> = Vec::with_capacity(requests.len());
+        let mut pending: Vec<(Queued<M>, Option<QueryKey>)> = Vec::with_capacity(requests.len());
         if self.cache_enabled {
             for req in requests {
-                let key = QueryKey::new(generation, &req.x, &req.ts);
+                let key = QueryKey::new(tenant.id(), generation, &req.x, &req.ts);
                 let cached = self.caches[self.cache_shard(&key)]
                     .lock()
                     .expect("cache lock poisoned")
@@ -635,11 +943,11 @@ where
                         // hits are recorded *before* their reply wakes the
                         // client, so a snapshot taken right after a client
                         // returns always counts its request
-                        self.stats.record_cache_hit();
-                        self.stats.record_request(
-                            req.ts.len() as u64,
-                            req.enqueued.elapsed().as_micros() as u64,
-                        );
+                        let us = req.enqueued.elapsed().as_micros() as u64;
+                        for stats in [self.stats.as_ref(), tenant.stats().as_ref()] {
+                            stats.record_cache_hit();
+                            stats.record_request(req.ts.len() as u64, us);
+                        }
                         req.reply.send(values);
                     }
                     None => pending.push((req, Some(key))),
@@ -662,6 +970,7 @@ where
         }
         model.estimate_batch_into(&xs, &scratch.ts, &mut scratch.flat);
         self.stats.record_batch();
+        tenant.stats().record_batch();
         let mut offset = 0usize;
         // slice the results and record the stats BEFORE any reply becomes
         // observable — a client returning from wait() must always find its
@@ -683,6 +992,7 @@ where
             replies.push((req.reply, values));
         }
         self.stats.record_requests(&scratch.served);
+        tenant.stats().record_requests(&scratch.served);
         // stage every reply, then wake the waiters: a woken client then
         // drains its whole batch without sleeping again per reply
         let staged: Vec<StagedReply> = replies
@@ -719,6 +1029,10 @@ mod tests {
         Engine::start(Arc::new(ModelRegistry::new(Affine { scale })), cfg)
     }
 
+    fn req(x: Vec<f32>, ts: Vec<f32>) -> Request {
+        Request::new(x).thresholds(ts)
+    }
+
     #[test]
     fn answers_match_direct_evaluation() {
         let eng = engine(
@@ -734,6 +1048,86 @@ mod tests {
     }
 
     #[test]
+    fn requests_route_to_their_named_tenant() {
+        let registry = Arc::new(ModelRegistry::empty());
+        registry.register("alpha", Affine { scale: 2.0 }).unwrap();
+        registry.register("beta", Affine { scale: 5.0 }).unwrap();
+        let eng = Engine::start(
+            Arc::clone(&registry),
+            &EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        // routed blocking requests
+        let a = eng
+            .serve_blocking(&req(vec![1.0], vec![1.0, 2.0]).model("alpha"))
+            .unwrap();
+        let b = eng
+            .serve_blocking(&req(vec![1.0], vec![1.0, 2.0]).model("beta"))
+            .unwrap();
+        assert_eq!(a, vec![3.0, 5.0]);
+        assert_eq!(b, vec![6.0, 11.0]);
+        // unrouted goes to the first registered tenant
+        assert_eq!(eng.estimate_many(&[0.0], &[1.0]), vec![2.0]);
+        // routed pipelined requests interleave tenants in one queue
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                let name = if i % 2 == 0 { "alpha" } else { "beta" };
+                eng.submit(req(vec![0.0], vec![1.0]).model(name))
+                    .expect("engine running")
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let want = if i % 2 == 0 { 2.0 } else { 5.0 };
+            assert_eq!(h.wait().expect("served"), vec![want]);
+        }
+        // per-tenant stats saw their own traffic only
+        let stats = eng.tenant_stats();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|t| t.stats.requests > 0));
+        let total: u64 = stats.iter().map(|t| t.stats.requests).sum();
+        assert_eq!(total, eng.stats().snapshot().requests);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_before_queueing() {
+        let eng = engine(1.0, &EngineConfig::default());
+        assert_eq!(
+            eng.submit(req(vec![0.0], vec![1.0]).model("nope")).err(),
+            Some(SubmitError::UnknownModel {
+                model: "nope".into()
+            })
+        );
+        assert_eq!(
+            eng.serve_blocking(&req(vec![0.0], vec![1.0]).model("nope"))
+                .err(),
+            Some(SubmitError::UnknownModel {
+                model: "nope".into()
+            })
+        );
+        // the engine is unaffected
+        assert_eq!(eng.estimate_many(&[0.0], &[1.0]), vec![1.0]);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn empty_registry_reports_unknown_default() {
+        let eng = Engine::start(
+            Arc::new(ModelRegistry::<Affine>::empty()),
+            &EngineConfig::default(),
+        );
+        assert_eq!(
+            eng.submit(req(vec![0.0], vec![1.0])).err(),
+            Some(SubmitError::UnknownModel {
+                model: "<default>".into()
+            })
+        );
+        eng.shutdown();
+    }
+
+    #[test]
     fn shutdown_drains_queued_requests_then_rejects() {
         let eng = engine(
             1.0,
@@ -744,7 +1138,7 @@ mod tests {
         );
         let receivers: Vec<_> = (0..32)
             .map(|i| {
-                eng.submit(vec![i as f32], vec![1.0])
+                eng.submit(req(vec![i as f32], vec![1.0]))
                     .expect("engine running")
             })
             .collect();
@@ -753,7 +1147,7 @@ mod tests {
             assert_eq!(rx.wait().expect("drained"), vec![1.0 + i as f64]);
         }
         assert_eq!(
-            eng.submit(vec![0.0], vec![1.0]).err(),
+            eng.submit(req(vec![0.0], vec![1.0])).err(),
             Some(SubmitError::ShutDown)
         );
         eng.shutdown(); // idempotent
@@ -784,14 +1178,95 @@ mod tests {
             },
         );
         assert_eq!(
-            eng.submit(vec![0.0; 2], vec![1.0]).err(),
+            eng.submit(req(vec![0.0; 2], vec![1.0])).err(),
             Some(SubmitError::DimensionMismatch {
+                model: "default".into(),
                 expected: 3,
                 got: 2
             })
         );
         // the engine is still healthy and serves well-shaped queries
         assert_eq!(eng.estimate_many(&[1.0, 2.0, 3.0], &[1.0]), vec![7.0]);
+        eng.shutdown();
+    }
+
+    /// An estimator slow enough that a tiny bounded queue saturates:
+    /// admission control must shed with `Overloaded` (counted in both
+    /// fleet and tenant stats) instead of queueing without bound, while
+    /// accepted requests still serve correctly.
+    struct Slow;
+    impl SelectivityEstimator for Slow {
+        fn estimate(&self, _x: &[f32], t: f32) -> f64 {
+            std::thread::sleep(Duration::from_millis(2));
+            t as f64
+        }
+        fn name(&self) -> &str {
+            "slow"
+        }
+    }
+
+    #[test]
+    fn saturated_queue_sheds_overloaded_and_counts_it() {
+        let eng = Engine::start(
+            Arc::new(ModelRegistry::new(Slow)),
+            &EngineConfig {
+                workers: 1,
+                shards: 1,
+                max_batch_rows: 1,
+                cache_entries: 0,
+                auto_batch_min_rows: 0,
+                max_queue_rows: 2,
+            },
+        );
+        let mut accepted = Vec::new();
+        let mut shed = 0usize;
+        for i in 0..64 {
+            match eng.submit(req(vec![i as f32], vec![1.0])) {
+                Ok(handle) => accepted.push(handle),
+                Err(SubmitError::Overloaded { limit, .. }) => {
+                    assert_eq!(limit, 2);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        assert!(shed > 0, "a 2-row bound under 64 instant submits must shed");
+        assert!(!accepted.is_empty(), "an empty queue must always admit");
+        for handle in accepted {
+            assert_eq!(handle.wait().expect("served"), vec![1.0]);
+        }
+        let fleet = eng.stats().snapshot();
+        assert_eq!(fleet.shed_requests, shed as u64, "fleet shed count");
+        let tenants = eng.tenant_stats();
+        assert_eq!(tenants[0].stats.shed_requests, shed as u64);
+        // shed requests are refusals, not answers: they never count as
+        // served requests
+        assert_eq!(fleet.requests as usize + shed, 64);
+        // blocking callers are never shed, even while saturated
+        assert_eq!(eng.estimate_many(&[0.0], &[3.0]), vec![3.0]);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn unbounded_queue_never_sheds() {
+        let eng = engine(
+            1.0,
+            &EngineConfig {
+                workers: 1,
+                max_queue_rows: 0,
+                ..Default::default()
+            },
+        );
+        let handles: Vec<_> = (0..256)
+            .map(|i| {
+                eng.submit(req(vec![i as f32], vec![1.0]))
+                    .expect("unbounded queue must always admit")
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("served");
+        }
+        assert_eq!(eng.stats().snapshot().shed_requests, 0);
         eng.shutdown();
     }
 
@@ -823,6 +1298,32 @@ mod tests {
         eng.registry().publish(Affine { scale: 10.0 });
         let c = eng.estimate_many(&[0.5], &[1.0]);
         assert_eq!(c, vec![10.5]);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn cache_never_bleeds_across_tenants() {
+        // two tenants, same generation numbers, same query bits — only
+        // the tenant id distinguishes the cache keys
+        let registry = Arc::new(ModelRegistry::empty());
+        registry.register("alpha", Affine { scale: 2.0 }).unwrap();
+        registry.register("beta", Affine { scale: 5.0 }).unwrap();
+        let eng = Engine::start(
+            Arc::clone(&registry),
+            &EngineConfig {
+                workers: 1,
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        let a = eng
+            .serve_blocking(&req(vec![0.5], vec![1.0]).model("alpha"))
+            .unwrap();
+        let b = eng
+            .serve_blocking(&req(vec![0.5], vec![1.0]).model("beta"))
+            .unwrap();
+        assert_eq!(a, vec![2.5]);
+        assert_eq!(b, vec![5.5], "beta must not see alpha's cached answer");
         eng.shutdown();
     }
 
@@ -919,6 +1420,26 @@ mod tests {
         let got = eng.estimate_many(&[0.0], &ts);
         assert_eq!(got.len(), 17);
         assert_eq!(got[16], 16.0);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn stats_report_renders_fleet_and_tenant_views() {
+        let registry = Arc::new(ModelRegistry::empty());
+        registry.register("alpha", Affine { scale: 1.0 }).unwrap();
+        registry.register("beta", Affine { scale: 2.0 }).unwrap();
+        let eng = Engine::start(Arc::clone(&registry), &EngineConfig::default());
+        let _ = eng
+            .serve_blocking(&req(vec![0.0], vec![1.0]).model("alpha"))
+            .unwrap();
+        let fleet = eng.stats_report(None).unwrap();
+        assert!(fleet.starts_with("fleet "), "fleet report: {fleet}");
+        assert!(fleet.contains("tenant=alpha generation=0"));
+        assert!(fleet.contains("tenant=beta generation=0"));
+        let alpha = eng.stats_report(Some("alpha")).unwrap();
+        assert!(alpha.starts_with("tenant=alpha"), "tenant report: {alpha}");
+        assert!(alpha.contains("requests=1"), "tenant report: {alpha}");
+        assert_eq!(eng.stats_report(Some("gamma")), None);
         eng.shutdown();
     }
 }

@@ -3,41 +3,59 @@
 //! The online-serving subsystem: everything between a trained
 //! [`PartitionedSelNet`](selnet_core::PartitionedSelNet) and a query
 //! optimizer that needs selectivity estimates *now*, under concurrency,
-//! while §5.4 drift-triggered retraining runs in the background.
+//! while §5.4 drift-triggered retraining runs in the background — for a
+//! whole **fleet of models behind one endpoint**, not just one.
 //!
 //! The subsystem is four layers, each usable on its own:
 //!
-//! * [`registry`] — a generation-counted model registry with atomic hot
-//!   swap: readers grab an `Arc` snapshot, a publisher replaces it without
-//!   blocking in-flight requests;
-//! * [`engine`] — a sharded, multi-threaded request queue that coalesces
+//! * [`registry`] — a **multi-tenant** model registry: named tenants,
+//!   each with its own generation counter, atomic hot-swap slot,
+//!   background-update handle, and [`stats`] record; readers grab an
+//!   `Arc` snapshot, a publisher replaces it without blocking in-flight
+//!   requests;
+//! * [`engine`] — a sharded, multi-threaded request queue that resolves
+//!   each [`Request`] to its tenant up front, coalesces
 //!   concurrent `(x, t)` queries into **batched** tape evaluations
-//!   (`estimate_batch`, bit-identical to per-query evaluation) with a
-//!   small per-shard LRU [`cache`] for repeated query objects;
-//! * [`protocol`] — the length-prefixed binary wire format and the
-//!   line-oriented text format spoken by the `selnet-serve` binary over
-//!   TCP and stdin respectively;
-//! * [`stats`] — latency (p50/p99) and throughput counters.
+//!   (grouped per tenant; `estimate_batch` is bit-identical to per-query
+//!   evaluation), keeps a small per-shard LRU [`cache`] keyed by tenant
+//!   and generation, and **sheds load** with
+//!   [`SubmitError::Overloaded`] when
+//!   its bounded queues saturate;
+//! * [`protocol`] — the versioned binary wire format (v2: handshake,
+//!   opcode-tagged frames, model routing, typed error replies; v1 kept
+//!   as a compat decode path) and the line-oriented text format spoken by
+//!   the `selnet-serve` binary over TCP and stdin respectively;
+//! * [`stats`] — per-tenant and fleet-wide latency (p50/p99), throughput,
+//!   cache, and shed counters.
+//!
+//! The `selnet-client` crate speaks the v2 protocol over persistent
+//! pipelined connections; [`server`] hosts both dialects behind one
+//! listener, sniffing the version from the first four bytes.
 //!
 //! Model snapshots travel as `SELNETP1` streams (see
 //! `selnet_core::persist`): `selnet-serve train-tiny` writes one, the
-//! server loads it, and a background
-//! [`spawn_check_and_update`](registry::ModelRegistry::spawn_update)
-//! retrain publishes a fresh generation while the old one keeps serving.
+//! server loads one per tenant (`--model NAME=PATH`), and a background
+//! [`spawn_update`](registry::Tenant::spawn_update) retrain publishes a
+//! fresh generation for its tenant while every other tenant keeps
+//! serving undisturbed.
 //!
 //! ## Consistency guarantees
 //!
-//! * Every request is answered by exactly **one** model generation: a
-//!   batch binds the registry snapshot once, a request is never split
-//!   across batches, and the cache is keyed by generation. A hot swap
-//!   mid-traffic therefore can never produce a response that mixes two
-//!   models — every response is monotone in `t` (Lemma 1) no matter when
-//!   the swap lands.
+//! * Every request is answered by exactly **one** generation of **its
+//!   own** tenant: routing happens before queueing, a batch binds each
+//!   tenant's snapshot once, a request is never split across batches, and
+//!   the cache is keyed by (tenant, generation). A hot swap mid-traffic
+//!   therefore can never produce a response that mixes two models — every
+//!   response is monotone in `t` (Lemma 1) no matter when the swap lands
+//!   — and can never perturb another tenant.
 //! * Batching never changes an answer: the batched forward is bit-identical
 //!   per row to single-query evaluation (pinned by
 //!   `predict_batch_matches_predict_many` in `selnet-core`), so results
 //!   under any concurrency are bit-identical to a sequential
 //!   `estimate_many` over the same generation.
+//! * Refusals are typed and cheap: an unknown model, a mis-shaped query,
+//!   or a saturated queue answers with a v2 error frame (or a text-mode
+//!   `!error` line) before a worker thread ever sees the request.
 
 #![warn(missing_docs)]
 
@@ -49,7 +67,7 @@ pub mod server;
 pub mod stats;
 
 pub use cache::LruCache;
-pub use engine::{Engine, EngineConfig, SubmitError};
-pub use protocol::{Frame, TextQuery};
-pub use registry::{ModelRegistry, UpdateHandle};
+pub use engine::{Engine, EngineConfig, Request, SubmitError, TenantStats};
+pub use protocol::{ErrorCode, ErrorReply, Frame, Response, TextQuery, WireVersion};
+pub use registry::{ModelRegistry, Tenant, UpdateHandle};
 pub use stats::{ServeStats, StatsSnapshot};

@@ -1,28 +1,67 @@
 //! Connection handling: the TCP accept loop and the stdin (text) loop,
 //! both draining into one shared [`Engine`].
+//!
+//! The TCP loop speaks **both wire dialects**. The first four bytes of a
+//! connection decide: [`HELLO_MAGIC`](protocol::HELLO_MAGIC) starts a v2
+//! handshake, anything else is served as v1, sight unseen (the magic can
+//! never be a v1 length prefix). A v2 connection is **pipelined**: a
+//! reader loop submits frames to the engine as fast as they arrive while
+//! a writer thread answers in FIFO order, so one client with several
+//! requests in flight exercises the engine's cross-request coalescing all
+//! by itself. Refusals travel as typed [`Response::Error`] frames that
+//! answer exactly one request — the connection survives. A v1 connection
+//! keeps the legacy contract: one frame at a time, refusals close the
+//! connection.
 
-use crate::engine::Engine;
-use crate::protocol::{self, Frame, TextQuery};
+use crate::engine::{Engine, ReplyHandle, Request, SubmitError};
+use crate::protocol::{
+    self, ErrorCode, ErrorReply, Frame, Hello, HelloAck, Response, TextLine, WireVersion,
+};
 use selnet_eval::SelectivityEstimator;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, TryRecvError};
 use std::sync::Arc;
 
-/// Maps an engine refusal onto the connection loops' `io::Error`
+/// Bound on unanswered pipelined requests per v2 connection: the reader
+/// loop stops pulling new frames off the socket once this many replies
+/// are pending, so one connection cannot queue unbounded work (TCP
+/// backpressure does the rest).
+const MAX_INFLIGHT_PER_CONNECTION: usize = 256;
+
+/// Maps an engine refusal onto the v1/text loops' `io::Error`
 /// vocabulary: shutdown reads as a broken pipe, anything else (a
-/// mis-shaped query) as invalid data. Shared by the TCP and stdin loops
-/// so both classify failures identically.
-fn submit_err_to_io(e: crate::engine::SubmitError) -> io::Error {
+/// mis-routed or mis-shaped query) as invalid data.
+fn submit_err_to_io(e: SubmitError) -> io::Error {
     match e {
-        crate::engine::SubmitError::ShutDown => {
-            io::Error::new(io::ErrorKind::BrokenPipe, "engine shut down")
-        }
+        SubmitError::ShutDown => io::Error::new(io::ErrorKind::BrokenPipe, "engine shut down"),
         other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
     }
 }
 
-/// Serves the binary protocol on `listener` until `stop` is set (checked
+/// Maps an engine refusal onto the v2 typed error vocabulary.
+fn submit_err_to_reply(e: &SubmitError) -> ErrorReply {
+    let code = match e {
+        SubmitError::ShutDown => ErrorCode::ShuttingDown,
+        SubmitError::UnknownModel { .. } => ErrorCode::UnknownModel,
+        SubmitError::DimensionMismatch { .. } => ErrorCode::BadDim,
+        SubmitError::Overloaded { .. } => ErrorCode::Overloaded,
+    };
+    ErrorReply {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn unknown_model_reply(model: Option<&str>) -> ErrorReply {
+    ErrorReply {
+        code: ErrorCode::UnknownModel,
+        message: format!("unknown model {:?}", model.unwrap_or("<default>")),
+    }
+}
+
+/// Serves the binary protocols on `listener` until `stop` is set (checked
 /// between accepts; the listener must be non-blocking for prompt
 /// shutdown) or the listener errors. Each connection gets its own thread;
 /// all of them share `engine`, so concurrent connections coalesce into
@@ -57,8 +96,8 @@ where
     })
 }
 
-/// One binary-protocol connection: read frames until EOF, answer each in
-/// order.
+/// One binary-protocol connection: sniffs the dialect from the first
+/// four bytes, then runs the matching loop until EOF.
 pub fn serve_connection<M>(engine: &Engine<M>, stream: TcpStream) -> io::Result<()>
 where
     M: SelectivityEstimator + Send + Sync + 'static,
@@ -66,33 +105,157 @@ where
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    while let Some(frame) = Frame::read(&mut reader)? {
-        match frame {
-            Frame::Stats => {
-                // the merged snapshot includes per-shard cache counters
-                let text = engine.stats_snapshot().to_string();
-                protocol::write_stats_response(&mut writer, &text)?;
+    let mut first = [0u8; 4];
+    if !protocol::read_exact_or_clean_eof(&mut reader, &mut first)? {
+        return Ok(()); // closed before a single byte: nothing to serve
+    }
+    if first == protocol::HELLO_MAGIC {
+        let hello = Hello::read_after_magic(&mut reader)?;
+        let Some(version) = hello.negotiate() else {
+            // no common version: say so (version 0) and close
+            HelloAck { version: 0 }.write(&mut writer)?;
+            writer.flush()?;
+            return Ok(());
+        };
+        HelloAck { version }.write(&mut writer)?;
+        writer.flush()?;
+        serve_v2(engine, &mut reader, writer)
+    } else {
+        // not the magic: these four bytes are the first v1 length prefix
+        let mut reader = io::Cursor::new(first).chain(reader);
+        serve_v1(engine, &mut reader, &mut writer)
+    }
+}
+
+/// The legacy one-frame-at-a-time loop. v1 has no error frame, so a
+/// refusal closes the connection (and routed requests cannot exist — the
+/// v1 decoder always yields `model: None`).
+fn serve_v1<M>(
+    engine: &Engine<M>,
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+) -> io::Result<()>
+where
+    M: SelectivityEstimator + Send + Sync + 'static,
+{
+    while let Some(frame) = Frame::read_v1(reader)? {
+        let response = match frame {
+            Frame::Stats { model } => {
+                let text = engine
+                    .stats_report(model.as_deref())
+                    .ok_or_else(|| submit_err_to_io(unknown_model_err(model.as_deref())))?;
+                Response::Stats(text)
             }
-            Frame::Query { x, ts } => {
-                // a mis-shaped query from an untrusted peer is a protocol
-                // error: close this connection, leave the engine serving.
-                // serve_blocking takes the same-thread fast path when the
-                // queues are idle and falls back to coalesced queueing
-                // under load.
-                let estimates = engine.serve_blocking(&x, &ts).map_err(submit_err_to_io)?;
-                protocol::write_response(&mut writer, &estimates)?;
+            Frame::Query { model, x, ts } => {
+                let req = Request::new(x).thresholds(ts).model_opt(model);
+                // blocking callers are never shed; a refusal here is a
+                // routing/shape/shutdown error and closes the connection
+                let estimates = engine.serve_blocking(&req).map_err(submit_err_to_io)?;
+                Response::Estimates(estimates)
             }
-        }
+        };
+        response.write(writer, WireVersion::V1)?;
         writer.flush()?;
     }
     Ok(())
 }
 
-/// The CI-friendly text loop: parses [`TextQuery`] lines from `input`,
-/// answers each on one line of `output`, and returns the number of
-/// queries served. Parse errors abort with `InvalidData` (a replay file
-/// is trusted input; silently skipping a bad line would hide a broken
-/// generator).
+fn unknown_model_err(model: Option<&str>) -> SubmitError {
+    SubmitError::UnknownModel {
+        model: model.unwrap_or("<default>").to_string(),
+    }
+}
+
+/// What the v2 reader loop hands the writer thread for one request:
+/// either an answer it could produce immediately (stats, refusals) or a
+/// handle the engine will fulfill.
+enum PendingReply {
+    Ready(Response),
+    Wait(ReplyHandle),
+}
+
+fn resolve(pending: PendingReply) -> Response {
+    match pending {
+        PendingReply::Ready(resp) => resp,
+        PendingReply::Wait(handle) => match handle.wait() {
+            Ok(values) => Response::Estimates(values),
+            Err(_) => Response::Error(ErrorReply {
+                code: ErrorCode::ShuttingDown,
+                message: "engine shut down before answering".into(),
+            }),
+        },
+    }
+}
+
+/// The pipelined v2 loop: this thread reads frames and submits them; a
+/// writer thread resolves the replies in FIFO order (matching the
+/// protocol's "responses in request order" contract) and batches its
+/// flushes. The bounded channel is the in-flight window.
+fn serve_v2<M, W>(engine: &Engine<M>, reader: &mut impl Read, writer: W) -> io::Result<()>
+where
+    M: SelectivityEstimator + Send + Sync + 'static,
+    W: Write + Send,
+{
+    let (tx, rx) = mpsc::sync_channel::<PendingReply>(MAX_INFLIGHT_PER_CONNECTION);
+    std::thread::scope(|scope| {
+        let writer_thread = scope.spawn(move || -> io::Result<()> {
+            let mut writer = writer;
+            while let Ok(pending) = rx.recv() {
+                resolve(pending).write_v2(&mut writer)?;
+                // drain whatever is already resolved before flushing, so a
+                // burst of pipelined replies costs one syscall
+                loop {
+                    match rx.try_recv() {
+                        Ok(pending) => resolve(pending).write_v2(&mut writer)?,
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                writer.flush()?;
+            }
+            writer.flush()
+        });
+        let read_result: io::Result<()> = (|| {
+            while let Some(frame) = Frame::read_v2(reader)? {
+                let pending = match frame {
+                    Frame::Stats { model } => {
+                        PendingReply::Ready(match engine.stats_report(model.as_deref()) {
+                            Some(text) => Response::Stats(text),
+                            None => Response::Error(unknown_model_reply(model.as_deref())),
+                        })
+                    }
+                    Frame::Query { model, x, ts } => {
+                        let req = Request::new(x).thresholds(ts).model_opt(model);
+                        match engine.submit(req) {
+                            Ok(handle) => PendingReply::Wait(handle),
+                            // a typed refusal answers this request only —
+                            // the connection (and its other in-flight
+                            // requests) keep going
+                            Err(e) => PendingReply::Ready(Response::Error(submit_err_to_reply(&e))),
+                        }
+                    }
+                };
+                if tx.send(pending).is_err() {
+                    break; // writer hit an error and hung up
+                }
+            }
+            Ok(())
+        })();
+        drop(tx);
+        let write_result = writer_thread.join().expect("writer thread panicked");
+        read_result.and(write_result)
+    })
+}
+
+/// The CI-friendly text loop: parses [`TextLine`]s from `input`, answers
+/// each on one line of `output`, and returns the number of queries
+/// answered with estimates. Parse errors abort with `InvalidData` (a
+/// replay file is trusted input; silently skipping a bad line would hide
+/// a broken generator), but **engine refusals** — an unknown `@model`, a
+/// mis-shaped query, admission control — are mirrored as typed
+/// `!error <code> <message>` lines and the loop continues, matching the
+/// v2 wire contract. `?stats [model]` lines answer with `#`-prefixed
+/// report lines (comments to any downstream parser).
 pub fn serve_lines<M>(
     engine: &Engine<M>,
     input: &mut impl BufRead,
@@ -104,15 +267,43 @@ where
     let mut served = 0u64;
     for line in input.lines() {
         let line = line?;
-        let query =
-            TextQuery::parse(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let Some(TextQuery { x, ts }) = query else {
-            continue;
-        };
-        let estimates = engine.serve_blocking(&x, &ts).map_err(submit_err_to_io)?;
-        let rendered: Vec<String> = estimates.iter().map(|v| v.to_string()).collect();
-        writeln!(output, "{}", rendered.join(" "))?;
-        served += 1;
+        let parsed =
+            TextLine::parse(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        match parsed {
+            None => continue,
+            Some(TextLine::Stats(model)) => match engine.stats_report(model.as_deref()) {
+                Some(report) => {
+                    for rline in report.lines() {
+                        writeln!(output, "# stats {rline}")?;
+                    }
+                }
+                None => {
+                    let reply = unknown_model_reply(model.as_deref());
+                    writeln!(output, "{}", protocol::render_text_error(&reply))?;
+                }
+            },
+            Some(TextLine::Query(q)) => {
+                let req = Request::new(q.x).thresholds(q.ts).model_opt(q.model);
+                match engine.serve_blocking(&req) {
+                    Ok(estimates) => {
+                        let rendered: Vec<String> =
+                            estimates.iter().map(|v| v.to_string()).collect();
+                        writeln!(output, "{}", rendered.join(" "))?;
+                        served += 1;
+                    }
+                    Err(SubmitError::ShutDown) => {
+                        return Err(submit_err_to_io(SubmitError::ShutDown))
+                    }
+                    Err(e) => {
+                        writeln!(
+                            output,
+                            "{}",
+                            protocol::render_text_error(&submit_err_to_reply(&e))
+                        )?;
+                    }
+                }
+            }
+        }
     }
     output.flush()?;
     Ok(served)
@@ -137,6 +328,21 @@ mod tests {
         }
     }
 
+    /// `scale * t` — distinguishable from `Linear` so routing mistakes
+    /// show up in the numbers.
+    struct Scaled(f64);
+    impl SelectivityEstimator for Scaled {
+        fn estimate(&self, _x: &[f32], t: f32) -> f64 {
+            self.0 * t as f64
+        }
+        fn query_dim(&self) -> Option<usize> {
+            Some(1)
+        }
+        fn name(&self) -> &str {
+            "scaled"
+        }
+    }
+
     fn engine() -> Arc<Engine<Linear>> {
         Engine::start(
             Arc::new(ModelRegistry::new(Linear)),
@@ -145,6 +351,41 @@ mod tests {
                 ..Default::default()
             },
         )
+    }
+
+    struct Server {
+        addr: std::net::SocketAddr,
+        stop: Arc<AtomicBool>,
+        handle: std::thread::JoinHandle<io::Result<()>>,
+    }
+
+    fn spawn_server<M: SelectivityEstimator + Send + Sync + 'static>(
+        eng: &Arc<Engine<M>>,
+    ) -> Server {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let eng2 = Arc::clone(eng);
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || serve_tcp(eng2, listener, stop2));
+        Server { addr, stop, handle }
+    }
+
+    impl Server {
+        fn shutdown(self) {
+            self.stop.store(true, Ordering::SeqCst);
+            self.handle.join().unwrap().unwrap();
+        }
+    }
+
+    fn handshake(stream: &TcpStream) -> (BufReader<TcpStream>, BufWriter<TcpStream>) {
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        Hello::default().write(&mut writer).unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let ack = HelloAck::read(&mut reader).unwrap();
+        assert_eq!(ack.version, 2);
+        (reader, writer)
     }
 
     #[test]
@@ -170,87 +411,279 @@ mod tests {
         eng.shutdown();
     }
 
-    /// A well-formed frame with the wrong query dimension must close
+    #[test]
+    fn text_loop_routes_models_reports_stats_and_mirrors_errors() {
+        let registry = Arc::new(ModelRegistry::empty());
+        registry.register("one", Scaled(1.0)).unwrap();
+        registry.register("ten", Scaled(10.0)).unwrap();
+        let eng = Engine::start(Arc::clone(&registry), &EngineConfig::default());
+        let input =
+            "@ten 1.0 | 2.0\n@one 1.0 | 2.0\n@ghost 1.0 | 2.0\n?stats ten\n?stats\n?stats ghost\n";
+        let mut out = Vec::new();
+        let served = serve_lines(&eng, &mut input.as_bytes(), &mut out).unwrap();
+        assert_eq!(served, 2, "the ghost query is refused, not served");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "20");
+        assert_eq!(lines[1], "2");
+        assert!(
+            lines[2].starts_with("!error unknown-model"),
+            "line: {}",
+            lines[2]
+        );
+        assert!(
+            lines[3].starts_with("# stats tenant=ten generation=0"),
+            "line: {}",
+            lines[3]
+        );
+        // the fleet report: a fleet line plus one line per tenant, all
+        // comment-prefixed so downstream parsers skip them
+        assert!(
+            lines[4].starts_with("# stats fleet requests="),
+            "line: {}",
+            lines[4]
+        );
+        assert!(
+            lines[5].starts_with("# stats tenant=one"),
+            "line: {}",
+            lines[5]
+        );
+        assert!(
+            lines[6].starts_with("# stats tenant=ten"),
+            "line: {}",
+            lines[6]
+        );
+        assert!(
+            lines[7].starts_with("!error unknown-model"),
+            "line: {}",
+            lines[7]
+        );
+        eng.shutdown();
+    }
+
+    /// A well-formed v1 frame with the wrong query dimension must close
     /// that connection with an error — and leave the engine alive for
     /// other connections (no worker panic, no hang).
     #[test]
-    fn mis_dimensioned_tcp_frame_closes_connection_but_not_engine() {
+    fn mis_dimensioned_v1_frame_closes_connection_but_not_engine() {
         let eng = engine();
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let stop = Arc::new(AtomicBool::new(false));
-        let eng2 = Arc::clone(&eng);
-        let stop2 = Arc::clone(&stop);
-        let server = std::thread::spawn(move || serve_tcp(eng2, listener, stop2));
+        let server = spawn_server(&eng);
 
         // hostile client: dim 3 against a dim-1 model
-        let mut bad = TcpStream::connect(addr).unwrap();
+        let mut bad = TcpStream::connect(server.addr).unwrap();
         Frame::Query {
+            model: None,
             x: vec![1.0, 2.0, 3.0],
             ts: vec![1.0],
         }
-        .write(&mut bad)
+        .write(&mut bad, WireVersion::V1)
         .unwrap();
         bad.flush().unwrap();
         // connection is closed without a response frame
         let mut reader = BufReader::new(bad);
-        assert!(protocol::read_response(&mut reader).unwrap().is_none());
+        assert!(Response::read_v1(&mut reader).unwrap().is_none());
 
         // the engine still serves a healthy connection
-        let mut good = TcpStream::connect(addr).unwrap();
+        let mut good = TcpStream::connect(server.addr).unwrap();
         Frame::Query {
+            model: None,
             x: vec![2.0],
             ts: vec![1.0],
         }
-        .write(&mut good)
+        .write(&mut good, WireVersion::V1)
         .unwrap();
         good.flush().unwrap();
         let mut reader = BufReader::new(good.try_clone().unwrap());
-        match protocol::read_response(&mut reader).unwrap().unwrap() {
-            protocol::Response::Estimates(e) => assert_eq!(e, vec![3.0]),
+        match Response::read_v1(&mut reader).unwrap().unwrap() {
+            Response::Estimates(e) => assert_eq!(e, vec![3.0]),
             other => panic!("expected estimates, got {other:?}"),
         }
         drop(good);
         drop(reader);
-        stop.store(true, Ordering::SeqCst);
-        server.join().unwrap().unwrap();
+        server.shutdown();
         eng.shutdown();
     }
 
+    /// The back-compat acceptance criterion: a v1 client (no handshake,
+    /// sentinel stats) round-trips against the v2 server unchanged.
     #[test]
-    fn tcp_connection_roundtrip() {
+    fn v1_client_roundtrips_against_v2_server() {
         let eng = engine();
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let stop = Arc::new(AtomicBool::new(false));
-        let eng2 = Arc::clone(&eng);
-        let stop2 = Arc::clone(&stop);
-        let server = std::thread::spawn(move || serve_tcp(eng2, listener, stop2));
+        let server = spawn_server(&eng);
 
-        let mut client = TcpStream::connect(addr).unwrap();
+        let mut client = TcpStream::connect(server.addr).unwrap();
         Frame::Query {
+            model: None,
             x: vec![2.0],
             ts: vec![1.0, 2.0],
         }
-        .write(&mut client)
+        .write(&mut client, WireVersion::V1)
         .unwrap();
-        Frame::Stats.write(&mut client).unwrap();
+        Frame::Stats { model: None }
+            .write(&mut client, WireVersion::V1)
+            .unwrap();
         client.flush().unwrap();
         let mut reader = BufReader::new(client.try_clone().unwrap());
-        match protocol::read_response(&mut reader).unwrap().unwrap() {
-            protocol::Response::Estimates(e) => assert_eq!(e, vec![3.0, 4.0]),
+        match Response::read_v1(&mut reader).unwrap().unwrap() {
+            Response::Estimates(e) => assert_eq!(e, vec![3.0, 4.0]),
             other => panic!("expected estimates, got {other:?}"),
         }
-        match protocol::read_response(&mut reader).unwrap().unwrap() {
-            protocol::Response::Stats(text) => {
+        match Response::read_v1(&mut reader).unwrap().unwrap() {
+            Response::Stats(text) => {
                 assert!(text.contains("requests="), "stats: {text}")
             }
             other => panic!("expected stats, got {other:?}"),
         }
         drop(client);
         drop(reader);
-        stop.store(true, Ordering::SeqCst);
-        server.join().unwrap().unwrap();
+        server.shutdown();
+        eng.shutdown();
+    }
+
+    /// The v2 contract: handshake, routed queries, per-tenant stats, and
+    /// typed errors that answer one request while the connection (and the
+    /// requests pipelined behind it) keep going.
+    #[test]
+    fn v2_connection_routes_pipelines_and_survives_refusals() {
+        let registry = Arc::new(ModelRegistry::empty());
+        registry.register("one", Scaled(1.0)).unwrap();
+        registry.register("ten", Scaled(10.0)).unwrap();
+        let eng = Engine::start(
+            Arc::clone(&registry),
+            &EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let server = spawn_server(&eng);
+
+        let stream = TcpStream::connect(server.addr).unwrap();
+        let (mut reader, mut writer) = handshake(&stream);
+
+        // pipeline a burst before reading anything: queries to both
+        // tenants, a refusal in the middle, and a stats scrape at the end
+        for i in 0..4 {
+            Frame::Query {
+                model: Some(if i % 2 == 0 { "one" } else { "ten" }.into()),
+                x: vec![1.0],
+                ts: vec![i as f32],
+            }
+            .write_v2(&mut writer)
+            .unwrap();
+        }
+        Frame::Query {
+            model: Some("ghost".into()),
+            x: vec![1.0],
+            ts: vec![1.0],
+        }
+        .write_v2(&mut writer)
+        .unwrap();
+        Frame::Query {
+            model: Some("ten".into()),
+            x: vec![1.0, 2.0], // wrong dim
+            ts: vec![1.0],
+        }
+        .write_v2(&mut writer)
+        .unwrap();
+        Frame::Query {
+            model: Some("ten".into()),
+            x: vec![1.0],
+            ts: vec![7.0],
+        }
+        .write_v2(&mut writer)
+        .unwrap();
+        Frame::Stats {
+            model: Some("ten".into()),
+        }
+        .write_v2(&mut writer)
+        .unwrap();
+        writer.flush().unwrap();
+
+        // replies arrive in request order
+        for i in 0..4 {
+            let scale = if i % 2 == 0 { 1.0 } else { 10.0 };
+            match Response::read_v2(&mut reader).unwrap().unwrap() {
+                Response::Estimates(e) => assert_eq!(e, vec![scale * i as f64]),
+                other => panic!("reply {i}: expected estimates, got {other:?}"),
+            }
+        }
+        match Response::read_v2(&mut reader).unwrap().unwrap() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownModel),
+            other => panic!("expected unknown-model error, got {other:?}"),
+        }
+        match Response::read_v2(&mut reader).unwrap().unwrap() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadDim),
+            other => panic!("expected bad-dim error, got {other:?}"),
+        }
+        match Response::read_v2(&mut reader).unwrap().unwrap() {
+            Response::Estimates(e) => assert_eq!(e, vec![70.0]),
+            other => panic!("expected estimates after refusals, got {other:?}"),
+        }
+        match Response::read_v2(&mut reader).unwrap().unwrap() {
+            Response::Stats(text) => {
+                assert!(text.starts_with("tenant=ten generation=0"), "stats: {text}");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(writer);
+        drop(reader);
+        drop(stream);
+        server.shutdown();
+        eng.shutdown();
+    }
+
+    /// A fleet stats scrape over v2 lists every tenant.
+    #[test]
+    fn v2_fleet_stats_lists_all_tenants() {
+        let registry = Arc::new(ModelRegistry::empty());
+        registry.register("one", Scaled(1.0)).unwrap();
+        registry.register("ten", Scaled(10.0)).unwrap();
+        let eng = Engine::start(Arc::clone(&registry), &EngineConfig::default());
+        let server = spawn_server(&eng);
+
+        let stream = TcpStream::connect(server.addr).unwrap();
+        let (mut reader, mut writer) = handshake(&stream);
+        Frame::Stats { model: None }.write_v2(&mut writer).unwrap();
+        writer.flush().unwrap();
+        match Response::read_v2(&mut reader).unwrap().unwrap() {
+            Response::Stats(text) => {
+                assert!(text.starts_with("fleet "), "stats: {text}");
+                assert!(text.contains("tenant=one "), "stats: {text}");
+                assert!(text.contains("tenant=ten "), "stats: {text}");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(writer);
+        drop(reader);
+        drop(stream);
+        server.shutdown();
+        eng.shutdown();
+    }
+
+    /// A client whose version range doesn't overlap ours gets a version-0
+    /// ack and a closed connection — not silence, not a hang.
+    #[test]
+    fn v2_handshake_rejects_alien_version_range() {
+        let eng = engine();
+        let server = spawn_server(&eng);
+        let stream = TcpStream::connect(server.addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        Hello {
+            min_version: 7,
+            max_version: 9,
+        }
+        .write(&mut writer)
+        .unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let ack = HelloAck::read(&mut reader).unwrap();
+        assert_eq!(ack.version, 0, "no-overlap must be an explicit rejection");
+        // and the server closes
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        drop(writer);
+        server.shutdown();
         eng.shutdown();
     }
 }

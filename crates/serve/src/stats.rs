@@ -25,6 +25,7 @@ pub struct ServeStats {
     batch_rows: AtomicU64,
     cache_hits: AtomicU64,
     inline_requests: AtomicU64,
+    shed_requests: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
     dropped_samples: AtomicU64,
 }
@@ -46,6 +47,7 @@ impl ServeStats {
             batch_rows: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             inline_requests: AtomicU64::new(0),
+            shed_requests: AtomicU64::new(0),
             latencies_us: Mutex::new(Vec::new()),
             dropped_samples: AtomicU64::new(0),
         }
@@ -104,6 +106,27 @@ impl ServeStats {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request refused by admission control (`Overloaded`).
+    /// Shed requests are not counted in `requests` — they were never
+    /// answered.
+    pub fn record_shed(&self) {
+        self.shed_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reverts one [`ServeStats::record_shed`]: the blocking path counts
+    /// a shed inside the shared enqueue routine, then serves the request
+    /// inline anyway (blocking callers are backpressure, not shed), so
+    /// the refusal never actually happened.
+    pub fn uncount_shed(&self) {
+        // saturating: a racing snapshot could observe the transient count,
+        // but the gauge can never underflow
+        let _ = self
+            .shed_requests
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// A consistent copy of the counters with percentiles computed.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut lat = self
@@ -131,6 +154,7 @@ impl ServeStats {
             batches,
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             inline_requests: self.inline_requests.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
             dropped_latency_samples: self.dropped_samples.load(Ordering::Relaxed),
             p50_latency_us: pct(0.50),
             p99_latency_us: pct(0.99),
@@ -165,6 +189,10 @@ pub struct StatsSnapshot {
     /// and `rows` but are excluded from `batches` and `mean_batch_rows`
     /// (whose numerator counts only batch-evaluated rows).
     pub inline_requests: u64,
+    /// Requests refused by admission control (`Overloaded` replies).
+    /// Refusals are not answers: they are excluded from `requests`,
+    /// `rows`, and the latency record.
+    pub shed_requests: u64,
     /// Latency samples dropped after the recorder filled (the
     /// percentiles then describe the first [`struct@ServeStats`]
     /// `MAX_SAMPLES` requests only).
@@ -208,7 +236,7 @@ impl std::fmt::Display for StatsSnapshot {
         write!(
             f,
             "requests={} rows={} batches={} mean_batch_rows={:.2} inline={} cache_hits={} \
-             p50_us={} p99_us={} req_per_s={:.1} rows_per_s={:.1} elapsed_s={:.2}\
+             shed={} p50_us={} p99_us={} req_per_s={:.1} rows_per_s={:.1} elapsed_s={:.2}\
              {}{}",
             self.requests,
             self.rows,
@@ -216,6 +244,7 @@ impl std::fmt::Display for StatsSnapshot {
             self.mean_batch_rows,
             self.inline_requests,
             self.cache_hits,
+            self.shed_requests,
             self.p50_latency_us,
             self.p99_latency_us,
             self.requests_per_sec,
@@ -260,6 +289,11 @@ mod tests {
         }
         s.record_batch();
         s.record_cache_hit();
+        // two refusals, one of which a blocking caller converted into an
+        // inline serve (so it is un-counted)
+        s.record_shed();
+        s.record_shed();
+        s.uncount_shed();
         // one coalesced batch of three requests (3 + 5 + 4 = 12 rows)
         s.record_requests(&[(3, 101), (5, 102), (4, 103)]);
         let snap = s.snapshot();
@@ -267,6 +301,7 @@ mod tests {
         assert_eq!(snap.rows, 212);
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.shed_requests, 1);
         assert_eq!(snap.p50_latency_us, 52);
         assert_eq!(snap.p99_latency_us, 102);
         // only the batch's 12 rows count toward the coalescing mean — the
@@ -274,6 +309,7 @@ mod tests {
         assert_eq!(snap.mean_batch_rows, 12.0);
         let line = snap.to_string();
         assert!(line.contains("p99_us=102"), "display: {line}");
+        assert!(line.contains("shed=1"), "display: {line}");
     }
 
     #[test]
@@ -282,5 +318,13 @@ mod tests {
         assert_eq!(snap.p50_latency_us, 0);
         assert_eq!(snap.requests, 0);
         assert_eq!(snap.mean_batch_rows, 0.0);
+        assert_eq!(snap.shed_requests, 0);
+    }
+
+    #[test]
+    fn uncount_shed_never_underflows() {
+        let s = ServeStats::new();
+        s.uncount_shed();
+        assert_eq!(s.snapshot().shed_requests, 0);
     }
 }

@@ -8,7 +8,7 @@ use selnet_data::generators::{fasttext_like, GeneratorConfig};
 use selnet_data::Dataset;
 use selnet_eval::SelectivityEstimator;
 use selnet_metric::DistanceKind;
-use selnet_serve::engine::{Engine, EngineConfig};
+use selnet_serve::engine::{Engine, EngineConfig, Request};
 use selnet_serve::registry::ModelRegistry;
 use selnet_workload::{generate_workload, Workload, WorkloadConfig};
 use std::sync::Arc;
@@ -76,6 +76,7 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
             // auto-tuning on: the drain cap follows queue depth, and must
             // not change a single answer
             auto_batch_min_rows: 2,
+            ..Default::default()
         },
     );
     let clients = 6;
@@ -105,7 +106,7 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
                             );
                         } else {
                             let handle = engine
-                                .submit(x.clone(), ts.clone())
+                                .submit(Request::new(x.clone()).thresholds(ts.clone()))
                                 .expect("engine running");
                             burst.push((idx, handle));
                             if burst.len() >= 8 {
@@ -170,6 +171,7 @@ fn hot_swap_mid_traffic_never_tears_a_response() {
             max_batch_rows: 16,
             cache_entries: 16,
             auto_batch_min_rows: 0,
+            ..Default::default()
         },
     );
     std::thread::scope(|scope| {
@@ -258,6 +260,7 @@ fn plans_stay_generation_consistent_across_retrain_swap() {
             max_batch_rows: 16,
             cache_entries: 16,
             auto_batch_min_rows: 4,
+            ..Default::default()
         },
     );
     // retrain a clone off-thread (negative tolerance: always retrains) and

@@ -1,0 +1,269 @@
+//! Multi-tenant routing against real trained `PartitionedSelNet`s:
+//! concurrent clients interleaving two tenants' traffic must get answers
+//! bit-identical to each tenant's model served alone, and hot-swapping
+//! one tenant mid-traffic must not perturb the other tenant by a single
+//! bit (or bump its generation).
+
+use selnet_core::{fit_partitioned, PartitionConfig, PartitionedSelNet, SelNetConfig};
+use selnet_data::generators::{fasttext_like, GeneratorConfig};
+use selnet_data::Dataset;
+use selnet_eval::SelectivityEstimator;
+use selnet_metric::DistanceKind;
+use selnet_serve::engine::{Engine, EngineConfig, Request};
+use selnet_serve::registry::ModelRegistry;
+use selnet_workload::{generate_workload, Workload, WorkloadConfig};
+use std::sync::Arc;
+
+fn data_fixture(seed: u64) -> (Dataset, Workload) {
+    let ds = fasttext_like(&GeneratorConfig::new(300, 4, 3, seed));
+    let mut wcfg = WorkloadConfig::new(18, DistanceKind::Euclidean, seed ^ 5);
+    wcfg.thresholds_per_query = 6;
+    let w = generate_workload(&ds, &wcfg);
+    (ds, w)
+}
+
+fn train(ds: &Dataset, w: &Workload, model_seed: u64, epochs: usize) -> PartitionedSelNet {
+    let mut cfg = SelNetConfig::tiny();
+    cfg.epochs = epochs;
+    cfg.seed = model_seed;
+    let pcfg = PartitionConfig {
+        k: 2,
+        pretrain_epochs: 1,
+        ..Default::default()
+    };
+    let (model, _) = fit_partitioned(ds, w, &cfg, &pcfg);
+    model
+}
+
+fn query_pool(ds: &Dataset, tmax: f32, n: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
+    (0..n)
+        .map(|i| {
+            let x = ds.row(i % ds.len()).to_vec();
+            let m = 3 + i % 5;
+            let ts: Vec<f32> = (1..=m).map(|j| tmax * 1.1 * j as f32 / m as f32).collect();
+            (x, ts)
+        })
+        .collect()
+}
+
+fn req(model: &str, x: &[f32], ts: &[f32]) -> Request {
+    Request::new(x.to_vec())
+        .thresholds(ts.to_vec())
+        .model(model)
+}
+
+/// Concurrent clients interleaving two tenants' queries — blocking calls
+/// mixed with pipelined submit bursts — must produce, per request, exactly
+/// what the routed tenant's model computes alone with `estimate_many`.
+/// Coalescing batches the tenants' rows through the same queues; the
+/// grouping by tenant inside each drained batch must keep the answers
+/// bit-identical per tenant.
+#[test]
+fn concurrent_two_tenant_traffic_is_bit_identical_per_tenant() {
+    let (ds, w) = data_fixture(71);
+    let model_a = train(&ds, &w, 71, 2);
+    let model_b = train(&ds, &w, 172, 3);
+    let pool = query_pool(&ds, model_a.tmax(), 32);
+    let expected_a: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| model_a.estimate_many(x, ts))
+        .collect();
+    let expected_b: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| model_b.estimate_many(x, ts))
+        .collect();
+    assert!(
+        expected_a != expected_b,
+        "fixture models must differ for routing mistakes to be visible"
+    );
+
+    let registry = Arc::new(ModelRegistry::empty());
+    registry.register("alpha", model_a).unwrap();
+    registry.register("beta", model_b).unwrap();
+    let engine = Engine::start(
+        registry,
+        &EngineConfig {
+            workers: 3,
+            shards: 2,
+            max_batch_rows: 16,
+            cache_entries: 32,
+            auto_batch_min_rows: 2,
+            max_queue_rows: 0,
+        },
+    );
+    let clients = 4;
+    let rounds = 3;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let engine = &engine;
+            let pool = &pool;
+            let expected_a = &expected_a;
+            let expected_b = &expected_b;
+            scope.spawn(move || {
+                for r in 0..rounds {
+                    let mut burst: Vec<(usize, &str, _)> = Vec::new();
+                    for i in 0..pool.len() {
+                        let idx = (i + c * 7 + r * 13) % pool.len();
+                        let (x, ts) = &pool[idx];
+                        // tenant choice and serving path both vary with
+                        // client and position, so each drained batch mixes
+                        // tenants and the blocking/pipelined paths race
+                        let (name, expected) = if (idx + c).is_multiple_of(2) {
+                            ("alpha", expected_a)
+                        } else {
+                            ("beta", expected_b)
+                        };
+                        if (i + c) % 2 == 0 {
+                            let got = engine
+                                .serve_blocking(&req(name, x, ts))
+                                .expect("engine running");
+                            assert_eq!(
+                                got, expected[idx],
+                                "client {c} round {r} query {idx}: blocking answer for \
+                                 tenant {name} differs from its model served alone"
+                            );
+                        } else {
+                            let handle = engine.submit(req(name, x, ts)).expect("engine running");
+                            burst.push((idx, name, handle));
+                            if burst.len() >= 8 {
+                                for (idx, name, handle) in burst.drain(..) {
+                                    let expected = if name == "alpha" {
+                                        expected_a
+                                    } else {
+                                        expected_b
+                                    };
+                                    assert_eq!(
+                                        handle.wait().expect("served"),
+                                        expected[idx],
+                                        "client {c} round {r} query {idx}: pipelined answer \
+                                         for tenant {name} differs from its model served alone"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    for (idx, name, handle) in burst {
+                        let expected = if name == "alpha" {
+                            expected_a
+                        } else {
+                            expected_b
+                        };
+                        assert_eq!(handle.wait().expect("served"), expected[idx]);
+                    }
+                }
+            });
+        }
+    });
+    // both tenants saw traffic, and the fleet counters are the sum
+    let per_tenant = engine.tenant_stats();
+    assert_eq!(per_tenant.len(), 2);
+    let tenant_requests: u64 = per_tenant.iter().map(|t| t.stats.requests).sum();
+    assert_eq!(tenant_requests, (clients * rounds * pool.len()) as u64);
+    assert_eq!(engine.stats().snapshot().requests, tenant_requests);
+    for t in &per_tenant {
+        assert!(
+            t.stats.requests > 0,
+            "tenant {} must have served traffic",
+            t.name
+        );
+    }
+    engine.shutdown();
+}
+
+/// Hot-swapping one tenant mid-traffic must leave the other tenant
+/// untouched: its answers stay bit-identical to its pinned ground truth
+/// the whole time, and its generation never moves. The swapped tenant's
+/// answers must always equal exactly one of its generations (no tearing),
+/// exactly as in the single-tenant guarantee.
+#[test]
+fn hot_swapping_one_tenant_never_perturbs_the_other() {
+    let (ds, w) = data_fixture(73);
+    let hot_v0 = train(&ds, &w, 73, 2);
+    let hot_v1 = train(&ds, &w, 174, 3);
+    let cold = train(&ds, &w, 99, 2);
+    let pool = query_pool(&ds, hot_v0.tmax(), 20);
+    let hot_answers_v0: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| hot_v0.estimate_many(x, ts))
+        .collect();
+    let hot_answers_v1: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| hot_v1.estimate_many(x, ts))
+        .collect();
+    let cold_answers: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| cold.estimate_many(x, ts))
+        .collect();
+    assert!(hot_answers_v0 != hot_answers_v1);
+
+    let registry = Arc::new(ModelRegistry::empty());
+    registry.register("hot", hot_v0.clone()).unwrap();
+    registry.register("cold", cold).unwrap();
+    let hot_tenant = registry.get("hot").unwrap();
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        &EngineConfig {
+            workers: 3,
+            shards: 2,
+            max_batch_rows: 16,
+            cache_entries: 16,
+            auto_batch_min_rows: 0,
+            max_queue_rows: 0,
+        },
+    );
+    std::thread::scope(|scope| {
+        let swapper = {
+            let hot_tenant = Arc::clone(&hot_tenant);
+            let hot_v0 = hot_v0.clone();
+            let hot_v1 = hot_v1.clone();
+            scope.spawn(move || {
+                for i in 0..30 {
+                    let next = if i % 2 == 0 {
+                        hot_v1.clone()
+                    } else {
+                        hot_v0.clone()
+                    };
+                    hot_tenant.publish(next);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            })
+        };
+        for c in 0..4 {
+            let engine = &engine;
+            let pool = &pool;
+            let hot_answers_v0 = &hot_answers_v0;
+            let hot_answers_v1 = &hot_answers_v1;
+            let cold_answers = &cold_answers;
+            scope.spawn(move || {
+                for r in 0..8 {
+                    for i in 0..pool.len() {
+                        let idx = (i + c * 5 + r) % pool.len();
+                        let (x, ts) = &pool[idx];
+                        // the cold tenant: pinned truth, every time
+                        let got = engine
+                            .serve_blocking(&req("cold", x, ts))
+                            .expect("engine running");
+                        assert_eq!(
+                            got, cold_answers[idx],
+                            "query {idx}: swapping tenant \"hot\" perturbed tenant \"cold\""
+                        );
+                        // the hot tenant: exactly one of its generations
+                        let got = engine
+                            .serve_blocking(&req("hot", x, ts))
+                            .expect("engine running");
+                        assert!(
+                            got == hot_answers_v0[idx] || got == hot_answers_v1[idx],
+                            "query {idx}: hot-tenant response mixes generations: {got:?}"
+                        );
+                    }
+                }
+            });
+        }
+        swapper.join().expect("swapper panicked");
+    });
+    // the hot tenant's generation advanced with every publish; the cold
+    // tenant's never moved
+    assert_eq!(hot_tenant.generation(), 30);
+    assert_eq!(registry.get("cold").unwrap().generation(), 0);
+    engine.shutdown();
+}
