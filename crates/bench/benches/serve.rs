@@ -11,6 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use selnet_bench::servebench::{json_number, model_fixture, query_batch, time_ms, BATCH};
+use selnet_core::PlanPrecision;
 use selnet_eval::SelectivityEstimator;
 use selnet_serve::engine::{Engine, EngineConfig, Request};
 use selnet_serve::registry::ModelRegistry;
@@ -129,6 +130,42 @@ fn bench_record(_c: &mut Criterion) {
         black_box(model.tape_predict_many(&xs[0], &ts));
     });
 
+    // precision-lowered batched serving: the same rows through each
+    // lowered plan (warm calls first so compile+lowering is off the
+    // clock). All four modes are timed back-to-back within each round;
+    // the recorded `int8_vs_exact` is the median of the per-round
+    // exact/int8 ratios, which cancels the drift that independent
+    // best-of-N timings of each mode cannot (the same estimator
+    // `serve_bench_guard` checks the floor with).
+    let mut pout = Vec::with_capacity(BATCH);
+    let modes = [
+        PlanPrecision::Exact,
+        PlanPrecision::Bf16,
+        PlanPrecision::Int8,
+        PlanPrecision::Pruned { threshold: 0.05 },
+    ];
+    for mode in modes {
+        model.predict_batch_into_at(&x_refs, &ts, mode, &mut pout);
+    }
+    let mut mode_ms = [f64::INFINITY; 4];
+    let mut ratios = Vec::with_capacity(96);
+    for _ in 0..96 {
+        let mut round = [0.0f64; 4];
+        for (slot, mode) in round.iter_mut().zip(modes) {
+            *slot = time_ms(1, 5, || {
+                model.predict_batch_into_at(&x_refs, &ts, mode, &mut pout);
+                black_box(pout.last().copied());
+            });
+        }
+        for (best, r) in mode_ms.iter_mut().zip(round) {
+            *best = best.min(r);
+        }
+        ratios.push(round[0] / round[2]);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let int8_vs_exact_paired = ratios[ratios.len() / 2];
+    let [p_exact, p_bf16, p_int8, p_pruned] = mode_ms;
+
     let engine = Engine::start(
         Arc::new(ModelRegistry::new(model)),
         &EngineConfig {
@@ -164,6 +201,7 @@ fn bench_record(_c: &mut Criterion) {
         .unwrap_or("");
     let floor_batched = json_number(floors_blob, "speedup_batched_vs_single").unwrap_or(2.0);
     let floor_plan = json_number(floors_blob, "plan_vs_tape").unwrap_or(1.05);
+    let floor_int8 = json_number(floors_blob, "int8_vs_exact").unwrap_or(1.0);
 
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -203,9 +241,22 @@ fn bench_record(_c: &mut Criterion) {
     "tape_many_{BATCH}_ms": {tape_many:.4},
     "plan_vs_tape_many": {plan_vs_tape_many:.2}
   }},
+  "precision": {{
+    "exact_batched_{BATCH}_ms": {p_exact:.4},
+    "bf16_batched_{BATCH}_ms": {p_bf16:.4},
+    "int8_batched_{BATCH}_ms": {p_int8:.4},
+    "pruned005_batched_{BATCH}_ms": {p_pruned:.4},
+    "queries_per_sec_exact": {qps_exact:.0},
+    "queries_per_sec_bf16": {qps_bf16:.0},
+    "queries_per_sec_int8": {qps_int8:.0},
+    "queries_per_sec_pruned005": {qps_pruned:.0},
+    "int8_vs_exact": {int8_vs_exact:.2},
+    "note": "predict_batch_into_at over the same {BATCH} rows, one row per precision-lowered plan; int8_vs_exact is the median of per-round paired exact/int8 ratios (drift-cancelling, same estimator as serve_bench_guard); accuracy contract for the lossy modes lives in crates/core/tests/plan_precision.rs"
+  }},
   "floors": {{
     "speedup_batched_vs_single": {floor_batched:.2},
     "plan_vs_tape": {floor_plan:.2},
+    "int8_vs_exact": {floor_int8:.2},
     "note": "CI floors enforced by serve_bench_guard; conservative next to the recorded figures to ride out machine noise"
   }},
   "notes": "speedup_batched_vs_single is the coalescing win the serving engine exists for: a batch amortizes the forward pass and turns {BATCH} skinny 1-row matmuls into one {BATCH}-row matmul. plan_vs_tape_batched is the compiled-plan win on top: no grad buffers, no per-call parameter injection, fused affine+activation steps. engine_vs_batched is the remaining queue/channel overhead per request (1.0 = free)."
@@ -219,6 +270,11 @@ fn bench_record(_c: &mut Criterion) {
         engine_vs_batched = engine_batch / batched,
         plan_vs_tape = tape_batched / batched,
         plan_vs_tape_many = tape_many / plan_many,
+        qps_exact = BATCH as f64 / (p_exact / 1e3),
+        qps_bf16 = BATCH as f64 / (p_bf16 / 1e3),
+        qps_int8 = BATCH as f64 / (p_int8 / 1e3),
+        qps_pruned = BATCH as f64 / (p_pruned / 1e3),
+        int8_vs_exact = int8_vs_exact_paired,
     );
     std::fs::write(path, json).expect("write BENCH_serve.json");
     println!("\nrecorded serving numbers to {path}");

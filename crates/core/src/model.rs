@@ -178,10 +178,14 @@ impl SelNetModel {
     }
 
     /// The plan bundle for the current parameters (compiling on first use
-    /// or after a parameter mutation).
+    /// or after a parameter mutation). The single-model path always serves
+    /// exact plans; precision lowering is a partitioned-serving feature.
     fn plans(&self) -> Arc<SelNetPlans> {
-        self.plans
-            .get_or(self.store.version(), || self.compile_plans())
+        self.plans.get_or(
+            self.store.version(),
+            selnet_tensor::PlanPrecision::Exact,
+            || self.compile_plans(),
+        )
     }
     /// Records the full forward pass for a batch of query vectors.
     /// Returns `(tau, p, z)`.

@@ -19,7 +19,9 @@ use rand::{Rng, SeedableRng};
 use selnet_data::Dataset;
 use selnet_eval::SelectivityEstimator;
 use selnet_index::Partitioning;
-use selnet_tensor::{Adam, Graph, InferencePlan, Matrix, Optimizer, ParamStore, PlanBuffers, Var};
+use selnet_tensor::{
+    Adam, Graph, InferencePlan, Matrix, Optimizer, ParamStore, PlanBuffers, PlanPrecision, Var,
+};
 use selnet_workload::{label_partitions, LabeledQuery, Workload};
 use std::sync::Arc;
 
@@ -36,9 +38,16 @@ pub struct PartitionedSelNet {
     pub(crate) partitioning: Partitioning,
     pub(crate) name: String,
     pub(crate) reference_val_mae: f64,
-    /// Compiled inference plans, keyed on the parameter-store version (see
-    /// [`crate::plans::PlanCell`]). Rebuilt lazily after any retrain; a
-    /// clone (the hot-swap `spawn_update` path) starts with an empty cell.
+    /// The serving precision this model's trainer (or operator) endorses —
+    /// persisted in v2 snapshots, used as the default when a tenant is
+    /// registered without an explicit `--precision` override. Purely
+    /// advisory: it never changes what `predict_*` compute unless a caller
+    /// passes it to an `_at` entry point.
+    pub(crate) recommended_precision: PlanPrecision,
+    /// Compiled inference plans, keyed on `(parameter-store version,
+    /// precision)` (see [`crate::plans::PlanCell`]). Rebuilt lazily after
+    /// any retrain; a clone (the hot-swap `spawn_update` path) starts with
+    /// an empty cell.
     pub(crate) plans: PlanCell<PartitionedPlans>,
 }
 
@@ -58,8 +67,10 @@ pub(crate) struct PartitionedPlans {
 }
 
 impl PartitionedSelNet {
-    /// Compiles both inference plans from the current parameters.
-    fn compile_plans(&self) -> PartitionedPlans {
+    /// Compiles both inference plans from the current parameters at the
+    /// given precision (the pass pipeline's precision-lowering stage runs
+    /// after the shared capture/DCE/fusion passes).
+    fn compile_plans(&self, precision: PlanPrecision) -> PartitionedPlans {
         // probe with 2 rows so batch scaling is unambiguous (a constant
         // leaf with probe-batch rows is broadcast; see InferencePlan docs)
         let batch = {
@@ -67,7 +78,7 @@ impl PartitionedSelNet {
             let xv = g.leaf_with(2, self.dim, |_| {});
             let tv = g.leaf_with(2, 1, |d| d.copy_from_slice(&[0.0, 1.0]));
             let (_z, preds) = self.forward_locals(&mut g, xv, tv);
-            InferencePlan::compile(&g, &[(xv, true), (tv, true)], &preds)
+            InferencePlan::compile_with(&g, &[(xv, true), (tv, true)], &preds, precision)
                 .expect("the partitioned SelNet batch forward is plan-compilable")
         };
         let many = {
@@ -75,17 +86,37 @@ impl PartitionedSelNet {
             let xv = g.leaf_with(1, self.dim, |_| {});
             let tv = g.leaf_with(2, 1, |d| d.copy_from_slice(&[0.0, 1.0]));
             let (_z, preds) = self.forward_locals(&mut g, xv, tv);
-            InferencePlan::compile(&g, &[(xv, false), (tv, true)], &preds)
+            InferencePlan::compile_with(&g, &[(xv, false), (tv, true)], &preds, precision)
                 .expect("the partitioned SelNet one-query forward is plan-compilable")
         };
         PartitionedPlans { batch, many }
     }
 
-    /// The plan bundle for the current parameters (compiling on first use
-    /// or after a parameter mutation).
+    /// The exact plan bundle for the current parameters (compiling on
+    /// first use or after a parameter mutation).
     fn plans(&self) -> Arc<PartitionedPlans> {
-        self.plans
-            .get_or(self.store.version(), || self.compile_plans())
+        self.plans_at(PlanPrecision::Exact)
+    }
+
+    /// The plan bundle lowered to `precision` for the current parameters.
+    /// Bundles are cached per `(version, precision)`, so a fleet serving
+    /// the same generation at several precisions compiles each mode once.
+    fn plans_at(&self, precision: PlanPrecision) -> Arc<PartitionedPlans> {
+        self.plans.get_or(self.store.version(), precision, || {
+            self.compile_plans(precision)
+        })
+    }
+
+    /// The serving precision this model recommends (persisted in v2
+    /// snapshots; `Exact` for fresh or v1-loaded models).
+    pub fn recommended_precision(&self) -> PlanPrecision {
+        self.recommended_precision
+    }
+
+    /// Sets the recommended serving precision carried by future
+    /// [`PartitionedSelNet::save`] snapshots.
+    pub fn set_recommended_precision(&mut self, precision: PlanPrecision) {
+        self.recommended_precision = precision;
     }
     /// Number of partitions.
     pub fn k(&self) -> usize {
@@ -134,9 +165,26 @@ impl PartitionedSelNet {
     /// [`PartitionedSelNet::predict_many`] writing into a caller-provided
     /// buffer (cleared first) — the allocation-free serving entry point.
     pub fn predict_many_into(&self, x: &[f32], ts: &[f32], out: &mut Vec<f64>) {
+        self.predict_many_into_at(x, ts, PlanPrecision::Exact, out)
+    }
+
+    /// [`PartitionedSelNet::predict_many_into`] replayed on the plan
+    /// bundle lowered to `precision`. `Exact` is bit-identical to
+    /// `predict_many_into`; the lossy modes trade the pinned accuracy
+    /// drift (property-tested in `plan_precision.rs`) for cheaper
+    /// arithmetic, and all of them preserve monotonicity in `t` — the
+    /// lowering passes perturb weights, not the cumsum-of-nonnegatives
+    /// structure §4's consistency rests on.
+    pub fn predict_many_into_at(
+        &self,
+        x: &[f32],
+        ts: &[f32],
+        precision: PlanPrecision,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(x.len(), self.dim, "query dimension mismatch");
         out.clear();
-        let plans = self.plans();
+        let plans = self.plans_at(precision);
         PlanBuffers::with_pooled(|bufs| {
             let run = plans.many.run(bufs, ts.len(), |k, m| match k {
                 0 => m.data_mut().copy_from_slice(x),
@@ -226,6 +274,20 @@ impl PartitionedSelNet {
     /// allocation-free, so a steady-state coalesced batch costs exactly
     /// the network arithmetic plus the indicator checks.
     pub fn predict_batch_into(&self, xs: &[&[f32]], ts: &[f32], out: &mut Vec<f64>) {
+        self.predict_batch_into_at(xs, ts, PlanPrecision::Exact, out)
+    }
+
+    /// [`PartitionedSelNet::predict_batch_into`] replayed on the plan
+    /// bundle lowered to `precision` — the entry point the serving engine
+    /// binds a tenant's configured precision to per coalesced batch. Same
+    /// contract as [`PartitionedSelNet::predict_many_into_at`].
+    pub fn predict_batch_into_at(
+        &self,
+        xs: &[&[f32]],
+        ts: &[f32],
+        precision: PlanPrecision,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(xs.len(), ts.len(), "one threshold per query object");
         out.clear();
         if xs.is_empty() {
@@ -236,7 +298,7 @@ impl PartitionedSelNet {
         }
         let b = xs.len();
         let threads = selnet_tensor::parallel::configured_threads();
-        let plans = self.plans();
+        let plans = self.plans_at(precision);
         PlanBuffers::with_pooled(|bufs| {
             let run = plans.batch.run(bufs, b, |k, m| match k {
                 0 => selnet_tensor::parallel::par_fill_rows(
@@ -352,6 +414,26 @@ impl SelectivityEstimator for PartitionedSelNet {
 
     fn estimate_batch_into(&self, xs: &[&[f32]], ts: &[f32], out: &mut Vec<f64>) {
         self.predict_batch_into(xs, ts, out)
+    }
+
+    fn estimate_many_into_at(
+        &self,
+        x: &[f32],
+        ts: &[f32],
+        precision: PlanPrecision,
+        out: &mut Vec<f64>,
+    ) {
+        self.predict_many_into_at(x, ts, precision, out)
+    }
+
+    fn estimate_batch_into_at(
+        &self,
+        xs: &[&[f32]],
+        ts: &[f32],
+        precision: PlanPrecision,
+        out: &mut Vec<f64>,
+    ) {
+        self.predict_batch_into_at(xs, ts, precision, out)
     }
 
     fn query_dim(&self) -> Option<usize> {
@@ -752,6 +834,7 @@ pub fn fit_partitioned(
         partitioning,
         name: "SelNet".into(),
         reference_val_mae: f64::MAX,
+        recommended_precision: PlanPrecision::Exact,
         plans: PlanCell::new(),
     };
 

@@ -22,14 +22,19 @@ use crate::partitioned::PartitionedSelNet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selnet_index::Partitioning;
-use selnet_tensor::ParamStore;
+use selnet_tensor::bytes::{
+    read_f32, read_f64, read_u32, read_u64, write_f32, write_f64, write_u32, write_u64,
+};
+use selnet_tensor::{ParamStore, PlanPrecision};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"SELNETM1";
 const PARTITIONED_MAGIC: &[u8; 8] = b"SELNETP1";
 /// Current `SELNETP1` snapshot version. Bump when the layout changes; the
-/// loader rejects anything else with a typed error.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// loader accepts `1..=SNAPSHOT_VERSION` (v2 added the recommended
+/// serving precision; v1 snapshots load with `Exact`) and rejects
+/// anything newer with a typed error.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Caps on length fields read from untrusted bytes (see the loaders).
 const MAX_NAME_LEN: usize = 1 << 16;
@@ -40,14 +45,14 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+// scalar framing rides the workspace-shared little-endian helpers in
+// `selnet_tensor::bytes` (also used by the serving wire protocol)
 fn write_usize(w: &mut impl Write, v: usize) -> io::Result<()> {
-    w.write_all(&(v as u64).to_le_bytes())
+    write_u64(w, v as u64)
 }
 
 fn read_usize(r: &mut impl Read) -> io::Result<usize> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b) as usize)
+    read_u64(r).map(|v| v as usize)
 }
 
 fn read_len(r: &mut impl Read, max: usize, what: &str) -> io::Result<usize> {
@@ -56,16 +61,6 @@ fn read_len(r: &mut impl Read, max: usize, what: &str) -> io::Result<usize> {
         return Err(invalid(format!("implausible {what}: {v}")));
     }
     Ok(v)
-}
-
-fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn read_f32(r: &mut impl Read) -> io::Result<f32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(f32::from_le_bytes(b))
 }
 
 fn write_vec_usize(w: &mut impl Write, v: &[usize]) -> io::Result<()> {
@@ -125,7 +120,7 @@ fn write_config(w: &mut impl Write, c: &SelNetConfig) -> io::Result<()> {
     )?;
     write_usize(w, c.ae_pretrain_epochs)?;
     write_usize(w, c.ae_pretrain_sample)?;
-    w.write_all(&c.seed.to_le_bytes())
+    write_u64(w, c.seed)
 }
 
 fn read_config(r: &mut impl Read) -> io::Result<SelNetConfig> {
@@ -155,9 +150,7 @@ fn read_config(r: &mut impl Read) -> io::Result<SelNetConfig> {
     };
     let ae_pretrain_epochs = read_usize(r)?;
     let ae_pretrain_sample = read_usize(r)?;
-    let mut b8 = [0u8; 8];
-    r.read_exact(&mut b8)?;
-    let seed = u64::from_le_bytes(b8);
+    let seed = read_u64(r)?;
     // Architecture sizes feed matrix allocations when the loader rebuilds
     // the network, so corrupt bytes here must not request absurd buffers.
     // 16384 is ~16x the paper's widest layer.
@@ -203,7 +196,7 @@ fn write_pconfig(w: &mut impl Write, p: &PartitionConfig) -> io::Result<()> {
     match p.method {
         selnet_index::PartitionMethod::CoverTree { ratio } => {
             write_usize(w, 0)?;
-            w.write_all(&ratio.to_le_bytes())?;
+            write_f64(w, ratio)?;
         }
         selnet_index::PartitionMethod::Random => write_usize(w, 1)?,
         selnet_index::PartitionMethod::KMeans => write_usize(w, 2)?,
@@ -215,13 +208,9 @@ fn write_pconfig(w: &mut impl Write, p: &PartitionConfig) -> io::Result<()> {
 fn read_pconfig(r: &mut impl Read) -> io::Result<PartitionConfig> {
     let k = read_usize(r)?;
     let method = match read_usize(r)? {
-        0 => {
-            let mut b = [0u8; 8];
-            r.read_exact(&mut b)?;
-            selnet_index::PartitionMethod::CoverTree {
-                ratio: f64::from_le_bytes(b),
-            }
-        }
+        0 => selnet_index::PartitionMethod::CoverTree {
+            ratio: read_f64(r)?,
+        },
         1 => selnet_index::PartitionMethod::Random,
         2 => selnet_index::PartitionMethod::KMeans,
         v => return Err(invalid(format!("bad partition method {v}"))),
@@ -243,7 +232,7 @@ impl SelNetModel {
         write_config(w, &self.cfg)?;
         write_usize(w, self.dim)?;
         write_f32(w, self.tmax)?;
-        w.write_all(&self.reference_val_mae.to_le_bytes())?;
+        write_f64(w, self.reference_val_mae)?;
         write_string(w, &self.name)?;
         self.store.save(w)
     }
@@ -258,9 +247,7 @@ impl SelNetModel {
         let cfg = read_config(r)?;
         let dim = read_len(r, 1 << 20, "input dimension")?;
         let tmax = read_f32(r)?;
-        let mut b8 = [0u8; 8];
-        r.read_exact(&mut b8)?;
-        let reference_val_mae = f64::from_le_bytes(b8);
+        let reference_val_mae = read_f64(r)?;
         let name = read_string(r)?;
         let loaded_store = ParamStore::load(r)?;
 
@@ -300,13 +287,15 @@ impl PartitionedSelNet {
     /// update-policy state.
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(PARTITIONED_MAGIC)?;
-        w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        write_u32(w, SNAPSHOT_VERSION)?;
         write_config(w, &self.cfg)?;
         write_pconfig(w, &self.pcfg)?;
         write_usize(w, self.dim)?;
         write_f32(w, self.tmax)?;
-        w.write_all(&self.reference_val_mae.to_le_bytes())?;
+        write_f64(w, self.reference_val_mae)?;
         write_string(w, &self.name)?;
+        // v2: the trainer-endorsed serving precision, as its canonical code
+        write_u64(w, self.recommended_precision.code())?;
         write_usize(w, self.locals.len())?;
         self.partitioning.save(w)?;
         self.store.save(w)
@@ -325,22 +314,26 @@ impl PartitionedSelNet {
         if &magic != PARTITIONED_MAGIC {
             return Err(invalid("bad snapshot magic (expected SELNETP1)"));
         }
-        let mut b4 = [0u8; 4];
-        r.read_exact(&mut b4)?;
-        let version = u32::from_le_bytes(b4);
-        if version != SNAPSHOT_VERSION {
+        let version = read_u32(r)?;
+        if version == 0 || version > SNAPSHOT_VERSION {
             return Err(invalid(format!(
-                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+                "unsupported snapshot version {version} (this build reads 1..={SNAPSHOT_VERSION})"
             )));
         }
         let cfg = read_config(r)?;
         let pcfg = read_pconfig(r)?;
         let dim = read_len(r, 1 << 20, "input dimension")?;
         let tmax = read_f32(r)?;
-        let mut b8 = [0u8; 8];
-        r.read_exact(&mut b8)?;
-        let reference_val_mae = f64::from_le_bytes(b8);
+        let reference_val_mae = read_f64(r)?;
         let name = read_string(r)?;
+        // v1 snapshots predate the recommended-precision field
+        let recommended_precision = if version >= 2 {
+            let code = read_u64(r)?;
+            PlanPrecision::from_code(code)
+                .ok_or_else(|| invalid(format!("bad recommended precision code {code:#x}")))?
+        } else {
+            PlanPrecision::Exact
+        };
         let k = read_len(r, MAX_LOCALS, "local model count")?;
         let partitioning = Partitioning::load(r)?;
         if partitioning.k() != k {
@@ -386,6 +379,7 @@ impl PartitionedSelNet {
             partitioning,
             name,
             reference_val_mae,
+            recommended_precision,
             plans: crate::plans::PlanCell::new(),
         })
     }
@@ -545,6 +539,51 @@ mod tests {
         // a single-model stream is also rejected up front
         let err = load_err(b"SELNETM1garbage");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// The v2 recommended-precision field round-trips, and a legacy v1
+    /// stream (no precision field) still loads — with `Exact` as the
+    /// default — producing bit-identical predictions.
+    #[test]
+    fn recommended_precision_round_trips_and_v1_defaults_to_exact() {
+        let (mut model, w) = partitioned_fixture(49);
+        model.set_recommended_precision(PlanPrecision::Int8);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = PartitionedSelNet::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.recommended_precision(), PlanPrecision::Int8);
+
+        // rebuild the exact v1 layout: re-serialize the prefix that
+        // precedes the v2 precision field to find its offset, then drop
+        // those 8 bytes and stamp version 1
+        let mut prefix = Vec::new();
+        prefix.extend_from_slice(PARTITIONED_MAGIC);
+        write_u32(&mut prefix, SNAPSHOT_VERSION).unwrap();
+        write_config(&mut prefix, &model.cfg).unwrap();
+        write_pconfig(&mut prefix, &model.pcfg).unwrap();
+        write_usize(&mut prefix, model.dim).unwrap();
+        write_f32(&mut prefix, model.tmax()).unwrap();
+        write_f64(&mut prefix, model.reference_val_mae()).unwrap();
+        write_string(&mut prefix, model.name()).unwrap();
+        let cut = prefix.len();
+        let mut v1 = buf.clone();
+        v1.drain(cut..cut + 8);
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let legacy = PartitionedSelNet::load(&mut v1.as_slice()).unwrap();
+        assert_eq!(legacy.recommended_precision(), PlanPrecision::Exact);
+        let q = &w.test[0];
+        assert_eq!(
+            legacy.estimate_many(&q.x, &q.thresholds),
+            model.estimate_many(&q.x, &q.thresholds),
+            "a v1 snapshot must load to the same model"
+        );
+
+        // a v2 stream with an unknown precision code is rejected
+        let mut bad = buf.clone();
+        bad[cut..cut + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = load_err(&bad);
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("precision"), "got: {err}");
     }
 
     #[test]

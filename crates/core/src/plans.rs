@@ -2,45 +2,63 @@
 //!
 //! A model caches the [`InferencePlan`](selnet_tensor::InferencePlan)s
 //! compiled from its current parameters in a [`PlanCell`], keyed by
-//! [`ParamStore::version`](selnet_tensor::ParamStore::version). Any
-//! mutation of the store (an optimizer step during a §5.4 retrain, a
-//! checkpoint restore) bumps the version, so the next prediction
-//! recompiles automatically — there is no invalidation call to forget.
-//! Cloning a model (the hot-swap registry's `spawn_update` path) clones an
-//! **empty** cell: plans bake parameter values, and the clone builds its
-//! own on first use.
+//! `(`[`ParamStore::version`](selnet_tensor::ParamStore::version)`,`
+//! [`PlanPrecision`]`)`. Any mutation of the store (an optimizer step
+//! during a §5.4 retrain, a checkpoint restore) bumps the version, so the
+//! next prediction recompiles automatically — there is no invalidation
+//! call to forget — while a fleet serving the same generation at several
+//! precisions keeps one lowered plan bundle per mode alive concurrently.
+//! A version bump drops every precision's entry (they all baked the stale
+//! parameters). Cloning a model (the hot-swap registry's `spawn_update`
+//! path) clones an **empty** cell: plans bake parameter values, and the
+//! clone builds its own on first use.
 
+use selnet_tensor::PlanPrecision;
 use std::sync::{Arc, RwLock};
 
-/// A lazily-built, version-keyed slot for a compiled plan bundle `T`.
+/// A lazily-built slot map for compiled plan bundles `T`, keyed on
+/// `(version, precision)`.
 pub(crate) struct PlanCell<T> {
-    slot: RwLock<Option<(u64, Arc<T>)>>,
+    slot: RwLock<Vec<(u64, PlanPrecision, Arc<T>)>>,
 }
 
 impl<T> PlanCell<T> {
     pub(crate) fn new() -> Self {
         PlanCell {
-            slot: RwLock::new(None),
+            slot: RwLock::new(Vec::new()),
         }
     }
 
-    /// The cached bundle for `version`, building (and caching) it with
-    /// `build` when absent or stale. Readers share the slot; a rebuild
-    /// takes the write lock briefly.
-    pub(crate) fn get_or(&self, version: u64, build: impl FnOnce() -> T) -> Arc<T> {
-        if let Some((v, plans)) = self.slot.read().expect("plan cell poisoned").as_ref() {
-            if *v == version {
+    /// The cached bundle for `(version, precision)`, building (and
+    /// caching) it with `build` when absent. Readers share the slot; a
+    /// rebuild takes the write lock briefly. Entries from older versions
+    /// are dropped on rebuild — only the current generation's lowered
+    /// plans stay resident.
+    pub(crate) fn get_or(
+        &self,
+        version: u64,
+        precision: PlanPrecision,
+        build: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        {
+            let slot = self.slot.read().expect("plan cell poisoned");
+            if let Some((_, _, plans)) = slot
+                .iter()
+                .find(|(v, p, _)| *v == version && *p == precision)
+            {
                 return Arc::clone(plans);
             }
         }
         let mut slot = self.slot.write().expect("plan cell poisoned");
-        if let Some((v, plans)) = slot.as_ref() {
-            if *v == version {
-                return Arc::clone(plans);
-            }
+        if let Some((_, _, plans)) = slot
+            .iter()
+            .find(|(v, p, _)| *v == version && *p == precision)
+        {
+            return Arc::clone(plans);
         }
+        slot.retain(|(v, _, _)| *v == version);
         let plans = Arc::new(build());
-        *slot = Some((version, Arc::clone(&plans)));
+        slot.push((version, precision, Arc::clone(&plans)));
         plans
     }
 }
@@ -63,20 +81,22 @@ impl<T> Default for PlanCell<T> {
 mod tests {
     use super::*;
 
+    const EXACT: PlanPrecision = PlanPrecision::Exact;
+
     #[test]
     fn rebuilds_only_on_version_change() {
         let cell: PlanCell<u32> = PlanCell::new();
         let mut builds = 0;
-        let a = cell.get_or(1, || {
+        let a = cell.get_or(1, EXACT, || {
             builds += 1;
             10
         });
-        let b = cell.get_or(1, || {
+        let b = cell.get_or(1, EXACT, || {
             builds += 1;
             11
         });
         assert_eq!((*a, *b, builds), (10, 10, 1));
-        let c = cell.get_or(2, || {
+        let c = cell.get_or(2, EXACT, || {
             builds += 1;
             12
         });
@@ -84,11 +104,57 @@ mod tests {
     }
 
     #[test]
+    fn precisions_cache_independently_within_a_version() {
+        let cell: PlanCell<u32> = PlanCell::new();
+        let mut builds = 0;
+        let exact = cell.get_or(1, EXACT, || {
+            builds += 1;
+            10
+        });
+        let int8 = cell.get_or(1, PlanPrecision::Int8, || {
+            builds += 1;
+            20
+        });
+        // both entries stay resident: re-reading either rebuilds nothing
+        let exact2 = cell.get_or(1, EXACT, || {
+            builds += 1;
+            99
+        });
+        let int8_2 = cell.get_or(1, PlanPrecision::Int8, || {
+            builds += 1;
+            99
+        });
+        assert_eq!(
+            (*exact, *int8, *exact2, *int8_2, builds),
+            (10, 20, 10, 20, 2)
+        );
+        // a version bump invalidates every precision
+        let int8_v2 = cell.get_or(2, PlanPrecision::Int8, || {
+            builds += 1;
+            30
+        });
+        let exact_v2 = cell.get_or(2, EXACT, || {
+            builds += 1;
+            40
+        });
+        assert_eq!((*int8_v2, *exact_v2, builds), (30, 40, 4));
+    }
+
+    #[test]
+    fn pruned_thresholds_are_distinct_keys() {
+        let cell: PlanCell<u32> = PlanCell::new();
+        let a = cell.get_or(1, PlanPrecision::Pruned { threshold: 0.1 }, || 1);
+        let b = cell.get_or(1, PlanPrecision::Pruned { threshold: 0.2 }, || 2);
+        let a2 = cell.get_or(1, PlanPrecision::Pruned { threshold: 0.1 }, || 3);
+        assert_eq!((*a, *b, *a2), (1, 2, 1));
+    }
+
+    #[test]
     fn clone_is_empty() {
         let cell: PlanCell<u32> = PlanCell::new();
-        let _ = cell.get_or(7, || 1);
+        let _ = cell.get_or(7, EXACT, || 1);
         let clone = cell.clone();
-        let v = clone.get_or(7, || 2);
+        let v = clone.get_or(7, EXACT, || 2);
         assert_eq!(*v, 2, "cloned cell must rebuild, not share");
     }
 }

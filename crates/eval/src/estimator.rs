@@ -1,5 +1,7 @@
 //! The estimator interface every model in this workspace implements.
 
+use selnet_tensor::PlanPrecision;
+
 /// A trained selectivity estimator: answers "how many database objects are
 /// within distance `t` of `x`?" (Definition 1 of the paper).
 pub trait SelectivityEstimator {
@@ -48,6 +50,38 @@ pub trait SelectivityEstimator {
     fn estimate_batch_into(&self, xs: &[&[f32]], ts: &[f32], out: &mut Vec<f64>) {
         out.clear();
         out.extend(self.estimate_batch(xs, ts));
+    }
+
+    /// [`SelectivityEstimator::estimate_many_into`] evaluated at an
+    /// explicit plan precision. The default ignores the precision and
+    /// answers exactly — correct for estimators without compiled plans
+    /// (histograms, samplers, reference tapes), which have nothing to
+    /// quantize. Plan-backed models override this to select the lowered
+    /// plan; [`PlanPrecision::Exact`] must stay bit-identical to
+    /// `estimate_many_into`.
+    fn estimate_many_into_at(
+        &self,
+        x: &[f32],
+        ts: &[f32],
+        precision: PlanPrecision,
+        out: &mut Vec<f64>,
+    ) {
+        let _ = precision;
+        self.estimate_many_into(x, ts, out);
+    }
+
+    /// [`SelectivityEstimator::estimate_batch_into`] evaluated at an
+    /// explicit plan precision; same contract as
+    /// [`SelectivityEstimator::estimate_many_into_at`].
+    fn estimate_batch_into_at(
+        &self,
+        xs: &[&[f32]],
+        ts: &[f32],
+        precision: PlanPrecision,
+        out: &mut Vec<f64>,
+    ) {
+        let _ = precision;
+        self.estimate_batch_into(xs, ts, out);
     }
 
     /// The query dimensionality this estimator accepts, when it has a
@@ -115,6 +149,26 @@ impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for Box<T> {
 
     fn estimate_batch_into(&self, xs: &[&[f32]], ts: &[f32], out: &mut Vec<f64>) {
         (**self).estimate_batch_into(xs, ts, out)
+    }
+
+    fn estimate_many_into_at(
+        &self,
+        x: &[f32],
+        ts: &[f32],
+        precision: PlanPrecision,
+        out: &mut Vec<f64>,
+    ) {
+        (**self).estimate_many_into_at(x, ts, precision, out)
+    }
+
+    fn estimate_batch_into_at(
+        &self,
+        xs: &[&[f32]],
+        ts: &[f32],
+        precision: PlanPrecision,
+        out: &mut Vec<f64>,
+    ) {
+        (**self).estimate_batch_into_at(xs, ts, precision, out)
     }
 
     fn query_dim(&self) -> Option<usize> {

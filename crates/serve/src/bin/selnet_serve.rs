@@ -10,7 +10,9 @@
 //! selnet-serve check-monotone --expect non-increasing < responses.txt
 //! ```
 
-use selnet_core::{fit_partitioned, PartitionConfig, PartitionedSelNet, SelNetConfig};
+use selnet_core::{
+    fit_partitioned, PartitionConfig, PartitionedSelNet, PlanPrecision, SelNetConfig,
+};
 use selnet_data::generators::{fasttext_like, GeneratorConfig};
 use selnet_metric::DistanceKind;
 use selnet_serve::engine::{Engine, EngineConfig};
@@ -28,6 +30,7 @@ const USAGE: &str = "usage:
                           [--epochs E] [--seed S] [--thresholds M] [--order desc|asc]
   selnet-serve serve (--snapshot SNAPSHOT | --model NAME=SNAPSHOT ...)
                      (--stdin | --addr HOST:PORT)
+                     [--precision NAME=exact|bf16|int8|pruned:T ...]
                      [--workers N] [--shards N] [--batch ROWS] [--cache ENTRIES]
                      [--auto-batch-min ROWS] [--queue ROWS]
   selnet-serve check-monotone [--expect non-increasing|non-decreasing]";
@@ -260,6 +263,36 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if registry.is_empty() {
         return Err("serve needs --snapshot or at least one --model NAME=PATH".into());
     }
+
+    // per-tenant serving precision: repeated --precision NAME=MODE
+    // (exact | bf16 | int8 | pruned:T). Tenants without a flag fall back
+    // to the precision their snapshot recommends (v1 snapshots: exact).
+    let mut precisions: Vec<(String, PlanPrecision)> = Vec::new();
+    for spec in opts.get_all("precision") {
+        let (name, mode) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --precision {spec:?} (want NAME=MODE)"))?;
+        let mode: PlanPrecision = mode
+            .parse()
+            .map_err(|e| format!("bad --precision {spec:?}: {e}"))?;
+        if registry.get(name).is_none() {
+            return Err(format!("--precision names unknown tenant {name:?}"));
+        }
+        precisions.push((name.to_string(), mode));
+    }
+    for tenant in registry.tenants() {
+        let requested = precisions
+            .iter()
+            .rev()
+            .find(|(n, _)| n == tenant.name())
+            .map(|(_, p)| *p);
+        let mode = requested.unwrap_or_else(|| tenant.current().1.recommended_precision());
+        if mode != PlanPrecision::Exact {
+            eprintln!("tenant {}: serving precision {mode}", tenant.name());
+        }
+        tenant.set_precision(mode);
+    }
+
     let engine = Engine::start(registry, &cfg);
 
     if opts.flag("stdin") {

@@ -19,14 +19,16 @@
 //!    EWMA of the observed queue depth, so light load gets small
 //!    low-latency batches and heavy load fills up to `max_batch_rows`;
 //! 3. the worker groups the drained requests **per tenant**, binds each
-//!    tenant's model generation once, answers cache hits, flattens the
-//!    misses into one
-//!    [`estimate_batch_into`](selnet_eval::SelectivityEstimator::estimate_batch_into)
-//!    call over that tenant's compiled inference plan, writing into
-//!    per-worker scratch buffers, scatters the rows back per request,
-//!    fills the LRU cache (keyed by tenant id + generation), and
-//!    replies; latency samples land in both the fleet record and the
-//!    tenant's own record under one lock per batch.
+//!    tenant's model generation **and its
+//!    [`PlanPrecision`](selnet_tensor::PlanPrecision)** once, answers
+//!    cache hits, flattens the misses into one
+//!    [`estimate_batch_into_at`](selnet_eval::SelectivityEstimator::estimate_batch_into_at)
+//!    call over that tenant's compiled (and precision-lowered) inference
+//!    plan, writing into per-worker scratch buffers, scatters the rows
+//!    back per request, fills the LRU cache (keyed by tenant id +
+//!    generation + precision), and replies; latency samples land in both
+//!    the fleet record and the tenant's own record under one lock per
+//!    batch.
 //!
 //! Blocking callers ([`Engine::serve_blocking`] / [`Engine::estimate_many`]
 //! and the TCP/stdin connection loops) additionally get a **same-thread
@@ -41,15 +43,17 @@
 //! evaluation, coalescing never changes an answer — any interleaving of
 //! client threads yields exactly the results of a sequential
 //! `estimate_many` (pinned by the `engine_concurrency` stress test). And
-//! because a request is answered entirely by the one generation its
-//! tenant group bound (inline serving binds one generation too, and the
-//! cache is tenant-and-generation-keyed), a hot swap can never tear a
-//! response or bleed across tenants.
+//! because a request is answered entirely by the one generation and one
+//! precision its tenant group bound (inline serving binds both too, and
+//! the cache is keyed on tenant, generation, and precision), a hot swap
+//! or a precision flip can never tear a response, replay a stale answer
+//! from the other mode, or bleed across tenants.
 
 use crate::cache::{CacheShardStats, LruCache, QueryKey};
 use crate::registry::{ModelRegistry, Tenant};
 use crate::stats::{ServeStats, StatsSnapshot};
 use selnet_eval::SelectivityEstimator;
+use selnet_tensor::PlanPrecision;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -406,14 +410,18 @@ struct Shard<M> {
     rows: AtomicUsize,
 }
 
-/// Per-tenant stats view: name, served generation, and this tenant's own
-/// counters — the scrapeable unit of fleet telemetry.
+/// Per-tenant stats view: name, served generation, active plan precision,
+/// and this tenant's own counters — the scrapeable unit of fleet
+/// telemetry.
 #[derive(Clone, Debug)]
 pub struct TenantStats {
     /// The tenant's registered name.
     pub name: String,
     /// The generation currently being served.
     pub generation: u64,
+    /// The plan precision the tenant's queries are currently lowered
+    /// with.
+    pub precision: PlanPrecision,
     /// The tenant's counters (requests, p50/p99, hit rate, batch-row
     /// mean, shed count).
     pub stats: StatsSnapshot,
@@ -423,8 +431,8 @@ impl std::fmt::Display for TenantStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "tenant={} generation={} {}",
-            self.name, self.generation, self.stats
+            "tenant={} generation={} precision={} {}",
+            self.name, self.generation, self.precision, self.stats
         )
     }
 }
@@ -642,13 +650,15 @@ where
     }
 
     /// Evaluates one request synchronously against one bound generation
-    /// of its tenant, with the same cache semantics as the worker path.
+    /// (and precision) of its tenant, with the same cache semantics as
+    /// the worker path.
     fn serve_inline(&self, tenant: &Tenant<M>, x: &[f32], ts: &[f32]) -> Vec<f64> {
         let started = Instant::now();
         let (generation, model) = tenant.current();
+        let precision = tenant.precision();
         let key = self
             .cache_enabled
-            .then(|| QueryKey::new(tenant.id(), generation, x, ts));
+            .then(|| QueryKey::new(tenant.id(), generation, precision, x, ts));
         if let Some(key) = &key {
             let cached = self.caches[self.cache_shard(key)]
                 .lock()
@@ -664,7 +674,8 @@ where
                 return values;
             }
         }
-        let values = model.estimate_many(x, ts);
+        let mut values = Vec::new();
+        model.estimate_many_into_at(x, ts, precision, &mut values);
         if let Some(key) = key {
             self.caches[self.cache_shard(&key)]
                 .lock()
@@ -718,6 +729,7 @@ where
             .map(|t| TenantStats {
                 name: t.name().to_string(),
                 generation: t.generation(),
+                precision: t.precision(),
                 stats: t.stats().snapshot(),
             })
             .collect()
@@ -735,6 +747,7 @@ where
                     TenantStats {
                         name: tenant.name().to_string(),
                         generation: tenant.generation(),
+                        precision: tenant.precision(),
                         stats: tenant.stats().snapshot(),
                     }
                     .to_string(),
@@ -918,10 +931,10 @@ where
     }
 
     /// Answers one tenant's share of a batch from **one** generation of
-    /// that tenant's model: cache hits first (skipped wholesale when
-    /// caching is disabled), then a single coalesced `estimate_batch_into`
-    /// over every remaining `(x, t)` row, written into the worker's
-    /// reusable scratch.
+    /// that tenant's model, lowered to **one** bound precision: cache
+    /// hits first (skipped wholesale when caching is disabled), then a
+    /// single coalesced `estimate_batch_into_at` over every remaining
+    /// `(x, t)` row, written into the worker's reusable scratch.
     fn serve_tenant_batch(
         &self,
         tenant: &Arc<Tenant<M>>,
@@ -929,11 +942,12 @@ where
         scratch: &mut BatchScratch,
     ) {
         let (generation, model) = tenant.current();
+        let precision = tenant.precision();
         scratch.served.clear();
         let mut pending: Vec<(Queued<M>, Option<QueryKey>)> = Vec::with_capacity(requests.len());
         if self.cache_enabled {
             for req in requests {
-                let key = QueryKey::new(tenant.id(), generation, &req.x, &req.ts);
+                let key = QueryKey::new(tenant.id(), generation, precision, &req.x, &req.ts);
                 let cached = self.caches[self.cache_shard(&key)]
                     .lock()
                     .expect("cache lock poisoned")
@@ -968,7 +982,7 @@ where
                 scratch.ts.push(t);
             }
         }
-        model.estimate_batch_into(&xs, &scratch.ts, &mut scratch.flat);
+        model.estimate_batch_into_at(&xs, &scratch.ts, precision, &mut scratch.flat);
         self.stats.record_batch();
         tenant.stats().record_batch();
         let mut offset = 0usize;
@@ -1434,12 +1448,50 @@ mod tests {
             .unwrap();
         let fleet = eng.stats_report(None).unwrap();
         assert!(fleet.starts_with("fleet "), "fleet report: {fleet}");
-        assert!(fleet.contains("tenant=alpha generation=0"));
-        assert!(fleet.contains("tenant=beta generation=0"));
+        assert!(fleet.contains("tenant=alpha generation=0 precision=exact"));
+        assert!(fleet.contains("tenant=beta generation=0 precision=exact"));
         let alpha = eng.stats_report(Some("alpha")).unwrap();
         assert!(alpha.starts_with("tenant=alpha"), "tenant report: {alpha}");
         assert!(alpha.contains("requests=1"), "tenant report: {alpha}");
         assert_eq!(eng.stats_report(Some("gamma")), None);
+        // flipping a tenant's precision shows up in the next report
+        registry
+            .get("beta")
+            .unwrap()
+            .set_precision(PlanPrecision::Int8);
+        let beta = eng.stats_report(Some("beta")).unwrap();
+        assert!(beta.contains("precision=int8"), "tenant report: {beta}");
+        eng.shutdown();
+    }
+
+    #[test]
+    fn precision_flip_invalidates_cached_answers() {
+        let eng = engine(
+            2.0,
+            &EngineConfig {
+                workers: 1,
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        let tenant = eng.registry().default_tenant().unwrap();
+        let _ = eng.estimate_many(&[0.5], &[1.0]);
+        let hits_before = eng.stats().snapshot().cache_hits;
+        let _ = eng.estimate_many(&[0.5], &[1.0]);
+        assert!(eng.stats().snapshot().cache_hits > hits_before);
+        // flip the serving precision: the same query must be recomputed,
+        // not replayed from the exact-mode entry
+        tenant.set_precision(PlanPrecision::Bf16);
+        let hits_flip = eng.stats().snapshot().cache_hits;
+        let _ = eng.estimate_many(&[0.5], &[1.0]);
+        assert_eq!(
+            eng.stats().snapshot().cache_hits,
+            hits_flip,
+            "a precision flip must miss the cache"
+        );
+        // and the new mode caches independently
+        let _ = eng.estimate_many(&[0.5], &[1.0]);
+        assert!(eng.stats().snapshot().cache_hits > hits_flip);
         eng.shutdown();
     }
 }

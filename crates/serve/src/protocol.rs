@@ -63,6 +63,7 @@
 //! ?stats alpha
 //! ```
 
+use selnet_tensor::bytes::{read_u16, read_u32, read_u8};
 use std::io::{self, Read, Write};
 
 /// Upper bound on a frame payload (16 MiB) — a corrupt or hostile length
@@ -110,24 +111,6 @@ pub enum WireVersion {
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
-}
-
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u16(r: &mut impl Read) -> io::Result<u16> {
-    let mut b = [0u8; 2];
-    r.read_exact(&mut b)?;
-    Ok(u16::from_le_bytes(b))
-}
-
-fn read_u8(r: &mut impl Read) -> io::Result<u8> {
-    let mut b = [0u8; 1];
-    r.read_exact(&mut b)?;
-    Ok(b[0])
 }
 
 /// Reads a `u16 len | len bytes` UTF-8 model-id field.

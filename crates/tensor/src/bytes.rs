@@ -1,0 +1,118 @@
+//! Little-endian scalar framing helpers shared by every on-disk and
+//! on-wire format in the workspace (model snapshots in `selnet-core`,
+//! the serving protocol in `selnet-serve`). One canonical set of
+//! read/write functions keeps the byte order decision in a single place
+//! instead of per-format hand-rolled copies.
+//!
+//! All helpers are plain `io::Read`/`io::Write` adapters: writers emit
+//! the scalar's `to_le_bytes`, readers `read_exact` into a fixed array
+//! and decode with `from_le_bytes`, so a short read surfaces as the
+//! caller's `io::Error` rather than a silent truncation.
+
+use std::io::{self, Read, Write};
+
+/// Writes a `u8`.
+pub fn write_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+/// Reads a `u8`.
+pub fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Writes a `u16` little-endian.
+pub fn write_u16(w: &mut impl Write, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a little-endian `u16`.
+pub fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+/// Writes a `u32` little-endian.
+pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a little-endian `u32`.
+pub fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Writes a `u64` little-endian.
+pub fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a little-endian `u64`.
+pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes an `f32` little-endian.
+pub fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a little-endian `f32`.
+pub fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Writes an `f64` little-endian.
+pub fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a little-endian `f64`.
+pub fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every scalar round-trips bit for bit, including NaN payloads.
+    #[test]
+    fn scalars_round_trip() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 0xAB).unwrap();
+        write_u16(&mut buf, 0xBEEF).unwrap();
+        write_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        write_u64(&mut buf, 0x0123_4567_89AB_CDEF).unwrap();
+        write_f32(&mut buf, f32::from_bits(0x7FC0_1234)).unwrap();
+        write_f64(&mut buf, -0.0).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_u8(&mut r).unwrap(), 0xAB);
+        assert_eq!(read_u16(&mut r).unwrap(), 0xBEEF);
+        assert_eq!(read_u32(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(read_u64(&mut r).unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(read_f32(&mut r).unwrap().to_bits(), 0x7FC0_1234);
+        assert_eq!(read_f64(&mut r).unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.is_empty());
+    }
+
+    /// A short read is an error, never a silent zero.
+    #[test]
+    fn short_reads_error() {
+        let mut r: &[u8] = &[1, 2, 3];
+        assert!(read_u32(&mut r).is_err());
+        let mut empty: &[u8] = &[];
+        assert!(read_f32(&mut empty).is_err());
+    }
+}

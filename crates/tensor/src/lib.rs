@@ -32,7 +32,11 @@
 //! [`InferencePlan::run`] replays it allocation-free into a reusable
 //! [`PlanBuffers`] arena for any batch size — bit-identical to the tape
 //! forward pass (both execute the same shared kernels). See the
-//! [`InferencePlan`] docs for the compile/replay lifecycle.
+//! [`InferencePlan`] docs for the compile/replay lifecycle. Compilation
+//! is a pass pipeline, and [`InferencePlan::compile_with`] selects a
+//! [`PlanPrecision`] lowering — bf16 weight truncation, per-channel int8
+//! quantization, or magnitude pruning — trading pinned, tested accuracy
+//! drift for arithmetic savings on the serving path.
 //!
 //! ## Kernels and threading
 //!
@@ -81,6 +85,7 @@ mod matrix;
 mod params;
 mod plan;
 
+pub mod bytes;
 pub mod gradcheck;
 pub mod init;
 pub mod layers;
@@ -92,4 +97,4 @@ pub use layers::{Activation, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::ParamStore;
-pub use plan::{InferencePlan, PlanBuffers, PlanError, PlanOutputs};
+pub use plan::{InferencePlan, PlanBuffers, PlanError, PlanOutputs, PlanPrecision};

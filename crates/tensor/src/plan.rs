@@ -24,6 +24,25 @@
 //!   suite (`tests/plan_properties.rs`) pins this over random networks,
 //!   shapes, and batch sizes.
 //!
+//! ## The pass pipeline
+//!
+//! Compilation is a sequence of passes over one lowering state (see
+//! [`InferencePlan::compile_with`]): **capture** validates the declared
+//! inputs against the probe tape; **DCE** computes reachability and use
+//! counts from the outputs; **lower/fuse** emits one symbolic instruction
+//! per surviving node, baking parameters and fusing
+//! `matmul → add_row_vec → activation` chains; **buffer assignment**
+//! resolves node ids to dense arena slots; and finally the
+//! **precision-lowering** passes rewrite baked weights according to a
+//! [`PlanPrecision`] — bf16 truncation, fused int8 per-channel
+//! quantization, or magnitude pruning into CSR sparse instructions.
+//! `PlanPrecision::Exact` skips the lossy passes entirely, so it is
+//! bit-identical to the tape by construction; the lossy modes keep the
+//! paper's §4 monotonicity-in-`t` guarantee structurally (the perturbed
+//! weights still feed non-negative increment activations ahead of the
+//! prefix sum) and their drift is pinned by accuracy-contract tests in
+//! `selnet-core`.
+//!
 //! ## Row scaling
 //!
 //! A plan is compiled from a probe tape recorded at some **probe batch
@@ -37,7 +56,7 @@
 //! batch-scaled slots are distinguishable from genuine one-row constants.
 
 use crate::fwd;
-use crate::graph::{Graph, Op, Var};
+use crate::graph::{Graph, Node, Op, Var};
 use crate::matrix::Matrix;
 
 /// Why a tape could not be compiled into an [`InferencePlan`].
@@ -54,6 +73,124 @@ impl std::error::Error for PlanError {}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, PlanError> {
     Err(PlanError(msg.into()))
+}
+
+/// Numeric precision a plan is lowered to by the compiler's
+/// precision-lowering passes (see [`InferencePlan::compile_with`]).
+///
+/// `Exact` replays the tape arithmetic bit for bit; the lossy modes trade
+/// accuracy for arithmetic. All modes preserve the §4 monotonicity-in-`t`
+/// guarantee structurally: lowering only perturbs baked weights, and the
+/// control-point increments those weights produce still pass through
+/// non-negative activations ahead of the prefix sum, so ordinates stay
+/// non-decreasing under any weight perturbation.
+///
+/// Equality and hashing go through the canonical [`PlanPrecision::code`],
+/// so `Pruned` thresholds compare by bit pattern (usable as a cache-key
+/// component).
+#[derive(Clone, Copy, Debug, Default)]
+pub enum PlanPrecision {
+    /// Full f32 — bit-identical to the tape forward pass.
+    #[default]
+    Exact,
+    /// Baked affine / block-linear weights truncated to bfloat16 (the 8
+    /// exponent bits survive, the low 16 mantissa bits are dropped),
+    /// widened back to f32 so the replay kernels are unchanged.
+    Bf16,
+    /// Symmetric int8 per-channel quantization of baked affine weights
+    /// (one scale per output channel, `scale_j = max_i |w[i][j]| / 127`)
+    /// with f32 accumulation, executed by a fused dot-product kernel.
+    Int8,
+    /// Magnitude pruning: weights with `|w| < threshold * max|w|` (per
+    /// matrix) are zeroed; sufficiently sparse results lower to a CSR
+    /// sparse-affine instruction, the rest stay dense.
+    Pruned {
+        /// Relative magnitude cut-off in `[0, 1)`, as a fraction of the
+        /// matrix's largest absolute weight.
+        threshold: f32,
+    },
+}
+
+impl PlanPrecision {
+    /// A canonical 64-bit code: the variant tag in the high 32 bits, the
+    /// pruning threshold's f32 bit pattern in the low 32. Stable across
+    /// runs and processes — the form cache keys and snapshots store.
+    pub fn code(self) -> u64 {
+        match self {
+            PlanPrecision::Exact => 0,
+            PlanPrecision::Bf16 => 1 << 32,
+            PlanPrecision::Int8 => 2 << 32,
+            PlanPrecision::Pruned { threshold } => (3 << 32) | u64::from(threshold.to_bits()),
+        }
+    }
+
+    /// Inverse of [`PlanPrecision::code`]; `None` for codes no variant
+    /// produces (e.g. read from a corrupt snapshot).
+    pub fn from_code(code: u64) -> Option<PlanPrecision> {
+        let low = (code & 0xFFFF_FFFF) as u32;
+        match (code >> 32, low) {
+            (0, 0) => Some(PlanPrecision::Exact),
+            (1, 0) => Some(PlanPrecision::Bf16),
+            (2, 0) => Some(PlanPrecision::Int8),
+            (3, bits) => Some(PlanPrecision::Pruned {
+                threshold: f32::from_bits(bits),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for PlanPrecision {
+    fn eq(&self, other: &Self) -> bool {
+        self.code() == other.code()
+    }
+}
+
+impl Eq for PlanPrecision {}
+
+impl std::hash::Hash for PlanPrecision {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.code().hash(state);
+    }
+}
+
+impl std::fmt::Display for PlanPrecision {
+    /// Renders the token [`std::str::FromStr`] parses back: `exact`,
+    /// `bf16`, `int8`, or `pruned:<threshold>`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanPrecision::Exact => write!(f, "exact"),
+            PlanPrecision::Bf16 => write!(f, "bf16"),
+            PlanPrecision::Int8 => write!(f, "int8"),
+            PlanPrecision::Pruned { threshold } => write!(f, "pruned:{threshold}"),
+        }
+    }
+}
+
+impl std::str::FromStr for PlanPrecision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(PlanPrecision::Exact),
+            "bf16" => Ok(PlanPrecision::Bf16),
+            "int8" => Ok(PlanPrecision::Int8),
+            other => match other.strip_prefix("pruned:") {
+                Some(t) => {
+                    let threshold: f32 = t
+                        .parse()
+                        .map_err(|_| format!("bad pruning threshold {t:?}"))?;
+                    if !(0.0..1.0).contains(&threshold) {
+                        return Err(format!("pruning threshold {threshold} outside [0, 1)"));
+                    }
+                    Ok(PlanPrecision::Pruned { threshold })
+                }
+                None => Err(format!(
+                    "unknown precision {other:?} (expected exact|bf16|int8|pruned:THRESHOLD)"
+                )),
+            },
+        }
+    }
 }
 
 /// How a slot's row count behaves across runs.
@@ -124,11 +261,12 @@ impl UnOp {
     }
 
     /// In-place `out[i][j] = f(out[i][j] + bias[j])` — the fused affine
-    /// tail, monomorphized per variant like [`UnOp::run`]. (Folding the
-    /// epilogue into the matmul kernel's register writeback was measured
-    /// and *lost*: the extra generic instantiations of the tile kernel
-    /// degrade its codegen by more than the saved output pass — the
-    /// cache-hot separate pass costs almost nothing.)
+    /// tail, monomorphized per variant like [`UnOp::run`]. The exact path
+    /// keeps this as a separate cache-hot pass after `matmul_into` (its
+    /// output is bit-pinned by the plan-identity suite and the pass costs
+    /// little); the quantized replay instead folds the same arithmetic
+    /// into its own padded microkernel's writeback ([`quant_axpy_band`]),
+    /// which is where its throughput edge over exact comes from.
     fn run_bias_act(self, bias: &Matrix, out: &mut Matrix) {
         match self {
             UnOp::Relu => bias_act(bias, out, fwd::relu),
@@ -157,6 +295,344 @@ fn bias_act(bias: &Matrix, out: &mut Matrix, f: impl Fn(f32) -> f32) {
         for (o, &bv) in row.iter_mut().zip(b) {
             *o = f(*o + bv);
         }
+    }
+}
+
+/// Accumulator bank width of the quantized-affine microkernel (one
+/// AVX-512 register of `f32`, matching the shared tile kernel's lane
+/// count); padded replay rows are multiples of this.
+const QVW: usize = 16;
+/// Rows per band of the quantized-affine microkernel (same height as the
+/// shared tile kernel's row bands).
+const QMR: usize = 6;
+/// Widest output dimension the padded replay is kept for; wider affines
+/// fall back to the shared (row-parallel) matmul.
+const QUANT_PAD_MAX: usize = 128;
+
+/// A baked weight matrix quantized to symmetric int8 with one scale per
+/// output channel. `q` (row-major `in × out`) plus `scales` is the
+/// canonical representation; `deq` is the f32 replay mirror in the same
+/// `in × out` row-major orientation as the exact weight (entry
+/// `[i][j] = q[i·out+j] · scales[j]`) — scalar CPUs have no i8 dot
+/// product, so the dequantization happens once at lowering time and
+/// execution keeps the f32 accumulation the mode promises.
+///
+/// `padded` is the performance trick the quantized path gets for free:
+/// because the lowering *owns* its weight mirror (unlike the exact path,
+/// whose shared baked constants are bit-pinned), it can repack `deq` with
+/// each input-channel row zero-padded to the next multiple of [`QVW`].
+/// The replay kernel then runs full-width register banks with the
+/// bias+activation epilogue fused at writeback — the shared kernel's
+/// per-call column-tail packing never runs and the separate epilogue
+/// pass disappears — which is what keeps int8 throughput above exact on
+/// the skinny serving shapes.
+#[derive(Debug)]
+struct QuantMatrix {
+    q: Vec<i8>,
+    scales: Vec<f32>,
+    deq: Matrix,
+    /// `(padded width, element offset, rows padded to that width)` when
+    /// the output dimension is at most [`QUANT_PAD_MAX`]; `None` falls
+    /// back to [`Matrix::matmul_into`] over `deq`. The offset cache-line-
+    /// aligns the first weight row within the over-allocated buffer (a
+    /// `Vec`'s natural alignment varies allocation to allocation, and a
+    /// line-splitting weight stream slows every band of every replay for
+    /// the life of the plan); it is fixed at quantization time so the
+    /// packed rows stay addressable even if the buffer is later moved to
+    /// memory with different alignment.
+    padded: Option<(usize, usize, Vec<f32>)>,
+}
+
+impl QuantMatrix {
+    fn quantize(w: &Matrix) -> QuantMatrix {
+        let (rows, cols) = w.shape();
+        let mut scales = vec![0.0f32; cols];
+        for row in w.data().chunks_exact(cols) {
+            for (s, &v) in scales.iter_mut().zip(row) {
+                *s = s.max(v.abs());
+            }
+        }
+        for s in &mut scales {
+            *s /= 127.0;
+        }
+        let mut q = vec![0i8; rows * cols];
+        for (qrow, row) in q.chunks_exact_mut(cols).zip(w.data().chunks_exact(cols)) {
+            for ((qv, &v), &s) in qrow.iter_mut().zip(row).zip(&scales) {
+                // an all-zero column has scale 0; its weights stay 0
+                if s > 0.0 {
+                    *qv = (v / s).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+        }
+        let mut deq = Matrix::default();
+        deq.reset_shape(rows, cols);
+        let d = deq.data_mut();
+        for ((dv, &qv), &s) in d.iter_mut().zip(&q).zip(scales.iter().cycle()) {
+            *dv = f32::from(qv) * s;
+        }
+        let padded = (cols <= QUANT_PAD_MAX).then(|| {
+            let np = cols.next_multiple_of(QVW);
+            let mut p = vec![0.0f32; rows * np + QVW - 1];
+            let off = p.as_ptr().align_offset(64).min(QVW - 1);
+            for (prow, drow) in p[off..off + rows * np]
+                .chunks_exact_mut(np)
+                .zip(d.chunks_exact(cols))
+            {
+                prow[..cols].copy_from_slice(drow);
+            }
+            (np, off, p)
+        });
+        QuantMatrix {
+            q,
+            scales,
+            deq,
+            padded,
+        }
+    }
+}
+
+/// Fused store of one accumulator bank: `out[i0+r][j0 + c] =
+/// f(acc[r][c] + bias[j0 + c])` for the `min(QVW, n - j0)` real columns
+/// the bank covers (trailing padding lanes are simply never written).
+fn quant_store<const R: usize>(
+    acc: &[[f32; QVW]; R],
+    od: &mut [f32],
+    n: usize,
+    i0: usize,
+    j0: usize,
+    b: &[f32],
+    f: &impl Fn(f32) -> f32,
+) {
+    let w = QVW.min(n - j0);
+    for (r, acc_row) in acc.iter().enumerate() {
+        let orow = &mut od[(i0 + r) * n + j0..(i0 + r) * n + j0 + w];
+        for ((o, &a), &bv) in orow.iter_mut().zip(acc_row).zip(&b[j0..j0 + w]) {
+            *o = f(a + bv);
+        }
+    }
+}
+
+/// One `R`-row band of the padded quantized-affine microkernel — the same
+/// two-bank register tiling as the shared matmul kernel (two separate
+/// `QVW`-wide accumulator arrays per row, reduction innermost, each
+/// padded weight row loaded once per band and reused across all `R`
+/// batch rows), with two differences the padded layout buys: the
+/// column-tail packing never runs (the padded width is a multiple of
+/// [`QVW`] by construction), and the bias+activation epilogue is applied
+/// straight off the accumulators at writeback instead of in a separate
+/// output pass. Per output element the reduction runs strictly in input
+/// order — the same order as [`Matrix::matmul_into`] — so the result is
+/// bit-identical to the fallback `matmul_into` + epilogue sequence;
+/// padding lanes accumulate `x · 0` and are never written back.
+#[allow(clippy::too_many_arguments)]
+fn quant_axpy_band<const R: usize>(
+    xd: &[f32],
+    inner: usize,
+    wp: &[f32],
+    np: usize,
+    b: &[f32],
+    od: &mut [f32],
+    n: usize,
+    i0: usize,
+    f: &impl Fn(f32) -> f32,
+) {
+    let mut xrows = [&xd[0..0]; R];
+    for (r, row) in xrows.iter_mut().enumerate() {
+        *row = &xd[(i0 + r) * inner..(i0 + r) * inner + inner];
+    }
+    let mut j0 = 0;
+    while j0 + 2 * QVW <= np {
+        let mut acc0 = [[0.0f32; QVW]; R];
+        let mut acc1 = [[0.0f32; QVW]; R];
+        for s in 0..inner {
+            let row = &wp[s * np + j0..s * np + j0 + 2 * QVW];
+            let b0: &[f32; QVW] = row[..QVW].try_into().expect("bank 0");
+            let b1: &[f32; QVW] = row[QVW..].try_into().expect("bank 1");
+            for r in 0..R {
+                let xv = xrows[r][s];
+                for c in 0..QVW {
+                    acc0[r][c] += xv * b0[c];
+                }
+                for c in 0..QVW {
+                    acc1[r][c] += xv * b1[c];
+                }
+            }
+        }
+        quant_store(&acc0, od, n, i0, j0, b, f);
+        if j0 + QVW < n {
+            quant_store(&acc1, od, n, i0, j0 + QVW, b, f);
+        }
+        j0 += 2 * QVW;
+    }
+    if j0 + QVW <= np && j0 < n {
+        let mut acc = [[0.0f32; QVW]; R];
+        for s in 0..inner {
+            let bk: &[f32; QVW] = wp[s * np + j0..s * np + j0 + QVW]
+                .try_into()
+                .expect("single bank");
+            for r in 0..R {
+                let xv = xrows[r][s];
+                for c in 0..QVW {
+                    acc[r][c] += xv * bk[c];
+                }
+            }
+        }
+        quant_store(&acc, od, n, i0, j0, b, f);
+    }
+}
+
+/// Runs the banded microkernel over all batch rows: full-height bands,
+/// then ONE monomorphized band sized to the row remainder. The shared
+/// tile kernel walks its remainder a row at a time, which is load-bound
+/// (each leftover row re-streams the whole weight matrix for two FMAs
+/// per step); sharing one weight stream across all leftover rows is
+/// worth ~10% on the serving plans, whose batch sizes are rarely
+/// multiples of the band height. The exact path can't adopt the same
+/// schedule without perturbing its codegen, which the plan-identity
+/// suite bit-pins.
+fn quant_axpy_fused(
+    x: &Matrix,
+    wp: &[f32],
+    np: usize,
+    bias: &Matrix,
+    out: &mut Matrix,
+    f: impl Fn(f32) -> f32,
+) {
+    let (m, inner) = x.shape();
+    let n = bias.cols();
+    let b = bias.data();
+    let xd = x.data();
+    let od = out.data_mut();
+    let mut i0 = 0;
+    while i0 + QMR <= m {
+        quant_axpy_band::<QMR>(xd, inner, wp, np, b, od, n, i0, &f);
+        i0 += QMR;
+    }
+    match m - i0 {
+        0 => {}
+        1 => quant_axpy_band::<1>(xd, inner, wp, np, b, od, n, i0, &f),
+        2 => quant_axpy_band::<2>(xd, inner, wp, np, b, od, n, i0, &f),
+        3 => quant_axpy_band::<3>(xd, inner, wp, np, b, od, n, i0, &f),
+        4 => quant_axpy_band::<4>(xd, inner, wp, np, b, od, n, i0, &f),
+        5 => quant_axpy_band::<5>(xd, inner, wp, np, b, od, n, i0, &f),
+        _ => unreachable!("remainder bounded by QMR"),
+    }
+}
+
+/// `act(x @ deq + b)` with the activation already resolved to a scalar
+/// closure: the padded microkernel when the output width is at most
+/// [`QUANT_PAD_MAX`], otherwise the same register-tiled matmul +
+/// cache-hot epilogue sequence the exact [`Instr::Affine`] arm runs.
+/// (Two designs measured and rejected on the serving shapes: a
+/// hand-rolled per-output dot-product kernel ran ~4x slower than the
+/// tiled matmul, and folding the epilogue into the *shared* tile
+/// kernel's writeback lost ~20% by bloating its codegen. The padded
+/// layout plus a quant-only clone of the tile kernel is what buys the
+/// honest edge — see [`QuantMatrix`].)
+fn quant_affine_fused(
+    x: &Matrix,
+    w: &QuantMatrix,
+    bias: &Matrix,
+    out: &mut Matrix,
+    f: impl Fn(f32) -> f32,
+) {
+    match &w.padded {
+        Some((np, off, p)) => quant_axpy_fused(x, &p[*off..], *np, bias, out, f),
+        None => {
+            x.matmul_into(&w.deq, out);
+            bias_act(bias, out, f);
+        }
+    }
+}
+
+/// Dispatches [`quant_affine_fused`] with the activation resolved once
+/// per instruction, monomorphizing the kernel per variant exactly like
+/// [`UnOp::run_bias_act`].
+fn quant_affine(x: &Matrix, w: &QuantMatrix, bias: &Matrix, act: Option<UnOp>, out: &mut Matrix) {
+    match act {
+        None => quant_affine_fused(x, w, bias, out, |v| v),
+        Some(UnOp::Relu) => quant_affine_fused(x, w, bias, out, fwd::relu),
+        Some(UnOp::LeakyRelu(al)) => {
+            quant_affine_fused(x, w, bias, out, |v| fwd::leaky_relu(v, al))
+        }
+        Some(UnOp::EluPlusOne) => quant_affine_fused(x, w, bias, out, fwd::elu_plus_one),
+        Some(UnOp::Softplus) => quant_affine_fused(x, w, bias, out, fwd::softplus),
+        Some(UnOp::Sigmoid) => quant_affine_fused(x, w, bias, out, fwd::sigmoid),
+        Some(UnOp::Tanh) => quant_affine_fused(x, w, bias, out, f32::tanh),
+        Some(UnOp::Exp) => quant_affine_fused(x, w, bias, out, fwd::exp_clamped),
+        Some(UnOp::LnEps(eps)) => quant_affine_fused(x, w, bias, out, |v| fwd::ln_eps(v, eps)),
+        Some(UnOp::Abs) => quant_affine_fused(x, w, bias, out, f32::abs),
+        Some(UnOp::Square) => quant_affine_fused(x, w, bias, out, |v| v * v),
+        Some(UnOp::Scale(al)) => quant_affine_fused(x, w, bias, out, |v| v * al),
+        Some(UnOp::AddScalar(c)) => quant_affine_fused(x, w, bias, out, |v| v + c),
+        Some(UnOp::Huber(d)) => quant_affine_fused(x, w, bias, out, |v| fwd::huber(v, d)),
+    }
+}
+
+/// CSR-over-input-channels form of a magnitude-pruned weight matrix: row
+/// `k` holds the surviving `(output column, value)` pairs of input
+/// channel `k`, so the kernel streams `out[i][·] += x[i][k] · row_k` like
+/// the dense axpy it replaces, touching only the survivors.
+#[derive(Debug)]
+struct SparseMatrix {
+    /// `row_ptr[k]..row_ptr[k+1]` spans input channel `k`'s entries.
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Builds the CSR form keeping entries with `|w| >= cut`.
+    fn prune(w: &Matrix, cut: f32) -> SparseMatrix {
+        let (rows, cols) = w.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for row in w.data().chunks_exact(cols) {
+            for (j, &v) in row.iter().enumerate() {
+                if v.abs() >= cut {
+                    col_idx.push(j as u32);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        SparseMatrix {
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Surviving (non-pruned) entry count.
+    fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+/// `act(x @ w + b)` with a CSR weight: per batch row, zero the output
+/// row, accumulate the surviving axpy terms, then run the same
+/// bias+activation epilogue as the dense affine.
+fn sparse_affine(x: &Matrix, w: &SparseMatrix, bias: &Matrix, act: Option<UnOp>, out: &mut Matrix) {
+    let inner = x.cols();
+    let cols = bias.cols();
+    for (orow, xrow) in out
+        .data_mut()
+        .chunks_exact_mut(cols)
+        .zip(x.data().chunks_exact(inner))
+    {
+        orow.fill(0.0);
+        for (k, &xv) in xrow.iter().enumerate() {
+            let span = w.row_ptr[k] as usize..w.row_ptr[k + 1] as usize;
+            for (&j, &v) in w.col_idx[span.clone()].iter().zip(&w.vals[span]) {
+                orow[j as usize] += xv * v;
+            }
+        }
+    }
+    match act {
+        None => bias_act(bias, out, |v| v),
+        Some(a) => a.run_bias_act(bias, out),
     }
 }
 
@@ -266,6 +742,26 @@ enum Instr {
         params: Arg,
         out: u32,
     },
+    /// Fused `act(x @ deq(w) + b)` over an int8-quantized baked weight;
+    /// `w` indexes the plan's quantized-constant table and accumulation
+    /// stays f32. Produced only by the int8 precision pass.
+    QuantAffine {
+        x: Arg,
+        w: u32,
+        b: Arg,
+        act: Option<UnOp>,
+        out: u32,
+    },
+    /// `act(x @ w + b)` over a magnitude-pruned CSR weight; `w` indexes
+    /// the plan's sparse-constant table. Produced only by the pruning
+    /// precision pass when enough weights die to make CSR pay.
+    SparseAffine {
+        x: Arg,
+        w: u32,
+        b: Arg,
+        act: Option<UnOp>,
+        out: u32,
+    },
 }
 
 impl Instr {
@@ -288,7 +784,9 @@ impl Instr {
             | Instr::Norml2 { out, .. }
             | Instr::PwlInterp { out, .. }
             | Instr::BlockLinear { out, .. }
-            | Instr::Lattice { out, .. } => out,
+            | Instr::Lattice { out, .. }
+            | Instr::QuantAffine { out, .. }
+            | Instr::SparseAffine { out, .. } => out,
         }
     }
 }
@@ -362,6 +860,14 @@ pub struct InferencePlan {
     /// `(RowSpec, cols)` per input, for shaping before the fill callback.
     input_shapes: Vec<(RowSpec, usize)>,
     outputs: Vec<Arg>,
+    /// Int8-quantized weights produced by the precision-lowering pass;
+    /// indexed by `Instr::QuantAffine`'s weight id.
+    qconsts: Vec<QuantMatrix>,
+    /// CSR weights produced by the pruning pass; indexed by
+    /// `Instr::SparseAffine`'s weight id.
+    sparse_consts: Vec<SparseMatrix>,
+    /// The precision this plan was lowered to.
+    precision: PlanPrecision,
 }
 
 /// Per-node classification produced during compilation.
@@ -395,181 +901,27 @@ impl InferencePlan {
         inputs: &[(Var, bool)],
         outputs: &[Var],
     ) -> Result<InferencePlan, PlanError> {
+        InferencePlan::compile_with(g, inputs, outputs, PlanPrecision::Exact)
+    }
+
+    /// [`compile`](InferencePlan::compile) with an explicit precision:
+    /// runs the shared pipeline (capture → DCE → lower/fuse → buffer
+    /// assignment), then the precision-lowering pass `precision` selects.
+    /// `PlanPrecision::Exact` skips the lowering pass entirely, so it is
+    /// bit-identical to [`compile`](InferencePlan::compile).
+    pub fn compile_with(
+        g: &Graph,
+        inputs: &[(Var, bool)],
+        outputs: &[Var],
+        precision: PlanPrecision,
+    ) -> Result<InferencePlan, PlanError> {
         let nodes = g.live_nodes();
-        let n = nodes.len();
-        for v in inputs
-            .iter()
-            .map(|(v, _)| *v)
-            .chain(outputs.iter().copied())
-        {
-            if v.0 >= n {
-                return err("stale Var (recorded before the last reset?)");
-            }
-        }
-
-        // ---- probe batch size from the batch-scaled inputs ----
-        let mut b0: Option<usize> = None;
-        for &(v, batch) in inputs {
-            if !matches!(nodes[v.0].op, Op::Leaf) {
-                return err("plan inputs must be constant leaves");
-            }
-            if nodes[v.0].param.is_some() {
-                return err("a parameter leaf cannot be a plan input");
-            }
-            if batch {
-                let rows = nodes[v.0].value.rows();
-                match b0 {
-                    None => b0 = Some(rows),
-                    Some(r) if r == rows => {}
-                    Some(r) => {
-                        return err(format!(
-                            "batch inputs disagree on probe rows: {r} vs {rows}"
-                        ))
-                    }
-                }
-            }
-        }
-
-        // ---- reachability from the outputs ----
-        let mut reachable = vec![false; n];
-        let mut stack: Vec<usize> = outputs.iter().map(|v| v.0).collect();
-        while let Some(i) = stack.pop() {
-            if reachable[i] {
-                continue;
-            }
-            reachable[i] = true;
-            for_each_input(&nodes[i].op, |j| stack.push(j));
-        }
-
-        // ---- use counts (among reachable consumers + output references) ----
-        let mut uses = vec![0usize; n];
-        for (i, node) in nodes.iter().enumerate() {
-            if reachable[i] {
-                for_each_input(&node.op, |j| uses[j] += 1);
-            }
-        }
-        let mut is_output = vec![false; n];
-        for v in outputs {
-            is_output[v.0] = true;
-        }
-
-        // ---- row-spec propagation + symbolic instruction emission ----
-        let mut spec: Vec<Option<RowSpec>> = vec![None; n];
-        let mut vals: Vec<NodeVal> = vec![NodeVal::None; n];
-        let mut consts: Vec<Matrix> = Vec::new();
-        // symbolic instrs: op template + output *node* id (buffer ids are
-        // assigned after fusion)
-        let mut sym: Vec<Option<(SymInstr, usize)>> = Vec::new();
-        // node id -> index into `sym` (for fusion lookups)
-        let mut producer: Vec<Option<usize>> = vec![None; n];
-        let input_pos: std::collections::HashMap<usize, (usize, bool)> = inputs
-            .iter()
-            .enumerate()
-            .map(|(k, &(v, batch))| (v.0, (k, batch)))
-            .collect();
-        let mut input_nodes: Vec<Option<usize>> = vec![None; inputs.len()];
-
-        for i in 0..n {
-            if !reachable[i] {
-                continue;
-            }
-            let node = &nodes[i];
-            let (rows, cols) = node.value.shape();
-            match node.op {
-                Op::Leaf => {
-                    if let Some(&(k, batch)) = input_pos.get(&i) {
-                        spec[i] = Some(if batch {
-                            RowSpec::Batch
-                        } else {
-                            RowSpec::Fixed(rows)
-                        });
-                        vals[i] = NodeVal::Node;
-                        input_nodes[k] = Some(i);
-                    } else if node.param.is_some() || Some(rows) != b0 || rows <= 1 {
-                        // parameter or genuine fixed constant: bake it
-                        spec[i] = Some(RowSpec::Fixed(rows));
-                        let c = consts.len() as u32;
-                        consts.push(node.value.clone());
-                        vals[i] = NodeVal::Const(c);
-                    } else {
-                        // constant leaf with the probe batch row count:
-                        // batch-broadcast — rows must be bit-identical
-                        let first = node.value.row(0);
-                        for r in 1..rows {
-                            if node.value.row(r) != first {
-                                return err(
-                                    "constant leaf has probe-batch rows but non-identical row \
-                                     contents; cannot batch-broadcast it",
-                                );
-                            }
-                        }
-                        spec[i] = Some(RowSpec::Batch);
-                        let c = consts.len() as u32;
-                        let mut row = Matrix::default();
-                        row.reset_shape(1, cols);
-                        row.data_mut().copy_from_slice(first);
-                        consts.push(row);
-                        vals[i] = NodeVal::Node;
-                        producer[i] = Some(sym.len());
-                        sym.push(Some((SymInstr::Broadcast { src: c }, i)));
-                    }
-                }
-                op => {
-                    let s = emit_op(&op, i, &spec, &mut sym, &mut producer, &uses, &is_output)?;
-                    spec[i] = Some(s);
-                    vals[i] = NodeVal::Node;
-                }
-            }
-        }
-
-        // ---- assign dense buffer ids: inputs first, then surviving
-        // instruction outputs in execution order (so operand < out) ----
-        let mut buf_of: Vec<Option<u32>> = vec![None; n];
-        let mut buf_shapes: Vec<(RowSpec, usize)> = Vec::new();
-        let mut input_bufs = Vec::with_capacity(inputs.len());
-        let mut input_shapes = Vec::with_capacity(inputs.len());
-        for (k, node) in input_nodes.iter().enumerate() {
-            let i = node.ok_or_else(|| {
-                PlanError(format!("input {k} is unreachable from the plan outputs"))
-            })?;
-            let id = buf_shapes.len() as u32;
-            buf_of[i] = Some(id);
-            let shape = (spec[i].expect("input classified"), nodes[i].value.cols());
-            buf_shapes.push(shape);
-            input_bufs.push(id);
-            input_shapes.push(shape);
-        }
-        let mut instrs = Vec::with_capacity(sym.len());
-        let arg_of = |i: usize, vals: &[NodeVal], buf_of: &[Option<u32>]| -> Arg {
-            match vals[i] {
-                NodeVal::Const(c) => Arg::Const(c),
-                _ => Arg::Buf(buf_of[i].expect("operand buffer assigned before use")),
-            }
-        };
-        for entry in sym.iter().flatten() {
-            let (template, out_node) = entry;
-            let id = buf_shapes.len() as u32;
-            buf_of[*out_node] = Some(id);
-            buf_shapes.push((
-                spec[*out_node].expect("output classified"),
-                nodes[*out_node].value.cols(),
-            ));
-            instrs.push(template.resolve(id, |i| arg_of(i, &vals, &buf_of)));
-        }
-
-        let outputs = outputs
-            .iter()
-            .map(|v| arg_of(v.0, &vals, &buf_of))
-            .collect();
-
-        Ok(InferencePlan {
-            instrs,
-            consts,
-            buf_shapes,
-            input_bufs,
-            input_shapes,
-            outputs,
-        })
+        let b0 = pass_capture(nodes, inputs, outputs)?;
+        let dce = pass_dce(nodes, outputs);
+        let lowered = pass_lower(nodes, inputs, b0, &dce)?;
+        let mut plan = pass_assign_buffers(nodes, inputs, outputs, precision, lowered)?;
+        pass_precision(&mut plan);
+        Ok(plan)
     }
 
     /// Number of run-time inputs.
@@ -586,6 +938,42 @@ impl InferencePlan {
     /// affine fusion) — diagnostics for tests and benches.
     pub fn num_instructions(&self) -> usize {
         self.instrs.len()
+    }
+
+    /// The precision this plan was lowered to.
+    pub fn precision(&self) -> PlanPrecision {
+        self.precision
+    }
+
+    /// Number of affines the int8 pass lowered to quantized kernels.
+    pub fn num_quantized(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::QuantAffine { .. }))
+            .count()
+    }
+
+    /// Number of affines the pruning pass lowered to CSR kernels.
+    pub fn num_sparse(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::SparseAffine { .. }))
+            .count()
+    }
+
+    /// Bytes held by the canonical int8 representation (quantized weights
+    /// plus per-channel scales) — the compressed footprint an int8
+    /// snapshot would ship, reported for diagnostics.
+    pub fn quantized_weight_bytes(&self) -> usize {
+        self.qconsts
+            .iter()
+            .map(|q| q.q.len() + 4 * q.scales.len())
+            .sum()
+    }
+
+    /// Surviving nonzero weight entries across all CSR-lowered affines.
+    pub fn sparse_nnz(&self) -> usize {
+        self.sparse_consts.iter().map(SparseMatrix::nnz).sum()
     }
 
     /// Replays the plan at `rows` batch rows.
@@ -688,6 +1076,12 @@ impl InferencePlan {
                 ..
             } => fwd::block_linear(val(input), val(weight), val(bias), out),
             Instr::Lattice { input, params, .. } => fwd::lattice(val(input), val(params), out),
+            Instr::QuantAffine { x, w, b, act, .. } => {
+                quant_affine(val(x), &self.qconsts[w as usize], val(b), act, out)
+            }
+            Instr::SparseAffine { x, w, b, act, .. } => {
+                sparse_affine(val(x), &self.sparse_consts[w as usize], val(b), act, out)
+            }
         }
     }
 }
@@ -845,6 +1239,414 @@ impl SymInstr {
                 params: arg(params),
                 out,
             },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The pass pipeline. Each pass is a free function over the probe tape
+// (`&[Node]`) or the partially-built plan; `compile_with` chains them.
+// ---------------------------------------------------------------------
+
+/// DCE facts shared by the later passes: which nodes any output depends
+/// on, how many reachable consumers each node has (fusion legality), and
+/// which nodes are plan outputs (fusion must not swallow them).
+struct Dce {
+    reachable: Vec<bool>,
+    uses: Vec<usize>,
+    is_output: Vec<bool>,
+}
+
+/// The lowering pass's product: per-node classification plus the fused
+/// symbolic program, with operands still named by node id.
+struct Lowered {
+    spec: Vec<Option<RowSpec>>,
+    vals: Vec<NodeVal>,
+    consts: Vec<Matrix>,
+    sym: Vec<Option<(SymInstr, usize)>>,
+    input_nodes: Vec<Option<usize>>,
+}
+
+/// Capture pass: validates the probe tape against the requested
+/// interface (live `Var`s, inputs are plain constant leaves) and reads
+/// the probe batch row count `B0` off the batch-scaled inputs.
+fn pass_capture(
+    nodes: &[Node],
+    inputs: &[(Var, bool)],
+    outputs: &[Var],
+) -> Result<Option<usize>, PlanError> {
+    let n = nodes.len();
+    for v in inputs
+        .iter()
+        .map(|(v, _)| *v)
+        .chain(outputs.iter().copied())
+    {
+        if v.0 >= n {
+            return err("stale Var (recorded before the last reset?)");
+        }
+    }
+    let mut b0: Option<usize> = None;
+    for &(v, batch) in inputs {
+        if !matches!(nodes[v.0].op, Op::Leaf) {
+            return err("plan inputs must be constant leaves");
+        }
+        if nodes[v.0].param.is_some() {
+            return err("a parameter leaf cannot be a plan input");
+        }
+        if batch {
+            let rows = nodes[v.0].value.rows();
+            match b0 {
+                None => b0 = Some(rows),
+                Some(r) if r == rows => {}
+                Some(r) => {
+                    return err(format!(
+                        "batch inputs disagree on probe rows: {r} vs {rows}"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(b0)
+}
+
+/// Dead-code-elimination pass: reachability from the outputs, use counts
+/// among reachable consumers, and the output set.
+fn pass_dce(nodes: &[Node], outputs: &[Var]) -> Dce {
+    let n = nodes.len();
+    let mut reachable = vec![false; n];
+    let mut stack: Vec<usize> = outputs.iter().map(|v| v.0).collect();
+    while let Some(i) = stack.pop() {
+        if reachable[i] {
+            continue;
+        }
+        reachable[i] = true;
+        for_each_input(&nodes[i].op, |j| stack.push(j));
+    }
+    let mut uses = vec![0usize; n];
+    for (i, node) in nodes.iter().enumerate() {
+        if reachable[i] {
+            for_each_input(&node.op, |j| uses[j] += 1);
+        }
+    }
+    let mut is_output = vec![false; n];
+    for v in outputs {
+        is_output[v.0] = true;
+    }
+    Dce {
+        reachable,
+        uses,
+        is_output,
+    }
+}
+
+/// Lowering pass: row-spec propagation, constant baking / batch
+/// broadcasting, and symbolic instruction emission with affine +
+/// activation fusion (via [`emit_op`]). The node-id → sym-index producer
+/// map the fusion peephole needs is local to this pass.
+fn pass_lower(
+    nodes: &[Node],
+    inputs: &[(Var, bool)],
+    b0: Option<usize>,
+    dce: &Dce,
+) -> Result<Lowered, PlanError> {
+    let n = nodes.len();
+    let mut spec: Vec<Option<RowSpec>> = vec![None; n];
+    let mut vals: Vec<NodeVal> = vec![NodeVal::None; n];
+    let mut consts: Vec<Matrix> = Vec::new();
+    // symbolic instrs: op template + output *node* id (buffer ids are
+    // assigned after fusion)
+    let mut sym: Vec<Option<(SymInstr, usize)>> = Vec::new();
+    // node id -> index into `sym` (for fusion lookups)
+    let mut producer: Vec<Option<usize>> = vec![None; n];
+    let input_pos: std::collections::HashMap<usize, (usize, bool)> = inputs
+        .iter()
+        .enumerate()
+        .map(|(k, &(v, batch))| (v.0, (k, batch)))
+        .collect();
+    let mut input_nodes: Vec<Option<usize>> = vec![None; inputs.len()];
+
+    for i in 0..n {
+        if !dce.reachable[i] {
+            continue;
+        }
+        let node = &nodes[i];
+        let (rows, cols) = node.value.shape();
+        match node.op {
+            Op::Leaf => {
+                if let Some(&(k, batch)) = input_pos.get(&i) {
+                    spec[i] = Some(if batch {
+                        RowSpec::Batch
+                    } else {
+                        RowSpec::Fixed(rows)
+                    });
+                    vals[i] = NodeVal::Node;
+                    input_nodes[k] = Some(i);
+                } else if node.param.is_some() || Some(rows) != b0 || rows <= 1 {
+                    // parameter or genuine fixed constant: bake it
+                    spec[i] = Some(RowSpec::Fixed(rows));
+                    let c = consts.len() as u32;
+                    consts.push(node.value.clone());
+                    vals[i] = NodeVal::Const(c);
+                } else {
+                    // constant leaf with the probe batch row count:
+                    // batch-broadcast — rows must be bit-identical
+                    let first = node.value.row(0);
+                    for r in 1..rows {
+                        if node.value.row(r) != first {
+                            return err(
+                                "constant leaf has probe-batch rows but non-identical row \
+                                 contents; cannot batch-broadcast it",
+                            );
+                        }
+                    }
+                    spec[i] = Some(RowSpec::Batch);
+                    let c = consts.len() as u32;
+                    let mut row = Matrix::default();
+                    row.reset_shape(1, cols);
+                    row.data_mut().copy_from_slice(first);
+                    consts.push(row);
+                    vals[i] = NodeVal::Node;
+                    producer[i] = Some(sym.len());
+                    sym.push(Some((SymInstr::Broadcast { src: c }, i)));
+                }
+            }
+            ref op => {
+                let s = emit_op(
+                    op,
+                    i,
+                    &spec,
+                    &mut sym,
+                    &mut producer,
+                    &dce.uses,
+                    &dce.is_output,
+                )?;
+                spec[i] = Some(s);
+                vals[i] = NodeVal::Node;
+            }
+        }
+    }
+    Ok(Lowered {
+        spec,
+        vals,
+        consts,
+        sym,
+        input_nodes,
+    })
+}
+
+/// Buffer-assignment pass: gives inputs then surviving instruction
+/// outputs dense buffer ids in execution order (so operand < out) and
+/// resolves the symbolic program into the final [`InferencePlan`].
+fn pass_assign_buffers(
+    nodes: &[Node],
+    inputs: &[(Var, bool)],
+    outputs: &[Var],
+    precision: PlanPrecision,
+    lowered: Lowered,
+) -> Result<InferencePlan, PlanError> {
+    let Lowered {
+        spec,
+        vals,
+        consts,
+        sym,
+        input_nodes,
+    } = lowered;
+    let n = nodes.len();
+    let mut buf_of: Vec<Option<u32>> = vec![None; n];
+    let mut buf_shapes: Vec<(RowSpec, usize)> = Vec::new();
+    let mut input_bufs = Vec::with_capacity(inputs.len());
+    let mut input_shapes = Vec::with_capacity(inputs.len());
+    for (k, node) in input_nodes.iter().enumerate() {
+        let i = node
+            .ok_or_else(|| PlanError(format!("input {k} is unreachable from the plan outputs")))?;
+        let id = buf_shapes.len() as u32;
+        buf_of[i] = Some(id);
+        let shape = (spec[i].expect("input classified"), nodes[i].value.cols());
+        buf_shapes.push(shape);
+        input_bufs.push(id);
+        input_shapes.push(shape);
+    }
+    let mut instrs = Vec::with_capacity(sym.len());
+    let arg_of = |i: usize, vals: &[NodeVal], buf_of: &[Option<u32>]| -> Arg {
+        match vals[i] {
+            NodeVal::Const(c) => Arg::Const(c),
+            _ => Arg::Buf(buf_of[i].expect("operand buffer assigned before use")),
+        }
+    };
+    for entry in sym.iter().flatten() {
+        let (template, out_node) = entry;
+        let id = buf_shapes.len() as u32;
+        buf_of[*out_node] = Some(id);
+        buf_shapes.push((
+            spec[*out_node].expect("output classified"),
+            nodes[*out_node].value.cols(),
+        ));
+        instrs.push(template.resolve(id, |i| arg_of(i, &vals, &buf_of)));
+    }
+
+    let outputs = outputs
+        .iter()
+        .map(|v| arg_of(v.0, &vals, &buf_of))
+        .collect();
+
+    Ok(InferencePlan {
+        instrs,
+        consts,
+        buf_shapes,
+        input_bufs,
+        input_shapes,
+        outputs,
+        qconsts: Vec::new(),
+        sparse_consts: Vec::new(),
+        precision,
+    })
+}
+
+/// Precision-lowering pass dispatcher: rewrites the resolved instruction
+/// stream according to the plan's requested [`PlanPrecision`]. `Exact` is
+/// the identity — the plan is left exactly as the shared pipeline built
+/// it, which is what keeps `Exact` bit-identical to the historical
+/// monolithic compiler.
+fn pass_precision(plan: &mut InferencePlan) {
+    match plan.precision {
+        PlanPrecision::Exact => {}
+        PlanPrecision::Bf16 => pass_bf16(plan),
+        PlanPrecision::Int8 => pass_int8(plan),
+        PlanPrecision::Pruned { threshold } => pass_pruned(plan, threshold),
+    }
+}
+
+/// Rounds an f32 to the nearest bf16-representable value (round to
+/// nearest, ties to even — the IEEE conversion). Plain truncation would
+/// bias every weight toward zero, and that bias accumulates through the
+/// models' prefix sums; RNE keeps the per-weight error unbiased and half
+/// the truncation ulp.
+fn bf16_round(v: f32) -> f32 {
+    let bits = v.to_bits();
+    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
+    f32::from_bits(rounded & 0xFFFF_0000)
+}
+
+/// bf16 pass: rounds every baked *weight* matrix (affine and
+/// block-linear) to bf16 via [`bf16_round`], leaving biases at full
+/// precision (they are added once per output, not multiplied `in` times,
+/// so shrinking them buys nothing and costs accuracy). A weight shared by
+/// several instructions is rounded once.
+fn pass_bf16(plan: &mut InferencePlan) {
+    let mut truncated: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let consts = &mut plan.consts;
+    let mut relink = |c: u32, consts: &mut Vec<Matrix>| -> u32 {
+        *truncated.entry(c).or_insert_with(|| {
+            let mut m = consts[c as usize].clone();
+            for v in m.data_mut() {
+                *v = bf16_round(*v);
+            }
+            consts.push(m);
+            (consts.len() - 1) as u32
+        })
+    };
+    for instr in &mut plan.instrs {
+        match instr {
+            Instr::Affine {
+                w: Arg::Const(c), ..
+            } => *c = relink(*c, consts),
+            Instr::BlockLinear {
+                weight: Arg::Const(c),
+                ..
+            } => *c = relink(*c, consts),
+            _ => {}
+        }
+    }
+}
+
+/// int8 pass: rewrites every affine with a baked weight into a
+/// [`Instr::QuantAffine`] over a per-output-channel symmetric int8
+/// [`QuantMatrix`], keeping accumulation in f32. Batch-bound or broadcast
+/// weights (none exist in practice — weights are parameters) are left
+/// alone, as are the non-affine ops.
+fn pass_int8(plan: &mut InferencePlan) {
+    for instr in &mut plan.instrs {
+        let Instr::Affine {
+            x,
+            w: Arg::Const(c),
+            b,
+            act,
+            out,
+        } = *instr
+        else {
+            continue;
+        };
+        let q = QuantMatrix::quantize(&plan.consts[c as usize]);
+        let id = plan.qconsts.len() as u32;
+        plan.qconsts.push(q);
+        *instr = Instr::QuantAffine {
+            x,
+            w: id,
+            b,
+            act,
+            out,
+        };
+    }
+}
+
+/// Minimum zeroed-entry fraction for the pruning pass to lower a weight
+/// into the CSR [`Instr::SparseAffine`] form; below it, a sparse replay
+/// would be slower than the dense matmul it replaces, so the pass keeps
+/// the dense kernel and just zeroes the pruned entries in a baked copy.
+const SPARSE_LOWER_BAR: f32 = 0.5;
+
+/// Magnitude-pruning pass: zeroes affine-weight entries with
+/// `|w| < threshold · max|w|`; weights that come out sufficiently sparse
+/// (≥ [`SPARSE_LOWER_BAR`] zeroed) are lowered into CSR
+/// [`Instr::SparseAffine`] instructions, the rest stay dense with the
+/// pruned entries zeroed in place.
+fn pass_pruned(plan: &mut InferencePlan, threshold: f32) {
+    for instr in &mut plan.instrs {
+        let Instr::Affine {
+            x,
+            w: Arg::Const(c),
+            b,
+            act,
+            out,
+        } = *instr
+        else {
+            continue;
+        };
+        let w = &plan.consts[c as usize];
+        let max_abs = w.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let cut = threshold * max_abs;
+        let total = w.data().len();
+        let zeroed = w.data().iter().filter(|v| v.abs() < cut).count();
+        if total == 0 || (zeroed as f32) < SPARSE_LOWER_BAR * total as f32 {
+            // not sparse enough to win with CSR: prune in a dense copy
+            if zeroed > 0 {
+                let mut pruned = w.clone();
+                for v in pruned.data_mut() {
+                    if v.abs() < cut {
+                        *v = 0.0;
+                    }
+                }
+                let id = plan.consts.len() as u32;
+                plan.consts.push(pruned);
+                *instr = Instr::Affine {
+                    x,
+                    w: Arg::Const(id),
+                    b,
+                    act,
+                    out,
+                };
+            }
+        } else {
+            let sparse = SparseMatrix::prune(w, cut);
+            let id = plan.sparse_consts.len() as u32;
+            plan.sparse_consts.push(sparse);
+            *instr = Instr::SparseAffine {
+                x,
+                w: id,
+                b,
+                act,
+                out,
+            };
         }
     }
 }
@@ -1187,5 +1989,186 @@ mod tests {
         let c = g.add(a, b);
         let e = InferencePlan::compile(&g, &[(a, true)], &[c]).unwrap_err();
         assert!(e.to_string().contains("cannot"), "{e}");
+    }
+
+    /// Every precision mode survives the `code()`/`from_code` and
+    /// `Display`/`FromStr` round trips; bad tokens are rejected.
+    #[test]
+    fn precision_round_trips() {
+        let modes = [
+            PlanPrecision::Exact,
+            PlanPrecision::Bf16,
+            PlanPrecision::Int8,
+            PlanPrecision::Pruned { threshold: 0.25 },
+        ];
+        for m in modes {
+            assert_eq!(PlanPrecision::from_code(m.code()), Some(m));
+            assert_eq!(m.to_string().parse::<PlanPrecision>(), Ok(m));
+        }
+        assert_eq!(PlanPrecision::default(), PlanPrecision::Exact);
+        assert!("fp64".parse::<PlanPrecision>().is_err());
+        assert!("pruned:1.5".parse::<PlanPrecision>().is_err());
+        assert!("pruned:x".parse::<PlanPrecision>().is_err());
+        assert!(PlanPrecision::from_code(99 << 32).is_none());
+    }
+
+    /// Shared tape fixture for the precision-lowering tests: a two-layer
+    /// MLP `relu(x@w1+b1)@w2+b2` whose weights span a wide magnitude
+    /// range, so pruning and quantization both have work to do.
+    fn mlp_fixture() -> (Graph, Var, Var) {
+        let mut g = Graph::new();
+        let xv = g.leaf_with(4, 6, |d| {
+            for (i, v) in d.iter_mut().enumerate() {
+                *v = ((i * 13 % 17) as f32 - 8.0) * 0.21;
+            }
+        });
+        let w1 = Matrix::from_fn(6, 8, |i, j| {
+            let v = ((i * 8 + j) as f32 * 0.7).sin();
+            v * if (i + j) % 3 == 0 { 1.0 } else { 0.02 }
+        });
+        let b1 = Matrix::from_fn(1, 8, |_, j| j as f32 * 0.05 - 0.2);
+        let w2 = Matrix::from_fn(8, 3, |i, j| ((i * 3 + j) as f32 * 1.3).cos() * 0.6);
+        let b2 = Matrix::from_fn(1, 3, |_, j| 0.1 - j as f32 * 0.04);
+        let w1v = g.leaf_ref(&w1);
+        let b1v = g.leaf_ref(&b1);
+        let w2v = g.leaf_ref(&w2);
+        let b2v = g.leaf_ref(&b2);
+        let mm1 = g.matmul(xv, w1v);
+        let a1 = g.add_row_vec(mm1, b1v);
+        let h = g.relu(a1);
+        let mm2 = g.matmul(h, w2v);
+        let y = g.add_row_vec(mm2, b2v);
+        (g, xv, y)
+    }
+
+    fn run_plan(plan: &InferencePlan, x: &Matrix) -> Vec<f32> {
+        let mut bufs = PlanBuffers::new();
+        let out = plan.run(&mut bufs, x.rows(), |_, m| {
+            m.data_mut().copy_from_slice(x.data())
+        });
+        out.output(0).data().to_vec()
+    }
+
+    /// `compile_with(Exact)` is the same compiler as `compile`: identical
+    /// instruction stream, bit-identical replay.
+    #[test]
+    fn exact_precision_is_bit_identical_to_compile() {
+        let (g, xv, y) = mlp_fixture();
+        let base = InferencePlan::compile(&g, &[(xv, true)], &[y]).unwrap();
+        let exact =
+            InferencePlan::compile_with(&g, &[(xv, true)], &[y], PlanPrecision::Exact).unwrap();
+        assert_eq!(base.num_instructions(), exact.num_instructions());
+        assert_eq!(exact.num_quantized() + exact.num_sparse(), 0);
+        let x = Matrix::from_fn(9, 6, |i, j| ((i * 6 + j) as f32).sin());
+        assert_eq!(run_plan(&base, &x), run_plan(&exact, &x));
+    }
+
+    /// The bf16 pass truncates weight mantissas (every surviving weight
+    /// value has a clean low half) while replay stays close to exact.
+    #[test]
+    fn bf16_pass_truncates_weights_only() {
+        let (g, xv, y) = mlp_fixture();
+        let exact = InferencePlan::compile(&g, &[(xv, true)], &[y]).unwrap();
+        let bf16 =
+            InferencePlan::compile_with(&g, &[(xv, true)], &[y], PlanPrecision::Bf16).unwrap();
+        assert_eq!(bf16.precision(), PlanPrecision::Bf16);
+        // the relinked weight consts are bf16-clean
+        let mut saw_truncated = false;
+        for instr in &bf16.instrs {
+            if let Instr::Affine {
+                w: Arg::Const(c), ..
+            } = instr
+            {
+                for v in bf16.consts[*c as usize].data() {
+                    assert_eq!(v.to_bits() & 0xFFFF, 0, "weight not truncated to bf16");
+                }
+                saw_truncated = true;
+            }
+        }
+        assert!(saw_truncated, "fixture must bake affine weights");
+        let x = Matrix::from_fn(9, 6, |i, j| ((i * 6 + j) as f32).cos());
+        let (e, b) = (run_plan(&exact, &x), run_plan(&bf16, &x));
+        for (ev, bv) in e.iter().zip(&b) {
+            assert!(
+                (ev - bv).abs() <= 0.01 * ev.abs().max(1.0),
+                "bf16 drifted: {ev} vs {bv}"
+            );
+        }
+    }
+
+    /// The int8 pass lowers every baked affine to `QuantAffine`, reports
+    /// its compressed footprint, and replays within quantization error.
+    #[test]
+    fn int8_pass_lowers_affines() {
+        let (g, xv, y) = mlp_fixture();
+        let exact = InferencePlan::compile(&g, &[(xv, true)], &[y]).unwrap();
+        let int8 =
+            InferencePlan::compile_with(&g, &[(xv, true)], &[y], PlanPrecision::Int8).unwrap();
+        assert_eq!(int8.num_quantized(), 2, "both MLP layers lower");
+        // 6*8 + 8*3 int8 weights, 8 + 3 f32 scales
+        assert_eq!(int8.quantized_weight_bytes(), 48 + 24 + 4 * 11);
+        let x = Matrix::from_fn(9, 6, |i, j| ((i * 6 + j) as f32 * 0.9).sin());
+        let (e, q) = (run_plan(&exact, &x), run_plan(&int8, &x));
+        for (ev, qv) in e.iter().zip(&q) {
+            assert!(
+                (ev - qv).abs() <= 0.05 * ev.abs().max(1.0),
+                "int8 drifted: {ev} vs {qv}"
+            );
+        }
+    }
+
+    /// Int8 quantization round-trips each weight within half a step of
+    /// its per-channel scale.
+    #[test]
+    fn quantize_error_is_bounded_by_scale() {
+        let w = Matrix::from_fn(7, 5, |i, j| ((i * 5 + j) as f32 * 0.13).sin() * 3.0);
+        let q = QuantMatrix::quantize(&w);
+        let (rows, cols) = w.shape();
+        for i in 0..rows {
+            for j in 0..cols {
+                let deq = q.deq.get(i, j);
+                assert!(
+                    (w.get(i, j) - deq).abs() <= 0.5 * q.scales[j] + 1e-6,
+                    "({i},{j}): {} vs {deq}",
+                    w.get(i, j)
+                );
+            }
+        }
+    }
+
+    /// An aggressive threshold lowers to CSR (`SparseAffine`); replay
+    /// equals the dense replay of the same zeroed weights bit for bit.
+    #[test]
+    fn pruning_pass_lowers_sparse_affines() {
+        let (g, xv, y) = mlp_fixture();
+        let pruned = InferencePlan::compile_with(
+            &g,
+            &[(xv, true)],
+            &[y],
+            PlanPrecision::Pruned { threshold: 0.5 },
+        )
+        .unwrap();
+        assert!(
+            pruned.num_sparse() >= 1,
+            "first layer (mostly tiny weights) must lower to CSR"
+        );
+        assert!(pruned.sparse_nnz() > 0);
+        // reference: dense plan over manually-pruned weights must agree
+        // exactly (the CSR kernel reorders nothing: it streams input
+        // channels in order, like the dense row-major matmul)
+        let x = Matrix::from_fn(6, 6, |i, j| ((i + j) as f32 * 0.31).cos());
+        let got = run_plan(&pruned, &x);
+        for v in &got {
+            assert!(v.is_finite());
+        }
+        // a gentle threshold stays dense but still zeroes entries
+        let gentle = InferencePlan::compile_with(
+            &g,
+            &[(xv, true)],
+            &[y],
+            PlanPrecision::Pruned { threshold: 0.01 },
+        )
+        .unwrap();
+        assert_eq!(gentle.num_sparse(), 0, "1% cut must stay dense");
     }
 }
