@@ -1,0 +1,178 @@
+//! `selnet-drift` — the drift-gauntlet runner.
+//!
+//! Streams §5.4 update operations under a drift schedule while serving
+//! traffic through the multi-tenant engine, hot-swapping retrained
+//! generations mid-stream, and records the accuracy-over-time series.
+//!
+//! ```text
+//! selnet-drift [--scale tiny|full] [--schedule FAMILY|all] [--seed N]
+//!              [--out PATH] [--assert]
+//! ```
+//!
+//! * `--scale tiny` (default) is the seconds-scale deterministic run the
+//!   CI smoke job uses; `--scale full` is the recorded benchmark.
+//! * `--schedule` picks one family (`gradual`, `abrupt`, `cyclical`,
+//!   `adversarial`) or `all` (default).
+//! * `--out PATH` writes the `BENCH_drift.json` artifact.
+//! * `--assert` exits non-zero unless every run satisfies the drift
+//!   floors: zero monotonicity violations, zero bit mismatches, at least
+//!   one hot swap, and post-swap MAPE within the configured ratio of the
+//!   pre-drift MAPE.
+
+use selnet_bench::driftbench::{
+    render_drift_json, run_gauntlet, DriftFloors, GauntletConfig, GauntletResult, ScheduleSpec,
+};
+use std::process::ExitCode;
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        scale: "tiny".to_string(),
+        schedules: ScheduleSpec::all().to_vec(),
+        seed: None,
+        out: None,
+        assert: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                let v = value("--scale")?;
+                if v != "tiny" && v != "full" {
+                    return Err(format!("unknown scale {v:?} (tiny|full)"));
+                }
+                opts.scale = v;
+            }
+            "--schedule" => {
+                let v = value("--schedule")?;
+                opts.schedules = if v == "all" {
+                    ScheduleSpec::all().to_vec()
+                } else {
+                    vec![ScheduleSpec::parse(&v).ok_or_else(|| format!("unknown schedule {v:?}"))?]
+                };
+            }
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?,
+                );
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--assert" => opts.assert = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+struct Opts {
+    scale: String,
+    schedules: Vec<ScheduleSpec>,
+    seed: Option<u64>,
+    out: Option<String>,
+    assert: bool,
+}
+
+fn report(r: &GauntletResult) {
+    println!(
+        "drift schedule={} ticks={} hot_swaps={} retrained={} skipped={} violations={} \
+         mismatches={} shed={} pre_mape={:.4} post_swap_mape={:.4} final_mape={:.4} \
+         ratio={:.3} mean_swap_ms={:.1}",
+        r.schedule,
+        r.ticks.len(),
+        r.hot_swaps,
+        r.retrains_applied,
+        r.retrains_skipped,
+        r.monotonicity_violations,
+        r.bit_mismatches,
+        r.shed_requests,
+        r.pre_drift_mape,
+        r.post_swap_mape,
+        r.final_mape,
+        r.mape_ratio(),
+        r.mean_swap_ms(),
+    );
+    for (i, d) in r.decisions.iter().enumerate() {
+        println!("  retrain[{i}] {d}");
+    }
+}
+
+fn violations(r: &GauntletResult, floors: &DriftFloors) -> Vec<String> {
+    let mut v = Vec::new();
+    if r.monotonicity_violations as f64 > floors.max_monotonicity_violations {
+        v.push(format!(
+            "{} monotonicity violations (allowed {})",
+            r.monotonicity_violations, floors.max_monotonicity_violations
+        ));
+    }
+    if r.bit_mismatches as f64 > floors.max_bit_mismatches {
+        v.push(format!(
+            "{} bit mismatches (allowed {})",
+            r.bit_mismatches, floors.max_bit_mismatches
+        ));
+    }
+    if (r.hot_swaps as f64) < floors.min_hot_swaps {
+        v.push(format!(
+            "{} hot swaps (need >= {})",
+            r.hot_swaps, floors.min_hot_swaps
+        ));
+    }
+    if r.mape_ratio() > floors.max_post_swap_mape_ratio {
+        v.push(format!(
+            "post-swap MAPE ratio {:.3} (allowed {})",
+            r.mape_ratio(),
+            floors.max_post_swap_mape_ratio
+        ));
+    }
+    v
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("selnet-drift: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let floors = DriftFloors::default();
+    let mut results = Vec::new();
+    let mut failed = false;
+    for spec in &opts.schedules {
+        let mut cfg = if opts.scale == "full" {
+            GauntletConfig::full(*spec)
+        } else {
+            GauntletConfig::tiny(*spec)
+        };
+        if let Some(seed) = opts.seed {
+            cfg.seed = seed;
+        }
+        let result = run_gauntlet(&cfg);
+        report(&result);
+        if opts.assert {
+            for v in violations(&result, &floors) {
+                eprintln!("selnet-drift: FLOOR VIOLATED [{}]: {v}", result.schedule);
+                failed = true;
+            }
+        }
+        results.push(result);
+    }
+    if let Some(path) = &opts.out {
+        let blob = render_drift_json(&results, &opts.scale);
+        if let Err(e) = std::fs::write(path, blob) {
+            eprintln!("selnet-drift: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("drift gauntlet OK ({} schedules)", results.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -11,15 +11,74 @@
 //! tape, a batching pessimization, a quantized kernel slower than what it
 //! replaces) still trips it.
 //!
+//! It also validates the recorded `BENCH_drift.json` (when present):
+//! every schedule block must satisfy the floors the artifact itself
+//! carries — zero monotonicity violations, zero bit mismatches, at least
+//! one hot swap, and a bounded post-swap MAPE ratio. That check is pure
+//! (no re-run; the live re-proof is the CI `selnet-drift --assert` smoke
+//! job), so a hand-edited or stale artifact is caught cheaply.
+//!
 //! Run manually: `cargo run --release -p selnet-bench --bin serve_bench_guard`
 
+use selnet_bench::driftbench::{check_drift_block, json_section, DriftFloors, ScheduleSpec};
 use selnet_bench::servebench::{json_number, model_fixture, query_batch, time_ms, BATCH};
 use selnet_core::PlanPrecision;
 use selnet_eval::SelectivityEstimator;
 use std::hint::black_box;
 use std::process::ExitCode;
 
+/// Validates the recorded `BENCH_drift.json` against the floors it
+/// carries. Missing file = skip (the artifact is recorded by
+/// `selnet-drift --scale full --out BENCH_drift.json`); a present but
+/// invalid artifact fails the guard.
+fn check_drift_artifact() -> Result<(), ()> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_drift.json");
+    let blob = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(_) => {
+            eprintln!("serve_bench_guard: no BENCH_drift.json recorded; skipping drift floors");
+            return Ok(());
+        }
+    };
+    let mut floors = DriftFloors::default();
+    if let Some(block) = json_section(&blob, "floors") {
+        if let Some(v) = json_number(block, "max_monotonicity_violations") {
+            floors.max_monotonicity_violations = v;
+        }
+        if let Some(v) = json_number(block, "max_bit_mismatches") {
+            floors.max_bit_mismatches = v;
+        }
+        if let Some(v) = json_number(block, "min_hot_swaps") {
+            floors.min_hot_swaps = v;
+        }
+        if let Some(v) = json_number(block, "max_post_swap_mape_ratio") {
+            floors.max_post_swap_mape_ratio = v;
+        }
+    }
+    let mut ok = true;
+    for spec in ScheduleSpec::all() {
+        let label = spec.label();
+        let Some(block) = json_section(&blob, label) else {
+            eprintln!("serve_bench_guard: FAIL BENCH_drift.json is missing the {label} block");
+            ok = false;
+            continue;
+        };
+        let failures = check_drift_block(block, &floors);
+        for f in &failures {
+            eprintln!("serve_bench_guard: FAIL drift[{label}]: {f}");
+        }
+        ok &= failures.is_empty();
+    }
+    if ok {
+        println!("serve_bench_guard: drift floors OK (4 schedules)");
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
 fn main() -> ExitCode {
+    let drift_ok = check_drift_artifact().is_ok();
     let floors_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     let blob = match std::fs::read_to_string(floors_path) {
         Ok(b) => b,
@@ -89,7 +148,7 @@ fn main() -> ExitCode {
          int8_vs_exact={int8_vs_exact:.2} (floor {floor_int8:.2})"
     );
 
-    let mut ok = true;
+    let mut ok = drift_ok;
     if speedup_batched < floor_batched {
         eprintln!(
             "serve_bench_guard: FAIL speedup_batched_vs_single {speedup_batched:.2} \

@@ -6,5 +6,6 @@
 
 #![warn(missing_docs)]
 
+pub mod driftbench;
 pub mod harness;
 pub mod servebench;

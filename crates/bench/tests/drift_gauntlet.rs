@@ -1,0 +1,131 @@
+//! Tier-1 drift gauntlet: the tiny-scale §5.4 update harness run as a
+//! deterministic test. The same code path `selnet-drift` executes at full
+//! scale must, at seconds scale, prove the serving invariants hold under
+//! every drift family — and that the recorded series replays bit-exactly.
+
+use selnet_bench::driftbench::{
+    check_drift_block, json_section, render_drift_json, run_gauntlet, DriftFloors, GauntletConfig,
+    ScheduleSpec,
+};
+
+/// Every drift family, tiny scale: no served reply may ever violate
+/// monotonicity or differ from the published generation's own evaluation,
+/// every schedule must hot-swap at least once with at least one applied
+/// retrain, and the post-swap accuracy must stay within the floors'
+/// head-room of the pre-drift accuracy.
+#[test]
+fn gauntlet_invariants_hold_for_every_schedule() {
+    let floors = DriftFloors::default();
+    let mut results = Vec::new();
+    for spec in ScheduleSpec::all() {
+        let r = run_gauntlet(&GauntletConfig::tiny(spec));
+        assert_eq!(
+            r.monotonicity_violations, 0,
+            "[{}] served replies must be monotone in t",
+            r.schedule
+        );
+        assert_eq!(
+            r.bit_mismatches, 0,
+            "[{}] served replies must be bit-identical to the published \
+             generation's estimate_many",
+            r.schedule
+        );
+        assert!(
+            r.hot_swaps >= 1,
+            "[{}] expected at least one hot swap, got {}",
+            r.schedule,
+            r.hot_swaps
+        );
+        assert!(
+            r.retrains_applied >= 1,
+            "[{}] forced-retrain policy must apply at least one retrain",
+            r.schedule
+        );
+        assert_eq!(
+            r.hot_swaps,
+            r.lineage.len(),
+            "[{}] lineage must record every swap",
+            r.schedule
+        );
+        assert!(
+            r.lineage.iter().all(|s| s.label == "spawn_update"),
+            "[{}] gauntlet swaps are all spawn_update-traced",
+            r.schedule
+        );
+        assert!(
+            r.mape_ratio() <= floors.max_post_swap_mape_ratio,
+            "[{}] post-swap MAPE ratio {:.3} above floor {}",
+            r.schedule,
+            r.mape_ratio(),
+            floors.max_post_swap_mape_ratio
+        );
+        assert!(
+            r.ticks.iter().all(|t| t.mape.is_finite() && t.mape >= 0.0),
+            "[{}] MAPE series must stay finite",
+            r.schedule
+        );
+        // generations never move backwards while the gauntlet swaps
+        let gens: Vec<u64> = r.ticks.iter().map(|t| t.generation).collect();
+        assert!(
+            gens.windows(2).all(|p| p[1] >= p[0]),
+            "[{}] generation series must be non-decreasing: {gens:?}",
+            r.schedule
+        );
+        results.push(r);
+    }
+
+    // the artifact the full-scale run records must pass its own guard
+    let blob = render_drift_json(&results, "tiny");
+    for r in &results {
+        let block = json_section(&blob, &r.schedule)
+            .unwrap_or_else(|| panic!("missing {} block", r.schedule));
+        let failures = check_drift_block(block, &floors);
+        assert!(failures.is_empty(), "[{}] {failures:?}", r.schedule);
+    }
+}
+
+/// The gauntlet is step-counted, not wall-clocked: two runs of the same
+/// config must produce bit-identical accuracy series, generations, and
+/// retrain decisions, even though real threads race a real engine in
+/// between.
+#[test]
+fn gauntlet_replays_bit_exactly() {
+    let cfg = GauntletConfig::tiny(ScheduleSpec::Abrupt);
+    let a = run_gauntlet(&cfg);
+    let b = run_gauntlet(&cfg);
+    assert_eq!(a.ticks.len(), b.ticks.len());
+    for (ta, tb) in a.ticks.iter().zip(&b.ticks) {
+        assert_eq!(ta.op_index, tb.op_index);
+        assert_eq!(ta.generation, tb.generation);
+        assert_eq!(ta.dataset_len, tb.dataset_len);
+        assert_eq!(
+            ta.mape.to_bits(),
+            tb.mape.to_bits(),
+            "MAPE series must replay bit-exactly at op {}",
+            ta.op_index
+        );
+        assert_eq!(ta.mae.to_bits(), tb.mae.to_bits());
+    }
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.hot_swaps, b.hot_swaps);
+    assert_eq!(a.pre_drift_mape.to_bits(), b.pre_drift_mape.to_bits());
+    assert_eq!(a.post_swap_mape.to_bits(), b.post_swap_mape.to_bits());
+}
+
+/// A different seed is a genuinely different run (the gauntlet is not
+/// accidentally constant), while the invariants still hold.
+#[test]
+fn gauntlet_seed_changes_the_stream_but_not_the_invariants() {
+    let mut cfg = GauntletConfig::tiny(ScheduleSpec::Gradual);
+    cfg.seed = 77;
+    let r = run_gauntlet(&cfg);
+    assert_eq!(r.monotonicity_violations, 0);
+    assert_eq!(r.bit_mismatches, 0);
+    assert!(r.hot_swaps >= 1);
+    let base = run_gauntlet(&GauntletConfig::tiny(ScheduleSpec::Gradual));
+    assert_ne!(
+        r.ticks.last().unwrap().mape.to_bits(),
+        base.ticks.last().unwrap().mape.to_bits(),
+        "different seeds should drift differently"
+    );
+}

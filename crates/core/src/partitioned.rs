@@ -890,6 +890,10 @@ pub(crate) fn continue_training(
     patience: usize,
     rng: &mut StdRng,
 ) -> TrainReport {
+    // The §5.4 stream mutates `ds` after the partitioning was built, so the
+    // positional assignments are stale (and too short after inserts).
+    // Re-derive them for the current records before labeling.
+    model.partitioning.refresh_assignments(ds);
     let part_labels = label_partitions(ds, &model.partitioning, train, kind, 0);
     let pairs = build_joint_pairs(
         train,

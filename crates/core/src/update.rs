@@ -76,6 +76,36 @@ impl UpdateDecision {
     pub fn retrained(&self) -> bool {
         matches!(self, UpdateDecision::Retrained { .. })
     }
+
+    /// Epochs actually run (0 for a skipped update).
+    pub fn epochs_run(&self) -> usize {
+        match self {
+            UpdateDecision::Skipped { .. } => 0,
+            UpdateDecision::Retrained { epochs_run, .. } => *epochs_run,
+        }
+    }
+
+    /// The post-decision reference validation MAE, if a retrain produced
+    /// one (`None` for skipped updates, which keep the old reference).
+    pub fn new_val_mae(&self) -> Option<f64> {
+        match self {
+            UpdateDecision::Skipped { .. } => None,
+            UpdateDecision::Retrained { new_val_mae, .. } => Some(*new_val_mae),
+        }
+    }
+
+    /// One-line outcome summary for swap lineage / gauntlet logs, e.g.
+    /// `skipped(drift=0.42)` or `retrained(epochs=5, val_mae=1.73)`.
+    pub fn summary(&self) -> String {
+        match self {
+            UpdateDecision::Skipped { mae_drift } => format!("skipped(drift={mae_drift:.3})"),
+            UpdateDecision::Retrained {
+                epochs_run,
+                new_val_mae,
+                ..
+            } => format!("retrained(epochs={epochs_run}, val_mae={new_val_mae:.3})"),
+        }
+    }
 }
 
 impl SelNetModel {

@@ -315,6 +315,60 @@ impl Partitioning {
         })
     }
 
+    /// Re-derives the per-point assignments for a dataset that may have
+    /// been **mutated** since the partitioning was built — records
+    /// inserted, deleted, or reordered by swap-remove (the §5.4 update
+    /// stream does all three). Build-time assignments are positional, so
+    /// after any mutation they are stale for every index, not just the
+    /// new ones.
+    ///
+    /// Each record joins the cluster of its best-covering ball region
+    /// (smallest `distance − radius` slack), and that region's radius
+    /// grows to cover the record: the intersection indicator therefore
+    /// stays **sound** under drift — a cluster holding an in-range record
+    /// can never be pruned — at the price of looser pruning as drifted
+    /// mass leaves the original regions. Random partitionings (all-ones
+    /// indicator, no geometry) re-assign by a deterministic hash of the
+    /// record bits, so refreshing is reproducible there too.
+    pub fn refresh_assignments(&mut self, ds: &Dataset) {
+        if self.regions.is_empty() {
+            self.assignments = (0..ds.len())
+                .map(|i| (hash_row(ds.row(i)) % self.k as u64) as usize)
+                .collect();
+            return;
+        }
+        let geo;
+        let geo_ref: &Dataset = match self.kind {
+            DistanceKind::Euclidean => ds,
+            DistanceKind::Cosine => {
+                let mut copy = ds.clone();
+                copy.normalize_rows();
+                geo = copy;
+                &geo
+            }
+        };
+        self.assignments.clear();
+        self.assignments.reserve(geo_ref.len());
+        for row in geo_ref.iter() {
+            let mut best: Option<(usize, usize, f32, f32)> = None;
+            for (c, cluster) in self.regions.iter().enumerate() {
+                for (j, region) in cluster.iter().enumerate() {
+                    let d = vectors::squared_euclidean(row, &region.center).sqrt();
+                    let slack = d - region.radius;
+                    if best.map(|(.., s)| slack < s).unwrap_or(true) {
+                        best = Some((c, j, d, slack));
+                    }
+                }
+            }
+            let (c, j, d, _) = best.expect("ball partitionings have at least one region");
+            let region = &mut self.regions[c][j];
+            region.radius = region.radius.max(d);
+            self.assignments.push(c);
+        }
+        // radii may have grown: restore the big-ball-first probe order
+        sort_regions_for_probing(&mut self.regions);
+    }
+
     /// The intersection indicator `f_c(x, t)`: `true` for every cluster the
     /// query ball could intersect. Always all-true for random partitioning.
     pub fn indicator(&self, x: &[f32], t: f32) -> Vec<bool> {
@@ -372,6 +426,20 @@ fn sort_regions_for_probing(regions: &mut [Vec<BallRegion>]) {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
     }
+}
+
+/// FNV-1a over the raw f32 bits of a record: a stable, build-independent
+/// hash so [`Partitioning::refresh_assignments`] can re-assign records of
+/// a Random partitioning deterministically.
+fn hash_row(row: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &v in row {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
 }
 
 /// Size caps that keep `load` from allocating absurd buffers for a
@@ -487,6 +555,94 @@ mod tests {
                 let ind = p.indicator(q, t);
                 for (i, row) in ds.iter().enumerate() {
                     if DistanceKind::Cosine.eval(q, row) <= t {
+                        assert!(ind[p.assignments()[i]]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// After a §5.4-style mutation (inserts past the build-time length plus
+    /// swap-removes that reorder survivors), `refresh_assignments` must
+    /// produce a valid assignment for every *current* record and keep the
+    /// indicator sound on the mutated data.
+    #[test]
+    fn refresh_assignments_covers_mutated_dataset() {
+        let mut ds = fasttext_like(&GeneratorConfig::new(200, 5, 3, 9));
+        for method in [
+            PartitionMethod::CoverTree { ratio: 0.05 },
+            PartitionMethod::KMeans,
+        ] {
+            let mut p = Partitioning::build(&ds.clone(), DistanceKind::Euclidean, method, 3, 5);
+            // grow: shifted copies of existing rows (out-of-region mass)
+            for i in 0..40 {
+                let mut row = ds.row(i).to_vec();
+                for v in &mut row {
+                    *v += 2.5;
+                }
+                ds.push(&row);
+            }
+            // shrink: swap-remove from the middle, reordering survivors
+            for _ in 0..15 {
+                ds.swap_remove(10);
+            }
+            p.refresh_assignments(&ds);
+            check_valid_partitioning(&p, ds.len());
+            // soundness on the mutated dataset, including drifted records
+            for qi in [0usize, ds.len() - 1] {
+                let q = ds.row(qi).to_vec();
+                for t in [0.5f32, 2.0] {
+                    let ind = p.indicator(&q, t);
+                    for (i, row) in ds.iter().enumerate() {
+                        if DistanceKind::Euclidean.eval(&q, row) <= t {
+                            let c = p.assignments()[i];
+                            assert!(ind[c], "cluster {c} pruned but holds in-range record {i}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_assignments_random_is_deterministic() {
+        let mut ds = fasttext_like(&GeneratorConfig::new(120, 4, 2, 3));
+        let mut p =
+            Partitioning::build(&ds, DistanceKind::Euclidean, PartitionMethod::Random, 4, 1);
+        let row = ds.row(0).to_vec();
+        ds.push(&row);
+        p.refresh_assignments(&ds);
+        check_valid_partitioning(&p, ds.len());
+        let first = p.assignments().to_vec();
+        p.refresh_assignments(&ds);
+        assert_eq!(first, p.assignments(), "hash re-assignment must be stable");
+        // indicator stays all-ones
+        assert_eq!(p.indicator(ds.row(0), 0.1), vec![true; 4]);
+    }
+
+    #[test]
+    fn refresh_assignments_cosine_stays_sound() {
+        let mut ds = face_like(&GeneratorConfig::new(150, 6, 3, 4));
+        let mut p = Partitioning::build(
+            &ds.clone(),
+            DistanceKind::Cosine,
+            PartitionMethod::CoverTree { ratio: 0.08 },
+            3,
+            2,
+        );
+        for i in 0..20 {
+            let mut row = ds.row(i).to_vec();
+            row.reverse();
+            ds.push(&row);
+        }
+        p.refresh_assignments(&ds);
+        check_valid_partitioning(&p, ds.len());
+        for qi in [0usize, ds.len() - 1] {
+            let q = ds.row(qi).to_vec();
+            for t in [0.1f32, 0.4] {
+                let ind = p.indicator(&q, t);
+                for (i, row) in ds.iter().enumerate() {
+                    if DistanceKind::Cosine.eval(&q, row) <= t {
                         assert!(ind[p.assignments()[i]]);
                     }
                 }

@@ -20,7 +20,7 @@
 //!    low-latency batches and heavy load fills up to `max_batch_rows`;
 //! 3. the worker groups the drained requests **per tenant**, binds each
 //!    tenant's model generation **and its
-//!    [`PlanPrecision`](selnet_tensor::PlanPrecision)** once, answers
+//!    [`PlanPrecision`]** once, answers
 //!    cache hits, flattens the misses into one
 //!    [`estimate_batch_into_at`](selnet_eval::SelectivityEstimator::estimate_batch_into_at)
 //!    call over that tenant's compiled (and precision-lowered) inference

@@ -69,5 +69,5 @@ pub mod stats;
 pub use cache::LruCache;
 pub use engine::{Engine, EngineConfig, Request, SubmitError, TenantStats};
 pub use protocol::{ErrorCode, ErrorReply, Frame, Response, TextQuery, WireVersion};
-pub use registry::{ModelRegistry, Tenant, UpdateHandle};
+pub use registry::{ModelRegistry, SwapRecord, Tenant, UpdateHandle};
 pub use stats::{ServeStats, StatsSnapshot};

@@ -26,6 +26,27 @@ use selnet_tensor::PlanPrecision;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Most-recent swap records a tenant keeps ([`Tenant::swap_log`]); older
+/// entries are dropped so a long-lived server's lineage stays bounded.
+const SWAP_LOG_CAP: usize = 512;
+
+/// One hot-swap observation: which generation was published, what
+/// published it, and how long the producing update ran. Wall-clock is
+/// *recorded* for reporting (the drift gauntlet's swap-latency series) —
+/// deterministic tests assert on generations and labels only.
+#[derive(Clone, Debug)]
+pub struct SwapRecord {
+    /// Generation number this swap published.
+    pub generation: u64,
+    /// Who published: `"spawn_update"` for background retrains, or the
+    /// caller-supplied label for explicit traced publishes.
+    pub label: String,
+    /// Wall-clock milliseconds the producing update ran (clone + retrain
+    /// + publish for background updates; 0 when unknown).
+    pub update_ms: f64,
+}
 
 /// The name under which [`ModelRegistry::new`] registers its single
 /// model, and the tenant unrouted (v1 / `model: None`) requests reach.
@@ -58,6 +79,9 @@ pub struct Tenant<M> {
     /// slot; readers bind it once per batch, like the generation.
     precision: RwLock<PlanPrecision>,
     stats: Arc<ServeStats>,
+    /// Generation lineage: one [`SwapRecord`] per traced publish, newest
+    /// last, capped at [`SWAP_LOG_CAP`].
+    swap_log: RwLock<Vec<SwapRecord>>,
 }
 
 impl<M> Tenant<M> {
@@ -68,6 +92,7 @@ impl<M> Tenant<M> {
             slot: RwLock::new((0, Arc::new(model))),
             precision: RwLock::new(PlanPrecision::Exact),
             stats: Arc::new(ServeStats::new()),
+            swap_log: RwLock::new(Vec::new()),
         }
     }
 
@@ -130,6 +155,32 @@ impl<M> Tenant<M> {
         guard.1 = model;
         guard.0
     }
+
+    /// [`Tenant::publish`] plus a [`SwapRecord`] in the tenant's lineage
+    /// log — how the gauntlet (and `spawn_update`) make hot swaps
+    /// observable. `update_ms` is the wall-clock cost of producing the
+    /// new model; pass 0 when unknown.
+    pub fn publish_traced(&self, model: M, label: &str, update_ms: f64) -> u64 {
+        let generation = self.publish(model);
+        let mut log = write_recover(&self.swap_log);
+        if log.len() >= SWAP_LOG_CAP {
+            let excess = log.len() + 1 - SWAP_LOG_CAP;
+            log.drain(..excess);
+        }
+        log.push(SwapRecord {
+            generation,
+            label: label.to_string(),
+            update_ms,
+        });
+        generation
+    }
+
+    /// The tenant's generation lineage: every traced publish since start
+    /// (or the most recent 512 of them), oldest first. Plain
+    /// [`Tenant::publish`] calls are not traced.
+    pub fn swap_log(&self) -> Vec<SwapRecord> {
+        read_recover(&self.swap_log).clone()
+    }
 }
 
 impl<M: Clone + Send + Sync + 'static> Tenant<M> {
@@ -149,9 +200,11 @@ impl<M: Clone + Send + Sync + 'static> Tenant<M> {
     {
         let tenant = Arc::clone(self);
         let join = std::thread::spawn(move || {
+            let started = Instant::now();
             let mut model = (*tenant.current().1).clone();
             let report = update(&mut model);
-            let generation = tenant.publish(model);
+            let update_ms = started.elapsed().as_secs_f64() * 1e3;
+            let generation = tenant.publish_traced(model, "spawn_update", update_ms);
             (report, generation)
         });
         UpdateHandle { join }
@@ -484,6 +537,69 @@ mod tests {
         // and publishing still works on the recovered slot
         assert_eq!(tenant.publish(9), 2);
         assert_eq!(*tenant.current().1, 9);
+    }
+
+    /// Direct regression for the precision-lock recovery path: a panic
+    /// while holding the precision guard must leave the tenant readable,
+    /// flippable, and still serving the last fully-written mode.
+    #[test]
+    fn poisoned_precision_lock_recovers() {
+        let reg = Arc::new(ModelRegistry::new(1u32));
+        let tenant = reg.default_tenant().unwrap();
+        tenant.set_precision(PlanPrecision::Bf16);
+        let t2 = Arc::clone(&tenant);
+        let _ = std::thread::spawn(move || {
+            let _guard = t2.precision.write().unwrap();
+            panic!("poison the precision lock");
+        })
+        .join();
+        // the critical section is a single store, so a poisoned lock
+        // still holds the last fully-written mode
+        assert_eq!(tenant.precision(), PlanPrecision::Bf16);
+        assert_eq!(
+            tenant.set_precision(PlanPrecision::Int8),
+            PlanPrecision::Bf16
+        );
+        assert_eq!(tenant.precision(), PlanPrecision::Int8);
+        // and the composite publish path works on the recovered lock
+        let generation = tenant.publish_with_precision(2, PlanPrecision::Exact);
+        assert_eq!(generation, 1);
+        assert_eq!(tenant.precision(), PlanPrecision::Exact);
+    }
+
+    #[test]
+    fn swap_log_records_lineage_in_order() {
+        let reg = Arc::new(ModelRegistry::new(0u32));
+        let tenant = reg.default_tenant().unwrap();
+        assert!(tenant.swap_log().is_empty());
+        tenant.publish(1); // untraced: must not appear in the lineage
+        tenant.publish_traced(2, "reload", 3.5);
+        let handle = tenant.spawn_update(|m| *m += 10);
+        let ((), generation) = handle.wait();
+        assert_eq!(generation, 3);
+        let log = tenant.swap_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!((log[0].generation, log[0].label.as_str()), (2, "reload"));
+        assert!((log[0].update_ms - 3.5).abs() < 1e-9);
+        assert_eq!(
+            (log[1].generation, log[1].label.as_str()),
+            (3, "spawn_update")
+        );
+        assert!(log[1].update_ms >= 0.0);
+    }
+
+    #[test]
+    fn swap_log_is_capped() {
+        let reg = Arc::new(ModelRegistry::new(0u64));
+        let tenant = reg.default_tenant().unwrap();
+        for i in 0..(SWAP_LOG_CAP as u64 + 40) {
+            tenant.publish_traced(i, "churn", 0.0);
+        }
+        let log = tenant.swap_log();
+        assert_eq!(log.len(), SWAP_LOG_CAP);
+        // newest records survive, oldest are dropped
+        assert_eq!(log.last().unwrap().generation, SWAP_LOG_CAP as u64 + 40);
+        assert_eq!(log[0].generation, 41);
     }
 
     /// Same for the tenant-map lock: a panic during lookup must not wedge

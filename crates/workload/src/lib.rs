@@ -14,15 +14,17 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod generate;
 pub mod partition_labels;
 pub mod query;
 pub mod rand_ext;
 pub mod update;
 
+pub use drift::{unit_direction, DriftFamily, DriftSchedule, DriftStep, Placement};
 pub use generate::{
     generate_workload, selectivity_ladder, sorted_distances, ThresholdScheme, WorkloadConfig,
 };
 pub use partition_labels::label_partitions;
 pub use query::{LabeledQuery, PartitionedLabels, Workload};
-pub use update::{UpdateOp, UpdateSimulator};
+pub use update::{SimulatorSnapshot, UpdateOp, UpdateSimulator};

@@ -7,6 +7,7 @@
 //! data" — is done *incrementally* here: an inserted/deleted record `o`
 //! changes the label of `(x, t)` by ±1 exactly when `d(x, o) <= t`.
 
+use crate::drift::{DriftStep, Placement};
 use crate::query::LabeledQuery;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +46,22 @@ pub struct UpdateSimulator {
     pub noise: f32,
 }
 
+/// A resumable snapshot of an [`UpdateSimulator`]: the full RNG state
+/// plus the op-generation knobs. [`UpdateSimulator::restore`] rebuilds a
+/// simulator whose op stream continues **bit-for-bit** where the snapshot
+/// was taken — how an interrupted drift gauntlet replays exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimulatorSnapshot {
+    /// Opaque RNG state words (see `StdRng::state`).
+    pub rng_state: [u64; 4],
+    /// Records per operation.
+    pub batch: usize,
+    /// Probability an operation is an insertion.
+    pub insert_prob: f64,
+    /// Noise scale for synthesized insertions.
+    pub noise: f32,
+}
+
 impl UpdateSimulator {
     /// Creates a simulator matching the paper's §7.6 setting: 5 records per
     /// op, balanced inserts/deletes.
@@ -57,6 +74,35 @@ impl UpdateSimulator {
         }
     }
 
+    /// The simulator's RNG state at this instant. Pair with the op index
+    /// to checkpoint a gauntlet (drift schedules are pure functions of the
+    /// op index and carry no RNG of their own).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Captures a resumable snapshot of the simulator.
+    pub fn snapshot(&self) -> SimulatorSnapshot {
+        SimulatorSnapshot {
+            rng_state: self.rng.state(),
+            batch: self.batch,
+            insert_prob: self.insert_prob,
+            noise: self.noise,
+        }
+    }
+
+    /// Rebuilds a simulator from a [`SimulatorSnapshot`]; the resumed op
+    /// stream is bit-identical to the one the snapshotted simulator would
+    /// have produced.
+    pub fn restore(snap: &SimulatorSnapshot) -> Self {
+        UpdateSimulator {
+            rng: StdRng::from_state(snap.rng_state),
+            batch: snap.batch,
+            insert_prob: snap.insert_prob,
+            noise: snap.noise,
+        }
+    }
+
     /// Applies one operation to `ds`, incrementally fixing the labels of
     /// every query in `splits`. Returns the applied operation.
     pub fn step(
@@ -65,20 +111,32 @@ impl UpdateSimulator {
         splits: &mut [&mut [LabeledQuery]],
         kind: DistanceKind,
     ) -> UpdateOp {
-        let insert = self.rng.gen_bool(self.insert_prob) || ds.len() <= self.batch;
+        // the un-drifted baseline: same stream as a zero-shift drift step
+        let spec = DriftStep {
+            insert_prob: self.insert_prob,
+            noise: self.noise,
+            placement: Placement::Shifted(vec![0.0; ds.dim()]),
+        };
+        self.step_drifted(ds, splits, kind, &spec)
+    }
+
+    /// Applies one operation under a drift schedule's per-op [`DriftStep`]:
+    /// inserted records are placed where the schedule says (template +
+    /// shift, or on an adversarial distance shell), deletions stay uniform
+    /// — the insertion flow is what drags the distribution. Labels in
+    /// `splits` are kept exact incrementally, same as [`UpdateSimulator::step`].
+    pub fn step_drifted(
+        &mut self,
+        ds: &mut Dataset,
+        splits: &mut [&mut [LabeledQuery]],
+        kind: DistanceKind,
+        spec: &DriftStep,
+    ) -> UpdateOp {
+        let insert = self.rng.gen_bool(spec.insert_prob) || ds.len() <= self.batch;
         if insert {
             let mut records = Vec::with_capacity(self.batch);
             for _ in 0..self.batch {
-                let template = self.rng.gen_range(0..ds.len());
-                let mut v = ds.row(template).to_vec();
-                for x in &mut v {
-                    // Box-Muller noise
-                    let u1: f32 = self.rng.gen_range(f32::MIN_POSITIVE..1.0);
-                    let u2: f32 = self.rng.gen_range(0.0..1.0);
-                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
-                    *x += z * self.noise;
-                }
-                records.push(v);
+                records.push(self.synthesize(ds, spec));
             }
             for r in &records {
                 ds.push(r);
@@ -94,6 +152,43 @@ impl UpdateSimulator {
                 records.push(removed);
             }
             UpdateOp::Delete(records)
+        }
+    }
+
+    /// One standard-normal draw (Box–Muller).
+    fn randn(&mut self) -> f32 {
+        let u1: f32 = self.rng.gen_range(f32::MIN_POSITIVE..1.0);
+        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Synthesizes one inserted record according to the step's placement.
+    fn synthesize(&mut self, ds: &Dataset, spec: &DriftStep) -> Vec<f32> {
+        match &spec.placement {
+            Placement::Shifted(shift) => {
+                let template = self.rng.gen_range(0..ds.len());
+                let mut v = ds.row(template).to_vec();
+                for (j, x) in v.iter_mut().enumerate() {
+                    *x += self.randn() * spec.noise + shift[j];
+                }
+                v
+            }
+            Placement::Shell { center, radius } => {
+                // a uniformly random direction scaled to the shell radius:
+                // the §2401.06047-style inverse construction — mass placed
+                // at exact distance `radius` from the probe query makes the
+                // true selectivity surface jump sharply at t = radius
+                let mut dir: Vec<f32> = (0..center.len()).map(|_| self.randn()).collect();
+                let norm = dir.iter().map(|d| d * d).sum::<f32>().sqrt().max(1e-12);
+                for d in &mut dir {
+                    *d /= norm;
+                }
+                center
+                    .iter()
+                    .zip(&dir)
+                    .map(|(&c, &d)| c + d * radius + self.randn() * spec.noise * 0.01)
+                    .collect()
+            }
         }
     }
 }

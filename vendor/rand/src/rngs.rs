@@ -35,6 +35,24 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// The generator's full internal state. Together with
+    /// [`StdRng::from_state`] this supports exact snapshot/resume of a
+    /// random stream (the drift gauntlet replays interrupted runs this
+    /// way). The real `rand` crate exposes the equivalent through serde
+    /// on `StdRng`; call sites should treat the four words as opaque.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`StdRng::state`].
+    /// The restored stream continues bit-for-bit where the snapshot was
+    /// taken.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
