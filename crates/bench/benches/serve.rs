@@ -75,6 +75,8 @@ fn bench_serve_throughput(c: &mut Criterion) {
             cache_entries: 0,
             auto_batch_min_rows: 0,
             max_queue_rows: 0, // unbounded: the bench measures service, not shedding
+            slow_query_us: 0,
+            trace_buffer: 0,
         },
     );
     let mut group = c.benchmark_group("serve_engine");
@@ -175,6 +177,8 @@ fn bench_record(_c: &mut Criterion) {
             cache_entries: 0,
             auto_batch_min_rows: 0,
             max_queue_rows: 0,
+            slow_query_us: 0,
+            trace_buffer: 0,
         },
     );
     let engine_batch = time_ms(10, 10, || {

@@ -96,6 +96,20 @@ fn report(r: &GauntletResult) {
         r.mape_ratio(),
         r.mean_swap_ms(),
     );
+    println!(
+        "  queue_depth rows: p50={} p99={} max={} samples={}",
+        r.queue_depth.quantile(0.50),
+        r.queue_depth.quantile(0.99),
+        r.queue_depth.max,
+        r.queue_depth.count,
+    );
+    println!(
+        "  swap latency us: p50={} p99={} max={} samples={}",
+        r.swap_latency_us.quantile(0.50),
+        r.swap_latency_us.quantile(0.99),
+        r.swap_latency_us.max,
+        r.swap_latency_us.count,
+    );
     for (i, d) in r.decisions.iter().enumerate() {
         println!("  retrain[{i}] {d}");
     }
@@ -126,6 +140,18 @@ fn violations(r: &GauntletResult, floors: &DriftFloors) -> Vec<String> {
             "post-swap MAPE ratio {:.3} (allowed {})",
             r.mape_ratio(),
             floors.max_post_swap_mape_ratio
+        ));
+    }
+    if (r.queue_depth.count as f64) < floors.min_queue_depth_samples {
+        v.push(format!(
+            "{} queue-depth samples (need >= {})",
+            r.queue_depth.count, floors.min_queue_depth_samples
+        ));
+    }
+    if (r.swap_latency_us.count as f64) < floors.min_hot_swaps {
+        v.push(format!(
+            "{} retrain-latency samples (need >= {}: every publish must land in the histogram)",
+            r.swap_latency_us.count, floors.min_hot_swaps
         ));
     }
     v

@@ -11,7 +11,9 @@
 //! tape, a batching pessimization, a quantized kernel slower than what it
 //! replaces) still trips it.
 //!
-//! It also validates the recorded `BENCH_drift.json` (when present):
+//! It also bounds the flight recorder (`obs_overhead_max` /
+//! `obs_slowpath_max`, see [`check_obs_overhead`]) and validates the
+//! recorded `BENCH_drift.json` (when present):
 //! every schedule block must satisfy the floors the artifact itself
 //! carries — zero monotonicity violations, zero bit mismatches, at least
 //! one hot swap, and a bounded post-swap MAPE ratio. That check is pure
@@ -22,10 +24,13 @@
 
 use selnet_bench::driftbench::{check_drift_block, json_section, DriftFloors, ScheduleSpec};
 use selnet_bench::servebench::{json_number, model_fixture, query_batch, time_ms, BATCH};
-use selnet_core::PlanPrecision;
+use selnet_core::{PartitionedSelNet, PlanPrecision};
 use selnet_eval::SelectivityEstimator;
+use selnet_serve::engine::{Engine, EngineConfig, Request};
+use selnet_serve::registry::ModelRegistry;
 use std::hint::black_box;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Validates the recorded `BENCH_drift.json` against the floors it
 /// carries. Missing file = skip (the artifact is recorded by
@@ -54,6 +59,9 @@ fn check_drift_artifact() -> Result<(), ()> {
         if let Some(v) = json_number(block, "max_post_swap_mape_ratio") {
             floors.max_post_swap_mape_ratio = v;
         }
+        if let Some(v) = json_number(block, "min_queue_depth_samples") {
+            floors.min_queue_depth_samples = v;
+        }
     }
     let mut ok = true;
     for spec in ScheduleSpec::all() {
@@ -77,6 +85,101 @@ fn check_drift_artifact() -> Result<(), ()> {
     }
 }
 
+/// The observability overhead guards, timed as medians of per-round
+/// paired ratios against an engine with every knob off —
+/// frequency/thermal drift and scheduler luck are common-mode within a
+/// round, so pairing cancels what independent timings cannot. Two
+/// configurations, two floors:
+///
+/// * **armed** (`obs_overhead_max`, the ≤ 3% contract): span ring on,
+///   slow-query log on at a tail-calibrated threshold no sub-millisecond
+///   request crosses. This is what untraced production traffic pays with
+///   the flight recorder fully armed — histograms, counters, batch-stage
+///   spans, trace minting, and the per-request slow check. Per-request
+///   spans are deliberately absent: those are sampled, paid only by
+///   requests that bring a trace ID.
+/// * **stress** (`obs_slowpath_max`): a 1µs threshold routes **every**
+///   reply through the slow path (a bounded Mutex log push per request —
+///   at 600k+ req/s, a rate no real threshold produces). Not part of the
+///   3% contract, but bounded so the slow path can never silently grow a
+///   syscall, an allocation, or an O(n) push.
+fn check_obs_overhead(
+    model: &PartitionedSelNet,
+    xs: &[Vec<f32>],
+    ts: &[f32],
+    floor_armed: f64,
+    floor_stress: f64,
+) -> Result<(), ()> {
+    let start = |slow_query_us: u64, trace_buffer: usize| {
+        Engine::start(
+            Arc::new(ModelRegistry::new(model.clone())),
+            &EngineConfig {
+                workers: 1,
+                shards: 1,
+                max_batch_rows: BATCH,
+                cache_entries: 0,
+                auto_batch_min_rows: 0,
+                max_queue_rows: 0,
+                slow_query_us,
+                trace_buffer,
+            },
+        )
+    };
+    let off = start(0, 0);
+    let armed = start(50_000, 4096);
+    let stress = start(1, 4096);
+
+    let wave = |engine: &Arc<Engine<PartitionedSelNet>>| {
+        let handles: Vec<_> = (0..BATCH)
+            .map(|i| {
+                engine
+                    .submit(Request::new(xs[i].clone()).thresholds(vec![ts[i]]))
+                    .expect("engine running")
+            })
+            .collect();
+        for h in handles {
+            black_box(h.wait().expect("served"));
+        }
+    };
+    for _ in 0..8 {
+        wave(&armed);
+        wave(&stress);
+        wave(&off);
+    }
+    let mut armed_ratios = Vec::with_capacity(48);
+    let mut stress_ratios = Vec::with_capacity(48);
+    for _ in 0..48 {
+        let t_off = time_ms(1, 4, || wave(&off));
+        armed_ratios.push(time_ms(1, 4, || wave(&armed)) / t_off);
+        stress_ratios.push(time_ms(1, 4, || wave(&stress)) / t_off);
+    }
+    armed_ratios.sort_by(f64::total_cmp);
+    stress_ratios.sort_by(f64::total_cmp);
+    let m_armed = armed_ratios[armed_ratios.len() / 2];
+    let m_stress = stress_ratios[stress_ratios.len() / 2];
+    off.shutdown();
+    armed.shutdown();
+    stress.shutdown();
+    println!(
+        "serve_bench_guard: obs_overhead armed {m_armed:.4} (floor <= {floor_armed:.2}), \
+         every-request-slow stress {m_stress:.4} (floor <= {floor_stress:.2})"
+    );
+    let mut ok = true;
+    if m_armed > floor_armed {
+        eprintln!("serve_bench_guard: FAIL obs overhead {m_armed:.4} > {floor_armed:.2}");
+        ok = false;
+    }
+    if m_stress > floor_stress {
+        eprintln!("serve_bench_guard: FAIL obs slow-path stress {m_stress:.4} > {floor_stress:.2}");
+        ok = false;
+    }
+    if ok {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
 fn main() -> ExitCode {
     let drift_ok = check_drift_artifact().is_ok();
     let floors_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
@@ -91,6 +194,8 @@ fn main() -> ExitCode {
     let floor_batched = json_number(floors, "speedup_batched_vs_single").unwrap_or(2.0);
     let floor_plan = json_number(floors, "plan_vs_tape").unwrap_or(1.05);
     let floor_int8 = json_number(floors, "int8_vs_exact").unwrap_or(1.0);
+    let floor_obs = json_number(floors, "obs_overhead_max").unwrap_or(1.03);
+    let floor_slowpath = json_number(floors, "obs_slowpath_max").unwrap_or(1.25);
 
     eprintln!("serve_bench_guard: training fixture...");
     let (ds, model) = model_fixture();
@@ -166,6 +271,7 @@ fn main() -> ExitCode {
         );
         ok = false;
     }
+    ok &= check_obs_overhead(&model, &xs, &ts, floor_obs, floor_slowpath).is_ok();
     if ok {
         println!("serve_bench_guard: OK");
         ExitCode::SUCCESS

@@ -36,6 +36,7 @@ use selnet_core::{
 use selnet_data::generators::{fasttext_like, GeneratorConfig};
 use selnet_eval::{MetricsAccumulator, SelectivityEstimator};
 use selnet_metric::DistanceKind;
+use selnet_obs::{Histogram, HistogramSnapshot};
 use selnet_serve::engine::{Engine, EngineConfig, Request, SubmitError};
 use selnet_serve::registry::{ModelRegistry, SwapRecord, Tenant};
 use selnet_workload::{
@@ -183,6 +184,8 @@ impl GauntletConfig {
             cache_entries: 32,
             auto_batch_min_rows: 0,
             max_queue_rows: 4096,
+            slow_query_us: 0,
+            trace_buffer: 0,
         }
     }
 
@@ -285,6 +288,14 @@ pub struct GauntletResult {
     pub decisions: Vec<String>,
     /// The accuracy-over-time series.
     pub ticks: Vec<TickRecord>,
+    /// Queued-rows depth, sampled at every tick and throughout each
+    /// mid-retrain traffic pump (log-bucketed; quantiles are
+    /// bucket-exact).
+    pub queue_depth: HistogramSnapshot,
+    /// Swap (producing-retrain) latency in microseconds, straight from
+    /// the tenant's `selnet_retrain_us` histogram — the same series the
+    /// serving fleet exposes over `?metrics`.
+    pub swap_latency_us: HistogramSnapshot,
 }
 
 impl GauntletResult {
@@ -449,6 +460,7 @@ pub fn run_gauntlet(cfg: &GauntletConfig) -> GauntletResult {
     let mut sim = UpdateSimulator::new(cfg.seed ^ 0xd21f7);
     sim.batch = scale.op_batch;
 
+    let queue_depth = Histogram::new();
     let mut ticks = Vec::new();
     ticks.push(measure(&engine, &tenant, &eval, 0, ds.len()));
     let pre_drift_mape = ticks[0].mape;
@@ -481,6 +493,7 @@ pub fn run_gauntlet(cfg: &GauntletConfig) -> GauntletResult {
                 m.check_and_update(&ds_c, kind, &train_c, &valid_c, &policy)
             });
             while !handle.is_finished() {
+                queue_depth.record(engine.queued_rows_total());
                 for q in &eval {
                     let got = engine.serve_blocking(&request(q)).expect("engine running");
                     // mid-retrain replies come from whichever complete
@@ -499,6 +512,7 @@ pub fn run_gauntlet(cfg: &GauntletConfig) -> GauntletResult {
             }
             decisions.push(decision.summary());
         }
+        queue_depth.record(engine.queued_rows_total());
         let record = measure(&engine, &tenant, &eval, op, ds.len());
         if retrain {
             post_swap_mape = record.mape;
@@ -508,6 +522,7 @@ pub fn run_gauntlet(cfg: &GauntletConfig) -> GauntletResult {
 
     let lineage = tenant.swap_log();
     let shed_requests = tenant.stats().snapshot().shed_requests;
+    let swap_latency_us = tenant.stats().retrain_histogram();
     engine.shutdown();
 
     let final_mape = ticks.last().expect("at least the baseline tick").mape;
@@ -531,6 +546,8 @@ pub fn run_gauntlet(cfg: &GauntletConfig) -> GauntletResult {
         lineage,
         decisions,
         ticks,
+        queue_depth: queue_depth.snapshot(),
+        swap_latency_us,
     }
 }
 
@@ -544,6 +561,10 @@ pub struct DriftFloors {
     pub min_hot_swaps: f64,
     /// Maximum allowed `post_swap_mape / pre_drift_mape`.
     pub max_post_swap_mape_ratio: f64,
+    /// Minimum queue-depth histogram samples (the gauntlet samples at
+    /// every tick, so an empty histogram means the instrumentation came
+    /// unwired).
+    pub min_queue_depth_samples: f64,
 }
 
 impl Default for DriftFloors {
@@ -553,6 +574,7 @@ impl Default for DriftFloors {
             max_bit_mismatches: 0.0,
             min_hot_swaps: 1.0,
             max_post_swap_mape_ratio: 4.0,
+            min_queue_depth_samples: 1.0,
         }
     }
 }
@@ -633,8 +655,40 @@ pub fn render_drift_json(results: &[GauntletResult], scale: &str) -> String {
             json_u64_series(r.ticks.iter().map(|t| t.generation))
         ));
         out.push_str(&format!(
-            "      \"swap_ms_series\": {}\n",
+            "      \"swap_ms_series\": {},\n",
             json_f64_series(r.lineage.iter().map(|s| s.update_ms))
+        ));
+        out.push_str(&format!(
+            "      \"queue_depth_p50\": {},\n",
+            r.queue_depth.quantile(0.50)
+        ));
+        out.push_str(&format!(
+            "      \"queue_depth_p99\": {},\n",
+            r.queue_depth.quantile(0.99)
+        ));
+        out.push_str(&format!(
+            "      \"queue_depth_max\": {},\n",
+            r.queue_depth.max
+        ));
+        out.push_str(&format!(
+            "      \"queue_depth_samples\": {},\n",
+            r.queue_depth.count
+        ));
+        out.push_str(&format!(
+            "      \"swap_us_p50\": {},\n",
+            r.swap_latency_us.quantile(0.50)
+        ));
+        out.push_str(&format!(
+            "      \"swap_us_p99\": {},\n",
+            r.swap_latency_us.quantile(0.99)
+        ));
+        out.push_str(&format!(
+            "      \"swap_us_max\": {},\n",
+            r.swap_latency_us.max
+        ));
+        out.push_str(&format!(
+            "      \"swap_us_samples\": {}\n",
+            r.swap_latency_us.count
         ));
         out.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -659,6 +713,10 @@ pub fn render_drift_json(results: &[GauntletResult], scale: &str) -> String {
     out.push_str(&format!(
         "    \"max_post_swap_mape_ratio\": {},\n",
         floors.max_post_swap_mape_ratio
+    ));
+    out.push_str(&format!(
+        "    \"min_queue_depth_samples\": {},\n",
+        floors.min_queue_depth_samples
     ));
     out.push_str(
         "    \"note\": \"Enforced by serve_bench_guard against the recorded blocks above, \
@@ -723,6 +781,18 @@ pub fn check_drift_block(block: &str, floors: &DriftFloors) -> Vec<String> {
         &|v| v <= floors.max_post_swap_mape_ratio,
         format!("<= {}", floors.max_post_swap_mape_ratio),
     );
+    check(
+        "queue_depth_samples",
+        &|v| v >= floors.min_queue_depth_samples,
+        format!(">= {}", floors.min_queue_depth_samples),
+    );
+    // the retrain histogram sees every publish, so its sample count obeys
+    // the same floor the hot-swap count does
+    check(
+        "swap_us_samples",
+        &|v| v >= floors.min_hot_swaps,
+        format!(">= {}", floors.min_hot_swaps),
+    );
     failures
 }
 
@@ -745,14 +815,16 @@ mod tests {
     fn check_drift_block_flags_each_violation() {
         let floors = DriftFloors::default();
         let good = r#"{ "monotonicity_violations": 0, "bit_mismatches": 0,
-                       "hot_swaps": 2, "post_swap_mape_ratio": 1.1 }"#;
+                       "hot_swaps": 2, "post_swap_mape_ratio": 1.1,
+                       "queue_depth_samples": 7, "swap_us_samples": 2 }"#;
         assert!(check_drift_block(good, &floors).is_empty());
         let bad = r#"{ "monotonicity_violations": 3, "bit_mismatches": 0,
-                      "hot_swaps": 0, "post_swap_mape_ratio": 9.0 }"#;
+                      "hot_swaps": 0, "post_swap_mape_ratio": 9.0,
+                      "queue_depth_samples": 0, "swap_us_samples": 0 }"#;
         let failures = check_drift_block(bad, &floors);
-        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert_eq!(failures.len(), 5, "{failures:?}");
         let missing = r#"{ "hot_swaps": 1 }"#;
-        assert_eq!(check_drift_block(missing, &floors).len(), 3);
+        assert_eq!(check_drift_block(missing, &floors).len(), 5);
     }
 
     #[test]

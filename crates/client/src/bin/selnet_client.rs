@@ -9,7 +9,11 @@
 //! selnet-client replay --addr 127.0.0.1:7878 --connections 4 < queries.txt
 //! selnet-client replay --addr 127.0.0.1:7878 --model alpha < queries.txt
 //! selnet-client stats --addr 127.0.0.1:7878 [--model NAME]
+//! selnet-client metrics --addr 127.0.0.1:7878
 //! ```
+//!
+//! `metrics` scrapes the fleet's Prometheus text exposition — pipe it to
+//! a node exporter's textfile collector or grep families directly.
 
 use selnet_client::{ClientConfig, Connection, Reply};
 use selnet_serve::protocol::{render_text_error, TextQuery};
@@ -19,13 +23,15 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   selnet-client replay --addr HOST:PORT [--connections N] [--window W]
                        [--model NAME] [--input FILE]
-  selnet-client stats --addr HOST:PORT [--model NAME]";
+  selnet-client stats --addr HOST:PORT [--model NAME]
+  selnet-client metrics --addr HOST:PORT";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("replay") => cmd_replay(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -143,7 +149,11 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
                 denied += 1;
                 writeln!(out, "{}", render_text_error(&e)).map_err(|e| format!("write: {e}"))?;
             }
-            Reply::Stats(_) => return Err("stats reply to a query (FIFO order violated)".into()),
+            other => {
+                return Err(format!(
+                    "mismatched reply to a query (FIFO order violated): {other:?}"
+                ))
+            }
         }
     }
     out.flush().map_err(|e| format!("flush: {e}"))?;
@@ -164,5 +174,14 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     for line in report.lines() {
         println!("{line}");
     }
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args)?;
+    let addr = opts.get("addr").ok_or("metrics needs --addr HOST:PORT")?;
+    let mut conn = Connection::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let text = conn.metrics().map_err(|e| format!("metrics: {e}"))?;
+    print!("{text}");
     Ok(())
 }

@@ -60,8 +60,20 @@ impl Default for ClientConfig {
 pub enum Reply {
     /// Estimates, one per requested threshold, in request order.
     Estimates(Vec<f64>),
+    /// Estimates plus the echoed trace ID (from
+    /// [`Connection::send_query_traced`]).
+    EstimatesTraced {
+        /// The trace ID the server tagged this request with — the one the
+        /// client sent, or a server-minted one if the client sent 0.
+        trace_id: u64,
+        /// Estimates, one per requested threshold, in request order.
+        values: Vec<f64>,
+    },
     /// A stats report (from [`Connection::send_stats`]).
     Stats(String),
+    /// A Prometheus-text metrics scrape (from
+    /// [`Connection::send_metrics`]).
+    Metrics(String),
     /// A typed refusal — this request was denied; the connection is fine.
     Denied(ErrorReply),
 }
@@ -170,7 +182,11 @@ impl Connection {
         self.writer.flush()?;
         match Response::read_v2(&mut self.reader)? {
             Some(Response::Estimates(v)) => Ok(Reply::Estimates(v)),
+            Some(Response::EstimatesTraced { trace_id, values }) => {
+                Ok(Reply::EstimatesTraced { trace_id, values })
+            }
             Some(Response::Stats(s)) => Ok(Reply::Stats(s)),
+            Some(Response::Metrics(s)) => Ok(Reply::Metrics(s)),
             Some(Response::Error(e)) => Ok(Reply::Denied(e)),
             None => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -204,11 +220,36 @@ impl Connection {
         })
     }
 
+    /// Pipelines one **traced** estimation request. The server tags the
+    /// request with `trace_id` (0 = let the server mint one), echoes it in
+    /// the [`Reply::EstimatesTraced`] answer, and records it in the
+    /// slow-query log if the request crosses the slow threshold.
+    pub fn send_query_traced(
+        &mut self,
+        trace_id: u64,
+        model: Option<&str>,
+        x: &[f32],
+        ts: &[f32],
+    ) -> io::Result<()> {
+        self.send_frame(&Frame::QueryTraced {
+            trace_id,
+            model: model.map(str::to_string),
+            x: x.to_vec(),
+            ts: ts.to_vec(),
+        })
+    }
+
     /// Pipelines one stats request (`model: None` = the fleet report).
     pub fn send_stats(&mut self, model: Option<&str>) -> io::Result<()> {
         self.send_frame(&Frame::Stats {
             model: model.map(str::to_string),
         })
+    }
+
+    /// Pipelines one metrics scrape (Prometheus text exposition: fleet
+    /// aggregates plus per-tenant families).
+    pub fn send_metrics(&mut self) -> io::Result<()> {
+        self.send_frame(&Frame::Metrics)
     }
 
     /// Receives the oldest outstanding reply (FIFO). Errors if nothing is
@@ -259,9 +300,34 @@ impl Connection {
         match reply {
             Reply::Estimates(v) => Ok(v),
             Reply::Denied(e) => Err(ClientError::Denied(e)),
-            Reply::Stats(_) => Err(ClientError::Io(io::Error::new(
+            other => Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "stats reply to a query frame (FIFO order violated)",
+                format!("mismatched reply to a query frame (FIFO order violated): {other:?}"),
+            ))),
+        }
+    }
+
+    /// Blocking convenience: one traced request, one answer — the echoed
+    /// trace ID (server-minted when `trace_id` is 0) and the estimates.
+    pub fn estimate_traced(
+        &mut self,
+        trace_id: u64,
+        model: Option<&str>,
+        x: &[f32],
+        ts: &[f32],
+    ) -> Result<(u64, Vec<f64>), ClientError> {
+        let reply = self.call(&Frame::QueryTraced {
+            trace_id,
+            model: model.map(str::to_string),
+            x: x.to_vec(),
+            ts: ts.to_vec(),
+        })?;
+        match reply {
+            Reply::EstimatesTraced { trace_id, values } => Ok((trace_id, values)),
+            Reply::Denied(e) => Err(ClientError::Denied(e)),
+            other => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("mismatched reply to a traced query (FIFO order violated): {other:?}"),
             ))),
         }
     }
@@ -275,9 +341,23 @@ impl Connection {
         match reply {
             Reply::Stats(text) => Ok(text),
             Reply::Denied(e) => Err(ClientError::Denied(e)),
-            Reply::Estimates(_) => Err(ClientError::Io(io::Error::new(
+            other => Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "estimate reply to a stats frame (FIFO order violated)",
+                format!("mismatched reply to a stats frame (FIFO order violated): {other:?}"),
+            ))),
+        }
+    }
+
+    /// Blocking convenience: one Prometheus-text metrics scrape of the
+    /// whole serving fleet.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let reply = self.call(&Frame::Metrics)?;
+        match reply {
+            Reply::Metrics(text) => Ok(text),
+            Reply::Denied(e) => Err(ClientError::Denied(e)),
+            other => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("mismatched reply to a metrics frame (FIFO order violated): {other:?}"),
             ))),
         }
     }

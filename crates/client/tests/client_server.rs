@@ -83,6 +83,8 @@ fn four_pipelined_connections_two_tenants_match_direct_estimation() {
             cache_entries: 32,
             auto_batch_min_rows: 0,
             max_queue_rows: 0, // unbounded: this test is about identity, not shedding
+            slow_query_us: 0,
+            trace_buffer: 0,
         },
     );
     let server = spawn_server(&engine);
@@ -189,6 +191,8 @@ fn saturated_server_sheds_overloaded_and_stats_count_it() {
             cache_entries: 0,
             auto_batch_min_rows: 0,
             max_queue_rows: 4,
+            slow_query_us: 0,
+            trace_buffer: 0,
         },
     );
     let server = spawn_server(&engine);
@@ -211,7 +215,7 @@ fn saturated_server_sheds_overloaded_and_stats_count_it() {
                 assert_eq!(e.code, ErrorCode::Overloaded, "query {i}: {e}");
                 shed += 1;
             }
-            Reply::Stats(s) => panic!("query {i}: stats reply {s:?}"),
+            other => panic!("query {i}: mismatched reply {other:?}"),
         }
     }
     assert!(shed > 0, "a 96-request burst into a 4-row queue must shed");
@@ -231,6 +235,53 @@ fn saturated_server_sheds_overloaded_and_stats_count_it() {
     assert_eq!(
         counted, shed,
         "stats disagree with observed refusals: {fleet_line}"
+    );
+
+    drop(conn);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// The observability loop end-to-end: a traced query's ID round-trips
+/// through `estimate_traced`, a zero ID comes back server-minted, and a
+/// `metrics` scrape over the same connection shows the Prometheus
+/// families with the counts the client just generated.
+#[test]
+fn traced_queries_and_metrics_scrape_round_trip() {
+    let engine = Engine::start(
+        Arc::new(ModelRegistry::new(Slow)),
+        &EngineConfig {
+            workers: 1,
+            shards: 1,
+            max_batch_rows: 4,
+            cache_entries: 0,
+            auto_batch_min_rows: 0,
+            max_queue_rows: 0,
+            slow_query_us: 1, // every 2ms Slow reply is a slow query
+            trace_buffer: 0,
+        },
+    );
+    let server = spawn_server(&engine);
+
+    let mut conn = Connection::connect(server.addr).unwrap();
+    let (echoed, values) = conn
+        .estimate_traced(0xFEED, None, &[1.0, 0.0], &[0.5])
+        .unwrap();
+    assert_eq!(echoed, 0xFEED);
+    assert_eq!(values, vec![1.5]);
+    let (minted, values) = conn.estimate_traced(0, None, &[2.0, 0.0], &[0.5]).unwrap();
+    assert_ne!(minted, 0, "a zero trace ID must come back server-minted");
+    assert_eq!(values, vec![2.5]);
+
+    let text = conn.metrics().unwrap();
+    assert!(
+        text.contains("# TYPE selnet_request_latency_us histogram"),
+        "metrics: {text}"
+    );
+    assert!(text.contains("selnet_requests_total 2"), "metrics: {text}");
+    assert!(
+        text.contains("selnet_slow_requests_total 2"),
+        "slow-query counter must see both traced queries: {text}"
     );
 
     drop(conn);

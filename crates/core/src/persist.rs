@@ -286,6 +286,11 @@ impl PartitionedSelNet {
     /// covering the shared autoencoder and all `K` local networks, and the
     /// update-policy state.
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        // flight-recorder hook (inert unless the global recorder is
+        // armed): a = local-model count, b = input dimension
+        let _span = selnet_obs::trace::global()
+            .span("snapshot_save", 0)
+            .detail(self.locals.len() as u64, self.dim as u64);
         w.write_all(PARTITIONED_MAGIC)?;
         write_u32(w, SNAPSHOT_VERSION)?;
         write_config(w, &self.cfg)?;
@@ -309,6 +314,8 @@ impl PartitionedSelNet {
     /// copied in (a count/shape mismatch is [`io::ErrorKind::InvalidData`],
     /// not a panic).
     pub fn load(r: &mut impl Read) -> io::Result<PartitionedSelNet> {
+        // a = local-model count, b = input dimension (0/0 on parse failure)
+        let mut span = selnet_obs::trace::global().span("snapshot_load", 0);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != PARTITIONED_MAGIC {
@@ -368,6 +375,7 @@ impl PartitionedSelNet {
             })
             .collect();
         store.try_copy_from(&loaded_store).map_err(invalid)?;
+        span.set_detail(k as u64, dim as u64);
         Ok(PartitionedSelNet {
             cfg,
             pcfg,

@@ -117,12 +117,17 @@ impl SelNetModel {
         valid: &[LabeledQuery],
         policy: &UpdatePolicy,
     ) -> UpdateDecision {
+        // flight-recorder hook (inert unless the global recorder is
+        // armed): a = epochs run (0 = skipped), b = resulting val-MAE
+        // bits (skip: the measured drift's bits)
+        let mut span = selnet_obs::trace::global().span("retrain_decision", 0);
         // With an empty validation split the MAE is infinite, so drift is
         // unmeasurable — retrain conservatively and track training loss
         // for the patience rule (mirroring `train_loop`'s fallback).
         let fresh = validation_mae(self, valid);
         let drift = (fresh - self.reference_val_mae).abs();
         if !valid.is_empty() && drift <= policy.mae_tolerance {
+            span.set_detail(0, drift.to_bits());
             return UpdateDecision::Skipped { mae_drift: drift };
         }
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x0badf00d);
@@ -162,6 +167,7 @@ impl SelNetModel {
         self.store = best_store;
         // only a real validation MAE may serve as the next drift reference
         self.reference_val_mae = if valid.is_empty() { f64::MAX } else { best };
+        span.set_detail(epochs_run as u64, self.reference_val_mae.to_bits());
         UpdateDecision::Retrained {
             epochs_run,
             new_val_mae: self.reference_val_mae,
@@ -186,11 +192,14 @@ impl PartitionedSelNet {
         valid: &[LabeledQuery],
         policy: &UpdatePolicy,
     ) -> UpdateDecision {
+        // flight-recorder hook, same detail convention as the flat model
+        let mut span = selnet_obs::trace::global().span("retrain_decision", 0);
         // empty validation split: drift is unmeasurable, retrain
         // conservatively (`continue_training` selects on training loss)
         let fresh = partitioned_validation_mae(self, valid);
         let drift = (fresh - self.reference_val_mae).abs();
         if !valid.is_empty() && drift <= policy.mae_tolerance {
+            span.set_detail(0, drift.to_bits());
             return UpdateDecision::Skipped { mae_drift: drift };
         }
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x0badf00d);
@@ -205,6 +214,7 @@ impl PartitionedSelNet {
             &mut rng,
         );
         let new_val_mae = self.reference_val_mae;
+        span.set_detail(report.epoch_val_mae.len() as u64, new_val_mae.to_bits());
         UpdateDecision::Retrained {
             epochs_run: report.epoch_val_mae.len(),
             new_val_mae,

@@ -1,0 +1,38 @@
+//! # selnet-obs
+//!
+//! The dependency-free observability core of the SelNet serving stack:
+//!
+//! * **Metrics** — lock-free log-bucketed [`Histogram`]s with mergeable
+//!   [`HistogramSnapshot`]s and quantile queries ([`hist`]), plus typed
+//!   [`Counter`]/[`Gauge`] handles collected in a [`MetricsRegistry`]
+//!   ([`metrics`]). Recording is a relaxed atomic op per sample — no
+//!   lock, no allocation, no sample cap — so percentiles stay
+//!   exact-to-bucket over unbounded serving runs with zero dropped
+//!   samples.
+//! * **Tracing** — a fixed-capacity ring-buffer [`SpanRecorder`] with
+//!   RAII [`span!`]-style guards and nanosecond timestamps, per-request
+//!   trace IDs ([`next_trace_id`]), and a bounded [`SlowQueryLog`]
+//!   ([`trace`]). A process-global recorder ([`trace::global`]) lets
+//!   library stages (plan compile/replay, retrain decisions, snapshot
+//!   IO) record without plumbing.
+//! * **Exposition** — Prometheus text format rendering ([`expo`],
+//!   [`MetricsRegistry::render`]): `# HELP`/`# TYPE` headers, labeled
+//!   sample lines, and the cumulative `_bucket{le=...}`/`_sum`/`_count`
+//!   histogram convention.
+//!
+//! The crate deliberately depends on nothing (std only), so every layer
+//! of the workspace — tensor substrate, SelNet core, the serving stack —
+//! can record into it without dependency cycles. The structural contract
+//! consumers rely on: observability never perturbs served results, and a
+//! disabled recorder costs one relaxed atomic load per probe.
+
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod hist;
+pub mod metrics;
+pub mod trace;
+
+pub use hist::{bucket_high, bucket_index, bucket_low, Histogram, HistogramSnapshot, SUB_BUCKETS};
+pub use metrics::{Counter, Gauge, MetricsRegistry};
+pub use trace::{next_trace_id, SlowQuery, SlowQueryLog, Span, SpanGuard, SpanRecorder};

@@ -1,0 +1,108 @@
+//! Property-based verification of the log-bucketed histogram: for random
+//! sample sets across magnitudes, every reported quantile stays within
+//! one bucket's relative error of the exact sorted-sample quantile,
+//! merging is associative, and concurrent recording is deterministic in
+//! its totals.
+
+use proptest::prelude::*;
+use selnet_obs::{Histogram, HistogramSnapshot, SUB_BUCKETS};
+
+/// Nearest-rank quantile over an already-sorted sample vector — the
+/// ground truth the bucketed quantile approximates.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Samples spanning magnitudes: exact small values, microsecond-scale,
+/// and deep into the log range (the band index picks the decade).
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u64..3, 0u64..10_000_000_000), 1..400).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(band, v)| match band {
+                0 => v % 128,
+                1 => 128 + v % 100_000,
+                _ => 100_000 + v,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn quantiles_match_exact_within_one_bucket(values in samples(), qx in 0u32..=100) {
+        let q = qx as f64 / 100.0;
+        let snap = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let got = snap.quantile(q);
+        // the bucketed answer is the lower bound of the bucket holding
+        // the exact nearest-rank sample: never above it, and within one
+        // bucket's relative width below it
+        prop_assert!(got <= exact, "quantile overshot: got {got}, exact {exact}");
+        let tolerance = exact as f64 / SUB_BUCKETS as f64;
+        prop_assert!(
+            exact as f64 - got as f64 <= tolerance + 1e-9,
+            "q={q}: got {got}, exact {exact}, tolerance {tolerance}"
+        );
+    }
+
+    #[test]
+    fn count_sum_max_are_exact(values in samples()) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_joint_recording(
+        a in samples(), b in samples(), c in samples()
+    ) {
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+        // (a + b) + c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a + (b + c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // and merging per-part snapshots equals recording everything
+        // into one histogram
+        let mut joint: Vec<u64> = a.clone();
+        joint.extend_from_slice(&b);
+        joint.extend_from_slice(&c);
+        prop_assert_eq!(&left, &record_all(&joint));
+    }
+
+    #[test]
+    fn concurrent_recording_totals_are_deterministic(values in samples(), threads in 2usize..5) {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for chunk in values.chunks(values.len().div_ceil(threads)) {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for &v in chunk {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        // any interleaving of recorders yields exactly the sequential
+        // snapshot: totals, buckets, and quantiles are all deterministic
+        prop_assert_eq!(h.snapshot(), record_all(&values));
+    }
+}

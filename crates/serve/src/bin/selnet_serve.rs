@@ -33,6 +33,7 @@ const USAGE: &str = "usage:
                      [--precision NAME=exact|bf16|int8|pruned:T ...]
                      [--workers N] [--shards N] [--batch ROWS] [--cache ENTRIES]
                      [--auto-batch-min ROWS] [--queue ROWS]
+                     [--slow-query-us MICROS] [--trace-buffer SPANS]
   selnet-serve check-monotone [--expect non-increasing|non-decreasing]";
 
 fn main() -> ExitCode {
@@ -232,7 +233,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache_entries: opts.num("cache", 256)?,
         auto_batch_min_rows: opts.num("auto-batch-min", 0)?,
         max_queue_rows: opts.num("queue", 4096)?,
+        slow_query_us: opts.num("slow-query-us", 0)?,
+        trace_buffer: opts.num("trace-buffer", 0)?,
     };
+    // the engine keeps its own span ring; the global recorder picks up
+    // plan-compile / snapshot / retrain spans from the library crates
+    if cfg.trace_buffer > 0 {
+        selnet_obs::trace::global().enable(cfg.trace_buffer);
+    }
 
     // tenants: repeated --model NAME=PATH, plus the legacy --snapshot PATH
     // (registered as the default tenant)
@@ -310,6 +318,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         for line in report.lines() {
             eprintln!("{line}");
         }
+        dump_flight_recorder(&engine);
         engine.shutdown();
         Ok(())
     } else {
@@ -318,7 +327,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
         eprintln!("serving binary protocol (v1 + v2) on {addr} (send a stats frame for counters)");
         let stop = Arc::new(AtomicBool::new(false));
-        server::serve_tcp(engine, listener, stop).map_err(|e| format!("serve failed: {e}"))
+        let result = server::serve_tcp(Arc::clone(&engine), listener, stop)
+            .map_err(|e| format!("serve failed: {e}"));
+        dump_flight_recorder(&engine);
+        result
+    }
+}
+
+/// Dumps the span ring and slow-query log to stderr on shutdown — the
+/// flight-recorder readout. Silent when tracing and the slow-query
+/// threshold are both disabled.
+fn dump_flight_recorder(engine: &Engine<PartitionedSelNet>) {
+    let spans = engine.spans();
+    // the engine ring holds request-path spans; the global ring holds
+    // plan-compile / snapshot / retrain spans from the library crates
+    let global: Vec<selnet_obs::Span> = selnet_obs::trace::global().snapshot();
+    if !spans.is_empty() || !global.is_empty() {
+        eprintln!(
+            "flight recorder: {} request spans, {} system spans (newest last)",
+            spans.len(),
+            global.len()
+        );
+        for span in spans.iter().chain(global.iter()) {
+            eprintln!(
+                "  span {} trace={} start_us={} dur_us={} a={} b={}",
+                span.kind,
+                span.trace_id,
+                span.start_ns / 1_000,
+                span.dur_ns / 1_000,
+                span.a,
+                span.b
+            );
+        }
+    }
+    let slow = engine.slow_queries();
+    if !slow.is_empty() {
+        eprintln!("slow queries (fleet, newest last):");
+        for q in &slow {
+            eprintln!(
+                "  trace={} rows={} latency_us={}",
+                q.trace_id, q.rows, q.latency_us
+            );
+        }
     }
 }
 

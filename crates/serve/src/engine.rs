@@ -53,6 +53,7 @@ use crate::cache::{CacheShardStats, LruCache, QueryKey};
 use crate::registry::{ModelRegistry, Tenant};
 use crate::stats::{ServeStats, StatsSnapshot};
 use selnet_eval::SelectivityEstimator;
+use selnet_obs::{expo, next_trace_id, MetricsRegistry, SlowQuery, Span, SpanRecorder};
 use selnet_tensor::PlanPrecision;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
@@ -182,6 +183,7 @@ pub struct Request {
     model: Option<String>,
     x: Vec<f32>,
     ts: Vec<f32>,
+    trace: u64,
 }
 
 impl Request {
@@ -193,6 +195,7 @@ impl Request {
             model: None,
             x,
             ts: Vec::new(),
+            trace: 0,
         }
     }
 
@@ -214,6 +217,20 @@ impl Request {
     pub fn model_opt(mut self, name: Option<String>) -> Request {
         self.model = name;
         self
+    }
+
+    /// Attaches a caller-chosen trace ID (`0` = let the engine mint one
+    /// at submit). Traced wire requests carry the client's ID here so the
+    /// reply — and any slow-query log entry — can be joined back to the
+    /// caller's own records.
+    pub fn traced(mut self, trace_id: u64) -> Request {
+        self.trace = trace_id;
+        self
+    }
+
+    /// The request's trace ID (`0` until the engine mints one).
+    pub fn trace_id(&self) -> u64 {
+        self.trace
     }
 
     /// The tenant this request is routed to (`None` = default tenant).
@@ -270,6 +287,21 @@ pub struct EngineConfig {
     /// by its own size. Blocking callers are never shed — they fall back
     /// to inline evaluation, which is its own backpressure.
     pub max_queue_rows: usize,
+    /// Slow-query threshold in microseconds (`0` disables the slow-query
+    /// log). A request whose end-to-end latency reaches the threshold is
+    /// counted and appended — with its trace ID and row count — to both
+    /// the fleet's and its tenant's bounded slow-query log.
+    pub slow_query_us: u64,
+    /// Capacity of the engine's span ring (`0` disables span recording
+    /// entirely — the flight recorder then costs one relaxed load per
+    /// probe). When set, the engine records batch-stage spans
+    /// (`coalesce` / `generation_bind` / `plan_replay` / `reply`) for
+    /// every drained batch, plus per-request spans (`submit` /
+    /// `queue_wait` / `inline_serve`) for requests that arrived with a
+    /// caller-supplied trace ID — per-request tracing is sampled by the
+    /// client, so untraced traffic only pays the amortized batch-stage
+    /// cost. The ring keeps the newest `trace_buffer` spans.
+    pub trace_buffer: usize,
 }
 
 impl Default for EngineConfig {
@@ -281,6 +313,8 @@ impl Default for EngineConfig {
             cache_entries: 256,
             auto_batch_min_rows: 0,
             max_queue_rows: 4096,
+            slow_query_us: 0,
+            trace_buffer: 0,
         }
     }
 }
@@ -398,6 +432,10 @@ struct Queued<M> {
     tenant: Arc<Tenant<M>>,
     x: Vec<f32>,
     ts: Vec<f32>,
+    trace: u64,
+    /// Caller supplied the trace ID — this request pays for its own
+    /// per-request spans (untraced requests get only batch-stage spans).
+    sampled: bool,
     enqueued: Instant,
     reply: ReplySender,
 }
@@ -448,6 +486,15 @@ pub struct Engine<M> {
     /// construction and cache locks entirely on the batch path.
     cache_enabled: bool,
     stats: Arc<ServeStats>,
+    /// This engine's own flight recorder (never the process-global one,
+    /// so two engines — say an instrumented and an uninstrumented one in
+    /// the same benchmark — cannot contaminate each other's rings).
+    recorder: SpanRecorder,
+    /// Prometheus families for [`Engine::metrics_text`]; stats handles
+    /// are linked in lazily (idempotently) at scrape time so tenants
+    /// registered after startup still appear.
+    metrics: MetricsRegistry,
+    slow_query_us: u64,
     max_batch_rows: usize,
     auto_batch_min_rows: usize,
     max_queue_rows: usize,
@@ -485,6 +532,9 @@ where
             caches,
             cache_enabled: cfg.cache_entries > 0,
             stats: Arc::new(ServeStats::new()),
+            recorder: SpanRecorder::with_capacity(cfg.trace_buffer),
+            metrics: MetricsRegistry::new(),
+            slow_query_us: cfg.slow_query_us,
             max_batch_rows: cfg.max_batch_rows.max(1),
             auto_batch_min_rows: cfg.auto_batch_min_rows,
             max_queue_rows: cfg.max_queue_rows,
@@ -539,8 +589,26 @@ where
     /// untrusted wire bytes; likewise a saturated engine must refuse
     /// cheaply rather than grow its queues without bound.
     pub fn submit(&self, req: Request) -> Result<ReplyHandle, SubmitError> {
+        // per-request spans are sampled, not blanket: only a request that
+        // arrived with a caller-supplied trace ID pays for one. Batch-stage
+        // spans, histograms, counters, and the slow-query log stay on for
+        // every request — that always-on remainder is what the CI overhead
+        // guard holds under its floor.
+        let sampled = req.trace != 0;
+        let trace = self.mint_trace(req.trace);
+        let _span = sampled.then(|| self.recorder.span("submit", trace));
         let tenant = self.route(&req)?;
-        self.enqueue(tenant, req.x, req.ts)
+        self.enqueue(tenant, req.x, req.ts, trace, sampled)
+    }
+
+    /// The request's trace ID: the caller's if it brought one, a freshly
+    /// minted one otherwise (every served request has a nonzero ID).
+    fn mint_trace(&self, trace: u64) -> u64 {
+        if trace != 0 {
+            trace
+        } else {
+            next_trace_id()
+        }
     }
 
     fn enqueue(
@@ -548,6 +616,8 @@ where
         tenant: Arc<Tenant<M>>,
         x: Vec<f32>,
         ts: Vec<f32>,
+        trace: u64,
+        sampled: bool,
     ) -> Result<ReplyHandle, SubmitError> {
         let rows = ts.len().max(1);
         let n = self.shards.len();
@@ -583,6 +653,8 @@ where
             tenant,
             x,
             ts,
+            trace,
+            sampled,
             enqueued: Instant::now(),
             reply: tx,
         };
@@ -615,17 +687,28 @@ where
     /// its own work *is* the backpressure. Otherwise it falls back to
     /// queued submission, so concurrent load still coalesces.
     pub fn serve_blocking(&self, req: &Request) -> Result<Vec<f64>, SubmitError> {
+        // same span-sampling rule as `submit`
+        let sampled = req.trace_id() != 0;
+        let trace = self.mint_trace(req.trace_id());
         let tenant = self.route(req)?;
         if self.stop.load(Ordering::SeqCst) {
             return Err(SubmitError::ShutDown);
         }
         if self.queues_idle() {
-            return Ok(self.serve_inline(&tenant, req.query(), req.threshold_grid()));
+            return Ok(self.serve_inline(
+                &tenant,
+                trace,
+                sampled,
+                req.query(),
+                req.threshold_grid(),
+            ));
         }
         match self.enqueue(
             tenant.clone(),
             req.query().to_vec(),
             req.threshold_grid().to_vec(),
+            trace,
+            sampled,
         ) {
             Ok(handle) => handle.wait().map_err(|Disconnected| SubmitError::ShutDown),
             // saturated: evaluate on the caller's own thread instead of
@@ -634,7 +717,7 @@ where
             Err(SubmitError::Overloaded { .. }) => {
                 tenant.stats().uncount_shed();
                 self.stats.uncount_shed();
-                Ok(self.serve_inline(&tenant, req.query(), req.threshold_grid()))
+                Ok(self.serve_inline(&tenant, trace, sampled, req.query(), req.threshold_grid()))
             }
             Err(other) => Err(other),
         }
@@ -652,8 +735,20 @@ where
     /// Evaluates one request synchronously against one bound generation
     /// (and precision) of its tenant, with the same cache semantics as
     /// the worker path.
-    fn serve_inline(&self, tenant: &Tenant<M>, x: &[f32], ts: &[f32]) -> Vec<f64> {
+    fn serve_inline(
+        &self,
+        tenant: &Tenant<M>,
+        trace: u64,
+        sampled: bool,
+        x: &[f32],
+        ts: &[f32],
+    ) -> Vec<f64> {
         let started = Instant::now();
+        let _span = sampled.then(|| {
+            self.recorder
+                .span("inline_serve", trace)
+                .detail(ts.len() as u64, 0)
+        });
         let (generation, model) = tenant.current();
         let precision = tenant.precision();
         let key = self
@@ -671,6 +766,7 @@ where
                     stats.record_inline();
                     stats.record_request(ts.len() as u64, us);
                 }
+                self.note_slow(tenant, trace, ts.len() as u64, us);
                 return values;
             }
         }
@@ -687,7 +783,23 @@ where
             stats.record_inline();
             stats.record_request(ts.len() as u64, us);
         }
+        self.note_slow(tenant, trace, ts.len() as u64, us);
         values
+    }
+
+    /// Appends a request to the fleet's and its tenant's slow-query log
+    /// when it crossed the configured threshold (no-op when disabled).
+    #[inline]
+    fn note_slow(&self, tenant: &Tenant<M>, trace: u64, rows: u64, us: u64) {
+        if self.slow_query_us > 0 && us >= self.slow_query_us {
+            // fleet-wide: count only. The log entry goes into the tenant's
+            // bounded log alone — a second, fleet-global Mutex push per
+            // slow request would be cross-tenant contention on the hot
+            // path, and the fleet view is reconstructible as the
+            // per-tenant merge ([`Engine::slow_queries`]).
+            self.stats.count_slow();
+            tenant.stats().record_slow(trace, rows, us);
+        }
     }
 
     /// Blocking convenience wrapper around [`Engine::serve_blocking`] for
@@ -762,6 +874,167 @@ where
                 Some(out)
             }
         }
+    }
+
+    /// `(x, t)` rows currently waiting across every queue shard — the
+    /// admission-control gauge the metrics exposition scrapes.
+    pub fn queued_rows_total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.rows.load(Ordering::Relaxed) as u64)
+            .sum()
+    }
+
+    /// The engine's flight recorder (enabled by
+    /// [`EngineConfig::trace_buffer`]; the returned snapshot of
+    /// [`Engine::spans`] is what the binary dumps on shutdown).
+    pub fn recorder(&self) -> &SpanRecorder {
+        &self.recorder
+    }
+
+    /// The newest recorded spans, oldest first (empty when the flight
+    /// recorder is disabled).
+    pub fn spans(&self) -> Vec<Span> {
+        self.recorder.snapshot()
+    }
+
+    /// The fleet's retained slow queries — the merge of every tenant's
+    /// bounded log, grouped by tenant and oldest first within each
+    /// (empty when [`EngineConfig::slow_query_us`] is `0`).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.registry
+            .tenants()
+            .iter()
+            .flat_map(|t| t.stats().slow_queries())
+            .collect()
+    }
+
+    /// Links one stats instance's counters and histograms into the
+    /// metric families under `labels` (idempotent — the registry dedups
+    /// on family + label set, and handles are shared, not copied).
+    fn link_stats(&self, stats: &ServeStats, labels: &[(&str, &str)]) {
+        let m = &self.metrics;
+        m.link_counter(
+            "selnet_requests_total",
+            "Requests answered (cache hits included; shed refusals excluded).",
+            labels,
+            &stats.requests,
+        );
+        m.link_counter(
+            "selnet_rows_total",
+            "(x, t) rows evaluated or served from cache.",
+            labels,
+            &stats.rows,
+        );
+        m.link_counter(
+            "selnet_batches_total",
+            "Coalesced batch evaluations run.",
+            labels,
+            &stats.batches,
+        );
+        m.link_counter(
+            "selnet_cache_hits_total",
+            "Requests served from the response cache.",
+            labels,
+            &stats.cache_hits,
+        );
+        m.link_counter(
+            "selnet_inline_requests_total",
+            "Requests served synchronously on the submitting thread.",
+            labels,
+            &stats.inline_requests,
+        );
+        m.link_counter(
+            "selnet_shed_requests_total",
+            "Requests refused by admission control.",
+            labels,
+            &stats.shed_requests,
+        );
+        m.link_counter(
+            "selnet_slow_requests_total",
+            "Requests at or past the slow-query threshold.",
+            labels,
+            &stats.slow_requests,
+        );
+        m.link_histogram(
+            "selnet_request_latency_us",
+            "End-to-end request latency (enqueue to reply), microseconds.",
+            labels,
+            &stats.latency_us,
+        );
+        m.link_histogram(
+            "selnet_batch_rows",
+            "Rows per coalesced batch evaluation (batch occupancy).",
+            labels,
+            &stats.batch_size_rows,
+        );
+        m.link_histogram(
+            "selnet_retrain_us",
+            "Background retrain / publish latency, microseconds.",
+            labels,
+            &stats.retrain_us,
+        );
+    }
+
+    /// Renders the whole fleet's telemetry in Prometheus text exposition
+    /// format: fleet-wide families (unlabeled), every tenant's families
+    /// (`tenant="<name>"`), and scrape-time gauges (queue depth,
+    /// per-tenant generation and precision). Served by the v2 `Metrics`
+    /// frame and the `?metrics` text command.
+    pub fn metrics_text(&self) -> String {
+        self.link_stats(&self.stats, &[]);
+        let tenants = self.registry.tenants();
+        for t in tenants.iter() {
+            self.link_stats(t.stats(), &[("tenant", t.name())]);
+        }
+        let mut out = self.metrics.render();
+        // volatile values are rendered at scrape time rather than kept in
+        // registered gauges, so a precision flip can never leave a stale
+        // series behind
+        expo::write_header(
+            &mut out,
+            "selnet_queue_rows",
+            "(x, t) rows currently queued across every shard.",
+            "gauge",
+        );
+        expo::write_sample(
+            &mut out,
+            "selnet_queue_rows",
+            &[],
+            &self.queued_rows_total().to_string(),
+        );
+        expo::write_header(
+            &mut out,
+            "selnet_tenant_generation",
+            "Model generation currently served, per tenant.",
+            "gauge",
+        );
+        for t in tenants.iter() {
+            expo::write_sample(
+                &mut out,
+                "selnet_tenant_generation",
+                &[("tenant".to_string(), t.name().to_string())],
+                &t.generation().to_string(),
+            );
+        }
+        expo::write_header(
+            &mut out,
+            "selnet_tenant_precision_info",
+            "Active plan precision, per tenant (value is always 1).",
+            "gauge",
+        );
+        for t in tenants.iter() {
+            expo::write_sample(
+                &mut out,
+                "selnet_tenant_precision_info",
+                &[
+                    ("tenant".to_string(), t.name().to_string()),
+                    ("precision".to_string(), t.precision().to_string()),
+                ],
+                "1",
+            );
+        }
+        out
     }
 
     /// Per-shard LRU cache counters.
@@ -941,7 +1214,30 @@ where
         requests: Vec<Queued<M>>,
         scratch: &mut BatchScratch,
     ) {
-        let (generation, model) = tenant.current();
+        let traced = self.recorder.is_enabled();
+        let mut coalesce = self
+            .recorder
+            .span("coalesce", 0)
+            .detail(requests.len() as u64, 0);
+        if traced {
+            // one queue-wait span per *sampled* request: how long it sat
+            // between enqueue and a worker picking its batch up. Untraced
+            // requests skip it — per-request spans are opt-in by trace ID,
+            // which is what keeps the always-on overhead under the CI floor.
+            for req in requests.iter().filter(|r| r.sampled) {
+                self.recorder.record_since(
+                    "queue_wait",
+                    req.trace,
+                    req.enqueued,
+                    req.ts.len().max(1) as u64,
+                    0,
+                );
+            }
+        }
+        let (generation, model) = {
+            let _bind = self.recorder.span("generation_bind", 0);
+            tenant.current()
+        };
         let precision = tenant.precision();
         scratch.served.clear();
         let mut pending: Vec<(Queued<M>, Option<QueryKey>)> = Vec::with_capacity(requests.len());
@@ -962,6 +1258,7 @@ where
                             stats.record_cache_hit();
                             stats.record_request(req.ts.len() as u64, us);
                         }
+                        self.note_slow(tenant, req.trace, req.ts.len() as u64, us);
                         req.reply.send(values);
                     }
                     None => pending.push((req, Some(key))),
@@ -974,6 +1271,7 @@ where
             return;
         }
         let total_rows: usize = pending.iter().map(|(r, _)| r.ts.len()).sum();
+        coalesce.set_detail(pending.len() as u64, total_rows as u64);
         let mut xs: Vec<&[f32]> = Vec::with_capacity(total_rows);
         scratch.ts.clear();
         for (req, _) in &pending {
@@ -982,9 +1280,15 @@ where
                 scratch.ts.push(t);
             }
         }
-        model.estimate_batch_into_at(&xs, &scratch.ts, precision, &mut scratch.flat);
-        self.stats.record_batch();
-        tenant.stats().record_batch();
+        {
+            let _replay = self
+                .recorder
+                .span("plan_replay", 0)
+                .detail(total_rows as u64, generation);
+            model.estimate_batch_into_at(&xs, &scratch.ts, precision, &mut scratch.flat);
+        }
+        self.stats.record_batch(total_rows as u64);
+        tenant.stats().record_batch(total_rows as u64);
         let mut offset = 0usize;
         // slice the results and record the stats BEFORE any reply becomes
         // observable — a client returning from wait() must always find its
@@ -1000,15 +1304,19 @@ where
                     .expect("cache lock poisoned")
                     .insert(key, values.clone());
             }
-            scratch
-                .served
-                .push((m as u64, req.enqueued.elapsed().as_micros() as u64));
+            let us = req.enqueued.elapsed().as_micros() as u64;
+            self.note_slow(tenant, req.trace, m as u64, us);
+            scratch.served.push((m as u64, us));
             replies.push((req.reply, values));
         }
         self.stats.record_requests(&scratch.served);
         tenant.stats().record_requests(&scratch.served);
         // stage every reply, then wake the waiters: a woken client then
         // drains its whole batch without sleeping again per reply
+        let _reply_span = self
+            .recorder
+            .span("reply", 0)
+            .detail(replies.len() as u64, 0);
         let staged: Vec<StagedReply> = replies
             .into_iter()
             .map(|(reply, values)| reply.stage(values))
@@ -1230,6 +1538,8 @@ mod tests {
                 cache_entries: 0,
                 auto_batch_min_rows: 0,
                 max_queue_rows: 2,
+                slow_query_us: 0,
+                trace_buffer: 0,
             },
         );
         let mut accepted = Vec::new();
@@ -1461,6 +1771,151 @@ mod tests {
             .set_precision(PlanPrecision::Int8);
         let beta = eng.stats_report(Some("beta")).unwrap();
         assert!(beta.contains("precision=int8"), "tenant report: {beta}");
+        eng.shutdown();
+    }
+
+    #[test]
+    fn trace_ids_are_minted_and_slow_queries_logged() {
+        let eng = Engine::start(
+            Arc::new(ModelRegistry::new(Slow)),
+            &EngineConfig {
+                workers: 1,
+                slow_query_us: 1, // a 2 ms estimator always crosses 1 µs
+                trace_buffer: 64,
+                ..Default::default()
+            },
+        );
+        // a caller-supplied trace ID survives into the slow-query log
+        let _ = eng
+            .serve_blocking(&req(vec![0.0], vec![1.0]).traced(7777))
+            .unwrap();
+        // an engine-minted one is nonzero
+        let _ = eng.serve_blocking(&req(vec![0.5], vec![1.0])).unwrap();
+        let slow = eng.slow_queries();
+        assert!(slow.len() >= 2, "both requests crossed the threshold");
+        assert!(slow.iter().any(|q| q.trace_id == 7777));
+        assert!(slow.iter().all(|q| q.trace_id != 0));
+        assert_eq!(eng.stats().snapshot().slow_requests, slow.len() as u64);
+        // the tenant's own log saw the same traffic
+        assert_eq!(eng.tenant_stats()[0].stats.slow_requests, slow.len() as u64);
+        // the flight recorder captured the inline spans
+        let spans = eng.spans();
+        assert!(
+            spans.iter().any(|s| s.kind == "inline_serve"),
+            "spans: {spans:?}"
+        );
+        assert!(spans.iter().any(|s| s.trace_id == 7777), "spans: {spans:?}");
+        eng.shutdown();
+    }
+
+    #[test]
+    fn queued_requests_record_pipeline_spans() {
+        let eng = Engine::start(
+            Arc::new(ModelRegistry::new(Slow)),
+            &EngineConfig {
+                workers: 1,
+                shards: 1,
+                trace_buffer: 256,
+                ..Default::default()
+            },
+        );
+        // per-request spans are sampled by trace ID: even-indexed requests
+        // bring one, odd-indexed requests stay untraced
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let mut r = req(vec![i as f32], vec![1.0]);
+                if i % 2 == 0 {
+                    r = r.traced(9000 + i as u64);
+                }
+                eng.submit(r).unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        eng.shutdown();
+        let spans = eng.spans();
+        // batch-stage spans cover every drained batch regardless of tracing
+        for kind in ["submit", "queue_wait", "coalesce", "plan_replay", "reply"] {
+            assert!(
+                spans.iter().any(|s| s.kind == kind),
+                "missing {kind:?} in {spans:?}"
+            );
+        }
+        // every per-request span belongs to a request that opted in
+        for s in spans
+            .iter()
+            .filter(|s| s.kind == "submit" || s.kind == "queue_wait")
+        {
+            assert!(
+                (9000..9008).contains(&s.trace_id),
+                "untraced request got a per-request span: {s:?}"
+            );
+        }
+        assert!(spans.iter().any(|s| s.trace_id == 9000), "spans: {spans:?}");
+    }
+
+    #[test]
+    fn disabled_recorder_stays_empty() {
+        let eng = engine(1.0, &EngineConfig::default());
+        let _ = eng.estimate_many(&[0.0], &[1.0]);
+        assert!(eng.spans().is_empty());
+        assert!(eng.slow_queries().is_empty());
+        eng.shutdown();
+    }
+
+    #[test]
+    fn metrics_text_exposes_fleet_and_tenant_families() {
+        let registry = Arc::new(ModelRegistry::empty());
+        registry.register("alpha", Affine { scale: 1.0 }).unwrap();
+        registry.register("beta", Affine { scale: 2.0 }).unwrap();
+        let eng = Engine::start(Arc::clone(&registry), &EngineConfig::default());
+        let _ = eng
+            .serve_blocking(&req(vec![0.0], vec![1.0, 2.0]).model("alpha"))
+            .unwrap();
+        registry
+            .get("beta")
+            .unwrap()
+            .set_precision(PlanPrecision::Int8);
+        let text = eng.metrics_text();
+        assert!(
+            text.contains("# TYPE selnet_requests_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("selnet_requests_total 1"), "fleet: {text}");
+        assert!(
+            text.contains("selnet_requests_total{tenant=\"alpha\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("selnet_requests_total{tenant=\"beta\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("selnet_rows_total{tenant=\"alpha\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("selnet_request_latency_us_bucket{tenant=\"alpha\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("selnet_tenant_generation{tenant=\"alpha\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("selnet_tenant_precision_info{tenant=\"beta\",precision=\"int8\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("selnet_queue_rows 0"), "{text}");
+        // scraping twice neither duplicates families nor double-counts
+        let again = eng.metrics_text();
+        assert_eq!(
+            again
+                .matches("# TYPE selnet_requests_total counter")
+                .count(),
+            1
+        );
         eng.shutdown();
     }
 

@@ -25,8 +25,22 @@
 //!   opcode-tagged frames, model routing, typed error replies; v1 kept
 //!   as a compat decode path) and the line-oriented text format spoken by
 //!   the `selnet-serve` binary over TCP and stdin respectively;
-//! * [`stats`] — per-tenant and fleet-wide latency (p50/p99), throughput,
-//!   cache, and shed counters.
+//! * [`stats`] — per-tenant and fleet-wide telemetry on `selnet-obs`
+//!   primitives: lock-free latency / batch-occupancy / retrain
+//!   histograms (unbounded, zero dropped samples), throughput / cache /
+//!   shed / slow-request counters, and the bounded slow-query log.
+//!
+//! On top of those, the engine is a **flight recorder**: per-request
+//! trace IDs (client-supplied or server-minted, echoed on v2
+//! `EstimatesTraced` replies), a ring-buffer span recorder covering the
+//! request pipeline (batch-stage spans `coalesce` → `generation_bind` →
+//! `plan_replay` → `reply` for every batch; per-request spans sampled —
+//! paid only by requests that bring a trace ID), and a Prometheus text
+//! exposition
+//! ([`Engine::metrics_text`], served by the v2 `Metrics` frame and the
+//! `?metrics` text command). All of it is contractually free:
+//! observability on vs off serves bit-identical answers, and CI bounds
+//! the armed engine's hot-path overhead at 3%.
 //!
 //! The `selnet-client` crate speaks the v2 protocol over persistent
 //! pipelined connections; [`server`] hosts both dialects behind one

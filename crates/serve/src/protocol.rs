@@ -20,14 +20,19 @@
 //! frame    := u32 payload_len | u8 opcode | body
 //!
 //! requests (client -> server)
-//!   0x01 Query : u16 model_len | model utf8 | u32 dim | dim x f32 query
-//!                | u32 m | m x f32 thresholds       (model_len 0 = default)
-//!   0x02 Stats : u16 model_len | model utf8         (model_len 0 = fleet)
+//!   0x01 Query       : u16 model_len | model utf8 | u32 dim | dim x f32 query
+//!                      | u32 m | m x f32 thresholds (model_len 0 = default)
+//!   0x02 Stats       : u16 model_len | model utf8   (model_len 0 = fleet)
+//!   0x03 Metrics     : (empty body — asks for the fleet's Prometheus text)
+//!   0x04 QueryTraced : u64 trace_id | then the Query body — the client's
+//!                      trace ID is echoed back on the paired 0x84 reply
 //!
 //! responses (server -> client, one per request, in request order)
-//!   0x81 Estimates : u32 m | m x f64
-//!   0x82 Stats     : u32 len | len bytes utf8
-//!   0xEE Error     : u8 code | u16 len | len bytes utf8 message
+//!   0x81 Estimates       : u32 m | m x f64
+//!   0x82 Stats           : u32 len | len bytes utf8
+//!   0x83 MetricsReply    : u32 len | len bytes utf8 (Prometheus text format)
+//!   0x84 EstimatesTraced : u64 trace_id | u32 m | m x f64
+//!   0xEE Error           : u8 code | u16 len | len bytes utf8 message
 //! ```
 //!
 //! Error codes are typed ([`ErrorCode`]): `1` unknown model, `2` bad
@@ -53,17 +58,20 @@
 //! One query per line: an optional `@model` routing token, the query
 //! vector, a `|` separator, then the threshold grid; the response is one
 //! line of estimates. `?stats` (optionally `?stats model`) requests a
-//! counter report, written as a `#`-prefixed comment line. Blank lines
-//! and `#` comments are ignored. Refusals are mirrored as typed
-//! `!error <code> <message>` lines.
+//! counter report, written as a `#`-prefixed comment line; `?metrics`
+//! requests the fleet's Prometheus text exposition, written as one `# `
+//! comment line per metric line. Blank lines and `#` comments are
+//! ignored. Refusals are mirrored as typed `!error <code> <message>`
+//! lines.
 //!
 //! ```text
 //! 0.12 -0.3 0.5 | 2.0 1.5 1.0 0.5
 //! @alpha 0.12 -0.3 0.5 | 2.0 1.5 1.0 0.5
 //! ?stats alpha
+//! ?metrics
 //! ```
 
-use selnet_tensor::bytes::{read_u16, read_u32, read_u8};
+use selnet_tensor::bytes::{read_u16, read_u32, read_u64, read_u8};
 use std::io::{self, Read, Write};
 
 /// Upper bound on a frame payload (16 MiB) — a corrupt or hostile length
@@ -94,8 +102,12 @@ pub const MAX_VERSION: u16 = 2;
 mod opcode {
     pub const QUERY: u8 = 0x01;
     pub const STATS: u8 = 0x02;
+    pub const METRICS: u8 = 0x03;
+    pub const QUERY_TRACED: u8 = 0x04;
     pub const ESTIMATES: u8 = 0x81;
     pub const STATS_REPLY: u8 = 0x82;
+    pub const METRICS_REPLY: u8 = 0x83;
+    pub const ESTIMATES_TRACED: u8 = 0x84;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -191,6 +203,24 @@ pub enum Frame {
         /// The tenant to report on; `None` is the fleet report.
         model: Option<String>,
     },
+    /// A metrics scrape: asks for the whole fleet's telemetry in
+    /// Prometheus text exposition format ([v2 only](WireVersion::V2)).
+    Metrics,
+    /// A [`Frame::Query`] carrying the client's own trace ID, echoed
+    /// back on the paired [`Response::EstimatesTraced`] reply and
+    /// attached to the server's slow-query log ([v2
+    /// only](WireVersion::V2)).
+    QueryTraced {
+        /// The client-chosen trace ID (`0` lets the server mint one, but
+        /// then the echo is the only place the client learns it).
+        trace_id: u64,
+        /// The tenant to route to; `None` is the default tenant.
+        model: Option<String>,
+        /// The query vector `x`.
+        x: Vec<f32>,
+        /// The thresholds to estimate at, in the client's order.
+        ts: Vec<f32>,
+    },
 }
 
 impl Frame {
@@ -234,6 +264,27 @@ impl Frame {
                 buf.push(opcode::STATS);
                 write_model(&mut buf, model.as_deref())?;
             }
+            Frame::Metrics => {
+                buf.push(opcode::METRICS);
+            }
+            Frame::QueryTraced {
+                trace_id,
+                model,
+                x,
+                ts,
+            } => {
+                buf.push(opcode::QUERY_TRACED);
+                buf.extend_from_slice(&trace_id.to_le_bytes());
+                write_model(&mut buf, model.as_deref())?;
+                buf.extend_from_slice(&(x.len() as u32).to_le_bytes());
+                for &v in x {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                buf.extend_from_slice(&(ts.len() as u32).to_le_bytes());
+                for &v in ts {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
         }
         write_frame(w, &buf)
     }
@@ -257,6 +308,21 @@ impl Frame {
             opcode::STATS => Frame::Stats {
                 model: read_model(&mut p)?,
             },
+            opcode::METRICS => Frame::Metrics,
+            opcode::QUERY_TRACED => {
+                let trace_id = read_u64(&mut p)?;
+                let model = read_model(&mut p)?;
+                let dim = read_u32(&mut p)?;
+                let x = read_f32s(&mut p, dim, "query")?;
+                let m = read_u32(&mut p)?;
+                let ts = read_f32s(&mut p, m, "threshold grid")?;
+                Frame::QueryTraced {
+                    trace_id,
+                    model,
+                    x,
+                    ts,
+                }
+            }
             other => return Err(invalid(format!("unknown request opcode {other:#04x}"))),
         };
         if !p.is_empty() {
@@ -286,7 +352,9 @@ impl Frame {
                 }
                 Ok(())
             }
-            _ => Err(invalid("v1 cannot express model routing")),
+            _ => Err(invalid(
+                "v1 cannot express model routing, tracing, or metrics",
+            )),
         }
     }
 
@@ -504,6 +572,18 @@ pub enum Response {
     Estimates(Vec<f64>),
     /// Counter text from a [`Frame::Stats`] request.
     Stats(String),
+    /// Prometheus text exposition from a [`Frame::Metrics`] request
+    /// ([v2 only](WireVersion::V2)).
+    Metrics(String),
+    /// Estimates answering a [`Frame::QueryTraced`], echoing the trace
+    /// ID the server used ([v2 only](WireVersion::V2)).
+    EstimatesTraced {
+        /// The trace ID of the request this answers (the client's, or a
+        /// server-minted one when the client sent `0`).
+        trace_id: u64,
+        /// Estimates, one per requested threshold, in request order.
+        values: Vec<f64>,
+    },
     /// A typed refusal ([v2 only](WireVersion::V2); v1 closes instead).
     Error(ErrorReply),
 }
@@ -533,6 +613,19 @@ impl Response {
                 buf.push(opcode::STATS_REPLY);
                 buf.extend_from_slice(&(text.len() as u32).to_le_bytes());
                 buf.extend_from_slice(text.as_bytes());
+            }
+            Response::Metrics(text) => {
+                buf.push(opcode::METRICS_REPLY);
+                buf.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                buf.extend_from_slice(text.as_bytes());
+            }
+            Response::EstimatesTraced { trace_id, values } => {
+                buf.push(opcode::ESTIMATES_TRACED);
+                buf.extend_from_slice(&trace_id.to_le_bytes());
+                buf.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for &v in values {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
             }
             Response::Error(e) => {
                 buf.push(opcode::ERROR);
@@ -565,6 +658,23 @@ impl Response {
                     String::from_utf8(p.to_vec()).map_err(|_| invalid("stats text not utf8"))?;
                 p = &[];
                 Response::Stats(text)
+            }
+            opcode::METRICS_REPLY => {
+                let len = read_u32(&mut p)? as usize;
+                if p.len() != len {
+                    return Err(invalid("metrics text length mismatch"));
+                }
+                let text =
+                    String::from_utf8(p.to_vec()).map_err(|_| invalid("metrics text not utf8"))?;
+                p = &[];
+                Response::Metrics(text)
+            }
+            opcode::ESTIMATES_TRACED => {
+                let trace_id = read_u64(&mut p)?;
+                Response::EstimatesTraced {
+                    trace_id,
+                    values: read_f64s(&mut p)?,
+                }
             }
             opcode::ERROR => {
                 let code = ErrorCode::from_byte(read_u8(&mut p)?)
@@ -606,6 +716,9 @@ impl Response {
                 w.write_all(&V1_STATS_SENTINEL.to_le_bytes())?;
                 w.write_all(&(bytes.len() as u32).to_le_bytes())?;
                 w.write_all(bytes)
+            }
+            Response::Metrics(_) | Response::EstimatesTraced { .. } => {
+                Err(invalid("v1 cannot express metrics or traced replies"))
             }
             Response::Error(_) => Err(invalid("v1 cannot express typed errors")),
         }
@@ -662,6 +775,9 @@ pub enum TextLine {
     /// A statistics request (`?stats` / `?stats model`): one tenant's
     /// counters, or the fleet report (`None`).
     Stats(Option<String>),
+    /// A metrics scrape (`?metrics`): the fleet's Prometheus text,
+    /// written back as `# `-prefixed comment lines.
+    Metrics,
 }
 
 impl TextLine {
@@ -671,6 +787,12 @@ impl TextLine {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             return Ok(None);
+        }
+        if let Some(rest) = trimmed.strip_prefix("?metrics") {
+            if !rest.trim().is_empty() {
+                return Err(format!("?metrics takes no arguments: {trimmed:?}"));
+            }
+            return Ok(Some(TextLine::Metrics));
         }
         if let Some(rest) = trimmed.strip_prefix("?stats") {
             let rest = rest.trim();
@@ -787,6 +909,21 @@ mod tests {
         assert_eq!(roundtrip_resp_v2(&e), e);
         let s = Response::Stats("requests=1".into());
         assert_eq!(roundtrip_resp_v2(&s), s);
+        assert_eq!(roundtrip_v2(&Frame::Metrics), Frame::Metrics);
+        let tq = Frame::QueryTraced {
+            trace_id: 0xDEAD_BEEF_0042,
+            model: Some("alpha".into()),
+            x: vec![0.25, -1.5],
+            ts: vec![0.1],
+        };
+        assert_eq!(roundtrip_v2(&tq), tq);
+        let m = Response::Metrics("# TYPE selnet_requests_total counter\n".into());
+        assert_eq!(roundtrip_resp_v2(&m), m);
+        let te = Response::EstimatesTraced {
+            trace_id: 0xDEAD_BEEF_0042,
+            values: vec![13.0, 12.5],
+        };
+        assert_eq!(roundtrip_resp_v2(&te), te);
         for code in [
             ErrorCode::UnknownModel,
             ErrorCode::BadDim,
@@ -855,6 +992,25 @@ mod tests {
             message: "busy".into(),
         });
         assert!(err.write_v1(&mut Vec::new()).is_err());
+        // the observability frames are v2-only too
+        assert!(Frame::Metrics.write_v1(&mut Vec::new()).is_err());
+        assert!(Frame::QueryTraced {
+            trace_id: 1,
+            model: None,
+            x: vec![1.0],
+            ts: vec![1.0],
+        }
+        .write_v1(&mut Vec::new())
+        .is_err());
+        assert!(Response::Metrics("x".into())
+            .write_v1(&mut Vec::new())
+            .is_err());
+        assert!(Response::EstimatesTraced {
+            trace_id: 1,
+            values: vec![1.0],
+        }
+        .write_v1(&mut Vec::new())
+        .is_err());
     }
 
     #[test]
@@ -921,6 +1077,13 @@ mod tests {
                 model: Some("beta".into()),
             },
             Frame::Stats { model: None },
+            Frame::Metrics,
+            Frame::QueryTraced {
+                trace_id: 42,
+                model: Some("alpha".into()),
+                x: vec![1.0, 2.0],
+                ts: vec![0.5],
+            },
         ];
         for frame in &frames {
             let mut buf = Vec::new();
@@ -936,6 +1099,11 @@ mod tests {
         let responses = [
             Response::Estimates(vec![1.0, 2.0]),
             Response::Stats("requests=1".into()),
+            Response::Metrics("# TYPE m counter\nm 1\n".into()),
+            Response::EstimatesTraced {
+                trace_id: 42,
+                values: vec![1.0, 2.0],
+            },
             Response::Error(ErrorReply {
                 code: ErrorCode::Overloaded,
                 message: "shed".into(),
@@ -977,7 +1145,7 @@ mod tests {
 
     #[test]
     fn v2_bad_opcode_is_rejected() {
-        for op in [0x00u8, 0x03, 0x7F, 0x80, 0x83, 0xFF] {
+        for op in [0x00u8, 0x05, 0x7F, 0x80, 0x83, 0xFF] {
             let mut buf = Vec::new();
             buf.extend_from_slice(&1u32.to_le_bytes());
             buf.push(op);
@@ -986,7 +1154,7 @@ mod tests {
                 "request opcode {op:#04x} must be rejected"
             );
         }
-        for op in [0x00u8, 0x01, 0x02, 0x80, 0x7F, 0xFF] {
+        for op in [0x00u8, 0x01, 0x02, 0x80, 0x85, 0x7F, 0xFF] {
             let mut buf = Vec::new();
             buf.extend_from_slice(&1u32.to_le_bytes());
             buf.push(op);
@@ -1090,6 +1258,15 @@ mod tests {
             Some(TextLine::Stats(Some("alpha".into())))
         );
         assert!(TextLine::parse("?stats a b").is_err());
+        assert_eq!(
+            TextLine::parse("?metrics").unwrap(),
+            Some(TextLine::Metrics)
+        );
+        assert_eq!(
+            TextLine::parse("  ?metrics  ").unwrap(),
+            Some(TextLine::Metrics)
+        );
+        assert!(TextLine::parse("?metrics alpha").is_err());
         assert_eq!(TextLine::parse("# comment").unwrap(), None);
         match TextLine::parse("@beta 1 | 2").unwrap() {
             Some(TextLine::Query(q)) => assert_eq!(q.model.as_deref(), Some("beta")),

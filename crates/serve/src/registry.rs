@@ -162,6 +162,22 @@ impl<M> Tenant<M> {
     /// new model; pass 0 when unknown.
     pub fn publish_traced(&self, model: M, label: &str, update_ms: f64) -> u64 {
         let generation = self.publish(model);
+        // the swap's cost also lands in the tenant's retrain histogram,
+        // joined to the lineage record below by its generation
+        self.stats.record_retrain_ms(update_ms);
+        let recorder = selnet_obs::trace::global();
+        if recorder.is_enabled() {
+            let dur_ns = (update_ms.max(0.0) * 1e6) as u64;
+            let end_ns = recorder.now_ns();
+            recorder.record(
+                "retrain_publish",
+                0,
+                end_ns.saturating_sub(dur_ns),
+                dur_ns,
+                generation,
+                0,
+            );
+        }
         let mut log = write_recover(&self.swap_log);
         if log.len() >= SWAP_LOG_CAP {
             let excess = log.len() + 1 - SWAP_LOG_CAP;
@@ -586,6 +602,14 @@ mod tests {
             (3, "spawn_update")
         );
         assert!(log[1].update_ms >= 0.0);
+        // both traced publishes also landed in the retrain histogram
+        let retrain = tenant.stats().retrain_histogram();
+        assert_eq!(retrain.count, 2);
+        assert!(
+            retrain.max >= 3_500,
+            "3.5 ms is 3500 µs, got {}",
+            retrain.max
+        );
     }
 
     #[test]

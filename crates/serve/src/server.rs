@@ -153,6 +153,14 @@ where
                 let estimates = engine.serve_blocking(&req).map_err(submit_err_to_io)?;
                 Response::Estimates(estimates)
             }
+            // the v1 decoder can't produce these; if it ever did, refuse
+            // loudly rather than answer in a dialect the client can't read
+            Frame::Metrics | Frame::QueryTraced { .. } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "v1 cannot carry metrics or traced queries",
+                ));
+            }
         };
         response.write(writer, WireVersion::V1)?;
         writer.flush()?;
@@ -171,14 +179,19 @@ fn unknown_model_err(model: Option<&str>) -> SubmitError {
 /// handle the engine will fulfill.
 enum PendingReply {
     Ready(Response),
-    Wait(ReplyHandle),
+    /// A handle the engine will fulfill; `Some(trace_id)` when the reply
+    /// must echo a trace ID back (a [`Frame::QueryTraced`] request).
+    Wait(ReplyHandle, Option<u64>),
 }
 
 fn resolve(pending: PendingReply) -> Response {
     match pending {
         PendingReply::Ready(resp) => resp,
-        PendingReply::Wait(handle) => match handle.wait() {
-            Ok(values) => Response::Estimates(values),
+        PendingReply::Wait(handle, trace) => match handle.wait() {
+            Ok(values) => match trace {
+                Some(trace_id) => Response::EstimatesTraced { trace_id, values },
+                None => Response::Estimates(values),
+            },
             Err(_) => Response::Error(ErrorReply {
                 code: ErrorCode::ShuttingDown,
                 message: "engine shut down before answering".into(),
@@ -227,10 +240,34 @@ where
                     Frame::Query { model, x, ts } => {
                         let req = Request::new(x).thresholds(ts).model_opt(model);
                         match engine.submit(req) {
-                            Ok(handle) => PendingReply::Wait(handle),
+                            Ok(handle) => PendingReply::Wait(handle, None),
                             // a typed refusal answers this request only —
                             // the connection (and its other in-flight
                             // requests) keep going
+                            Err(e) => PendingReply::Ready(Response::Error(submit_err_to_reply(&e))),
+                        }
+                    }
+                    Frame::Metrics => PendingReply::Ready(Response::Metrics(engine.metrics_text())),
+                    Frame::QueryTraced {
+                        trace_id,
+                        model,
+                        x,
+                        ts,
+                    } => {
+                        // mint here (not in the engine) when the client
+                        // sent 0, so the echo can tell the client which ID
+                        // to look for in the slow-query log
+                        let trace_id = if trace_id == 0 {
+                            selnet_obs::next_trace_id()
+                        } else {
+                            trace_id
+                        };
+                        let req = Request::new(x)
+                            .thresholds(ts)
+                            .model_opt(model)
+                            .traced(trace_id);
+                        match engine.submit(req) {
+                            Ok(handle) => PendingReply::Wait(handle, Some(trace_id)),
                             Err(e) => PendingReply::Ready(Response::Error(submit_err_to_reply(&e))),
                         }
                     }
@@ -282,6 +319,13 @@ where
                     writeln!(output, "{}", protocol::render_text_error(&reply))?;
                 }
             },
+            Some(TextLine::Metrics) => {
+                // metrics lines are `#`-prefixed for the same reason stats
+                // lines are: comments to any downstream estimate parser
+                for mline in engine.metrics_text().lines() {
+                    writeln!(output, "# {mline}")?;
+                }
+            }
             Some(TextLine::Query(q)) => {
                 let req = Request::new(q.x).thresholds(q.ts).model_opt(q.model);
                 match engine.serve_blocking(&req) {
@@ -653,6 +697,156 @@ mod tests {
             }
             other => panic!("expected stats, got {other:?}"),
         }
+        drop(writer);
+        drop(reader);
+        drop(stream);
+        server.shutdown();
+        eng.shutdown();
+    }
+
+    /// Slow enough that any request trips a 1µs slow-query threshold.
+    struct Sleepy;
+    impl SelectivityEstimator for Sleepy {
+        fn estimate(&self, x: &[f32], t: f32) -> f64 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            x[0] as f64 + t as f64
+        }
+        fn query_dim(&self) -> Option<usize> {
+            Some(1)
+        }
+        fn name(&self) -> &str {
+            "sleepy"
+        }
+    }
+
+    /// A v2 metrics scrape returns Prometheus text with fleet and
+    /// per-tenant families, and `?metrics` mirrors it over the text loop.
+    #[test]
+    fn v2_metrics_frame_returns_prometheus_text() {
+        let registry = Arc::new(ModelRegistry::empty());
+        registry.register("alpha", Scaled(1.0)).unwrap();
+        let eng = Engine::start(Arc::clone(&registry), &EngineConfig::default());
+        let server = spawn_server(&eng);
+
+        let stream = TcpStream::connect(server.addr).unwrap();
+        let (mut reader, mut writer) = handshake(&stream);
+        Frame::Query {
+            model: Some("alpha".into()),
+            x: vec![1.0],
+            ts: vec![2.0],
+        }
+        .write_v2(&mut writer)
+        .unwrap();
+        writer.flush().unwrap();
+        // read the estimate before scraping: counters are recorded before
+        // the reply is staged, so the scrape deterministically sees them
+        match Response::read_v2(&mut reader).unwrap().unwrap() {
+            Response::Estimates(e) => assert_eq!(e, vec![2.0]),
+            other => panic!("expected estimates, got {other:?}"),
+        }
+        Frame::Metrics.write_v2(&mut writer).unwrap();
+        writer.flush().unwrap();
+        match Response::read_v2(&mut reader).unwrap().unwrap() {
+            Response::Metrics(text) => {
+                assert!(
+                    text.contains("# TYPE selnet_requests_total counter"),
+                    "metrics: {text}"
+                );
+                assert!(text.contains("selnet_requests_total 1"), "metrics: {text}");
+                assert!(
+                    text.contains("selnet_requests_total{tenant=\"alpha\"} 1"),
+                    "metrics: {text}"
+                );
+                assert!(
+                    text.contains("selnet_request_latency_us_bucket"),
+                    "metrics: {text}"
+                );
+                assert!(
+                    text.contains("selnet_tenant_generation{tenant=\"alpha\"} 0"),
+                    "metrics: {text}"
+                );
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+        drop(writer);
+        drop(reader);
+        drop(stream);
+        server.shutdown();
+        eng.shutdown();
+
+        // the text protocol exposes the same text, comment-prefixed
+        let eng = engine();
+        let mut out = Vec::new();
+        serve_lines(&eng, &mut "?metrics\n".as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.lines().all(|l| l.starts_with("# ")),
+            "metrics lines must be comments: {text}"
+        );
+        assert!(text.contains("selnet_requests_total"), "text: {text}");
+        eng.shutdown();
+    }
+
+    /// The tracing acceptance criterion: a trace ID submitted over TCP is
+    /// echoed in the v2 reply and appears in the slow-query log; a zero
+    /// trace ID is minted server-side and echoed nonzero.
+    #[test]
+    fn v2_traced_query_echoes_trace_id_and_lands_in_slow_log() {
+        let eng = Engine::start(
+            Arc::new(ModelRegistry::new(Sleepy)),
+            &EngineConfig {
+                workers: 1,
+                slow_query_us: 1,
+                ..Default::default()
+            },
+        );
+        let server = spawn_server(&eng);
+
+        let stream = TcpStream::connect(server.addr).unwrap();
+        let (mut reader, mut writer) = handshake(&stream);
+        Frame::QueryTraced {
+            trace_id: 0xC0FFEE,
+            model: None,
+            x: vec![1.0],
+            ts: vec![2.0],
+        }
+        .write_v2(&mut writer)
+        .unwrap();
+        Frame::QueryTraced {
+            trace_id: 0, // ask the server to mint one
+            model: None,
+            x: vec![1.0],
+            ts: vec![3.0],
+        }
+        .write_v2(&mut writer)
+        .unwrap();
+        writer.flush().unwrap();
+
+        match Response::read_v2(&mut reader).unwrap().unwrap() {
+            Response::EstimatesTraced { trace_id, values } => {
+                assert_eq!(trace_id, 0xC0FFEE);
+                assert_eq!(values, vec![3.0]);
+            }
+            other => panic!("expected traced estimates, got {other:?}"),
+        }
+        let minted = match Response::read_v2(&mut reader).unwrap().unwrap() {
+            Response::EstimatesTraced { trace_id, values } => {
+                assert_ne!(trace_id, 0, "server must mint a nonzero trace ID");
+                assert_eq!(values, vec![4.0]);
+                trace_id
+            }
+            other => panic!("expected traced estimates, got {other:?}"),
+        };
+
+        let slow = eng.slow_queries();
+        assert!(
+            slow.iter().any(|q| q.trace_id == 0xC0FFEE),
+            "client trace ID missing from slow-query log: {slow:?}"
+        );
+        assert!(
+            slow.iter().any(|q| q.trace_id == minted),
+            "minted trace ID missing from slow-query log: {slow:?}"
+        );
         drop(writer);
         drop(reader);
         drop(stream);

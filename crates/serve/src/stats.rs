@@ -1,33 +1,49 @@
-//! Serving telemetry: request/row/batch counters and a latency record
-//! from which p50/p99 are computed.
+//! Serving telemetry: request/row/batch counters, lock-free latency and
+//! batch-size histograms, the retrain-latency record, and the bounded
+//! slow-query log.
+//!
+//! Every hot-path update is a relaxed atomic op ([`selnet_obs`]
+//! counters and log-bucketed histograms) — no lock, no allocation, no
+//! sample cap. Percentiles are exact-to-bucket (within `1/64` relative
+//! error, exact below 128 µs) over **unbounded** runs with zero dropped
+//! samples, replacing the old `Mutex<Vec<u64>>` record that stopped
+//! sampling after 1M requests. The handles are `Arc`-shared so the
+//! engine's Prometheus exposition renders the same atomics the workers
+//! update.
 
 use crate::cache::CacheShardStats;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use selnet_obs::{Counter, Histogram, HistogramSnapshot, SlowQuery, SlowQueryLog};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Latency samples kept for percentile computation. Beyond this, further
-/// samples are dropped (and counted — see
-/// [`StatsSnapshot::dropped_latency_samples`]), so the percentiles of a
-/// very long run describe its first ~1M requests.
-const MAX_SAMPLES: usize = 1 << 20;
+/// Slow queries each stats instance retains (newest win); the total ever
+/// seen is counted separately and never truncates.
+const SLOW_LOG_CAP: usize = 128;
 
-/// Shared serving counters. All methods take `&self`; the engine threads
-/// update them lock-free except for the latency record.
+/// Shared serving counters. All methods take `&self` and are lock-free —
+/// engine workers never contend on telemetry.
 pub struct ServeStats {
     started: Instant,
-    requests: AtomicU64,
-    rows: AtomicU64,
-    batches: AtomicU64,
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) rows: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
     /// Rows that went through coalesced batch evaluations only (the
     /// numerator of `mean_batch_rows`; inline and cache-hit rows are
     /// excluded).
-    batch_rows: AtomicU64,
-    cache_hits: AtomicU64,
-    inline_requests: AtomicU64,
-    shed_requests: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
-    dropped_samples: AtomicU64,
+    pub(crate) batch_rows: Arc<Counter>,
+    pub(crate) cache_hits: Arc<Counter>,
+    pub(crate) inline_requests: Arc<Counter>,
+    pub(crate) shed_requests: Arc<Counter>,
+    pub(crate) slow_requests: Arc<Counter>,
+    /// End-to-end request latency (enqueue → reply), microseconds.
+    pub(crate) latency_us: Arc<Histogram>,
+    /// Rows per coalesced batch evaluation — the batch-occupancy
+    /// distribution behind `mean_batch_rows`.
+    pub(crate) batch_size_rows: Arc<Histogram>,
+    /// Background retrain / traced-publish latency, microseconds
+    /// (recorded by [`Tenant::publish_traced`](crate::registry::Tenant)).
+    pub(crate) retrain_us: Arc<Histogram>,
+    slow_log: SlowQueryLog,
 }
 
 impl Default for ServeStats {
@@ -41,76 +57,69 @@ impl ServeStats {
     pub fn new() -> Self {
         ServeStats {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            rows: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batch_rows: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            inline_requests: AtomicU64::new(0),
-            shed_requests: AtomicU64::new(0),
-            latencies_us: Mutex::new(Vec::new()),
-            dropped_samples: AtomicU64::new(0),
+            requests: Arc::new(Counter::new()),
+            rows: Arc::new(Counter::new()),
+            batches: Arc::new(Counter::new()),
+            batch_rows: Arc::new(Counter::new()),
+            cache_hits: Arc::new(Counter::new()),
+            inline_requests: Arc::new(Counter::new()),
+            shed_requests: Arc::new(Counter::new()),
+            slow_requests: Arc::new(Counter::new()),
+            latency_us: Arc::new(Histogram::new()),
+            batch_size_rows: Arc::new(Histogram::new()),
+            retrain_us: Arc::new(Histogram::new()),
+            slow_log: SlowQueryLog::new(SLOW_LOG_CAP),
         }
     }
 
     /// Records one answered request with its `(x, t)` row count and
     /// end-to-end latency (enqueue → reply).
     pub fn record_request(&self, rows: u64, latency_us: u64) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.rows.fetch_add(rows, Ordering::Relaxed);
-        let mut lat = self.latencies_us.lock().expect("stats lock poisoned");
-        if lat.len() < MAX_SAMPLES {
-            lat.push(latency_us);
-        } else {
-            self.dropped_samples.fetch_add(1, Ordering::Relaxed);
-        }
+        self.requests.inc();
+        self.rows.add(rows);
+        self.latency_us.record(latency_us);
     }
 
     /// Records a whole coalesced batch of answered requests —
-    /// `(rows, latency_us)` per request — under **one** latency-record
-    /// lock and two counter updates, instead of per-request traffic. This
-    /// is the worker path; [`ServeStats::record_request`] remains for
-    /// single-request (inline) serving.
+    /// `(rows, latency_us)` per request. Purely lock-free (kept as the
+    /// worker-path entry point so the batch's rows count toward the
+    /// coalescing mean, which inline serving's
+    /// [`ServeStats::record_request`] must not).
     pub fn record_requests(&self, served: &[(u64, u64)]) {
         if served.is_empty() {
             return;
         }
         let total_rows: u64 = served.iter().map(|&(r, _)| r).sum();
-        self.requests
-            .fetch_add(served.len() as u64, Ordering::Relaxed);
-        self.rows.fetch_add(total_rows, Ordering::Relaxed);
-        self.batch_rows.fetch_add(total_rows, Ordering::Relaxed);
-        let mut lat = self.latencies_us.lock().expect("stats lock poisoned");
+        self.requests.add(served.len() as u64);
+        self.rows.add(total_rows);
+        self.batch_rows.add(total_rows);
         for &(_, us) in served {
-            if lat.len() < MAX_SAMPLES {
-                lat.push(us);
-            } else {
-                self.dropped_samples.fetch_add(1, Ordering::Relaxed);
-            }
+            self.latency_us.record(us);
         }
     }
 
     /// Records a request served synchronously on the submitting thread
     /// (the idle-queue fast path), bypassing the queue and workers.
     pub fn record_inline(&self) {
-        self.inline_requests.fetch_add(1, Ordering::Relaxed);
+        self.inline_requests.inc();
     }
 
-    /// Records one coalesced batch evaluation.
-    pub fn record_batch(&self) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+    /// Records one coalesced batch evaluation of `rows` total rows.
+    pub fn record_batch(&self, rows: u64) {
+        self.batches.inc();
+        self.batch_size_rows.record(rows);
     }
 
     /// Records a response served straight from the LRU cache.
     pub fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     /// Records a request refused by admission control (`Overloaded`).
     /// Shed requests are not counted in `requests` — they were never
     /// answered.
     pub fn record_shed(&self) {
-        self.shed_requests.fetch_add(1, Ordering::Relaxed);
+        self.shed_requests.inc();
     }
 
     /// Reverts one [`ServeStats::record_shed`]: the blocking path counts
@@ -118,46 +127,76 @@ impl ServeStats {
     /// inline anyway (blocking callers are backpressure, not shed), so
     /// the refusal never actually happened.
     pub fn uncount_shed(&self) {
-        // saturating: a racing snapshot could observe the transient count,
-        // but the gauge can never underflow
-        let _ = self
-            .shed_requests
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                Some(v.saturating_sub(1))
-            });
+        self.shed_requests.uncount();
     }
 
-    /// A consistent copy of the counters with percentiles computed.
+    /// Records one traced publish / background retrain that took
+    /// `update_ms` wall-clock milliseconds.
+    pub fn record_retrain_ms(&self, update_ms: f64) {
+        self.retrain_us.record((update_ms.max(0.0) * 1e3) as u64);
+    }
+
+    /// Records one slow request (past the engine's threshold) into the
+    /// bounded slow-query log, keyed by its trace ID.
+    pub fn record_slow(&self, trace_id: u64, rows: u64, latency_us: u64) {
+        self.slow_requests.inc();
+        self.slow_log.push(SlowQuery {
+            trace_id,
+            rows,
+            latency_us,
+        });
+    }
+
+    /// Counts one slow request without logging it. The engine's
+    /// fleet-wide stats count every tenant's slow requests this way: the
+    /// log entries live in the per-tenant logs alone, so a slow request
+    /// costs one push into its own tenant's lock instead of contending
+    /// on a second, fleet-global one (the fleet view is the per-tenant
+    /// merge, [`Engine::slow_queries`](crate::engine::Engine::slow_queries)).
+    pub fn count_slow(&self) {
+        self.slow_requests.inc();
+    }
+
+    /// The retained slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log.snapshot()
+    }
+
+    /// The end-to-end latency distribution (microsecond buckets).
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.latency_us.snapshot()
+    }
+
+    /// The rows-per-coalesced-batch distribution.
+    pub fn batch_size_histogram(&self) -> HistogramSnapshot {
+        self.batch_size_rows.snapshot()
+    }
+
+    /// The retrain-latency distribution (microsecond buckets).
+    pub fn retrain_histogram(&self) -> HistogramSnapshot {
+        self.retrain_us.snapshot()
+    }
+
+    /// A consistent copy of the counters with percentiles computed from
+    /// the latency histogram — no lock, no sort, O(buckets).
     pub fn snapshot(&self) -> StatsSnapshot {
-        let mut lat = self
-            .latencies_us
-            .lock()
-            .expect("stats lock poisoned")
-            .clone();
-        lat.sort_unstable();
-        // nearest-rank percentile: ceil(p * N) - 1
-        let pct = |p: f64| -> u64 {
-            if lat.is_empty() {
-                return 0;
-            }
-            let rank = (p * lat.len() as f64).ceil() as usize;
-            lat[rank.clamp(1, lat.len()) - 1]
-        };
+        let lat = self.latency_us.snapshot();
         let elapsed = self.started.elapsed().as_secs_f64();
-        let requests = self.requests.load(Ordering::Relaxed);
-        let rows = self.rows.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batch_rows = self.batch_rows.load(Ordering::Relaxed);
+        let requests = self.requests.get();
+        let rows = self.rows.get();
+        let batches = self.batches.get();
+        let batch_rows = self.batch_rows.get();
         StatsSnapshot {
             requests,
             rows,
             batches,
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            inline_requests: self.inline_requests.load(Ordering::Relaxed),
-            shed_requests: self.shed_requests.load(Ordering::Relaxed),
-            dropped_latency_samples: self.dropped_samples.load(Ordering::Relaxed),
-            p50_latency_us: pct(0.50),
-            p99_latency_us: pct(0.99),
+            cache_hits: self.cache_hits.get(),
+            inline_requests: self.inline_requests.get(),
+            shed_requests: self.shed_requests.get(),
+            slow_requests: self.slow_requests.get(),
+            p50_latency_us: lat.quantile(0.50),
+            p99_latency_us: lat.quantile(0.99),
+            max_latency_us: lat.max,
             elapsed_secs: elapsed,
             requests_per_sec: requests as f64 / elapsed.max(1e-9),
             rows_per_sec: rows as f64 / elapsed.max(1e-9),
@@ -193,14 +232,20 @@ pub struct StatsSnapshot {
     /// Refusals are not answers: they are excluded from `requests`,
     /// `rows`, and the latency record.
     pub shed_requests: u64,
-    /// Latency samples dropped after the recorder filled (the
-    /// percentiles then describe the first [`struct@ServeStats`]
-    /// `MAX_SAMPLES` requests only).
-    pub dropped_latency_samples: u64,
-    /// Median end-to-end request latency, microseconds.
+    /// Requests slower than the engine's slow-query threshold (0 when
+    /// the threshold is disabled). Every one is in the latency record
+    /// too; the newest also sit in the slow-query log with their trace
+    /// IDs.
+    pub slow_requests: u64,
+    /// Median end-to-end request latency, microseconds (exact to one
+    /// histogram bucket — `1/64` relative — over the whole run; no
+    /// sample is ever dropped).
     pub p50_latency_us: u64,
-    /// 99th-percentile end-to-end request latency, microseconds.
+    /// 99th-percentile end-to-end request latency, microseconds (same
+    /// bucket resolution as `p50_latency_us`).
     pub p99_latency_us: u64,
+    /// Largest end-to-end request latency observed, microseconds.
+    pub max_latency_us: u64,
     /// Seconds since the counters were created.
     pub elapsed_secs: f64,
     /// Mean request throughput over the whole run.
@@ -236,8 +281,8 @@ impl std::fmt::Display for StatsSnapshot {
         write!(
             f,
             "requests={} rows={} batches={} mean_batch_rows={:.2} inline={} cache_hits={} \
-             shed={} p50_us={} p99_us={} req_per_s={:.1} rows_per_s={:.1} elapsed_s={:.2}\
-             {}{}",
+             shed={} slow={} p50_us={} p99_us={} max_us={} req_per_s={:.1} rows_per_s={:.1} \
+             elapsed_s={:.2}{}",
             self.requests,
             self.rows,
             self.batches,
@@ -245,8 +290,10 @@ impl std::fmt::Display for StatsSnapshot {
             self.inline_requests,
             self.cache_hits,
             self.shed_requests,
+            self.slow_requests,
             self.p50_latency_us,
             self.p99_latency_us,
+            self.max_latency_us,
             self.requests_per_sec,
             self.rows_per_sec,
             self.elapsed_secs,
@@ -265,14 +312,6 @@ impl std::fmt::Display for StatsSnapshot {
                     shards.join(" ")
                 )
             },
-            if self.dropped_latency_samples > 0 {
-                format!(
-                    " dropped_latency_samples={} (percentiles cover the first samples only)",
-                    self.dropped_latency_samples
-                )
-            } else {
-                String::new()
-            },
         )
     }
 }
@@ -287,7 +326,7 @@ mod tests {
         for i in 1..=100u64 {
             s.record_request(2, i);
         }
-        s.record_batch();
+        s.record_batch(12);
         s.record_cache_hit();
         // two refusals, one of which a blocking caller converted into an
         // inline serve (so it is un-counted)
@@ -302,8 +341,11 @@ mod tests {
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.shed_requests, 1);
+        // every latency here is below 128 µs, so the log-bucketed record
+        // reproduces the nearest-rank percentiles exactly
         assert_eq!(snap.p50_latency_us, 52);
         assert_eq!(snap.p99_latency_us, 102);
+        assert_eq!(snap.max_latency_us, 103);
         // only the batch's 12 rows count toward the coalescing mean — the
         // 200 rows recorded one request at a time (the inline path) do not
         assert_eq!(snap.mean_batch_rows, 12.0);
@@ -319,6 +361,7 @@ mod tests {
         assert_eq!(snap.requests, 0);
         assert_eq!(snap.mean_batch_rows, 0.0);
         assert_eq!(snap.shed_requests, 0);
+        assert_eq!(snap.slow_requests, 0);
     }
 
     #[test]
@@ -326,5 +369,58 @@ mod tests {
         let s = ServeStats::new();
         s.uncount_shed();
         assert_eq!(s.snapshot().shed_requests, 0);
+    }
+
+    /// The headline fix of the histogram swap: percentiles over a run
+    /// far past the old 1M-sample cap, with **zero** dropped samples —
+    /// the p99 of a 1.2M-request run reflects the late samples the old
+    /// `Mutex<Vec>` record silently discarded.
+    #[test]
+    fn percentiles_cover_millions_of_samples_without_dropping() {
+        let s = ServeStats::new();
+        const N: u64 = 1_200_000;
+        // first 1.1M requests are fast (10 µs), the last 100k are slow
+        // (5000 µs) — under the old capped recorder the slow tail past
+        // sample 2^20 vanished from the percentiles entirely
+        for i in 0..N {
+            let us = if i < 1_100_000 { 10 } else { 5_000 };
+            s.record_request(1, us);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, N);
+        let lat = s.latency_histogram();
+        assert_eq!(lat.count, N, "every sample must be recorded");
+        assert_eq!(snap.p50_latency_us, 10);
+        // 100k / 1.2M ≈ 8.3% slow: p99 must land in the slow bucket
+        // (within one bucket's 1/64 relative error of 5000)
+        assert!(
+            snap.p99_latency_us >= 4_900,
+            "p99 must see the late slow tail, got {}",
+            snap.p99_latency_us
+        );
+        assert_eq!(snap.max_latency_us, 5_000);
+    }
+
+    #[test]
+    fn slow_queries_are_logged_and_counted() {
+        let s = ServeStats::new();
+        for i in 0..200u64 {
+            s.record_slow(i + 1, 4, 10_000 + i);
+        }
+        assert_eq!(s.snapshot().slow_requests, 200);
+        let log = s.slow_queries();
+        assert_eq!(log.len(), 128, "the log is bounded");
+        assert_eq!(log.last().unwrap().trace_id, 200, "newest kept");
+        assert!(s.snapshot().to_string().contains("slow=200"));
+    }
+
+    #[test]
+    fn retrain_latencies_land_in_their_histogram() {
+        let s = ServeStats::new();
+        s.record_retrain_ms(2.5);
+        s.record_retrain_ms(40.0);
+        let hist = s.retrain_histogram();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.max, 40_000, "recorded in microseconds");
     }
 }

@@ -91,6 +91,8 @@ fn concurrent_two_tenant_traffic_is_bit_identical_per_tenant() {
             cache_entries: 32,
             auto_batch_min_rows: 2,
             max_queue_rows: 0,
+            slow_query_us: 0,
+            trace_buffer: 0,
         },
     );
     let clients = 4;
@@ -211,6 +213,8 @@ fn hot_swapping_one_tenant_never_perturbs_the_other() {
             cache_entries: 16,
             auto_batch_min_rows: 0,
             max_queue_rows: 0,
+            slow_query_us: 0,
+            trace_buffer: 0,
         },
     );
     std::thread::scope(|scope| {
@@ -322,6 +326,8 @@ fn mixed_precision_fleet_serves_each_tenant_at_its_own_mode() {
             cache_entries: 32,
             auto_batch_min_rows: 0,
             max_queue_rows: 0,
+            slow_query_us: 0,
+            trace_buffer: 0,
         },
     );
     std::thread::scope(|scope| {
@@ -402,4 +408,89 @@ fn mixed_precision_fleet_serves_each_tenant_at_its_own_mode() {
         );
     }
     engine.shutdown();
+}
+
+/// The observability structural contract: tracing, the metrics registry,
+/// and the slow-query log must not perturb served answers by a single
+/// bit. Two engines over clones of the same model — one with every
+/// observability knob on, one with everything off — must answer an
+/// identical mixed blocking/pipelined workload bit-identically, while
+/// the instrumented engine actually records spans and slow queries
+/// (so the test can't pass by instrumentation silently being off).
+#[test]
+fn observability_on_and_off_serve_bit_identical_answers() {
+    let (ds, w) = data_fixture(83);
+    let model = train(&ds, &w, 83, 2);
+    let pool = query_pool(&ds, model.tmax(), 24);
+
+    let start = |slow_query_us: u64, trace_buffer: usize| {
+        Engine::start(
+            Arc::new(ModelRegistry::new(model.clone())),
+            &EngineConfig {
+                workers: 2,
+                shards: 2,
+                max_batch_rows: 16,
+                cache_entries: 32,
+                auto_batch_min_rows: 0,
+                max_queue_rows: 0,
+                slow_query_us,
+                trace_buffer,
+            },
+        )
+    };
+    // every request on the instrumented engine is "slow" at a 1µs bar,
+    // so the slow path (log push + counter) runs on every reply
+    let traced = start(1, 512);
+    let plain = start(0, 0);
+
+    let serve_all = |engine: &Arc<Engine<PartitionedSelNet>>| -> Vec<Vec<f64>> {
+        let mut answers = Vec::with_capacity(pool.len());
+        let mut handles = Vec::new();
+        for (i, (x, ts)) in pool.iter().enumerate() {
+            let request = Request::new(x.clone()).thresholds(ts.clone());
+            if i % 2 == 0 {
+                answers.push((i, engine.serve_blocking(&request).expect("served")));
+            } else {
+                handles.push((i, engine.submit(request).expect("submitted")));
+            }
+        }
+        for (i, handle) in handles {
+            answers.push((i, handle.wait().expect("served")));
+        }
+        answers.sort_by_key(|(i, _)| *i);
+        answers.into_iter().map(|(_, v)| v).collect()
+    };
+
+    let traced_answers = serve_all(&traced);
+    let plain_answers = serve_all(&plain);
+    assert_eq!(
+        traced_answers, plain_answers,
+        "observability perturbed served bits"
+    );
+
+    // the instrumented engine really was instrumented...
+    assert!(
+        !traced.spans().is_empty(),
+        "trace_buffer=512 engine recorded no spans"
+    );
+    assert_eq!(
+        traced.slow_queries().len().min(pool.len()),
+        traced
+            .stats()
+            .snapshot()
+            .slow_requests
+            .min(pool.len() as u64) as usize,
+        "slow-query log and counter disagree"
+    );
+    assert!(
+        traced.stats().snapshot().slow_requests >= pool.len() as u64,
+        "a 1µs threshold must flag every request as slow"
+    );
+    // ...and the plain engine really was inert
+    assert!(plain.spans().is_empty());
+    assert!(plain.slow_queries().is_empty());
+    assert_eq!(plain.stats().snapshot().slow_requests, 0);
+
+    traced.shutdown();
+    plain.shutdown();
 }

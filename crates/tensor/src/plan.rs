@@ -915,12 +915,16 @@ impl InferencePlan {
         outputs: &[Var],
         precision: PlanPrecision,
     ) -> Result<InferencePlan, PlanError> {
+        // flight-recorder hook: inert unless the process-global recorder
+        // was armed (e.g. selnet-serve --trace-buffer)
+        let mut span = selnet_obs::trace::global().span("plan_compile", 0);
         let nodes = g.live_nodes();
         let b0 = pass_capture(nodes, inputs, outputs)?;
         let dce = pass_dce(nodes, outputs);
         let lowered = pass_lower(nodes, inputs, b0, &dce)?;
         let mut plan = pass_assign_buffers(nodes, inputs, outputs, precision, lowered)?;
         pass_precision(&mut plan);
+        span.set_detail(plan.instrs.len() as u64, plan.outputs.len() as u64);
         Ok(plan)
     }
 
@@ -988,6 +992,9 @@ impl InferencePlan {
         rows: usize,
         mut fill: impl FnMut(usize, &mut Matrix),
     ) -> PlanOutputs<'b> {
+        let _span = selnet_obs::trace::global()
+            .span("plan_replay", 0)
+            .detail(rows as u64, self.instrs.len() as u64);
         if bufs.bufs.len() < self.buf_shapes.len() {
             bufs.bufs
                 .resize_with(self.buf_shapes.len(), Matrix::default);
