@@ -77,6 +77,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
             max_queue_rows: 0, // unbounded: the bench measures service, not shedding
             slow_query_us: 0,
             trace_buffer: 0,
+            replay_threads: 1,
         },
     );
     let mut group = c.benchmark_group("serve_engine");
@@ -168,6 +169,45 @@ fn bench_record(_c: &mut Criterion) {
     let int8_vs_exact_paired = ratios[ratios.len() / 2];
     let [p_exact, p_bf16, p_int8, p_pruned] = mode_ms;
 
+    // row-chunked parallel replay: the same wave through
+    // `predict_batch_into_at_threaded` at 1/2/4/8 threads (on a 1-vCPU
+    // box the curve is flat by construction — answers are bit-identical
+    // either way, so the numbers are still honest)
+    let mut sout = Vec::with_capacity(BATCH);
+    let scaling_ms: Vec<f64> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            time_ms(10, 10, || {
+                model.predict_batch_into_at_threaded(
+                    &x_refs,
+                    &ts,
+                    PlanPrecision::Exact,
+                    threads,
+                    &mut sout,
+                );
+                black_box(sout.last().copied());
+            })
+        })
+        .collect();
+    // 1-thread-vs-current guard estimator: median of per-round paired
+    // serial/1t ratios (same drift-cancelling shape as int8_vs_exact) —
+    // ≥ 1.0 means chunk plumbing costs nothing when it doesn't engage
+    let mut paired = Vec::with_capacity(96);
+    for _ in 0..96 {
+        let serial = time_ms(1, 5, || {
+            model.predict_batch_into_at(&x_refs, &ts, PlanPrecision::Exact, &mut sout);
+            black_box(sout.last().copied());
+        });
+        let one_t = time_ms(1, 5, || {
+            model.predict_batch_into_at_threaded(&x_refs, &ts, PlanPrecision::Exact, 1, &mut sout);
+            black_box(sout.last().copied());
+        });
+        paired.push(serial / one_t);
+    }
+    paired.sort_by(f64::total_cmp);
+    let replay_1t_vs_current = paired[paired.len() / 2];
+
+    let sweep_model = model.clone();
     let engine = Engine::start(
         Arc::new(ModelRegistry::new(model)),
         &EngineConfig {
@@ -179,6 +219,7 @@ fn bench_record(_c: &mut Criterion) {
             max_queue_rows: 0,
             slow_query_us: 0,
             trace_buffer: 0,
+            replay_threads: 1,
         },
     );
     let engine_batch = time_ms(10, 10, || {
@@ -195,6 +236,69 @@ fn bench_record(_c: &mut Criterion) {
     });
     engine.shutdown();
 
+    // client-window × server-in-flight-cap sweep over real TCP (the PR 6
+    // remainder): one pipelined connection pumps the same wave per
+    // setting; window 1 is the no-pipelining control the coalescing win
+    // is measured against
+    let windows = [1usize, 8, 32, 128];
+    let caps = [64usize, 256];
+    let mut sweep_lines = Vec::new();
+    let mut best = (f64::MAX, 0usize, 0usize);
+    let mut w1_ms = f64::MAX;
+    for &cap in &caps {
+        selnet_serve::server::set_max_inflight(cap);
+        let engine = Engine::start(
+            Arc::new(ModelRegistry::new(sweep_model.clone())),
+            &EngineConfig {
+                workers: 1,
+                shards: 1,
+                max_batch_rows: BATCH,
+                cache_entries: 0,
+                auto_batch_min_rows: 0,
+                max_queue_rows: 0,
+                slow_query_us: 0,
+                trace_buffer: 0,
+                replay_threads: 1,
+            },
+        );
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind sweep listener");
+        let addr = listener.local_addr().expect("sweep listener addr");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let srv = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || selnet_serve::server::serve_tcp(engine, listener, stop))
+        };
+        for &window in &windows {
+            let cfg = selnet_client::ClientConfig { window };
+            let mut conn =
+                selnet_client::Connection::connect_with(addr, &cfg).expect("sweep connect");
+            let ms = time_ms(5, 5, || {
+                for i in 0..BATCH {
+                    conn.send_query(None, &xs[i], &[ts[i]]).expect("send");
+                }
+                for _ in 0..BATCH {
+                    black_box(conn.recv().expect("recv"));
+                }
+            });
+            if window == 1 {
+                w1_ms = w1_ms.min(ms);
+            }
+            if ms < best.0 {
+                best = (ms, window, cap);
+            }
+            sweep_lines.push(format!(r#"    "w{window}_cap{cap}_ms": {ms:.4}"#));
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        srv.join()
+            .expect("sweep server thread")
+            .expect("sweep server");
+        engine.shutdown();
+    }
+    selnet_serve::server::set_max_inflight(0);
+    let sweep_block = sweep_lines.join(",\n");
+    let (best_ms, best_window, best_cap) = best;
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     // floors survive re-recording: read them back from the existing file
     // (falling back to the shipped defaults)
@@ -206,6 +310,9 @@ fn bench_record(_c: &mut Criterion) {
     let floor_batched = json_number(floors_blob, "speedup_batched_vs_single").unwrap_or(2.0);
     let floor_plan = json_number(floors_blob, "plan_vs_tape").unwrap_or(1.05);
     let floor_int8 = json_number(floors_blob, "int8_vs_exact").unwrap_or(1.0);
+    let floor_obs = json_number(floors_blob, "obs_overhead_max").unwrap_or(1.03);
+    let floor_obs_slow = json_number(floors_blob, "obs_slowpath_max").unwrap_or(1.25);
+    let floor_replay_1t = json_number(floors_blob, "replay_1t_vs_current").unwrap_or(1.0);
 
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -257,11 +364,32 @@ fn bench_record(_c: &mut Criterion) {
     "int8_vs_exact": {int8_vs_exact:.2},
     "note": "predict_batch_into_at over the same {BATCH} rows, one row per precision-lowered plan; int8_vs_exact is the median of per-round paired exact/int8 ratios (drift-cancelling, same estimator as serve_bench_guard); accuracy contract for the lossy modes lives in crates/core/tests/plan_precision.rs"
   }},
+  "scaling": {{
+    "machine_cpus": {cpus},
+    "batched_replay_1t_ms": {s1:.4},
+    "batched_replay_2t_ms": {s2:.4},
+    "batched_replay_4t_ms": {s4:.4},
+    "batched_replay_8t_ms": {s8:.4},
+    "speedup_4t_vs_1t": {s_speedup:.2},
+    "replay_1t_vs_current": {replay_1t_vs_current:.2},
+    "note": "predict_batch_into_at_threaded over the same {BATCH} rows at 1/2/4/8 replay threads (row-chunked parallel plan replay, bit-identical answers at every count). replay_1t_vs_current is the median paired serial/1-thread ratio — the chunked entry point at 1 thread must not cost over the plain serial path. speedup_4t_vs_1t only shows a parallel win when machine_cpus >= 4; on a 1-vCPU recorder the curve is flat and the guard skips the 4t floor."
+  }},
+  "client_sweep": {{
+{sweep_block},
+    "best_window": {best_window},
+    "best_inflight_cap": {best_cap},
+    "best_ms": {best_ms:.4},
+    "pipelining_win_vs_w1": {sweep_win:.2},
+    "note": "client per-connection window x server per-connection in-flight cap over real TCP (one pipelined connection, {BATCH}-query wave, workers=1). Window 1 is the no-pipelining control; pipelining_win_vs_w1 = w1 time / best time, the coalescing win pipelining buys. On this recording host the curve saturates once window >= the coalescing batch; the shipped defaults (window 32, cap 256) sit on the flat part, so they stay."
+  }},
   "floors": {{
     "speedup_batched_vs_single": {floor_batched:.2},
     "plan_vs_tape": {floor_plan:.2},
     "int8_vs_exact": {floor_int8:.2},
-    "note": "CI floors enforced by serve_bench_guard; conservative next to the recorded figures to ride out machine noise"
+    "obs_overhead_max": {floor_obs:.2},
+    "obs_slowpath_max": {floor_obs_slow:.2},
+    "replay_1t_vs_current": {floor_replay_1t:.2},
+    "note": "CI floors enforced by serve_bench_guard; conservative next to the recorded figures to ride out machine noise. obs_overhead_max bounds the median paired-round ratio of obs-armed (span ring + slow-query log at a tail-calibrated threshold) over obs-disabled engine submit/collect waves: the always-on observability cost of untraced traffic must stay under 3% on the batched hot path (per-request spans are sampled, paid only by trace-ID-carrying requests). obs_slowpath_max separately bounds the pathological every-request-slow configuration (1us threshold, one bounded log push per request at 600k+ req/s) so the slow path can never silently grow a syscall, an allocation, or an O(n) push. replay_1t_vs_current floors the recorded scaling.replay_1t_vs_current ratio (guard applies a small noise grace) so single-thread replay can never regress while chasing multi-core scaling."
   }},
   "notes": "speedup_batched_vs_single is the coalescing win the serving engine exists for: a batch amortizes the forward pass and turns {BATCH} skinny 1-row matmuls into one {BATCH}-row matmul. plan_vs_tape_batched is the compiled-plan win on top: no grad buffers, no per-call parameter injection, fused affine+activation steps. engine_vs_batched is the remaining queue/channel overhead per request (1.0 = free)."
 }}
@@ -279,6 +407,12 @@ fn bench_record(_c: &mut Criterion) {
         qps_int8 = BATCH as f64 / (p_int8 / 1e3),
         qps_pruned = BATCH as f64 / (p_pruned / 1e3),
         int8_vs_exact = int8_vs_exact_paired,
+        s1 = scaling_ms[0],
+        s2 = scaling_ms[1],
+        s4 = scaling_ms[2],
+        s8 = scaling_ms[3],
+        s_speedup = scaling_ms[0] / scaling_ms[2],
+        sweep_win = w1_ms / best_ms,
     );
     std::fs::write(path, json).expect("write BENCH_serve.json");
     println!("\nrecorded serving numbers to {path}");

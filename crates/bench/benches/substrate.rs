@@ -117,6 +117,41 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serving shapes the skinny-kernel tuning targets: a coalesced wave
+/// is 64 rows through layers of width 16–64, nothing like the square
+/// 256² the classic group times. `(m, k, n)` for `A(m×k) · B(k×n)`.
+const GEMM_SHAPES: [(usize, usize, usize); 5] = [
+    (64, 10, 64),    // wave × input dim → trunk
+    (64, 64, 64),    // trunk → trunk
+    (64, 64, 16),    // trunk → head
+    (16, 64, 64),    // light wave (auto-batch floor)
+    (256, 256, 256), // control: the square shape the tiling was built for
+];
+
+fn gemm_fixture(m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
+    let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 97) as f32 * 0.01);
+    let b = Matrix::from_fn(k, n, |i, j| ((i * 13 + j * 29) % 89) as f32 * 0.01);
+    (a, b)
+}
+
+/// Yardstick group: the hand-tiled kernel vs the straightforward naive
+/// gemm on the exact serving shapes, so kernel-peak distance is a tracked
+/// number per shape rather than folklore extrapolated from 256².
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_yardstick");
+    group.sample_size(20);
+    for (m, k, n) in GEMM_SHAPES {
+        let (a, b) = gemm_fixture(m, k, n);
+        group.bench_function(format!("{m}x{k}x{n}_hand"), |bench| {
+            bench.iter(|| black_box(a.matmul_threaded(&b, 1)))
+        });
+        group.bench_function(format!("{m}x{k}x{n}_naive"), |bench| {
+            bench.iter(|| black_box(a.matmul_naive(&b)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_cover_tree(c: &mut Criterion) {
     let ds = fasttext_like(&GeneratorConfig::new(5000, 16, 8, 1));
     let mut group = c.benchmark_group("cover_tree");
@@ -269,6 +304,36 @@ fn bench_record(_c: &mut Criterion) {
         black_box(selnet_core::fit(&ds, &w, &cfg));
     });
 
+    // the parallel matmul dispatcher's scaling curve at the 256² control
+    // shape (per-thread times; equal on a 1-vCPU box by construction)
+    let mm_scaling: Vec<f64> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| {
+            time_ms(10, 10, || {
+                black_box(a.matmul_threaded(&b, t));
+            })
+        })
+        .collect();
+
+    // gemm yardstick: hand kernel vs naive reference per serving shape
+    let gemm_lines: Vec<String> = GEMM_SHAPES
+        .iter()
+        .map(|&(m, k, n)| {
+            let (ga, gb) = gemm_fixture(m, k, n);
+            let hand = time_ms(10, 50, || {
+                black_box(ga.matmul_threaded(&gb, 1));
+            });
+            let naive_ref = time_ms(10, 50, || {
+                black_box(ga.matmul_naive(&gb));
+            });
+            format!(
+                r#"    "{m}x{k}x{n}": {{ "hand_ms": {hand:.5}, "naive_ms": {naive_ref:.5}, "hand_vs_naive": {ratio:.2} }}"#,
+                ratio = naive_ref / hand
+            )
+        })
+        .collect();
+    let gemm_block = gemm_lines.join(",\n");
+
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -307,9 +372,25 @@ fn bench_record(_c: &mut Criterion) {
     "speedup_vs_pr2_train_epoch": {speedup_pr2:.2},
     "speedup_tape_reuse_vs_fresh": {speedup_tape:.2}
   }},
-  "notes": "seed/pr2 numbers were taken on a single-vCPU container; the 4t entries only show parallel gains on multi-core hosts (the kernels are bit-identical across thread counts either way). The tape_* pair isolates per-step tape overhead: same model, same data, fresh Graph per step vs one reused arena."
+  "scaling": {{
+    "machine_cpus": {cpus},
+    "matmul_256_1t_ms": {mm1:.4},
+    "matmul_256_2t_ms": {mm2:.4},
+    "matmul_256_4t_ms": {mm4:.4},
+    "matmul_256_8t_ms": {mm8:.4},
+    "speedup_4t_vs_1t": {mm_speedup:.2}
+  }},
+  "gemm": {{
+{gemm_block}
+  }},
+  "notes": "seed/pr2 numbers were taken on a single-vCPU container; the 4t entries only show parallel gains on multi-core hosts (the kernels are bit-identical across thread counts either way). The tape_* pair isolates per-step tape overhead: same model, same data, fresh Graph per step vs one reused arena. The scaling block is the parallel matmul dispatcher's per-thread curve at the 256² control shape; the gemm block is the hand-tiled kernel vs the naive ikj reference per serving shape (hand_vs_naive > 1 means the hand kernel wins), recorded on machine_cpus cores."
 }}
 "#,
+        mm1 = mm_scaling[0],
+        mm2 = mm_scaling[1],
+        mm4 = mm_scaling[2],
+        mm8 = mm_scaling[3],
+        mm_speedup = mm_scaling[0] / mm_scaling[2],
         speedup_mm = 2.0667 / blocked_1t.min(blocked_4t),
         speedup_te = 3.3017 / train_epoch,
         speedup_pr2 = 1.3914 / train_epoch,
@@ -323,6 +404,7 @@ fn bench_record(_c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_gemm,
     bench_tape,
     bench_cover_tree,
     bench_pwl,

@@ -12,8 +12,11 @@
 //! replaces) still trips it.
 //!
 //! It also bounds the flight recorder (`obs_overhead_max` /
-//! `obs_slowpath_max`, see [`check_obs_overhead`]) and validates the
-//! recorded `BENCH_drift.json` (when present):
+//! `obs_slowpath_max`, see [`check_obs_overhead`]), validates the
+//! recorded multi-core `scaling` block (shape + single-thread floor +
+//! the ≥1.5x@4t requirement when recorded on a ≥4-core host, see
+//! [`check_scaling_artifact`]) with a live re-time of the 1-thread
+//! ratio, and validates the recorded `BENCH_drift.json` (when present):
 //! every schedule block must satisfy the floors the artifact itself
 //! carries — zero monotonicity violations, zero bit mismatches, at least
 //! one hot swap, and a bounded post-swap MAPE ratio. That check is pure
@@ -85,6 +88,92 @@ fn check_drift_artifact() -> Result<(), ()> {
     }
 }
 
+/// Noise grace applied to the recorded `replay_1t_vs_current` ratio: the
+/// floor is 1.0 (single-thread replay must not regress), but the ratio
+/// compares two near-identical code paths, so a few percent of timing
+/// noise on the recording host must not read as a regression.
+const SCALING_NOISE_GRACE: f64 = 0.05;
+
+/// Validates the recorded `scaling` block in `BENCH_serve.json`: the
+/// 1/2/4/8-thread batched-replay entries must all be present and
+/// positive, the recorded single-thread ratio must clear its floor (with
+/// [`SCALING_NOISE_GRACE`]), and — when the block was recorded on a host
+/// with ≥ 4 cores — the 4-thread speedup must reach 1.5x. Pure artifact
+/// check (no re-run), same shape as [`check_drift_artifact`]: the live
+/// re-proof of bit-identity is the test suite, and the live 1-thread
+/// floor is re-timed in `main`.
+fn check_scaling_artifact(blob: &str, floor_replay_1t: f64) -> Result<(), ()> {
+    let Some(block) = json_section(blob, "scaling") else {
+        eprintln!("serve_bench_guard: FAIL BENCH_serve.json is missing the scaling block");
+        return Err(());
+    };
+    let mut ok = true;
+    let mut entries = [0.0f64; 4];
+    for (slot, t) in entries.iter_mut().zip([1usize, 2, 4, 8]) {
+        let key = format!("batched_replay_{t}t_ms");
+        match json_number(block, &key) {
+            Some(v) if v > 0.0 => *slot = v,
+            _ => {
+                eprintln!("serve_bench_guard: FAIL scaling block lacks a positive {key}");
+                ok = false;
+            }
+        }
+    }
+    let cpus = json_number(block, "machine_cpus").unwrap_or(0.0);
+    if cpus < 1.0 {
+        eprintln!("serve_bench_guard: FAIL scaling block lacks machine_cpus");
+        ok = false;
+    }
+    let Some(speedup_4t) = json_number(block, "speedup_4t_vs_1t") else {
+        eprintln!("serve_bench_guard: FAIL scaling block lacks speedup_4t_vs_1t");
+        return Err(());
+    };
+    let Some(ratio_1t) = json_number(block, "replay_1t_vs_current") else {
+        eprintln!("serve_bench_guard: FAIL scaling block lacks replay_1t_vs_current");
+        return Err(());
+    };
+    if ok && entries[3] > 0.0 {
+        // internal consistency: the recorded speedup must match the
+        // recorded times (a hand-edited artifact shouldn't pass)
+        let derived = entries[0] / entries[2];
+        if (speedup_4t - derived).abs() > 0.1 * derived.max(speedup_4t) {
+            eprintln!(
+                "serve_bench_guard: FAIL scaling speedup_4t_vs_1t {speedup_4t:.2} \
+                 inconsistent with recorded times (derived {derived:.2})"
+            );
+            ok = false;
+        }
+    }
+    if ratio_1t < floor_replay_1t - SCALING_NOISE_GRACE {
+        eprintln!(
+            "serve_bench_guard: FAIL recorded replay_1t_vs_current {ratio_1t:.2} \
+             < floor {floor_replay_1t:.2} - grace {SCALING_NOISE_GRACE:.2}"
+        );
+        ok = false;
+    }
+    if cpus >= 4.0 && speedup_4t < 1.5 {
+        eprintln!(
+            "serve_bench_guard: FAIL scaling speedup_4t_vs_1t {speedup_4t:.2} < 1.5 \
+             on a {cpus:.0}-core recording host"
+        );
+        ok = false;
+    }
+    if ok {
+        let scale_note = if cpus >= 4.0 {
+            "4t floor enforced"
+        } else {
+            "recorded on < 4 cores; 4t floor not applicable"
+        };
+        println!(
+            "serve_bench_guard: scaling block OK (1t ratio {ratio_1t:.2}, \
+             4t speedup {speedup_4t:.2}, {scale_note})"
+        );
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
 /// The observability overhead guards, timed as medians of per-round
 /// paired ratios against an engine with every knob off —
 /// frequency/thermal drift and scheduler luck are common-mode within a
@@ -122,6 +211,7 @@ fn check_obs_overhead(
                 max_queue_rows: 0,
                 slow_query_us,
                 trace_buffer,
+                replay_threads: 1,
             },
         )
     };
@@ -196,6 +286,8 @@ fn main() -> ExitCode {
     let floor_int8 = json_number(floors, "int8_vs_exact").unwrap_or(1.0);
     let floor_obs = json_number(floors, "obs_overhead_max").unwrap_or(1.03);
     let floor_slowpath = json_number(floors, "obs_slowpath_max").unwrap_or(1.25);
+    let floor_replay_1t = json_number(floors, "replay_1t_vs_current").unwrap_or(1.0);
+    let scaling_ok = check_scaling_artifact(&blob, floor_replay_1t).is_ok();
 
     eprintln!("serve_bench_guard: training fixture...");
     let (ds, model) = model_fixture();
@@ -253,7 +345,37 @@ fn main() -> ExitCode {
          int8_vs_exact={int8_vs_exact:.2} (floor {floor_int8:.2})"
     );
 
-    let mut ok = drift_ok;
+    // live single-thread floor for the chunked entry point: the paired
+    // serial / 1-thread-chunked median on this machine (not just the
+    // recorded artifact) — catches a plumbing regression the moment it
+    // lands, with the same noise grace as the artifact check
+    let mut replay_rounds = Vec::with_capacity(96);
+    for _ in 0..96 {
+        let serial = time_ms(1, 5, || {
+            model.predict_batch_into_at(&x_refs, &ts, PlanPrecision::Exact, &mut pout);
+            black_box(pout.last().copied());
+        });
+        let one_t = time_ms(1, 5, || {
+            model.predict_batch_into_at_threaded(&x_refs, &ts, PlanPrecision::Exact, 1, &mut pout);
+            black_box(pout.last().copied());
+        });
+        replay_rounds.push(serial / one_t);
+    }
+    replay_rounds.sort_by(f64::total_cmp);
+    let live_replay_1t = replay_rounds[replay_rounds.len() / 2];
+    println!(
+        "serve_bench_guard: live replay_1t_vs_current={live_replay_1t:.4} \
+         (floor {floor_replay_1t:.2} - grace {SCALING_NOISE_GRACE:.2})"
+    );
+
+    let mut ok = drift_ok && scaling_ok;
+    if live_replay_1t < floor_replay_1t - SCALING_NOISE_GRACE {
+        eprintln!(
+            "serve_bench_guard: FAIL live replay_1t_vs_current {live_replay_1t:.2} \
+             < floor {floor_replay_1t:.2} - grace {SCALING_NOISE_GRACE:.2}"
+        );
+        ok = false;
+    }
     if speedup_batched < floor_batched {
         eprintln!(
             "serve_bench_guard: FAIL speedup_batched_vs_single {speedup_batched:.2} \

@@ -85,6 +85,7 @@ fn four_pipelined_connections_two_tenants_match_direct_estimation() {
             max_queue_rows: 0, // unbounded: this test is about identity, not shedding
             slow_query_us: 0,
             trace_buffer: 0,
+            replay_threads: 1,
         },
     );
     let server = spawn_server(&engine);
@@ -193,6 +194,7 @@ fn saturated_server_sheds_overloaded_and_stats_count_it() {
             max_queue_rows: 4,
             slow_query_us: 0,
             trace_buffer: 0,
+            replay_threads: 1,
         },
     );
     let server = spawn_server(&engine);
@@ -259,6 +261,7 @@ fn traced_queries_and_metrics_scrape_round_trip() {
             max_queue_rows: 0,
             slow_query_us: 1, // every 2ms Slow reply is a slow query
             trace_buffer: 0,
+            replay_threads: 1,
         },
     );
     let server = spawn_server(&engine);

@@ -208,6 +208,61 @@ impl PartitionedSelNet {
         });
     }
 
+    /// [`PartitionedSelNet::predict_many_into_at`] with the replay split
+    /// into threshold-row chunks across up to `threads` worker threads
+    /// (`0` = the process-wide `selnet_tensor::parallel` configuration,
+    /// `1` = the serial path). **Bit-identical to the serial entry point
+    /// at every thread count**: the `many` plan is row-independent over
+    /// its threshold rows, chunk boundaries are deterministic, and each
+    /// chunk replays the same per-row kernels — see
+    /// [`InferencePlan::run_chunked`]. The engagement threshold derived
+    /// from the plan's counted FLOPs keeps tiny threshold grids serial.
+    pub fn predict_many_into_at_threaded(
+        &self,
+        x: &[f32],
+        ts: &[f32],
+        precision: PlanPrecision,
+        threads: usize,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        out.clear();
+        if ts.is_empty() {
+            return;
+        }
+        let parts = self.locals.len();
+        let plans = self.plans_at(precision);
+        out.resize(ts.len(), 0.0);
+        plans.many.run_chunked(
+            ts.len(),
+            threads,
+            out.as_mut_slice(),
+            |k, first_row, m| match k {
+                // the query vector is a fixed (1-row) input: every chunk
+                // fills it identically
+                0 => m.data_mut().copy_from_slice(x),
+                _ => {
+                    let rows = m.rows();
+                    m.data_mut()
+                        .copy_from_slice(&ts[first_row..first_row + rows]);
+                }
+            },
+            |first_row, run, chunk| {
+                let preds: Vec<&[f32]> = (0..parts).map(|p| run.output(p).data()).collect();
+                let mut ind: Vec<bool> = Vec::with_capacity(parts);
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    let t = ts[first_row + j];
+                    self.partitioning.indicator_into(x, t, &mut ind);
+                    *o = preds
+                        .iter()
+                        .zip(&ind)
+                        .map(|(pred, &on)| if on { pred[j] as f64 } else { 0.0 })
+                        .sum();
+                }
+            },
+        );
+    }
+
     /// Reference tape implementation of
     /// [`PartitionedSelNet::predict_many`] — pinned bit-identical to the
     /// plan path by the property suite, and the baseline the `plan_*`
@@ -325,6 +380,70 @@ impl PartitionedSelNet {
         });
     }
 
+    /// [`PartitionedSelNet::predict_batch_into_at`] with the replay split
+    /// into row chunks across up to `threads` worker threads (`0` = the
+    /// process-wide `selnet_tensor::parallel` configuration, `1` = the
+    /// serial path). **Bit-identical to the serial entry point at every
+    /// thread count**: each batch row flows through the same per-row
+    /// kernels regardless of which chunk it lands in, chunk boundaries
+    /// are deterministic, and the indicator/summation stage is per-row —
+    /// see [`InferencePlan::run_chunked`]. An engine worker draining a
+    /// large coalesced batch calls this to fan the replay across idle
+    /// cores.
+    pub fn predict_batch_into_at_threaded(
+        &self,
+        xs: &[&[f32]],
+        ts: &[f32],
+        precision: PlanPrecision,
+        threads: usize,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(xs.len(), ts.len(), "one threshold per query object");
+        out.clear();
+        if xs.is_empty() {
+            return;
+        }
+        for x in xs {
+            assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        }
+        let b = xs.len();
+        let parts = self.locals.len();
+        let plans = self.plans_at(precision);
+        out.resize(b, 0.0);
+        plans.batch.run_chunked(
+            b,
+            threads,
+            out.as_mut_slice(),
+            |k, first_row, m| match k {
+                0 => {
+                    let rows = m.rows();
+                    for (off, row) in m.data_mut().chunks_exact_mut(self.dim).enumerate() {
+                        debug_assert!(off < rows);
+                        row.copy_from_slice(xs[first_row + off]);
+                    }
+                }
+                _ => {
+                    let rows = m.rows();
+                    m.data_mut()
+                        .copy_from_slice(&ts[first_row..first_row + rows]);
+                }
+            },
+            |first_row, run, chunk| {
+                let preds: Vec<&[f32]> = (0..parts).map(|p| run.output(p).data()).collect();
+                let mut ind: Vec<bool> = Vec::with_capacity(parts);
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    let g = first_row + j;
+                    self.partitioning.indicator_into(xs[g], ts[g], &mut ind);
+                    *o = preds
+                        .iter()
+                        .zip(&ind)
+                        .map(|(pred, &on)| if on { pred[j] as f64 } else { 0.0 })
+                        .sum();
+                }
+            },
+        );
+    }
+
     /// Reference tape implementation of
     /// [`PartitionedSelNet::predict_batch`] — pinned bit-identical to the
     /// plan path by the property suite, and the baseline the `plan_*`
@@ -434,6 +553,28 @@ impl SelectivityEstimator for PartitionedSelNet {
         out: &mut Vec<f64>,
     ) {
         self.predict_batch_into_at(xs, ts, precision, out)
+    }
+
+    fn estimate_batch_into_at_threaded(
+        &self,
+        xs: &[&[f32]],
+        ts: &[f32],
+        precision: PlanPrecision,
+        threads: usize,
+        out: &mut Vec<f64>,
+    ) {
+        self.predict_batch_into_at_threaded(xs, ts, precision, threads, out)
+    }
+
+    fn estimate_many_into_at_threaded(
+        &self,
+        x: &[f32],
+        ts: &[f32],
+        precision: PlanPrecision,
+        threads: usize,
+        out: &mut Vec<f64>,
+    ) {
+        self.predict_many_into_at_threaded(x, ts, precision, threads, out)
     }
 
     fn query_dim(&self) -> Option<usize> {

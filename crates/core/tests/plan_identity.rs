@@ -66,6 +66,40 @@ fn assert_model_paths_match(model: &PartitionedSelNet, w: &Workload, label: &str
         let plan = model.predict_batch(&xs[..b], &ts[..b]);
         let tape = model.tape_predict_batch(&xs[..b], &ts[..b]);
         assert_eq!(plan, tape, "{label}: predict_batch diverged at b={b}");
+        // row-chunked parallel replay: bit-identical to the serial path at
+        // every thread count, including threads > rows
+        for &threads in &[1usize, 2, 4, 8] {
+            let mut threaded = Vec::new();
+            model.predict_batch_into_at_threaded(
+                &xs[..b],
+                &ts[..b],
+                selnet_tensor::PlanPrecision::Exact,
+                threads,
+                &mut threaded,
+            );
+            assert_eq!(
+                plan, threaded,
+                "{label}: chunked predict_batch diverged at b={b} threads={threads}"
+            );
+        }
+    }
+    // the many-path threaded variant against its serial twin
+    if let Some(q) = w.test.first() {
+        let serial = model.predict_many(&q.x, &q.thresholds);
+        for &threads in &[1usize, 2, 4, 8] {
+            let mut threaded = Vec::new();
+            model.predict_many_into_at_threaded(
+                &q.x,
+                &q.thresholds,
+                selnet_tensor::PlanPrecision::Exact,
+                threads,
+                &mut threaded,
+            );
+            assert_eq!(
+                serial, threaded,
+                "{label}: chunked predict_many diverged at threads={threads}"
+            );
+        }
     }
 }
 

@@ -84,6 +84,41 @@ pub trait SelectivityEstimator {
         self.estimate_batch_into(xs, ts, out);
     }
 
+    /// [`SelectivityEstimator::estimate_batch_into_at`] with a worker
+    /// budget: implementations backed by row-chunkable compiled plans may
+    /// split the batch's rows across up to `threads` threads (`0` = the
+    /// process-wide configuration, `1` = serial). The default ignores the
+    /// budget and runs serially — correct for every estimator, since
+    /// overrides **must stay bit-identical to the serial entry point at
+    /// every thread count** (parallelism here is a latency knob, never an
+    /// accuracy knob).
+    fn estimate_batch_into_at_threaded(
+        &self,
+        xs: &[&[f32]],
+        ts: &[f32],
+        precision: PlanPrecision,
+        threads: usize,
+        out: &mut Vec<f64>,
+    ) {
+        let _ = threads;
+        self.estimate_batch_into_at(xs, ts, precision, out);
+    }
+
+    /// [`SelectivityEstimator::estimate_many_into_at`] with a worker
+    /// budget; same contract as
+    /// [`SelectivityEstimator::estimate_batch_into_at_threaded`].
+    fn estimate_many_into_at_threaded(
+        &self,
+        x: &[f32],
+        ts: &[f32],
+        precision: PlanPrecision,
+        threads: usize,
+        out: &mut Vec<f64>,
+    ) {
+        let _ = threads;
+        self.estimate_many_into_at(x, ts, precision, out);
+    }
+
     /// The query dimensionality this estimator accepts, when it has a
     /// fixed one. Serving layers use this to reject mis-shaped queries
     /// *before* evaluation (the models themselves assert on dimension
@@ -169,6 +204,28 @@ impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for Box<T> {
         out: &mut Vec<f64>,
     ) {
         (**self).estimate_batch_into_at(xs, ts, precision, out)
+    }
+
+    fn estimate_batch_into_at_threaded(
+        &self,
+        xs: &[&[f32]],
+        ts: &[f32],
+        precision: PlanPrecision,
+        threads: usize,
+        out: &mut Vec<f64>,
+    ) {
+        (**self).estimate_batch_into_at_threaded(xs, ts, precision, threads, out)
+    }
+
+    fn estimate_many_into_at_threaded(
+        &self,
+        x: &[f32],
+        ts: &[f32],
+        precision: PlanPrecision,
+        threads: usize,
+        out: &mut Vec<f64>,
+    ) {
+        (**self).estimate_many_into_at_threaded(x, ts, precision, threads, out)
     }
 
     fn query_dim(&self) -> Option<usize> {

@@ -34,6 +34,7 @@ const USAGE: &str = "usage:
                      [--workers N] [--shards N] [--batch ROWS] [--cache ENTRIES]
                      [--auto-batch-min ROWS] [--queue ROWS]
                      [--slow-query-us MICROS] [--trace-buffer SPANS]
+                     [--replay-threads N] [--inflight N]
   selnet-serve check-monotone [--expect non-increasing|non-decreasing]";
 
 fn main() -> ExitCode {
@@ -235,6 +236,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_queue_rows: opts.num("queue", 4096)?,
         slow_query_us: opts.num("slow-query-us", 0)?,
         trace_buffer: opts.num("trace-buffer", 0)?,
+        replay_threads: opts.num("replay-threads", 1)?,
     };
     // the engine keeps its own span ring; the global recorder picks up
     // plan-compile / snapshot / retrain spans from the library crates
@@ -300,6 +302,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         tenant.set_precision(mode);
     }
+
+    // per-connection pipelining depth for the TCP loops (0 keeps the
+    // built-in default; see `server::set_max_inflight`)
+    server::set_max_inflight(opts.num("inflight", 0)?);
 
     let engine = Engine::start(registry, &cfg);
 

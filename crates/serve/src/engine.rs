@@ -302,6 +302,16 @@ pub struct EngineConfig {
     /// client, so untraced traffic only pays the amortized batch-stage
     /// cost. The ring keeps the newest `trace_buffer` spans.
     pub trace_buffer: usize,
+    /// Worker budget for row-chunked parallel plan replay *inside* one
+    /// coalesced batch (`1` = serial replay, the default; `0` = the
+    /// tensor dispatcher's configured thread count; `n > 1` = up to `n`
+    /// threads). When a worker drains a large batch it fans the compiled
+    /// plan's replay across idle cores via
+    /// `estimate_batch_into_at_threaded`; the model's FLOP-derived
+    /// engagement threshold keeps small batches serial, and answers are
+    /// bit-identical at every setting. Worth raising when workers are few
+    /// and cores are many; with one engine worker per core, leave at 1.
+    pub replay_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -315,6 +325,7 @@ impl Default for EngineConfig {
             max_queue_rows: 4096,
             slow_query_us: 0,
             trace_buffer: 0,
+            replay_threads: 1,
         }
     }
 }
@@ -497,6 +508,9 @@ pub struct Engine<M> {
     slow_query_us: u64,
     max_batch_rows: usize,
     auto_batch_min_rows: usize,
+    /// Worker budget for row-chunked parallel replay of one coalesced
+    /// batch (see [`EngineConfig::replay_threads`]).
+    replay_threads: usize,
     max_queue_rows: usize,
     next_shard: AtomicUsize,
     stop: AtomicBool,
@@ -537,6 +551,7 @@ where
             slow_query_us: cfg.slow_query_us,
             max_batch_rows: cfg.max_batch_rows.max(1),
             auto_batch_min_rows: cfg.auto_batch_min_rows,
+            replay_threads: cfg.replay_threads,
             max_queue_rows: cfg.max_queue_rows,
             next_shard: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
@@ -1285,7 +1300,13 @@ where
                 .recorder
                 .span("plan_replay", 0)
                 .detail(total_rows as u64, generation);
-            model.estimate_batch_into_at(&xs, &scratch.ts, precision, &mut scratch.flat);
+            model.estimate_batch_into_at_threaded(
+                &xs,
+                &scratch.ts,
+                precision,
+                self.replay_threads,
+                &mut scratch.flat,
+            );
         }
         self.stats.record_batch(total_rows as u64);
         tenant.stats().record_batch(total_rows as u64);
@@ -1540,6 +1561,7 @@ mod tests {
                 max_queue_rows: 2,
                 slow_query_us: 0,
                 trace_buffer: 0,
+                replay_threads: 1,
             },
         );
         let mut accepted = Vec::new();

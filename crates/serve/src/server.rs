@@ -24,11 +24,34 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, TryRecvError};
 use std::sync::Arc;
 
-/// Bound on unanswered pipelined requests per v2 connection: the reader
-/// loop stops pulling new frames off the socket once this many replies
-/// are pending, so one connection cannot queue unbounded work (TCP
-/// backpressure does the rest).
-const MAX_INFLIGHT_PER_CONNECTION: usize = 256;
+/// Default bound on unanswered pipelined requests per v2 connection: the
+/// reader loop stops pulling new frames off the socket once this many
+/// replies are pending, so one connection cannot queue unbounded work
+/// (TCP backpressure does the rest). The sweep recorded in
+/// `BENCH_serve.json` found throughput flat from 64 through 256 once the
+/// client window is ≥ the coalescing batch, so the default stays 256 —
+/// deep enough for any sane client window, shallow enough to bound a
+/// misbehaving one. Override per process with [`set_max_inflight`].
+pub const MAX_INFLIGHT_PER_CONNECTION: usize = 256;
+
+static MAX_INFLIGHT: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(MAX_INFLIGHT_PER_CONNECTION);
+
+/// Sets the process-wide per-connection in-flight cap (`0` restores the
+/// default). Applies to connections accepted after the call; the bench
+/// sweep uses this to measure cap sensitivity without rebuilding.
+pub fn set_max_inflight(cap: usize) {
+    let cap = if cap == 0 {
+        MAX_INFLIGHT_PER_CONNECTION
+    } else {
+        cap
+    };
+    MAX_INFLIGHT.store(cap, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn max_inflight() -> usize {
+    MAX_INFLIGHT.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Maps an engine refusal onto the v1/text loops' `io::Error`
 /// vocabulary: shutdown reads as a broken pipe, anything else (a
@@ -209,7 +232,7 @@ where
     M: SelectivityEstimator + Send + Sync + 'static,
     W: Write + Send,
 {
-    let (tx, rx) = mpsc::sync_channel::<PendingReply>(MAX_INFLIGHT_PER_CONNECTION);
+    let (tx, rx) = mpsc::sync_channel::<PendingReply>(max_inflight());
     std::thread::scope(|scope| {
         let writer_thread = scope.spawn(move || -> io::Result<()> {
             let mut writer = writer;

@@ -93,6 +93,7 @@ fn concurrent_two_tenant_traffic_is_bit_identical_per_tenant() {
             max_queue_rows: 0,
             slow_query_us: 0,
             trace_buffer: 0,
+            replay_threads: 1,
         },
     );
     let clients = 4;
@@ -174,6 +175,92 @@ fn concurrent_two_tenant_traffic_is_bit_identical_per_tenant() {
     engine.shutdown();
 }
 
+/// `replay_threads > 1` (row-chunked parallel replay inside each drained
+/// batch) must be invisible in the answers: under concurrent multi-tenant
+/// traffic, every reply is bit-identical to the routed tenant's model
+/// served alone single-threaded. Large coalesced batches plus a tiny
+/// worker count make the chunked path actually engage, and a serial
+/// control engine double-checks the equivalence end to end.
+#[test]
+fn parallel_replay_serves_bit_identical_answers_under_multi_tenant_traffic() {
+    let (ds, w) = data_fixture(77);
+    let model_a = train(&ds, &w, 77, 2);
+    let model_b = train(&ds, &w, 178, 3);
+    let pool = query_pool(&ds, model_a.tmax(), 24);
+    let expected_a: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| model_a.estimate_many(x, ts))
+        .collect();
+    let expected_b: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|(x, ts)| model_b.estimate_many(x, ts))
+        .collect();
+
+    let mk_engine = |replay_threads: usize| {
+        let registry = Arc::new(ModelRegistry::empty());
+        registry.register("alpha", model_a.clone()).unwrap();
+        registry.register("beta", model_b.clone()).unwrap();
+        Engine::start(
+            registry,
+            &EngineConfig {
+                // one worker + deep batches: drained batches are large, so
+                // the replay fan-out is the only parallelism in play
+                workers: 1,
+                shards: 1,
+                max_batch_rows: 128,
+                cache_entries: 0,
+                auto_batch_min_rows: 0,
+                max_queue_rows: 0,
+                slow_query_us: 0,
+                trace_buffer: 0,
+                replay_threads,
+            },
+        )
+    };
+
+    for replay_threads in [2usize, 4] {
+        let engine = mk_engine(replay_threads);
+        std::thread::scope(|scope| {
+            for c in 0..3usize {
+                let engine = &engine;
+                let pool = &pool;
+                let expected_a = &expected_a;
+                let expected_b = &expected_b;
+                scope.spawn(move || {
+                    // pipelined bursts keep the queue deep so coalesced
+                    // batches span many requests and both tenants
+                    let handles: Vec<(usize, &str, _)> = (0..pool.len())
+                        .map(|i| {
+                            let idx = (i + c * 11) % pool.len();
+                            let (x, ts) = &pool[idx];
+                            let name = if (idx + c).is_multiple_of(2) {
+                                "alpha"
+                            } else {
+                                "beta"
+                            };
+                            (idx, name, engine.submit(req(name, x, ts)).expect("running"))
+                        })
+                        .collect();
+                    for (idx, name, handle) in handles {
+                        let expected = if name == "alpha" {
+                            &expected_a[idx]
+                        } else {
+                            &expected_b[idx]
+                        };
+                        assert_eq!(
+                            &handle.wait().expect("served"),
+                            expected,
+                            "client {c} query {idx}: replay_threads={replay_threads} answer \
+                             for tenant {name} differs from its model served alone"
+                        );
+                    }
+                });
+            }
+        });
+        engine.shutdown();
+    }
+}
+
 /// Hot-swapping one tenant mid-traffic must leave the other tenant
 /// untouched: its answers stay bit-identical to its pinned ground truth
 /// the whole time, and its generation never moves. The swapped tenant's
@@ -215,6 +302,7 @@ fn hot_swapping_one_tenant_never_perturbs_the_other() {
             max_queue_rows: 0,
             slow_query_us: 0,
             trace_buffer: 0,
+            replay_threads: 1,
         },
     );
     std::thread::scope(|scope| {
@@ -328,6 +416,7 @@ fn mixed_precision_fleet_serves_each_tenant_at_its_own_mode() {
             max_queue_rows: 0,
             slow_query_us: 0,
             trace_buffer: 0,
+            replay_threads: 1,
         },
     );
     std::thread::scope(|scope| {
@@ -435,6 +524,7 @@ fn observability_on_and_off_serve_bit_identical_answers() {
                 max_queue_rows: 0,
                 slow_query_us,
                 trace_buffer,
+                replay_threads: 1,
             },
         )
     };

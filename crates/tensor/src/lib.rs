@@ -97,4 +97,6 @@ pub use layers::{Activation, Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::ParamStore;
-pub use plan::{InferencePlan, PlanBuffers, PlanError, PlanOutputs, PlanPrecision};
+pub use plan::{
+    InferencePlan, PlanBuffers, PlanError, PlanOutputs, PlanPrecision, REPLAY_CHUNK_MIN_FLOPS,
+};

@@ -173,12 +173,31 @@ fn saxpy_kernel(
             }
             i0 += MR;
         }
-        while i0 < m {
-            saxpy_tile::<1>(a, lda, b, out, i0, steps, n);
-            if let Some(p) = packed {
-                saxpy_tail::<1>(a, lda, p, out, i0, steps, n, j_tail, w);
-            }
-            i0 += 1;
+        // ONE monomorphized band sized to the `< MR` row remainder. The
+        // historical row-at-a-time walk re-streamed the whole `b` panel
+        // per leftover row for two FMAs a step — load-bound, and paid on
+        // most calls since the skinny serving shapes (m <= 64) are rarely
+        // multiples of the band height (64 = 10·6 + 4). Sharing one `b`
+        // stream across all leftover rows mirrors the quantized replay's
+        // remainder schedule. Bit-identical to the row-at-a-time walk:
+        // each output element's reduction still runs strictly in `s`
+        // order, and bands never combine rows.
+        macro_rules! remainder_band {
+            ($r:literal) => {{
+                saxpy_tile::<$r>(a, lda, b, out, i0, steps, n);
+                if let Some(p) = packed {
+                    saxpy_tail::<$r>(a, lda, p, out, i0, steps, n, j_tail, w);
+                }
+            }};
+        }
+        match m - i0 {
+            0 => {}
+            1 => remainder_band!(1),
+            2 => remainder_band!(2),
+            3 => remainder_band!(3),
+            4 => remainder_band!(4),
+            5 => remainder_band!(5),
+            _ => unreachable!("remainder bounded by MR"),
         }
     };
     if w == 0 {

@@ -69,7 +69,13 @@ pub fn configured_threads() -> usize {
 
 /// Splits `total` items into at most `threads` contiguous ranges of at
 /// least `min_per_chunk` items (the final range takes the remainder).
-fn chunk_ranges(total: usize, threads: usize, min_per_chunk: usize) -> Vec<(usize, usize)> {
+///
+/// The boundaries depend only on `(total, threads, min_per_chunk)` —
+/// never on scheduling — which is what makes every consumer here (and
+/// the chunked plan replay in [`crate::InferencePlan::run_chunked`])
+/// deterministic: the same
+/// inputs and the same thread count always produce the same partition.
+pub fn chunk_ranges(total: usize, threads: usize, min_per_chunk: usize) -> Vec<(usize, usize)> {
     if total == 0 {
         return Vec::new();
     }

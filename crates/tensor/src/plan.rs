@@ -482,14 +482,13 @@ fn quant_axpy_band<const R: usize>(
 }
 
 /// Runs the banded microkernel over all batch rows: full-height bands,
-/// then ONE monomorphized band sized to the row remainder. The shared
-/// tile kernel walks its remainder a row at a time, which is load-bound
-/// (each leftover row re-streams the whole weight matrix for two FMAs
-/// per step); sharing one weight stream across all leftover rows is
-/// worth ~10% on the serving plans, whose batch sizes are rarely
-/// multiples of the band height. The exact path can't adopt the same
-/// schedule without perturbing its codegen, which the plan-identity
-/// suite bit-pins.
+/// then ONE monomorphized band sized to the row remainder — sharing one
+/// weight stream across all leftover rows instead of re-streaming the
+/// whole weight matrix per row, worth ~10% on the serving plans, whose
+/// batch sizes are rarely multiples of the band height. (The shared tile
+/// kernel has since adopted the same remainder schedule — see
+/// `saxpy_kernel` — which is bit-safe there too: banding never changes
+/// any output element's reduction order.)
 fn quant_axpy_fused(
     x: &Matrix,
     wp: &[f32],
@@ -821,6 +820,43 @@ impl PlanBuffers {
             f(&mut b)
         })
     }
+
+    /// Runs `f` with an arena drawn from a **process-global keyed free
+    /// list** — the arena pool behind [`InferencePlan::run_chunked`].
+    ///
+    /// Chunked replay workers are `std::thread::scope` threads that die at
+    /// the end of every wave, so [`PlanBuffers::with_pooled`]'s
+    /// thread-local arenas can never survive from one wave to the next.
+    /// This pool survives instead: an arena is popped under a brief lock
+    /// (or freshly created when the key's list is empty), used lock-free
+    /// for the whole replay, and pushed back afterwards. Keying by plan
+    /// (see [`InferencePlan::run_chunked`]) gives capacity affinity — a
+    /// worker usually receives an arena whose matrices were last shaped by
+    /// the same plan, so steady-state chunk replays stay allocation-free
+    /// just like the thread-local path. If `f` panics the arena is simply
+    /// dropped, never returned poisoned.
+    pub fn with_keyed<R>(key: u64, f: impl FnOnce(&mut PlanBuffers) -> R) -> R {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        /// Arenas retained per key; beyond this, returns are dropped so a
+        /// one-off wide fan-out can't pin memory forever.
+        const KEYED_ARENA_CAP: usize = 64;
+        static POOL: OnceLock<Mutex<HashMap<u64, Vec<PlanBuffers>>>> = OnceLock::new();
+        let pool = POOL.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut arena = pool
+            .lock()
+            .expect("keyed arena pool poisoned")
+            .get_mut(&key)
+            .and_then(Vec::pop)
+            .unwrap_or_default();
+        let r = f(&mut arena);
+        let mut map = pool.lock().expect("keyed arena pool poisoned");
+        let slot = map.entry(key).or_default();
+        if slot.len() < KEYED_ARENA_CAP {
+            slot.push(arena);
+        }
+        r
+    }
 }
 
 /// Read-only view of a finished replay's outputs, borrowing the arena.
@@ -868,6 +904,19 @@ pub struct InferencePlan {
     sparse_consts: Vec<SparseMatrix>,
     /// The precision this plan was lowered to.
     precision: PlanPrecision,
+    /// Whether every instruction is row-independent over the batch
+    /// dimension — no instruction reduces batch-scaled data into a fixed
+    /// shape — so replay may be split into row chunks bit-safely. Computed
+    /// by the buffer-assignment pass.
+    chunkable: bool,
+    /// Counted multiply-add estimate **per batch row** of one replay
+    /// (matmul/affine inner products dominate; elementwise ops count one
+    /// per output element). Drives the chunked-replay engagement
+    /// threshold — see [`InferencePlan::replay_threads`].
+    flops_per_row: usize,
+    /// Process-unique id keying this plan's arenas in
+    /// [`PlanBuffers::with_keyed`] (capacity affinity across waves).
+    arena_key: u64,
 }
 
 /// Per-node classification produced during compilation.
@@ -881,6 +930,19 @@ enum NodeVal {
     /// buffer ids are assigned in the final pass.
     Node,
 }
+
+/// Minimum counted multiply-adds of replay work per engaged worker
+/// thread (see [`InferencePlan::replay_threads`]).
+///
+/// Derived from the plan's own counted FLOPs rather than the matmul
+/// dispatcher's blanket `2^21`-muladd gate: a serving wave is a *whole
+/// plan* of skinny products (64×d×width), so per-instruction gates never
+/// fire, but the wave's total — e.g. 64 rows × ~5k muladds ≈ 320k — is
+/// plenty to amortize a handful of scoped-thread spawns. `2^15` muladds
+/// per worker keeps the 64-row serving wave engaging 4–8 threads while a
+/// few-row replay (where spawn latency would dominate the math) stays
+/// serial.
+pub const REPLAY_CHUNK_MIN_FLOPS: usize = 1 << 15;
 
 impl InferencePlan {
     /// Compiles the live tape of `g` into a plan.
@@ -1009,6 +1071,108 @@ impl InferencePlan {
             self.exec(instr, &mut bufs.bufs, rows);
         }
         PlanOutputs { plan: self, bufs }
+    }
+
+    /// Whether this plan's replay may be split into batch-row chunks: no
+    /// instruction reduces batch-scaled data into a fixed shape (the
+    /// `Sum`/`Mean` tape reductions are the only ops that do), so every
+    /// batch row's bits are computed independently of every other row.
+    pub fn chunkable(&self) -> bool {
+        self.chunkable
+    }
+
+    /// Counted multiply-add estimate per batch row of one replay — the
+    /// quantity [`InferencePlan::replay_threads`] derives its engagement
+    /// threshold from.
+    pub fn flops_per_row(&self) -> usize {
+        self.flops_per_row
+    }
+
+    /// Worker threads a chunked replay of `rows` batch rows would engage:
+    /// the resolved thread count (`requested` through
+    /// [`crate::parallel::effective_threads`]), capped so every engaged
+    /// worker has at least [`REPLAY_CHUNK_MIN_FLOPS`] counted muladds of
+    /// work and at least one row. Non-chunkable plans always answer 1.
+    pub fn replay_threads(&self, rows: usize, requested: usize) -> usize {
+        if !self.chunkable || rows < 2 {
+            return 1;
+        }
+        let resolved = crate::parallel::effective_threads(requested);
+        let budget = rows.saturating_mul(self.flops_per_row.max(1)) / REPLAY_CHUNK_MIN_FLOPS;
+        resolved.min(budget).clamp(1, rows)
+    }
+
+    /// Replays the plan with the batch rows split into contiguous chunks
+    /// across up to `threads` scoped worker threads (resolved via
+    /// [`InferencePlan::replay_threads`]), **bit-identical to
+    /// [`InferencePlan::run`] at every thread count**.
+    ///
+    /// Why bit-identity holds: chunk boundaries come from
+    /// [`crate::parallel::chunk_ranges`] and depend only on `(rows,
+    /// engaged threads)`; every chunk runs the same per-row kernels the
+    /// serial replay runs (each output element's reduction order is
+    /// unchanged — the kernels accumulate strictly in index order and
+    /// never across rows); and plans where *any* instruction crosses rows
+    /// are [`not chunkable`](InferencePlan::chunkable) and fall back to
+    /// the serial path here. Fixed-shape (non-batch) instructions are
+    /// recomputed per chunk from identical inputs — redundant arithmetic,
+    /// identical bits.
+    ///
+    /// * `out` — one slot per batch row (`out.len() == rows`); each chunk
+    ///   writes its disjoint sub-slice.
+    /// * `fill(input, first_row, m)` — like [`InferencePlan::run`]'s fill
+    ///   but with the chunk's first global row, so batch-scaled inputs
+    ///   copy rows `first_row..first_row + m.rows()`; fixed inputs must
+    ///   ignore `first_row` and fill identically for every chunk.
+    /// * `consume(first_row, outputs, chunk)` — scatter the chunk's
+    ///   replay outputs (row `j` of a batch output is global row
+    ///   `first_row + j`) into `chunk`.
+    ///
+    /// With one engaged thread this *is* the serial path:
+    /// [`PlanBuffers::with_pooled`] arena, one `run`, one consume — the
+    /// single-thread floors in `BENCH_serve.json` time this exact route.
+    /// Engaged chunks draw arenas from the plan-keyed
+    /// [`PlanBuffers::with_keyed`] pool instead, since scoped workers die
+    /// at wave end and thread-local arenas would never be reused.
+    pub fn run_chunked<O, Fill, Consume>(
+        &self,
+        rows: usize,
+        threads: usize,
+        out: &mut [O],
+        fill: Fill,
+        consume: Consume,
+    ) where
+        O: Send,
+        Fill: Fn(usize, usize, &mut Matrix) + Sync,
+        Consume: Fn(usize, PlanOutputs<'_>, &mut [O]) + Sync,
+    {
+        assert_eq!(out.len(), rows, "run_chunked: one out slot per row");
+        if rows == 0 {
+            return;
+        }
+        let engaged = self.replay_threads(rows, threads);
+        let ranges = crate::parallel::chunk_ranges(rows, engaged, 1);
+        if ranges.len() <= 1 {
+            PlanBuffers::with_pooled(|bufs| {
+                let run = self.run(bufs, rows, |k, m| fill(k, 0, m));
+                consume(0, run, out);
+            });
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut rest = out;
+            for &(start, end) in &ranges {
+                let (head, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                let (fill, consume) = (&fill, &consume);
+                scope.spawn(move || {
+                    PlanBuffers::with_keyed(self.arena_key, |bufs| {
+                        let run = self.run(bufs, end - start, |k, m| fill(k, start, m));
+                        consume(start, run, head);
+                    });
+                });
+            }
+        });
     }
 
     fn exec(&self, instr: &Instr, bufs: &mut [Matrix], rows: usize) {
@@ -1496,6 +1660,7 @@ fn pass_assign_buffers(
         .map(|v| arg_of(v.0, &vals, &buf_of))
         .collect();
 
+    let (chunkable, flops_per_row) = pass_cost(&instrs, &buf_shapes, &consts);
     Ok(InferencePlan {
         instrs,
         consts,
@@ -1506,7 +1671,140 @@ fn pass_assign_buffers(
         qconsts: Vec::new(),
         sparse_consts: Vec::new(),
         precision,
+        chunkable,
+        flops_per_row,
+        arena_key: next_arena_key(),
     })
+}
+
+/// Hands out process-unique arena-pool keys, one per compiled plan (see
+/// [`PlanBuffers::with_keyed`]). Monotonic, never reused.
+fn next_arena_key() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Visits every operand [`Arg`] of an instruction (weights living in the
+/// quantized/sparse side tables are baked constants, not args).
+fn for_each_arg(instr: &Instr, mut f: impl FnMut(Arg)) {
+    match *instr {
+        Instr::Broadcast { .. } => {}
+        Instr::Affine { x, w, b, .. } => {
+            f(x);
+            f(w);
+            f(b);
+        }
+        Instr::MatMul { a, b, .. }
+        | Instr::Binary { a, b, .. }
+        | Instr::ConcatCols { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Instr::AddRowVec { m, row, .. } => {
+            f(m);
+            f(row);
+        }
+        Instr::MulColVec { m, col, .. } => {
+            f(m);
+            f(col);
+        }
+        Instr::Unary { a, .. }
+        | Instr::SoftmaxRows { a, .. }
+        | Instr::Sum { a, .. }
+        | Instr::Mean { a, .. }
+        | Instr::RowSum { a, .. }
+        | Instr::SliceCols { a, .. }
+        | Instr::CumsumCols { a, .. }
+        | Instr::Norml2 { a, .. } => f(a),
+        Instr::PwlInterp { tau, p, t, .. } => {
+            f(tau);
+            f(p);
+            f(t);
+        }
+        Instr::BlockLinear {
+            input,
+            weight,
+            bias,
+            ..
+        } => {
+            f(input);
+            f(weight);
+            f(bias);
+        }
+        Instr::Lattice { input, params, .. } => {
+            f(input);
+            f(params);
+        }
+        Instr::QuantAffine { x, b, .. } | Instr::SparseAffine { x, b, .. } => {
+            f(x);
+            f(b);
+        }
+    }
+}
+
+/// Cost/chunkability analysis over the resolved instruction stream.
+///
+/// **Chunkable** means every instruction is row-independent over the
+/// batch dimension: an instruction whose output is `Fixed`-shaped while
+/// any buffer operand is batch-scaled (the `Sum`/`Mean` reductions are
+/// the only emitters of that shape) collapses rows across the chunk
+/// boundary, so its plan must replay serially. Fixed-from-fixed
+/// instructions are fine — each chunk recomputes them from identical
+/// inputs and gets identical bits.
+///
+/// **flops_per_row** is the counted multiply-add estimate of one batch
+/// row: inner-product ops count `inner × out_cols`, block-linear its
+/// weight elements, PWL its knot scan, everything elementwise one per
+/// output element. It is an engagement heuristic (the replay-threads
+/// derivation below), not an exact FLOP audit — constants chosen so the
+/// skinny serving shapes land where measurement says they should.
+fn pass_cost(
+    instrs: &[Instr],
+    buf_shapes: &[(RowSpec, usize)],
+    consts: &[Matrix],
+) -> (bool, usize) {
+    let arg_cols = |a: Arg| match a {
+        Arg::Buf(b) => buf_shapes[b as usize].1,
+        Arg::Const(c) => consts[c as usize].cols(),
+    };
+    let arg_elems = |a: Arg| match a {
+        Arg::Buf(b) => {
+            let (spec, cols) = buf_shapes[b as usize];
+            match spec {
+                RowSpec::Fixed(r) => r * cols,
+                RowSpec::Batch => cols,
+            }
+        }
+        Arg::Const(c) => {
+            let (r, cl) = consts[c as usize].shape();
+            r * cl
+        }
+    };
+    let batch_buf = |a: Arg| matches!(a, Arg::Buf(b) if buf_shapes[b as usize].0 == RowSpec::Batch);
+    let mut chunkable = true;
+    let mut flops = 0usize;
+    for instr in instrs {
+        let (out_spec, out_cols) = buf_shapes[instr.out() as usize];
+        let mut reads_batch = false;
+        for_each_arg(instr, |a| reads_batch |= batch_buf(a));
+        if matches!(out_spec, RowSpec::Fixed(_)) && reads_batch {
+            chunkable = false;
+        }
+        if out_spec == RowSpec::Batch {
+            flops += match *instr {
+                Instr::Affine { x, .. }
+                | Instr::QuantAffine { x, .. }
+                | Instr::SparseAffine { x, .. } => arg_cols(x) * out_cols,
+                Instr::MatMul { a, .. } => arg_cols(a) * out_cols,
+                Instr::BlockLinear { weight, .. } => arg_elems(weight),
+                Instr::Lattice { params, .. } => arg_elems(params).max(out_cols),
+                Instr::PwlInterp { tau, .. } => arg_cols(tau) + out_cols,
+                _ => out_cols,
+            };
+        }
+    }
+    (chunkable, flops)
 }
 
 /// Precision-lowering pass dispatcher: rewrites the resolved instruction

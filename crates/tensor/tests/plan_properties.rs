@@ -207,4 +207,107 @@ proptest! {
             prop_assert_eq!(out.output(0).data(), reference.as_slice());
         }
     }
+
+    /// Row-chunked parallel replay is **bit-identical** to single-threaded
+    /// replay at every thread count — including uneven splits and more
+    /// threads than rows. The chunk boundary can never change a bit
+    /// because every batch-scaled kernel is per-row and chunk boundaries
+    /// are deterministic.
+    #[test]
+    fn chunked_replay_matches_serial_at_every_thread_count(seed in 0u64..10_000) {
+        let f = fixture(seed ^ 0xc4a11);
+        let probe_x = Matrix::from_fn(2, 5, |i, j| ((i * 5 + j) as f32).cos());
+        let probe_t = Matrix::col_vector(&[0.4, 1.2]);
+        let mut g = Graph::new();
+        let (xv, tv, y) = record_batch_like(&mut g, &f, &probe_x, &probe_t);
+        let plan = InferencePlan::compile(&g, &[(xv, true), (tv, true)], &[y])
+            .expect("batch tape must compile");
+        prop_assert!(plan.chunkable(), "no cross-row reduction in this tape");
+        prop_assert!(plan.flops_per_row() > 0);
+
+        // uneven row counts on purpose: primes, rows < threads, rows = 1
+        for rows in [1usize, 3, 5, 13, 64, 67] {
+            let x = Matrix::from_fn(rows, 5, |i, j| ((seed as usize + i * 5 + j) as f32).sin());
+            let ts: Vec<f32> = (0..rows).map(|i| 2.0 * (i as f32 + 0.3) / rows as f32).collect();
+            // serial reference through the plain replay path
+            let reference: Vec<f32> = {
+                let mut bufs = PlanBuffers::new();
+                let out = plan.run(&mut bufs, rows, |k, m| match k {
+                    0 => m.data_mut().copy_from_slice(x.data()),
+                    _ => m.data_mut().copy_from_slice(&ts),
+                });
+                out.output(0).data().to_vec()
+            };
+            for threads in [1usize, 2, 4, 8] {
+                let mut got = vec![0.0f32; rows];
+                plan.run_chunked(
+                    rows,
+                    threads,
+                    &mut got,
+                    |k, first_row, m| match k {
+                        0 => {
+                            let take = m.rows() * 5;
+                            m.data_mut()
+                                .copy_from_slice(&x.data()[first_row * 5..first_row * 5 + take]);
+                        }
+                        _ => {
+                            let take = m.rows();
+                            m.data_mut().copy_from_slice(&ts[first_row..first_row + take]);
+                        }
+                    },
+                    |_, run, chunk| chunk.copy_from_slice(run.output(0).data()),
+                );
+                prop_assert_eq!(
+                    &got, &reference,
+                    "rows {} threads {} diverged", rows, threads
+                );
+            }
+        }
+    }
+
+    /// A plan with a cross-row reduction (`sum` over the batch) reports
+    /// `chunkable() == false`, and `run_chunked` still answers correctly
+    /// (it degrades to one serial chunk rather than splitting rows a
+    /// reduction spans).
+    #[test]
+    fn non_chunkable_plans_fall_back_to_serial(seed in 0u64..10_000) {
+        let f = fixture(seed ^ 0x5ca1a);
+        let probe_x = Matrix::from_fn(2, 5, |i, j| ((i * 5 + j) as f32).cos());
+        let mut g = Graph::new();
+        let xv = g.leaf_ref(&probe_x);
+        let h = f.net.forward(&mut g, &f.store, xv);
+        let s = g.square(h);
+        let total = g.sum(s);
+        let plan = InferencePlan::compile(&g, &[(xv, true)], &[total])
+            .expect("reduction tape must compile");
+        prop_assert!(!plan.chunkable(), "batch sum must disable chunking");
+        prop_assert_eq!(plan.replay_threads(64, 8), 1);
+
+        for rows in [1usize, 4, 19] {
+            let x = Matrix::from_fn(rows, 5, |i, j| ((seed as usize + i * 5 + j) as f32).sin());
+            let reference: Vec<f32> = {
+                let mut bufs = PlanBuffers::new();
+                let out = plan.run(&mut bufs, rows, |_, m| {
+                    m.data_mut().copy_from_slice(x.data());
+                });
+                out.output(0).data().to_vec()
+            };
+            // run_chunked's out slice is per-row even though the output is
+            // a scalar: consume sees the whole (single) chunk
+            let mut got = vec![f32::NAN; rows];
+            plan.run_chunked(
+                rows,
+                8,
+                &mut got,
+                |_, first_row, m| {
+                    assert_eq!(first_row, 0, "non-chunkable ⇒ one chunk");
+                    m.data_mut().copy_from_slice(x.data());
+                },
+                |_, run, chunk| {
+                    chunk[0] = run.output(0).data()[0];
+                },
+            );
+            prop_assert_eq!(got[0], reference[0]);
+        }
+    }
 }
